@@ -1,0 +1,42 @@
+//! Error type for hierarchy construction and (de)serialization.
+
+use std::fmt;
+
+/// Errors from building, validating, or (de)serializing AMR structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmrError {
+    /// The refinement sets violate a tree invariant.
+    InvalidStructure(&'static str),
+    /// Serialized metadata is malformed.
+    Corrupt(&'static str),
+    /// Field length does not match the tree's cell/leaf count.
+    FieldLengthMismatch {
+        /// Number of values the tree expects.
+        expected: usize,
+        /// Number of values provided.
+        actual: usize,
+    },
+    /// Underlying I/O failure (message-only; `std::io::Error` is not `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for AmrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmrError::InvalidStructure(what) => write!(f, "invalid AMR structure: {what}"),
+            AmrError::Corrupt(what) => write!(f, "corrupt AMR metadata: {what}"),
+            AmrError::FieldLengthMismatch { expected, actual } => {
+                write!(f, "field has {actual} values, tree expects {expected}")
+            }
+            AmrError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AmrError {}
+
+impl From<std::io::Error> for AmrError {
+    fn from(e: std::io::Error) -> Self {
+        AmrError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,273 @@
+//! Analytic scalar fields with the feature classes of real AMR workloads:
+//! sharp fronts, blast shells, clustered density, multi-scale "turbulence".
+//!
+//! All fields are deterministic functions of a seed, defined on the unit
+//! domain, finite everywhere, and cheap enough to sample at millions of cell
+//! centers. AMR hierarchies are built by refining where these fields have
+//! structure — mirroring how production codes regrid.
+
+use std::sync::Arc;
+
+/// A scalar field over the unit domain (shared, thread-safe).
+pub type FieldFn = Arc<dyn Fn([f64; 3]) -> f64 + Send + Sync>;
+
+/// 64-bit mix (splitmix64 finalizer) for lattice hashing.
+#[inline]
+fn mix(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Uniform value in [0,1) from a hashed key.
+#[inline]
+fn unit(h: u64) -> f64 {
+    (mix(h) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Hash of a lattice point.
+#[inline]
+fn lattice(seed: u64, ix: i64, iy: i64, iz: i64) -> f64 {
+    let k = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((ix as u64).wrapping_mul(0x85eb_ca6b))
+        .wrapping_add((iy as u64).wrapping_mul(0xc2b2_ae35))
+        .wrapping_add((iz as u64).wrapping_mul(0x27d4_eb2f));
+    unit(k) * 2.0 - 1.0
+}
+
+/// Quintic smoothstep (C2-continuous interpolation weight).
+#[inline]
+fn smooth(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Smooth value noise at frequency `freq` (trilinear lattice interpolation).
+fn value_noise(seed: u64, p: [f64; 3], freq: f64) -> f64 {
+    let q = [p[0] * freq, p[1] * freq, p[2] * freq];
+    let i = [q[0].floor(), q[1].floor(), q[2].floor()];
+    let f = [
+        smooth(q[0] - i[0]),
+        smooth(q[1] - i[1]),
+        smooth(q[2] - i[2]),
+    ];
+    let (ix, iy, iz) = (i[0] as i64, i[1] as i64, i[2] as i64);
+    let mut acc = 0.0;
+    for dz in 0..2i64 {
+        for dy in 0..2i64 {
+            for dx in 0..2i64 {
+                let w = (if dx == 0 { 1.0 - f[0] } else { f[0] })
+                    * (if dy == 0 { 1.0 - f[1] } else { f[1] })
+                    * (if dz == 0 { 1.0 - f[2] } else { f[2] });
+                acc += w * lattice(seed, ix + dx, iy + dy, iz + dz);
+            }
+        }
+    }
+    acc
+}
+
+/// Multi-octave value noise: `octaves` layers, persistence 0.5 — the
+/// "turbulence-like" multi-scale field.
+pub fn multiscale(seed: u64, octaves: u32) -> FieldFn {
+    Arc::new(move |p| {
+        let mut amp = 1.0;
+        let mut freq = 4.0;
+        let mut acc = 0.0;
+        for o in 0..octaves {
+            acc += amp * value_noise(seed.wrapping_add(u64::from(o)), p, freq);
+            amp *= 0.5;
+            freq *= 2.0;
+        }
+        acc
+    })
+}
+
+/// A sinusoidally perturbed `tanh` front of width `w` — the flame-front /
+/// interface feature class. Sharp in a thin band, flat elsewhere.
+pub fn tanh_front(seed: u64, w: f64) -> FieldFn {
+    let phase = unit(seed) * std::f64::consts::TAU;
+    let amp = 0.08 + 0.08 * unit(seed ^ 0xabcd);
+    Arc::new(move |p| {
+        let front_y = 0.5 + amp * (3.0 * std::f64::consts::TAU * p[0] + phase).sin()
+            + 0.05 * (7.0 * std::f64::consts::TAU * p[0]).cos()
+            + 0.1 * (p[2] - 0.5);
+        ((p[1] - front_y) / w).tanh()
+    })
+}
+
+/// A Sedov-style blast shell: a sharp annular density peak at radius `r0`
+/// over a smooth ambient gradient.
+pub fn blast_shell(r0: f64, shell_w: f64) -> FieldFn {
+    Arc::new(move |p| {
+        let dx = p[0] - 0.5;
+        let dy = p[1] - 0.5;
+        let dz = p[2];
+        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+        let shell = (-((r - r0) / shell_w).powi(2)).exp();
+        // Post-shock plateau inside, ambient outside, sharp shell between.
+        let interior = 0.4 * (1.0 - (r / r0).min(1.0)).powi(2);
+        1.0 + 4.0 * shell + interior
+    })
+}
+
+/// Clustered halo density (cosmology-like): a sum of compact isothermal-ish
+/// halos with a power-law mass spectrum, on a smooth background. Values span
+/// several orders of magnitude, like baryon-density snapshots.
+pub fn clustered_density(seed: u64, n_halos: usize) -> FieldFn {
+    let halos: Vec<([f64; 3], f64, f64)> = (0..n_halos as u64)
+        .map(|i| {
+            let k = seed.wrapping_mul(31).wrapping_add(i);
+            let pos = [unit(k ^ 1), unit(k ^ 2), unit(k ^ 3)];
+            // Power-law mass: few big halos, many small ones.
+            let mass = 0.5 / (1.0 + 20.0 * unit(k ^ 4)).powf(1.3);
+            let radius = 0.025 + 0.08 * mass;
+            (pos, mass, radius)
+        })
+        .collect();
+    Arc::new(move |p| {
+        let mut rho: f64 = 0.05;
+        for &(pos, mass, radius) in &halos {
+            let dx = p[0] - pos[0];
+            let dy = p[1] - pos[1];
+            let dz = p[2] - pos[2];
+            let r2 = dx * dx + dy * dy + dz * dz;
+            rho += mass / (r2 / (radius * radius) + 0.05);
+        }
+        rho.ln_1p()
+    })
+}
+
+/// Velocity magnitude of a small set of point vortices — smooth with
+/// localized extrema.
+pub fn vortices(seed: u64, n: usize) -> FieldFn {
+    let cores: Vec<([f64; 2], f64)> = (0..n as u64)
+        .map(|i| {
+            let k = seed.wrapping_add(i.wrapping_mul(0x51ab));
+            ([unit(k ^ 11), unit(k ^ 13)], if unit(k ^ 17) > 0.5 { 1.0 } else { -1.0 })
+        })
+        .collect();
+    Arc::new(move |p| {
+        let (mut u, mut v) = (0.0, 0.0);
+        for &(c, sign) in &cores {
+            let dx = p[0] - c[0];
+            let dy = p[1] - c[1];
+            let r2 = dx * dx + dy * dy + 1e-4;
+            u += -sign * dy / r2 * 0.01;
+            v += sign * dx / r2 * 0.01;
+        }
+        (u * u + v * v).sqrt()
+    })
+}
+
+/// A smooth large-scale companion field (e.g. "pressure" to go with a sharp
+/// "temperature"): low-frequency noise plus a gradient.
+pub fn smooth_background(seed: u64) -> FieldFn {
+    Arc::new(move |p| {
+        2.0 + p[0] * 0.5 - p[1] * 0.3 + 0.4 * value_noise(seed, p, 3.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_grid(f: &FieldFn, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n * n);
+        for j in 0..n {
+            for i in 0..n {
+                out.push(f([
+                    (i as f64 + 0.5) / n as f64,
+                    (j as f64 + 0.5) / n as f64,
+                    0.0,
+                ]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fields_are_finite_everywhere() {
+        let fields: Vec<FieldFn> = vec![
+            multiscale(1, 6),
+            tanh_front(2, 0.02),
+            blast_shell(0.3, 0.01),
+            clustered_density(3, 40),
+            vortices(4, 8),
+            smooth_background(5),
+        ];
+        for f in &fields {
+            for v in sample_grid(f, 64) {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn fields_are_deterministic() {
+        let f1 = multiscale(42, 5);
+        let f2 = multiscale(42, 5);
+        let p = [0.3, 0.7, 0.1];
+        assert_eq!(f1(p), f2(p));
+        let g = multiscale(43, 5);
+        assert_ne!(f1(p), g(p));
+    }
+
+    #[test]
+    fn front_transitions_from_minus_one_to_one() {
+        let f = tanh_front(7, 0.01);
+        assert!(f([0.5, 0.0, 0.0]) < -0.9);
+        assert!(f([0.5, 1.0, 0.0]) > 0.9);
+    }
+
+    #[test]
+    fn blast_peaks_at_shell_radius() {
+        let f = blast_shell(0.25, 0.02);
+        let at_shell = f([0.75, 0.5, 0.0]); // r = 0.25
+        let inside = f([0.55, 0.5, 0.0]); // r = 0.05
+        let outside = f([0.95, 0.5, 0.0]); // r = 0.45
+        assert!(at_shell > inside);
+        assert!(at_shell > outside);
+    }
+
+    #[test]
+    fn clustered_density_is_positive_and_spans_orders() {
+        // Sample the full 3-D volume — the halos live anywhere in the cube.
+        let f = clustered_density(11, 60);
+        let n = 32;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let p = [
+                        (i as f64 + 0.5) / n as f64,
+                        (j as f64 + 0.5) / n as f64,
+                        (k as f64 + 0.5) / n as f64,
+                    ];
+                    let v = f(p);
+                    assert!(v > 0.0);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        assert!(hi / lo > 5.0, "dynamic range {lo}..{hi}");
+    }
+
+    #[test]
+    fn noise_is_smooth_at_small_scales() {
+        let f = multiscale(9, 4);
+        let a = f([0.5, 0.5, 0.0]);
+        let b = f([0.5 + 1e-5, 0.5, 0.0]);
+        assert!((a - b).abs() < 1e-2);
+    }
+
+    #[test]
+    fn value_noise_is_continuous_across_lattice_edges() {
+        // Approaching a lattice point from both sides must agree.
+        let seed = 3;
+        let freq = 8.0;
+        let below = value_noise(seed, [0.25 - 1e-9, 0.5, 0.5], freq);
+        let above = value_noise(seed, [0.25 + 1e-9, 0.5, 0.5], freq);
+        assert!((below - above).abs() < 1e-6);
+    }
+}

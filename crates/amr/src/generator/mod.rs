@@ -1,0 +1,6 @@
+//! Workload generation: analytic fields, refinement criteria, and the named
+//! dataset presets used throughout the evaluation.
+
+pub mod analytic;
+pub mod datasets;
+pub mod refine;

@@ -1,0 +1,179 @@
+//! Dimensionality and integer cell coordinates.
+
+/// Spatial dimensionality of a hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Two dimensions (quadtree refinement).
+    D2,
+    /// Three dimensions (octree refinement).
+    D3,
+}
+
+impl Dim {
+    /// Number of axes (2 or 3).
+    pub fn rank(&self) -> usize {
+        match self {
+            Dim::D2 => 2,
+            Dim::D3 => 3,
+        }
+    }
+
+    /// Children per refined cell (4 or 8).
+    pub fn children(&self) -> usize {
+        1 << self.rank()
+    }
+
+    /// Header tag.
+    pub fn tag(&self) -> u8 {
+        self.rank() as u8
+    }
+
+    /// Inverse of [`Dim::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            2 => Some(Dim::D2),
+            3 => Some(Dim::D3),
+            _ => None,
+        }
+    }
+}
+
+/// Integer coordinates of a cell within its level's grid.
+///
+/// `z` is always 0 in 2-D. Coordinates are limited to 21 bits per axis so
+/// that a cell packs into a single `u64` key and its finest-level anchor fits
+/// every space-filling-curve index in `zmesh-sfc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellCoord {
+    /// x index (fastest varying in storage order).
+    pub x: u32,
+    /// y index.
+    pub y: u32,
+    /// z index (0 in 2-D).
+    pub z: u32,
+}
+
+/// Maximum bits per coordinate axis (shared with the 3-D Morton cap).
+pub const COORD_BITS: u32 = 21;
+
+impl CellCoord {
+    /// Creates a coordinate; debug-asserts the 21-bit limit.
+    #[inline]
+    pub fn new(x: u32, y: u32, z: u32) -> Self {
+        debug_assert!(x < 1 << COORD_BITS && y < 1 << COORD_BITS && z < 1 << COORD_BITS);
+        Self { x, y, z }
+    }
+
+    /// Packs into a sortable `u64` key in (z, y, x) lexicographic order —
+    /// exactly the within-level storage order.
+    #[inline]
+    pub fn pack(&self) -> u64 {
+        (u64::from(self.z) << (2 * COORD_BITS))
+            | (u64::from(self.y) << COORD_BITS)
+            | u64::from(self.x)
+    }
+
+    /// Inverse of [`CellCoord::pack`].
+    #[inline]
+    pub fn unpack(key: u64) -> Self {
+        let mask = (1u64 << COORD_BITS) - 1;
+        Self {
+            x: (key & mask) as u32,
+            y: ((key >> COORD_BITS) & mask) as u32,
+            z: ((key >> (2 * COORD_BITS)) & mask) as u32,
+        }
+    }
+
+    /// Parent coordinate one level coarser.
+    #[inline]
+    pub fn parent(&self) -> Self {
+        Self {
+            x: self.x >> 1,
+            y: self.y >> 1,
+            z: self.z >> 1,
+        }
+    }
+
+    /// The `child`-th child coordinate one level finer (x bit 0, y bit 1,
+    /// z bit 2 of `child`).
+    #[inline]
+    pub fn child(&self, child: usize) -> Self {
+        Self {
+            x: (self.x << 1) | (child as u32 & 1),
+            y: (self.y << 1) | ((child as u32 >> 1) & 1),
+            z: (self.z << 1) | ((child as u32 >> 2) & 1),
+        }
+    }
+
+    /// Anchor at a finer level: coordinates scaled by `2^shift`.
+    #[inline]
+    pub fn anchor(&self, shift: u32) -> Self {
+        Self {
+            x: self.x << shift,
+            y: self.y << shift,
+            z: self.z << shift,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_orders_like_storage() {
+        // (z, y, x) lexicographic: z dominates, then y, then x.
+        let a = CellCoord::new(5, 0, 0);
+        let b = CellCoord::new(0, 1, 0);
+        let c = CellCoord::new(0, 0, 1);
+        assert!(a.pack() < b.pack());
+        assert!(b.pack() < c.pack());
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        for &(x, y, z) in &[(0, 0, 0), (1, 2, 3), ((1 << 21) - 1, 7, (1 << 21) - 1)] {
+            let c = CellCoord::new(x, y, z);
+            assert_eq!(CellCoord::unpack(c.pack()), c);
+        }
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let p = CellCoord::new(3, 5, 7);
+        for ch in 0..8 {
+            let c = p.child(ch);
+            assert_eq!(c.parent(), p, "child {ch}");
+        }
+        // Children are distinct.
+        let kids: std::collections::HashSet<u64> = (0..8).map(|ch| p.child(ch).pack()).collect();
+        assert_eq!(kids.len(), 8);
+    }
+
+    #[test]
+    fn child_order_is_x_fastest() {
+        let p = CellCoord::new(0, 0, 0);
+        assert_eq!(p.child(0), CellCoord::new(0, 0, 0));
+        assert_eq!(p.child(1), CellCoord::new(1, 0, 0));
+        assert_eq!(p.child(2), CellCoord::new(0, 1, 0));
+        assert_eq!(p.child(4), CellCoord::new(0, 0, 1));
+    }
+
+    #[test]
+    fn anchor_scales() {
+        let c = CellCoord::new(3, 1, 2);
+        assert_eq!(c.anchor(2), CellCoord::new(12, 4, 8));
+        assert_eq!(c.anchor(0), c);
+    }
+
+    #[test]
+    fn dim_properties() {
+        assert_eq!(Dim::D2.rank(), 2);
+        assert_eq!(Dim::D2.children(), 4);
+        assert_eq!(Dim::D3.children(), 8);
+        for d in [Dim::D2, Dim::D3] {
+            assert_eq!(Dim::from_tag(d.tag()), Some(d));
+        }
+        assert_eq!(Dim::from_tag(1), None);
+    }
+}

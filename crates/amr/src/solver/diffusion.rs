@@ -1,0 +1,124 @@
+//! Explicit (FTCS) heat diffusion with persistent hot spots — produces
+//! smooth plumes with locally steep gradients near the sources.
+
+use super::grid::Grid2;
+
+/// Diffuses heat from `sources` (position, strength) for `steps` explicit
+/// steps with diffusivity `kappa`. The time step satisfies the 2-D explicit
+/// stability limit `dt <= h²/(4κ)` with a safety factor.
+pub fn diffuse_hot_spots(
+    n: usize,
+    steps: usize,
+    kappa: f64,
+    sources: &[([f64; 2], f64)],
+) -> Grid2 {
+    diffuse_snapshots(n, steps, steps.max(1), kappa, sources)
+        .pop()
+        .expect("at least the final state")
+}
+
+/// Like [`diffuse_hot_spots`] but returns a snapshot every `every` steps
+/// (plus the final state) — the time series the temporal-compression
+/// experiment (F9) consumes.
+pub fn diffuse_snapshots(
+    n: usize,
+    steps: usize,
+    every: usize,
+    kappa: f64,
+    sources: &[([f64; 2], f64)],
+) -> Vec<Grid2> {
+    assert!(every > 0, "snapshot interval must be positive");
+    let mut snapshots = Vec::with_capacity(steps / every + 1);
+    let mut cur = Grid2::zeros(n, n);
+    let h = 1.0 / n as f64;
+    let dt = 0.2 * h * h / kappa.max(1e-12);
+    let mut next = cur.clone();
+    for step in 1..=steps {
+        let (nx, ny) = (cur.nx(), cur.ny());
+        for j in 0..ny {
+            for i in 0..nx {
+                let (ii, jj) = (i as isize, j as isize);
+                let lap = cur.at(ii - 1, jj) + cur.at(ii + 1, jj) + cur.at(ii, jj - 1)
+                    + cur.at(ii, jj + 1)
+                    - 4.0 * cur.at(ii, jj);
+                next.data_mut()[j * nx + i] = cur.at(ii, jj) + dt * kappa / (h * h) * lap;
+            }
+        }
+        // Re-assert the sources (Dirichlet-ish hot spots).
+        for &(pos, strength) in sources {
+            let i = ((pos[0] * nx as f64) as usize).min(nx - 1);
+            let j = ((pos[1] * ny as f64) as usize).min(ny - 1);
+            next.data_mut()[j * nx + i] = strength;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        if step % every == 0 || step == steps {
+            snapshots.push(cur.clone());
+        }
+    }
+    if snapshots.is_empty() {
+        snapshots.push(cur);
+    }
+    snapshots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCES: [([f64; 2], f64); 3] = [
+        ([0.25, 0.25], 4.0),
+        ([0.7, 0.6], 2.5),
+        ([0.4, 0.8], 3.0),
+    ];
+
+    #[test]
+    fn stays_finite_and_nonnegative() {
+        let g = diffuse_hot_spots(64, 500, 1.0, &SOURCES);
+        for &v in g.data() {
+            assert!(v.is_finite());
+            assert!(v >= -1e-12, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        // Values never exceed the hottest source.
+        let g = diffuse_hot_spots(64, 1000, 1.0, &SOURCES);
+        let max = g.data().iter().copied().fold(0.0f64, f64::max);
+        assert!(max <= 4.0 + 1e-9, "max = {max}");
+    }
+
+    #[test]
+    fn heat_spreads_over_time() {
+        let short = diffuse_hot_spots(64, 50, 1.0, &SOURCES);
+        let long = diffuse_hot_spots(64, 2000, 1.0, &SOURCES);
+        // A point far from all sources warms up with time.
+        let probe = |g: &Grid2| g.sample(0.9, 0.1);
+        assert!(probe(&long) > probe(&short));
+    }
+
+    #[test]
+    fn snapshots_are_monotone_in_time() {
+        let snaps = diffuse_snapshots(48, 300, 100, 1.0, &SOURCES);
+        assert_eq!(snaps.len(), 3);
+        // Heat accumulates at a far probe as time advances.
+        let probe = |g: &Grid2| g.sample(0.9, 0.9);
+        assert!(probe(&snaps[0]) <= probe(&snaps[1]) + 1e-12);
+        assert!(probe(&snaps[1]) <= probe(&snaps[2]) + 1e-12);
+    }
+
+    #[test]
+    fn final_snapshot_matches_single_run() {
+        let single = diffuse_hot_spots(32, 120, 1.0, &SOURCES);
+        let snaps = diffuse_snapshots(32, 120, 50, 1.0, &SOURCES);
+        assert_eq!(snaps.last().unwrap().data(), single.data());
+    }
+
+    #[test]
+    fn hottest_near_the_strongest_source() {
+        let g = diffuse_hot_spots(96, 1500, 1.0, &SOURCES);
+        let near = g.sample(0.25, 0.27);
+        let far = g.sample(0.95, 0.95);
+        assert!(near > far * 2.0, "near {near} vs far {far}");
+    }
+}

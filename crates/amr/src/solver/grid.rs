@@ -1,0 +1,129 @@
+//! Uniform 2-D grid with bilinear sampling — the solvers' state and the
+//! bridge from solver output to AMR fields.
+
+use crate::analytic::FieldFn;
+use std::sync::Arc;
+
+/// A scalar field on a uniform `nx × ny` cell-centered grid over `[0,1]²`.
+#[derive(Debug, Clone)]
+pub struct Grid2 {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Grid2 {
+    /// Zero-initialized grid.
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        assert!(nx > 1 && ny > 1, "grid must be at least 2x2");
+        Self {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Grid filled by sampling `f` at cell centers.
+    pub fn from_fn<F: Fn(f64, f64) -> f64>(nx: usize, ny: usize, f: F) -> Self {
+        let mut g = Self::zeros(nx, ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let x = (i as f64 + 0.5) / nx as f64;
+                let y = (j as f64 + 0.5) / ny as f64;
+                g.data[j * nx + i] = f(x, y);
+            }
+        }
+        g
+    }
+
+    /// Grid width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Raw values, row-major (x fastest).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw values.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at cell `(i, j)` with clamped (outflow) boundaries.
+    #[inline]
+    pub fn at(&self, i: isize, j: isize) -> f64 {
+        let i = i.clamp(0, self.nx as isize - 1) as usize;
+        let j = j.clamp(0, self.ny as isize - 1) as usize;
+        self.data[j * self.nx + i]
+    }
+
+    /// Bilinear sample at unit-domain coordinates (clamped at edges).
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let gx = (x * self.nx as f64 - 0.5).clamp(0.0, self.nx as f64 - 1.0);
+        let gy = (y * self.ny as f64 - 0.5).clamp(0.0, self.ny as f64 - 1.0);
+        let i0 = gx.floor() as isize;
+        let j0 = gy.floor() as isize;
+        let fx = gx - i0 as f64;
+        let fy = gy - j0 as f64;
+        let v00 = self.at(i0, j0);
+        let v10 = self.at(i0 + 1, j0);
+        let v01 = self.at(i0, j0 + 1);
+        let v11 = self.at(i0 + 1, j0 + 1);
+        v00 * (1.0 - fx) * (1.0 - fy)
+            + v10 * fx * (1.0 - fy)
+            + v01 * (1.0 - fx) * fy
+            + v11 * fx * fy
+    }
+
+    /// Wraps the grid as a [`FieldFn`] (ignores z) for tree building and
+    /// AMR field sampling.
+    pub fn as_field(self: &Arc<Self>) -> FieldFn {
+        let g = Arc::clone(self);
+        Arc::new(move |p| g.sample(p[0], p[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_places_cell_centers() {
+        let g = Grid2::from_fn(4, 4, |x, y| x + 10.0 * y);
+        assert!((g.at(0, 0) - (0.125 + 1.25)).abs() < 1e-12);
+        assert!((g.at(3, 3) - (0.875 + 8.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_reproduces_linear_fields_exactly() {
+        let g = Grid2::from_fn(32, 32, |x, y| 3.0 * x - 2.0 * y + 1.0);
+        // Bilinear interpolation is exact on linear functions (interior).
+        for &(x, y) in &[(0.3, 0.4), (0.51, 0.52), (0.25, 0.75)] {
+            let expect = 3.0 * x - 2.0 * y + 1.0;
+            assert!((g.sample(x, y) - expect).abs() < 1e-10, "at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn sample_clamps_at_boundaries() {
+        let g = Grid2::from_fn(8, 8, |x, _| x);
+        let v = g.sample(-0.5, 0.5);
+        assert!(v.is_finite());
+        assert!((v - g.at(0, 3)).abs() < 0.2);
+        assert!(g.sample(1.5, 1.5).is_finite());
+    }
+
+    #[test]
+    fn as_field_matches_sample() {
+        let g = Arc::new(Grid2::from_fn(16, 16, |x, y| x * y));
+        let f = g.as_field();
+        assert_eq!(f([0.3, 0.6, 0.0]), g.sample(0.3, 0.6));
+    }
+}

@@ -1,0 +1,23 @@
+//! Mini PDE solvers that produce genuine simulation output for the dataset
+//! presets (the substitution for the paper's production runs, DESIGN.md §2).
+//!
+//! Each solver runs on a fine *uniform* grid — the resolution an AMR code
+//! would reach in its most refined regions — and the result is then
+//! restricted onto an AMR hierarchy built from the solution's own gradients
+//! ([`Grid2::as_field`] + [`RefineCriterion`](crate::RefineCriterion)),
+//! which is exactly how post-hoc AMR output looks: fine where the physics
+//! is, coarse elsewhere.
+
+mod advection;
+mod burgers;
+mod diffusion;
+mod grid;
+mod kelvin_helmholtz;
+pub mod poisson;
+
+pub use advection::advect_rotating_blob;
+pub use burgers::burgers_shock;
+pub use diffusion::{diffuse_hot_spots, diffuse_snapshots};
+pub use grid::Grid2;
+pub use kelvin_helmholtz::kelvin_helmholtz;
+pub use poisson::solve_poisson_periodic;

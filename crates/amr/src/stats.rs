@@ -1,0 +1,89 @@
+//! Per-level dataset statistics — the rows of the paper's dataset table.
+
+use crate::field::StorageMode;
+use crate::tree::AmrTree;
+
+/// Statistics for one refinement level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Level index.
+    pub level: u32,
+    /// Existing cells at this level.
+    pub cells: usize,
+    /// Leaves at this level.
+    pub leaves: usize,
+}
+
+/// Statistics for a whole hierarchy.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Per-level breakdown, coarsest first.
+    pub levels: Vec<LevelStats>,
+    /// Total existing cells.
+    pub total_cells: usize,
+    /// Total leaves.
+    pub total_leaves: usize,
+    /// Cells of the equivalent uniform finest grid.
+    pub uniform_equivalent: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics for `tree`.
+    pub fn compute(tree: &AmrTree) -> Self {
+        let levels: Vec<LevelStats> = (0..=tree.max_level())
+            .map(|l| {
+                let cells = tree.level_cells(l);
+                LevelStats {
+                    level: l,
+                    cells: cells.len(),
+                    leaves: cells.iter().filter(|c| c.is_leaf).count(),
+                }
+            })
+            .collect();
+        let f = tree.level_dims(tree.max_level());
+        Self {
+            total_cells: tree.cell_count(),
+            total_leaves: tree.leaf_count(),
+            uniform_equivalent: f[0] * f[1] * f[2],
+            levels,
+        }
+    }
+
+    /// Bytes of one f64 quantity under the given storage mode.
+    pub fn nbytes(&self, mode: StorageMode) -> usize {
+        8 * match mode {
+            StorageMode::LeafOnly => self.total_leaves,
+            StorageMode::AllCells => self.total_cells,
+        }
+    }
+
+    /// Compression of the mesh itself vs the uniform finest grid
+    /// (how much work AMR saved the application).
+    pub fn amr_saving(&self) -> f64 {
+        self.uniform_equivalent as f64 / self.total_leaves as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{CellCoord, Dim};
+
+    #[test]
+    fn stats_add_up() {
+        let l0 = vec![CellCoord::new(1, 1, 0).pack()];
+        let tree = AmrTree::from_refined(Dim::D2, [4, 4, 1], vec![l0]).unwrap();
+        let s = DatasetStats::compute(&tree);
+        assert_eq!(s.levels.len(), 2);
+        assert_eq!(s.levels[0].cells, 16);
+        assert_eq!(s.levels[0].leaves, 15);
+        assert_eq!(s.levels[1].cells, 4);
+        assert_eq!(s.levels[1].leaves, 4);
+        assert_eq!(s.total_cells, 20);
+        assert_eq!(s.total_leaves, 19);
+        assert_eq!(s.uniform_equivalent, 64);
+        assert!(s.amr_saving() > 3.0);
+        assert_eq!(s.nbytes(StorageMode::LeafOnly), 19 * 8);
+        assert_eq!(s.nbytes(StorageMode::AllCells), 20 * 8);
+    }
+}

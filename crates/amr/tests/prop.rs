@@ -1,0 +1,154 @@
+//! Property tests on randomly generated hierarchies: structural invariants,
+//! serialization, layouts, clustering, and restriction.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use zmesh_amr::clustering::{cluster, BrConfig};
+use zmesh_amr::layout::{storage_permutation, FileLayout};
+use zmesh_amr::{AmrField, AmrTree, CellCoord, Dim, StorageMode, TreeBuilder};
+
+fn random_tree(dim: Dim, seed: u64, levels: u32, density: u8) -> Arc<AmrTree> {
+    let base = match dim {
+        Dim::D2 => [6, 5, 1],
+        Dim::D3 => [3, 2, 2],
+    };
+    Arc::new(
+        TreeBuilder::new(dim, base, levels)
+            .refine_where(|level, center, _| {
+                let h = seed
+                    .wrapping_add((center[0] * 1e6) as u64)
+                    .wrapping_add(((center[1] * 1e6) as u64) << 21)
+                    .wrapping_add(((center[2] * 1e6) as u64) << 42)
+                    .wrapping_add(u64::from(level) << 61);
+                let h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                let h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                ((h ^ (h >> 31)) >> 56) as u8 <= density
+            })
+            .build()
+            .expect("random refinement is valid"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn leaves_tile_the_domain(
+        seed in any::<u64>(),
+        levels in 1u32..4,
+        density in 30u8..170,
+        dim in prop::sample::select(&[Dim::D2, Dim::D3][..])
+    ) {
+        let tree = random_tree(dim, seed, levels, density);
+        let rank = dim.rank() as u32;
+        let covered: u64 = tree
+            .leaves()
+            .map(|c| 1u64 << (rank * (tree.max_level() - c.level)))
+            .sum();
+        let f = tree.level_dims(tree.max_level());
+        prop_assert_eq!(covered, (f[0] * f[1] * f[2]) as u64);
+    }
+
+    #[test]
+    fn structure_serialization_round_trips(
+        seed in any::<u64>(),
+        levels in 1u32..4,
+        density in 30u8..170
+    ) {
+        let tree = random_tree(Dim::D2, seed, levels, density);
+        let bytes = tree.structure_bytes();
+        let rebuilt = AmrTree::from_structure_bytes(&bytes).unwrap();
+        prop_assert_eq!(rebuilt.cells(), tree.cells());
+        prop_assert_eq!(rebuilt.structure_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncated_structure_bytes_never_panic(
+        seed in any::<u64>(),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let tree = random_tree(Dim::D2, seed, 2, 120);
+        let bytes = tree.structure_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = AmrTree::from_structure_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn all_layouts_are_bijections_on_random_trees(
+        seed in any::<u64>(),
+        levels in 1u32..3,
+        density in 40u8..150,
+        dim in prop::sample::select(&[Dim::D2, Dim::D3][..])
+    ) {
+        let tree = random_tree(dim, seed, levels, density);
+        for mode in [StorageMode::LeafOnly, StorageMode::AllCells] {
+            let n = match mode {
+                StorageMode::LeafOnly => tree.leaf_count(),
+                StorageMode::AllCells => tree.cell_count(),
+            };
+            for layout in [
+                FileLayout::RowMajor,
+                FileLayout::Tiles { shift: 2 },
+                FileLayout::TilesRanked { shift: 2, ranks: 3 },
+                FileLayout::BrBoxes { min_efficiency: 0.6 },
+            ] {
+                let order = storage_permutation(&tree, mode, layout);
+                prop_assert_eq!(order.len(), n);
+                let mut seen = vec![false; n];
+                for &i in &order {
+                    prop_assert!(!seen[i as usize]);
+                    seen[i as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_partitions_arbitrary_tags(
+        raw in prop::collection::hash_set((0u32..64, 0u32..64), 1..200),
+        min_eff in 0.3f64..0.95
+    ) {
+        let tags: Vec<CellCoord> = raw.iter().map(|&(x, y)| CellCoord::new(x, y, 0)).collect();
+        let config = BrConfig { min_efficiency: min_eff, ..BrConfig::default() };
+        let boxes = cluster(&tags, Dim::D2, &config);
+        for t in &tags {
+            let n = boxes.iter().filter(|b| b.contains(*t)).count();
+            prop_assert_eq!(n, 1);
+        }
+        for i in 0..boxes.len() {
+            for j in i + 1..boxes.len() {
+                prop_assert!(!boxes[i].intersects(&boxes[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_preserves_the_global_mean(
+        seed in any::<u64>(),
+        levels in 1u32..3,
+        density in 40u8..150
+    ) {
+        // The volume-weighted mean over leaves equals the mean of level-0
+        // values after restriction (restriction is an averaging operator).
+        let tree = random_tree(Dim::D2, seed, levels, density);
+        let field = AmrField::sample_restricted(Arc::clone(&tree), StorageMode::AllCells, |p| {
+            (p[0] * 9.7).sin() + p[1]
+        });
+        let max_level = tree.max_level();
+        let leaf_mean: f64 = tree
+            .leaves()
+            .zip(tree.leaf_indices())
+            .map(|(c, &ci)| {
+                let w = 1f64 / 4f64.powi((c.level) as i32);
+                w * field.values()[ci as usize]
+            })
+            .sum::<f64>()
+            / tree.level_cells(0).len() as f64;
+        let l0_mean: f64 = field.values()[..tree.level_cells(0).len()]
+            .iter()
+            .sum::<f64>()
+            / tree.level_cells(0).len() as f64;
+        let _ = max_level;
+        prop_assert!((leaf_mean - l0_mean).abs() < 1e-9, "{leaf_mean} vs {l0_mean}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion bench: SZ/ZFP encode and decode throughput on a representative
+//! AMR stream (MB/s figures quoted in EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zmesh::{linearize, OrderingPolicy};
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::{Codec, CodecParams, EntropyCoder, SzCodec, ZfpCodec};
+
+fn stream() -> Vec<f64> {
+    let ds = datasets::blast2d(StorageMode::AllCells, Scale::Small);
+    linearize(ds.primary(), OrderingPolicy::Hilbert).0
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = stream();
+    let bytes = (data.len() * 8) as u64;
+    let params = CodecParams::rel_1d(1e-4);
+
+    let mut g = c.benchmark_group("codec_encode");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("sz", |b| {
+        let codec = SzCodec::new();
+        b.iter(|| codec.compress(black_box(&data), &params).unwrap())
+    });
+    g.bench_function("zfp", |b| {
+        let codec = ZfpCodec::new();
+        b.iter(|| codec.compress(black_box(&data), &params).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("sz_entropy_stage");
+    g.throughput(Throughput::Bytes(bytes));
+    for entropy in [EntropyCoder::Huffman, EntropyCoder::Range] {
+        g.bench_function(entropy.label(), |b| {
+            let codec = SzCodec::with_entropy(entropy);
+            b.iter(|| codec.compress(black_box(&data), &params).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("codec_decode");
+    g.throughput(Throughput::Bytes(bytes));
+    let sz = SzCodec::new();
+    let sz_bytes = sz.compress(&data, &params).unwrap();
+    g.bench_function("sz", |b| b.iter(|| sz.decompress(black_box(&sz_bytes)).unwrap()));
+    let zfp = ZfpCodec::new();
+    let zfp_bytes = zfp.compress(&data, &params).unwrap();
+    g.bench_function("zfp", |b| b.iter(|| zfp.decompress(black_box(&zfp_bytes)).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

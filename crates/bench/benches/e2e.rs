@@ -1,0 +1,50 @@
+//! Criterion bench: the full pipeline (recipe + reorder + codec +
+//! container) vs the level-order baseline, compress and decompress.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zmesh::{CompressionConfig, OrderingPolicy, Pipeline};
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::{CodecKind, ErrorControl};
+
+fn bench_e2e(c: &mut Criterion) {
+    let ds = datasets::front2d(StorageMode::AllCells, Scale::Small);
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let bytes = ds.nbytes() as u64;
+
+    let mut g = c.benchmark_group("pipeline_compress");
+    g.throughput(Throughput::Bytes(bytes));
+    for policy in [OrderingPolicy::LevelOrder, OrderingPolicy::Hilbert] {
+        for codec in [CodecKind::Sz, CodecKind::Zfp] {
+            let config = CompressionConfig {
+                policy,
+                codec,
+                control: ErrorControl::ValueRangeRelative(1e-4),
+            };
+            g.bench_function(format!("{}_{}", policy.label(), codec.label()), |b| {
+                let p = Pipeline::new(config);
+                b.iter(|| p.compress(black_box(&fields)).unwrap())
+            });
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("pipeline_decompress");
+    g.throughput(Throughput::Bytes(bytes));
+    for policy in [OrderingPolicy::LevelOrder, OrderingPolicy::Hilbert] {
+        let config = CompressionConfig {
+            policy,
+            codec: CodecKind::Sz,
+            control: ErrorControl::ValueRangeRelative(1e-4),
+        };
+        let compressed = Pipeline::new(config).compress(&fields).unwrap();
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| Pipeline::decompress(black_box(&compressed.bytes)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

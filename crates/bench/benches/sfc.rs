@@ -1,0 +1,76 @@
+//! Criterion bench: space-filling-curve index throughput (the inner loop of
+//! recipe construction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zmesh_sfc::{hilbert_index_2d, Curve, CurveKind};
+
+fn bench_curves(c: &mut Criterion) {
+    let bits = 16;
+    let n: u64 = 1 << 16;
+    let mut g = c.benchmark_group("sfc_index_2d");
+    g.throughput(Throughput::Elements(n));
+    for kind in CurveKind::ALL {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..n {
+                    let x = i & 0xffff;
+                    let y = (i >> 8) & 0xffff;
+                    acc ^= kind.index_2d(black_box(x & 0x7fff), black_box(y & 0x7fff), bits);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sfc_index_3d");
+    g.throughput(Throughput::Elements(n));
+    for kind in CurveKind::ALL {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..n {
+                    acc ^= kind.index_3d(
+                        black_box(i & 0x3ff),
+                        black_box((i >> 3) & 0x3ff),
+                        black_box((i >> 6) & 0x3ff),
+                        10,
+                    );
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+
+    // Skilling reference vs the table-driven fast path used by CurveKind.
+    let mut g = c.benchmark_group("hilbert_impls_2d");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("skilling", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= hilbert_index_2d(black_box(i & 0x7fff), black_box((i >> 8) & 0x7fff), bits);
+            }
+            acc
+        })
+    });
+    g.bench_function("table", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= CurveKind::Hilbert.index_2d(
+                    black_box(i & 0x7fff),
+                    black_box((i >> 8) & 0x7fff),
+                    bits,
+                );
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the a10_sensitivity experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::a10_sensitivity::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the a11_layouts experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::a11_layouts::run(scale);
+}

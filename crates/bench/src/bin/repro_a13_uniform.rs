@@ -1,0 +1,6 @@
+//! Regenerates the a13_uniform experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::a13_uniform::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the a14_entropy experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::a14_entropy::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the a9_ablation experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::a9_ablation::run(scale);
+}

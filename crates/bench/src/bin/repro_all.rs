@@ -1,0 +1,27 @@
+//! Regenerates every table and figure of the evaluation in one run
+//! (the source of the numbers recorded in EXPERIMENTS.md).
+
+use zmesh_bench::experiments as e;
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    println!("# zMesh reproduction — full evaluation (scale: {scale:?})");
+    e::t1_datasets::run(scale);
+    e::f2_smoothness::run(scale);
+    e::f2b_locality::run(scale);
+    e::f3_sz_ratio::run(scale);
+    e::f4_zfp_ratio::run(scale);
+    e::f5_rate_distortion::run(scale);
+    e::t6_error_bound::run(scale);
+    e::f7_overhead::run(scale);
+    e::f8_amortization::run(scale);
+    e::f9_timeseries::run(scale);
+    e::f10_threads::run(scale);
+    e::f11_precision::run(scale);
+    e::a9_ablation::run(scale);
+    e::a10_sensitivity::run(scale);
+    e::a11_layouts::run(scale);
+    e::t12_lossless::run(scale);
+    e::a13_uniform::run(scale);
+    e::a14_entropy::run(scale);
+}

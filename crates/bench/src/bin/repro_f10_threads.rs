@@ -1,0 +1,6 @@
+//! Regenerates the f10_threads experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f10_threads::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the f11_precision experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f11_precision::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the f2_smoothness experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f2_smoothness::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the f2b_locality experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f2b_locality::run(scale);
+}

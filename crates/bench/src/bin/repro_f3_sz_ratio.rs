@@ -1,0 +1,6 @@
+//! Regenerates the f3_sz_ratio experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f3_sz_ratio::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the f4_zfp_ratio experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f4_zfp_ratio::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the f5_rate_distortion experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f5_rate_distortion::run(scale);
+}

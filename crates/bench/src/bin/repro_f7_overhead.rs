@@ -1,0 +1,6 @@
+//! Regenerates the f7_overhead experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f7_overhead::run(scale);
+}

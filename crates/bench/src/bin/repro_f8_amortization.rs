@@ -1,0 +1,6 @@
+//! Regenerates the f8_amortization experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f8_amortization::run(scale);
+}

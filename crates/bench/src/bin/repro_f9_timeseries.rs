@@ -1,0 +1,6 @@
+//! Regenerates the f9_timeseries experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::f9_timeseries::run(scale);
+}

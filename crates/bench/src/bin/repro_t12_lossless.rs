@@ -1,0 +1,6 @@
+//! Regenerates the t12_lossless experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::t12_lossless::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the t1_datasets experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::t1_datasets::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the t6_error_bound experiment (see EXPERIMENTS.md).
+
+fn main() {
+    let scale = zmesh_bench::scale_from_args();
+    zmesh_bench::experiments::t6_error_bound::run(scale);
+}

@@ -1,0 +1,60 @@
+//! F11 — extension experiment: single- vs double-precision source data.
+//!
+//! Production AMR output is commonly f32. At the same *relative* error
+//! bound, the quantization codes are identical, but the raw baseline halves
+//! (4 B/value) while the compressed payload barely changes — so the
+//! reported compression *ratio* roughly halves for f32 sources even though
+//! nothing about the data got harder. This experiment makes that bias
+//! visible and confirms zMesh's gain is precision-independent.
+
+use crate::{eval_datasets, header, row};
+use zmesh::{linearize, OrderingPolicy};
+use zmesh_amr::datasets::Scale;
+use zmesh_codecs::{Codec, CodecParams, ErrorControl, SzCodec, ValueType};
+
+/// Prints ratios for f64 vs f32 sources, baseline vs zMesh.
+pub fn run(scale: Scale) {
+    println!("\n## F11 (extension): f64 vs f32 source data (sz, rel_eb 1e-4)\n");
+    header(&[
+        "dataset",
+        "precision",
+        "baseline_ratio",
+        "zmesh_ratio",
+        "h_gain_%",
+    ]);
+    let codec = SzCodec::new();
+    for ds in eval_datasets(scale).iter() {
+        for vt in [ValueType::F64, ValueType::F32] {
+            let ratio = |policy| {
+                let (mut stream, _) = linearize(ds.primary(), policy);
+                if vt == ValueType::F32 {
+                    for v in &mut stream {
+                        *v = f64::from(*v as f32);
+                    }
+                }
+                // Resolve one relative bound from the (possibly truncated)
+                // stream, shared across policies via determinism.
+                let params = CodecParams {
+                    control: ErrorControl::ValueRangeRelative(1e-4),
+                    dims: [0, 0, 0],
+                    value_type: vt,
+                };
+                let bytes = codec.compress(&stream, &params).expect("compress");
+                (stream.len() * vt.width()) as f64 / bytes.len() as f64
+            };
+            let base = ratio(OrderingPolicy::LevelOrder);
+            let h = ratio(OrderingPolicy::Hilbert);
+            row(&[
+                ds.name.clone(),
+                match vt {
+                    ValueType::F64 => "f64".into(),
+                    ValueType::F32 => "f32".into(),
+                },
+                format!("{base:.2}"),
+                format!("{h:.2}"),
+                format!("{:.1}", 100.0 * (h / base - 1.0)),
+            ]);
+        }
+    }
+    println!("\nshape check: absolute ratios drop for f32 sources (the raw baseline\nhalved), but the zMesh gain percentage is essentially unchanged —\nreordering is precision-independent.");
+}

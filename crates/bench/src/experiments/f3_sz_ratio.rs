@@ -1,0 +1,48 @@
+//! F3 — SZ compression ratio vs error bound, baseline vs zMesh.
+//!
+//! The paper's abstract reports zMesh improving SZ's ratio by up to 133.7 %.
+
+use crate::experiments::compress;
+use crate::{eval_datasets, header, row, EB_SWEEP};
+use zmesh::OrderingPolicy;
+use zmesh_amr::datasets::Scale;
+use zmesh_codecs::CodecKind;
+
+/// Prints the SZ ratio sweep.
+pub fn run(scale: Scale) {
+    run_for(scale, CodecKind::Sz, "F3", "133.7");
+}
+
+pub(crate) fn run_for(scale: Scale, codec: CodecKind, tag: &str, paper_max: &str) {
+    println!(
+        "\n## {tag}: {} compression ratio vs error bound\n",
+        codec.label()
+    );
+    header(&[
+        "dataset", "rel_eb", "baseline", "zorder", "hilbert", "z_gain_%", "h_gain_%",
+    ]);
+    let mut max_gain = f64::NEG_INFINITY;
+    for ds in eval_datasets(scale).iter() {
+        for eb in EB_SWEEP {
+            let base = compress(&ds, OrderingPolicy::LevelOrder, codec, eb).stats.ratio();
+            let z = compress(&ds, OrderingPolicy::ZOrder, codec, eb).stats.ratio();
+            let h = compress(&ds, OrderingPolicy::Hilbert, codec, eb).stats.ratio();
+            let zg = 100.0 * (z / base - 1.0);
+            let hg = 100.0 * (h / base - 1.0);
+            max_gain = max_gain.max(zg).max(hg);
+            row(&[
+                ds.name.clone(),
+                format!("{eb:.0e}"),
+                format!("{base:.2}"),
+                format!("{z:.2}"),
+                format!("{h:.2}"),
+                format!("{zg:.1}"),
+                format!("{hg:.1}"),
+            ]);
+        }
+    }
+    println!(
+        "\nmax {} gain observed: {max_gain:.1} %  (paper: up to {paper_max} %)",
+        codec.label()
+    );
+}

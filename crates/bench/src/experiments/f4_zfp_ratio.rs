@@ -1,0 +1,14 @@
+//! F4 — ZFP compression ratio vs error bound, baseline vs zMesh.
+//!
+//! The paper's abstract reports zMesh improving ZFP's ratio by up to
+//! 16.5 % — a much smaller gain than SZ's, because ZFP's per-block
+//! transform is less sensitive to long-range stream roughness. That
+//! SZ ≫ ZFP gap is the shape this experiment must reproduce.
+
+use zmesh_amr::datasets::Scale;
+use zmesh_codecs::CodecKind;
+
+/// Prints the ZFP ratio sweep.
+pub fn run(scale: Scale) {
+    super::f3_sz_ratio::run_for(scale, CodecKind::Zfp, "F4", "16.5");
+}

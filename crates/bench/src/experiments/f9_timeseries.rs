@@ -1,0 +1,144 @@
+//! F9 — extension experiment: time series on a fixed mesh.
+//!
+//! Long-running applications dump the same quantities every few steps while
+//! the mesh stays fixed between regrids. Two zMesh-relevant effects:
+//!
+//! 1. **recipe reuse in time** — the recipe is a function of the mesh, so
+//!    consecutive dumps pay zero reorder-setup cost until the next regrid;
+//! 2. **temporal deltas** — compressing `u_t − u_{t−1}` (both zMesh-ordered)
+//!    exploits smoothness in *time* on top of the spatial reordering.
+
+use crate::{header, row};
+use std::sync::Arc;
+use std::time::Instant;
+use zmesh::{GroupingMode, OrderingPolicy, RestoreRecipe};
+use zmesh_amr::datasets::Scale;
+use zmesh_amr::solver::diffuse_snapshots;
+use zmesh_amr::{AmrField, Dim, RefineCriterion, StorageMode, TreeBuilder};
+use zmesh_codecs::{Codec, CodecParams, SzCodec};
+
+/// Prints per-step ratios for direct and temporal-delta compression.
+pub fn run(scale: Scale) {
+    println!("\n## F9 (extension): time series on a fixed mesh (diffusion, zmesh-h + sz)\n");
+    let (res, steps, base, levels) = match scale {
+        Scale::Tiny => (64, 240, [16, 16, 1], 2),
+        Scale::Small => (128, 800, [32, 32, 1], 3),
+        Scale::Standard => (256, 2400, [64, 64, 1], 4),
+    };
+    let sources = [([0.25, 0.25], 4.0), ([0.7, 0.6], 2.5), ([0.4, 0.8], 3.0)];
+    let snaps = diffuse_snapshots(res, steps, steps / 8, 1.0, &sources);
+
+    // Regrid once, on the *final* state (plumes fully developed), like an
+    // application that regrids rarely.
+    let last = Arc::new(snaps.last().expect("snapshots").clone());
+    let field_fn = last.as_field();
+    let tree = Arc::new(
+        TreeBuilder::new(Dim::D2, base, levels)
+            .refine_where(RefineCriterion::gradient(field_fn, 0.08).as_fn())
+            .build()
+            .expect("valid refinement"),
+    );
+
+    // The recipe is built once for the whole series.
+    let t = Instant::now();
+    let recipe = RestoreRecipe::build(&tree, OrderingPolicy::Hilbert, GroupingMode::Chained);
+    let recipe_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let codec = SzCodec::new();
+    // One absolute bound for the whole series (resolved from the developed
+    // state), so direct and delta compression face the same target.
+    let abs_eb = {
+        let f = {
+            let g = Arc::clone(&last);
+            g.as_field()
+        };
+        let field = AmrField::sample(Arc::clone(&tree), StorageMode::AllCells, move |p| f(p));
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in field.values() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        1e-4 * (hi - lo)
+    };
+    let params = CodecParams::abs_1d(abs_eb);
+    header(&["step", "direct_ratio", "delta_ratio", "step_ms"]);
+    // Closed-loop delta coding: deltas are taken against the *reconstructed*
+    // previous step, so errors never accumulate beyond the bound.
+    let mut prev_recon: Option<Vec<f64>> = None;
+    for (si, snap) in snaps.iter().enumerate() {
+        let g = Arc::new(snap.clone());
+        let f = g.as_field();
+        let field = AmrField::sample(Arc::clone(&tree), StorageMode::AllCells, move |p| f(p));
+        let t = Instant::now();
+        let stream = recipe.apply(field.values());
+        let direct = codec.compress(&stream, &params).expect("compress").len();
+        let delta_info = prev_recon.as_ref().map(|prev| {
+            let delta: Vec<f64> = stream.iter().zip(prev).map(|(a, b)| a - b).collect();
+            let bytes = codec.compress(&delta, &params).expect("compress");
+            let recon_delta = codec.decompress(&bytes).expect("decompress");
+            let recon: Vec<f64> = prev
+                .iter()
+                .zip(&recon_delta)
+                .map(|(p, d)| p + d)
+                .collect();
+            (bytes.len(), recon)
+        });
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        row(&[
+            si.to_string(),
+            format!("{:.2}", (stream.len() * 8) as f64 / direct as f64),
+            delta_info.as_ref().map_or("-".to_string(), |(d, _)| {
+                format!("{:.2}", (stream.len() * 8) as f64 / *d as f64)
+            }),
+            format!("{ms:.2}"),
+        ]);
+        prev_recon = Some(match delta_info {
+            Some((_, recon)) => recon,
+            None => {
+                // Seed the chain with the reconstruction of the first dump.
+                let bytes = codec.compress(&stream, &params).expect("compress");
+                codec.decompress(&bytes).expect("decompress")
+            }
+        });
+    }
+    println!(
+        "\nrecipe built once for the series: {recipe_ms:.2} ms (amortized over {} dumps).\n\
+         shape check: temporal deltas compress better than direct dumps once the\n\
+         solution evolves slowly.",
+        snaps.len()
+    );
+
+    // Second table: regrid (rebuild tree + recipe) at every dump, like an
+    // application tracking a fast-moving feature. zMesh's setup cost is the
+    // tree+recipe pair; this bounds it from above.
+    println!("\n### regrid every dump (tree + recipe rebuilt per step)\n");
+    header(&["step", "cells", "direct_ratio", "regrid_ms", "compress_ms"]);
+    for (si, snap) in snaps.iter().enumerate() {
+        let g = Arc::new(snap.clone());
+        let f = g.as_field();
+        let t = Instant::now();
+        let step_tree = Arc::new(
+            TreeBuilder::new(Dim::D2, base, levels)
+                .refine_where(RefineCriterion::gradient(g.as_field(), 0.08).as_fn())
+                .build()
+                .expect("valid refinement"),
+        );
+        let step_recipe =
+            RestoreRecipe::build(&step_tree, OrderingPolicy::Hilbert, GroupingMode::Chained);
+        let regrid_ms = t.elapsed().as_secs_f64() * 1e3;
+        let field =
+            AmrField::sample(Arc::clone(&step_tree), StorageMode::AllCells, move |p| f(p));
+        let t = Instant::now();
+        let stream = step_recipe.apply(field.values());
+        let bytes = codec.compress(&stream, &params).expect("compress").len();
+        let compress_ms = t.elapsed().as_secs_f64() * 1e3;
+        row(&[
+            si.to_string(),
+            step_tree.cell_count().to_string(),
+            format!("{:.2}", (stream.len() * 8) as f64 / bytes as f64),
+            format!("{regrid_ms:.2}"),
+            format!("{compress_ms:.2}"),
+        ]);
+    }
+    println!("\nshape check: even rebuilding the tree and recipe every dump, the zMesh\nsetup stays a small multiple of the codec time — and a mesh tracking the\nsolution keeps direct ratios steady where the fixed mesh slowly degrades.");
+}

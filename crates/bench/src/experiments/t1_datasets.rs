@@ -1,0 +1,29 @@
+//! T1 — the dataset inventory table (paper "Table 1").
+
+use crate::{eval_datasets, header, row};
+use zmesh_amr::datasets::Scale;
+use zmesh_amr::{DatasetStats, Dim};
+
+/// Prints per-dataset structure statistics.
+pub fn run(scale: Scale) {
+    println!("\n## T1: evaluation datasets\n");
+    header(&[
+        "dataset", "dim", "levels", "cells", "leaves", "uniform_eq", "amr_saving", "raw_MiB",
+    ]);
+    for ds in eval_datasets(scale).iter() {
+        let s = DatasetStats::compute(&ds.tree);
+        row(&[
+            ds.name.clone(),
+            match ds.tree.dim() {
+                Dim::D2 => "2D".into(),
+                Dim::D3 => "3D".into(),
+            },
+            s.levels.len().to_string(),
+            s.total_cells.to_string(),
+            s.total_leaves.to_string(),
+            s.uniform_equivalent.to_string(),
+            format!("{:.1}x", s.amr_saving()),
+            format!("{:.2}", ds.nbytes() as f64 / (1 << 20) as f64),
+        ]);
+    }
+}

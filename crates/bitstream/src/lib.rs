@@ -1,0 +1,73 @@
+//! # zmesh-bitstream — bit-granular I/O
+//!
+//! Both codecs in this workspace are bit-oriented: the ZFP-style compressor
+//! emits embedded bit planes, and the SZ-style compressor emits Huffman
+//! codes. This crate provides the shared [`BitWriter`] / [`BitReader`] pair.
+//!
+//! Convention: **LSB-first**. `write_bits(v, n)` emits the low `n` bits of
+//! `v`, least-significant bit first; bit `k` of the stream lives in byte
+//! `k / 8` at bit position `k % 8`. A writer followed by a reader therefore
+//! round-trips any sequence of variable-width writes (property-tested).
+
+mod reader;
+mod writer;
+
+pub use reader::{BitReader, BitstreamError};
+pub use writer::BitWriter;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_width_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xdead_beef, 32);
+        w.write_bits(u64::MAX, 64);
+        w.write_bit(false);
+        w.write_bits(5, 3);
+        let total = w.len_bits();
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xdead_beef);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_bits(3).unwrap(), 5);
+        assert_eq!(r.position(), total);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xff, 0);
+        assert_eq!(w.len_bits(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn padding_bits_are_zero() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b0000_0001]);
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn read_bits_or_zero_pads() {
+        let mut r = BitReader::new(&[0b0000_0011]);
+        assert_eq!(r.read_bits_or_zero(16), 3);
+        assert!(r.overran());
+    }
+}

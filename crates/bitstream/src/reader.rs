@@ -1,0 +1,179 @@
+//! LSB-first bit reader.
+
+use std::fmt;
+
+/// Error returned when a read crosses the end of the underlying buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitstreamError {
+    /// Bit position at which the failed read started.
+    pub at_bit: u64,
+    /// Number of bits requested.
+    pub requested: u32,
+    /// Number of bits that were actually available.
+    pub available: u64,
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bitstream underrun at bit {}: requested {} bits, {} available",
+            self.at_bit, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+/// Reads bits LSB-first from a byte slice (the mirror of
+/// [`BitWriter`](crate::BitWriter)).
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit cursor.
+    pos: u64,
+    /// Set once a zero-padded read ran past the end of `data`.
+    overran: bool,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            overran: false,
+        }
+    }
+
+    /// Total number of bits in the underlying buffer.
+    pub fn len_bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    /// Current bit cursor.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits remaining before the end of the buffer.
+    pub fn remaining(&self) -> u64 {
+        self.len_bits().saturating_sub(self.pos)
+    }
+
+    /// Whether any `*_or_zero` read has crossed the end of the buffer.
+    pub fn overran(&self) -> bool {
+        self.overran
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, BitstreamError> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Reads `n` bits (0..=64), returning them in the low bits of the result.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, BitstreamError> {
+        debug_assert!(n <= 64);
+        if u64::from(n) > self.remaining() {
+            return Err(BitstreamError {
+                at_bit: self.pos,
+                requested: n,
+                available: self.remaining(),
+            });
+        }
+        Ok(self.read_bits_unchecked(n))
+    }
+
+    /// Reads `n` bits, treating everything past the end of the buffer as zero
+    /// (matching the decode-side behaviour of budgeted embedded coding, where
+    /// the encoder may have truncated the stream mid-plane).
+    #[inline]
+    pub fn read_bits_or_zero(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let avail = self.remaining();
+        if u64::from(n) <= avail {
+            self.read_bits_unchecked(n)
+        } else {
+            self.overran = true;
+            let got = self.read_bits_unchecked(avail as u32);
+            self.pos += u64::from(n) - avail;
+            got
+        }
+    }
+
+    /// Reads one bit, zero past end.
+    #[inline]
+    pub fn read_bit_or_zero(&mut self) -> bool {
+        self.read_bits_or_zero(1) != 0
+    }
+
+    /// Advances the cursor to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let rem = self.pos % 8;
+        if rem != 0 {
+            self.pos += 8 - rem;
+        }
+    }
+
+    /// Advances the cursor by `n` bits without reading (may move past end).
+    pub fn skip(&mut self, n: u64) {
+        self.pos += n;
+    }
+
+    #[inline]
+    fn read_bits_unchecked(&mut self, n: u32) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte_idx = (self.pos / 8) as usize;
+            let bit_idx = (self.pos % 8) as u32;
+            let take = (8 - bit_idx).min(n - got);
+            let chunk = (u64::from(self.data[byte_idx]) >> bit_idx) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            got += take;
+            self.pos += u64::from(take);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    #[test]
+    fn underrun_error_carries_positions() {
+        let mut r = BitReader::new(&[0xaa]);
+        r.read_bits(6).unwrap();
+        let err = r.read_bits(5).unwrap_err();
+        assert_eq!(err.at_bit, 6);
+        assert_eq!(err.requested, 5);
+        assert_eq!(err.available, 2);
+    }
+
+    #[test]
+    fn skip_and_align() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xffff, 16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.skip(3);
+        r.align_to_byte();
+        assert_eq!(r.position(), 8);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn or_zero_tracks_overrun_cursor() {
+        let mut r = BitReader::new(&[0x01]);
+        assert_eq!(r.read_bits_or_zero(12), 1);
+        assert_eq!(r.position(), 12);
+        assert!(r.overran());
+    }
+}

@@ -1,0 +1,160 @@
+//! LSB-first bit writer.
+
+/// Accumulates bits LSB-first into a byte buffer.
+///
+/// The hot path (`write_bits`) stages bits in a 64-bit accumulator and spills
+/// whole bytes, so per-call cost is a handful of shifts — this matters because
+/// the ZFP-style coder calls it once per bit-plane group.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    acc: u64,
+    /// Number of valid bits currently staged in `acc` (always < 8 after a
+    /// public call returns).
+    nbits: u32,
+    total_bits: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with `bytes` of pre-reserved capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc |= (bit as u64) << self.nbits;
+        self.nbits += 1;
+        self.total_bits += 1;
+        if self.nbits == 8 {
+            self.spill_byte();
+        }
+    }
+
+    /// Appends the low `n` bits of `value`, LSB first. `n` may be 0..=64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        self.total_bits += u64::from(n);
+        let free = 64 - self.nbits;
+        if n <= free {
+            self.acc |= value << self.nbits;
+            self.nbits += n;
+        } else {
+            // Fill the accumulator, flush it entirely, stage the remainder.
+            self.acc |= value << self.nbits;
+            let consumed = free;
+            self.flush_acc_full();
+            self.acc = value >> consumed;
+            self.nbits = n - consumed;
+        }
+        while self.nbits >= 8 {
+            self.spill_byte();
+        }
+    }
+
+    /// Appends `n` zero bits (used for alignment/padding).
+    pub fn write_zeros(&mut self, n: u32) {
+        self.write_bits(0, n);
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let rem = (self.total_bits % 8) as u32;
+        if rem != 0 {
+            self.write_zeros(8 - rem);
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn len_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Finalizes the stream, zero-padding the last partial byte.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        while self.nbits > 0 {
+            self.buf.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits = self.nbits.saturating_sub(8);
+        }
+        self.buf
+    }
+
+    #[inline]
+    fn spill_byte(&mut self) {
+        self.buf.push((self.acc & 0xff) as u8);
+        self.acc >>= 8;
+        self.nbits -= 8;
+    }
+
+    #[inline]
+    fn flush_acc_full(&mut self) {
+        self.buf.extend_from_slice(&self.acc.to_le_bytes());
+        self.acc = 0;
+        self.nbits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_come_out_lsb_first() {
+        let mut w = BitWriter::new();
+        for _ in 0..3 {
+            w.write_bit(true);
+        }
+        w.write_bit(false);
+        w.write_bits(0b1111, 4);
+        assert_eq!(w.into_bytes(), vec![0b1111_0111]);
+    }
+
+    #[test]
+    fn crossing_accumulator_boundary() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 61);
+        w.write_bits(0b101, 3); // crosses the 64-bit accumulator edge
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(bytes[7] >> 5, 0b101);
+    }
+
+    #[test]
+    fn sixty_four_bit_writes() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        assert_eq!(w2_read(&bytes), (true, u64::MAX));
+    }
+
+    fn w2_read(bytes: &[u8]) -> (bool, u64) {
+        let mut r = crate::BitReader::new(bytes);
+        (r.read_bit().unwrap(), r.read_bits(64).unwrap())
+    }
+
+    #[test]
+    fn align_to_byte_is_idempotent() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 3);
+        w.align_to_byte();
+        assert_eq!(w.len_bits(), 8);
+        w.align_to_byte();
+        assert_eq!(w.len_bits(), 8);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property test: any sequence of variable-width writes round-trips.
+
+use proptest::prelude::*;
+use zmesh_bitstream::{BitReader, BitWriter};
+
+proptest! {
+    #[test]
+    fn arbitrary_write_sequences_round_trip(
+        ops in prop::collection::vec((0u32..=64, any::<u64>()), 0..200)
+    ) {
+        let mut w = BitWriter::new();
+        for &(n, v) in &ops {
+            w.write_bits(v, n);
+        }
+        let total = w.len_bits();
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len() as u64, total.div_ceil(8));
+
+        let mut r = BitReader::new(&bytes);
+        for &(n, v) in &ops {
+            let expect = if n == 0 { 0 } else if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            prop_assert_eq!(r.read_bits(n).unwrap(), expect);
+        }
+        prop_assert_eq!(r.position(), total);
+    }
+
+    #[test]
+    fn or_zero_reads_agree_within_bounds(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        widths in prop::collection::vec(1u32..=64, 1..32)
+    ) {
+        let mut strict = BitReader::new(&bytes);
+        let mut padded = BitReader::new(&bytes);
+        for &n in &widths {
+            match strict.read_bits(n) {
+                Ok(v) => prop_assert_eq!(padded.read_bits_or_zero(n), v),
+                Err(_) => {
+                    // Once strict fails, padded must produce the zero-extended tail.
+                    let v = padded.read_bits_or_zero(n);
+                    let avail = 64.min(strict.remaining()) as u32;
+                    if avail < 64 {
+                        prop_assert!(v < (1u64 << avail.max(1)) || avail == 0 && v == 0);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}

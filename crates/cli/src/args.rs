@@ -1,0 +1,103 @@
+//! Minimal flag parsing (no external dependencies).
+
+/// Parsed positional arguments and `--flag value` options.
+pub struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses `argv`; every `--flag` consumes the following token as its
+    /// value.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{flag} needs a value"))?;
+                options.push((flag.to_string(), value.clone()));
+            } else if tok == "-o" {
+                let value = it.next().ok_or("-o needs a value")?;
+                options.push(("output".to_string(), value.clone()));
+            } else {
+                positional.push(tok.clone());
+            }
+        }
+        Ok(Self {
+            positional,
+            options,
+        })
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// An option's value, if present.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A required option.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.option(name)
+            .ok_or_else(|| format!("missing --{name} (or -o for output)"))
+    }
+
+    /// A float-valued option.
+    pub fn float(&self, name: &str) -> Result<Option<f64>, String> {
+        self.option(name)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("--{name}: not a number: {v}")))
+            .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = Args::parse(&argv(&["in.zmd", "-o", "out.zmc", "--codec", "sz"])).unwrap();
+        assert_eq!(a.positional(0, "input").unwrap(), "in.zmd");
+        assert_eq!(a.required("output").unwrap(), "out.zmc");
+        assert_eq!(a.option("codec"), Some("sz"));
+        assert_eq!(a.option("nope"), None);
+        assert!(a.positional(1, "x").is_err());
+    }
+
+    #[test]
+    fn flags_need_values() {
+        assert!(Args::parse(&argv(&["--policy"])).is_err());
+        assert!(Args::parse(&argv(&["-o"])).is_err());
+    }
+
+    #[test]
+    fn floats_parse() {
+        let a = Args::parse(&argv(&["--rel-eb", "1e-4"])).unwrap();
+        assert_eq!(a.float("rel-eb").unwrap(), Some(1e-4));
+        let bad = Args::parse(&argv(&["--rel-eb", "abc"])).unwrap();
+        assert!(bad.float("rel-eb").is_err());
+    }
+
+    #[test]
+    fn last_repeated_flag_wins() {
+        let a = Args::parse(&argv(&["--codec", "sz", "--codec", "zfp"])).unwrap();
+        assert_eq!(a.option("codec"), Some("zfp"));
+    }
+}

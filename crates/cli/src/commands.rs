@@ -1,0 +1,227 @@
+//! The six subcommands.
+
+use crate::args::Args;
+use zmesh::{CompressionConfig, OrderingPolicy, Pipeline};
+use zmesh_amr::datasets::{self, Dataset, Scale};
+use zmesh_amr::{load_dataset, save_dataset, AmrField, DatasetStats, StorageMode};
+use zmesh_codecs::{CodecKind, ErrorControl};
+use zmesh_metrics::ErrorStats;
+
+fn parse_scale(args: &Args) -> Result<Scale, String> {
+    match args.option("scale").unwrap_or("small") {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "standard" => Ok(Scale::Standard),
+        other => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+fn parse_mode(args: &Args) -> Result<StorageMode, String> {
+    match args.option("mode").unwrap_or("all") {
+        "leaf" => Ok(StorageMode::LeafOnly),
+        "all" => Ok(StorageMode::AllCells),
+        other => Err(format!("unknown mode {other:?} (leaf|all)")),
+    }
+}
+
+fn parse_policy(args: &Args) -> Result<OrderingPolicy, String> {
+    match args.option("policy").unwrap_or("hilbert") {
+        "baseline" | "levelorder" => Ok(OrderingPolicy::LevelOrder),
+        "zorder" => Ok(OrderingPolicy::ZOrder),
+        "hilbert" => Ok(OrderingPolicy::Hilbert),
+        other => Err(format!("unknown policy {other:?} (baseline|zorder|hilbert)")),
+    }
+}
+
+fn parse_codec(args: &Args) -> Result<CodecKind, String> {
+    match args.option("codec").unwrap_or("sz") {
+        "sz" => Ok(CodecKind::Sz),
+        "zfp" => Ok(CodecKind::Zfp),
+        other => Err(format!("unknown codec {other:?} (sz|zfp)")),
+    }
+}
+
+fn parse_control(args: &Args) -> Result<ErrorControl, String> {
+    match (args.float("abs-eb")?, args.float("rel-eb")?) {
+        (Some(_), Some(_)) => Err("--abs-eb and --rel-eb are mutually exclusive".into()),
+        (Some(abs), None) => Ok(ErrorControl::Absolute(abs)),
+        (None, Some(rel)) => Ok(ErrorControl::ValueRangeRelative(rel)),
+        (None, None) => Ok(ErrorControl::ValueRangeRelative(1e-4)),
+    }
+}
+
+/// `zmesh generate <preset> -o file.zmd`
+pub fn generate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let preset = args.positional(0, "preset name")?;
+    let out = args.required("output")?;
+    let ds = datasets::by_name(preset, parse_mode(&args)?, parse_scale(&args)?)
+        .ok_or_else(|| {
+            format!(
+                "unknown preset {preset:?}; available: {}",
+                datasets::names().join(", ")
+            )
+        })?;
+    save_dataset(out, &ds).map_err(|e| e.to_string())?;
+    let stats = DatasetStats::compute(&ds.tree);
+    println!(
+        "wrote {out}: {} levels, {} cells, {} quantities, {} bytes raw",
+        stats.levels.len(),
+        stats.total_cells,
+        ds.fields.len(),
+        ds.nbytes()
+    );
+    Ok(())
+}
+
+/// `zmesh compress <in.zmd> -o <out.zmc> [--policy] [--codec] [--rel-eb|--abs-eb]`
+pub fn compress(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "input dataset (.zmd)")?;
+    let out = args.required("output")?;
+    let ds = load_dataset(input).map_err(|e| e.to_string())?;
+    let config = CompressionConfig {
+        policy: parse_policy(&args)?,
+        codec: parse_codec(&args)?,
+        control: parse_control(&args)?,
+    };
+    let fields: Vec<(&str, &AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let compressed = Pipeline::new(config)
+        .compress(&fields)
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out, &compressed.bytes).map_err(|e| e.to_string())?;
+    let s = compressed.stats;
+    println!(
+        "wrote {out}: {} -> {} bytes (ratio {:.2}) | recipe {:.2} ms, reorder {:.2} ms, encode {:.2} ms",
+        s.raw_bytes,
+        s.container_bytes,
+        s.ratio(),
+        s.recipe_ns as f64 / 1e6,
+        s.reorder_ns as f64 / 1e6,
+        s.encode_ns as f64 / 1e6,
+    );
+    Ok(())
+}
+
+/// `zmesh decompress <in.zmc> -o <out.zmd>`
+pub fn decompress(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "input container (.zmc)")?;
+    let out = args.required("output")?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let restored = Pipeline::decompress(&bytes).map_err(|e| e.to_string())?;
+    let ds = Dataset {
+        name: "restored".to_string(),
+        description: String::new(),
+        tree: restored.tree,
+        fields: restored.fields,
+    };
+    save_dataset(out, &ds).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} quantities restored ({:?} ordering, recipe rebuilt in {:.2} ms)",
+        ds.fields.len(),
+        restored.policy,
+        restored.recipe_ns as f64 / 1e6
+    );
+    Ok(())
+}
+
+/// `zmesh extract <in.zmc> --field <name> -o <out.zmd>` — selective decode.
+pub fn extract(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "input container (.zmc)")?;
+    let name = args.required("field")?;
+    let out = args.required("output")?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let (tree, field) = Pipeline::decompress_field(&bytes, name).map_err(|e| {
+        if let Ok(fields) = Pipeline::list_fields(&bytes) {
+            format!("{e} (available: {})", fields.join(", "))
+        } else {
+            e.to_string()
+        }
+    })?;
+    let ds = Dataset {
+        name: name.to_string(),
+        description: String::new(),
+        tree,
+        fields: vec![(name.to_string(), field)],
+    };
+    save_dataset(out, &ds).map_err(|e| e.to_string())?;
+    println!("wrote {out}: field {name:?} ({} values)", ds.fields[0].1.len());
+    Ok(())
+}
+
+/// `zmesh info <file>` — dataset or container, decided by magic.
+pub fn info(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let input = args.positional(0, "input file")?;
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    if bytes.starts_with(zmesh::CONTAINER_MAGIC) {
+        let header = zmesh::ContainerHeader::parse(&bytes).map_err(|e| e.to_string())?;
+        println!(
+            "zMesh container: policy {:?}, codec {}, {} fields, {} bytes total ({} metadata)",
+            header.policy,
+            header.codec.label(),
+            header.fields.len(),
+            bytes.len(),
+            header.header_bytes
+        );
+        for (name, range) in &header.fields {
+            println!("  field {name:?}: {} payload bytes", range.len());
+        }
+    } else {
+        let ds = load_dataset(input).map_err(|e| e.to_string())?;
+        let stats = DatasetStats::compute(&ds.tree);
+        println!(
+            "dataset {:?}: {} levels, {} cells ({} leaves), {} quantities, {} bytes raw",
+            ds.name,
+            stats.levels.len(),
+            stats.total_cells,
+            stats.total_leaves,
+            ds.fields.len(),
+            ds.nbytes()
+        );
+        for l in &stats.levels {
+            println!("  level {}: {} cells, {} leaves", l.level, l.cells, l.leaves);
+        }
+    }
+    Ok(())
+}
+
+/// `zmesh verify <orig.zmd> <restored.zmd> [--rel-eb 1e-4]`
+pub fn verify(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let orig = load_dataset(args.positional(0, "original dataset")?).map_err(|e| e.to_string())?;
+    let rest = load_dataset(args.positional(1, "restored dataset")?).map_err(|e| e.to_string())?;
+    if orig.fields.len() != rest.fields.len() {
+        return Err(format!(
+            "field count mismatch: {} vs {}",
+            orig.fields.len(),
+            rest.fields.len()
+        ));
+    }
+    let rel_eb = args.float("rel-eb")?.unwrap_or(1e-4);
+    let mut ok = true;
+    for ((name, a), (_, b)) in orig.fields.iter().zip(&rest.fields) {
+        if a.len() != b.len() {
+            return Err(format!("field {name:?}: length mismatch"));
+        }
+        let stats = ErrorStats::between(a.values(), b.values());
+        let bound = rel_eb * stats.range;
+        let pass = stats.max_abs <= bound * (1.0 + 1e-9);
+        ok &= pass;
+        println!(
+            "field {name:?}: max_err {:.3e} (bound {:.3e}) psnr {:.1} dB -> {}",
+            stats.max_abs,
+            bound,
+            stats.psnr_db,
+            if pass { "OK" } else { "FAIL" }
+        );
+    }
+    if ok {
+        Ok(())
+    } else {
+        Err("verification failed".into())
+    }
+}

@@ -1,0 +1,67 @@
+//! `zmesh` — command-line front end for the zMesh reproduction.
+//!
+//! ```text
+//! zmesh generate <preset> -o data.zmd [--scale tiny|small|standard] [--mode leaf|all]
+//! zmesh compress data.zmd -o data.zmc [--policy baseline|zorder|hilbert]
+//!                                     [--codec sz|zfp] [--rel-eb 1e-4 | --abs-eb X]
+//! zmesh decompress data.zmc -o restored.zmd
+//! zmesh extract data.zmc --field <name> -o field.zmd
+//! zmesh info <file.zmd | file.zmc>
+//! zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "compress" => commands::compress(rest),
+        "decompress" => commands::decompress(rest),
+        "extract" => commands::extract(rest),
+        "info" => commands::info(rest),
+        "verify" => commands::verify(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown subcommand {other:?}"))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "zmesh — AMR reordering for better lossy compression\n\n\
+         usage:\n\
+         \x20 zmesh generate <preset> -o data.zmd [--scale tiny|small|standard] [--mode leaf|all]\n\
+         \x20 zmesh compress data.zmd -o data.zmc [--policy baseline|zorder|hilbert]\n\
+         \x20                                     [--codec sz|zfp] [--rel-eb 1e-4 | --abs-eb X]\n\
+         \x20 zmesh decompress data.zmc -o restored.zmd\n\
+         \x20 zmesh extract data.zmc --field <name> -o field.zmd\n\
+         \x20 zmesh info <file.zmd | file.zmc>\n\
+         \x20 zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]\n\n\
+         presets: {}",
+        zmesh_amr::datasets::names().join(", ")
+    );
+}

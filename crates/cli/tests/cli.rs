@@ -1,0 +1,149 @@
+//! End-to-end CLI tests: drive the real binary through the full
+//! generate → compress → decompress → verify flow.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn zmesh() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_zmesh"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zmesh_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+#[test]
+fn full_workflow() {
+    let zmd = tmp("blast.zmd");
+    let zmc = tmp("blast.zmc");
+    let restored = tmp("restored.zmd");
+
+    let out = zmesh()
+        .args(["generate", "blast2d", "-o", zmd.to_str().unwrap(), "--scale", "tiny"])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(zmd.exists());
+
+    let out = zmesh()
+        .args([
+            "compress",
+            zmd.to_str().unwrap(),
+            "-o",
+            zmc.to_str().unwrap(),
+            "--policy",
+            "hilbert",
+            "--codec",
+            "sz",
+            "--rel-eb",
+            "1e-4",
+        ])
+        .output()
+        .expect("run compress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ratio"), "no ratio in: {stdout}");
+
+    let out = zmesh()
+        .args(["decompress", zmc.to_str().unwrap(), "-o", restored.to_str().unwrap()])
+        .output()
+        .expect("run decompress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = zmesh()
+        .args([
+            "verify",
+            zmd.to_str().unwrap(),
+            restored.to_str().unwrap(),
+            "--rel-eb",
+            "1e-4",
+        ])
+        .output()
+        .expect("run verify");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    // Tighter bound than we compressed with must fail verification.
+    let out = zmesh()
+        .args([
+            "verify",
+            zmd.to_str().unwrap(),
+            restored.to_str().unwrap(),
+            "--rel-eb",
+            "1e-9",
+        ])
+        .output()
+        .expect("run verify");
+    assert!(!out.status.success(), "too-tight verify should fail");
+
+    // Info on both artifact kinds.
+    for f in [&zmd, &zmc] {
+        let out = zmesh().args(["info", f.to_str().unwrap()]).output().expect("run info");
+        assert!(out.status.success());
+    }
+
+    // Selective extraction of one field.
+    let extracted = tmp("density.zmd");
+    let out = zmesh()
+        .args([
+            "extract",
+            zmc.to_str().unwrap(),
+            "--field",
+            "density",
+            "-o",
+            extracted.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run extract");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(extracted.exists());
+    // Unknown field lists the available ones.
+    let out = zmesh()
+        .args(["extract", zmc.to_str().unwrap(), "--field", "nope", "-o", "/dev/null"])
+        .output()
+        .expect("run extract");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("available"));
+
+    for f in [zmd, zmc, restored, extracted] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Unknown subcommand.
+    let out = zmesh().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    // Unknown preset.
+    let out = zmesh()
+        .args(["generate", "nope", "-o", "/dev/null"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+    // Missing file.
+    let out = zmesh()
+        .args(["info", "/nonexistent/zmesh/file.zmd"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    // Conflicting bounds.
+    let out = zmesh()
+        .args([
+            "compress", "x.zmd", "-o", "y.zmc", "--abs-eb", "1", "--rel-eb", "1e-4",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_lists_presets() {
+    let out = zmesh().args(["--help"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("front2d") && text.contains("cluster3d"));
+}

@@ -1,0 +1,324 @@
+//! Canonical Huffman coding over `u16` symbols.
+//!
+//! This is the entropy coder behind the SZ-style codec: quantization codes
+//! concentrate on a few symbols when the stream is smooth (exactly the effect
+//! zMesh's reordering amplifies), so Huffman converts smoothness into ratio.
+//!
+//! The table is transmitted as canonical code lengths only. Code lengths are
+//! limited to [`MAX_CODE_LEN`] by iterative frequency flattening, which keeps
+//! the decoder's canonical tables small.
+
+use crate::{varint, CodecError};
+use zmesh_bitstream::{BitReader, BitWriter};
+
+/// Upper limit on code length; 32 suffices for any realistic distribution.
+pub const MAX_CODE_LEN: u32 = 32;
+
+/// Computes Huffman code lengths for `freqs` (indexed by symbol), limited to
+/// [`MAX_CODE_LEN`]. Symbols with zero frequency get length 0.
+fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let mut freqs = freqs.to_vec();
+    loop {
+        let lens = unrestricted_code_lengths(&freqs);
+        if lens.iter().all(|&l| l <= MAX_CODE_LEN) {
+            return lens;
+        }
+        // Flatten the distribution and retry; converges because repeated
+        // halving drives all nonzero frequencies toward 1.
+        for f in freqs.iter_mut().filter(|f| **f > 0) {
+            *f = (*f / 2).max(1);
+        }
+    }
+}
+
+/// Standard two-queue/heap Huffman construction returning code lengths.
+fn unrestricted_code_lengths(freqs: &[u64]) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let present: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let mut lens = vec![0u32; freqs.len()];
+    match present.len() {
+        0 => return lens,
+        1 => {
+            // A single symbol still needs one bit on the wire.
+            lens[present[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Nodes: leaves are (freq, id<n), internal nodes get ids >= n.
+    let n = freqs.len();
+    let mut parent = vec![usize::MAX; n + present.len()];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = present
+        .iter()
+        .map(|&s| Reverse((freqs[s], s)))
+        .collect();
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().expect("heap len > 1");
+        let Reverse((fb, b)) = heap.pop().expect("heap len > 1");
+        parent[a] = next_id;
+        parent[b] = next_id;
+        heap.push(Reverse((fa + fb, next_id)));
+        next_id += 1;
+    }
+    let root = heap.pop().expect("root").0 .1;
+    for &s in &present {
+        let mut depth = 0;
+        let mut node = s;
+        while node != root {
+            node = parent[node];
+            depth += 1;
+        }
+        lens[s] = depth;
+    }
+    lens
+}
+
+/// Canonical code assignment: codes ordered by (length, symbol).
+/// Returns `(code, len)` per symbol; MSB-first code values.
+fn canonical_codes(lens: &[u32]) -> Vec<(u32, u32)> {
+    let mut order: Vec<usize> = (0..lens.len()).filter(|&s| lens[s] > 0).collect();
+    order.sort_by_key(|&s| (lens[s], s));
+    let mut codes = vec![(0u32, 0u32); lens.len()];
+    let mut code = 0u32;
+    let mut prev_len = 0u32;
+    for &s in &order {
+        code <<= lens[s] - prev_len;
+        codes[s] = (code, lens[s]);
+        prev_len = lens[s];
+        code += 1;
+    }
+    codes
+}
+
+/// Reverses the low `len` bits of `code` so that writing LSB-first emits the
+/// canonical code MSB-first.
+#[inline]
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    code.reverse_bits() >> (32 - len)
+}
+
+/// Encodes `symbols` with a canonical Huffman code; self-describing buffer.
+pub fn encode(symbols: &[u16]) -> Vec<u8> {
+    let max_sym = symbols.iter().copied().max().map_or(0, usize::from);
+    let mut freqs = vec![0u64; max_sym + 1];
+    for &s in symbols {
+        freqs[usize::from(s)] += 1;
+    }
+    let lens = code_lengths(&freqs);
+    let codes = canonical_codes(&lens);
+
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, symbols.len() as u64);
+    // Table: count of present symbols, then (symbol, len) pairs with
+    // delta-coded symbols (present symbols are emitted in increasing order).
+    let present: Vec<usize> = (0..lens.len()).filter(|&s| lens[s] > 0).collect();
+    varint::write_u64(&mut out, present.len() as u64);
+    let mut prev = 0u64;
+    for &s in &present {
+        varint::write_u64(&mut out, s as u64 - prev);
+        out.push(lens[s] as u8);
+        prev = s as u64;
+    }
+
+    let mut w = BitWriter::with_capacity(symbols.len() / 2);
+    for &s in symbols {
+        let (code, len) = codes[usize::from(s)];
+        w.write_bits(u64::from(reverse_bits(code, len)), len);
+    }
+    let payload = w.into_bytes();
+    varint::write_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decoder tables for a canonical code.
+struct CanonicalDecoder {
+    /// `first_code[len]`: canonical code value of the first code of `len` bits.
+    first_code: Vec<u32>,
+    /// `first_index[len]`: index into `sorted_symbols` of that first code.
+    first_index: Vec<u32>,
+    /// `count[len]`: number of codes with this length.
+    count: Vec<u32>,
+    /// Symbols sorted by (length, symbol).
+    sorted_symbols: Vec<u16>,
+    max_len: u32,
+}
+
+impl CanonicalDecoder {
+    fn new(lens_by_symbol: &[(u16, u32)]) -> Result<Self, CodecError> {
+        let max_len = lens_by_symbol.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        if max_len > MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("huffman code length too large"));
+        }
+        let mut count = vec![0u32; (max_len + 2) as usize];
+        for &(_, l) in lens_by_symbol {
+            count[l as usize] += 1;
+        }
+        let mut sorted: Vec<(u16, u32)> = lens_by_symbol.to_vec();
+        sorted.sort_by_key(|&(s, l)| (l, s));
+        let sorted_symbols: Vec<u16> = sorted.iter().map(|&(s, _)| s).collect();
+
+        let mut first_code = vec![0u32; (max_len + 2) as usize];
+        let mut first_index = vec![0u32; (max_len + 2) as usize];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=max_len {
+            code <<= 1;
+            first_code[len as usize] = code;
+            first_index[len as usize] = index;
+            let c = count[len as usize];
+            // Kraft check: codes of this length must fit.
+            if u64::from(code) + u64::from(c) > (1u64 << len) {
+                return Err(CodecError::Corrupt("huffman table violates Kraft"));
+            }
+            code += c;
+            index += c;
+        }
+        Ok(Self {
+            first_code,
+            first_index,
+            count,
+            sorted_symbols,
+            max_len,
+        })
+    }
+
+    fn decode_one(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len {
+            code = (code << 1)
+                | (r.read_bit().map_err(|_| CodecError::Corrupt("huffman underrun"))? as u32);
+            let c = self.count[len as usize];
+            if c > 0 {
+                let first = self.first_code[len as usize];
+                if code < first + c {
+                    if code < first {
+                        return Err(CodecError::Corrupt("huffman invalid code"));
+                    }
+                    let idx = self.first_index[len as usize] + (code - first);
+                    return Ok(self.sorted_symbols[idx as usize]);
+                }
+            }
+        }
+        Err(CodecError::Corrupt("huffman code exceeds max length"))
+    }
+}
+
+/// Decodes a buffer produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<u16>, CodecError> {
+    let mut pos = 0;
+    let n_symbols = varint::read_u64(bytes, &mut pos)? as usize;
+    let n_present = varint::read_u64(bytes, &mut pos)? as usize;
+    if n_symbols > 0 && n_present == 0 {
+        return Err(CodecError::Corrupt("huffman empty table"));
+    }
+    let mut lens_by_symbol = Vec::with_capacity(n_present);
+    let mut sym = 0u64;
+    for i in 0..n_present {
+        let delta = varint::read_u64(bytes, &mut pos)?;
+        sym = if i == 0 { delta } else { sym + delta };
+        if sym > u64::from(u16::MAX) {
+            return Err(CodecError::Corrupt("huffman symbol out of range"));
+        }
+        let len = *bytes
+            .get(pos)
+            .ok_or(CodecError::Corrupt("huffman table past end"))?;
+        pos += 1;
+        if len == 0 {
+            return Err(CodecError::Corrupt("huffman zero code length"));
+        }
+        lens_by_symbol.push((sym as u16, u32::from(len)));
+    }
+    let payload_len = varint::read_u64(bytes, &mut pos)? as usize;
+    let payload = varint::read_bytes(bytes, &mut pos, payload_len)?;
+
+    if n_symbols == 0 {
+        return Ok(Vec::new());
+    }
+    let decoder = CanonicalDecoder::new(&lens_by_symbol)?;
+    let mut r = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n_symbols);
+    for _ in 0..n_symbols {
+        out.push(decoder.decode_one(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn single_symbol_round_trip() {
+        let symbols = vec![7u16; 100];
+        let enc = encode(&symbols);
+        assert_eq!(decode(&enc).unwrap(), symbols);
+        // 100 copies of one symbol should cost ~1 bit each plus a tiny table.
+        assert!(enc.len() < 30, "len = {}", enc.len());
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        let mut symbols = vec![0u16; 10_000];
+        for (i, s) in symbols.iter_mut().enumerate() {
+            if i % 100 == 0 {
+                *s = (i % 7) as u16 + 1;
+            }
+        }
+        let enc = encode(&symbols);
+        assert_eq!(decode(&enc).unwrap(), symbols);
+        assert!(enc.len() < 10_000 / 4, "len = {}", enc.len());
+    }
+
+    #[test]
+    fn uniform_distribution_round_trips() {
+        let symbols: Vec<u16> = (0..4096u32).map(|i| (i % 256) as u16).collect();
+        assert_eq!(decode(&encode(&symbols)).unwrap(), symbols);
+    }
+
+    #[test]
+    fn wide_alphabet_round_trips() {
+        let symbols: Vec<u16> = (0..u16::MAX).step_by(7).collect();
+        assert_eq!(decode(&encode(&symbols)).unwrap(), symbols);
+    }
+
+    #[test]
+    fn code_lengths_are_kraft_valid() {
+        let freqs: Vec<u64> = (1..=40).map(|i| 1u64 << (i % 30)).collect();
+        let lens = code_lengths(&freqs);
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft = {kraft}");
+        assert!(lens.iter().all(|&l| l <= MAX_CODE_LEN));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let symbols: Vec<u16> = (0..100).map(|i| (i % 5) as u16).collect();
+        let enc = encode(&symbols);
+        for cut in [enc.len() - 1, enc.len() / 2, 3] {
+            assert!(decode(&enc[..cut]).is_err(), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn two_symbols_cost_one_bit_each() {
+        let symbols: Vec<u16> = (0..800).map(|i| (i & 1) as u16).collect();
+        let enc = encode(&symbols);
+        // 800 bits = 100 bytes payload + small header.
+        assert!(enc.len() < 120, "len = {}", enc.len());
+        assert_eq!(decode(&enc).unwrap(), symbols);
+    }
+}

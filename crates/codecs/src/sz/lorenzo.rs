@@ -1,0 +1,176 @@
+//! Multi-dimensional Lorenzo prediction for uniform grids.
+//!
+//! The 1-D stream path (what zMesh feeds) lives in the parent module; this
+//! module adds the classic SZ treatment of *uniform* 2-D/3-D grids, where
+//! each value is predicted from its already-reconstructed neighbors with
+//! the Lorenzo stencil:
+//!
+//! * 2-D: `x̂(i,j) = x(i-1,j) + x(i,j-1) − x(i-1,j-1)`
+//! * 3-D: the 7-term inclusion–exclusion stencil over the unit cube corner.
+//!
+//! Out-of-domain neighbors read as 0 (SZ's convention). Prediction always
+//! uses reconstructed values so encoder and decoder agree exactly.
+
+use super::quantizer::{QuantOutcome, Quantizer, ESCAPE};
+
+/// Encodes a row-major grid, producing quantization symbols and the
+/// verbatim escape values.
+pub fn encode(
+    data: &[f64],
+    grid: [usize; 3],
+    dims: usize,
+    quant: &Quantizer,
+) -> (Vec<u16>, Vec<f64>) {
+    debug_assert_eq!(data.len(), grid[0] * grid[1] * grid[2]);
+    let mut symbols = Vec::with_capacity(data.len());
+    let mut exact = Vec::new();
+    let mut recon = vec![0.0f64; data.len()];
+    let (nx, ny, nz) = (grid[0], grid[1], grid[2]);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let idx = (z * ny + y) * nx + x;
+                let pred = predict(&recon, nx, ny, dims, x, y, z);
+                match quant.quantize(data[idx], pred) {
+                    QuantOutcome::Code { symbol, recon: r } => {
+                        symbols.push(symbol);
+                        recon[idx] = r;
+                    }
+                    QuantOutcome::Escape => {
+                        symbols.push(ESCAPE);
+                        exact.push(data[idx]);
+                        recon[idx] = data[idx];
+                    }
+                }
+            }
+        }
+    }
+    (symbols, exact)
+}
+
+/// Decodes symbols produced by [`encode`].
+pub fn decode(
+    symbols: &[u16],
+    exact: &[f64],
+    grid: [usize; 3],
+    dims: usize,
+    quant: &Quantizer,
+) -> Option<Vec<f64>> {
+    let n = grid[0] * grid[1] * grid[2];
+    if symbols.len() != n {
+        return None;
+    }
+    let mut recon = vec![0.0f64; n];
+    let (nx, ny, nz) = (grid[0], grid[1], grid[2]);
+    let mut exact_iter = exact.iter();
+    let mut si = 0;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let idx = (z * ny + y) * nx + x;
+                let s = symbols[si];
+                si += 1;
+                recon[idx] = if s == ESCAPE {
+                    *exact_iter.next()?
+                } else {
+                    let pred = predict(&recon, nx, ny, dims, x, y, z);
+                    quant.reconstruct(s, pred)
+                };
+            }
+        }
+    }
+    if exact_iter.next().is_some() {
+        return None;
+    }
+    Some(recon)
+}
+
+/// Lorenzo prediction from reconstructed neighbors (0 outside the domain).
+#[inline]
+fn predict(recon: &[f64], nx: usize, ny: usize, dims: usize, x: usize, y: usize, z: usize) -> f64 {
+    let at = |dx: usize, dy: usize, dz: usize| -> f64 {
+        if x < dx || y < dy || z < dz {
+            return 0.0;
+        }
+        recon[((z - dz) * ny + (y - dy)) * nx + (x - dx)]
+    };
+    match dims {
+        2 => at(1, 0, 0) + at(0, 1, 0) - at(1, 1, 0),
+        3 => {
+            at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1)
+                + at(1, 1, 1)
+        }
+        _ => unreachable!("lorenzo is for 2-D/3-D"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[f64], grid: [usize; 3], dims: usize, eb: f64) {
+        let quant = Quantizer::new(eb);
+        let (symbols, exact) = encode(data, grid, dims, &quant);
+        let out = decode(&symbols, &exact, grid, dims, &quant).expect("decode");
+        for (i, (&a, &b)) in data.iter().zip(&out).enumerate() {
+            assert!((a - b).abs() <= eb * (1.0 + 1e-12), "index {i}");
+        }
+    }
+
+    #[test]
+    fn planes_are_predicted_exactly() {
+        // A bilinear-free plane a + b·x + c·y is annihilated by the 2-D
+        // Lorenzo stencil -> every residual (after warm-up) is tiny.
+        let (nx, ny) = (32, 24);
+        let data: Vec<f64> = (0..nx * ny)
+            .map(|i| {
+                let (x, y) = (i % nx, i / nx);
+                1.0 + 0.5 * x as f64 - 0.25 * y as f64
+            })
+            .collect();
+        let quant = Quantizer::new(1e-3);
+        let (symbols, exact) = encode(&data, [nx, ny, 1], 2, &quant);
+        assert!(exact.len() <= 2, "plane should rarely escape");
+        // Most symbols are the zero code.
+        let zero = (crate::sz::quantizer::RADIUS) as u16;
+        let zeros = symbols.iter().filter(|&&s| s == zero).count();
+        assert!(zeros * 10 >= symbols.len() * 9, "{zeros}/{}", symbols.len());
+        round_trip(&data, [nx, ny, 1], 2, 1e-3);
+    }
+
+    #[test]
+    fn trilinear_fields_are_predicted_exactly_3d() {
+        let (nx, ny, nz) = (10, 9, 8);
+        let data: Vec<f64> = (0..nx * ny * nz)
+            .map(|i| {
+                let x = i % nx;
+                let y = (i / nx) % ny;
+                let z = i / (nx * ny);
+                2.0 + x as f64 - 0.5 * y as f64 + 0.25 * z as f64
+            })
+            .collect();
+        round_trip(&data, [nx, ny, nz], 3, 1e-4);
+    }
+
+    #[test]
+    fn rough_grids_stay_bounded() {
+        let (nx, ny) = (31, 17); // non-power-of-two on purpose
+        let mut s = 5u64;
+        let data: Vec<f64> = (0..nx * ny)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+            })
+            .collect();
+        round_trip(&data, [nx, ny, 1], 2, 1e-2);
+        round_trip(&data, [nx, ny, 1], 2, 10.0);
+    }
+
+    #[test]
+    fn decode_rejects_bad_shapes() {
+        let quant = Quantizer::new(0.1);
+        assert!(decode(&[0; 5], &[], [2, 2, 1], 2, &quant).is_none());
+        // Missing exact value for an escape symbol.
+        assert!(decode(&[ESCAPE; 4], &[1.0], [2, 2, 1], 2, &quant).is_none());
+    }
+}

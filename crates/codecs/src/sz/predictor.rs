@@ -1,0 +1,206 @@
+//! Stream predictors for the SZ-style codec.
+//!
+//! All predictors run on *reconstructed* values so the encoder and decoder
+//! agree bit-for-bit. At the start of the stream, higher-order predictors
+//! gracefully degrade (quadratic → linear → last-value → 0) until enough
+//! history exists.
+
+/// Rolling window of the last three reconstructed values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct History {
+    vals: [f64; 3],
+    len: usize,
+}
+
+impl History {
+    /// Empty history (start of stream).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a newly reconstructed value.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.vals[2] = self.vals[1];
+        self.vals[1] = self.vals[0];
+        self.vals[0] = x;
+        self.len = (self.len + 1).min(3);
+    }
+
+    /// Number of valid history entries (0..=3).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether any history exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn prev(&self, k: usize) -> f64 {
+        debug_assert!(k < self.len);
+        self.vals[k]
+    }
+}
+
+/// The three SZ "curve-fitting" predictors along the 1-D stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predictor {
+    /// `x̂ = x[-1]` (1-D Lorenzo).
+    Last,
+    /// `x̂ = 2 x[-1] - x[-2]`.
+    Linear,
+    /// `x̂ = 3 x[-1] - 3 x[-2] + x[-3]`.
+    Quadratic,
+}
+
+impl Predictor {
+    /// All predictors, in selection order.
+    pub const ALL: [Predictor; 3] = [Predictor::Last, Predictor::Linear, Predictor::Quadratic];
+
+    /// Stream tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Predictor::Last => 0,
+            Predictor::Linear => 1,
+            Predictor::Quadratic => 2,
+        }
+    }
+
+    /// Inverse of [`Predictor::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Predictor::Last),
+            1 => Some(Predictor::Linear),
+            2 => Some(Predictor::Quadratic),
+            _ => None,
+        }
+    }
+
+    /// Predicts the next value from reconstructed history, degrading
+    /// gracefully when fewer than the required samples exist.
+    #[inline]
+    pub fn predict(&self, h: &History) -> f64 {
+        let order = match self {
+            Predictor::Last => 1,
+            Predictor::Linear => 2,
+            Predictor::Quadratic => 3,
+        };
+        match order.min(h.len()) {
+            0 => 0.0,
+            1 => h.prev(0),
+            2 => 2.0 * h.prev(0) - h.prev(1),
+            _ => 3.0 * h.prev(0) - 3.0 * h.prev(1) + h.prev(2),
+        }
+    }
+
+    /// Selects the predictor with the smallest total absolute residual over
+    /// `block`, seeding history with `seed` (the reconstruction state at the
+    /// chunk boundary). Selection uses the original values as a stand-in for
+    /// reconstructed ones — the standard SZ approximation; correctness never
+    /// depends on the choice, only ratio does.
+    ///
+    /// `eb` is used to short-circuit: residuals below the bound are free.
+    pub fn select(block: &[f64], seed: &History, eb: f64) -> Predictor {
+        let mut best = Predictor::Last;
+        let mut best_cost = f64::INFINITY;
+        for p in Predictor::ALL {
+            let mut h = *seed;
+            let mut cost = 0.0;
+            for &x in block {
+                let r = (x - p.predict(&h)).abs();
+                if r.is_finite() {
+                    cost += (r - eb).max(0.0);
+                } else {
+                    cost += 1e30; // escapes are expensive
+                }
+                h.push(x);
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_of(vals: &[f64]) -> History {
+        let mut h = History::new();
+        for &v in vals {
+            h.push(v);
+        }
+        h
+    }
+
+    #[test]
+    fn history_window_rolls() {
+        let h = history_of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.prev(0), 4.0);
+        assert_eq!(h.prev(1), 3.0);
+        assert_eq!(h.prev(2), 2.0);
+    }
+
+    #[test]
+    fn predictors_are_exact_on_their_polynomials() {
+        // Constant: all predictors exact.
+        let h = history_of(&[5.0, 5.0, 5.0]);
+        for p in Predictor::ALL {
+            assert_eq!(p.predict(&h), 5.0, "{p:?}");
+        }
+        // Linear ramp: linear and quadratic exact.
+        let h = history_of(&[1.0, 2.0, 3.0]);
+        assert_eq!(Predictor::Linear.predict(&h), 4.0);
+        assert_eq!(Predictor::Quadratic.predict(&h), 4.0);
+        // Parabola t^2 at t = 1, 2, 3 -> predicts 16 at t = 4.
+        let h = history_of(&[1.0, 4.0, 9.0]);
+        assert_eq!(Predictor::Quadratic.predict(&h), 16.0);
+    }
+
+    #[test]
+    fn degradation_with_short_history() {
+        let empty = History::new();
+        for p in Predictor::ALL {
+            assert_eq!(p.predict(&empty), 0.0);
+        }
+        let one = history_of(&[7.0]);
+        assert_eq!(Predictor::Quadratic.predict(&one), 7.0);
+        let two = history_of(&[1.0, 3.0]);
+        assert_eq!(Predictor::Quadratic.predict(&two), 5.0);
+    }
+
+    #[test]
+    fn selection_picks_the_matching_model() {
+        let ramp: Vec<f64> = (0..100).map(|i| 2.0 * f64::from(i)).collect();
+        assert_eq!(
+            Predictor::select(&ramp, &History::new(), 0.0),
+            Predictor::Linear
+        );
+        let parab: Vec<f64> = (0..100).map(|i| f64::from(i * i)).collect();
+        assert_eq!(
+            Predictor::select(&parab, &History::new(), 0.0),
+            Predictor::Quadratic
+        );
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for p in Predictor::ALL {
+            assert_eq!(Predictor::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Predictor::from_tag(9), None);
+    }
+
+    #[test]
+    fn selection_handles_non_finite() {
+        let block = [1.0, f64::INFINITY, 2.0];
+        // Must not panic; any predictor is acceptable.
+        let _ = Predictor::select(&block, &History::new(), 1e-3);
+    }
+}

@@ -1,0 +1,268 @@
+//! The codec abstraction shared by SZ, ZFP, and the pipeline.
+
+use std::fmt;
+
+/// How the lossy codec's distortion is controlled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorControl {
+    /// Pointwise absolute error bound: `|x - x̂| <= bound` for every value.
+    Absolute(f64),
+    /// Error bound relative to the data's value range:
+    /// `|x - x̂| <= rel * (max - min)`. Resolved to an absolute bound at
+    /// compression time (the resolved bound is stored in the stream header).
+    ValueRangeRelative(f64),
+    /// Fixed rate in bits per value (ZFP only); no error guarantee.
+    FixedRate(f64),
+    /// Fixed number of bit planes kept per block (ZFP only, 1..=64);
+    /// relative-accuracy-style control, no absolute guarantee.
+    FixedPrecision(u32),
+}
+
+impl ErrorControl {
+    /// Resolves this control to an absolute bound for the given data.
+    /// Returns `None` for [`ErrorControl::FixedRate`].
+    pub fn absolute_bound(&self, data: &[f64]) -> Option<f64> {
+        match *self {
+            ErrorControl::Absolute(b) => Some(b),
+            ErrorControl::ValueRangeRelative(r) => {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &x in data {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                let range = if lo <= hi { hi - lo } else { 0.0 };
+                Some(r * range)
+            }
+            ErrorControl::FixedRate(_) | ErrorControl::FixedPrecision(_) => None,
+        }
+    }
+}
+
+/// Precision of the *source* data. Values always travel as `f64` through
+/// the API; `F32` tells the codec the payload originated as single
+/// precision, so reconstructed values are snapped to `f32` (keeping the
+/// error bound, which the quantizer re-verifies after snapping) and
+/// verbatim escapes are stored in 4 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValueType {
+    /// Double-precision source data.
+    #[default]
+    F64,
+    /// Single-precision source data (half-size escapes, snapped output).
+    F32,
+}
+
+impl ValueType {
+    /// Stream tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ValueType::F64 => 0,
+            ValueType::F32 => 1,
+        }
+    }
+
+    /// Inverse of [`ValueType::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(ValueType::F64),
+            1 => Some(ValueType::F32),
+            _ => None,
+        }
+    }
+
+    /// Bytes per raw value of this type.
+    pub fn width(&self) -> usize {
+        match self {
+            ValueType::F64 => 8,
+            ValueType::F32 => 4,
+        }
+    }
+}
+
+/// Parameters handed to a codec's `compress`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecParams {
+    /// Distortion control.
+    pub control: ErrorControl,
+    /// Logical dimensionality of the stream (1 for zMesh-linearized data;
+    /// 2/3 let ZFP use square/cubic blocks on uniform grids).
+    pub dims: [usize; 3],
+    /// Source precision (affects escape storage and output snapping).
+    pub value_type: ValueType,
+}
+
+impl CodecParams {
+    /// 1-D stream with a pointwise absolute error bound — the configuration
+    /// used by the zMesh pipeline.
+    pub fn abs_1d(bound: f64) -> Self {
+        Self {
+            control: ErrorControl::Absolute(bound),
+            dims: [0, 0, 0],
+            value_type: ValueType::F64,
+        }
+    }
+
+    /// 1-D stream with a value-range-relative bound.
+    pub fn rel_1d(rel: f64) -> Self {
+        Self {
+            control: ErrorControl::ValueRangeRelative(rel),
+            dims: [0, 0, 0],
+            value_type: ValueType::F64,
+        }
+    }
+
+    /// Marks the source data as single precision.
+    pub fn as_f32(mut self) -> Self {
+        self.value_type = ValueType::F32;
+        self
+    }
+
+    /// Explicit 2-D grid (nx fastest-varying).
+    pub fn with_dims_2d(mut self, nx: usize, ny: usize) -> Self {
+        self.dims = [nx, ny, 0];
+        self
+    }
+
+    /// Explicit 3-D grid (nx fastest-varying).
+    pub fn with_dims_3d(mut self, nx: usize, ny: usize, nz: usize) -> Self {
+        self.dims = [nx, ny, nz];
+        self
+    }
+
+    /// Effective dimensionality implied by `dims`.
+    pub fn dimensionality(&self) -> usize {
+        match self.dims {
+            [0, 0, 0] => 1,
+            [_, _, 0] => 2,
+            _ => 3,
+        }
+    }
+}
+
+/// Errors produced by compression or decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The requested error bound is not positive/finite.
+    InvalidBound(f64),
+    /// Input contains NaN/Inf and the codec cannot represent it.
+    NonFiniteInput { index: usize },
+    /// `ValueType::F32` was requested but a value is not representable in
+    /// single precision.
+    NotSinglePrecision { index: usize },
+    /// Declared dims do not match the data length.
+    DimsMismatch { expected: usize, actual: usize },
+    /// The compressed stream is malformed.
+    Corrupt(&'static str),
+    /// The compressed stream was produced by a different codec/version.
+    WrongMagic,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidBound(b) => write!(f, "invalid error bound: {b}"),
+            CodecError::NonFiniteInput { index } => {
+                write!(f, "non-finite input value at index {index}")
+            }
+            CodecError::NotSinglePrecision { index } => {
+                write!(f, "value at index {index} is not representable as f32")
+            }
+            CodecError::DimsMismatch { expected, actual } => {
+                write!(f, "dims imply {expected} values but stream has {actual}")
+            }
+            CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            CodecError::WrongMagic => write!(f, "stream magic/version mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An error-bounded lossy codec over `f64` streams.
+pub trait Codec {
+    /// Compresses `data` under `params`, returning a self-describing buffer.
+    fn compress(&self, data: &[f64], params: &CodecParams) -> Result<Vec<u8>, CodecError>;
+
+    /// Decompresses a buffer produced by [`Codec::compress`].
+    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f64>, CodecError>;
+
+    /// Stable identifier for harness output.
+    fn kind(&self) -> CodecKind;
+}
+
+/// Identifies a codec in harness output and container headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecKind {
+    /// The SZ-style predictive codec.
+    Sz,
+    /// The ZFP-style transform codec.
+    Zfp,
+}
+
+impl CodecKind {
+    /// Short label used by the benchmark harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CodecKind::Sz => "sz",
+            CodecKind::Zfp => "zfp",
+        }
+    }
+
+    /// Container-header tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            CodecKind::Sz => 1,
+            CodecKind::Zfp => 2,
+        }
+    }
+
+    /// Inverse of [`CodecKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(CodecKind::Sz),
+            2 => Some(CodecKind::Zfp),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_bound_resolves_against_range() {
+        let data = [0.0, 5.0, 10.0];
+        let c = ErrorControl::ValueRangeRelative(1e-2);
+        assert_eq!(c.absolute_bound(&data), Some(0.1));
+        assert_eq!(ErrorControl::Absolute(0.5).absolute_bound(&data), Some(0.5));
+        assert_eq!(ErrorControl::FixedRate(8.0).absolute_bound(&data), None);
+    }
+
+    #[test]
+    fn relative_bound_of_constant_data_is_zero() {
+        let data = [2.0; 8];
+        assert_eq!(
+            ErrorControl::ValueRangeRelative(1e-3).absolute_bound(&data),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn params_dimensionality() {
+        assert_eq!(CodecParams::abs_1d(0.1).dimensionality(), 1);
+        assert_eq!(CodecParams::abs_1d(0.1).with_dims_2d(8, 8).dimensionality(), 2);
+        assert_eq!(
+            CodecParams::abs_1d(0.1).with_dims_3d(4, 4, 4).dimensionality(),
+            3
+        );
+    }
+
+    #[test]
+    fn codec_kind_tags_round_trip() {
+        for kind in [CodecKind::Sz, CodecKind::Zfp] {
+            assert_eq!(CodecKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(CodecKind::from_tag(99), None);
+    }
+}

@@ -1,0 +1,300 @@
+//! Block gather/scatter, block-floating-point cast, and coefficient order.
+
+use std::sync::OnceLock;
+
+/// Side length of every block.
+pub const SIDE: usize = 4;
+
+/// Fixed-point precision of the block-float cast (two guard bits below the
+/// 64-bit integer width, as in the reference implementation).
+const Q: i32 = 62;
+
+/// Largest exponent in a block: `e` such that `max|x| < 2^e`.
+/// Returns `None` for an all-zero block.
+pub fn block_exponent(vals: &[f64]) -> Option<i32> {
+    let mut max = 0.0f64;
+    for &v in vals {
+        max = max.max(v.abs());
+    }
+    if max == 0.0 {
+        return None;
+    }
+    let (_, e) = frexp(max);
+    Some(e)
+}
+
+/// `frexp`: returns `(f, e)` with `x = f * 2^e`, `|f| ∈ [0.5, 1)`.
+fn frexp(x: f64) -> (f64, i32) {
+    debug_assert!(x.is_finite() && x != 0.0);
+    let bits = x.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    if raw_exp == 0 {
+        // Subnormal: normalize by scaling up.
+        let scaled = x * 2f64.powi(64);
+        let (f, e) = frexp(scaled);
+        (f, e - 64)
+    } else {
+        let e = raw_exp - 1022;
+        let f = f64::from_bits((bits & !(0x7ffu64 << 52)) | (1022u64 << 52));
+        (f, e)
+    }
+}
+
+/// `x * 2^e`, exact for any in-range result, safe for `|e|` beyond the
+/// range where `2^e` itself is representable (splits into safe chunks).
+pub fn ldexp(x: f64, e: i32) -> f64 {
+    let mut x = x;
+    let mut e = e;
+    while e > 1000 {
+        x *= 2f64.powi(1000);
+        e -= 1000;
+    }
+    while e < -1000 {
+        x *= 2f64.powi(-1000);
+        e += 1000;
+    }
+    x * 2f64.powi(e)
+}
+
+/// Block-float cast: `x -> (i64)(x * 2^(Q - emax))`, so `|i| < 2^62`.
+pub fn fwd_cast(vals: &[f64], emax: i32, out: &mut [i64]) {
+    for (o, &v) in out.iter_mut().zip(vals) {
+        *o = ldexp(v, Q - emax) as i64;
+    }
+}
+
+/// Inverse of [`fwd_cast`].
+pub fn inv_cast(ints: &[i64], emax: i32, out: &mut [f64]) {
+    for (o, &i) in out.iter_mut().zip(ints) {
+        *o = ldexp(i as f64, emax - Q);
+    }
+}
+
+/// Total-sequency permutation for `dims` (1..=3): `perm[rank] = block index`.
+///
+/// Coefficients are ordered by total degree `i + j + k` so significance
+/// decays monotonically along the scan — the order the embedded coder
+/// assumes. The tie-break is fixed (max coordinate, then row-major index);
+/// encoder and decoder share it, which is all that correctness requires.
+pub fn perm(dims: usize) -> &'static [usize] {
+    static PERMS: OnceLock<[Vec<usize>; 3]> = OnceLock::new();
+    let perms = PERMS.get_or_init(|| {
+        let make = |dims: usize| {
+            let n = SIDE.pow(dims as u32);
+            let coord = |idx: usize| -> (usize, usize, usize) {
+                (idx % SIDE, (idx / SIDE) % SIDE, idx / (SIDE * SIDE))
+            };
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&idx| {
+                let (i, j, k) = coord(idx);
+                (i + j + k, i.max(j).max(k), idx)
+            });
+            order
+        };
+        [make(1), make(2), make(3)]
+    });
+    &perms[dims - 1]
+}
+
+/// Shape of a (possibly partial) block: the valid extent along each axis.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockShape {
+    /// Valid extent per axis (1..=4); unused axes are 1.
+    pub ext: [usize; 3],
+    /// Dimensionality (1..=3).
+    pub dims: usize,
+}
+
+impl BlockShape {
+    /// Number of valid (non-padding) values.
+    pub fn valid(&self) -> usize {
+        self.ext[..self.dims].iter().product()
+    }
+}
+
+/// Gathers one block from `data` (row-major, x fastest, logical grid `grid`),
+/// padding partial blocks by edge replication. `origin` is the block's lower
+/// corner in grid coordinates. Returns the shape actually covered.
+pub fn gather(
+    data: &[f64],
+    grid: [usize; 3],
+    dims: usize,
+    origin: [usize; 3],
+    out: &mut [f64],
+) -> BlockShape {
+    let mut ext = [1usize; 3];
+    for d in 0..dims {
+        ext[d] = SIDE.min(grid[d] - origin[d]);
+    }
+    let n = SIDE.pow(dims as u32);
+    debug_assert_eq!(out.len(), n);
+    for (slot, out_v) in out.iter_mut().enumerate().take(n) {
+        let (bx, by, bz) = (slot % SIDE, (slot / SIDE) % SIDE, slot / (SIDE * SIDE));
+        // Clamp padding slots onto the nearest valid sample (edge replication).
+        let cx = origin[0] + bx.min(ext[0] - 1);
+        let cy = if dims >= 2 { origin[1] + by.min(ext[1] - 1) } else { 0 };
+        let cz = if dims >= 3 { origin[2] + bz.min(ext[2] - 1) } else { 0 };
+        let idx = match dims {
+            1 => cx,
+            2 => cy * grid[0] + cx,
+            _ => (cz * grid[1] + cy) * grid[0] + cx,
+        };
+        *out_v = data[idx];
+    }
+    BlockShape { ext, dims }
+}
+
+/// Scatters the valid region of a decoded block back into `data`.
+pub fn scatter(
+    block: &[f64],
+    shape: BlockShape,
+    grid: [usize; 3],
+    origin: [usize; 3],
+    data: &mut [f64],
+) {
+    let dims = shape.dims;
+    for bz in 0..shape.ext[2].max(1) {
+        for by in 0..shape.ext[1].max(1) {
+            for bx in 0..shape.ext[0] {
+                let slot = (bz * SIDE + by) * SIDE + bx;
+                let idx = match dims {
+                    1 => origin[0] + bx,
+                    2 => (origin[1] + by) * grid[0] + origin[0] + bx,
+                    _ => {
+                        ((origin[2] + bz) * grid[1] + origin[1] + by) * grid[0] + origin[0] + bx
+                    }
+                };
+                data[idx] = block[slot];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frexp_matches_definition() {
+        for x in [1.0, 0.5, 2.0, 3.75, 1e-300, 1e300, 5e-324, f64::MIN_POSITIVE] {
+            let (f, e) = frexp(x);
+            assert!((0.5..1.0).contains(&f), "x = {x}, f = {f}");
+            assert_eq!(ldexp(f, e), x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn ldexp_handles_extreme_exponents() {
+        assert_eq!(ldexp(1.0, 10), 1024.0);
+        assert_eq!(ldexp(5e-324, 1074), 1.0);
+        assert_eq!(ldexp(1.0, -1074), 5e-324);
+        assert_eq!(ldexp(0.0, 2000), 0.0);
+    }
+
+    #[test]
+    fn cast_survives_subnormal_blocks() {
+        let vals = [5e-324, 0.0, -5e-324, 1e-320];
+        let emax = block_exponent(&vals).unwrap();
+        let mut ints = [0i64; 4];
+        fwd_cast(&vals, emax, &mut ints);
+        assert!(ints.iter().all(|&i| i.unsigned_abs() < 1 << 62));
+        let mut back = [0f64; 4];
+        inv_cast(&ints, emax, &mut back);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= ldexp(1.0, emax - 60));
+        }
+    }
+
+    #[test]
+    fn block_exponent_bounds_values() {
+        let vals = [0.3, -0.9, 0.1, 0.0];
+        let e = block_exponent(&vals).unwrap();
+        assert_eq!(e, 0); // max 0.9 in [0.5, 1)
+        assert!(block_exponent(&[0.0; 4]).is_none());
+        assert_eq!(block_exponent(&[2.0, 0.0, 0.0, 0.0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn cast_round_trip_error_is_tiny() {
+        let vals = [0.123456789, -0.987654321, 0.5, -0.25];
+        let emax = block_exponent(&vals).unwrap();
+        let mut ints = [0i64; 4];
+        fwd_cast(&vals, emax, &mut ints);
+        assert!(ints.iter().all(|&i| i.unsigned_abs() < 1 << 62));
+        let mut back = [0f64; 4];
+        inv_cast(&ints, emax, &mut back);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= 2f64.powi(emax - 62));
+        }
+    }
+
+    #[test]
+    fn perm_is_a_permutation_ordered_by_degree() {
+        for dims in 1..=3usize {
+            let p = perm(dims);
+            let n = SIDE.pow(dims as u32);
+            let mut seen = vec![false; n];
+            let mut prev_deg = 0;
+            for &idx in p {
+                assert!(!seen[idx]);
+                seen[idx] = true;
+                let deg = idx % 4 + (idx / 4) % 4 + idx / 16;
+                assert!(deg >= prev_deg, "dims={dims}: sequency not monotone");
+                prev_deg = deg;
+            }
+            assert!(seen.iter().all(|&s| s));
+            assert_eq!(p[0], 0, "DC coefficient first");
+        }
+    }
+
+    #[test]
+    fn gather_scatter_round_trip_full_blocks() {
+        let grid = [8usize, 8, 1];
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut out = vec![0.0; 64];
+        let mut block = [0.0; 16];
+        for by in 0..2 {
+            for bx in 0..2 {
+                let origin = [bx * 4, by * 4, 0];
+                let shape = gather(&data, grid, 2, origin, &mut block);
+                assert_eq!(shape.valid(), 16);
+                scatter(&block, shape, grid, origin, &mut out);
+            }
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn partial_block_pads_by_replication() {
+        let grid = [6usize, 1, 1];
+        let data: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let mut block = [0.0; 4];
+        let shape = gather(&data, grid, 1, [4, 0, 0], &mut block);
+        assert_eq!(shape.valid(), 2);
+        assert_eq!(block, [4.0, 5.0, 5.0, 5.0]);
+
+        // Scatter writes only the valid region.
+        let mut out = vec![-1.0; 6];
+        scatter(&[9.0, 8.0, 7.0, 6.0], shape, grid, [4, 0, 0], &mut out);
+        assert_eq!(out, vec![-1.0, -1.0, -1.0, -1.0, 9.0, 8.0]);
+    }
+
+    #[test]
+    fn gather_scatter_3d_partial() {
+        let grid = [5usize, 6, 7];
+        let n = grid[0] * grid[1] * grid[2];
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut out = vec![0.0; n];
+        let mut block = [0.0; 64];
+        for bz in 0..grid[2].div_ceil(4) {
+            for by in 0..grid[1].div_ceil(4) {
+                for bx in 0..grid[0].div_ceil(4) {
+                    let origin = [bx * 4, by * 4, bz * 4];
+                    let shape = gather(&data, grid, 3, origin, &mut block);
+                    scatter(&block, shape, grid, origin, &mut out);
+                }
+            }
+        }
+        assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,195 @@
+//! Embedded (bit-plane) coding with group testing.
+//!
+//! This is a faithful port of ZFP's `encode_ints`/`decode_ints`: negabinary
+//! coefficients (in total-sequency order) are emitted plane by plane from the
+//! most significant bit down to `kmin`. Within a plane, the bits of
+//! already-significant coefficients are sent verbatim; the remainder is
+//! run-length coded with group tests ("is any remaining bit set?"), which is
+//! what makes the stream *embedded*: any prefix is a valid lower-precision
+//! approximation, and fixed-rate mode simply truncates at a bit budget.
+
+use zmesh_bitstream::{BitReader, BitWriter};
+
+/// Number of bit planes in a coefficient.
+pub const INTPREC: u32 = 64;
+
+/// Encodes `data` (negabinary, sequency order) down to plane `kmin`,
+/// spending at most `maxbits` bits. Returns the number of bits written.
+pub fn encode_ints(w: &mut BitWriter, data: &[u64], kmin: u32, maxbits: u64) -> u64 {
+    let size = data.len();
+    debug_assert!(size <= 64);
+    let mut bits = maxbits;
+    let mut n: usize = 0;
+    let start = w.len_bits();
+    let mut k = INTPREC;
+    while bits > 0 && k > kmin {
+        k -= 1;
+        // Step 1: extract bit plane k.
+        let mut x = 0u64;
+        for (i, &d) in data.iter().enumerate() {
+            x |= ((d >> k) & 1) << i;
+        }
+        // Step 2: emit the first n bits (known-significant coefficients).
+        let m = (n as u64).min(bits) as u32;
+        bits -= u64::from(m);
+        w.write_bits(x, m);
+        x = if m >= 64 { 0 } else { x >> m };
+        // Step 3: group-test run-length code the remainder of the plane.
+        'outer: while n < size && bits > 0 {
+            bits -= 1;
+            let any = x != 0;
+            w.write_bit(any);
+            if !any {
+                break 'outer;
+            }
+            // Emit position bits until the set bit is sent (or implied).
+            while n < size - 1 && bits > 0 {
+                bits -= 1;
+                let bit = x & 1 != 0;
+                w.write_bit(bit);
+                if bit {
+                    break;
+                }
+                x >>= 1;
+                n += 1;
+            }
+            // Consume the coefficient whose 1 was just sent (or implied when
+            // n == size - 1, or left ambiguous when the budget ran out).
+            x >>= 1;
+            n += 1;
+        }
+    }
+    w.len_bits() - start
+}
+
+/// Decodes a stream produced by [`encode_ints`] into `data` (must be
+/// zero-initialized, same `size`/`kmin`/`maxbits` as the encoder). Returns
+/// the number of bits consumed.
+pub fn decode_ints(r: &mut BitReader<'_>, data: &mut [u64], kmin: u32, maxbits: u64) -> u64 {
+    let size = data.len();
+    debug_assert!(size <= 64);
+    let mut bits = maxbits;
+    let mut n: usize = 0;
+    let start = r.position();
+    let mut k = INTPREC;
+    while bits > 0 && k > kmin {
+        k -= 1;
+        // Step 1: read the verbatim bits of known-significant coefficients.
+        let m = (n as u64).min(bits) as u32;
+        bits -= u64::from(m);
+        let mut x = r.read_bits_or_zero(m);
+        // Step 2: group-test run-length decode the remainder.
+        'outer: while n < size && bits > 0 {
+            bits -= 1;
+            if !r.read_bit_or_zero() {
+                break 'outer;
+            }
+            while n < size - 1 && bits > 0 {
+                bits -= 1;
+                if r.read_bit_or_zero() {
+                    break;
+                }
+                n += 1;
+            }
+            x |= 1u64 << n;
+            n += 1;
+        }
+        // Step 3: deposit the plane.
+        let mut y = x;
+        let mut i = 0;
+        while y != 0 {
+            data[i] |= (y & 1) << k;
+            y >>= 1;
+            i += 1;
+        }
+    }
+    r.position() - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u64], kmin: u32) -> Vec<u64> {
+        let mut w = BitWriter::new();
+        let written = encode_ints(&mut w, data, kmin, u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0u64; data.len()];
+        let read = decode_ints(&mut r, &mut out, kmin, u64::MAX);
+        assert_eq!(written, read, "bit accounting mismatch");
+        out
+    }
+
+    #[test]
+    fn lossless_at_kmin_zero() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![0, 0, 0, 0],
+            vec![1, 2, 3, 4],
+            vec![u64::MAX, 0, u64::MAX / 3, 42],
+            (0..16).map(|i| (i as u64) << 40).collect(),
+            (0..64).map(|i| i as u64 * 0x0123_4567_89ab).collect(),
+        ];
+        for data in cases {
+            assert_eq!(round_trip(&data, 0), data);
+        }
+    }
+
+    #[test]
+    fn truncation_at_kmin_drops_only_low_planes() {
+        let data = vec![0xffff_0000_u64, 0x0000_ffff, 0xf0f0_f0f0, 0x1234_5678];
+        for kmin in [8u32, 16, 32] {
+            let out = round_trip(&data, kmin);
+            let mask = !((1u64 << kmin) - 1);
+            for (a, b) in data.iter().zip(&out) {
+                assert_eq!(a & mask, b & mask, "kmin = {kmin}");
+                assert_eq!(b & !mask, 0, "low planes must be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_truncation_is_prefix_consistent() {
+        let data: Vec<u64> = (0..16).map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let mut w = BitWriter::new();
+        encode_ints(&mut w, &data, 0, u64::MAX);
+        let full = w.into_bytes();
+
+        for budget in [1u64, 7, 32, 100, 333, 1000] {
+            let mut wb = BitWriter::new();
+            let written = encode_ints(&mut wb, &data, 0, budget);
+            assert!(written <= budget);
+            let truncated = wb.into_bytes();
+            // The budgeted stream must be a bit-prefix of the full stream.
+            let n_whole = (written / 8) as usize;
+            assert_eq!(&truncated[..n_whole], &full[..n_whole], "budget={budget}");
+
+            // And it must decode without panicking, with the same budget.
+            let mut r = BitReader::new(&truncated);
+            let mut out = vec![0u64; data.len()];
+            decode_ints(&mut r, &mut out, 0, budget);
+        }
+    }
+
+    #[test]
+    fn single_coefficient_block() {
+        let data = vec![0xdead_beefu64];
+        assert_eq!(round_trip(&data, 0), data);
+    }
+
+    #[test]
+    fn implied_last_bit() {
+        // Only the last coefficient has a bit in the top plane: exercises the
+        // "implied 1 at n == size-1" path.
+        let data = vec![0u64, 0, 0, 1u64 << 63];
+        assert_eq!(round_trip(&data, 0), data);
+    }
+
+    #[test]
+    fn sixty_four_coefficients() {
+        let data: Vec<u64> = (0..64)
+            .map(|i| if i % 3 == 0 { 1u64 << (i % 60) } else { 0 })
+            .collect();
+        assert_eq!(round_trip(&data, 0), data);
+    }
+}

@@ -1,0 +1,70 @@
+//! Two's-complement ↔ negabinary conversion.
+//!
+//! The embedded bit-plane coder needs a sign-free representation in which
+//! truncating low-order bits shrinks the magnitude of the error regardless of
+//! sign; negabinary (base −2) has that property and is what ZFP uses.
+
+const NBMASK: u64 = 0xaaaa_aaaa_aaaa_aaaa;
+
+/// Two's complement → negabinary.
+#[inline]
+pub fn int_to_uint(x: i64) -> u64 {
+    ((x as u64).wrapping_add(NBMASK)) ^ NBMASK
+}
+
+/// Negabinary → two's complement (inverse of [`int_to_uint`]).
+#[inline]
+pub fn uint_to_int(u: u64) -> i64 {
+    ((u ^ NBMASK).wrapping_sub(NBMASK)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(int_to_uint(0), 0);
+        // Negabinary of 1 is 1; of -1 is 0b11 (= -2 + 1... base -2: 1*(-2)^1 + 1 = -1).
+        assert_eq!(int_to_uint(1), 1);
+        assert_eq!(int_to_uint(-1), 3);
+        assert_eq!(int_to_uint(-2), 2);
+        assert_eq!(int_to_uint(2), 6);
+    }
+
+    #[test]
+    fn round_trip_edge_cases() {
+        for x in [
+            0i64,
+            1,
+            -1,
+            i64::MAX,
+            i64::MIN,
+            1 << 62,
+            -(1 << 62),
+            12345678901234,
+            -98765432109876,
+        ] {
+            assert_eq!(uint_to_int(int_to_uint(x)), x);
+        }
+    }
+
+    #[test]
+    fn round_trip_pseudorandom() {
+        let mut seed = 42u64;
+        for _ in 0..10_000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = seed as i64;
+            assert_eq!(uint_to_int(int_to_uint(x)), x);
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_have_few_bits() {
+        // Truncation-friendliness: small |x| -> high negabinary bits are 0.
+        for x in -100i64..=100 {
+            let u = int_to_uint(x);
+            assert!(u < 1 << 9, "x = {x}, u = {u:#x}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The zMesh container format.
+//!
+//! Layout (all integers LEB128 unless noted):
+//!
+//! ```text
+//! magic   "ZMC1"
+//! version u8 (= 1)
+//! policy  u8      — ordering policy tag
+//! mode    u8      — storage/grouping mode tag
+//! codec   u8      — codec tag
+//! slen    varint  — structure metadata length
+//! sbytes  [u8]    — AmrTree::structure_bytes (what any AMR file carries)
+//! nfields varint
+//! per field: nlen varint, name, plen varint, payload
+//! crc32   u32 LE  — over everything above
+//! ```
+//!
+//! Note what is **absent**: the restore recipe. It is re-generated from
+//! `sbytes` at decompression time — the header costs exactly the same
+//! number of bytes under every ordering policy, which is the paper's
+//! zero-overhead claim (checked by `tests/no_recipe_storage.rs`).
+
+use crate::crc::crc32;
+use crate::error::ZmeshError;
+use crate::ordering::OrderingPolicy;
+use zmesh_amr::StorageMode;
+use zmesh_codecs::CodecKind;
+
+/// Container magic bytes.
+pub const CONTAINER_MAGIC: &[u8; 4] = b"ZMC1";
+const VERSION: u8 = 1;
+
+/// Parsed container header plus payload locations.
+#[derive(Debug, Clone)]
+pub struct ContainerHeader {
+    /// Ordering policy the payloads were compressed under.
+    pub policy: OrderingPolicy,
+    /// Storage mode of the fields.
+    pub mode: StorageMode,
+    /// Codec used for every payload.
+    pub codec: CodecKind,
+    /// Serialized tree structure (recipe source).
+    pub structure: Vec<u8>,
+    /// Field names and payload byte ranges into the container buffer.
+    pub fields: Vec<(String, std::ops::Range<usize>)>,
+    /// Bytes occupied by everything except the payloads.
+    pub header_bytes: usize,
+}
+
+fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, ZmeshError> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = *buf.get(*pos).ok_or(ZmeshError::Corrupt("varint past end"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(ZmeshError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+impl ContainerHeader {
+    /// Parses and validates a container header (magic, tags, ranges, CRC).
+    pub fn parse(bytes: &[u8]) -> Result<Self, ZmeshError> {
+        read_container(bytes)
+    }
+}
+
+/// Assembles a container from header information and compressed payloads.
+pub fn write_container(
+    policy: OrderingPolicy,
+    mode: StorageMode,
+    codec: CodecKind,
+    structure: &[u8],
+    fields: &[(&str, Vec<u8>)],
+) -> Vec<u8> {
+    let payload_total: usize = fields.iter().map(|(_, p)| p.len()).sum();
+    let mut out = Vec::with_capacity(structure.len() + payload_total + 64);
+    out.extend_from_slice(CONTAINER_MAGIC);
+    out.push(VERSION);
+    out.push(policy.tag());
+    out.push(mode.tag());
+    out.push(codec.tag());
+    write_u64(&mut out, structure.len() as u64);
+    out.extend_from_slice(structure);
+    write_u64(&mut out, fields.len() as u64);
+    for (name, payload) in fields {
+        write_u64(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+        write_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(payload);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parses a container header, validating tags, ranges, and the checksum.
+pub fn read_container(bytes: &[u8]) -> Result<ContainerHeader, ZmeshError> {
+    if bytes.get(..4) != Some(&CONTAINER_MAGIC[..]) {
+        return Err(ZmeshError::WrongMagic);
+    }
+    // Verify the trailing CRC before trusting anything else.
+    if bytes.len() < 8 {
+        return Err(ZmeshError::Corrupt("container too short for checksum"));
+    }
+    let body_len = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+    if crc32(&bytes[..body_len]) != stored {
+        return Err(ZmeshError::Corrupt("checksum mismatch"));
+    }
+    let bytes = &bytes[..body_len];
+    let mut pos = 4;
+    let version = *bytes.get(pos).ok_or(ZmeshError::Corrupt("missing version"))?;
+    pos += 1;
+    if version != VERSION {
+        return Err(ZmeshError::Corrupt("unsupported container version"));
+    }
+    let policy = OrderingPolicy::from_tag(
+        *bytes.get(pos).ok_or(ZmeshError::Corrupt("missing policy"))?,
+    )
+    .ok_or(ZmeshError::Corrupt("bad policy tag"))?;
+    pos += 1;
+    let mode = StorageMode::from_tag(*bytes.get(pos).ok_or(ZmeshError::Corrupt("missing mode"))?)
+        .ok_or(ZmeshError::Corrupt("bad mode tag"))?;
+    pos += 1;
+    let codec = CodecKind::from_tag(*bytes.get(pos).ok_or(ZmeshError::Corrupt("missing codec"))?)
+        .ok_or(ZmeshError::Corrupt("bad codec tag"))?;
+    pos += 1;
+    let slen = read_u64(bytes, &mut pos)? as usize;
+    let structure = bytes
+        .get(pos..pos + slen)
+        .ok_or(ZmeshError::Corrupt("structure past end"))?
+        .to_vec();
+    pos += slen;
+    let nfields = read_u64(bytes, &mut pos)? as usize;
+    if nfields > 1 << 20 {
+        return Err(ZmeshError::Corrupt("implausible field count"));
+    }
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let nlen = read_u64(bytes, &mut pos)? as usize;
+        let name = bytes
+            .get(pos..pos + nlen)
+            .ok_or(ZmeshError::Corrupt("name past end"))?;
+        let name =
+            String::from_utf8(name.to_vec()).map_err(|_| ZmeshError::Corrupt("name not utf-8"))?;
+        pos += nlen;
+        let plen = read_u64(bytes, &mut pos)? as usize;
+        if pos + plen > bytes.len() {
+            return Err(ZmeshError::Corrupt("payload past end"));
+        }
+        fields.push((name, pos..pos + plen));
+        pos += plen;
+    }
+    if pos != bytes.len() {
+        return Err(ZmeshError::Corrupt("trailing bytes"));
+    }
+    let payload_total: usize = fields.iter().map(|(_, r)| r.len()).sum();
+    Ok(ContainerHeader {
+        policy,
+        mode,
+        codec,
+        structure,
+        fields,
+        // +4: the trailing checksum counts as container overhead.
+        header_bytes: bytes.len() + 4 - payload_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        write_container(
+            OrderingPolicy::Hilbert,
+            StorageMode::AllCells,
+            CodecKind::Sz,
+            b"STRUCTURE",
+            &[("temperature", vec![1, 2, 3]), ("pressure", vec![4, 5])],
+        )
+    }
+
+    #[test]
+    fn round_trips() {
+        let bytes = sample();
+        let h = read_container(&bytes).unwrap();
+        assert_eq!(h.policy, OrderingPolicy::Hilbert);
+        assert_eq!(h.mode, StorageMode::AllCells);
+        assert_eq!(h.codec, CodecKind::Sz);
+        assert_eq!(h.structure, b"STRUCTURE");
+        assert_eq!(h.fields.len(), 2);
+        assert_eq!(h.fields[0].0, "temperature");
+        assert_eq!(&bytes[h.fields[0].1.clone()], &[1, 2, 3]);
+        assert_eq!(&bytes[h.fields[1].1.clone()], &[4, 5]);
+        assert_eq!(h.header_bytes, bytes.len() - 5);
+        // The trailing 4 bytes are the checksum over the rest.
+        let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        assert_eq!(crc, crc32(&bytes[..bytes.len() - 4]));
+    }
+
+    #[test]
+    fn header_cost_is_policy_independent() {
+        // The zero-overhead claim: switching policy changes exactly nothing
+        // about the container size (the recipe is never stored).
+        let a = write_container(
+            OrderingPolicy::LevelOrder,
+            StorageMode::AllCells,
+            CodecKind::Zfp,
+            b"META",
+            &[("f", vec![9; 100])],
+        );
+        let b = write_container(
+            OrderingPolicy::Hilbert,
+            StorageMode::AllCells,
+            CodecKind::Zfp,
+            b"META",
+            &[("f", vec![9; 100])],
+        );
+        assert_eq!(a.len(), b.len());
+        // They differ only in the policy tag and the (derived) checksum.
+        let diff = a[..a.len() - 4]
+            .iter()
+            .zip(&b[..b.len() - 4])
+            .filter(|(x, y)| x != y)
+            .count();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn checksum_detects_any_flip() {
+        let bytes = sample();
+        let mut s = 1u64;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (s % bytes.len() as u64) as usize;
+            let mut bad = bytes.clone();
+            bad[idx] ^= 1 << (s >> 61);
+            assert!(read_container(&bad).is_err(), "flip at {idx} undetected");
+        }
+    }
+
+    #[test]
+    fn corrupt_containers_error() {
+        let bytes = sample();
+        assert_eq!(read_container(&[]).unwrap_err(), ZmeshError::WrongMagic);
+        assert_eq!(read_container(b"NOPE").unwrap_err(), ZmeshError::WrongMagic);
+        for cut in [5, 8, bytes.len() - 1] {
+            assert!(read_container(&bytes[..cut]).is_err(), "cut = {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(read_container(&trailing).is_err());
+        let mut bad_tag = bytes.clone();
+        bad_tag[5] = 99;
+        assert!(read_container(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn empty_field_list_is_valid() {
+        let bytes = write_container(
+            OrderingPolicy::ZOrder,
+            StorageMode::LeafOnly,
+            CodecKind::Sz,
+            b"M",
+            &[],
+        );
+        let h = read_container(&bytes).unwrap();
+        assert!(h.fields.is_empty());
+    }
+}

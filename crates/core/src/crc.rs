@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3) for container integrity.
+//!
+//! A trailing checksum lets the decompressor distinguish "corrupt
+//! container" from "valid container, surprising content" — important
+//! because damage inside a lossy payload would otherwise decode to
+//! silently-wrong science data.
+
+/// Computes the CRC-32 (reflected, polynomial 0xEDB88320) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        let idx = ((crc ^ u32::from(b)) & 0xff) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ 0xedb8_8320 } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"zmesh container payload".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "undetected flip at {i}.{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # zmesh — AMR stream reordering for better lossy compression
+//!
+//! This crate is the Rust reproduction of the paper's contribution:
+//!
+//! > *zMesh: Exploring Application Characteristics to Improve Lossy
+//! > Compression Ratio for Adaptive Mesh Refinement* (IPDPS 2021).
+//!
+//! ## The idea
+//!
+//! AMR applications write field data **level by level**; handing that
+//! linearized stream to a 1-D error-bounded compressor (SZ, ZFP) wastes
+//! compressibility because stream neighbors are often geometrically distant.
+//! zMesh permutes the stream so that points mapped to the *same or adjacent
+//! geometric coordinates* — including points on different refinement levels
+//! covering the same region — become stream neighbors. The permutation
+//! follows a space-filling curve ([`OrderingPolicy::ZOrder`] or
+//! [`OrderingPolicy::Hilbert`]) over the refinement tree.
+//!
+//! ## No storage overhead
+//!
+//! The permutation (*restore recipe*, [`RestoreRecipe`]) is **never
+//! stored**: it is re-generated at decompression time from the chained
+//! refinement-tree metadata that any AMR container must carry anyway
+//! ([`zmesh_amr::AmrTree::structure_bytes`]). The [`container`](CONTAINER_MAGIC) format
+//! demonstrates this end-to-end — its header is byte-identical across
+//! ordering policies.
+//!
+//! ## Amortization
+//!
+//! The recipe is a pure function of the mesh, not of the data, so one recipe
+//! serves every quantity an application writes on that mesh. The
+//! [`Pipeline`] builds it once per container and [`Recipe
+//! reuse`](Pipeline::compress) makes the reorder overhead vanish as the
+//! number of quantities grows (paper Fig. "amortization").
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zmesh::{CompressionConfig, OrderingPolicy, Pipeline};
+//! use zmesh_amr::{datasets, StorageMode};
+//! use zmesh_codecs::{CodecKind, ErrorControl};
+//!
+//! let ds = datasets::front2d(StorageMode::AllCells, datasets::Scale::Tiny);
+//! let config = CompressionConfig {
+//!     policy: OrderingPolicy::Hilbert,
+//!     codec: CodecKind::Sz,
+//!     control: ErrorControl::ValueRangeRelative(1e-4),
+//! };
+//! let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+//!     ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+//! let compressed = Pipeline::new(config).compress(&fields).unwrap();
+//! let restored = Pipeline::decompress(&compressed.bytes).unwrap();
+//! assert_eq!(restored.fields.len(), ds.fields.len());
+//! ```
+
+pub mod analysis;
+mod container;
+mod crc;
+mod error;
+mod linearize;
+mod ordering;
+mod pipeline;
+mod recipe;
+
+pub use analysis::{stream_locality, StreamLocality};
+pub use container::{ContainerHeader, CONTAINER_MAGIC};
+pub use crc::crc32;
+pub use error::ZmeshError;
+pub use linearize::{linearize, restore};
+pub use ordering::{GroupingMode, OrderingPolicy};
+pub use pipeline::{Compressed, CompressStats, CompressionConfig, Decompressed, Pipeline};
+pub use recipe::RestoreRecipe;

@@ -1,0 +1,129 @@
+//! The ordering policies and grouping modes the paper evaluates.
+
+use zmesh_amr::StorageMode;
+use zmesh_sfc::CurveKind;
+
+/// How the 1-D stream is ordered before compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderingPolicy {
+    /// The conventional AMR layout (level-major, (z,y,x) within a level) —
+    /// the paper's baseline.
+    LevelOrder,
+    /// zMesh with Z-order (Morton) traversal of the refinement tree.
+    ZOrder,
+    /// zMesh with Hilbert traversal of the refinement tree.
+    Hilbert,
+}
+
+impl OrderingPolicy {
+    /// All policies, baseline first (the order the paper's plots use).
+    pub const ALL: [OrderingPolicy; 3] = [
+        OrderingPolicy::LevelOrder,
+        OrderingPolicy::ZOrder,
+        OrderingPolicy::Hilbert,
+    ];
+
+    /// The space-filling curve backing the policy (`None` for the baseline).
+    pub fn curve(&self) -> Option<CurveKind> {
+        match self {
+            OrderingPolicy::LevelOrder => None,
+            OrderingPolicy::ZOrder => Some(CurveKind::Morton),
+            OrderingPolicy::Hilbert => Some(CurveKind::Hilbert),
+        }
+    }
+
+    /// Short label used in harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrderingPolicy::LevelOrder => "baseline",
+            OrderingPolicy::ZOrder => "zmesh-z",
+            OrderingPolicy::Hilbert => "zmesh-h",
+        }
+    }
+
+    /// Container-header tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            OrderingPolicy::LevelOrder => 0,
+            OrderingPolicy::ZOrder => 1,
+            OrderingPolicy::Hilbert => 2,
+        }
+    }
+
+    /// Inverse of [`OrderingPolicy::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(OrderingPolicy::LevelOrder),
+            1 => Some(OrderingPolicy::ZOrder),
+            2 => Some(OrderingPolicy::Hilbert),
+            _ => None,
+        }
+    }
+}
+
+/// Which data points participate in the stream, i.e. which AMR storage
+/// convention the dataset uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupingMode {
+    /// Valid-cell datasets: one point per leaf. Reordering groups points at
+    /// *adjacent* geometric coordinates.
+    LeafOnly,
+    /// Plotfile-style datasets: every existing cell carries a point, so
+    /// multiple levels map to the *same* geometric coordinates. Reordering
+    /// chains each coarse point with the finer points covering it — the
+    /// paper's chained-tree grouping.
+    Chained,
+}
+
+impl GroupingMode {
+    /// The AMR storage convention this mode operates on.
+    pub fn storage_mode(&self) -> StorageMode {
+        match self {
+            GroupingMode::LeafOnly => StorageMode::LeafOnly,
+            GroupingMode::Chained => StorageMode::AllCells,
+        }
+    }
+
+    /// Inverse of [`GroupingMode::storage_mode`].
+    pub fn from_storage_mode(mode: StorageMode) -> Self {
+        match mode {
+            StorageMode::LeafOnly => GroupingMode::LeafOnly,
+            StorageMode::AllCells => GroupingMode::Chained,
+        }
+    }
+
+    /// Short label used in harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GroupingMode::LeafOnly => "leaf-only",
+            GroupingMode::Chained => "chained",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for p in OrderingPolicy::ALL {
+            assert_eq!(OrderingPolicy::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(OrderingPolicy::from_tag(9), None);
+    }
+
+    #[test]
+    fn baseline_has_no_curve() {
+        assert!(OrderingPolicy::LevelOrder.curve().is_none());
+        assert_eq!(OrderingPolicy::ZOrder.curve(), Some(CurveKind::Morton));
+        assert_eq!(OrderingPolicy::Hilbert.curve(), Some(CurveKind::Hilbert));
+    }
+
+    #[test]
+    fn grouping_maps_to_storage() {
+        for g in [GroupingMode::LeafOnly, GroupingMode::Chained] {
+            assert_eq!(GroupingMode::from_storage_mode(g.storage_mode()), g);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Distortion metrics for lossy reconstruction.
+
+/// Summary of the pointwise reconstruction error of a lossy codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Maximum pointwise absolute error.
+    pub max_abs: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// RMSE normalized by the value range of the original data.
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio in dB (∞ for a perfect reconstruction).
+    pub psnr_db: f64,
+    /// Value range (max - min) of the original data.
+    pub range: f64,
+}
+
+impl ErrorStats {
+    /// Computes all error statistics between `original` and `decoded`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths or are empty.
+    pub fn between(original: &[f64], decoded: &[f64]) -> Self {
+        assert_eq!(original.len(), decoded.len(), "length mismatch");
+        assert!(!original.is_empty(), "empty input");
+        let mut max_abs = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (&a, &b) in original.iter().zip(decoded) {
+            let e = (a - b).abs();
+            max_abs = max_abs.max(e);
+            sum_sq += e * e;
+            lo = lo.min(a);
+            hi = hi.max(a);
+        }
+        let rmse = (sum_sq / original.len() as f64).sqrt();
+        let range = hi - lo;
+        let nrmse = if range > 0.0 { rmse / range } else { rmse };
+        let psnr_db = if rmse == 0.0 {
+            f64::INFINITY
+        } else if range > 0.0 {
+            20.0 * (range / rmse).log10()
+        } else {
+            f64::NEG_INFINITY
+        };
+        Self {
+            max_abs,
+            rmse,
+            nrmse,
+            psnr_db,
+            range,
+        }
+    }
+
+    /// Whether the reconstruction honors an absolute error bound pointwise.
+    pub fn within_bound(&self, abs_bound: f64) -> bool {
+        // A small epsilon absorbs the final rounding in the reconstruction.
+        self.max_abs <= abs_bound * (1.0 + 1e-12) + f64::MIN_POSITIVE
+    }
+}
+
+/// Maximum pointwise absolute error between two equal-length slices.
+pub fn max_abs_error(original: &[f64], decoded: &[f64]) -> f64 {
+    ErrorStats::between(original, decoded).max_abs
+}
+
+/// Root-mean-square error.
+pub fn rmse(original: &[f64], decoded: &[f64]) -> f64 {
+    ErrorStats::between(original, decoded).rmse
+}
+
+/// Range-normalized RMSE.
+pub fn nrmse(original: &[f64], decoded: &[f64]) -> f64 {
+    ErrorStats::between(original, decoded).nrmse
+}
+
+/// Peak signal-to-noise ratio in dB.
+pub fn psnr(original: &[f64], decoded: &[f64]) -> f64 {
+    ErrorStats::between(original, decoded).psnr_db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_reconstruction() {
+        let xs = [1.0, 2.0, 3.0];
+        let s = ErrorStats::between(&xs, &xs);
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert!(s.psnr_db.is_infinite());
+        assert!(s.within_bound(0.0));
+    }
+
+    #[test]
+    fn known_errors() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [1.0, -1.0, 1.0, -1.0];
+        let s = ErrorStats::between(&a, &b);
+        assert_eq!(s.max_abs, 1.0);
+        assert_eq!(s.rmse, 1.0);
+        // Constant original: range 0, nrmse falls back to rmse.
+        assert_eq!(s.nrmse, 1.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let orig: Vec<f64> = (0..100).map(|i| f64::from(i) / 10.0).collect();
+        let small: Vec<f64> = orig.iter().map(|x| x + 0.001).collect();
+        let large: Vec<f64> = orig.iter().map(|x| x + 0.1).collect();
+        assert!(psnr(&orig, &small) > psnr(&orig, &large));
+    }
+
+    #[test]
+    fn within_bound_is_strict_enough() {
+        let a = [0.0, 1.0];
+        let b = [0.05, 1.0];
+        let s = ErrorStats::between(&a, &b);
+        assert!(s.within_bound(0.05));
+        assert!(!s.within_bound(0.04));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = ErrorStats::between(&[1.0], &[1.0, 2.0]);
+    }
+}

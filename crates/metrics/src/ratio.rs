@@ -1,0 +1,41 @@
+//! Compression-ratio accounting.
+
+/// Compression ratio: uncompressed bytes / compressed bytes.
+///
+/// Uncompressed size is `n_values * 8` (f64 streams throughout the
+/// workspace). Returns ∞ for an empty compressed buffer.
+pub fn compression_ratio(n_values: usize, compressed_bytes: usize) -> f64 {
+    if compressed_bytes == 0 {
+        return f64::INFINITY;
+    }
+    (n_values * 8) as f64 / compressed_bytes as f64
+}
+
+/// Bit rate: compressed bits per original value.
+pub fn bits_per_value(n_values: usize, compressed_bytes: usize) -> f64 {
+    if n_values == 0 {
+        return 0.0;
+    }
+    (compressed_bytes * 8) as f64 / n_values as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_rate_are_consistent() {
+        let cr = compression_ratio(1000, 800);
+        let bpv = bits_per_value(1000, 800);
+        assert!((cr - 10.0).abs() < 1e-12);
+        assert!((bpv - 6.4).abs() < 1e-12);
+        // cr * bpv == 64 always (for f64 data).
+        assert!((cr * bpv - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(compression_ratio(10, 0).is_infinite());
+        assert_eq!(bits_per_value(0, 100), 0.0);
+    }
+}

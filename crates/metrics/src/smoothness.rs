@@ -1,0 +1,124 @@
+//! Stream-smoothness metrics.
+//!
+//! The paper quantifies how "compressible" a linearized stream looks to a 1-D
+//! predictor by its smoothness: the magnitude of first-order differences
+//! between consecutive stream entries. zMesh's claim is that reordering
+//! reduces this quantity substantially (67.9 % with Z-order, 71.3 % with
+//! Hilbert in the abstract).
+
+/// Total variation of a stream: `Σ |x[i+1] - x[i]|`.
+///
+/// Empty and single-element streams have zero variation.
+pub fn total_variation(xs: &[f64]) -> f64 {
+    xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+}
+
+/// Mean absolute first difference: total variation normalized by the number
+/// of consecutive pairs. This is the per-point smoothness figure the paper's
+/// smoothness plots report.
+pub fn mean_abs_diff(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    total_variation(xs) / (xs.len() - 1) as f64
+}
+
+/// Relative smoothness improvement of `reordered` over `baseline`, in
+/// percent: `100 * (TV(baseline) - TV(reordered)) / TV(baseline)`.
+///
+/// Positive values mean the reordered stream is smoother. Returns 0 when the
+/// baseline has no variation (a constant stream cannot be improved).
+pub fn smoothness_improvement(baseline: &[f64], reordered: &[f64]) -> f64 {
+    let tv_base = total_variation(baseline);
+    if tv_base == 0.0 {
+        return 0.0;
+    }
+    100.0 * (tv_base - total_variation(reordered)) / tv_base
+}
+
+/// Lag-`k` sample autocorrelation of the stream.
+///
+/// Values near 1 indicate a smooth, highly predictable stream; values near 0
+/// indicate noise. Returns 0 for degenerate inputs (constant or shorter than
+/// `k + 2`).
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if n < k + 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - k).map(|i| (xs[i] - mean) * (xs[i + k] - mean)).sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_of_constant_is_zero() {
+        assert_eq!(total_variation(&[3.0; 10]), 0.0);
+        assert_eq!(mean_abs_diff(&[3.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn tv_of_ramp() {
+        let xs: Vec<f64> = (0..11).map(f64::from).collect();
+        assert_eq!(total_variation(&xs), 10.0);
+        assert_eq!(mean_abs_diff(&xs), 1.0);
+    }
+
+    #[test]
+    fn tv_of_sawtooth_exceeds_ramp() {
+        let saw: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 0.0 } else { 5.0 }).collect();
+        let ramp: Vec<f64> = (0..10).map(f64::from).collect();
+        assert!(total_variation(&saw) > total_variation(&ramp));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(total_variation(&[]), 0.0);
+        assert_eq!(total_variation(&[1.0]), 0.0);
+        assert_eq!(mean_abs_diff(&[]), 0.0);
+        assert_eq!(autocorrelation(&[], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 1.0, 1.0, 1.0], 1), 0.0);
+    }
+
+    #[test]
+    fn improvement_percentages() {
+        let rough = [0.0, 10.0, 0.0, 10.0, 0.0];
+        let smooth = [0.0, 5.0, 10.0, 5.0, 0.0];
+        let imp = smoothness_improvement(&rough, &smooth);
+        assert!((imp - 50.0).abs() < 1e-12, "imp = {imp}");
+        // Reordering that makes things worse yields a negative improvement.
+        assert!(smoothness_improvement(&smooth, &rough) < 0.0);
+        // A constant baseline cannot be improved.
+        assert_eq!(smoothness_improvement(&[1.0; 4], &rough), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_smooth_signal_is_high() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        assert!(autocorrelation(&xs, 1) > 0.99);
+        let noise: Vec<f64> = (0..1000u64)
+            .map(|i| {
+                // splitmix64 finalizer: a proper avalanche so consecutive
+                // indices give independent bits.
+                let mut h = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                h ^= h >> 31;
+                if h & 1 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        assert!(autocorrelation(&noise, 1).abs() < 0.2);
+    }
+}

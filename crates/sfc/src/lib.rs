@@ -1,0 +1,37 @@
+//! # zmesh-sfc — space-filling curves
+//!
+//! zMesh reorders the linearized AMR stream by visiting the leaves of the
+//! refinement tree along a space-filling curve (SFC). This crate provides the
+//! three orderings the paper evaluates:
+//!
+//! * **Row-major** — the trivial lexicographic order (used inside patches by
+//!   the level-order baseline),
+//! * **Morton / Z-order** — bit interleaving,
+//! * **Hilbert** — Skilling's transpose algorithm, which preserves locality
+//!   better than Morton (consecutive indices are always face-adjacent).
+//!
+//! All curves expose the same interface through [`CurveKind`]/[`Curve`]:
+//! a bijection between d-dimensional integer coordinates on a `2^bits`-sided
+//! grid and a scalar index in `0 .. 2^(d*bits)`.
+//!
+//! A key property used by the zMesh core: both Morton and Hilbert are
+//! *dyadic-recursive*, i.e. every aligned `2^k`-sided sub-cube is visited in
+//! one contiguous index range. Sorting AMR leaves by the curve index of their
+//! anchor therefore reproduces a recursive SFC traversal of the refinement
+//! tree. This is checked by `tests/dyadic.rs`.
+
+mod curve;
+mod hilbert;
+mod hilbert_fast;
+mod morton;
+mod rowmajor;
+
+pub use curve::{Curve, CurveKind};
+pub use hilbert::{hilbert_index_2d, hilbert_index_3d, hilbert_point_2d, hilbert_point_3d};
+pub use hilbert_fast::{
+    hilbert_index_2d_fast, hilbert_index_3d_fast, hilbert_point_2d_fast, hilbert_point_3d_fast,
+};
+pub use morton::{
+    morton_index_2d, morton_index_3d, morton_point_2d, morton_point_3d, MAX_BITS_2D, MAX_BITS_3D,
+};
+pub use rowmajor::{row_major_index_2d, row_major_index_3d, row_major_point_2d, row_major_point_3d};

@@ -1,0 +1,158 @@
+//! Morton (Z-order) curve via bit interleaving.
+//!
+//! The Morton index of `(x, y)` interleaves the bits of the coordinates so
+//! that `x` occupies the even bit positions and `y` the odd ones (and
+//! analogously for 3-D). The curve visits every aligned dyadic block in a
+//! contiguous index range, which is the property zMesh relies on.
+
+/// Maximum bits per coordinate for 2-D Morton indices (fits in `u64`).
+pub const MAX_BITS_2D: u32 = 31;
+/// Maximum bits per coordinate for 3-D Morton indices (fits in `u64`).
+pub const MAX_BITS_3D: u32 = 21;
+
+/// Spreads the low 32 bits of `x` so bit `i` moves to bit `2*i`.
+#[inline]
+fn part_1by1(x: u64) -> u64 {
+    let mut x = x & 0x0000_0000_ffff_ffff;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Compacts every second bit of `x` (inverse of [`part_1by1`]).
+#[inline]
+fn compact_1by1(x: u64) -> u64 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+    x
+}
+
+/// Spreads the low 21 bits of `x` so bit `i` moves to bit `3*i`.
+#[inline]
+fn part_1by2(x: u64) -> u64 {
+    let mut x = x & 0x0000_0000_001f_ffff;
+    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Compacts every third bit of `x` (inverse of [`part_1by2`]).
+#[inline]
+fn compact_1by2(x: u64) -> u64 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
+    x = (x | (x >> 32)) & 0x0000_0000_001f_ffff;
+    x
+}
+
+/// Morton index of `(x, y)`; coordinates must fit in [`MAX_BITS_2D`] bits.
+#[inline]
+pub fn morton_index_2d(x: u64, y: u64) -> u64 {
+    debug_assert!(x < (1 << MAX_BITS_2D) && y < (1 << MAX_BITS_2D));
+    part_1by1(x) | (part_1by1(y) << 1)
+}
+
+/// Inverse of [`morton_index_2d`].
+#[inline]
+pub fn morton_point_2d(index: u64) -> (u64, u64) {
+    (compact_1by1(index), compact_1by1(index >> 1))
+}
+
+/// Morton index of `(x, y, z)`; coordinates must fit in [`MAX_BITS_3D`] bits.
+#[inline]
+pub fn morton_index_3d(x: u64, y: u64, z: u64) -> u64 {
+    debug_assert!(x < (1 << MAX_BITS_3D) && y < (1 << MAX_BITS_3D) && z < (1 << MAX_BITS_3D));
+    part_1by2(x) | (part_1by2(y) << 1) | (part_1by2(z) << 2)
+}
+
+/// Inverse of [`morton_index_3d`].
+#[inline]
+pub fn morton_point_3d(index: u64) -> (u64, u64, u64) {
+    (
+        compact_1by2(index),
+        compact_1by2(index >> 1),
+        compact_1by2(index >> 2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_quad_2d() {
+        // The unit 2x2 block in Z order: (0,0) (1,0) (0,1) (1,1).
+        assert_eq!(morton_index_2d(0, 0), 0);
+        assert_eq!(morton_index_2d(1, 0), 1);
+        assert_eq!(morton_index_2d(0, 1), 2);
+        assert_eq!(morton_index_2d(1, 1), 3);
+    }
+
+    #[test]
+    fn first_octant_3d() {
+        assert_eq!(morton_index_3d(0, 0, 0), 0);
+        assert_eq!(morton_index_3d(1, 0, 0), 1);
+        assert_eq!(morton_index_3d(0, 1, 0), 2);
+        assert_eq!(morton_index_3d(1, 1, 0), 3);
+        assert_eq!(morton_index_3d(0, 0, 1), 4);
+        assert_eq!(morton_index_3d(1, 1, 1), 7);
+    }
+
+    #[test]
+    fn round_trip_2d_exhaustive_small() {
+        for x in 0..64 {
+            for y in 0..64 {
+                let i = morton_index_2d(x, y);
+                assert_eq!(morton_point_2d(i), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_3d_exhaustive_small() {
+        for x in 0..16 {
+            for y in 0..16 {
+                for z in 0..16 {
+                    let i = morton_index_3d(x, y, z);
+                    assert_eq!(morton_point_3d(i), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_2d_extremes() {
+        let m = (1u64 << MAX_BITS_2D) - 1;
+        for &(x, y) in &[(0, m), (m, 0), (m, m), (m / 2, m / 3)] {
+            assert_eq!(morton_point_2d(morton_index_2d(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn round_trip_3d_extremes() {
+        let m = (1u64 << MAX_BITS_3D) - 1;
+        for &(x, y, z) in &[(0, 0, m), (m, 0, 0), (m, m, m), (m / 2, m / 3, m / 5)] {
+            assert_eq!(morton_point_3d(morton_index_3d(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn monotone_in_each_axis_on_aligned_block() {
+        // Within the same 2x2 block, increasing a coordinate increases the index.
+        assert!(morton_index_2d(2, 2) < morton_index_2d(3, 2));
+        assert!(morton_index_2d(2, 2) < morton_index_2d(2, 3));
+    }
+}

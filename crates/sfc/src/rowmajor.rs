@@ -1,0 +1,71 @@
+//! Row-major (lexicographic) ordering.
+//!
+//! This is the ordering used *within* patches by the conventional level-order
+//! AMR layout that zMesh improves upon. It is exposed through the same
+//! [`CurveKind`](crate::CurveKind) interface so the baseline and the zMesh
+//! policies are interchangeable in the pipeline. Note that row-major is *not*
+//! dyadic-recursive; it is only valid as a within-grid order, never as a
+//! tree-traversal key.
+
+/// Row-major index of `(x, y)` on a `2^bits`-sided grid.
+#[inline]
+pub fn row_major_index_2d(x: u64, y: u64, bits: u32) -> u64 {
+    debug_assert!(2 * bits <= 64 && x >> bits == 0 && y >> bits == 0);
+    (y << bits) | x
+}
+
+/// Inverse of [`row_major_index_2d`].
+#[inline]
+pub fn row_major_point_2d(index: u64, bits: u32) -> (u64, u64) {
+    let mask = (1u64 << bits) - 1;
+    (index & mask, index >> bits)
+}
+
+/// Row-major index of `(x, y, z)` on a `2^bits`-sided grid.
+#[inline]
+pub fn row_major_index_3d(x: u64, y: u64, z: u64, bits: u32) -> u64 {
+    debug_assert!(3 * bits <= 64 && x >> bits == 0 && y >> bits == 0 && z >> bits == 0);
+    (z << (2 * bits)) | (y << bits) | x
+}
+
+/// Inverse of [`row_major_index_3d`].
+#[inline]
+pub fn row_major_point_3d(index: u64, bits: u32) -> (u64, u64, u64) {
+    let mask = (1u64 << bits) - 1;
+    (index & mask, (index >> bits) & mask, index >> (2 * bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_2d() {
+        for x in 0..8 {
+            for y in 0..8 {
+                assert_eq!(row_major_point_2d(row_major_index_2d(x, y, 3), 3), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_3d() {
+        for x in 0..4 {
+            for y in 0..4 {
+                for z in 0..4 {
+                    assert_eq!(
+                        row_major_point_3d(row_major_index_3d(x, y, z, 2), 2),
+                        (x, y, z)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_order_is_x_fastest() {
+        assert_eq!(row_major_index_2d(1, 0, 4), 1);
+        assert_eq!(row_major_index_2d(0, 1, 4), 16);
+        assert_eq!(row_major_index_3d(0, 0, 1, 4), 256);
+    }
+}

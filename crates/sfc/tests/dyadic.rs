@@ -1,0 +1,122 @@
+//! The property the zMesh traversal relies on: Morton and Hilbert visit every
+//! aligned dyadic block in one contiguous index range, so sorting disjoint
+//! dyadic blocks by the index of their lower corner reproduces the recursive
+//! curve traversal.
+
+use zmesh_sfc::{Curve, CurveKind};
+
+/// Checks that the set of indices inside the aligned block with lower corner
+/// `(bx << k, by << k)` and side `2^k` is exactly a contiguous range.
+fn block_range_2d(kind: CurveKind, bits: u32, bx: u64, by: u64, k: u32) -> (u64, u64) {
+    let side = 1u64 << k;
+    let mut min = u64::MAX;
+    let mut max = 0;
+    for dx in 0..side {
+        for dy in 0..side {
+            let i = kind.index_2d((bx << k) + dx, (by << k) + dy, bits);
+            min = min.min(i);
+            max = max.max(i);
+        }
+    }
+    assert_eq!(
+        max - min + 1,
+        side * side,
+        "{kind:?}: block ({bx},{by})@2^{k} is not contiguous"
+    );
+    (min, max)
+}
+
+#[test]
+fn morton_blocks_are_contiguous_2d() {
+    let bits = 5;
+    for k in 1..=3u32 {
+        let nblocks = 1u64 << (bits - k);
+        for bx in 0..nblocks {
+            for by in 0..nblocks {
+                block_range_2d(CurveKind::Morton, bits, bx, by, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn hilbert_blocks_are_contiguous_2d() {
+    let bits = 5;
+    for k in 1..=3u32 {
+        let nblocks = 1u64 << (bits - k);
+        for bx in 0..nblocks {
+            for by in 0..nblocks {
+                block_range_2d(CurveKind::Hilbert, bits, bx, by, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn anchor_sorts_blocks_like_their_ranges_2d() {
+    // Disjoint blocks of mixed sizes: sorting by lower-corner index must agree
+    // with sorting by range start.
+    let bits = 5;
+    for kind in [CurveKind::Morton, CurveKind::Hilbert] {
+        // A mixed tiling: one 8x8 block, three 4x4 blocks, rest 2x2.
+        let mut blocks: Vec<(u64, u64, u32)> = vec![(0, 0, 3)];
+        blocks.extend([(2, 3, 2), (3, 2, 2), (3, 3, 2)]);
+        for bx in 0..16u64 {
+            for by in 0..16u64 {
+                let covered = |x: u64, y: u64| {
+                    blocks
+                        .iter()
+                        .any(|&(cx, cy, k)| x >> (k - 1) == cx && y >> (k - 1) == cy)
+                };
+                if !covered(bx, by) {
+                    blocks.push((bx, by, 1));
+                }
+            }
+        }
+        let mut by_anchor: Vec<_> = blocks
+            .iter()
+            .map(|&(bx, by, k)| {
+                let anchor = kind.index_2d(bx << k, by << k, bits);
+                let (start, _) = block_range_2d(kind, bits, bx, by, k);
+                (anchor, start)
+            })
+            .collect();
+        by_anchor.sort_by_key(|&(anchor, _)| anchor);
+        let starts: Vec<_> = by_anchor.iter().map(|&(_, s)| s).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "{kind:?}: anchor order != range order");
+    }
+}
+
+#[test]
+fn hilbert_blocks_are_contiguous_3d() {
+    let bits = 4;
+    for k in 1..=2u32 {
+        let nblocks = 1u64 << (bits - k);
+        let side = 1u64 << k;
+        for bx in 0..nblocks {
+            for by in 0..nblocks {
+                for bz in 0..nblocks {
+                    let mut min = u64::MAX;
+                    let mut max = 0;
+                    for dx in 0..side {
+                        for dy in 0..side {
+                            for dz in 0..side {
+                                let i = CurveKind::Hilbert.index_3d(
+                                    (bx << k) + dx,
+                                    (by << k) + dy,
+                                    (bz << k) + dz,
+                                    bits,
+                                );
+                                min = min.min(i);
+                                max = max.max(i);
+                            }
+                        }
+                    }
+                    assert_eq!(max - min + 1, side * side * side);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Property tests: bijectivity of every curve at random resolutions.
+
+use proptest::prelude::*;
+use zmesh_sfc::{Curve, CurveKind};
+
+proptest! {
+    #[test]
+    fn curves_round_trip_2d(kind in prop::sample::select(&CurveKind::ALL[..]),
+                            bits in 1u32..16,
+                            xr in 0u64..u64::MAX, yr in 0u64..u64::MAX) {
+        let mask = (1u64 << bits) - 1;
+        let (x, y) = (xr & mask, yr & mask);
+        let i = kind.index_2d(x, y, bits);
+        prop_assert!(i < 1u64 << (2 * bits));
+        prop_assert_eq!(kind.point_2d(i, bits), (x, y));
+    }
+
+    #[test]
+    fn curves_round_trip_3d(kind in prop::sample::select(&CurveKind::ALL[..]),
+                            bits in 1u32..12,
+                            xr in 0u64..u64::MAX, yr in 0u64..u64::MAX, zr in 0u64..u64::MAX) {
+        let mask = (1u64 << bits) - 1;
+        let (x, y, z) = (xr & mask, yr & mask, zr & mask);
+        let i = kind.index_3d(x, y, z, bits);
+        prop_assert!(i < 1u64 << (3 * bits));
+        prop_assert_eq!(kind.point_3d(i, bits), (x, y, z));
+    }
+
+    #[test]
+    fn distinct_points_have_distinct_indices_2d(
+        kind in prop::sample::select(&CurveKind::ALL[..]),
+        bits in 1u32..16,
+        a in 0u64..u64::MAX, b in 0u64..u64::MAX,
+        c in 0u64..u64::MAX, d in 0u64..u64::MAX) {
+        let mask = (1u64 << bits) - 1;
+        let p = (a & mask, b & mask);
+        let q = (c & mask, d & mask);
+        prop_assume!(p != q);
+        prop_assert_ne!(kind.index_2d(p.0, p.1, bits), kind.index_2d(q.0, q.1, bits));
+    }
+}

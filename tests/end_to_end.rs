@@ -1,0 +1,100 @@
+//! Cross-crate integration: every preset × policy × codec round-trips under
+//! its error bound through the full container pipeline.
+
+use zmesh_suite::prelude::*;
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::ErrorControl;
+use zmesh_metrics::ErrorStats;
+
+fn check_dataset(ds: &datasets::Dataset, rel_eb: f64) {
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    for policy in OrderingPolicy::ALL {
+        for codec in [CodecKind::Sz, CodecKind::Zfp] {
+            let config = CompressionConfig {
+                policy,
+                codec,
+                control: ErrorControl::ValueRangeRelative(rel_eb),
+            };
+            let compressed = Pipeline::new(config)
+                .compress(&fields)
+                .unwrap_or_else(|e| panic!("{}/{policy:?}/{codec:?}: {e}", ds.name));
+            let restored = Pipeline::decompress(&compressed.bytes)
+                .unwrap_or_else(|e| panic!("{}/{policy:?}/{codec:?}: {e}", ds.name));
+            assert_eq!(restored.policy, policy);
+            assert_eq!(restored.fields.len(), ds.fields.len());
+            assert_eq!(restored.tree.cell_count(), ds.tree.cell_count());
+            for ((name, orig), (rname, rest)) in ds.fields.iter().zip(&restored.fields) {
+                assert_eq!(name, rname);
+                let stats = ErrorStats::between(orig.values(), rest.values());
+                let bound = rel_eb * stats.range;
+                assert!(
+                    stats.max_abs <= bound * (1.0 + 1e-9),
+                    "{}/{policy:?}/{codec:?}/{name}: {} > {bound}",
+                    ds.name,
+                    stats.max_abs
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_preset_round_trips_tiny() {
+    for mode in [StorageMode::LeafOnly, StorageMode::AllCells] {
+        for name in datasets::names() {
+            let ds = datasets::by_name(name, mode, Scale::Tiny).expect("known preset");
+            check_dataset(&ds, 1e-4);
+        }
+    }
+}
+
+#[test]
+fn representative_presets_round_trip_small() {
+    for name in ["front2d", "cluster3d"] {
+        let ds = datasets::by_name(name, StorageMode::AllCells, Scale::Small).unwrap();
+        check_dataset(&ds, 1e-3);
+        check_dataset(&ds, 1e-6);
+    }
+}
+
+#[test]
+fn compression_is_deterministic() {
+    let ds = datasets::blast2d(StorageMode::AllCells, Scale::Tiny);
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let config = CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    };
+    let a = Pipeline::new(config).compress(&fields).unwrap();
+    let b = Pipeline::new(config).compress(&fields).unwrap();
+    assert_eq!(a.bytes, b.bytes, "containers must be bit-reproducible");
+}
+
+#[test]
+fn decompressed_container_recompresses_identically() {
+    // Idempotence: decompress(compress(x)) compressed again with the same
+    // config yields a container of identical size (the data is now exactly
+    // representable).
+    let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let config = CompressionConfig {
+        policy: OrderingPolicy::ZOrder,
+        codec: CodecKind::Sz,
+        control: ErrorControl::Absolute(1e-3),
+    };
+    let c1 = Pipeline::new(config).compress(&fields).unwrap();
+    let d1 = Pipeline::decompress(&c1.bytes).unwrap();
+    let fields2: Vec<(&str, &zmesh_amr::AmrField)> =
+        d1.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let c2 = Pipeline::new(config).compress(&fields2).unwrap();
+    let d2 = Pipeline::decompress(&c2.bytes).unwrap();
+    // Second generation is a fixed point: values identical.
+    for ((_, a), (_, b)) in d1.fields.iter().zip(&d2.fields) {
+        assert_eq!(a.values(), b.values());
+    }
+}

@@ -1,0 +1,86 @@
+//! Failure injection: corrupted, truncated, and bit-flipped containers must
+//! produce typed errors or (for payload-region damage) bounded garbage —
+//! never panics, hangs, or out-of-bounds behavior.
+
+use zmesh_suite::prelude::*;
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::ErrorControl;
+
+fn container() -> Vec<u8> {
+    let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    Pipeline::new(CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    })
+    .compress(&fields)
+    .expect("compress")
+    .bytes
+}
+
+#[test]
+fn every_truncation_point_errors_cleanly() {
+    let bytes = container();
+    for cut in 0..bytes.len().min(64) {
+        assert!(Pipeline::decompress(&bytes[..cut]).is_err(), "cut = {cut}");
+    }
+    // Also a spread of larger cuts.
+    for frac in 1..20 {
+        let cut = bytes.len() * frac / 20;
+        let _ = Pipeline::decompress(&bytes[..cut]); // must not panic
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    let bytes = container();
+    // Deterministic pseudo-random positions covering header and payload.
+    let mut pos = 1u64;
+    for _ in 0..400 {
+        pos = pos.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let idx = (pos % bytes.len() as u64) as usize;
+        let bit = 1u8 << (pos >> 61);
+        let mut corrupted = bytes.clone();
+        corrupted[idx] ^= bit;
+        let _ = Pipeline::decompress(&corrupted); // Err or garbage, no panic
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut state = 42u64;
+    for len in [0usize, 1, 4, 5, 16, 100, 1000] {
+        let mut buf = vec![0u8; len];
+        for b in &mut buf {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 56) as u8;
+        }
+        let _ = Pipeline::decompress(&buf);
+    }
+}
+
+#[test]
+fn swapped_payloads_fail_or_restore_wrong_but_safely() {
+    // Graft the payload of one container onto another's header region by
+    // concatenation tricks: parsing must stay memory-safe.
+    let a = container();
+    let mut frankenstein = a.clone();
+    frankenstein.extend_from_slice(&a);
+    assert!(Pipeline::decompress(&frankenstein).is_err(), "trailing bytes accepted");
+}
+
+#[test]
+fn structure_metadata_corruption_is_detected() {
+    let bytes = container();
+    // The structure block starts right after magic+version+3 tags+varint.
+    // Flip bytes early in the container (structure region): the tree
+    // re-validation must catch inconsistencies rather than panic.
+    for idx in 8..40usize.min(bytes.len()) {
+        let mut corrupted = bytes.clone();
+        corrupted[idx] = corrupted[idx].wrapping_add(13);
+        let _ = Pipeline::decompress(&corrupted);
+    }
+}
