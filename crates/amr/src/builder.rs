@@ -76,13 +76,21 @@ impl TreeBuilder {
                 [
                     self.base[0] << s,
                     self.base[1] << s,
-                    if self.dim == Dim::D2 { 1 } else { self.base[2] << s },
+                    if self.dim == Dim::D2 {
+                        1
+                    } else {
+                        self.base[2] << s
+                    },
                 ]
             };
             let hw = [
                 0.5 / dims[0] as f64,
                 0.5 / dims[1] as f64,
-                if self.dim == Dim::D2 { 0.0 } else { 0.5 / dims[2] as f64 },
+                if self.dim == Dim::D2 {
+                    0.0
+                } else {
+                    0.5 / dims[2] as f64
+                },
             ];
             let mut refined_here = Vec::new();
             let mut next = Vec::new();
@@ -159,7 +167,10 @@ mod tests {
         for leaf in t.leaves() {
             if leaf.level == 2 {
                 let c = t.cell_center(leaf);
-                assert!(c[0] < 0.25 && c[1] < 0.25, "deep leaf outside region: {c:?}");
+                assert!(
+                    c[0] < 0.25 && c[1] < 0.25,
+                    "deep leaf outside region: {c:?}"
+                );
             }
         }
         assert!(t.leaf_count() > 64);

@@ -148,9 +148,8 @@ fn split(tags: &[CellCoord], dim: Dim, config: &BrConfig, out: &mut Vec<BrBox>) 
     let (axis, plane) = cut;
     debug_assert!(plane >= bbox.lo[axis] && plane < bbox.hi[axis]);
 
-    let (left, right): (Vec<CellCoord>, Vec<CellCoord>) = tags
-        .iter()
-        .partition(|t| [t.x, t.y, t.z][axis] <= plane);
+    let (left, right): (Vec<CellCoord>, Vec<CellCoord>) =
+        tags.iter().partition(|t| [t.x, t.y, t.z][axis] <= plane);
     debug_assert!(!left.is_empty() && !right.is_empty());
     split(&left, dim, config, out);
     split(&right, dim, config, out);
@@ -225,7 +224,12 @@ mod tests {
         // Boxes pairwise disjoint.
         for i in 0..boxes.len() {
             for j in i + 1..boxes.len() {
-                assert!(!boxes[i].intersects(&boxes[j]), "{:?} ∩ {:?}", boxes[i], boxes[j]);
+                assert!(
+                    !boxes[i].intersects(&boxes[j]),
+                    "{:?} ∩ {:?}",
+                    boxes[i],
+                    boxes[j]
+                );
             }
         }
     }
@@ -237,10 +241,18 @@ mod tests {
 
     #[test]
     fn single_dense_block_is_one_box() {
-        let tags: Vec<CellCoord> = (0..4).flat_map(|y| (0..4).map(move |x| tag(x, y))).collect();
+        let tags: Vec<CellCoord> = (0..4)
+            .flat_map(|y| (0..4).map(move |x| tag(x, y)))
+            .collect();
         let boxes = cluster(&tags, Dim::D2, &BrConfig::default());
         assert_eq!(boxes.len(), 1);
-        assert_eq!(boxes[0], BrBox { lo: [0, 0, 0], hi: [3, 3, 0] });
+        assert_eq!(
+            boxes[0],
+            BrBox {
+                lo: [0, 0, 0],
+                hi: [3, 3, 0]
+            }
+        );
         check_partition(&tags, &boxes);
     }
 
@@ -274,7 +286,10 @@ mod tests {
                 tags.push(tag(x, y));
             }
         }
-        let config = BrConfig { min_efficiency: 0.8, ..BrConfig::default() };
+        let config = BrConfig {
+            min_efficiency: 0.8,
+            ..BrConfig::default()
+        };
         let boxes = cluster(&tags, Dim::D2, &config);
         check_partition(&tags, &boxes);
         assert!(boxes.len() >= 2);
@@ -287,7 +302,10 @@ mod tests {
     #[test]
     fn max_extent_is_enforced() {
         let tags: Vec<CellCoord> = (0..100).map(|x| tag(x, 0)).collect();
-        let config = BrConfig { max_extent: 16, ..BrConfig::default() };
+        let config = BrConfig {
+            max_extent: 16,
+            ..BrConfig::default()
+        };
         let boxes = cluster(&tags, Dim::D2, &config);
         check_partition(&tags, &boxes);
         assert!(boxes.iter().all(|b| b.extent(0) <= 16), "{boxes:?}");
@@ -321,9 +339,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let tags: Vec<CellCoord> = (0..64)
-            .map(|i| tag((i * 7) % 40, (i * 13) % 40))
-            .collect();
+        let tags: Vec<CellCoord> = (0..64).map(|i| tag((i * 7) % 40, (i * 13) % 40)).collect();
         let a = cluster(&tags, Dim::D2, &BrConfig::default());
         let b = cluster(&tags, Dim::D2, &BrConfig::default());
         assert_eq!(a, b);

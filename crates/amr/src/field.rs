@@ -110,7 +110,13 @@ impl AmrField {
         let mut values: Vec<f64> = tree
             .cells()
             .par_iter()
-            .map(|c| if c.is_leaf { f(tree.cell_center(c)) } else { 0.0 })
+            .map(|c| {
+                if c.is_leaf {
+                    f(tree.cell_center(c))
+                } else {
+                    0.0
+                }
+            })
             .collect();
         // Pass 2: restrict bottom-up. Build a per-level index from packed
         // coords to cell index so parents can find their children.
@@ -262,7 +268,8 @@ mod tests {
     #[test]
     fn restriction_parents_average_children() {
         let t = small_tree();
-        let f = AmrField::sample_restricted(t.clone(), StorageMode::AllCells, |p| p[0] + 2.0 * p[1]);
+        let f =
+            AmrField::sample_restricted(t.clone(), StorageMode::AllCells, |p| p[0] + 2.0 * p[1]);
         // The refined level-0 cell (1,1) must hold the mean of its 4 children.
         let cells = t.cells();
         let parent_idx = cells
@@ -291,8 +298,7 @@ mod tests {
         // of its children *after* those children were themselves restricted.
         let l0 = vec![CellCoord::new(0, 0, 0).pack()];
         let l1 = vec![CellCoord::new(0, 0, 0).pack()];
-        let t =
-            Arc::new(AmrTree::from_refined(Dim::D2, [2, 2, 1], vec![l0, l1]).unwrap());
+        let t = Arc::new(AmrTree::from_refined(Dim::D2, [2, 2, 1], vec![l0, l1]).unwrap());
         // Field: 1 everywhere except the finest quadrant cell (0,0)@L2 = 9.
         let f = AmrField::sample_restricted(t.clone(), StorageMode::AllCells, |p| {
             if p[0] < 0.13 && p[1] < 0.13 {
@@ -307,7 +313,11 @@ mod tests {
             .position(|c| c.level == 0 && c.coord == CellCoord::new(0, 0, 0))
             .unwrap();
         // L1 (0,0) = mean(9,1,1,1) = 3; root = mean(3,1,1,1) = 1.5.
-        assert!((f.values()[root] - 1.5).abs() < 1e-12, "root = {}", f.values()[root]);
+        assert!(
+            (f.values()[root] - 1.5).abs() < 1e-12,
+            "root = {}",
+            f.values()[root]
+        );
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub fn tanh_front(seed: u64, w: f64) -> FieldFn {
     let phase = unit(seed) * std::f64::consts::TAU;
     let amp = 0.08 + 0.08 * unit(seed ^ 0xabcd);
     Arc::new(move |p| {
-        let front_y = 0.5 + amp * (3.0 * std::f64::consts::TAU * p[0] + phase).sin()
+        let front_y = 0.5
+            + amp * (3.0 * std::f64::consts::TAU * p[0] + phase).sin()
             + 0.05 * (7.0 * std::f64::consts::TAU * p[0]).cos()
             + 0.1 * (p[2] - 0.5);
         ((p[1] - front_y) / w).tanh()
@@ -143,7 +144,10 @@ pub fn vortices(seed: u64, n: usize) -> FieldFn {
     let cores: Vec<([f64; 2], f64)> = (0..n as u64)
         .map(|i| {
             let k = seed.wrapping_add(i.wrapping_mul(0x51ab));
-            ([unit(k ^ 11), unit(k ^ 13)], if unit(k ^ 17) > 0.5 { 1.0 } else { -1.0 })
+            (
+                [unit(k ^ 11), unit(k ^ 13)],
+                if unit(k ^ 17) > 0.5 { 1.0 } else { -1.0 },
+            )
         })
         .collect();
     Arc::new(move |p| {
@@ -162,9 +166,7 @@ pub fn vortices(seed: u64, n: usize) -> FieldFn {
 /// A smooth large-scale companion field (e.g. "pressure" to go with a sharp
 /// "temperature"): low-frequency noise plus a gradient.
 pub fn smooth_background(seed: u64) -> FieldFn {
-    Arc::new(move |p| {
-        2.0 + p[0] * 0.5 - p[1] * 0.3 + 0.4 * value_noise(seed, p, 3.0)
-    })
+    Arc::new(move |p| 2.0 + p[0] * 0.5 - p[1] * 0.3 + 0.4 * value_noise(seed, p, 3.0))
 }
 
 #[cfg(test)]

@@ -280,8 +280,11 @@ pub fn cluster3d(mode: StorageMode, scale: Scale) -> Dataset {
             // A smoothed companion: large-scale part of the density.
             let c = [0.5, 0.5, 0.5];
             let r2: f64 = (0..3).map(|a| (p[a] - c[a]) * (p[a] - c[a])).sum();
-            -d([0.5 + (p[0] - 0.5) * 0.5, 0.5 + (p[1] - 0.5) * 0.5, 0.5 + (p[2] - 0.5) * 0.5])
-                - 0.5 * r2
+            -d([
+                0.5 + (p[0] - 0.5) * 0.5,
+                0.5 + (p[1] - 0.5) * 0.5,
+                0.5 + (p[2] - 0.5) * 0.5,
+            ]) - 0.5 * r2
         })
     };
     // Halos are compact: a coarse-cell gradient probe misses them, so track
@@ -338,7 +341,13 @@ pub fn all(mode: StorageMode, scale: Scale) -> Vec<Dataset> {
 /// Preset names without building them.
 pub fn names() -> &'static [&'static str] {
     &[
-        "front2d", "blast2d", "advect2d", "diffuse2d", "shock2d", "kh2d", "cluster3d",
+        "front2d",
+        "blast2d",
+        "advect2d",
+        "diffuse2d",
+        "shock2d",
+        "kh2d",
+        "cluster3d",
         "turb3d",
     ]
 }

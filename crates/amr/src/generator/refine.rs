@@ -75,7 +75,11 @@ impl RefineCriterion {
                 // centers of coarse levels, so probe a 3^d lattice inside
                 // the cell and trigger on any in-band sample.
                 let offsets = [-2.0 / 3.0, 0.0, 2.0 / 3.0];
-                for &oz in if hw[2] > 0.0 { &offsets[..] } else { &offsets[1..2] } {
+                for &oz in if hw[2] > 0.0 {
+                    &offsets[..]
+                } else {
+                    &offsets[1..2]
+                } {
                     for &oy in &offsets {
                         for &ox in &offsets {
                             let p = [
@@ -136,7 +140,10 @@ mod tests {
             "only {in_band}/{} deep leaves in the front band",
             deep.len()
         );
-        assert!(deep.iter().all(|v| *v < 1.0 - 1e-9), "deep leaf in flat far field");
+        assert!(
+            deep.iter().all(|v| *v < 1.0 - 1e-9),
+            "deep leaf in flat far field"
+        );
         // And the tree must be much smaller than the uniform equivalent.
         assert!(tree.leaf_count() < 128 * 128 / 2);
     }

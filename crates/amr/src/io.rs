@@ -109,7 +109,10 @@ pub fn load_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset, AmrError> {
             r.read_exact(&mut buf)?;
             values.push(f64::from_le_bytes(buf));
         }
-        fields.push((fname, AmrField::from_values(Arc::clone(&tree), mode, values)?));
+        fields.push((
+            fname,
+            AmrField::from_values(Arc::clone(&tree), mode, values)?,
+        ));
     }
     Ok(Dataset {
         name,

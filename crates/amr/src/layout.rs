@@ -79,7 +79,11 @@ pub fn storage_permutation(tree: &AmrTree, mode: StorageMode, layout: FileLayout
         }
         FileLayout::Tiles { shift } => {
             for (pos, c) in cell_at.iter().enumerate() {
-                keyed.push((u64::from(c.level), tile_key(c.coord, shift, None), pos as u32));
+                keyed.push((
+                    u64::from(c.level),
+                    tile_key(c.coord, shift, None),
+                    pos as u32,
+                ));
             }
         }
         FileLayout::TilesRanked { shift, ranks } => {
@@ -87,21 +91,14 @@ pub fn storage_permutation(tree: &AmrTree, mode: StorageMode, layout: FileLayout
             // modulo ranks (matching the tree's native assignment).
             for level in 0..=tree.max_level() {
                 let cells = relevant_level_cells(tree, mode, level);
-                let mut tiles: Vec<u64> = cells
-                    .iter()
-                    .map(|(_, c)| tile_of(c.coord, shift))
-                    .collect();
+                let mut tiles: Vec<u64> =
+                    cells.iter().map(|(_, c)| tile_of(c.coord, shift)).collect();
                 tiles.sort_unstable();
                 tiles.dedup();
                 for (pos, c) in &cells {
                     let tile = tile_of(c.coord, shift);
-                    let rank =
-                        tiles.binary_search(&tile).expect("tile exists") as u32 % ranks;
-                    keyed.push((
-                        u64::from(level),
-                        tile_key(c.coord, shift, Some(rank)),
-                        *pos,
-                    ));
+                    let rank = tiles.binary_search(&tile).expect("tile exists") as u32 % ranks;
+                    keyed.push((u64::from(level), tile_key(c.coord, shift, Some(rank)), *pos));
                 }
             }
         }
@@ -118,7 +115,8 @@ pub fn storage_permutation(tree: &AmrTree, mode: StorageMode, layout: FileLayout
                     let box_idx = boxes
                         .iter()
                         .position(|b| b.contains(c.coord))
-                        .expect("BR boxes cover all tags") as u128;
+                        .expect("BR boxes cover all tags")
+                        as u128;
                     keyed.push((
                         u64::from(level),
                         (box_idx << 64) | u128::from(c.coord.pack()),
@@ -132,11 +130,7 @@ pub fn storage_permutation(tree: &AmrTree, mode: StorageMode, layout: FileLayout
     keyed.iter().map(|&(_, _, pos)| pos).collect()
 }
 
-fn relevant_level_cells(
-    tree: &AmrTree,
-    mode: StorageMode,
-    level: u32,
-) -> Vec<(u32, &Cell)> {
+fn relevant_level_cells(tree: &AmrTree, mode: StorageMode, level: u32) -> Vec<(u32, &Cell)> {
     // (position in the *canonical participating order*, cell).
     match mode {
         StorageMode::LeafOnly => tree
@@ -184,7 +178,9 @@ mod tests {
         FileLayout::RowMajor,
         FileLayout::Tiles { shift: 2 },
         FileLayout::TilesRanked { shift: 2, ranks: 4 },
-        FileLayout::BrBoxes { min_efficiency: 0.7 },
+        FileLayout::BrBoxes {
+            min_efficiency: 0.7,
+        },
     ];
 
     #[test]
@@ -254,8 +250,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<String> =
-            LAYOUTS.iter().map(|l| l.label()).collect();
+        let labels: std::collections::HashSet<String> = LAYOUTS.iter().map(|l| l.label()).collect();
         assert_eq!(labels.len(), LAYOUTS.len());
     }
 }

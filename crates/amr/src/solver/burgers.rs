@@ -68,7 +68,8 @@ mod tests {
         let mut gmax = 0.0f64;
         for j in 0..n {
             for i in 0..n - 1 {
-                gmax = gmax.max((g.at(i as isize + 1, j as isize) - g.at(i as isize, j as isize)).abs());
+                gmax = gmax
+                    .max((g.at(i as isize + 1, j as isize) - g.at(i as isize, j as isize)).abs());
             }
         }
         gmax * n as f64

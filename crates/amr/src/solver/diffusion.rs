@@ -6,12 +6,7 @@ use super::grid::Grid2;
 /// Diffuses heat from `sources` (position, strength) for `steps` explicit
 /// steps with diffusivity `kappa`. The time step satisfies the 2-D explicit
 /// stability limit `dt <= h²/(4κ)` with a safety factor.
-pub fn diffuse_hot_spots(
-    n: usize,
-    steps: usize,
-    kappa: f64,
-    sources: &[([f64; 2], f64)],
-) -> Grid2 {
+pub fn diffuse_hot_spots(n: usize, steps: usize, kappa: f64, sources: &[([f64; 2], f64)]) -> Grid2 {
     diffuse_snapshots(n, steps, steps.max(1), kappa, sources)
         .pop()
         .expect("at least the final state")
@@ -38,7 +33,9 @@ pub fn diffuse_snapshots(
         for j in 0..ny {
             for i in 0..nx {
                 let (ii, jj) = (i as isize, j as isize);
-                let lap = cur.at(ii - 1, jj) + cur.at(ii + 1, jj) + cur.at(ii, jj - 1)
+                let lap = cur.at(ii - 1, jj)
+                    + cur.at(ii + 1, jj)
+                    + cur.at(ii, jj - 1)
                     + cur.at(ii, jj + 1)
                     - 4.0 * cur.at(ii, jj);
                 next.data_mut()[j * nx + i] = cur.at(ii, jj) + dt * kappa / (h * h) * lap;
@@ -65,11 +62,8 @@ pub fn diffuse_snapshots(
 mod tests {
     use super::*;
 
-    const SOURCES: [([f64; 2], f64); 3] = [
-        ([0.25, 0.25], 4.0),
-        ([0.7, 0.6], 2.5),
-        ([0.4, 0.8], 3.0),
-    ];
+    const SOURCES: [([f64; 2], f64); 3] =
+        [([0.25, 0.25], 4.0), ([0.7, 0.6], 2.5), ([0.4, 0.8], 3.0)];
 
     #[test]
     fn stays_finite_and_nonnegative() {

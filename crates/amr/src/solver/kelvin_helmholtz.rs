@@ -80,8 +80,7 @@ pub fn kelvin_helmholtz(n: usize, steps: usize, nu: f64) -> Grid2 {
                 let dwdx = if u >= 0.0 { w - wl } else { wr - w };
                 let dwdy = if v >= 0.0 { w - wd } else { wu - w };
                 let lap = (wl + wr + wd + wu - 4.0 * w) / (h * h);
-                next.data_mut()[j * n + i] =
-                    w - dt / h * (u * dwdx + v * dwdy) + dt * nu * lap;
+                next.data_mut()[j * n + i] = w - dt / h * (u * dwdx + v * dwdy) + dt * nu * lap;
             }
         }
         std::mem::swap(&mut omega, &mut next);
@@ -111,7 +110,12 @@ mod tests {
         let w0 = kelvin_helmholtz(64, 0, 1e-4);
         let w1 = kelvin_helmholtz(64, 80, 1e-4);
         let sum = |g: &Grid2| g.data().iter().sum::<f64>() / (64.0 * 64.0);
-        assert!((sum(&w0) - sum(&w1)).abs() < 1e-6, "{} vs {}", sum(&w0), sum(&w1));
+        assert!(
+            (sum(&w0) - sum(&w1)).abs() < 1e-6,
+            "{} vs {}",
+            sum(&w0),
+            sum(&w1)
+        );
     }
 
     #[test]

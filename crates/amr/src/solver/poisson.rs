@@ -131,7 +131,10 @@ pub fn residual_norm(psi: &Grid2, f: &Grid2) -> f64 {
 /// gauge is enforced on both `f` and the returned `psi`.
 pub fn solve_poisson_periodic(psi: &mut Grid2, f: &Grid2, tol: f64, max_cycles: usize) -> usize {
     let n = psi.nx();
-    assert!(n.is_power_of_two() && n >= 4, "grid must be power-of-two >= 4");
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "grid must be power-of-two >= 4"
+    );
     assert_eq!(f.nx(), n);
     // Project out the mean of f (periodic solvability condition).
     let mean = f.data().iter().sum::<f64>() / (n * n) as f64;

@@ -113,13 +113,11 @@ impl AmrTree {
         if dim == Dim::D2 && base[2] != 1 {
             return Err(AmrError::InvalidStructure("2-D base grid must have nz = 1"));
         }
-        let finest = base
-            .iter()
-            .map(|&b| b << max_level)
-            .max()
-            .expect("3 dims");
+        let finest = base.iter().map(|&b| b << max_level).max().expect("3 dims");
         if finest > 1 << COORD_BITS {
-            return Err(AmrError::InvalidStructure("finest grid exceeds 21-bit coords"));
+            return Err(AmrError::InvalidStructure(
+                "finest grid exceeds 21-bit coords",
+            ));
         }
 
         // Enumerate existing cells level by level.
@@ -160,14 +158,15 @@ impl AmrTree {
             // within a tile.
             let tile_of = |key: u64| -> u64 {
                 let c = CellCoord::unpack(key);
-                CellCoord::new(c.x >> patch_shift, c.y >> patch_shift, c.z >> patch_shift)
-                    .pack()
+                CellCoord::new(c.x >> patch_shift, c.y >> patch_shift, c.z >> patch_shift).pack()
             };
             let mut tiles: Vec<u64> = current.iter().map(|&k| tile_of(k)).collect();
             tiles.sort_unstable();
             tiles.dedup();
             let rank_of = |tile: u64| -> u32 {
-                let idx = tiles.binary_search(&tile).expect("tile of an existing cell");
+                let idx = tiles
+                    .binary_search(&tile)
+                    .expect("tile of an existing cell");
                 idx as u32 % ranks
             };
             let mut emit_order = current.clone();
@@ -375,8 +374,11 @@ impl AmrTree {
         let dim = Dim::from_tag(*bytes.get(pos).ok_or(AmrError::Corrupt("missing dim"))?)
             .ok_or(AmrError::Corrupt("bad dim tag"))?;
         pos += 1;
-        let patch_shift =
-            u32::from(*bytes.get(pos).ok_or(AmrError::Corrupt("missing patch size"))?);
+        let patch_shift = u32::from(
+            *bytes
+                .get(pos)
+                .ok_or(AmrError::Corrupt("missing patch size"))?,
+        );
         pos += 1;
         let ranks = read_u64(bytes, &mut pos)? as u32;
         let mut base = [0usize; 3];
@@ -501,14 +503,12 @@ mod tests {
         // 32x32 grid, 8-cell patches -> 16 tiles; 4 ranks round-robin.
         // Rank 0 owns tiles 0, 4, 8, 12 of the (z,y,x) tile order, so the
         // second emitted tile is tile #4 = (0,1), not (1,0).
-        let t =
-            AmrTree::from_refined_with_layout(Dim::D2, [32, 32, 1], vec![], 3, 4).unwrap();
+        let t = AmrTree::from_refined_with_layout(Dim::D2, [32, 32, 1], vec![], 3, 4).unwrap();
         assert_eq!(t.ranks(), 4);
         assert_eq!(t.cells()[0].coord, CellCoord::new(0, 0, 0));
         assert_eq!(t.cells()[64].coord, CellCoord::new(0, 8, 0));
         // A single rank reduces to plain (z,y,x) tile order.
-        let t1 =
-            AmrTree::from_refined_with_layout(Dim::D2, [32, 32, 1], vec![], 3, 1).unwrap();
+        let t1 = AmrTree::from_refined_with_layout(Dim::D2, [32, 32, 1], vec![], 3, 1).unwrap();
         assert_eq!(t1.cells()[64].coord, CellCoord::new(8, 0, 0));
         // Layout is part of the metadata and survives serialization.
         let t2 = AmrTree::from_structure_bytes(&t.structure_bytes()).unwrap();
@@ -549,7 +549,10 @@ mod tests {
         let leaf0 = t.cells().first().unwrap();
         assert_eq!(t.anchor(leaf0), CellCoord::new(0, 0, 0));
         let l1 = &t.level_cells(1)[0];
-        assert_eq!(t.anchor(l1), CellCoord::new(l1.coord.x << 1, l1.coord.y << 1, 0));
+        assert_eq!(
+            t.anchor(l1),
+            CellCoord::new(l1.coord.x << 1, l1.coord.y << 1, 0)
+        );
     }
 
     #[test]

@@ -43,10 +43,14 @@ fn bench_codecs(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes));
     let sz = SzCodec::new();
     let sz_bytes = sz.compress(&data, &params).unwrap();
-    g.bench_function("sz", |b| b.iter(|| sz.decompress(black_box(&sz_bytes)).unwrap()));
+    g.bench_function("sz", |b| {
+        b.iter(|| sz.decompress(black_box(&sz_bytes)).unwrap())
+    });
     let zfp = ZfpCodec::new();
     let zfp_bytes = zfp.compress(&data, &params).unwrap();
-    g.bench_function("zfp", |b| b.iter(|| zfp.decompress(black_box(&zfp_bytes)).unwrap()));
+    g.bench_function("zfp", |b| {
+        b.iter(|| zfp.decompress(black_box(&zfp_bytes)).unwrap())
+    });
     g.finish();
 }
 

@@ -1,0 +1,68 @@
+//! Criterion bench: v2 store region-query latency vs full decode, and
+//! recipe-cache amortization on multi-field writes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zmesh::{CompressionConfig, OrderingPolicy};
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::{CodecKind, ErrorControl};
+use zmesh_store::{Query, RecipeCache, StoreReader, StoreWriter};
+
+fn config() -> CompressionConfig {
+    CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    }
+}
+
+fn bench_store(c: &mut Criterion) {
+    let ds = datasets::blast2d(StorageMode::AllCells, Scale::Small);
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let store = StoreWriter::new(config())
+        .with_chunk_target_bytes(8 * 1024)
+        .write(&fields)
+        .expect("write store");
+    let reader = StoreReader::open(&store.bytes).expect("open store");
+    let side = reader.tree().level_dims(reader.tree().max_level())[0] as u32;
+
+    // Region query (decodes only overlapping chunks) vs full decode of the
+    // same field — the random-access payoff.
+    let mut g = c.benchmark_group("store_read");
+    g.throughput(Throughput::Bytes(ds.fields[0].1.nbytes() as u64));
+    g.bench_function("full_decode", |b| {
+        b.iter(|| reader.decode_field(black_box("density")).unwrap())
+    });
+    let corner = Query::bbox([0, 0, 0], [side / 8 - 1, side / 8 - 1, 0]);
+    g.bench_function("query_1_64_domain", |b| {
+        b.iter(|| reader.query(black_box("density"), &corner).unwrap())
+    });
+    let half = Query::bbox([0, 0, 0], [side / 2 - 1, side - 1, 0]);
+    g.bench_function("query_half_domain", |b| {
+        b.iter(|| reader.query(black_box("density"), &half).unwrap())
+    });
+    g.finish();
+
+    // Write path: cold recipe build vs cache-served recipe.
+    let mut g = c.benchmark_group("store_write");
+    g.throughput(Throughput::Bytes(ds.nbytes() as u64));
+    g.bench_function("cold_recipe", |b| {
+        b.iter(|| {
+            // A fresh writer (fresh cache) rebuilds the recipe every time.
+            StoreWriter::new(config())
+                .write(black_box(&fields))
+                .unwrap()
+        })
+    });
+    let shared = std::sync::Arc::new(RecipeCache::new());
+    let warm_writer = StoreWriter::new(config()).with_cache(std::sync::Arc::clone(&shared));
+    warm_writer.write(&fields).expect("warm the cache");
+    g.bench_function("cached_recipe", |b| {
+        b.iter(|| warm_writer.write(black_box(&fields)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

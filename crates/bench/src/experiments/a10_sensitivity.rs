@@ -25,7 +25,9 @@ fn gain_for(levels: u32, threshold: f64, scale: Scale) -> (usize, f64) {
             .build()
             .expect("valid refinement"),
     );
-    let field = AmrField::sample(Arc::clone(&tree), StorageMode::AllCells, move |p| field_fn(p));
+    let field = AmrField::sample(Arc::clone(&tree), StorageMode::AllCells, move |p| {
+        field_fn(p)
+    });
     let ratio = |policy| {
         let config = CompressionConfig {
             policy,
@@ -56,7 +58,11 @@ pub fn run(scale: Scale) {
     header(&["threshold", "cells", "h_gain_%"]);
     for threshold in [0.1, 0.2, 0.4, 0.8] {
         let (cells, gain) = gain_for(3, threshold, scale);
-        row(&[threshold.to_string(), cells.to_string(), format!("{gain:.1}")]);
+        row(&[
+            threshold.to_string(),
+            cells.to_string(),
+            format!("{gain:.1}"),
+        ]);
     }
     println!("\nshape check: deeper hierarchies widen the zMesh advantage.");
 }

@@ -18,7 +18,9 @@ const LAYOUTS: [FileLayout; 4] = [
     FileLayout::RowMajor,
     FileLayout::Tiles { shift: 3 },
     FileLayout::TilesRanked { shift: 3, ranks: 8 },
-    FileLayout::BrBoxes { min_efficiency: 0.7 },
+    FileLayout::BrBoxes {
+        min_efficiency: 0.7,
+    },
 ];
 
 /// Prints baseline ratio/TV per layout plus the zMesh gain against each.
@@ -42,8 +44,7 @@ pub fn run(scale: Scale) {
         let zratio = (zstream.len() * 8) as f64 / zbytes as f64;
         for layout in LAYOUTS {
             let order = storage_permutation(&ds.tree, field.mode(), layout);
-            let stream: Vec<f64> =
-                order.iter().map(|&i| field.values()[i as usize]).collect();
+            let stream: Vec<f64> = order.iter().map(|&i| field.values()[i as usize]).collect();
             let bytes = codec.compress(&stream, &params).expect("compress").len();
             let ratio = (stream.len() * 8) as f64 / bytes as f64;
             row(&[

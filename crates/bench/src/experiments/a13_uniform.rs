@@ -12,7 +12,7 @@ use crate::{header, row};
 use zmesh::{CompressionConfig, OrderingPolicy, Pipeline};
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::StorageMode;
-use zmesh_codecs::{Codec, CodecKind, CodecParams, ErrorControl, ValueType, SzCodec};
+use zmesh_codecs::{Codec, CodecKind, CodecParams, ErrorControl, SzCodec, ValueType};
 
 /// Prints bytes and reduction factors for AMR+zMesh vs uniform storage.
 pub fn run(scale: Scale) {
@@ -25,7 +25,14 @@ pub fn run(scale: Scale) {
         "zmesh_bytes",
         "end_to_end_x",
     ]);
-    for name in ["front2d", "blast2d", "advect2d", "diffuse2d", "shock2d", "kh2d"] {
+    for name in [
+        "front2d",
+        "blast2d",
+        "advect2d",
+        "diffuse2d",
+        "shock2d",
+        "kh2d",
+    ] {
         let ds = datasets::by_name(name, StorageMode::AllCells, scale).expect("2-D preset");
         let field = ds.primary();
         // Resolve one absolute bound from the AMR data's range and use it

@@ -15,9 +15,7 @@ use zmesh_codecs::{Codec, CodecParams, EntropyCoder, SzCodec};
 /// Prints ratio + throughput per (dataset, entropy, backend) combination.
 pub fn run(scale: Scale) {
     println!("\n## A14: SZ entropy-stage ablation (zmesh-h stream, rel_eb 1e-4)\n");
-    header(&[
-        "dataset", "entropy", "backend", "ratio", "encode_MBps",
-    ]);
+    header(&["dataset", "entropy", "backend", "ratio", "encode_MBps"]);
     let combos = [
         (EntropyCoder::Huffman, Backend::None),
         (EntropyCoder::Huffman, Backend::Lzss),

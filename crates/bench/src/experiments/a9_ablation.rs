@@ -13,7 +13,9 @@ use zmesh_codecs::{CodecKind, ErrorControl};
 /// Prints SZ ratios for every (dataset, storage mode, ordering) combination.
 pub fn run(scale: Scale) {
     println!("\n## A9: ablation — ordering x grouping (sz, rel_eb 1e-4)\n");
-    header(&["dataset", "storage", "baseline", "zorder", "hilbert", "h_gain_%"]);
+    header(&[
+        "dataset", "storage", "baseline", "zorder", "hilbert", "h_gain_%",
+    ]);
     for name in datasets::names() {
         for mode in [StorageMode::LeafOnly, StorageMode::AllCells] {
             let ds = datasets::by_name(name, mode, scale).expect("known preset");

@@ -24,9 +24,15 @@ pub(crate) fn run_for(scale: Scale, codec: CodecKind, tag: &str, paper_max: &str
     let mut max_gain = f64::NEG_INFINITY;
     for ds in eval_datasets(scale).iter() {
         for eb in EB_SWEEP {
-            let base = compress(&ds, OrderingPolicy::LevelOrder, codec, eb).stats.ratio();
-            let z = compress(&ds, OrderingPolicy::ZOrder, codec, eb).stats.ratio();
-            let h = compress(&ds, OrderingPolicy::Hilbert, codec, eb).stats.ratio();
+            let base = compress(ds, OrderingPolicy::LevelOrder, codec, eb)
+                .stats
+                .ratio();
+            let z = compress(ds, OrderingPolicy::ZOrder, codec, eb)
+                .stats
+                .ratio();
+            let h = compress(ds, OrderingPolicy::Hilbert, codec, eb)
+                .stats
+                .ratio();
             let zg = 100.0 * (z / base - 1.0);
             let hg = 100.0 * (h / base - 1.0);
             max_gain = max_gain.max(zg).max(hg);

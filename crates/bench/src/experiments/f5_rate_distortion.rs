@@ -11,15 +11,21 @@ use zmesh_metrics::ErrorStats;
 /// Prints (bits/value, PSNR) series per dataset × codec × policy.
 pub fn run(scale: Scale) {
     println!("\n## F5: rate-distortion (primary field distortion, whole-container rate)\n");
-    header(&["dataset", "codec", "ordering", "rel_eb", "bits_per_value", "psnr_dB"]);
+    header(&[
+        "dataset",
+        "codec",
+        "ordering",
+        "rel_eb",
+        "bits_per_value",
+        "psnr_dB",
+    ]);
     for ds in eval_datasets(scale).iter() {
         for codec in [CodecKind::Sz, CodecKind::Zfp] {
             for policy in [OrderingPolicy::LevelOrder, OrderingPolicy::Hilbert] {
                 for eb in EB_SWEEP {
-                    let c = compress(&ds, policy, codec, eb);
+                    let c = compress(ds, policy, codec, eb);
                     let d = Pipeline::decompress(&c.bytes).expect("round trip");
-                    let stats =
-                        ErrorStats::between(ds.primary().values(), d.fields[0].1.values());
+                    let stats = ErrorStats::between(ds.primary().values(), d.fields[0].1.values());
                     let n_values: usize = ds.fields.iter().map(|(_, f)| f.len()).sum();
                     let bpv = (c.stats.container_bytes * 8) as f64 / n_values as f64;
                     row(&[

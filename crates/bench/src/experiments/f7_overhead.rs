@@ -19,7 +19,7 @@ pub fn run(scale: Scale) {
         "decomp_recipe_ms",
     ]);
     for ds in eval_datasets(scale).iter() {
-        let c = compress(&ds, OrderingPolicy::Hilbert, CodecKind::Sz, 1e-4);
+        let c = compress(ds, OrderingPolicy::Hilbert, CodecKind::Sz, 1e-4);
         let d = Pipeline::decompress(&c.bytes).expect("round trip");
         let recipe = c.stats.recipe_ns as f64 / 1e6;
         let reorder = c.stats.reorder_ns as f64 / 1e6;
@@ -29,7 +29,10 @@ pub fn run(scale: Scale) {
             format!("{recipe:.2}"),
             format!("{reorder:.2}"),
             format!("{encode:.2}"),
-            format!("{:.1}", 100.0 * (recipe + reorder) / (recipe + reorder + encode)),
+            format!(
+                "{:.1}",
+                100.0 * (recipe + reorder) / (recipe + reorder + encode)
+            ),
             format!("{:.2}", d.recipe_ns as f64 / 1e6),
         ]);
     }

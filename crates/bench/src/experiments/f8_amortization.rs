@@ -46,8 +46,7 @@ pub fn run(scale: Scale) {
             .collect();
         let c = Pipeline::new(config).compress(&fields).expect("compress");
         let recipe = c.stats.recipe_ns as f64 / 1e6;
-        let total =
-            (c.stats.recipe_ns + c.stats.reorder_ns + c.stats.encode_ns) as f64 / 1e6;
+        let total = (c.stats.recipe_ns + c.stats.reorder_ns + c.stats.encode_ns) as f64 / 1e6;
         row(&[
             nq.to_string(),
             format!("{recipe:.2}"),

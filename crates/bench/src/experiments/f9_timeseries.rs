@@ -76,11 +76,7 @@ pub fn run(scale: Scale) {
             let delta: Vec<f64> = stream.iter().zip(prev).map(|(a, b)| a - b).collect();
             let bytes = codec.compress(&delta, &params).expect("compress");
             let recon_delta = codec.decompress(&bytes).expect("decompress");
-            let recon: Vec<f64> = prev
-                .iter()
-                .zip(&recon_delta)
-                .map(|(p, d)| p + d)
-                .collect();
+            let recon: Vec<f64> = prev.iter().zip(&recon_delta).map(|(p, d)| p + d).collect();
             (bytes.len(), recon)
         });
         let ms = t.elapsed().as_secs_f64() * 1e3;
@@ -126,8 +122,7 @@ pub fn run(scale: Scale) {
         let step_recipe =
             RestoreRecipe::build(&step_tree, OrderingPolicy::Hilbert, GroupingMode::Chained);
         let regrid_ms = t.elapsed().as_secs_f64() * 1e3;
-        let field =
-            AmrField::sample(Arc::clone(&step_tree), StorageMode::AllCells, move |p| f(p));
+        let field = AmrField::sample(Arc::clone(&step_tree), StorageMode::AllCells, move |p| f(p));
         let t = Instant::now();
         let stream = step_recipe.apply(field.values());
         let bytes = codec.compress(&stream, &params).expect("compress").len();

@@ -6,10 +6,10 @@ pub mod a11_layouts;
 pub mod a13_uniform;
 pub mod a14_entropy;
 pub mod a9_ablation;
-pub mod f2_smoothness;
-pub mod f2b_locality;
 pub mod f10_threads;
 pub mod f11_precision;
+pub mod f2_smoothness;
+pub mod f2b_locality;
 pub mod f3_sz_ratio;
 pub mod f4_zfp_ratio;
 pub mod f5_rate_distortion;

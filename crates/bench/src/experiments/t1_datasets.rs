@@ -8,7 +8,14 @@ use zmesh_amr::{DatasetStats, Dim};
 pub fn run(scale: Scale) {
     println!("\n## T1: evaluation datasets\n");
     header(&[
-        "dataset", "dim", "levels", "cells", "leaves", "uniform_eq", "amr_saving", "raw_MiB",
+        "dataset",
+        "dim",
+        "levels",
+        "cells",
+        "leaves",
+        "uniform_eq",
+        "amr_saving",
+        "raw_MiB",
     ]);
     for ds in eval_datasets(scale).iter() {
         let s = DatasetStats::compute(&ds.tree);

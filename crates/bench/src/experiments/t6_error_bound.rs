@@ -25,7 +25,7 @@ pub fn run(scale: Scale) {
     for ds in eval_datasets(scale).iter() {
         for codec in [CodecKind::Sz, CodecKind::Zfp] {
             for policy in OrderingPolicy::ALL {
-                let c = compress(&ds, policy, codec, rel_eb);
+                let c = compress(ds, policy, codec, rel_eb);
                 let d = Pipeline::decompress(&c.bytes).expect("round trip");
                 for ((name, orig), (_, rest)) in ds.fields.iter().zip(&d.fields) {
                     let stats = ErrorStats::between(orig.values(), rest.values());

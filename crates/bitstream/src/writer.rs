@@ -47,7 +47,11 @@ impl BitWriter {
         if n == 0 {
             return;
         }
-        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
         self.total_bits += u64::from(n);
         let free = 64 - self.nbits;
         if n <= free {

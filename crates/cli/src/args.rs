@@ -58,7 +58,10 @@ impl Args {
     /// A float-valued option.
     pub fn float(&self, name: &str) -> Result<Option<f64>, String> {
         self.option(name)
-            .map(|v| v.parse::<f64>().map_err(|_| format!("--{name}: not a number: {v}")))
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--{name}: not a number: {v}"))
+            })
             .transpose()
     }
 }

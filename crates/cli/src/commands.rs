@@ -1,68 +1,110 @@
-//! The six subcommands.
+//! The subcommands.
 
 use crate::args::Args;
+use crate::error::CliError;
 use zmesh::{CompressionConfig, OrderingPolicy, Pipeline};
 use zmesh_amr::datasets::{self, Dataset, Scale};
 use zmesh_amr::{load_dataset, save_dataset, AmrField, DatasetStats, StorageMode};
 use zmesh_codecs::{CodecKind, ErrorControl};
 use zmesh_metrics::ErrorStats;
+use zmesh_store::{Query, StoreReader, StoreWriter};
 
-fn parse_scale(args: &Args) -> Result<Scale, String> {
+fn parse_scale(args: &Args) -> Result<Scale, CliError> {
     match args.option("scale").unwrap_or("small") {
         "tiny" => Ok(Scale::Tiny),
         "small" => Ok(Scale::Small),
         "standard" => Ok(Scale::Standard),
-        other => Err(format!("unknown scale {other:?}")),
+        other => Err(CliError::Usage(format!("unknown scale {other:?}"))),
     }
 }
 
-fn parse_mode(args: &Args) -> Result<StorageMode, String> {
+fn parse_mode(args: &Args) -> Result<StorageMode, CliError> {
     match args.option("mode").unwrap_or("all") {
         "leaf" => Ok(StorageMode::LeafOnly),
         "all" => Ok(StorageMode::AllCells),
-        other => Err(format!("unknown mode {other:?} (leaf|all)")),
+        other => Err(CliError::Usage(format!(
+            "unknown mode {other:?} (leaf|all)"
+        ))),
     }
 }
 
-fn parse_policy(args: &Args) -> Result<OrderingPolicy, String> {
+fn parse_policy(args: &Args) -> Result<OrderingPolicy, CliError> {
     match args.option("policy").unwrap_or("hilbert") {
         "baseline" | "levelorder" => Ok(OrderingPolicy::LevelOrder),
         "zorder" => Ok(OrderingPolicy::ZOrder),
         "hilbert" => Ok(OrderingPolicy::Hilbert),
-        other => Err(format!("unknown policy {other:?} (baseline|zorder|hilbert)")),
+        other => Err(CliError::Usage(format!(
+            "unknown policy {other:?} (baseline|zorder|hilbert)"
+        ))),
     }
 }
 
-fn parse_codec(args: &Args) -> Result<CodecKind, String> {
+fn parse_codec(args: &Args) -> Result<CodecKind, CliError> {
     match args.option("codec").unwrap_or("sz") {
         "sz" => Ok(CodecKind::Sz),
         "zfp" => Ok(CodecKind::Zfp),
-        other => Err(format!("unknown codec {other:?} (sz|zfp)")),
+        other => Err(CliError::Usage(format!("unknown codec {other:?} (sz|zfp)"))),
     }
 }
 
-fn parse_control(args: &Args) -> Result<ErrorControl, String> {
-    match (args.float("abs-eb")?, args.float("rel-eb")?) {
-        (Some(_), Some(_)) => Err("--abs-eb and --rel-eb are mutually exclusive".into()),
+fn parse_control(args: &Args) -> Result<ErrorControl, CliError> {
+    let abs = args.float("abs-eb").map_err(CliError::Usage)?;
+    let rel = args.float("rel-eb").map_err(CliError::Usage)?;
+    match (abs, rel) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--abs-eb and --rel-eb are mutually exclusive".into(),
+        )),
         (Some(abs), None) => Ok(ErrorControl::Absolute(abs)),
         (None, Some(rel)) => Ok(ErrorControl::ValueRangeRelative(rel)),
         (None, None) => Ok(ErrorControl::ValueRangeRelative(1e-4)),
     }
 }
 
+fn parse_config(args: &Args) -> Result<CompressionConfig, CliError> {
+    Ok(CompressionConfig {
+        policy: parse_policy(args)?,
+        codec: parse_codec(args)?,
+        control: parse_control(args)?,
+    })
+}
+
+fn parse(argv: &[String]) -> Result<Args, CliError> {
+    Args::parse(argv).map_err(CliError::Usage)
+}
+
+fn positional<'a>(args: &'a Args, i: usize, what: &str) -> Result<&'a str, CliError> {
+    args.positional(i, what).map_err(CliError::Usage)
+}
+
+fn required<'a>(args: &'a Args, name: &str) -> Result<&'a str, CliError> {
+    args.required(name).map_err(CliError::Usage)
+}
+
+fn read_file(path: &str) -> Result<Vec<u8>, CliError> {
+    std::fs::read(path).map_err(|e| CliError::io(path, e))
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, bytes).map_err(|e| CliError::io(path, e))
+}
+
+fn field_refs(ds: &Dataset) -> Vec<(&str, &AmrField)> {
+    ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect()
+}
+
 /// `zmesh generate <preset> -o file.zmd`
-pub fn generate(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
-    let preset = args.positional(0, "preset name")?;
-    let out = args.required("output")?;
-    let ds = datasets::by_name(preset, parse_mode(&args)?, parse_scale(&args)?)
-        .ok_or_else(|| {
-            format!(
+pub fn generate(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let preset = positional(&args, 0, "preset name")?;
+    let out = required(&args, "output")?;
+    let ds =
+        datasets::by_name(preset, parse_mode(&args)?, parse_scale(&args)?).ok_or_else(|| {
+            CliError::Usage(format!(
                 "unknown preset {preset:?}; available: {}",
                 datasets::names().join(", ")
-            )
+            ))
         })?;
-    save_dataset(out, &ds).map_err(|e| e.to_string())?;
+    save_dataset(out, &ds)?;
     let stats = DatasetStats::compute(&ds.tree);
     println!(
         "wrote {out}: {} levels, {} cells, {} quantities, {} bytes raw",
@@ -75,22 +117,13 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 }
 
 /// `zmesh compress <in.zmd> -o <out.zmc> [--policy] [--codec] [--rel-eb|--abs-eb]`
-pub fn compress(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
-    let input = args.positional(0, "input dataset (.zmd)")?;
-    let out = args.required("output")?;
-    let ds = load_dataset(input).map_err(|e| e.to_string())?;
-    let config = CompressionConfig {
-        policy: parse_policy(&args)?,
-        codec: parse_codec(&args)?,
-        control: parse_control(&args)?,
-    };
-    let fields: Vec<(&str, &AmrField)> =
-        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
-    let compressed = Pipeline::new(config)
-        .compress(&fields)
-        .map_err(|e| e.to_string())?;
-    std::fs::write(out, &compressed.bytes).map_err(|e| e.to_string())?;
+pub fn compress(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input dataset (.zmd)")?;
+    let out = required(&args, "output")?;
+    let ds = load_dataset(input)?;
+    let compressed = Pipeline::new(parse_config(&args)?).compress(&field_refs(&ds))?;
+    write_file(out, &compressed.bytes)?;
     let s = compressed.stats;
     println!(
         "wrote {out}: {} -> {} bytes (ratio {:.2}) | recipe {:.2} ms, reorder {:.2} ms, encode {:.2} ms",
@@ -105,19 +138,19 @@ pub fn compress(argv: &[String]) -> Result<(), String> {
 }
 
 /// `zmesh decompress <in.zmc> -o <out.zmd>`
-pub fn decompress(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
-    let input = args.positional(0, "input container (.zmc)")?;
-    let out = args.required("output")?;
-    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
-    let restored = Pipeline::decompress(&bytes).map_err(|e| e.to_string())?;
+pub fn decompress(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input container (.zmc)")?;
+    let out = required(&args, "output")?;
+    let bytes = read_file(input)?;
+    let restored = Pipeline::decompress(&bytes)?;
     let ds = Dataset {
         name: "restored".to_string(),
         description: String::new(),
         tree: restored.tree,
         fields: restored.fields,
     };
-    save_dataset(out, &ds).map_err(|e| e.to_string())?;
+    save_dataset(out, &ds)?;
     println!(
         "wrote {out}: {} quantities restored ({:?} ordering, recipe rebuilt in {:.2} ms)",
         ds.fields.len(),
@@ -128,17 +161,17 @@ pub fn decompress(argv: &[String]) -> Result<(), String> {
 }
 
 /// `zmesh extract <in.zmc> --field <name> -o <out.zmd>` — selective decode.
-pub fn extract(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
-    let input = args.positional(0, "input container (.zmc)")?;
-    let name = args.required("field")?;
-    let out = args.required("output")?;
-    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+pub fn extract(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input container (.zmc)")?;
+    let name = required(&args, "field")?;
+    let out = required(&args, "output")?;
+    let bytes = read_file(input)?;
     let (tree, field) = Pipeline::decompress_field(&bytes, name).map_err(|e| {
         if let Ok(fields) = Pipeline::list_fields(&bytes) {
-            format!("{e} (available: {})", fields.join(", "))
+            CliError::Usage(format!("{e} (available: {})", fields.join(", ")))
         } else {
-            e.to_string()
+            CliError::from(e)
         }
     })?;
     let ds = Dataset {
@@ -147,18 +180,176 @@ pub fn extract(argv: &[String]) -> Result<(), String> {
         tree,
         fields: vec![(name.to_string(), field)],
     };
-    save_dataset(out, &ds).map_err(|e| e.to_string())?;
-    println!("wrote {out}: field {name:?} ({} values)", ds.fields[0].1.len());
+    save_dataset(out, &ds)?;
+    println!(
+        "wrote {out}: field {name:?} ({} values)",
+        ds.fields[0].1.len()
+    );
     Ok(())
 }
 
-/// `zmesh info <file>` — dataset or container, decided by magic.
-pub fn info(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
-    let input = args.positional(0, "input file")?;
-    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
-    if bytes.starts_with(zmesh::CONTAINER_MAGIC) {
-        let header = zmesh::ContainerHeader::parse(&bytes).map_err(|e| e.to_string())?;
+/// `zmesh pack <in.zmd> -o <out.zms> [--policy] [--codec] [--rel-eb|--abs-eb]
+/// [--chunk-kb N]` — write a chunked, indexed v2 store.
+pub fn pack(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input dataset (.zmd)")?;
+    let out = required(&args, "output")?;
+    let ds = load_dataset(input)?;
+    let mut writer = StoreWriter::new(parse_config(&args)?);
+    if let Some(kb) = args.float("chunk-kb").map_err(CliError::Usage)? {
+        let valid = kb.is_finite() && kb > 0.0;
+        if !valid {
+            return Err(CliError::Usage("--chunk-kb must be positive".into()));
+        }
+        writer = writer.with_chunk_target_bytes((kb * 1024.0) as u32);
+    }
+    let written = writer.write(&field_refs(&ds))?;
+    write_file(out, &written.bytes)?;
+    let s = written.stats;
+    println!(
+        "wrote {out}: {} -> {} bytes (ratio {:.2}) | {} fields x {} chunks, {} index bytes",
+        s.raw_bytes,
+        s.container_bytes,
+        s.ratio(),
+        s.n_fields,
+        s.n_chunks,
+        s.metadata_bytes,
+    );
+    Ok(())
+}
+
+/// `zmesh unpack <in.zms> -o <out.zmd>` — full decode of a v2 store.
+pub fn unpack(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input store (.zms)")?;
+    let out = required(&args, "output")?;
+    let bytes = read_file(input)?;
+    let reader = StoreReader::open(&bytes)?;
+    let mut fields = Vec::new();
+    for name in reader.field_names() {
+        let name = name.to_string();
+        let field = reader.decode_field(&name)?;
+        fields.push((name, field));
+    }
+    let ds = Dataset {
+        name: "restored".to_string(),
+        description: String::new(),
+        tree: std::sync::Arc::clone(reader.tree()),
+        fields,
+    };
+    save_dataset(out, &ds)?;
+    println!(
+        "wrote {out}: {} quantities restored from v2 store",
+        ds.fields.len()
+    );
+    Ok(())
+}
+
+/// Parses `x0,y0[,z0]:x1,y1[,z1]` into inclusive finest-grid corners.
+fn parse_bbox(spec: &str) -> Result<([u32; 3], [u32; 3]), CliError> {
+    let bad = || CliError::Usage(format!("--bbox {spec:?}: want x0,y0[,z0]:x1,y1[,z1]"));
+    let corner = |s: &str| -> Result<[u32; 3], CliError> {
+        let parts: Vec<u32> = s
+            .split(',')
+            .map(|t| t.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad())?;
+        match parts[..] {
+            [x, y] => Ok([x, y, 0]),
+            [x, y, z] => Ok([x, y, z]),
+            _ => Err(bad()),
+        }
+    };
+    let (lo, hi) = spec.split_once(':').ok_or_else(bad)?;
+    Ok((corner(lo)?, corner(hi)?))
+}
+
+/// `zmesh query <in.zms> --field <name> --bbox x0,y0[,z0]:x1,y1[,z1]
+/// [--level L[,L...]] [-o out.csv]` — region read decoding only the
+/// overlapping chunks.
+pub fn query(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input store (.zms)")?;
+    let name = required(&args, "field")?;
+    let (lo, hi) = parse_bbox(required(&args, "bbox")?)?;
+    let mut q = Query::bbox(lo, hi);
+    if let Some(spec) = args.option("level") {
+        let levels: Vec<u32> = spec
+            .split(',')
+            .map(|t| t.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| CliError::Usage(format!("--level {spec:?}: want L[,L...]")))?;
+        q = q.with_levels(levels);
+    }
+    let bytes = read_file(input)?;
+    let reader = StoreReader::open(&bytes)?;
+    let result = reader.query(name, &q)?;
+    println!(
+        "field {name:?} bbox ({},{},{})..({},{},{}): {} cells | decoded {}/{} chunks{}",
+        lo[0],
+        lo[1],
+        lo[2],
+        hi[0],
+        hi[1],
+        hi[2],
+        result.values.len(),
+        result.chunks_decoded,
+        result.chunks_total,
+        match result.bound {
+            Some(b) => format!(" | abs bound {b:.3e}"),
+            None => String::new(),
+        },
+    );
+    if let Some(out) = args.option("output") {
+        let mut csv = String::from("storage_index,value\n");
+        for (&s, &v) in result.storage_indices.iter().zip(&result.values) {
+            csv.push_str(&format!("{s},{v}\n"));
+        }
+        write_file(out, csv.as_bytes())?;
+        println!("wrote {out}: {} rows", result.values.len());
+    }
+    Ok(())
+}
+
+/// `zmesh info <file>` — dataset, v1 container, or v2 store, by magic.
+pub fn info(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input file")?;
+    let bytes = read_file(input)?;
+    if zmesh_store::is_store(&bytes) {
+        let reader = StoreReader::open(&bytes)?;
+        let h = reader.header();
+        let tree = reader.tree();
+        println!(
+            "zMesh v2 store: policy {:?}, codec {}, {} fields, {} bytes total ({} KiB chunk target)",
+            h.policy,
+            h.codec.label(),
+            reader.fields().len(),
+            bytes.len(),
+            h.chunk_target_bytes / 1024,
+        );
+        println!(
+            "  mesh: {:?}, {} cells ({} leaves), {} levels",
+            tree.dim(),
+            tree.cell_count(),
+            tree.leaf_count(),
+            tree.max_level() + 1,
+        );
+        for entry in reader.fields() {
+            let payload: u64 = entry.chunks.iter().map(|c| c.len).sum();
+            println!(
+                "  field {:?}: {} chunks, {} payload bytes{}",
+                entry.name,
+                entry.chunks.len(),
+                payload,
+                match entry.resolved_bound {
+                    Some(b) => format!(", abs bound {b:.3e}"),
+                    None => String::new(),
+                },
+            );
+        }
+    } else if bytes.starts_with(zmesh::CONTAINER_MAGIC) {
+        let header = zmesh::ContainerHeader::parse(&bytes)?;
         println!(
             "zMesh container: policy {:?}, codec {}, {} fields, {} bytes total ({} metadata)",
             header.policy,
@@ -171,7 +362,7 @@ pub fn info(argv: &[String]) -> Result<(), String> {
             println!("  field {name:?}: {} payload bytes", range.len());
         }
     } else {
-        let ds = load_dataset(input).map_err(|e| e.to_string())?;
+        let ds = load_dataset(input)?;
         let stats = DatasetStats::compute(&ds.tree);
         println!(
             "dataset {:?}: {} levels, {} cells ({} leaves), {} quantities, {} bytes raw",
@@ -183,29 +374,35 @@ pub fn info(argv: &[String]) -> Result<(), String> {
             ds.nbytes()
         );
         for l in &stats.levels {
-            println!("  level {}: {} cells, {} leaves", l.level, l.cells, l.leaves);
+            println!(
+                "  level {}: {} cells, {} leaves",
+                l.level, l.cells, l.leaves
+            );
         }
     }
     Ok(())
 }
 
 /// `zmesh verify <orig.zmd> <restored.zmd> [--rel-eb 1e-4]`
-pub fn verify(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
-    let orig = load_dataset(args.positional(0, "original dataset")?).map_err(|e| e.to_string())?;
-    let rest = load_dataset(args.positional(1, "restored dataset")?).map_err(|e| e.to_string())?;
+pub fn verify(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let orig = load_dataset(positional(&args, 0, "original dataset")?)?;
+    let rest = load_dataset(positional(&args, 1, "restored dataset")?)?;
     if orig.fields.len() != rest.fields.len() {
-        return Err(format!(
+        return Err(CliError::Verify(format!(
             "field count mismatch: {} vs {}",
             orig.fields.len(),
             rest.fields.len()
-        ));
+        )));
     }
-    let rel_eb = args.float("rel-eb")?.unwrap_or(1e-4);
+    let rel_eb = args
+        .float("rel-eb")
+        .map_err(CliError::Usage)?
+        .unwrap_or(1e-4);
     let mut ok = true;
     for ((name, a), (_, b)) in orig.fields.iter().zip(&rest.fields) {
         if a.len() != b.len() {
-            return Err(format!("field {name:?}: length mismatch"));
+            return Err(CliError::Verify(format!("field {name:?}: length mismatch")));
         }
         let stats = ErrorStats::between(a.values(), b.values());
         let bound = rel_eb * stats.range;
@@ -222,6 +419,6 @@ pub fn verify(argv: &[String]) -> Result<(), String> {
     if ok {
         Ok(())
     } else {
-        Err("verification failed".into())
+        Err(CliError::Verify("verification failed".into()))
     }
 }

@@ -1,0 +1,120 @@
+//! Typed CLI errors with distinct process exit codes.
+//!
+//! Scripts driving `zmesh` can branch on the exit status instead of
+//! scraping stderr:
+//!
+//! | code | meaning                                         |
+//! |------|-------------------------------------------------|
+//! | 0    | success                                         |
+//! | 2    | usage error (bad flags, unknown name/field)     |
+//! | 3    | I/O error (missing file, unwritable output)     |
+//! | 4    | corrupt or truncated container / dataset        |
+//! | 5    | verification failed (data exceeded error bound) |
+
+use std::fmt;
+use zmesh::ZmeshError;
+use zmesh_amr::AmrError;
+use zmesh_store::StoreError;
+
+/// Everything a subcommand can fail with, bucketed by exit code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Bad invocation: unknown subcommand/flag/preset/field, malformed
+    /// values, conflicting options. Exit code 2.
+    Usage(String),
+    /// The filesystem said no. Exit code 3.
+    Io(String),
+    /// The input bytes are not a valid artifact: bad magic, truncation,
+    /// CRC mismatch, malformed metadata. Exit code 4.
+    Corrupt(String),
+    /// `zmesh verify` found values outside the bound. Exit code 5.
+    Verify(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Corrupt(_) => 4,
+            CliError::Verify(_) => 5,
+        }
+    }
+
+    /// Wraps a `std::io::Error` with the path it concerned.
+    pub fn io(path: &str, e: std::io::Error) -> Self {
+        CliError::Io(format!("{path}: {e}"))
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(msg) => write!(f, "{msg}"),
+            CliError::Corrupt(msg) => write!(f, "{msg}"),
+            CliError::Verify(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<AmrError> for CliError {
+    fn from(e: AmrError) -> Self {
+        match e {
+            AmrError::Io(msg) => CliError::Io(msg),
+            other => CliError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+impl From<ZmeshError> for CliError {
+    fn from(e: ZmeshError) -> Self {
+        CliError::Corrupt(e.to_string())
+    }
+}
+
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::UnknownField(_) | StoreError::BadQuery(_) => CliError::Usage(e.to_string()),
+            StoreError::Amr(inner) => inner.into(),
+            other => CliError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let all = [
+            CliError::Usage(String::new()),
+            CliError::Io(String::new()),
+            CliError::Corrupt(String::new()),
+            CliError::Verify(String::new()),
+        ];
+        let mut codes: Vec<u8> = all.iter().map(|e| e.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+        assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn store_errors_bucket_sensibly() {
+        assert_eq!(CliError::from(StoreError::BadMagic).exit_code(), 4);
+        assert_eq!(
+            CliError::from(StoreError::UnknownField("x".into())).exit_code(),
+            2
+        );
+        assert_eq!(
+            CliError::from(StoreError::Amr(AmrError::Io("gone".into()))).exit_code(),
+            3
+        );
+    }
+}

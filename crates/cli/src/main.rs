@@ -6,30 +6,38 @@
 //!                                     [--codec sz|zfp] [--rel-eb 1e-4 | --abs-eb X]
 //! zmesh decompress data.zmc -o restored.zmd
 //! zmesh extract data.zmc --field <name> -o field.zmd
-//! zmesh info <file.zmd | file.zmc>
+//! zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64]
+//! zmesh unpack data.zms -o restored.zmd
+//! zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L] [-o out.csv]
+//! zmesh info <file.zmd | file.zmc | file.zms>
 //! zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage, 3 I/O, 4 corrupt input, 5 verification
+//! failure (see [`error::CliError`]).
 
 mod args;
 mod commands;
+mod error;
 
+use error::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first() else {
         print_usage();
-        return Err("missing subcommand".into());
+        return Err(CliError::Usage("missing subcommand".into()));
     };
     let rest = &argv[1..];
     match cmd.as_str() {
@@ -37,6 +45,9 @@ fn run(argv: &[String]) -> Result<(), String> {
         "compress" => commands::compress(rest),
         "decompress" => commands::decompress(rest),
         "extract" => commands::extract(rest),
+        "pack" => commands::pack(rest),
+        "unpack" => commands::unpack(rest),
+        "query" => commands::query(rest),
         "info" => commands::info(rest),
         "verify" => commands::verify(rest),
         "--help" | "-h" | "help" => {
@@ -45,7 +56,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         other => {
             print_usage();
-            Err(format!("unknown subcommand {other:?}"))
+            Err(CliError::Usage(format!("unknown subcommand {other:?}")))
         }
     }
 }
@@ -59,8 +70,12 @@ fn print_usage() {
          \x20                                     [--codec sz|zfp] [--rel-eb 1e-4 | --abs-eb X]\n\
          \x20 zmesh decompress data.zmc -o restored.zmd\n\
          \x20 zmesh extract data.zmc --field <name> -o field.zmd\n\
-         \x20 zmesh info <file.zmd | file.zmc>\n\
+         \x20 zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64]\n\
+         \x20 zmesh unpack data.zms -o restored.zmd\n\
+         \x20 zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L[,L...]] [-o out.csv]\n\
+         \x20 zmesh info <file.zmd | file.zmc | file.zms>\n\
          \x20 zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]\n\n\
+         exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt input, 5 verify failure\n\
          presets: {}",
         zmesh_amr::datasets::names().join(", ")
     );

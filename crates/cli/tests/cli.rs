@@ -21,10 +21,21 @@ fn full_workflow() {
     let restored = tmp("restored.zmd");
 
     let out = zmesh()
-        .args(["generate", "blast2d", "-o", zmd.to_str().unwrap(), "--scale", "tiny"])
+        .args([
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(zmd.exists());
 
     let out = zmesh()
@@ -42,15 +53,28 @@ fn full_workflow() {
         ])
         .output()
         .expect("run compress");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ratio"), "no ratio in: {stdout}");
 
     let out = zmesh()
-        .args(["decompress", zmc.to_str().unwrap(), "-o", restored.to_str().unwrap()])
+        .args([
+            "decompress",
+            zmc.to_str().unwrap(),
+            "-o",
+            restored.to_str().unwrap(),
+        ])
         .output()
         .expect("run decompress");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = zmesh()
         .args([
@@ -62,7 +86,11 @@ fn full_workflow() {
         ])
         .output()
         .expect("run verify");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
 
     // Tighter bound than we compressed with must fail verification.
@@ -80,7 +108,10 @@ fn full_workflow() {
 
     // Info on both artifact kinds.
     for f in [&zmd, &zmc] {
-        let out = zmesh().args(["info", f.to_str().unwrap()]).output().expect("run info");
+        let out = zmesh()
+            .args(["info", f.to_str().unwrap()])
+            .output()
+            .expect("run info");
         assert!(out.status.success());
     }
 
@@ -97,11 +128,22 @@ fn full_workflow() {
         ])
         .output()
         .expect("run extract");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(extracted.exists());
     // Unknown field lists the available ones.
     let out = zmesh()
-        .args(["extract", zmc.to_str().unwrap(), "--field", "nope", "-o", "/dev/null"])
+        .args([
+            "extract",
+            zmc.to_str().unwrap(),
+            "--field",
+            "nope",
+            "-o",
+            "/dev/null",
+        ])
         .output()
         .expect("run extract");
     assert!(!out.status.success());
@@ -138,6 +180,273 @@ fn errors_are_reported_not_panicked() {
         .output()
         .expect("run");
     assert!(!out.status.success());
+}
+
+#[test]
+fn store_workflow_pack_query_unpack() {
+    let zmd = tmp("store_in.zmd");
+    let zms = tmp("store.zms");
+    let restored = tmp("store_out.zmd");
+    let csv = tmp("region.csv");
+
+    let out = zmesh()
+        .args([
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = zmesh()
+        .args([
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            zms.to_str().unwrap(),
+            "--policy",
+            "hilbert",
+            "--chunk-kb",
+            "1",
+        ])
+        .output()
+        .expect("run pack");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chunks"), "no chunk count in: {stdout}");
+
+    // info recognizes the v2 store and reports its index.
+    let out = zmesh()
+        .args(["info", zms.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("v2 store") && stdout.contains("chunks"),
+        "info said: {stdout}"
+    );
+
+    // Region query decodes a strict subset of the chunks.
+    let out = zmesh()
+        .args([
+            "query",
+            zms.to_str().unwrap(),
+            "--field",
+            "density",
+            "--bbox",
+            "0,0:3,3",
+            "-o",
+            csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run query");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let (decoded, total) = stdout
+        .split_once("decoded ")
+        .and_then(|(_, rest)| rest.split_once(" chunks"))
+        .and_then(|(frac, _)| frac.split_once('/'))
+        .map(|(d, t)| (d.parse::<usize>().unwrap(), t.parse::<usize>().unwrap()))
+        .expect("parse decoded m/n chunks");
+    assert!(
+        decoded < total,
+        "query decoded all {total} chunks: {stdout}"
+    );
+    let rows = std::fs::read_to_string(&csv).expect("read csv");
+    assert!(rows.starts_with("storage_index,value\n") && rows.lines().count() > 1);
+
+    // Unpack round-trips within the pack bound.
+    let out = zmesh()
+        .args([
+            "unpack",
+            zms.to_str().unwrap(),
+            "-o",
+            restored.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run unpack");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = zmesh()
+        .args([
+            "verify",
+            zmd.to_str().unwrap(),
+            restored.to_str().unwrap(),
+            "--rel-eb",
+            "1e-4",
+        ])
+        .output()
+        .expect("run verify");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for f in [zmd, zms, restored, csv] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn exit_codes_distinguish_failure_kinds() {
+    let zmd = tmp("codes.zmd");
+    let zms = tmp("codes.zms");
+    let out = zmesh()
+        .args([
+            "generate",
+            "advect2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = zmesh()
+        .args(["pack", zmd.to_str().unwrap(), "-o", zms.to_str().unwrap()])
+        .output()
+        .expect("run pack");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let code = |args: &[&str]| zmesh().args(args).output().expect("run").status.code();
+
+    // Usage errors -> 2.
+    assert_eq!(code(&["frobnicate"]), Some(2));
+    assert_eq!(
+        code(&[
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            "/dev/null",
+            "--policy",
+            "bogus"
+        ]),
+        Some(2)
+    );
+    assert_eq!(
+        code(&[
+            "query",
+            zms.to_str().unwrap(),
+            "--field",
+            "density",
+            "--bbox",
+            "nope"
+        ]),
+        Some(2)
+    );
+    assert_eq!(
+        code(&[
+            "query",
+            zms.to_str().unwrap(),
+            "--field",
+            "ghost",
+            "--bbox",
+            "0,0:3,3"
+        ]),
+        Some(2),
+        "unknown field is a usage error"
+    );
+    // I/O errors -> 3.
+    assert_eq!(code(&["info", "/nonexistent/zmesh/file.zms"]), Some(3));
+    assert_eq!(
+        code(&["unpack", "/nonexistent/a.zms", "-o", "/dev/null"]),
+        Some(3)
+    );
+
+    // Corrupt containers -> 4: truncation, payload bit-flip, index bit-flip.
+    let bytes = std::fs::read(&zms).expect("read store");
+    let truncated = tmp("codes_trunc.zms");
+    std::fs::write(&truncated, &bytes[..bytes.len() / 2]).expect("write");
+    assert_eq!(
+        code(&["unpack", truncated.to_str().unwrap(), "-o", "/dev/null"]),
+        Some(4)
+    );
+
+    let flipped = tmp("codes_flip.zms");
+    let mut b = bytes.clone();
+    let mid = b.len() / 2;
+    b[mid] ^= 0x10;
+    std::fs::write(&flipped, &b).expect("write");
+    assert_eq!(
+        code(&["unpack", flipped.to_str().unwrap(), "-o", "/dev/null"]),
+        Some(4),
+        "payload corruption must be caught"
+    );
+
+    let bad_index = tmp("codes_index.zms");
+    let mut b = bytes.clone();
+    let n = b.len();
+    b[n - 10] ^= 0x01; // inside the footer-CRC/trailer region
+    std::fs::write(&bad_index, &b).expect("write");
+    assert_eq!(
+        code(&["unpack", bad_index.to_str().unwrap(), "-o", "/dev/null"]),
+        Some(4)
+    );
+
+    // Verify failure -> 5.
+    let restored = tmp("codes_restored.zmd");
+    let out = zmesh()
+        .args([
+            "unpack",
+            zms.to_str().unwrap(),
+            "-o",
+            restored.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run unpack");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        code(&[
+            "verify",
+            zmd.to_str().unwrap(),
+            restored.to_str().unwrap(),
+            "--rel-eb",
+            "1e-12"
+        ]),
+        Some(5)
+    );
+
+    for f in [zmd, zms, truncated, flipped, bad_index, restored] {
+        let _ = std::fs::remove_file(f);
+    }
 }
 
 #[test]

@@ -29,5 +29,7 @@ mod traits;
 pub(crate) mod varint;
 
 pub use sz::{EntropyCoder, SzCodec};
-pub use traits::{Codec, CodecError, CodecKind, CodecParams, ErrorControl, ValueType};
+pub use traits::{
+    ChunkedStream, Codec, CodecError, CodecKind, CodecParams, ErrorControl, ValueType,
+};
 pub use zfp::ZfpCodec;

@@ -87,7 +87,9 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
             lead = r.read_bits(6).map_err(err)? as u32;
             len = r.read_bits(6).map_err(err)? as u32 + 1;
         } else if len == 0 {
-            return Err(CodecError::Corrupt("gorilla window reuse before definition"));
+            return Err(CodecError::Corrupt(
+                "gorilla window reuse before definition",
+            ));
         }
         let sig = r.read_bits(len).map_err(err)?;
         let xor = sig << (64 - lead - len);
@@ -172,7 +174,9 @@ mod tests {
         // Deterministic shuffle.
         let mut s = 99u64;
         for i in (1..shuffled.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             shuffled.swap(i, (s % (i as u64 + 1)) as usize);
         }
         let a = round_trip(&smooth);

@@ -51,10 +51,8 @@ fn unrestricted_code_lengths(freqs: &[u64]) -> Vec<u32> {
     // Nodes: leaves are (freq, id<n), internal nodes get ids >= n.
     let n = freqs.len();
     let mut parent = vec![usize::MAX; n + present.len()];
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = present
-        .iter()
-        .map(|&s| Reverse((freqs[s], s)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        present.iter().map(|&s| Reverse((freqs[s], s))).collect();
     let mut next_id = n;
     while heap.len() > 1 {
         let Reverse((fa, a)) = heap.pop().expect("heap len > 1");
@@ -191,7 +189,9 @@ impl CanonicalDecoder {
         let mut code = 0u32;
         for len in 1..=self.max_len {
             code = (code << 1)
-                | (r.read_bit().map_err(|_| CodecError::Corrupt("huffman underrun"))? as u32);
+                | (r.read_bit()
+                    .map_err(|_| CodecError::Corrupt("huffman underrun"))?
+                    as u32);
             let c = self.count[len as usize];
             if c > 0 {
                 let first = self.first_code[len as usize];

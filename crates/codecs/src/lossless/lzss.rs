@@ -88,11 +88,13 @@ pub fn decompress(body: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecErro
         if is_match {
             let dist = r
                 .read_bits(15)
-                .map_err(|_| CodecError::Corrupt("lzss dist past end"))? as usize
+                .map_err(|_| CodecError::Corrupt("lzss dist past end"))?
+                as usize
                 + 1;
             let len = r
                 .read_bits(8)
-                .map_err(|_| CodecError::Corrupt("lzss len past end"))? as usize
+                .map_err(|_| CodecError::Corrupt("lzss len past end"))?
+                as usize
                 + MIN_MATCH;
             if dist > out.len() {
                 return Err(CodecError::Corrupt("lzss distance exceeds output"));
@@ -110,7 +112,8 @@ pub fn decompress(body: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecErro
         } else {
             let b = r
                 .read_bits(8)
-                .map_err(|_| CodecError::Corrupt("lzss literal past end"))? as u8;
+                .map_err(|_| CodecError::Corrupt("lzss literal past end"))?
+                as u8;
             out.push(b);
         }
     }
@@ -141,7 +144,9 @@ mod tests {
     #[test]
     fn overlapping_match_round_trips() {
         // "ababab..." forces dist=2, len>2 overlapping copies.
-        let data: Vec<u8> = (0..500).map(|i| if i % 2 == 0 { b'a' } else { b'b' }).collect();
+        let data: Vec<u8> = (0..500)
+            .map(|i| if i % 2 == 0 { b'a' } else { b'b' })
+            .collect();
         round_trip(&data);
     }
 

@@ -6,8 +6,8 @@
 
 pub mod gorilla;
 pub mod huffman;
-pub mod rangecoder;
 pub mod lzss;
+pub mod rangecoder;
 pub mod rle;
 
 use crate::{varint, CodecError};

@@ -56,7 +56,9 @@ pub fn decompress(body: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecErro
             return Err(CodecError::Corrupt("rle reserved control byte"));
         } else {
             let n = 257 - usize::from(c);
-            let b = *body.get(i).ok_or(CodecError::Corrupt("rle repeat past end"))?;
+            let b = *body
+                .get(i)
+                .ok_or(CodecError::Corrupt("rle repeat past end"))?;
             i += 1;
             out.resize(out.len() + n, b);
         }

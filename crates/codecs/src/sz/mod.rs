@@ -188,7 +188,15 @@ impl Codec for SzCodec {
                 }
             }
         }
-        compress_impl(data, eb, params.dims, dims, grid, params.value_type, &self.config)
+        compress_impl(
+            data,
+            eb,
+            params.dims,
+            dims,
+            grid,
+            params.value_type,
+            &self.config,
+        )
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
@@ -303,16 +311,26 @@ fn decompress_impl(bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
     if chunk == 0 {
         return Err(CodecError::Corrupt("zero chunk size"));
     }
-    let backend = Backend::from_tag(*bytes.get(pos).ok_or(CodecError::Corrupt("no backend tag"))?)
-        .ok_or(CodecError::Corrupt("unknown backend tag"))?;
+    let backend = Backend::from_tag(
+        *bytes
+            .get(pos)
+            .ok_or(CodecError::Corrupt("no backend tag"))?,
+    )
+    .ok_or(CodecError::Corrupt("unknown backend tag"))?;
     pos += 1;
-    let entropy =
-        EntropyCoder::from_tag(*bytes.get(pos).ok_or(CodecError::Corrupt("no entropy tag"))?)
-            .ok_or(CodecError::Corrupt("unknown entropy tag"))?;
+    let entropy = EntropyCoder::from_tag(
+        *bytes
+            .get(pos)
+            .ok_or(CodecError::Corrupt("no entropy tag"))?,
+    )
+    .ok_or(CodecError::Corrupt("unknown entropy tag"))?;
     pos += 1;
-    let value_type =
-        ValueType::from_tag(*bytes.get(pos).ok_or(CodecError::Corrupt("no value-type tag"))?)
-            .ok_or(CodecError::Corrupt("unknown value-type tag"))?;
+    let value_type = ValueType::from_tag(
+        *bytes
+            .get(pos)
+            .ok_or(CodecError::Corrupt("no value-type tag"))?,
+    )
+    .ok_or(CodecError::Corrupt("unknown value-type tag"))?;
     pos += 1;
     let payload = backend.decompress(&bytes[pos..])?;
 
@@ -414,7 +432,9 @@ mod tests {
     fn rough_stream_still_bounded() {
         let data: Vec<f64> = (0..5000)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64 * 100.0 - 50.0
             })
             .collect();
@@ -531,7 +551,9 @@ mod tests {
 
     #[test]
     fn tighter_bound_costs_more_bits() {
-        let data: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.002).sin() * 3.0).collect();
+        let data: Vec<f64> = (0..20_000)
+            .map(|i| (i as f64 * 0.002).sin() * 3.0)
+            .collect();
         let codec = SzCodec::new();
         let loose = codec.compress(&data, &CodecParams::abs_1d(1e-2)).unwrap();
         let tight = codec.compress(&data, &CodecParams::abs_1d(1e-6)).unwrap();

@@ -155,6 +155,8 @@ pub enum CodecError {
     Corrupt(&'static str),
     /// The compressed stream was produced by a different codec/version.
     WrongMagic,
+    /// Chunked compression was requested with parameters it cannot honor.
+    ChunkParams(&'static str),
 }
 
 impl fmt::Display for CodecError {
@@ -172,11 +174,28 @@ impl fmt::Display for CodecError {
             }
             CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
             CodecError::WrongMagic => write!(f, "stream magic/version mismatch"),
+            CodecError::ChunkParams(what) => write!(f, "chunked compression: {what}"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// A 1-D stream compressed as independently decodable chunks (the entry
+/// point the chunked container format v2 builds on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkedStream {
+    /// Self-describing compressed payloads, one per `chunk_values`-sized
+    /// run of the input (the last may cover fewer values). Each decodes
+    /// on its own with [`Codec::decompress`].
+    pub payloads: Vec<Vec<u8>>,
+    /// Values covered by each payload, in order.
+    pub chunk_lens: Vec<usize>,
+    /// The absolute error bound every chunk was compressed under, resolved
+    /// over the *whole* stream (so relative bounds match the monolithic
+    /// path). `None` for fixed-rate / fixed-precision control.
+    pub resolved_bound: Option<f64>,
+}
 
 /// An error-bounded lossy codec over `f64` streams.
 pub trait Codec {
@@ -188,6 +207,59 @@ pub trait Codec {
 
     /// Stable identifier for harness output.
     fn kind(&self) -> CodecKind;
+
+    /// Compresses `data` as a sequence of independently decodable chunks of
+    /// `chunk_values` values each (last chunk may be short), in parallel.
+    ///
+    /// Value-range-relative bounds are resolved against the **whole**
+    /// stream first, so every chunk honors the same pointwise absolute
+    /// bound and the result is distortion-equivalent to the monolithic
+    /// path. Only 1-D params are accepted — chunk boundaries would cut
+    /// through rows of a declared 2-D/3-D grid.
+    fn compress_chunks(
+        &self,
+        data: &[f64],
+        params: &CodecParams,
+        chunk_values: usize,
+    ) -> Result<ChunkedStream, CodecError>
+    where
+        Self: Sync,
+    {
+        use rayon::prelude::*;
+
+        if chunk_values == 0 {
+            return Err(CodecError::ChunkParams("chunk size must be positive"));
+        }
+        if params.dimensionality() != 1 {
+            return Err(CodecError::ChunkParams("requires 1-D params"));
+        }
+        let mut params = *params;
+        let resolved_bound = params.control.absolute_bound(data);
+        if let Some(bound) = resolved_bound {
+            params.control = ErrorControl::Absolute(bound);
+        }
+        let chunks: Vec<&[f64]> = data.chunks(chunk_values).collect();
+        let payloads: Result<Vec<Vec<u8>>, CodecError> = chunks
+            .par_iter()
+            .map(|chunk| self.compress(chunk, &params))
+            .collect();
+        Ok(ChunkedStream {
+            payloads: payloads?,
+            chunk_lens: chunks.iter().map(|c| c.len()).collect(),
+            resolved_bound,
+        })
+    }
+
+    /// Decodes and concatenates a chunk sequence produced by
+    /// [`Codec::compress_chunks`] (the full-stream inverse; readers wanting
+    /// a subset decode individual payloads with [`Codec::decompress`]).
+    fn decompress_chunks(&self, payloads: &[Vec<u8>]) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        for payload in payloads {
+            out.extend(self.decompress(payload)?);
+        }
+        Ok(out)
+    }
 }
 
 /// Identifies a codec in harness output and container headers.
@@ -251,11 +323,88 @@ mod tests {
     #[test]
     fn params_dimensionality() {
         assert_eq!(CodecParams::abs_1d(0.1).dimensionality(), 1);
-        assert_eq!(CodecParams::abs_1d(0.1).with_dims_2d(8, 8).dimensionality(), 2);
         assert_eq!(
-            CodecParams::abs_1d(0.1).with_dims_3d(4, 4, 4).dimensionality(),
+            CodecParams::abs_1d(0.1).with_dims_2d(8, 8).dimensionality(),
+            2
+        );
+        assert_eq!(
+            CodecParams::abs_1d(0.1)
+                .with_dims_3d(4, 4, 4)
+                .dimensionality(),
             3
         );
+    }
+
+    #[test]
+    fn chunk_params_validation() {
+        let codec = crate::SzCodec::default();
+        let data = vec![1.0; 64];
+        assert!(matches!(
+            codec.compress_chunks(&data, &CodecParams::abs_1d(1e-3), 0),
+            Err(CodecError::ChunkParams(_))
+        ));
+        let grid = CodecParams::abs_1d(1e-3).with_dims_2d(8, 8);
+        assert!(matches!(
+            codec.compress_chunks(&data, &grid, 16),
+            Err(CodecError::ChunkParams(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_round_trip_matches_monolithic_bound() {
+        for codec in [
+            Box::new(crate::SzCodec::default()) as Box<dyn Codec + Sync>,
+            Box::new(crate::ZfpCodec),
+        ] {
+            let data: Vec<f64> = (0..1000)
+                .map(|i| (i as f64 * 0.02).sin() + 0.3 * (i as f64 * 0.11).cos())
+                .collect();
+            let bound = 1e-4;
+            let stream = codec
+                .compress_chunks(&data, &CodecParams::abs_1d(bound), 137)
+                .unwrap();
+            assert_eq!(stream.payloads.len(), 1000usize.div_ceil(137));
+            assert_eq!(stream.chunk_lens.iter().sum::<usize>(), 1000);
+            assert_eq!(stream.resolved_bound, Some(bound));
+            let out = codec.decompress_chunks(&stream.payloads).unwrap();
+            assert_eq!(out.len(), data.len());
+            for (i, (&a, &b)) in data.iter().zip(&out).enumerate() {
+                assert!((a - b).abs() <= bound, "idx {i}: |{a} - {b}| > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_bound_resolves_globally_not_per_chunk() {
+        // First chunk is constant: a per-chunk relative resolution would
+        // give it a zero bound; global resolution must use the full range.
+        let mut data = vec![5.0; 100];
+        data.extend((0..100).map(|i| i as f64));
+        let codec = crate::SzCodec::default();
+        let stream = codec
+            .compress_chunks(&data, &CodecParams::rel_1d(1e-3), 100)
+            .unwrap();
+        let global_bound = 1e-3 * 99.0;
+        assert!((stream.resolved_bound.unwrap() - global_bound).abs() < 1e-12);
+        let out = codec.decompress_chunks(&stream.payloads).unwrap();
+        for (&a, &b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= global_bound);
+        }
+    }
+
+    #[test]
+    fn each_chunk_decodes_independently() {
+        let data: Vec<f64> = (0..300).map(|i| (i as f64).sqrt()).collect();
+        let codec = crate::ZfpCodec;
+        let stream = codec
+            .compress_chunks(&data, &CodecParams::abs_1d(1e-6), 100)
+            .unwrap();
+        // Decode only the middle chunk.
+        let mid = codec.decompress(&stream.payloads[1]).unwrap();
+        assert_eq!(mid.len(), 100);
+        for (i, &v) in mid.iter().enumerate() {
+            assert!((v - data[100 + i]).abs() <= 1e-6);
+        }
     }
 
     #[test]

@@ -132,8 +132,16 @@ pub fn gather(
         let (bx, by, bz) = (slot % SIDE, (slot / SIDE) % SIDE, slot / (SIDE * SIDE));
         // Clamp padding slots onto the nearest valid sample (edge replication).
         let cx = origin[0] + bx.min(ext[0] - 1);
-        let cy = if dims >= 2 { origin[1] + by.min(ext[1] - 1) } else { 0 };
-        let cz = if dims >= 3 { origin[2] + bz.min(ext[2] - 1) } else { 0 };
+        let cy = if dims >= 2 {
+            origin[1] + by.min(ext[1] - 1)
+        } else {
+            0
+        };
+        let cz = if dims >= 3 {
+            origin[2] + bz.min(ext[2] - 1)
+        } else {
+            0
+        };
         let idx = match dims {
             1 => cx,
             2 => cy * grid[0] + cx,
@@ -160,9 +168,7 @@ pub fn scatter(
                 let idx = match dims {
                     1 => origin[0] + bx,
                     2 => (origin[1] + by) * grid[0] + origin[0] + bx,
-                    _ => {
-                        ((origin[2] + bz) * grid[1] + origin[1] + by) * grid[0] + origin[0] + bx
-                    }
+                    _ => ((origin[2] + bz) * grid[1] + origin[1] + by) * grid[0] + origin[0] + bx,
                 };
                 data[idx] = block[slot];
             }
@@ -176,7 +182,16 @@ mod tests {
 
     #[test]
     fn frexp_matches_definition() {
-        for x in [1.0, 0.5, 2.0, 3.75, 1e-300, 1e300, 5e-324, f64::MIN_POSITIVE] {
+        for x in [
+            1.0,
+            0.5,
+            2.0,
+            3.75,
+            1e-300,
+            1e300,
+            5e-324,
+            f64::MIN_POSITIVE,
+        ] {
             let (f, e) = frexp(x);
             assert!((0.5..1.0).contains(&f), "x = {x}, f = {f}");
             assert_eq!(ldexp(f, e), x, "x = {x}");

@@ -150,7 +150,9 @@ mod tests {
 
     #[test]
     fn budget_truncation_is_prefix_consistent() {
-        let data: Vec<u64> = (0..16).map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let data: Vec<u64> = (0..16)
+            .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
         let mut w = BitWriter::new();
         encode_ints(&mut w, &data, 0, u64::MAX);
         let full = w.into_bytes();

@@ -159,7 +159,10 @@ fn encode_block(w: &mut BitWriter, vals: &[f64], dims: usize, mode: Mode) {
         fwd_cast(vals, emax, &mut ints);
         transform::fwd_xform(&mut ints, dims);
         let p = perm(dims);
-        let ub: Vec<u64> = p.iter().map(|&i| negabinary::int_to_uint(ints[i])).collect();
+        let ub: Vec<u64> = p
+            .iter()
+            .map(|&i| negabinary::int_to_uint(ints[i]))
+            .collect();
         let kmin = 64 - keep;
         embedded::encode_ints(w, &ub, kmin, budget.saturating_sub(HEADER_BITS));
     }
@@ -293,9 +296,12 @@ impl Codec for ZfpCodec {
         let block_size = SIDE.pow(dims as u32);
         let mode_tag = *bytes.get(pos).ok_or(CodecError::Corrupt("no mode tag"))?;
         pos += 1;
-        let value_type =
-            ValueType::from_tag(*bytes.get(pos).ok_or(CodecError::Corrupt("no value-type tag"))?)
-                .ok_or(CodecError::Corrupt("unknown value-type tag"))?;
+        let value_type = ValueType::from_tag(
+            *bytes
+                .get(pos)
+                .ok_or(CodecError::Corrupt("no value-type tag"))?,
+        )
+        .ok_or(CodecError::Corrupt("unknown value-type tag"))?;
         pos += 1;
         let mode_param = varint::read_f64(bytes, &mut pos)?;
         let mode = match mode_tag {
@@ -312,8 +318,7 @@ impl Codec for ZfpCodec {
                     return Err(CodecError::Corrupt("invalid stored rate"));
                 }
                 Mode::Rate {
-                    maxbits: ((mode_param * block_size as f64).ceil() as u64)
-                        .max(HEADER_BITS + 1),
+                    maxbits: ((mode_param * block_size as f64).ceil() as u64).max(HEADER_BITS + 1),
                 }
             }
             2 => {
@@ -419,7 +424,9 @@ mod tests {
 
     #[test]
     fn smooth_1d_within_bound() {
-        let data: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.001).sin() * 4.0).collect();
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64 * 0.001).sin() * 4.0)
+            .collect();
         for tol in [1e-1, 1e-3, 1e-6] {
             check_bound(&data, &CodecParams::abs_1d(tol), tol);
         }

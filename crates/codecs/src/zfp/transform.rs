@@ -143,7 +143,9 @@ mod tests {
     use super::*;
 
     fn lcg(seed: &mut u64) -> i64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // Bounded to 2^60 so the lifting head-room assumptions hold.
         (*seed >> 4) as i64 - (1i64 << 59)
     }

@@ -60,9 +60,7 @@ pub fn stream_locality(
     let recipe = RestoreRecipe::build(tree, policy, grouping);
     let cell_of = |vpos: u32| -> &Cell {
         match grouping {
-            GroupingMode::LeafOnly => {
-                &tree.cells()[tree.leaf_indices()[vpos as usize] as usize]
-            }
+            GroupingMode::LeafOnly => &tree.cells()[tree.leaf_indices()[vpos as usize] as usize],
             GroupingMode::Chained => &tree.cells()[vpos as usize],
         }
     };
@@ -153,7 +151,12 @@ mod tests {
         let tree = sample_tree();
         let z = stream_locality(&tree, OrderingPolicy::ZOrder, GroupingMode::LeafOnly);
         let h = stream_locality(&tree, OrderingPolicy::Hilbert, GroupingMode::LeafOnly);
-        assert!(z.max_step > h.max_step, "z {} vs h {}", z.max_step, h.max_step);
+        assert!(
+            z.max_step > h.max_step,
+            "z {} vs h {}",
+            z.max_step,
+            h.max_step
+        );
     }
 
     #[test]

@@ -63,7 +63,9 @@ fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, ZmeshError> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
-        let byte = *buf.get(*pos).ok_or(ZmeshError::Corrupt("varint past end"))?;
+        let byte = *buf
+            .get(*pos)
+            .ok_or(ZmeshError::Corrupt("varint past end"))?;
         *pos += 1;
         if shift >= 64 {
             return Err(ZmeshError::Corrupt("varint overflow"));
@@ -128,13 +130,17 @@ pub fn read_container(bytes: &[u8]) -> Result<ContainerHeader, ZmeshError> {
     }
     let bytes = &bytes[..body_len];
     let mut pos = 4;
-    let version = *bytes.get(pos).ok_or(ZmeshError::Corrupt("missing version"))?;
+    let version = *bytes
+        .get(pos)
+        .ok_or(ZmeshError::Corrupt("missing version"))?;
     pos += 1;
     if version != VERSION {
         return Err(ZmeshError::Corrupt("unsupported container version"));
     }
     let policy = OrderingPolicy::from_tag(
-        *bytes.get(pos).ok_or(ZmeshError::Corrupt("missing policy"))?,
+        *bytes
+            .get(pos)
+            .ok_or(ZmeshError::Corrupt("missing policy"))?,
     )
     .ok_or(ZmeshError::Corrupt("bad policy tag"))?;
     pos += 1;
@@ -250,7 +256,9 @@ mod tests {
         let bytes = sample();
         let mut s = 1u64;
         for _ in 0..200 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let idx = (s % bytes.len() as u64) as usize;
             let mut bad = bytes.clone();
             bad[idx] ^= 1 << (s >> 61);

@@ -69,5 +69,7 @@ pub use crc::crc32;
 pub use error::ZmeshError;
 pub use linearize::{linearize, restore};
 pub use ordering::{GroupingMode, OrderingPolicy};
-pub use pipeline::{Compressed, CompressStats, CompressionConfig, Decompressed, Pipeline};
+pub use pipeline::{
+    codec_for, CompressStats, Compressed, CompressionConfig, Decompressed, Pipeline,
+};
 pub use recipe::RestoreRecipe;

@@ -50,8 +50,14 @@ mod tests {
             let tv_base = total_variation(&base);
             let tv_z = total_variation(&z);
             let tv_h = total_variation(&h);
-            assert!(tv_z < tv_base, "{mode:?}: z-order {tv_z} !< baseline {tv_base}");
-            assert!(tv_h < tv_base, "{mode:?}: hilbert {tv_h} !< baseline {tv_base}");
+            assert!(
+                tv_z < tv_base,
+                "{mode:?}: z-order {tv_z} !< baseline {tv_base}"
+            );
+            assert!(
+                tv_h < tv_base,
+                "{mode:?}: hilbert {tv_h} !< baseline {tv_base}"
+            );
         }
     }
 
@@ -64,8 +70,7 @@ mod tests {
         // Simulate the decompressor: only the metadata bytes survive.
         let metadata = ds.tree.structure_bytes();
         let rebuilt_tree = Arc::new(zmesh_amr::AmrTree::from_structure_bytes(&metadata).unwrap());
-        let rebuilt =
-            RestoreRecipe::build(&rebuilt_tree, recipe.policy(), recipe.grouping());
+        let rebuilt = RestoreRecipe::build(&rebuilt_tree, recipe.policy(), recipe.grouping());
         assert_eq!(restore(&stream, &rebuilt), field.values());
     }
 }

@@ -14,7 +14,7 @@ use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 use zmesh_amr::{AmrField, AmrTree};
-use zmesh_codecs::{Codec, CodecKind, CodecParams, ErrorControl, ValueType, SzCodec, ZfpCodec};
+use zmesh_codecs::{Codec, CodecKind, CodecParams, ErrorControl, SzCodec, ValueType, ZfpCodec};
 
 /// What to compress with and how hard.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,7 +105,9 @@ pub struct Pipeline {
     config: CompressionConfig,
 }
 
-fn codec_of(kind: CodecKind) -> Box<dyn Codec + Send + Sync> {
+/// Instantiates the codec backing `kind` — the single construction point
+/// shared by the monolithic pipeline and the chunked store (`zmesh-store`).
+pub fn codec_for(kind: CodecKind) -> Box<dyn Codec + Send + Sync> {
     match kind {
         CodecKind::Sz => Box::new(SzCodec::new()),
         CodecKind::Zfp => Box::new(ZfpCodec::new()),
@@ -157,7 +159,7 @@ impl Pipeline {
             .collect();
         let reorder_ns = t1.elapsed().as_nanos() as u64;
 
-        let codec = codec_of(self.config.codec);
+        let codec = codec_for(self.config.codec);
         let params = CodecParams {
             control: self.config.control,
             dims: [0, 0, 0],
@@ -171,11 +173,7 @@ impl Pipeline {
         let encode_ns = t2.elapsed().as_nanos() as u64;
 
         let structure = tree.structure_bytes();
-        let named: Vec<(&str, Vec<u8>)> = fields
-            .iter()
-            .map(|(n, _)| *n)
-            .zip(payloads)
-            .collect();
+        let named: Vec<(&str, Vec<u8>)> = fields.iter().map(|(n, _)| *n).zip(payloads).collect();
         let bytes = write_container(
             self.config.policy,
             mode,
@@ -222,7 +220,7 @@ impl Pipeline {
         let tree = Arc::new(AmrTree::from_structure_bytes(&header.structure)?);
         let grouping = GroupingMode::from_storage_mode(header.mode);
         let recipe = RestoreRecipe::build(&tree, header.policy, grouping);
-        let codec = codec_of(header.codec);
+        let codec = codec_for(header.codec);
         let stream = codec.decompress(&bytes[range])?;
         if stream.len() != recipe.len() {
             return Err(ZmeshError::Corrupt("payload length mismatches tree"));
@@ -245,7 +243,7 @@ impl Pipeline {
         let recipe = RestoreRecipe::build(&tree, header.policy, grouping);
         let recipe_ns = t0.elapsed().as_nanos() as u64;
 
-        let codec = codec_of(header.codec);
+        let codec = codec_for(header.codec);
         let decoded: Vec<Vec<f64>> = header
             .fields
             .par_iter()
@@ -296,7 +294,9 @@ mod tests {
         let fields = field_refs(&ds);
         for policy in OrderingPolicy::ALL {
             for codec in [CodecKind::Sz, CodecKind::Zfp] {
-                let c = Pipeline::new(config(policy, codec)).compress(&fields).unwrap();
+                let c = Pipeline::new(config(policy, codec))
+                    .compress(&fields)
+                    .unwrap();
                 let d = Pipeline::decompress(&c.bytes).unwrap();
                 assert_eq!(d.policy, policy);
                 assert_eq!(d.fields.len(), ds.fields.len());
@@ -340,7 +340,9 @@ mod tests {
         let sizes: Vec<usize> = OrderingPolicy::ALL
             .iter()
             .map(|&p| {
-                let c = Pipeline::new(config(p, CodecKind::Sz)).compress(&fields).unwrap();
+                let c = Pipeline::new(config(p, CodecKind::Sz))
+                    .compress(&fields)
+                    .unwrap();
                 c.stats.container_bytes - c.stats.payload_bytes
             })
             .collect();
@@ -368,10 +370,7 @@ mod tests {
         let a = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
         let b = datasets::front2d(StorageMode::AllCells, datasets::Scale::Tiny);
         let p = Pipeline::new(config(OrderingPolicy::Hilbert, CodecKind::Sz));
-        let mixed = vec![
-            ("x", &a.fields[0].1),
-            ("y", &b.fields[0].1),
-        ];
+        let mixed = vec![("x", &a.fields[0].1), ("y", &b.fields[0].1)];
         assert!(matches!(p.compress(&mixed), Err(ZmeshError::Mismatch(_))));
         assert!(matches!(p.compress(&[]), Err(ZmeshError::Mismatch(_))));
     }
@@ -385,7 +384,10 @@ mod tests {
             .unwrap();
         assert!(Pipeline::decompress(&[]).is_err());
         for cut in [3, 10, c.bytes.len() / 2, c.bytes.len() - 1] {
-            assert!(Pipeline::decompress(&c.bytes[..cut]).is_err(), "cut = {cut}");
+            assert!(
+                Pipeline::decompress(&c.bytes[..cut]).is_err(),
+                "cut = {cut}"
+            );
         }
         // Bit-flip in the payload region: must error or stay within bound,
         // never panic.

@@ -65,9 +65,7 @@ impl RestoreRecipe {
                 let a = tree.anchor(cell);
                 let idx = match dim {
                     Dim::D2 => curve.index_2d(u64::from(a.x), u64::from(a.y), bits),
-                    Dim::D3 => {
-                        curve.index_3d(u64::from(a.x), u64::from(a.y), u64::from(a.z), bits)
-                    }
+                    Dim::D3 => curve.index_3d(u64::from(a.x), u64::from(a.y), u64::from(a.z), bits),
                 };
                 (idx, cell.level)
             };
@@ -157,7 +155,11 @@ mod tests {
         let tree = sample_tree();
         for grouping in [GroupingMode::LeafOnly, GroupingMode::Chained] {
             let r = RestoreRecipe::build(&tree, OrderingPolicy::LevelOrder, grouping);
-            assert!(r.permutation().iter().enumerate().all(|(i, &p)| i as u32 == p));
+            assert!(r
+                .permutation()
+                .iter()
+                .enumerate()
+                .all(|(i, &p)| i as u32 == p));
         }
     }
 
@@ -184,7 +186,11 @@ mod tests {
             for grouping in [GroupingMode::LeafOnly, GroupingMode::Chained] {
                 let r = RestoreRecipe::build(&tree, policy, grouping);
                 let values: Vec<f64> = (0..r.len()).map(|i| i as f64 * 1.5).collect();
-                assert_eq!(r.invert(&r.apply(&values)), values, "{policy:?} {grouping:?}");
+                assert_eq!(
+                    r.invert(&r.apply(&values)),
+                    values,
+                    "{policy:?} {grouping:?}"
+                );
             }
         }
     }
@@ -244,7 +250,10 @@ mod tests {
             .collect();
         let first = in_quad.iter().position(|&b| b).unwrap();
         let last = in_quad.iter().rposition(|&b| b).unwrap();
-        assert!(in_quad[first..=last].iter().all(|&b| b), "quadrant not contiguous");
+        assert!(
+            in_quad[first..=last].iter().all(|&b| b),
+            "quadrant not contiguous"
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
+use zmesh::CompressionConfig;
 use zmesh::{linearize, restore, GroupingMode, OrderingPolicy, Pipeline, RestoreRecipe};
-use zmesh::{CompressionConfig};
 use zmesh_amr::{AmrField, AmrTree, Dim, StorageMode, TreeBuilder};
 use zmesh_codecs::{CodecKind, ErrorControl};
 

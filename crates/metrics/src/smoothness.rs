@@ -51,7 +51,9 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
     if var == 0.0 {
         return 0.0;
     }
-    let cov: f64 = (0..n - k).map(|i| (xs[i] - mean) * (xs[i + k] - mean)).sum();
+    let cov: f64 = (0..n - k)
+        .map(|i| (xs[i] - mean) * (xs[i + k] - mean))
+        .sum();
     cov / var
 }
 
@@ -74,7 +76,9 @@ mod tests {
 
     #[test]
     fn tv_of_sawtooth_exceeds_ramp() {
-        let saw: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 0.0 } else { 5.0 }).collect();
+        let saw: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 5.0 })
+            .collect();
         let ramp: Vec<f64> = (0..10).map(f64::from).collect();
         assert!(total_variation(&saw) > total_variation(&ramp));
     }

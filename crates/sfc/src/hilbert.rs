@@ -212,8 +212,7 @@ mod tests {
         let mut prev = hilbert_point_3d(0, bits);
         for i in 1..n {
             let cur = hilbert_point_3d(i, bits);
-            let dist =
-                prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1) + prev.2.abs_diff(cur.2);
+            let dist = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1) + prev.2.abs_diff(cur.2);
             assert_eq!(dist, 1, "step {i}: {prev:?} -> {cur:?}");
             prev = cur;
         }

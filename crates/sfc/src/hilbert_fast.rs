@@ -218,8 +218,7 @@ pub fn hilbert_index_3d_fast(x: u64, y: u64, z: u64, bits: u32) -> u64 {
     let mut state = 0usize;
     let mut index = 0u64;
     for b in (0..bits).rev() {
-        let child =
-            ((((z >> b) & 1) << 2) | (((y >> b) & 1) << 1) | ((x >> b) & 1)) as usize;
+        let child = ((((z >> b) & 1) << 2) | (((y >> b) & 1) << 1) | ((x >> b) & 1)) as usize;
         let row = rows[state];
         index = (index << 3) | u64::from(row.rank[child]);
         state = row.next[child] as usize;
@@ -251,8 +250,16 @@ mod tests {
 
     #[test]
     fn state_machine_is_small_and_closed() {
-        assert!(tables(2).rows.len() <= 8, "2-D states: {}", tables(2).rows.len());
-        assert!(tables(3).rows.len() <= 48, "3-D states: {}", tables(3).rows.len());
+        assert!(
+            tables(2).rows.len() <= 8,
+            "2-D states: {}",
+            tables(2).rows.len()
+        );
+        assert!(
+            tables(3).rows.len() <= 48,
+            "3-D states: {}",
+            tables(3).rows.len()
+        );
     }
 
     #[test]
@@ -294,7 +301,9 @@ mod tests {
         let bits = 20;
         let mut s = 1u64;
         for _ in 0..2000 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (s >> 10) & ((1 << bits) - 1);
             let y = (s >> 34) & ((1 << bits) - 1);
             assert_eq!(
@@ -304,7 +313,9 @@ mod tests {
         }
         let bits = 12;
         for _ in 0..2000 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (s >> 8) & ((1 << bits) - 1);
             let y = (s >> 24) & ((1 << bits) - 1);
             let z = (s >> 40) & ((1 << bits) - 1);

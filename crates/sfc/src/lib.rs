@@ -24,6 +24,7 @@ mod curve;
 mod hilbert;
 mod hilbert_fast;
 mod morton;
+pub mod ranges;
 mod rowmajor;
 
 pub use curve::{Curve, CurveKind};
@@ -34,4 +35,7 @@ pub use hilbert_fast::{
 pub use morton::{
     morton_index_2d, morton_index_3d, morton_point_2d, morton_point_3d, MAX_BITS_2D, MAX_BITS_3D,
 };
-pub use rowmajor::{row_major_index_2d, row_major_index_3d, row_major_point_2d, row_major_point_3d};
+pub use ranges::{bbox_ranges_2d, bbox_ranges_3d};
+pub use rowmajor::{
+    row_major_index_2d, row_major_index_3d, row_major_point_2d, row_major_point_3d,
+};

@@ -1,0 +1,203 @@
+//! The recipe cache: reuse one restore recipe across fields, timesteps,
+//! and readers that share a mesh.
+//!
+//! zMesh's recipe is a pure function of `(tree structure, policy,
+//! grouping)`. Building it costs a parallel sort over every cell; cloning
+//! an `Arc` costs nothing. Multi-field and time-series workloads hit the
+//! same tree structure over and over, so the cache keys recipes by a hash
+//! of the serialized structure and hands out shared references — the
+//! paper's "recipe amortization" made explicit across pipeline calls.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use zmesh::{GroupingMode, OrderingPolicy, RestoreRecipe};
+use zmesh_amr::AmrTree;
+
+/// FNV-1a over the serialized tree structure — stable, dependency-free,
+/// and 64 bits is plenty for a cache key (collisions only cost a rebuild
+/// check, see [`RecipeCache::get_or_build`]).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    structure_hash: u64,
+    structure_len: usize,
+    policy: OrderingPolicy,
+    grouping: GroupingMode,
+}
+
+/// Hit/miss counters of a [`RecipeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a recipe.
+    pub misses: u64,
+    /// Recipes currently cached.
+    pub entries: usize,
+}
+
+/// Cached recipes plus their FIFO insertion order.
+type CacheMap = (HashMap<Key, Arc<RestoreRecipe>>, Vec<Key>);
+
+/// A bounded, thread-safe cache of restore recipes keyed by tree
+/// structure, ordering policy, and grouping mode.
+#[derive(Debug)]
+pub struct RecipeCache {
+    map: Mutex<CacheMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for RecipeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecipeCache {
+    /// Default capacity: generous for multi-field/time-series runs where a
+    /// handful of distinct (structure, policy) pairs are live at once.
+    pub const DEFAULT_CAPACITY: usize = 16;
+
+    /// Cache with [`RecipeCache::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Cache evicting in insertion order beyond `capacity` recipes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            map: Mutex::new((HashMap::new(), Vec::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Returns the recipe for `(tree, policy, grouping)`, building and
+    /// caching it on first use. `structure` must be `tree`'s serialized
+    /// structure (callers have it at hand; passing it avoids re-serializing
+    /// on every lookup). The boolean reports whether this was a cache hit.
+    pub fn get_or_build(
+        &self,
+        tree: &AmrTree,
+        structure: &[u8],
+        policy: OrderingPolicy,
+        grouping: GroupingMode,
+    ) -> (Arc<RestoreRecipe>, bool) {
+        let key = Key {
+            structure_hash: fnv1a(structure),
+            structure_len: structure.len(),
+            policy,
+            grouping,
+        };
+        if let Some(recipe) = self.map.lock().unwrap().0.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(recipe), true);
+        }
+        // Build outside the lock: recipe construction is the expensive
+        // parallel sort this cache exists to amortize.
+        let recipe = Arc::new(RestoreRecipe::build(tree, policy, grouping));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.map.lock().unwrap();
+        let (map, order) = &mut *guard;
+        if !map.contains_key(&key) {
+            if map.len() >= self.capacity {
+                let evict = order.remove(0);
+                map.remove(&evict);
+            }
+            map.insert(key, Arc::clone(&recipe));
+            order.push(key);
+        }
+        (recipe, false)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().unwrap().0.len(),
+        }
+    }
+
+    /// Drops every cached recipe (counters are kept).
+    pub fn clear(&self) {
+        let mut guard = self.map.lock().unwrap();
+        guard.0.clear();
+        guard.1.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmesh_amr::Dim;
+
+    fn tree(side: usize) -> AmrTree {
+        AmrTree::uniform(Dim::D2, [side, side, 1]).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_recipe() {
+        let cache = RecipeCache::new();
+        let t = tree(8);
+        let s = t.structure_bytes();
+        let (a, hit_a) =
+            cache.get_or_build(&t, &s, OrderingPolicy::Hilbert, GroupingMode::LeafOnly);
+        let (b, hit_b) =
+            cache.get_or_build(&t, &s, OrderingPolicy::Hilbert, GroupingMode::LeafOnly);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_policies_and_structures_do_not_collide() {
+        let cache = RecipeCache::new();
+        let t8 = tree(8);
+        let t4 = tree(4);
+        let (s8, s4) = (t8.structure_bytes(), t4.structure_bytes());
+        let (a, _) = cache.get_or_build(&t8, &s8, OrderingPolicy::Hilbert, GroupingMode::LeafOnly);
+        let (b, _) = cache.get_or_build(&t8, &s8, OrderingPolicy::ZOrder, GroupingMode::LeafOnly);
+        let (c, _) = cache.get_or_build(&t4, &s4, OrderingPolicy::Hilbert, GroupingMode::LeafOnly);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.len(), c.len());
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache() {
+        let cache = RecipeCache::with_capacity(2);
+        for side in [2usize, 4, 8, 16] {
+            let t = tree(side);
+            let s = t.structure_bytes();
+            cache.get_or_build(&t, &s, OrderingPolicy::ZOrder, GroupingMode::LeafOnly);
+        }
+        assert_eq!(cache.stats().entries, 2);
+        // Most recent entry survives FIFO eviction.
+        let t = tree(16);
+        let s = t.structure_bytes();
+        let (_, hit) = cache.get_or_build(&t, &s, OrderingPolicy::ZOrder, GroupingMode::LeafOnly);
+        assert!(hit);
+    }
+}

@@ -1,0 +1,477 @@
+//! Container format v2 (`ZMS2`): byte layout, typed errors, and the
+//! header/footer (de)serializers.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ header   magic "ZMS2" · version u16 · policy u8 · mode u8 ·      │
+//! │          codec u8 · value-type u8 · chunk-target-bytes u32 ·     │
+//! │          structure len u64 · structure bytes                     │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ payload  per field, per chunk: one self-describing codec stream  │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ footer   per field: name (u16 + bytes) · bound flag u8 ·         │
+//! │          bound f64 · chunk count u64 · chunk metas (64 B each)   │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ trailer  footer offset u64 · crc32(header ∥ footer) u32 ·        │
+//! │          magic "ZMSI"                                            │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every chunk meta is **fixed width**, and the variable parts of the
+//! footer (names, structure) do not depend on the ordering policy — so the
+//! total metadata size is policy-independent, preserving the paper's
+//! no-recipe-storage claim for v2: the restore recipe is regenerated from
+//! `structure`, never stored.
+
+use crate::chunk::{ChunkMeta, CHUNK_META_BYTES};
+use std::fmt;
+use zmesh::{crc32, GroupingMode, OrderingPolicy, ZmeshError};
+use zmesh_amr::{AmrError, StorageMode};
+use zmesh_codecs::{CodecError, CodecKind, ValueType};
+
+/// Leading magic of a v2 store.
+pub const STORE_MAGIC: [u8; 4] = *b"ZMS2";
+/// Trailing magic of the index trailer.
+pub const INDEX_MAGIC: [u8; 4] = *b"ZMSI";
+/// Format version written by this crate.
+pub const STORE_VERSION: u16 = 2;
+/// Fixed trailer size: footer offset + footer crc + index magic.
+pub const TRAILER_BYTES: usize = 8 + 4 + 4;
+
+/// Typed failures from writing, opening, or querying a store. Each variant
+/// maps to a distinct CLI exit code (see `zmesh-cli`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The buffer does not start with [`STORE_MAGIC`] / end with
+    /// [`INDEX_MAGIC`].
+    BadMagic,
+    /// The container declares a version this reader does not understand.
+    UnsupportedVersion(u16),
+    /// The buffer ends before a structure the header/footer promises.
+    Truncated {
+        /// Bytes the parser needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Structurally invalid metadata (bad tags, inconsistent offsets…).
+    Corrupt(&'static str),
+    /// A chunk payload failed its CRC check.
+    ChunkCrc {
+        /// Field the chunk belongs to.
+        field: String,
+        /// Chunk index within the field.
+        chunk: usize,
+    },
+    /// The footer failed its CRC check.
+    IndexCrc,
+    /// A requested field name is not present.
+    UnknownField(String),
+    /// A query argument is malformed (inverted box, empty level mask…).
+    BadQuery(&'static str),
+    /// Underlying codec failure.
+    Codec(CodecError),
+    /// Underlying AMR structure failure.
+    Amr(AmrError),
+    /// Failure from the core pipeline layer.
+    Zmesh(ZmeshError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a ZMS2 store"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported store version {v}"),
+            StoreError::Truncated { needed, have } => {
+                write!(f, "truncated store: needed {needed} bytes, have {have}")
+            }
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::ChunkCrc { field, chunk } => {
+                write!(f, "crc mismatch in field {field:?} chunk {chunk}")
+            }
+            StoreError::IndexCrc => write!(f, "crc mismatch in store index"),
+            StoreError::UnknownField(name) => write!(f, "no field named {name:?} in store"),
+            StoreError::BadQuery(what) => write!(f, "bad query: {what}"),
+            StoreError::Codec(e) => write!(f, "codec: {e}"),
+            StoreError::Amr(e) => write!(f, "amr: {e}"),
+            StoreError::Zmesh(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Codec(e) => Some(e),
+            StoreError::Amr(e) => Some(e),
+            StoreError::Zmesh(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<AmrError> for StoreError {
+    fn from(e: AmrError) -> Self {
+        StoreError::Amr(e)
+    }
+}
+
+impl From<ZmeshError> for StoreError {
+    fn from(e: ZmeshError) -> Self {
+        StoreError::Zmesh(e)
+    }
+}
+
+/// Parsed fixed header of a store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreHeader {
+    /// Stream ordering the payloads were written under.
+    pub policy: OrderingPolicy,
+    /// AMR storage convention of the fields.
+    pub mode: StorageMode,
+    /// Codec all chunks use.
+    pub codec: CodecKind,
+    /// Source precision of the values.
+    pub value_type: ValueType,
+    /// Uncompressed bytes each chunk targets (the last chunk may be short).
+    pub chunk_target_bytes: u32,
+    /// Serialized `AmrTree` structure — the only mesh metadata stored; the
+    /// restore recipe is regenerated from it.
+    pub structure: Vec<u8>,
+    /// Total serialized header size in bytes.
+    pub header_bytes: usize,
+}
+
+impl StoreHeader {
+    /// Grouping mode implied by the storage mode.
+    pub fn grouping(&self) -> GroupingMode {
+        GroupingMode::from_storage_mode(self.mode)
+    }
+}
+
+/// One field's footer entry: name, resolved bound, chunk index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldEntry {
+    /// Field name.
+    pub name: String,
+    /// Absolute pointwise error bound every chunk of this field honors
+    /// (`None` under fixed-rate / fixed-precision control).
+    pub resolved_bound: Option<f64>,
+    /// Per-chunk metadata, in stream order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian cursor over the serialized store.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(StoreError::Corrupt("length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(StoreError::Truncated {
+                needed: end,
+                have: self.bytes.len(),
+            });
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Serializes the fixed header.
+pub(crate) fn write_header(header: &StoreHeader) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 2 + 4 + 4 + 8 + header.structure.len());
+    out.extend_from_slice(&STORE_MAGIC);
+    put_u16(&mut out, STORE_VERSION);
+    out.push(header.policy.tag());
+    out.push(header.mode.tag());
+    out.push(header.codec.tag());
+    out.push(header.value_type.tag());
+    put_u32(&mut out, header.chunk_target_bytes);
+    put_u64(&mut out, header.structure.len() as u64);
+    out.extend_from_slice(&header.structure);
+    out
+}
+
+/// Parses the fixed header from the front of `bytes`.
+pub(crate) fn read_header(bytes: &[u8]) -> Result<StoreHeader, StoreError> {
+    let mut c = Cursor::new(bytes);
+    if c.take(4)? != STORE_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = c.u16()?;
+    if version != STORE_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let policy = OrderingPolicy::from_tag(c.u8()?).ok_or(StoreError::Corrupt("policy tag"))?;
+    let mode = StorageMode::from_tag(c.u8()?).ok_or(StoreError::Corrupt("storage-mode tag"))?;
+    let codec = CodecKind::from_tag(c.u8()?).ok_or(StoreError::Corrupt("codec tag"))?;
+    let value_type = ValueType::from_tag(c.u8()?).ok_or(StoreError::Corrupt("value-type tag"))?;
+    let chunk_target_bytes = c.u32()?;
+    if chunk_target_bytes == 0 {
+        return Err(StoreError::Corrupt("zero chunk target"));
+    }
+    let structure_len = c.u64()? as usize;
+    let structure = c.take(structure_len)?.to_vec();
+    Ok(StoreHeader {
+        policy,
+        mode,
+        codec,
+        value_type,
+        chunk_target_bytes,
+        structure,
+        header_bytes: c.pos(),
+    })
+}
+
+/// Serializes the footer (field entries).
+pub(crate) fn write_footer(fields: &[FieldEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, fields.len() as u32);
+    for field in fields {
+        put_u16(&mut out, field.name.len() as u16);
+        out.extend_from_slice(field.name.as_bytes());
+        out.push(u8::from(field.resolved_bound.is_some()));
+        put_u64(&mut out, field.resolved_bound.unwrap_or(0.0).to_bits());
+        put_u64(&mut out, field.chunks.len() as u64);
+        for chunk in &field.chunks {
+            chunk.write(&mut out);
+        }
+    }
+    out
+}
+
+/// Parses the footer.
+pub(crate) fn read_footer(bytes: &[u8]) -> Result<Vec<FieldEntry>, StoreError> {
+    let mut c = Cursor::new(bytes);
+    let n_fields = c.u32()? as usize;
+    let mut fields = Vec::with_capacity(n_fields.min(1024));
+    for _ in 0..n_fields {
+        let name_len = c.u16()? as usize;
+        let name = std::str::from_utf8(c.take(name_len)?)
+            .map_err(|_| StoreError::Corrupt("field name not utf-8"))?
+            .to_string();
+        let has_bound = c.u8()?;
+        let bound_bits = c.u64()?;
+        let resolved_bound = match has_bound {
+            0 => None,
+            1 => Some(f64::from_bits(bound_bits)),
+            _ => return Err(StoreError::Corrupt("bound flag")),
+        };
+        let n_chunks = c.u64()? as usize;
+        // Bound allocation by what the buffer can actually hold.
+        if n_chunks.saturating_mul(CHUNK_META_BYTES) > bytes.len() {
+            return Err(StoreError::Corrupt("chunk count exceeds footer"));
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            chunks.push(ChunkMeta::read(&mut c)?);
+        }
+        fields.push(FieldEntry {
+            name,
+            resolved_bound,
+            chunks,
+        });
+    }
+    if c.pos() != bytes.len() {
+        return Err(StoreError::Corrupt("trailing bytes after footer"));
+    }
+    Ok(fields)
+}
+
+/// Assembles a complete store from its parts.
+pub(crate) fn assemble(header_bytes: Vec<u8>, payload: &[u8], fields: &[FieldEntry]) -> Vec<u8> {
+    let mut out = header_bytes;
+    out.extend_from_slice(payload);
+    let footer_offset = out.len() as u64;
+    let footer = write_footer(fields);
+    let crc_input_header = out[..fields_header_len(&out)].to_vec();
+    let mut crc_bytes = crc_input_header;
+    crc_bytes.extend_from_slice(&footer);
+    let crc = crc32(&crc_bytes);
+    out.extend_from_slice(&footer);
+    put_u64(&mut out, footer_offset);
+    put_u32(&mut out, crc);
+    out.extend_from_slice(&INDEX_MAGIC);
+    out
+}
+
+/// Header length of an assembled buffer (used to scope the index CRC).
+fn fields_header_len(bytes: &[u8]) -> usize {
+    // Magic(4) + version(2) + tags(4) + chunk target(4) + structure len(8).
+    let structure_len =
+        u64::from_le_bytes(bytes[14..22].try_into().expect("header present")) as usize;
+    22 + structure_len
+}
+
+/// Splits an assembled store into `(header, footer fields, payload span)`,
+/// verifying magics and the index CRC.
+pub(crate) fn open(
+    bytes: &[u8],
+) -> Result<(StoreHeader, Vec<FieldEntry>, std::ops::Range<usize>), StoreError> {
+    if bytes.len() < 4 + TRAILER_BYTES {
+        return Err(StoreError::Truncated {
+            needed: 4 + TRAILER_BYTES,
+            have: bytes.len(),
+        });
+    }
+    let header = read_header(bytes)?;
+    let trailer = &bytes[bytes.len() - TRAILER_BYTES..];
+    if trailer[12..16] != INDEX_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let footer_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap()) as usize;
+    let stored_crc = u32::from_le_bytes(trailer[8..12].try_into().unwrap());
+    let footer_end = bytes.len() - TRAILER_BYTES;
+    if footer_offset < header.header_bytes || footer_offset > footer_end {
+        return Err(StoreError::Corrupt("footer offset out of range"));
+    }
+    let mut crc_bytes = bytes[..header.header_bytes].to_vec();
+    crc_bytes.extend_from_slice(&bytes[footer_offset..footer_end]);
+    if crc32(&crc_bytes) != stored_crc {
+        return Err(StoreError::IndexCrc);
+    }
+    let fields = read_footer(&bytes[footer_offset..footer_end])?;
+    let payload = header.header_bytes..footer_offset;
+    Ok((header, fields, payload))
+}
+
+/// Whether `bytes` looks like a v2 store (magic check only).
+pub fn is_store(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == STORE_MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> StoreHeader {
+        StoreHeader {
+            policy: OrderingPolicy::Hilbert,
+            mode: StorageMode::AllCells,
+            codec: CodecKind::Sz,
+            value_type: ValueType::F64,
+            chunk_target_bytes: 4096,
+            structure: vec![1, 2, 3, 4, 5],
+            header_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = sample_header();
+        let bytes = write_header(&h);
+        let parsed = read_header(&bytes).unwrap();
+        assert_eq!(parsed.policy, h.policy);
+        assert_eq!(parsed.codec, h.codec);
+        assert_eq!(parsed.structure, h.structure);
+        assert_eq!(parsed.header_bytes, bytes.len());
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_version() {
+        let mut bytes = write_header(&sample_header());
+        assert!(matches!(
+            read_header(&bytes[..3]),
+            Err(StoreError::Truncated { .. })
+        ));
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(read_header(&wrong), Err(StoreError::BadMagic));
+        bytes[4] = 99;
+        assert!(matches!(
+            read_header(&bytes),
+            Err(StoreError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn assembled_store_round_trips_and_detects_index_corruption() {
+        let header = sample_header();
+        let payload = vec![9u8; 100];
+        let fields = vec![FieldEntry {
+            name: "density".into(),
+            resolved_bound: Some(1e-4),
+            chunks: vec![ChunkMeta::test_sample(0, 100)],
+        }];
+        let bytes = assemble(write_header(&header), &payload, &fields);
+        let (h, f, span) = open(&bytes).unwrap();
+        assert_eq!(h.policy, header.policy);
+        assert_eq!(f, fields);
+        assert_eq!(span.len(), 100);
+
+        // Truncation anywhere is detected.
+        for cut in [2, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(open(&bytes[..cut]).is_err(), "cut = {cut}");
+        }
+        // A flipped bit in the footer region fails the index CRC.
+        let mut flipped = bytes.clone();
+        let idx = bytes.len() - TRAILER_BYTES - 10;
+        flipped[idx] ^= 1;
+        assert!(matches!(
+            open(&flipped),
+            Err(StoreError::IndexCrc) | Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn footer_rejects_absurd_chunk_counts() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 1);
+        put_u16(&mut bytes, 1);
+        bytes.push(b'x');
+        bytes.push(0);
+        put_u64(&mut bytes, 0);
+        put_u64(&mut bytes, u64::MAX); // absurd chunk count
+        assert!(read_footer(&bytes).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! # zmesh-store — chunked, indexed, random-access containers
+//!
+//! The core [`zmesh`] container (v1) compresses each field as one opaque
+//! payload: reading anything means decoding everything. This crate adds a
+//! **v2 container** built for partial reads:
+//!
+//! - the reordered stream is framed into fixed-target-size **chunks**, each
+//!   compressed independently with its own CRC;
+//! - a **footer index** records, per chunk, the curve-index range, level
+//!   mask, and bounding box it covers;
+//! - a [`StoreReader`] answers bounding-box / level queries by decomposing
+//!   the box into space-filling-curve ranges ([`zmesh_sfc::bbox_ranges_2d`])
+//!   and decoding **only the overlapping chunks**, in parallel;
+//! - a [`RecipeCache`] keyed by the tree structure makes multi-field and
+//!   time-series writes reuse one restore recipe.
+//!
+//! The zMesh invariant is preserved: no permutation data is stored. Chunk
+//! framing is by value count, so the index is byte-identical across
+//! ordering policies — only chunk payload bytes differ.
+//!
+//! ```
+//! use zmesh::{CompressionConfig, Pipeline};
+//! use zmesh_amr::{datasets, StorageMode};
+//! use zmesh_store::{PipelineStoreExt, Query, StoreReader};
+//!
+//! let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+//! let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+//!     ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+//! let store = Pipeline::new(CompressionConfig::zmesh_default())
+//!     .pack(&fields)
+//!     .unwrap();
+//! let reader = StoreReader::open(&store.bytes).unwrap();
+//! let region = reader
+//!     .query("density", &Query::bbox([0, 0, 0], [7, 7, 0]))
+//!     .unwrap();
+//! assert!(region.chunks_decoded <= region.chunks_total);
+//! ```
+
+mod cache;
+mod chunk;
+mod format;
+mod reader;
+mod writer;
+
+pub use cache::{CacheStats, RecipeCache};
+pub use chunk::{plan_chunks, ChunkMeta, ChunkPlan, CHUNK_META_BYTES, DEFAULT_CHUNK_TARGET_BYTES};
+pub use format::{is_store, FieldEntry, StoreError, StoreHeader, STORE_MAGIC, STORE_VERSION};
+pub use reader::{Query, QueryResult, StoreReader};
+pub use writer::{PipelineStoreExt, StoreWriteStats, StoreWriter, StoreWritten};

@@ -1,0 +1,443 @@
+//! The store reader: open a v2 container and answer spatial queries by
+//! decoding only the chunks that overlap.
+
+use crate::cache::RecipeCache;
+use crate::format::{self, FieldEntry, StoreError, StoreHeader};
+use std::ops::Range;
+use std::sync::Arc;
+use zmesh::{codec_for, crc32, GroupingMode, RestoreRecipe};
+use zmesh_amr::{AmrField, AmrTree, Cell, Dim};
+use zmesh_sfc::{bbox_ranges_2d, bbox_ranges_3d};
+
+/// A spatial/level selection over one field.
+///
+/// Coordinates are inclusive finest-grid cells; a coarse cell is selected
+/// when any part of its footprint intersects the box. Levels default to
+/// "all".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Lower corner (inclusive) on the finest grid.
+    pub bbox_lo: [u32; 3],
+    /// Upper corner (inclusive) on the finest grid.
+    pub bbox_hi: [u32; 3],
+    /// Bit `l` set ⇔ level-`l` cells participate.
+    pub level_mask: u32,
+}
+
+impl Query {
+    /// Query over the inclusive box `lo..=hi`, all levels.
+    pub fn bbox(lo: [u32; 3], hi: [u32; 3]) -> Self {
+        Self {
+            bbox_lo: lo,
+            bbox_hi: hi,
+            level_mask: u32::MAX,
+        }
+    }
+
+    /// Restricts the query to the given refinement levels. Levels ≥ 32
+    /// cannot exist (the mask is a `u32`) and are dropped rather than
+    /// letting the shift wrap onto an unrelated level.
+    pub fn with_levels(mut self, levels: impl IntoIterator<Item = u32>) -> Self {
+        self.level_mask = levels
+            .into_iter()
+            .filter(|&l| l < 32)
+            .fold(0, |m, l| m | (1 << l));
+        self
+    }
+}
+
+/// Output of [`StoreReader::query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Storage indices of the selected cells, ascending.
+    pub storage_indices: Vec<u32>,
+    /// The value of each selected cell, parallel to `storage_indices`.
+    pub values: Vec<f64>,
+    /// Chunks actually decoded to answer the query.
+    pub chunks_decoded: usize,
+    /// Chunks the field has in total.
+    pub chunks_total: usize,
+    /// Absolute pointwise error bound the values honor (from the footer).
+    pub bound: Option<f64>,
+}
+
+/// A parsed, validated view over a serialized v2 store.
+pub struct StoreReader<'a> {
+    bytes: &'a [u8],
+    header: StoreHeader,
+    fields: Vec<FieldEntry>,
+    payload: Range<usize>,
+    tree: Arc<AmrTree>,
+    recipe: Arc<RestoreRecipe>,
+}
+
+impl<'a> StoreReader<'a> {
+    /// Opens a store, verifying magics and the index CRC, rebuilding the
+    /// tree from structure metadata, and regenerating the restore recipe.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, StoreError> {
+        Self::open_impl(bytes, None)
+    }
+
+    /// Like [`StoreReader::open`], but recipe regeneration goes through a
+    /// shared [`RecipeCache`] — opening many stores over the same mesh
+    /// (timesteps, field files) builds the recipe once.
+    pub fn open_with_cache(bytes: &'a [u8], cache: &RecipeCache) -> Result<Self, StoreError> {
+        Self::open_impl(bytes, Some(cache))
+    }
+
+    fn open_impl(bytes: &'a [u8], cache: Option<&RecipeCache>) -> Result<Self, StoreError> {
+        let (header, fields, payload) = format::open(bytes)?;
+        let tree = Arc::new(AmrTree::from_structure_bytes(&header.structure)?);
+        let grouping = header.grouping();
+        let recipe = match cache {
+            Some(cache) => {
+                cache
+                    .get_or_build(&tree, &header.structure, header.policy, grouping)
+                    .0
+            }
+            None => Arc::new(RestoreRecipe::build(&tree, header.policy, grouping)),
+        };
+        let expected = match grouping {
+            GroupingMode::LeafOnly => tree.leaf_count(),
+            GroupingMode::Chained => tree.cell_count(),
+        };
+        if recipe.len() != expected {
+            return Err(StoreError::Corrupt("recipe length mismatches tree"));
+        }
+        Ok(Self {
+            bytes,
+            header,
+            fields,
+            payload,
+            tree,
+            recipe,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &StoreHeader {
+        &self.header
+    }
+
+    /// The mesh the store's fields live on.
+    pub fn tree(&self) -> &Arc<AmrTree> {
+        &self.tree
+    }
+
+    /// Footer entries, in write order.
+    pub fn fields(&self) -> &[FieldEntry] {
+        &self.fields
+    }
+
+    /// Field names, in write order.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    fn field(&self, name: &str) -> Result<&FieldEntry, StoreError> {
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| StoreError::UnknownField(name.to_string()))
+    }
+
+    /// Values per chunk implied by the header.
+    fn chunk_values(&self) -> usize {
+        (self.header.chunk_target_bytes as usize / 8).max(1)
+    }
+
+    /// The stream positions chunk `i` covers.
+    fn stream_range(&self, i: usize) -> Range<usize> {
+        let cv = self.chunk_values();
+        (i * cv)..((i + 1) * cv).min(self.recipe.len())
+    }
+
+    /// The cell behind a storage index under the store's grouping.
+    fn cell(&self, storage: u32) -> &Cell {
+        match self.header.grouping() {
+            GroupingMode::LeafOnly => {
+                &self.tree.cells()[self.tree.leaf_indices()[storage as usize] as usize]
+            }
+            GroupingMode::Chained => &self.tree.cells()[storage as usize],
+        }
+    }
+
+    /// Decodes one chunk of `entry`, verifying its CRC and length.
+    fn decode_chunk(&self, entry: &FieldEntry, i: usize) -> Result<Vec<f64>, StoreError> {
+        let meta = &entry.chunks[i];
+        let lo = self
+            .payload
+            .start
+            .checked_add(meta.offset as usize)
+            .ok_or(StoreError::Corrupt("chunk offset overflow"))?;
+        let hi = lo
+            .checked_add(meta.len as usize)
+            .ok_or(StoreError::Corrupt("chunk length overflow"))?;
+        if hi > self.payload.end {
+            return Err(StoreError::Truncated {
+                needed: hi,
+                have: self.payload.end,
+            });
+        }
+        let payload = &self.bytes[lo..hi];
+        if crc32(payload) != meta.crc {
+            return Err(StoreError::ChunkCrc {
+                field: entry.name.clone(),
+                chunk: i,
+            });
+        }
+        let codec = codec_for(self.header.codec);
+        let values = codec.decompress(payload)?;
+        if values.len() != self.stream_range(i).len() {
+            return Err(StoreError::Corrupt("chunk value count mismatches framing"));
+        }
+        Ok(values)
+    }
+
+    /// Decodes every chunk of `name` (in parallel) and restores storage
+    /// order — the full-field inverse of the writer.
+    pub fn decode_field(&self, name: &str) -> Result<AmrField, StoreError> {
+        use rayon::prelude::*;
+
+        let entry = self.field(name)?;
+        let ids: Vec<usize> = (0..entry.chunks.len()).collect();
+        let decoded: Vec<Vec<f64>> = ids
+            .par_iter()
+            .map(|&i| self.decode_chunk(entry, i))
+            .collect::<Result<_, _>>()?;
+        let mut stream = Vec::with_capacity(self.recipe.len());
+        for chunk in decoded {
+            stream.extend(chunk);
+        }
+        if stream.len() != self.recipe.len() {
+            return Err(StoreError::Corrupt("stream length mismatches tree"));
+        }
+        let values = self.recipe.invert(&stream);
+        Ok(AmrField::from_values(
+            Arc::clone(&self.tree),
+            self.header.mode,
+            values,
+        )?)
+    }
+
+    /// Chunk indices of `entry` a query must decode.
+    fn select_chunks(&self, entry: &FieldEntry, query: &Query) -> Result<Vec<usize>, StoreError> {
+        for a in 0..3 {
+            if query.bbox_lo[a] > query.bbox_hi[a] {
+                return Err(StoreError::BadQuery("inverted bounding box"));
+            }
+        }
+        if query.level_mask == 0 {
+            return Err(StoreError::BadQuery("empty level selection"));
+        }
+        let bits = self.tree.finest_bits();
+        let side = 1u64 << bits;
+        let clamp = |v: u32| u64::from(v).min(side - 1);
+        // Curve-interval pruning (exact for Morton/Hilbert; level-order
+        // stores no curve and is pruned by bounding box alone).
+        let ranges = self
+            .header
+            .policy
+            .curve()
+            .map(|kind| match self.tree.dim() {
+                Dim::D2 => bbox_ranges_2d(
+                    kind,
+                    bits,
+                    (clamp(query.bbox_lo[0]), clamp(query.bbox_lo[1])),
+                    (clamp(query.bbox_hi[0]), clamp(query.bbox_hi[1])),
+                ),
+                Dim::D3 => bbox_ranges_3d(
+                    kind,
+                    bits,
+                    (
+                        clamp(query.bbox_lo[0]),
+                        clamp(query.bbox_lo[1]),
+                        clamp(query.bbox_lo[2]),
+                    ),
+                    (
+                        clamp(query.bbox_hi[0]),
+                        clamp(query.bbox_hi[1]),
+                        clamp(query.bbox_hi[2]),
+                    ),
+                ),
+            });
+        Ok(entry
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, meta)| {
+                meta.level_mask & query.level_mask != 0
+                    && meta.overlaps_bbox(query.bbox_lo, query.bbox_hi)
+                    && ranges.as_deref().is_none_or(|r| meta.overlaps_ranges(r))
+            })
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Whether `cell`'s finest-grid footprint intersects the query box and
+    /// its level is selected.
+    fn cell_selected(&self, cell: &Cell, query: &Query) -> bool {
+        if query.level_mask & (1 << cell.level) == 0 {
+            return false;
+        }
+        let shift = self.tree.max_level() - cell.level;
+        let side = 1u32 << shift;
+        let anchor = self.tree.anchor(cell);
+        let lo = [anchor.x, anchor.y, anchor.z];
+        (0..self.tree.dim().rank())
+            .all(|a| lo[a] <= query.bbox_hi[a] && query.bbox_lo[a] < lo[a] + side)
+    }
+
+    /// Answers a bounding-box / level query on `name`, decoding only the
+    /// chunks whose coverage intersects the query (in parallel).
+    pub fn query(&self, name: &str, query: &Query) -> Result<QueryResult, StoreError> {
+        use rayon::prelude::*;
+
+        let entry = self.field(name)?;
+        let selected = self.select_chunks(entry, query)?;
+        let decoded: Vec<(usize, Vec<f64>)> = selected
+            .par_iter()
+            .map(|&i| self.decode_chunk(entry, i).map(|v| (i, v)))
+            .collect::<Result<_, _>>()?;
+
+        let perm = self.recipe.permutation();
+        let mut hits: Vec<(u32, f64)> = Vec::new();
+        for (i, values) in &decoded {
+            let range = self.stream_range(*i);
+            for (pos, &value) in range.clone().zip(values) {
+                let storage = perm[pos];
+                if self.cell_selected(self.cell(storage), query) {
+                    hits.push((storage, value));
+                }
+            }
+        }
+        hits.sort_unstable_by_key(|&(s, _)| s);
+        Ok(QueryResult {
+            storage_indices: hits.iter().map(|&(s, _)| s).collect(),
+            values: hits.iter().map(|&(_, v)| v).collect(),
+            chunks_decoded: selected.len(),
+            chunks_total: entry.chunks.len(),
+            bound: entry.resolved_bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::StoreWriter;
+    use zmesh::CompressionConfig;
+    use zmesh_amr::{datasets, StorageMode};
+
+    fn refs(ds: &datasets::Dataset) -> Vec<(&str, &AmrField)> {
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect()
+    }
+
+    fn sample_store(chunk_bytes: u32) -> (datasets::Dataset, Vec<u8>) {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let out = StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(chunk_bytes)
+            .write(&refs(&ds))
+            .unwrap();
+        (ds, out.bytes)
+    }
+
+    #[test]
+    fn full_decode_round_trips_within_bound() {
+        let (ds, bytes) = sample_store(1024);
+        let reader = StoreReader::open(&bytes).unwrap();
+        assert_eq!(reader.field_names(), vec!["density", "energy"]);
+        for (name, original) in &ds.fields {
+            let decoded = reader.decode_field(name).unwrap();
+            let bound = reader.field(name).unwrap().resolved_bound.unwrap();
+            for (a, b) in original.values().iter().zip(decoded.values()) {
+                assert!((a - b).abs() <= bound * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn query_matches_full_decode_bit_for_bit() {
+        let (_, bytes) = sample_store(1024);
+        let reader = StoreReader::open(&bytes).unwrap();
+        let side = reader.tree().level_dims(reader.tree().max_level())[0] as u32;
+        let q = Query::bbox([0, 0, 0], [side / 4, side / 4, 0]);
+        let result = reader.query("density", &q).unwrap();
+        assert!(!result.storage_indices.is_empty());
+        let full = reader.decode_field("density").unwrap();
+        for (&s, &v) in result.storage_indices.iter().zip(&result.values) {
+            assert_eq!(v.to_bits(), full.values()[s as usize].to_bits());
+        }
+    }
+
+    #[test]
+    fn small_query_decodes_fewer_chunks() {
+        let (_, bytes) = sample_store(512);
+        let reader = StoreReader::open(&bytes).unwrap();
+        let q = Query::bbox([0, 0, 0], [3, 3, 0]);
+        let result = reader.query("density", &q).unwrap();
+        assert!(result.chunks_total >= 8);
+        assert!(
+            result.chunks_decoded < result.chunks_total,
+            "{} !< {}",
+            result.chunks_decoded,
+            result.chunks_total
+        );
+    }
+
+    #[test]
+    fn level_selection_filters_cells() {
+        let (ds, bytes) = sample_store(1024);
+        let reader = StoreReader::open(&bytes).unwrap();
+        let side = reader.tree().level_dims(reader.tree().max_level())[0] as u32 - 1;
+        let all = Query::bbox([0, 0, 0], [side, side, 0]);
+        let finest_only = all.with_levels([reader.tree().max_level()]);
+        let r = reader.query("density", &finest_only).unwrap();
+        assert!(!r.storage_indices.is_empty());
+        let cells = ds.tree.cells();
+        for &s in &r.storage_indices {
+            assert_eq!(cells[s as usize].level, ds.tree.max_level());
+        }
+        assert!(matches!(
+            reader.query("density", &all.with_levels([])),
+            Err(StoreError::BadQuery(_))
+        ));
+        // A level ≥ 32 must not wrap onto level `l % 32`; with no valid
+        // level left the mask is empty and the query is rejected.
+        assert!(matches!(
+            reader.query("density", &all.with_levels([99])),
+            Err(StoreError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_field_and_bad_query_are_typed() {
+        let (_, bytes) = sample_store(1024);
+        let reader = StoreReader::open(&bytes).unwrap();
+        assert!(matches!(
+            reader.query("nope", &Query::bbox([0; 3], [1; 3])),
+            Err(StoreError::UnknownField(_))
+        ));
+        assert!(matches!(
+            reader.query("density", &Query::bbox([5, 0, 0], [1, 9, 0])),
+            Err(StoreError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_chunk_payload_is_caught_by_crc() {
+        let (_, mut bytes) = sample_store(1024);
+        // Flip one byte in the middle of the payload region.
+        let mid = {
+            let reader = StoreReader::open(&bytes).unwrap();
+            reader.payload.start + reader.payload.len() / 2
+        };
+        bytes[mid] ^= 0x40;
+        let reader = StoreReader::open(&bytes).unwrap();
+        let names: Vec<String> = reader.field_names().iter().map(|s| s.to_string()).collect();
+        let hit = names
+            .iter()
+            .any(|n| matches!(reader.decode_field(n), Err(StoreError::ChunkCrc { .. })));
+        assert!(hit, "no field reported a chunk CRC failure");
+    }
+}

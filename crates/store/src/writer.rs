@@ -1,0 +1,267 @@
+//! The store writer: reorder → chunk → compress → indexed container.
+
+use crate::cache::RecipeCache;
+use crate::chunk::{plan_chunks, ChunkPlan, DEFAULT_CHUNK_TARGET_BYTES};
+use crate::format::{assemble, write_header, FieldEntry, StoreError, StoreHeader};
+use std::sync::Arc;
+use std::time::Instant;
+use zmesh::{codec_for, crc32, CompressionConfig, GroupingMode, Pipeline, ZmeshError};
+use zmesh_amr::AmrField;
+use zmesh_codecs::{CodecParams, ValueType};
+
+/// Wall-time and size accounting for one store write.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoreWriteStats {
+    /// Nanoseconds to obtain the restore recipe (build or cache hit).
+    pub recipe_ns: u64,
+    /// Whether the recipe came from the cache.
+    pub recipe_cache_hit: bool,
+    /// Nanoseconds to permute all fields into stream order.
+    pub reorder_ns: u64,
+    /// Nanoseconds inside the codec across all chunks and fields.
+    pub encode_ns: u64,
+    /// Fields written.
+    pub n_fields: usize,
+    /// Chunks per field.
+    pub n_chunks: usize,
+    /// Uncompressed bytes across all fields.
+    pub raw_bytes: usize,
+    /// Total store size.
+    pub container_bytes: usize,
+    /// Compressed chunk payload bytes.
+    pub payload_bytes: usize,
+    /// Header + footer + trailer bytes (everything except payloads).
+    pub metadata_bytes: usize,
+}
+
+impl StoreWriteStats {
+    /// Compression ratio over the full store, metadata included.
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.container_bytes as f64
+    }
+}
+
+/// Output of [`StoreWriter::write`].
+#[derive(Debug, Clone)]
+pub struct StoreWritten {
+    /// The serialized store.
+    pub bytes: Vec<u8>,
+    /// Timing and size accounting.
+    pub stats: StoreWriteStats,
+}
+
+/// Writes chunked, indexed v2 stores. Reusing one writer (or sharing its
+/// [`RecipeCache`]) across fields, timesteps, or whole runs amortizes the
+/// recipe build — the Nth write against the same mesh skips the parallel
+/// sort entirely.
+#[derive(Debug, Clone)]
+pub struct StoreWriter {
+    config: CompressionConfig,
+    chunk_target_bytes: u32,
+    cache: Arc<RecipeCache>,
+}
+
+impl StoreWriter {
+    /// Writer with [`DEFAULT_CHUNK_TARGET_BYTES`] and a private cache.
+    pub fn new(config: CompressionConfig) -> Self {
+        Self {
+            config,
+            chunk_target_bytes: DEFAULT_CHUNK_TARGET_BYTES,
+            cache: Arc::new(RecipeCache::new()),
+        }
+    }
+
+    /// Sets the uncompressed bytes each chunk targets (min 8 = one value).
+    pub fn with_chunk_target_bytes(mut self, bytes: u32) -> Self {
+        self.chunk_target_bytes = bytes.max(8);
+        self
+    }
+
+    /// Shares a recipe cache with other writers/readers.
+    pub fn with_cache(mut self, cache: Arc<RecipeCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The writer's recipe cache.
+    pub fn cache(&self) -> &Arc<RecipeCache> {
+        &self.cache
+    }
+
+    /// The compression configuration in use.
+    pub fn config(&self) -> CompressionConfig {
+        self.config
+    }
+
+    /// Compresses `fields` (sharing one mesh) into a chunked, indexed
+    /// store. The stream framing (and hence the index size) is identical
+    /// for every ordering policy; only payload bytes differ.
+    pub fn write(&self, fields: &[(&str, &AmrField)]) -> Result<StoreWritten, StoreError> {
+        let (_, first) = fields
+            .first()
+            .ok_or(StoreError::Zmesh(ZmeshError::Mismatch(
+                "no fields to write",
+            )))?;
+        let tree = first.tree();
+        let mode = first.mode();
+        for (_, f) in fields {
+            if !Arc::ptr_eq(f.tree(), tree) {
+                return Err(ZmeshError::Mismatch("fields on different trees").into());
+            }
+            if f.mode() != mode {
+                return Err(ZmeshError::Mismatch("fields with different storage modes").into());
+            }
+        }
+
+        let grouping = GroupingMode::from_storage_mode(mode);
+        let structure = tree.structure_bytes();
+        let t0 = Instant::now();
+        let (recipe, recipe_cache_hit) =
+            self.cache
+                .get_or_build(tree, &structure, self.config.policy, grouping);
+        let recipe_ns = t0.elapsed().as_nanos() as u64;
+
+        let chunk_values = (self.chunk_target_bytes as usize / 8).max(1);
+        let plan: ChunkPlan =
+            plan_chunks(tree, &recipe, self.config.policy, grouping, chunk_values);
+
+        let codec = codec_for(self.config.codec);
+        let params = CodecParams {
+            control: self.config.control,
+            dims: [0, 0, 0],
+            value_type: ValueType::F64,
+        };
+
+        let mut payload: Vec<u8> = Vec::new();
+        let mut entries: Vec<FieldEntry> = Vec::with_capacity(fields.len());
+        let mut reorder_ns = 0u64;
+        let mut encode_ns = 0u64;
+        for (name, field) in fields {
+            let t1 = Instant::now();
+            let stream = recipe.apply(field.values());
+            reorder_ns += t1.elapsed().as_nanos() as u64;
+
+            let t2 = Instant::now();
+            let chunked = codec.compress_chunks(&stream, &params, chunk_values)?;
+            encode_ns += t2.elapsed().as_nanos() as u64;
+            debug_assert_eq!(chunked.payloads.len(), plan.metas.len());
+
+            let mut chunks = Vec::with_capacity(plan.metas.len());
+            for (meta, bytes) in plan.metas.iter().zip(&chunked.payloads) {
+                let mut meta = *meta;
+                meta.offset = payload.len() as u64;
+                meta.len = bytes.len() as u64;
+                meta.crc = crc32(bytes);
+                payload.extend_from_slice(bytes);
+                chunks.push(meta);
+            }
+            entries.push(FieldEntry {
+                name: (*name).to_string(),
+                resolved_bound: chunked.resolved_bound,
+                chunks,
+            });
+        }
+
+        let header = StoreHeader {
+            policy: self.config.policy,
+            mode,
+            codec: self.config.codec,
+            value_type: ValueType::F64,
+            chunk_target_bytes: self.chunk_target_bytes,
+            structure,
+            header_bytes: 0,
+        };
+        let bytes = assemble(write_header(&header), &payload, &entries);
+
+        let raw_bytes: usize = fields.iter().map(|(_, f)| f.nbytes()).sum();
+        let payload_bytes = payload.len();
+        Ok(StoreWritten {
+            stats: StoreWriteStats {
+                recipe_ns,
+                recipe_cache_hit,
+                reorder_ns,
+                encode_ns,
+                n_fields: fields.len(),
+                n_chunks: plan.metas.len(),
+                raw_bytes,
+                container_bytes: bytes.len(),
+                payload_bytes,
+                metadata_bytes: bytes.len() - payload_bytes,
+            },
+            bytes,
+        })
+    }
+}
+
+/// Chunked-store entry point hung off the core [`Pipeline`]: `pack` is to
+/// the v2 store what [`Pipeline::compress`] is to the v1 container.
+pub trait PipelineStoreExt {
+    /// Packs `fields` into a chunked, indexed v2 store using this
+    /// pipeline's configuration and default chunking.
+    fn pack(&self, fields: &[(&str, &AmrField)]) -> Result<StoreWritten, StoreError>;
+}
+
+impl PipelineStoreExt for Pipeline {
+    fn pack(&self, fields: &[(&str, &AmrField)]) -> Result<StoreWritten, StoreError> {
+        StoreWriter::new(self.config()).write(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmesh_amr::{datasets, StorageMode};
+
+    fn small_fields(ds: &datasets::Dataset) -> Vec<(&str, &AmrField)> {
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect()
+    }
+
+    #[test]
+    fn write_produces_parseable_store() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer =
+            StoreWriter::new(CompressionConfig::zmesh_default()).with_chunk_target_bytes(2048);
+        let out = writer.write(&small_fields(&ds)).unwrap();
+        assert!(crate::format::is_store(&out.bytes));
+        assert!(out.stats.n_chunks >= 2, "want multiple chunks");
+        assert_eq!(out.stats.n_fields, ds.fields.len());
+        assert_eq!(
+            out.stats.container_bytes,
+            out.stats.payload_bytes + out.stats.metadata_bytes
+        );
+        assert!(out.stats.ratio() > 1.0);
+    }
+
+    #[test]
+    fn second_write_hits_the_recipe_cache() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer = StoreWriter::new(CompressionConfig::zmesh_default());
+        let first = writer.write(&small_fields(&ds)).unwrap();
+        let second = writer.write(&small_fields(&ds)).unwrap();
+        assert!(!first.stats.recipe_cache_hit);
+        assert!(second.stats.recipe_cache_hit);
+        assert_eq!(writer.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn rejects_mixed_inputs() {
+        let a = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let b = datasets::front2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer = StoreWriter::new(CompressionConfig::zmesh_default());
+        let mixed = vec![("x", &a.fields[0].1), ("y", &b.fields[0].1)];
+        assert!(matches!(
+            writer.write(&mixed),
+            Err(StoreError::Zmesh(ZmeshError::Mismatch(_)))
+        ));
+        assert!(writer.write(&[]).is_err());
+    }
+
+    #[test]
+    fn pipeline_pack_wires_through() {
+        let ds = datasets::advect2d(StorageMode::LeafOnly, datasets::Scale::Tiny);
+        let out = Pipeline::new(CompressionConfig::zmesh_default())
+            .pack(&small_fields(&ds))
+            .unwrap();
+        assert!(crate::format::is_store(&out.bytes));
+    }
+}

@@ -14,9 +14,7 @@ use zmesh_suite::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Your application knows which cells it refined. Here: a 8x8 level-0
     //    grid with a refined band along the diagonal, two levels deep.
-    let l0: Vec<u64> = (0..8u32)
-        .map(|i| CellCoord::new(i, i, 0).pack())
-        .collect();
+    let l0: Vec<u64> = (0..8u32).map(|i| CellCoord::new(i, i, 0).pack()).collect();
     let mut l0 = l0;
     l0.sort_unstable();
     let l1: Vec<u64> = (0..8u32)
@@ -64,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Selective read-back: list the fields, decode just one.
-    println!("container fields: {:?}", Pipeline::list_fields(&compressed.bytes)?);
+    println!(
+        "container fields: {:?}",
+        Pipeline::list_fields(&compressed.bytes)?
+    );
     let (restored_tree, restored_density) =
         Pipeline::decompress_field(&compressed.bytes, "density")?;
     assert_eq!(restored_tree.cell_count(), tree.cell_count());

@@ -50,8 +50,7 @@ fn main() {
             .collect();
         let c = Pipeline::new(config).compress(&fields).expect("compress");
         let recipe_ms = c.stats.recipe_ns as f64 / 1e6;
-        let total_ms =
-            (c.stats.recipe_ns + c.stats.reorder_ns + c.stats.encode_ns) as f64 / 1e6;
+        let total_ms = (c.stats.recipe_ns + c.stats.reorder_ns + c.stats.encode_ns) as f64 / 1e6;
         // The one-time recipe's share of the whole run shrinks as more
         // quantities ride on it.
         let recipe_share = 100.0 * recipe_ms / total_ms;

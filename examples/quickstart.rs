@@ -4,10 +4,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use zmesh_suite::prelude::*;
 use zmesh_amr::datasets::Scale;
 use zmesh_amr::StorageMode;
 use zmesh_codecs::ErrorControl;
+use zmesh_suite::prelude::*;
 
 fn main() {
     // 1. Get an AMR dataset. Presets mirror the paper's workload classes;

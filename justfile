@@ -1,0 +1,26 @@
+# Developer entry points. `just verify` is the pre-merge gate; it runs the
+# same steps as scripts/verify.sh (tier-1 build + tests, workspace tests,
+# fmt --check, clippy -D warnings). Everything builds offline: external
+# dependency names resolve to workspace-local shims under vendor/ (see
+# vendor/README.md).
+
+# Run the full verification gate.
+verify:
+    bash scripts/verify.sh
+
+# Tier-1 only: release build + root integration suite.
+tier1:
+    cargo build --release
+    cargo test -q --release
+
+# Full workspace test run.
+test:
+    cargo test -q --release --workspace
+
+# Criterion micro-benchmarks (includes the store query-latency bench).
+bench:
+    cargo bench --workspace
+
+# Regenerate every reconstructed paper artifact.
+repro scale="small":
+    cargo run --release -p zmesh-bench --bin repro_all -- --scale {{scale}}

@@ -16,6 +16,8 @@
 //! * [`codecs`] — SZ-like and ZFP-like error-bounded lossy compressors and
 //!   the lossless substrate (Huffman, range coder, Gorilla, RLE, LZSS).
 //! * [`metrics`] — smoothness, distortion, and ratio metrics.
+//! * [`store`] — the chunked, indexed v2 container with random-access
+//!   region queries and a recipe cache.
 
 pub use zmesh;
 pub use zmesh_amr as amr;
@@ -23,16 +25,14 @@ pub use zmesh_bitstream as bitstream;
 pub use zmesh_codecs as codecs;
 pub use zmesh_metrics as metrics;
 pub use zmesh_sfc as sfc;
+pub use zmesh_store as store;
 
 /// One-stop import for examples and tests.
 pub mod prelude {
-    pub use zmesh::{
-        CompressionConfig, GroupingMode, OrderingPolicy, Pipeline, RestoreRecipe,
-    };
-    pub use zmesh_amr::{
-        datasets, AmrField, AmrTree, Dim, FieldFn, RefineCriterion, TreeBuilder,
-    };
+    pub use zmesh::{CompressionConfig, GroupingMode, OrderingPolicy, Pipeline, RestoreRecipe};
+    pub use zmesh_amr::{datasets, AmrField, AmrTree, Dim, FieldFn, RefineCriterion, TreeBuilder};
     pub use zmesh_codecs::{Codec, CodecKind, CodecParams};
     pub use zmesh_metrics::{compression_ratio, max_abs_error, psnr, total_variation};
     pub use zmesh_sfc::{Curve, CurveKind};
+    pub use zmesh_store::{PipelineStoreExt, Query, RecipeCache, StoreReader, StoreWriter};
 }

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-58596ac065c5c53b.d: crates/cli/tests/cli.rs
+
+/root/repo/target/release/deps/cli-58596ac065c5c53b: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_zmesh=/root/repo/target/release/zmesh

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cli-64c260ff2fa7e935.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-64c260ff2fa7e935.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_zmesh=placeholder:zmesh
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-e9ca834b3224772d.d: crates/cli/tests/cli.rs
+
+/root/repo/target/release/deps/cli-e9ca834b3224772d: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_zmesh=/root/repo/target/release/zmesh

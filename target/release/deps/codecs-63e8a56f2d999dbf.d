@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/codecs-63e8a56f2d999dbf.d: crates/bench/benches/codecs.rs Cargo.toml
+
+/root/repo/target/release/deps/libcodecs-63e8a56f2d999dbf.rmeta: crates/bench/benches/codecs.rs Cargo.toml
+
+crates/bench/benches/codecs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dyadic-35f3e670506a9194.d: crates/sfc/tests/dyadic.rs Cargo.toml
+
+/root/repo/target/release/deps/libdyadic-35f3e670506a9194.rmeta: crates/sfc/tests/dyadic.rs Cargo.toml
+
+crates/sfc/tests/dyadic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dyadic-c2659626b72ab252.d: crates/sfc/tests/dyadic.rs
+
+/root/repo/target/release/deps/dyadic-c2659626b72ab252: crates/sfc/tests/dyadic.rs
+
+crates/sfc/tests/dyadic.rs:

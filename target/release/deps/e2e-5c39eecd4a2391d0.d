@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e2e-5c39eecd4a2391d0.d: crates/bench/benches/e2e.rs Cargo.toml
+
+/root/repo/target/release/deps/libe2e-5c39eecd4a2391d0.rmeta: crates/bench/benches/e2e.rs Cargo.toml
+
+crates/bench/benches/e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-8553e568fa191317.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-8553e568fa191317: tests/end_to_end.rs
+
+tests/end_to_end.rs:

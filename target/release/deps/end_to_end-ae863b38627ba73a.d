@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-ae863b38627ba73a.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-ae863b38627ba73a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-8f6d2a9438af7ad3.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-8f6d2a9438af7ad3: tests/failure_injection.rs
+
+tests/failure_injection.rs:

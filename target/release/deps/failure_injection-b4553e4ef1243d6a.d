@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-b4553e4ef1243d6a.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-b4553e4ef1243d6a: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/no_recipe_storage-157add8df750e852.d: tests/no_recipe_storage.rs
+
+/root/repo/target/release/deps/no_recipe_storage-157add8df750e852: tests/no_recipe_storage.rs
+
+tests/no_recipe_storage.rs:

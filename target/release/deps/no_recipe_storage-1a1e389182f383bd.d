@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/no_recipe_storage-1a1e389182f383bd.d: tests/no_recipe_storage.rs Cargo.toml
+
+/root/repo/target/release/deps/libno_recipe_storage-1a1e389182f383bd.rmeta: tests/no_recipe_storage.rs Cargo.toml
+
+tests/no_recipe_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

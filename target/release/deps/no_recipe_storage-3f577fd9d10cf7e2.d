@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/no_recipe_storage-3f577fd9d10cf7e2.d: tests/no_recipe_storage.rs
+
+/root/repo/target/release/deps/no_recipe_storage-3f577fd9d10cf7e2: tests/no_recipe_storage.rs
+
+tests/no_recipe_storage.rs:

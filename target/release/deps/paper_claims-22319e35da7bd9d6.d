@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-22319e35da7bd9d6.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-22319e35da7bd9d6: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-67beb3adc8220d71.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-67beb3adc8220d71: tests/paper_claims.rs
+
+tests/paper_claims.rs:

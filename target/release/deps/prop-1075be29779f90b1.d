@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-1075be29779f90b1.d: crates/bitstream/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-1075be29779f90b1.rmeta: crates/bitstream/tests/prop.rs Cargo.toml
+
+crates/bitstream/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

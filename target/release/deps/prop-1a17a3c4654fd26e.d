@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-1a17a3c4654fd26e.d: crates/core/tests/prop.rs
+
+/root/repo/target/release/deps/prop-1a17a3c4654fd26e: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

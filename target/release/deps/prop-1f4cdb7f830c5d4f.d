@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-1f4cdb7f830c5d4f.d: crates/codecs/tests/prop.rs
+
+/root/repo/target/release/deps/prop-1f4cdb7f830c5d4f: crates/codecs/tests/prop.rs
+
+crates/codecs/tests/prop.rs:

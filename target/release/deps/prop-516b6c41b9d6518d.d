@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-516b6c41b9d6518d.d: crates/amr/tests/prop.rs
+
+/root/repo/target/release/deps/prop-516b6c41b9d6518d: crates/amr/tests/prop.rs
+
+crates/amr/tests/prop.rs:

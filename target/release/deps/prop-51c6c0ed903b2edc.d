@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-51c6c0ed903b2edc.d: crates/sfc/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-51c6c0ed903b2edc.rmeta: crates/sfc/tests/prop.rs Cargo.toml
+
+crates/sfc/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

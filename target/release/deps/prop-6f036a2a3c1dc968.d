@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-6f036a2a3c1dc968.d: crates/bitstream/tests/prop.rs
+
+/root/repo/target/release/deps/prop-6f036a2a3c1dc968: crates/bitstream/tests/prop.rs
+
+crates/bitstream/tests/prop.rs:

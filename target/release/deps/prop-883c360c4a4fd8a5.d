@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-883c360c4a4fd8a5.d: crates/core/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-883c360c4a4fd8a5.rmeta: crates/core/tests/prop.rs Cargo.toml
+
+crates/core/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-8d39a158627ba19c.d: crates/sfc/tests/prop.rs
+
+/root/repo/target/release/deps/prop-8d39a158627ba19c: crates/sfc/tests/prop.rs
+
+crates/sfc/tests/prop.rs:

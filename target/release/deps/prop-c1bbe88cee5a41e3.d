@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-c1bbe88cee5a41e3.d: crates/amr/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-c1bbe88cee5a41e3.rmeta: crates/amr/tests/prop.rs Cargo.toml
+
+crates/amr/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

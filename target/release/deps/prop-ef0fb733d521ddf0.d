@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-ef0fb733d521ddf0.d: crates/codecs/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-ef0fb733d521ddf0.rmeta: crates/codecs/tests/prop.rs Cargo.toml
+
+crates/codecs/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-6f69499bd10d76f4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-6f69499bd10d76f4: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

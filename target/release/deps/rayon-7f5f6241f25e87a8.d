@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-7f5f6241f25e87a8.d: vendor/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-7f5f6241f25e87a8.rmeta: vendor/rayon/src/lib.rs Cargo.toml
+
+vendor/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reorder-7c78dc7315dd9f0f.d: crates/bench/benches/reorder.rs Cargo.toml
+
+/root/repo/target/release/deps/libreorder-7c78dc7315dd9f0f.rmeta: crates/bench/benches/reorder.rs Cargo.toml
+
+crates/bench/benches/reorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

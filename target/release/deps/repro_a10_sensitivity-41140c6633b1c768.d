@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_a10_sensitivity-41140c6633b1c768.d: crates/bench/src/bin/repro_a10_sensitivity.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_a10_sensitivity-41140c6633b1c768.rmeta: crates/bench/src/bin/repro_a10_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/repro_a10_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a10_sensitivity-bc1f478addf14999.d: crates/bench/src/bin/repro_a10_sensitivity.rs
+
+/root/repo/target/release/deps/repro_a10_sensitivity-bc1f478addf14999: crates/bench/src/bin/repro_a10_sensitivity.rs
+
+crates/bench/src/bin/repro_a10_sensitivity.rs:

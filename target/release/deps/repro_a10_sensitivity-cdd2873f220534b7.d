@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a10_sensitivity-cdd2873f220534b7.d: crates/bench/src/bin/repro_a10_sensitivity.rs
+
+/root/repo/target/release/deps/repro_a10_sensitivity-cdd2873f220534b7: crates/bench/src/bin/repro_a10_sensitivity.rs
+
+crates/bench/src/bin/repro_a10_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a10_sensitivity-d1ac415b9fa140c8.d: crates/bench/src/bin/repro_a10_sensitivity.rs
+
+/root/repo/target/release/deps/repro_a10_sensitivity-d1ac415b9fa140c8: crates/bench/src/bin/repro_a10_sensitivity.rs
+
+crates/bench/src/bin/repro_a10_sensitivity.rs:

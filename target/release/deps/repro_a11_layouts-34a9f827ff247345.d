@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a11_layouts-34a9f827ff247345.d: crates/bench/src/bin/repro_a11_layouts.rs
+
+/root/repo/target/release/deps/repro_a11_layouts-34a9f827ff247345: crates/bench/src/bin/repro_a11_layouts.rs
+
+crates/bench/src/bin/repro_a11_layouts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a11_layouts-475b924bec74085f.d: crates/bench/src/bin/repro_a11_layouts.rs
+
+/root/repo/target/release/deps/repro_a11_layouts-475b924bec74085f: crates/bench/src/bin/repro_a11_layouts.rs
+
+crates/bench/src/bin/repro_a11_layouts.rs:

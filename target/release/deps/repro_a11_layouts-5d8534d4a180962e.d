@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_a11_layouts-5d8534d4a180962e.d: crates/bench/src/bin/repro_a11_layouts.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_a11_layouts-5d8534d4a180962e.rmeta: crates/bench/src/bin/repro_a11_layouts.rs Cargo.toml
+
+crates/bench/src/bin/repro_a11_layouts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

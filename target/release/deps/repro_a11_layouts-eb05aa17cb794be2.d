@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a11_layouts-eb05aa17cb794be2.d: crates/bench/src/bin/repro_a11_layouts.rs
+
+/root/repo/target/release/deps/repro_a11_layouts-eb05aa17cb794be2: crates/bench/src/bin/repro_a11_layouts.rs
+
+crates/bench/src/bin/repro_a11_layouts.rs:

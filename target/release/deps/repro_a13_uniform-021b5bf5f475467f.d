@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a13_uniform-021b5bf5f475467f.d: crates/bench/src/bin/repro_a13_uniform.rs
+
+/root/repo/target/release/deps/repro_a13_uniform-021b5bf5f475467f: crates/bench/src/bin/repro_a13_uniform.rs
+
+crates/bench/src/bin/repro_a13_uniform.rs:

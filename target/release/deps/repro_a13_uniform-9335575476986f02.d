@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a13_uniform-9335575476986f02.d: crates/bench/src/bin/repro_a13_uniform.rs
+
+/root/repo/target/release/deps/repro_a13_uniform-9335575476986f02: crates/bench/src/bin/repro_a13_uniform.rs
+
+crates/bench/src/bin/repro_a13_uniform.rs:

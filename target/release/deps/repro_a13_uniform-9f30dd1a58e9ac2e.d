@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a13_uniform-9f30dd1a58e9ac2e.d: crates/bench/src/bin/repro_a13_uniform.rs
+
+/root/repo/target/release/deps/repro_a13_uniform-9f30dd1a58e9ac2e: crates/bench/src/bin/repro_a13_uniform.rs
+
+crates/bench/src/bin/repro_a13_uniform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_a13_uniform-cb6fe9b47f70c84e.d: crates/bench/src/bin/repro_a13_uniform.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_a13_uniform-cb6fe9b47f70c84e.rmeta: crates/bench/src/bin/repro_a13_uniform.rs Cargo.toml
+
+crates/bench/src/bin/repro_a13_uniform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a14_entropy-55700af99f460172.d: crates/bench/src/bin/repro_a14_entropy.rs
+
+/root/repo/target/release/deps/repro_a14_entropy-55700af99f460172: crates/bench/src/bin/repro_a14_entropy.rs
+
+crates/bench/src/bin/repro_a14_entropy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_a14_entropy-72db09e5faef3348.d: crates/bench/src/bin/repro_a14_entropy.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_a14_entropy-72db09e5faef3348.rmeta: crates/bench/src/bin/repro_a14_entropy.rs Cargo.toml
+
+crates/bench/src/bin/repro_a14_entropy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a14_entropy-a95c1cf3656069f4.d: crates/bench/src/bin/repro_a14_entropy.rs
+
+/root/repo/target/release/deps/repro_a14_entropy-a95c1cf3656069f4: crates/bench/src/bin/repro_a14_entropy.rs
+
+crates/bench/src/bin/repro_a14_entropy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a14_entropy-c080974f5f2c0c49.d: crates/bench/src/bin/repro_a14_entropy.rs
+
+/root/repo/target/release/deps/repro_a14_entropy-c080974f5f2c0c49: crates/bench/src/bin/repro_a14_entropy.rs
+
+crates/bench/src/bin/repro_a14_entropy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_a9_ablation-1737ba73f3906237.d: crates/bench/src/bin/repro_a9_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_a9_ablation-1737ba73f3906237.rmeta: crates/bench/src/bin/repro_a9_ablation.rs Cargo.toml
+
+crates/bench/src/bin/repro_a9_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

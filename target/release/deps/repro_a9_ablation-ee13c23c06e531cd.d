@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a9_ablation-ee13c23c06e531cd.d: crates/bench/src/bin/repro_a9_ablation.rs
+
+/root/repo/target/release/deps/repro_a9_ablation-ee13c23c06e531cd: crates/bench/src/bin/repro_a9_ablation.rs
+
+crates/bench/src/bin/repro_a9_ablation.rs:

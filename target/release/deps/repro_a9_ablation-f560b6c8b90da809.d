@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a9_ablation-f560b6c8b90da809.d: crates/bench/src/bin/repro_a9_ablation.rs
+
+/root/repo/target/release/deps/repro_a9_ablation-f560b6c8b90da809: crates/bench/src/bin/repro_a9_ablation.rs
+
+crates/bench/src/bin/repro_a9_ablation.rs:

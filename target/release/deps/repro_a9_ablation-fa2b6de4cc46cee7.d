@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_a9_ablation-fa2b6de4cc46cee7.d: crates/bench/src/bin/repro_a9_ablation.rs
+
+/root/repo/target/release/deps/repro_a9_ablation-fa2b6de4cc46cee7: crates/bench/src/bin/repro_a9_ablation.rs
+
+crates/bench/src/bin/repro_a9_ablation.rs:

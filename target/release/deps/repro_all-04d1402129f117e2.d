@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-04d1402129f117e2.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-04d1402129f117e2: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

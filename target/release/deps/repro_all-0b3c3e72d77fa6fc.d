@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-0b3c3e72d77fa6fc.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-0b3c3e72d77fa6fc: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

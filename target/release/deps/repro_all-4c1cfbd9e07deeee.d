@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_all-4c1cfbd9e07deeee.d: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_all-4c1cfbd9e07deeee.rmeta: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+crates/bench/src/bin/repro_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

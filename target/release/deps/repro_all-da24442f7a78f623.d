@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-da24442f7a78f623.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-da24442f7a78f623: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

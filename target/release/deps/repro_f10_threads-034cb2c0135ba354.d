@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f10_threads-034cb2c0135ba354.d: crates/bench/src/bin/repro_f10_threads.rs
+
+/root/repo/target/release/deps/repro_f10_threads-034cb2c0135ba354: crates/bench/src/bin/repro_f10_threads.rs
+
+crates/bench/src/bin/repro_f10_threads.rs:

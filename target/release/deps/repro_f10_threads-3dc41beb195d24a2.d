@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f10_threads-3dc41beb195d24a2.d: crates/bench/src/bin/repro_f10_threads.rs
+
+/root/repo/target/release/deps/repro_f10_threads-3dc41beb195d24a2: crates/bench/src/bin/repro_f10_threads.rs
+
+crates/bench/src/bin/repro_f10_threads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f10_threads-a74688f73db9055a.d: crates/bench/src/bin/repro_f10_threads.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f10_threads-a74688f73db9055a.rmeta: crates/bench/src/bin/repro_f10_threads.rs Cargo.toml
+
+crates/bench/src/bin/repro_f10_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f10_threads-b69a76cf76bb5b88.d: crates/bench/src/bin/repro_f10_threads.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f10_threads-b69a76cf76bb5b88.rmeta: crates/bench/src/bin/repro_f10_threads.rs Cargo.toml
+
+crates/bench/src/bin/repro_f10_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

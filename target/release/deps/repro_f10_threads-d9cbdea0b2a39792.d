@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f10_threads-d9cbdea0b2a39792.d: crates/bench/src/bin/repro_f10_threads.rs
+
+/root/repo/target/release/deps/repro_f10_threads-d9cbdea0b2a39792: crates/bench/src/bin/repro_f10_threads.rs
+
+crates/bench/src/bin/repro_f10_threads.rs:

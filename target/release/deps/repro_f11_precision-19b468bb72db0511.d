@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f11_precision-19b468bb72db0511.d: crates/bench/src/bin/repro_f11_precision.rs
+
+/root/repo/target/release/deps/repro_f11_precision-19b468bb72db0511: crates/bench/src/bin/repro_f11_precision.rs
+
+crates/bench/src/bin/repro_f11_precision.rs:

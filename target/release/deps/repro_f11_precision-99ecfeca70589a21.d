@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f11_precision-99ecfeca70589a21.d: crates/bench/src/bin/repro_f11_precision.rs
+
+/root/repo/target/release/deps/repro_f11_precision-99ecfeca70589a21: crates/bench/src/bin/repro_f11_precision.rs
+
+crates/bench/src/bin/repro_f11_precision.rs:

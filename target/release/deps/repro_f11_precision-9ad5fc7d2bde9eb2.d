@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f11_precision-9ad5fc7d2bde9eb2.d: crates/bench/src/bin/repro_f11_precision.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f11_precision-9ad5fc7d2bde9eb2.rmeta: crates/bench/src/bin/repro_f11_precision.rs Cargo.toml
+
+crates/bench/src/bin/repro_f11_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f11_precision-eef456dd157ebca4.d: crates/bench/src/bin/repro_f11_precision.rs
+
+/root/repo/target/release/deps/repro_f11_precision-eef456dd157ebca4: crates/bench/src/bin/repro_f11_precision.rs
+
+crates/bench/src/bin/repro_f11_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f2_smoothness-3b8ba4923a0ba9c9.d: crates/bench/src/bin/repro_f2_smoothness.rs
+
+/root/repo/target/release/deps/repro_f2_smoothness-3b8ba4923a0ba9c9: crates/bench/src/bin/repro_f2_smoothness.rs
+
+crates/bench/src/bin/repro_f2_smoothness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f2_smoothness-87166b0e6fae6a5a.d: crates/bench/src/bin/repro_f2_smoothness.rs
+
+/root/repo/target/release/deps/repro_f2_smoothness-87166b0e6fae6a5a: crates/bench/src/bin/repro_f2_smoothness.rs
+
+crates/bench/src/bin/repro_f2_smoothness.rs:

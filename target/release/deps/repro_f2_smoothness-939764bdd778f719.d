@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f2_smoothness-939764bdd778f719.d: crates/bench/src/bin/repro_f2_smoothness.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f2_smoothness-939764bdd778f719.rmeta: crates/bench/src/bin/repro_f2_smoothness.rs Cargo.toml
+
+crates/bench/src/bin/repro_f2_smoothness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f2_smoothness-b6e5f8492811d452.d: crates/bench/src/bin/repro_f2_smoothness.rs
+
+/root/repo/target/release/deps/repro_f2_smoothness-b6e5f8492811d452: crates/bench/src/bin/repro_f2_smoothness.rs
+
+crates/bench/src/bin/repro_f2_smoothness.rs:

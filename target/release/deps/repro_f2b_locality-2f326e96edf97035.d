@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f2b_locality-2f326e96edf97035.d: crates/bench/src/bin/repro_f2b_locality.rs
+
+/root/repo/target/release/deps/repro_f2b_locality-2f326e96edf97035: crates/bench/src/bin/repro_f2b_locality.rs
+
+crates/bench/src/bin/repro_f2b_locality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f2b_locality-6249abe7fb8212c6.d: crates/bench/src/bin/repro_f2b_locality.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f2b_locality-6249abe7fb8212c6.rmeta: crates/bench/src/bin/repro_f2b_locality.rs Cargo.toml
+
+crates/bench/src/bin/repro_f2b_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

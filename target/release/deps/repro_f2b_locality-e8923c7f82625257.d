@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f2b_locality-e8923c7f82625257.d: crates/bench/src/bin/repro_f2b_locality.rs
+
+/root/repo/target/release/deps/repro_f2b_locality-e8923c7f82625257: crates/bench/src/bin/repro_f2b_locality.rs
+
+crates/bench/src/bin/repro_f2b_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f3_sz_ratio-27d1d4e664d4eb47.d: crates/bench/src/bin/repro_f3_sz_ratio.rs
+
+/root/repo/target/release/deps/repro_f3_sz_ratio-27d1d4e664d4eb47: crates/bench/src/bin/repro_f3_sz_ratio.rs
+
+crates/bench/src/bin/repro_f3_sz_ratio.rs:

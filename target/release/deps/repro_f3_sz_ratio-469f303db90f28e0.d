@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f3_sz_ratio-469f303db90f28e0.d: crates/bench/src/bin/repro_f3_sz_ratio.rs
+
+/root/repo/target/release/deps/repro_f3_sz_ratio-469f303db90f28e0: crates/bench/src/bin/repro_f3_sz_ratio.rs
+
+crates/bench/src/bin/repro_f3_sz_ratio.rs:

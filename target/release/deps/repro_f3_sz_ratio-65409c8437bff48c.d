@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f3_sz_ratio-65409c8437bff48c.d: crates/bench/src/bin/repro_f3_sz_ratio.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f3_sz_ratio-65409c8437bff48c.rmeta: crates/bench/src/bin/repro_f3_sz_ratio.rs Cargo.toml
+
+crates/bench/src/bin/repro_f3_sz_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f4_zfp_ratio-2a3ab8350cb22ea2.d: crates/bench/src/bin/repro_f4_zfp_ratio.rs
+
+/root/repo/target/release/deps/repro_f4_zfp_ratio-2a3ab8350cb22ea2: crates/bench/src/bin/repro_f4_zfp_ratio.rs
+
+crates/bench/src/bin/repro_f4_zfp_ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f4_zfp_ratio-34f900d3695fe1ae.d: crates/bench/src/bin/repro_f4_zfp_ratio.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f4_zfp_ratio-34f900d3695fe1ae.rmeta: crates/bench/src/bin/repro_f4_zfp_ratio.rs Cargo.toml
+
+crates/bench/src/bin/repro_f4_zfp_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

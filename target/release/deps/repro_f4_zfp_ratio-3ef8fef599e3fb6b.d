@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f4_zfp_ratio-3ef8fef599e3fb6b.d: crates/bench/src/bin/repro_f4_zfp_ratio.rs
+
+/root/repo/target/release/deps/repro_f4_zfp_ratio-3ef8fef599e3fb6b: crates/bench/src/bin/repro_f4_zfp_ratio.rs
+
+crates/bench/src/bin/repro_f4_zfp_ratio.rs:

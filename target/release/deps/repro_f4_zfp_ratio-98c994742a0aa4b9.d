@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f4_zfp_ratio-98c994742a0aa4b9.d: crates/bench/src/bin/repro_f4_zfp_ratio.rs
+
+/root/repo/target/release/deps/repro_f4_zfp_ratio-98c994742a0aa4b9: crates/bench/src/bin/repro_f4_zfp_ratio.rs
+
+crates/bench/src/bin/repro_f4_zfp_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f5_rate_distortion-32c838dacb92e574.d: crates/bench/src/bin/repro_f5_rate_distortion.rs
+
+/root/repo/target/release/deps/repro_f5_rate_distortion-32c838dacb92e574: crates/bench/src/bin/repro_f5_rate_distortion.rs
+
+crates/bench/src/bin/repro_f5_rate_distortion.rs:

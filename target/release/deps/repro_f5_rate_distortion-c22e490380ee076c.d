@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f5_rate_distortion-c22e490380ee076c.d: crates/bench/src/bin/repro_f5_rate_distortion.rs
+
+/root/repo/target/release/deps/repro_f5_rate_distortion-c22e490380ee076c: crates/bench/src/bin/repro_f5_rate_distortion.rs
+
+crates/bench/src/bin/repro_f5_rate_distortion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f5_rate_distortion-f1a26a4463e7ca05.d: crates/bench/src/bin/repro_f5_rate_distortion.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f5_rate_distortion-f1a26a4463e7ca05.rmeta: crates/bench/src/bin/repro_f5_rate_distortion.rs Cargo.toml
+
+crates/bench/src/bin/repro_f5_rate_distortion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f7_overhead-127670b1b9a511fd.d: crates/bench/src/bin/repro_f7_overhead.rs
+
+/root/repo/target/release/deps/repro_f7_overhead-127670b1b9a511fd: crates/bench/src/bin/repro_f7_overhead.rs
+
+crates/bench/src/bin/repro_f7_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f7_overhead-8b637f3ef3b31ab5.d: crates/bench/src/bin/repro_f7_overhead.rs
+
+/root/repo/target/release/deps/repro_f7_overhead-8b637f3ef3b31ab5: crates/bench/src/bin/repro_f7_overhead.rs
+
+crates/bench/src/bin/repro_f7_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f7_overhead-a4824fedfba52907.d: crates/bench/src/bin/repro_f7_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f7_overhead-a4824fedfba52907.rmeta: crates/bench/src/bin/repro_f7_overhead.rs Cargo.toml
+
+crates/bench/src/bin/repro_f7_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

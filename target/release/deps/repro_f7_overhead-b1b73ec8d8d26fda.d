@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f7_overhead-b1b73ec8d8d26fda.d: crates/bench/src/bin/repro_f7_overhead.rs
+
+/root/repo/target/release/deps/repro_f7_overhead-b1b73ec8d8d26fda: crates/bench/src/bin/repro_f7_overhead.rs
+
+crates/bench/src/bin/repro_f7_overhead.rs:

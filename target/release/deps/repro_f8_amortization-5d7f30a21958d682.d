@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f8_amortization-5d7f30a21958d682.d: crates/bench/src/bin/repro_f8_amortization.rs
+
+/root/repo/target/release/deps/repro_f8_amortization-5d7f30a21958d682: crates/bench/src/bin/repro_f8_amortization.rs
+
+crates/bench/src/bin/repro_f8_amortization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f8_amortization-a67661564d19a348.d: crates/bench/src/bin/repro_f8_amortization.rs
+
+/root/repo/target/release/deps/repro_f8_amortization-a67661564d19a348: crates/bench/src/bin/repro_f8_amortization.rs
+
+crates/bench/src/bin/repro_f8_amortization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f8_amortization-ce63679b2dc9d764.d: crates/bench/src/bin/repro_f8_amortization.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f8_amortization-ce63679b2dc9d764.rmeta: crates/bench/src/bin/repro_f8_amortization.rs Cargo.toml
+
+crates/bench/src/bin/repro_f8_amortization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f8_amortization-f6b1cb1ee9809099.d: crates/bench/src/bin/repro_f8_amortization.rs
+
+/root/repo/target/release/deps/repro_f8_amortization-f6b1cb1ee9809099: crates/bench/src/bin/repro_f8_amortization.rs
+
+crates/bench/src/bin/repro_f8_amortization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_f9_timeseries-17c2ba678cec529f.d: crates/bench/src/bin/repro_f9_timeseries.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_f9_timeseries-17c2ba678cec529f.rmeta: crates/bench/src/bin/repro_f9_timeseries.rs Cargo.toml
+
+crates/bench/src/bin/repro_f9_timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

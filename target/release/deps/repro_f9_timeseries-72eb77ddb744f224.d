@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f9_timeseries-72eb77ddb744f224.d: crates/bench/src/bin/repro_f9_timeseries.rs
+
+/root/repo/target/release/deps/repro_f9_timeseries-72eb77ddb744f224: crates/bench/src/bin/repro_f9_timeseries.rs
+
+crates/bench/src/bin/repro_f9_timeseries.rs:

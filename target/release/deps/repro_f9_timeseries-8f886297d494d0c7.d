@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f9_timeseries-8f886297d494d0c7.d: crates/bench/src/bin/repro_f9_timeseries.rs
+
+/root/repo/target/release/deps/repro_f9_timeseries-8f886297d494d0c7: crates/bench/src/bin/repro_f9_timeseries.rs
+
+crates/bench/src/bin/repro_f9_timeseries.rs:

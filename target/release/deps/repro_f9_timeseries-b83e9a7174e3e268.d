@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_f9_timeseries-b83e9a7174e3e268.d: crates/bench/src/bin/repro_f9_timeseries.rs
+
+/root/repo/target/release/deps/repro_f9_timeseries-b83e9a7174e3e268: crates/bench/src/bin/repro_f9_timeseries.rs
+
+crates/bench/src/bin/repro_f9_timeseries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t12_lossless-67111d3657772885.d: crates/bench/src/bin/repro_t12_lossless.rs
+
+/root/repo/target/release/deps/repro_t12_lossless-67111d3657772885: crates/bench/src/bin/repro_t12_lossless.rs
+
+crates/bench/src/bin/repro_t12_lossless.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t12_lossless-6a0ba4167bc214a4.d: crates/bench/src/bin/repro_t12_lossless.rs
+
+/root/repo/target/release/deps/repro_t12_lossless-6a0ba4167bc214a4: crates/bench/src/bin/repro_t12_lossless.rs
+
+crates/bench/src/bin/repro_t12_lossless.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_t12_lossless-92da6c8de26a15f3.d: crates/bench/src/bin/repro_t12_lossless.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_t12_lossless-92da6c8de26a15f3.rmeta: crates/bench/src/bin/repro_t12_lossless.rs Cargo.toml
+
+crates/bench/src/bin/repro_t12_lossless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

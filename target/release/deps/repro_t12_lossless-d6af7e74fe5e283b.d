@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t12_lossless-d6af7e74fe5e283b.d: crates/bench/src/bin/repro_t12_lossless.rs
+
+/root/repo/target/release/deps/repro_t12_lossless-d6af7e74fe5e283b: crates/bench/src/bin/repro_t12_lossless.rs
+
+crates/bench/src/bin/repro_t12_lossless.rs:

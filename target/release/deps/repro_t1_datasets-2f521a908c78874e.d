@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t1_datasets-2f521a908c78874e.d: crates/bench/src/bin/repro_t1_datasets.rs
+
+/root/repo/target/release/deps/repro_t1_datasets-2f521a908c78874e: crates/bench/src/bin/repro_t1_datasets.rs
+
+crates/bench/src/bin/repro_t1_datasets.rs:

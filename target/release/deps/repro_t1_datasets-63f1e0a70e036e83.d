@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t1_datasets-63f1e0a70e036e83.d: crates/bench/src/bin/repro_t1_datasets.rs
+
+/root/repo/target/release/deps/repro_t1_datasets-63f1e0a70e036e83: crates/bench/src/bin/repro_t1_datasets.rs
+
+crates/bench/src/bin/repro_t1_datasets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_t1_datasets-846091a9ff365caf.d: crates/bench/src/bin/repro_t1_datasets.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_t1_datasets-846091a9ff365caf.rmeta: crates/bench/src/bin/repro_t1_datasets.rs Cargo.toml
+
+crates/bench/src/bin/repro_t1_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t1_datasets-f33de70ec13780f2.d: crates/bench/src/bin/repro_t1_datasets.rs
+
+/root/repo/target/release/deps/repro_t1_datasets-f33de70ec13780f2: crates/bench/src/bin/repro_t1_datasets.rs
+
+crates/bench/src/bin/repro_t1_datasets.rs:

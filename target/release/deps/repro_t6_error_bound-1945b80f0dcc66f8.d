@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_t6_error_bound-1945b80f0dcc66f8.d: crates/bench/src/bin/repro_t6_error_bound.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_t6_error_bound-1945b80f0dcc66f8.rmeta: crates/bench/src/bin/repro_t6_error_bound.rs Cargo.toml
+
+crates/bench/src/bin/repro_t6_error_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

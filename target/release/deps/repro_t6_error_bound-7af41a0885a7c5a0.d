@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t6_error_bound-7af41a0885a7c5a0.d: crates/bench/src/bin/repro_t6_error_bound.rs
+
+/root/repo/target/release/deps/repro_t6_error_bound-7af41a0885a7c5a0: crates/bench/src/bin/repro_t6_error_bound.rs
+
+crates/bench/src/bin/repro_t6_error_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t6_error_bound-b24bb03679d5367e.d: crates/bench/src/bin/repro_t6_error_bound.rs
+
+/root/repo/target/release/deps/repro_t6_error_bound-b24bb03679d5367e: crates/bench/src/bin/repro_t6_error_bound.rs
+
+crates/bench/src/bin/repro_t6_error_bound.rs:

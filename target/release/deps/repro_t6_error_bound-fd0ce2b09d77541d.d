@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_t6_error_bound-fd0ce2b09d77541d.d: crates/bench/src/bin/repro_t6_error_bound.rs
+
+/root/repo/target/release/deps/repro_t6_error_bound-fd0ce2b09d77541d: crates/bench/src/bin/repro_t6_error_bound.rs
+
+crates/bench/src/bin/repro_t6_error_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sfc-1b3169df44eaaa83.d: crates/bench/benches/sfc.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfc-1b3169df44eaaa83.rmeta: crates/bench/benches/sfc.rs Cargo.toml
+
+crates/bench/benches/sfc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

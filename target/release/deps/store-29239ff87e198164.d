@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/store-29239ff87e198164.d: tests/store.rs
+
+/root/repo/target/release/deps/store-29239ff87e198164: tests/store.rs
+
+tests/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/store-2c349a81ebeb2a7f.d: crates/bench/benches/store.rs
+
+/root/repo/target/release/deps/store-2c349a81ebeb2a7f: crates/bench/benches/store.rs
+
+crates/bench/benches/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/store-44b7991a4c6a6515.d: crates/bench/benches/store.rs Cargo.toml
+
+/root/repo/target/release/deps/libstore-44b7991a4c6a6515.rmeta: crates/bench/benches/store.rs Cargo.toml
+
+crates/bench/benches/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

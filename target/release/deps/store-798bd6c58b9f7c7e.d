@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/store-798bd6c58b9f7c7e.d: tests/store.rs Cargo.toml
+
+/root/repo/target/release/deps/libstore-798bd6c58b9f7c7e.rmeta: tests/store.rs Cargo.toml
+
+tests/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zmesh-0e592395ec6f5764.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/release/deps/libzmesh-0e592395ec6f5764.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/release/deps/libzmesh-0e592395ec6f5764.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/container.rs:
+crates/core/src/crc.rs:
+crates/core/src/error.rs:
+crates/core/src/linearize.rs:
+crates/core/src/ordering.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zmesh-438520b1d4dcf3b9.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/zmesh-438520b1d4dcf3b9: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/zmesh-62d08282036abd85.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/release/deps/zmesh-62d08282036abd85: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/container.rs:
+crates/core/src/crc.rs:
+crates/core/src/error.rs:
+crates/core/src/linearize.rs:
+crates/core/src/ordering.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:

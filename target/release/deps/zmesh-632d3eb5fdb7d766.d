@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/zmesh-632d3eb5fdb7d766.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+/root/repo/target/release/deps/zmesh-632d3eb5fdb7d766: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/error.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zmesh-8461ca7fef413e5b.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/zmesh-8461ca7fef413e5b: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

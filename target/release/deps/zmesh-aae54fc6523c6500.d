@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/zmesh-aae54fc6523c6500.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh-aae54fc6523c6500.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/container.rs:
+crates/core/src/crc.rs:
+crates/core/src/error.rs:
+crates/core/src/linearize.rs:
+crates/core/src/ordering.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

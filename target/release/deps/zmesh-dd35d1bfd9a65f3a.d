@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/zmesh-dd35d1bfd9a65f3a.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+/root/repo/target/release/deps/zmesh-dd35d1bfd9a65f3a: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/error.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/release/deps/zmesh_amr-eb60f996066d6e40.d: crates/amr/src/lib.rs crates/amr/src/builder.rs crates/amr/src/clustering.rs crates/amr/src/error.rs crates/amr/src/field.rs crates/amr/src/generator/mod.rs crates/amr/src/generator/analytic.rs crates/amr/src/generator/datasets.rs crates/amr/src/generator/refine.rs crates/amr/src/geometry.rs crates/amr/src/io.rs crates/amr/src/layout.rs crates/amr/src/solver/mod.rs crates/amr/src/solver/advection.rs crates/amr/src/solver/burgers.rs crates/amr/src/solver/diffusion.rs crates/amr/src/solver/grid.rs crates/amr/src/solver/kelvin_helmholtz.rs crates/amr/src/solver/poisson.rs crates/amr/src/stats.rs crates/amr/src/tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_amr-eb60f996066d6e40.rmeta: crates/amr/src/lib.rs crates/amr/src/builder.rs crates/amr/src/clustering.rs crates/amr/src/error.rs crates/amr/src/field.rs crates/amr/src/generator/mod.rs crates/amr/src/generator/analytic.rs crates/amr/src/generator/datasets.rs crates/amr/src/generator/refine.rs crates/amr/src/geometry.rs crates/amr/src/io.rs crates/amr/src/layout.rs crates/amr/src/solver/mod.rs crates/amr/src/solver/advection.rs crates/amr/src/solver/burgers.rs crates/amr/src/solver/diffusion.rs crates/amr/src/solver/grid.rs crates/amr/src/solver/kelvin_helmholtz.rs crates/amr/src/solver/poisson.rs crates/amr/src/stats.rs crates/amr/src/tree.rs Cargo.toml
+
+crates/amr/src/lib.rs:
+crates/amr/src/builder.rs:
+crates/amr/src/clustering.rs:
+crates/amr/src/error.rs:
+crates/amr/src/field.rs:
+crates/amr/src/generator/mod.rs:
+crates/amr/src/generator/analytic.rs:
+crates/amr/src/generator/datasets.rs:
+crates/amr/src/generator/refine.rs:
+crates/amr/src/geometry.rs:
+crates/amr/src/io.rs:
+crates/amr/src/layout.rs:
+crates/amr/src/solver/mod.rs:
+crates/amr/src/solver/advection.rs:
+crates/amr/src/solver/burgers.rs:
+crates/amr/src/solver/diffusion.rs:
+crates/amr/src/solver/grid.rs:
+crates/amr/src/solver/kelvin_helmholtz.rs:
+crates/amr/src/solver/poisson.rs:
+crates/amr/src/stats.rs:
+crates/amr/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/zmesh_bench-6e9f674cbeb34d00.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/a10_sensitivity.rs crates/bench/src/experiments/a11_layouts.rs crates/bench/src/experiments/a13_uniform.rs crates/bench/src/experiments/a14_entropy.rs crates/bench/src/experiments/a9_ablation.rs crates/bench/src/experiments/f2_smoothness.rs crates/bench/src/experiments/f2b_locality.rs crates/bench/src/experiments/f10_threads.rs crates/bench/src/experiments/f11_precision.rs crates/bench/src/experiments/f3_sz_ratio.rs crates/bench/src/experiments/f4_zfp_ratio.rs crates/bench/src/experiments/f5_rate_distortion.rs crates/bench/src/experiments/f7_overhead.rs crates/bench/src/experiments/f8_amortization.rs crates/bench/src/experiments/f9_timeseries.rs crates/bench/src/experiments/t12_lossless.rs crates/bench/src/experiments/t1_datasets.rs crates/bench/src/experiments/t6_error_bound.rs
+
+/root/repo/target/release/deps/libzmesh_bench-6e9f674cbeb34d00.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/a10_sensitivity.rs crates/bench/src/experiments/a11_layouts.rs crates/bench/src/experiments/a13_uniform.rs crates/bench/src/experiments/a14_entropy.rs crates/bench/src/experiments/a9_ablation.rs crates/bench/src/experiments/f2_smoothness.rs crates/bench/src/experiments/f2b_locality.rs crates/bench/src/experiments/f10_threads.rs crates/bench/src/experiments/f11_precision.rs crates/bench/src/experiments/f3_sz_ratio.rs crates/bench/src/experiments/f4_zfp_ratio.rs crates/bench/src/experiments/f5_rate_distortion.rs crates/bench/src/experiments/f7_overhead.rs crates/bench/src/experiments/f8_amortization.rs crates/bench/src/experiments/f9_timeseries.rs crates/bench/src/experiments/t12_lossless.rs crates/bench/src/experiments/t1_datasets.rs crates/bench/src/experiments/t6_error_bound.rs
+
+/root/repo/target/release/deps/libzmesh_bench-6e9f674cbeb34d00.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/a10_sensitivity.rs crates/bench/src/experiments/a11_layouts.rs crates/bench/src/experiments/a13_uniform.rs crates/bench/src/experiments/a14_entropy.rs crates/bench/src/experiments/a9_ablation.rs crates/bench/src/experiments/f2_smoothness.rs crates/bench/src/experiments/f2b_locality.rs crates/bench/src/experiments/f10_threads.rs crates/bench/src/experiments/f11_precision.rs crates/bench/src/experiments/f3_sz_ratio.rs crates/bench/src/experiments/f4_zfp_ratio.rs crates/bench/src/experiments/f5_rate_distortion.rs crates/bench/src/experiments/f7_overhead.rs crates/bench/src/experiments/f8_amortization.rs crates/bench/src/experiments/f9_timeseries.rs crates/bench/src/experiments/t12_lossless.rs crates/bench/src/experiments/t1_datasets.rs crates/bench/src/experiments/t6_error_bound.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/a10_sensitivity.rs:
+crates/bench/src/experiments/a11_layouts.rs:
+crates/bench/src/experiments/a13_uniform.rs:
+crates/bench/src/experiments/a14_entropy.rs:
+crates/bench/src/experiments/a9_ablation.rs:
+crates/bench/src/experiments/f2_smoothness.rs:
+crates/bench/src/experiments/f2b_locality.rs:
+crates/bench/src/experiments/f10_threads.rs:
+crates/bench/src/experiments/f11_precision.rs:
+crates/bench/src/experiments/f3_sz_ratio.rs:
+crates/bench/src/experiments/f4_zfp_ratio.rs:
+crates/bench/src/experiments/f5_rate_distortion.rs:
+crates/bench/src/experiments/f7_overhead.rs:
+crates/bench/src/experiments/f8_amortization.rs:
+crates/bench/src/experiments/f9_timeseries.rs:
+crates/bench/src/experiments/t12_lossless.rs:
+crates/bench/src/experiments/t1_datasets.rs:
+crates/bench/src/experiments/t6_error_bound.rs:

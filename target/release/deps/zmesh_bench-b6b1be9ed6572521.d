@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/zmesh_bench-b6b1be9ed6572521.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/a10_sensitivity.rs crates/bench/src/experiments/a11_layouts.rs crates/bench/src/experiments/a13_uniform.rs crates/bench/src/experiments/a14_entropy.rs crates/bench/src/experiments/a9_ablation.rs crates/bench/src/experiments/f10_threads.rs crates/bench/src/experiments/f11_precision.rs crates/bench/src/experiments/f2_smoothness.rs crates/bench/src/experiments/f2b_locality.rs crates/bench/src/experiments/f3_sz_ratio.rs crates/bench/src/experiments/f4_zfp_ratio.rs crates/bench/src/experiments/f5_rate_distortion.rs crates/bench/src/experiments/f7_overhead.rs crates/bench/src/experiments/f8_amortization.rs crates/bench/src/experiments/f9_timeseries.rs crates/bench/src/experiments/t12_lossless.rs crates/bench/src/experiments/t1_datasets.rs crates/bench/src/experiments/t6_error_bound.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_bench-b6b1be9ed6572521.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/a10_sensitivity.rs crates/bench/src/experiments/a11_layouts.rs crates/bench/src/experiments/a13_uniform.rs crates/bench/src/experiments/a14_entropy.rs crates/bench/src/experiments/a9_ablation.rs crates/bench/src/experiments/f10_threads.rs crates/bench/src/experiments/f11_precision.rs crates/bench/src/experiments/f2_smoothness.rs crates/bench/src/experiments/f2b_locality.rs crates/bench/src/experiments/f3_sz_ratio.rs crates/bench/src/experiments/f4_zfp_ratio.rs crates/bench/src/experiments/f5_rate_distortion.rs crates/bench/src/experiments/f7_overhead.rs crates/bench/src/experiments/f8_amortization.rs crates/bench/src/experiments/f9_timeseries.rs crates/bench/src/experiments/t12_lossless.rs crates/bench/src/experiments/t1_datasets.rs crates/bench/src/experiments/t6_error_bound.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/a10_sensitivity.rs:
+crates/bench/src/experiments/a11_layouts.rs:
+crates/bench/src/experiments/a13_uniform.rs:
+crates/bench/src/experiments/a14_entropy.rs:
+crates/bench/src/experiments/a9_ablation.rs:
+crates/bench/src/experiments/f10_threads.rs:
+crates/bench/src/experiments/f11_precision.rs:
+crates/bench/src/experiments/f2_smoothness.rs:
+crates/bench/src/experiments/f2b_locality.rs:
+crates/bench/src/experiments/f3_sz_ratio.rs:
+crates/bench/src/experiments/f4_zfp_ratio.rs:
+crates/bench/src/experiments/f5_rate_distortion.rs:
+crates/bench/src/experiments/f7_overhead.rs:
+crates/bench/src/experiments/f8_amortization.rs:
+crates/bench/src/experiments/f9_timeseries.rs:
+crates/bench/src/experiments/t12_lossless.rs:
+crates/bench/src/experiments/t1_datasets.rs:
+crates/bench/src/experiments/t6_error_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zmesh_bitstream-2d9f8b41a785facf.d: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_bitstream-2d9f8b41a785facf.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs Cargo.toml
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/reader.rs:
+crates/bitstream/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zmesh_bitstream-7efc103471f5e5e4.d: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs
+
+/root/repo/target/release/deps/zmesh_bitstream-7efc103471f5e5e4: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/reader.rs:
+crates/bitstream/src/writer.rs:

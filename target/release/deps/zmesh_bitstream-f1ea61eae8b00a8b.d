@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zmesh_bitstream-f1ea61eae8b00a8b.d: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs
+
+/root/repo/target/release/deps/libzmesh_bitstream-f1ea61eae8b00a8b.rlib: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs
+
+/root/repo/target/release/deps/libzmesh_bitstream-f1ea61eae8b00a8b.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/reader.rs:
+crates/bitstream/src/writer.rs:

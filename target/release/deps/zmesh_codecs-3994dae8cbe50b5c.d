@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/zmesh_codecs-3994dae8cbe50b5c.d: crates/codecs/src/lib.rs crates/codecs/src/lossless/mod.rs crates/codecs/src/lossless/gorilla.rs crates/codecs/src/lossless/huffman.rs crates/codecs/src/lossless/lzss.rs crates/codecs/src/lossless/rangecoder.rs crates/codecs/src/lossless/rle.rs crates/codecs/src/sz/mod.rs crates/codecs/src/sz/lorenzo.rs crates/codecs/src/sz/predictor.rs crates/codecs/src/sz/quantizer.rs crates/codecs/src/zfp/mod.rs crates/codecs/src/zfp/block.rs crates/codecs/src/zfp/embedded.rs crates/codecs/src/zfp/negabinary.rs crates/codecs/src/zfp/transform.rs crates/codecs/src/traits.rs crates/codecs/src/varint.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_codecs-3994dae8cbe50b5c.rmeta: crates/codecs/src/lib.rs crates/codecs/src/lossless/mod.rs crates/codecs/src/lossless/gorilla.rs crates/codecs/src/lossless/huffman.rs crates/codecs/src/lossless/lzss.rs crates/codecs/src/lossless/rangecoder.rs crates/codecs/src/lossless/rle.rs crates/codecs/src/sz/mod.rs crates/codecs/src/sz/lorenzo.rs crates/codecs/src/sz/predictor.rs crates/codecs/src/sz/quantizer.rs crates/codecs/src/zfp/mod.rs crates/codecs/src/zfp/block.rs crates/codecs/src/zfp/embedded.rs crates/codecs/src/zfp/negabinary.rs crates/codecs/src/zfp/transform.rs crates/codecs/src/traits.rs crates/codecs/src/varint.rs Cargo.toml
+
+crates/codecs/src/lib.rs:
+crates/codecs/src/lossless/mod.rs:
+crates/codecs/src/lossless/gorilla.rs:
+crates/codecs/src/lossless/huffman.rs:
+crates/codecs/src/lossless/lzss.rs:
+crates/codecs/src/lossless/rangecoder.rs:
+crates/codecs/src/lossless/rle.rs:
+crates/codecs/src/sz/mod.rs:
+crates/codecs/src/sz/lorenzo.rs:
+crates/codecs/src/sz/predictor.rs:
+crates/codecs/src/sz/quantizer.rs:
+crates/codecs/src/zfp/mod.rs:
+crates/codecs/src/zfp/block.rs:
+crates/codecs/src/zfp/embedded.rs:
+crates/codecs/src/zfp/negabinary.rs:
+crates/codecs/src/zfp/transform.rs:
+crates/codecs/src/traits.rs:
+crates/codecs/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zmesh_metrics-0d5caee5e6e348fa.d: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_metrics-0d5caee5e6e348fa.rmeta: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/error_stats.rs:
+crates/metrics/src/ratio.rs:
+crates/metrics/src/smoothness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zmesh_metrics-3c448658bf2a1351.d: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs
+
+/root/repo/target/release/deps/libzmesh_metrics-3c448658bf2a1351.rlib: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs
+
+/root/repo/target/release/deps/libzmesh_metrics-3c448658bf2a1351.rmeta: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/error_stats.rs:
+crates/metrics/src/ratio.rs:
+crates/metrics/src/smoothness.rs:

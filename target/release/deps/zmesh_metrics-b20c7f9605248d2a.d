@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/zmesh_metrics-b20c7f9605248d2a.d: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs
+
+/root/repo/target/release/deps/zmesh_metrics-b20c7f9605248d2a: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/error_stats.rs:
+crates/metrics/src/ratio.rs:
+crates/metrics/src/smoothness.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zmesh_sfc-891f2eff26cad164.d: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_sfc-891f2eff26cad164.rmeta: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs Cargo.toml
+
+crates/sfc/src/lib.rs:
+crates/sfc/src/curve.rs:
+crates/sfc/src/hilbert.rs:
+crates/sfc/src/hilbert_fast.rs:
+crates/sfc/src/morton.rs:
+crates/sfc/src/ranges.rs:
+crates/sfc/src/rowmajor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

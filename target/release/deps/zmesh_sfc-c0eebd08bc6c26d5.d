@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zmesh_sfc-c0eebd08bc6c26d5.d: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs
+
+/root/repo/target/release/deps/zmesh_sfc-c0eebd08bc6c26d5: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs
+
+crates/sfc/src/lib.rs:
+crates/sfc/src/curve.rs:
+crates/sfc/src/hilbert.rs:
+crates/sfc/src/hilbert_fast.rs:
+crates/sfc/src/morton.rs:
+crates/sfc/src/ranges.rs:
+crates/sfc/src/rowmajor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/zmesh_sfc-fa334138fd4c6bbb.d: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs
+
+/root/repo/target/release/deps/libzmesh_sfc-fa334138fd4c6bbb.rlib: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs
+
+/root/repo/target/release/deps/libzmesh_sfc-fa334138fd4c6bbb.rmeta: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs
+
+crates/sfc/src/lib.rs:
+crates/sfc/src/curve.rs:
+crates/sfc/src/hilbert.rs:
+crates/sfc/src/hilbert_fast.rs:
+crates/sfc/src/morton.rs:
+crates/sfc/src/ranges.rs:
+crates/sfc/src/rowmajor.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zmesh_sfc-ff56ad57c963360b.d: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_sfc-ff56ad57c963360b.rmeta: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs Cargo.toml
+
+crates/sfc/src/lib.rs:
+crates/sfc/src/curve.rs:
+crates/sfc/src/hilbert.rs:
+crates/sfc/src/hilbert_fast.rs:
+crates/sfc/src/morton.rs:
+crates/sfc/src/ranges.rs:
+crates/sfc/src/rowmajor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zmesh_store-247594c14f032386.d: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/release/deps/libzmesh_store-247594c14f032386.rlib: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/release/deps/libzmesh_store-247594c14f032386.rmeta: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/cache.rs:
+crates/store/src/chunk.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zmesh_store-580a79b7e445d770.d: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/release/deps/zmesh_store-580a79b7e445d770: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/cache.rs:
+crates/store/src/chunk.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/zmesh_store-a5fb49f883c8240c.d: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_store-a5fb49f883c8240c.rmeta: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/cache.rs:
+crates/store/src/chunk.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zmesh_suite-0f4cfddb70d98344.d: src/lib.rs
+
+/root/repo/target/release/deps/libzmesh_suite-0f4cfddb70d98344.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libzmesh_suite-0f4cfddb70d98344.rmeta: src/lib.rs
+
+src/lib.rs:

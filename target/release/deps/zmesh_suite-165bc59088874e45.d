@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zmesh_suite-165bc59088874e45.d: src/lib.rs
+
+/root/repo/target/release/deps/zmesh_suite-165bc59088874e45: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zmesh_suite-2afd6d5cd967ad89.d: src/lib.rs
+
+/root/repo/target/release/deps/zmesh_suite-2afd6d5cd967ad89: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zmesh_suite-56a8bd3f68d402ed.d: src/lib.rs
+
+/root/repo/target/release/deps/libzmesh_suite-56a8bd3f68d402ed.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libzmesh_suite-56a8bd3f68d402ed.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zmesh_suite-615cbe1255d0d88b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_suite-615cbe1255d0d88b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

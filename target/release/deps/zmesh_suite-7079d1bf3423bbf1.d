@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zmesh_suite-7079d1bf3423bbf1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libzmesh_suite-7079d1bf3423bbf1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_amr-3cd3e145a4db143e.d: examples/custom_amr.rs
+
+/root/repo/target/release/examples/custom_amr-3cd3e145a4db143e: examples/custom_amr.rs
+
+examples/custom_amr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_amr-50fb992565e8a953.d: examples/custom_amr.rs
+
+/root/repo/target/release/examples/custom_amr-50fb992565e8a953: examples/custom_amr.rs
+
+examples/custom_amr.rs:

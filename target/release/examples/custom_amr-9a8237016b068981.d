@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/custom_amr-9a8237016b068981.d: examples/custom_amr.rs Cargo.toml
+
+/root/repo/target/release/examples/libcustom_amr-9a8237016b068981.rmeta: examples/custom_amr.rs Cargo.toml
+
+examples/custom_amr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/inspect_dataset-985f1f9d0dce0305.d: examples/inspect_dataset.rs Cargo.toml
+
+/root/repo/target/release/examples/libinspect_dataset-985f1f9d0dce0305.rmeta: examples/inspect_dataset.rs Cargo.toml
+
+examples/inspect_dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inspect_dataset-ddf0663d44435618.d: examples/inspect_dataset.rs
+
+/root/repo/target/release/examples/inspect_dataset-ddf0663d44435618: examples/inspect_dataset.rs
+
+examples/inspect_dataset.rs:

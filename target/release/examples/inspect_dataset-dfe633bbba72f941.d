@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inspect_dataset-dfe633bbba72f941.d: examples/inspect_dataset.rs
+
+/root/repo/target/release/examples/inspect_dataset-dfe633bbba72f941: examples/inspect_dataset.rs
+
+examples/inspect_dataset.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/multi_quantity-1fd074a795b272bf.d: examples/multi_quantity.rs Cargo.toml
+
+/root/repo/target/release/examples/libmulti_quantity-1fd074a795b272bf.rmeta: examples/multi_quantity.rs Cargo.toml
+
+examples/multi_quantity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

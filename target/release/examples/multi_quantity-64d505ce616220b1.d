@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_quantity-64d505ce616220b1.d: examples/multi_quantity.rs
+
+/root/repo/target/release/examples/multi_quantity-64d505ce616220b1: examples/multi_quantity.rs
+
+examples/multi_quantity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_quantity-f779a9782f541d64.d: examples/multi_quantity.rs
+
+/root/repo/target/release/examples/multi_quantity-f779a9782f541d64: examples/multi_quantity.rs
+
+examples/multi_quantity.rs:

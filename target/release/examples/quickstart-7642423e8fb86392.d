@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7642423e8fb86392.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7642423e8fb86392: examples/quickstart.rs
+
+examples/quickstart.rs:

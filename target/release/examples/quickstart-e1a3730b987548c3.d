@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e1a3730b987548c3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e1a3730b987548c3: examples/quickstart.rs
+
+examples/quickstart.rs:

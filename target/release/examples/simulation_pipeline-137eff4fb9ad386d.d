@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/simulation_pipeline-137eff4fb9ad386d.d: examples/simulation_pipeline.rs
+
+/root/repo/target/release/examples/simulation_pipeline-137eff4fb9ad386d: examples/simulation_pipeline.rs
+
+examples/simulation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/simulation_pipeline-14ddd9f3254b26ae.d: examples/simulation_pipeline.rs
+
+/root/repo/target/release/examples/simulation_pipeline-14ddd9f3254b26ae: examples/simulation_pipeline.rs
+
+examples/simulation_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/simulation_pipeline-692b2b8ef678e044.d: examples/simulation_pipeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libsimulation_pipeline-692b2b8ef678e044.rmeta: examples/simulation_pipeline.rs Cargo.toml
+
+examples/simulation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

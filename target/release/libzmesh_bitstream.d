@@ -1,0 +1,1 @@
+/root/repo/target/release/libzmesh_bitstream.rlib: /root/repo/crates/bitstream/src/lib.rs /root/repo/crates/bitstream/src/reader.rs /root/repo/crates/bitstream/src/writer.rs

@@ -1,11 +1,11 @@
 //! Cross-crate integration: every preset × policy × codec round-trips under
 //! its error bound through the full container pipeline.
 
-use zmesh_suite::prelude::*;
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::StorageMode;
 use zmesh_codecs::ErrorControl;
 use zmesh_metrics::ErrorStats;
+use zmesh_suite::prelude::*;
 
 fn check_dataset(ds: &datasets::Dataset, rel_eb: f64) {
     let fields: Vec<(&str, &zmesh_amr::AmrField)> =

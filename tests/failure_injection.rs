@@ -2,10 +2,10 @@
 //! produce typed errors or (for payload-region damage) bounded garbage —
 //! never panics, hangs, or out-of-bounds behavior.
 
-use zmesh_suite::prelude::*;
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::StorageMode;
 use zmesh_codecs::ErrorControl;
+use zmesh_suite::prelude::*;
 
 fn container() -> Vec<u8> {
     let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
@@ -40,7 +40,9 @@ fn single_byte_flips_never_panic() {
     // Deterministic pseudo-random positions covering header and payload.
     let mut pos = 1u64;
     for _ in 0..400 {
-        pos = pos.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        pos = pos
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let idx = (pos % bytes.len() as u64) as usize;
         let bit = 1u8 << (pos >> 61);
         let mut corrupted = bytes.clone();
@@ -69,7 +71,10 @@ fn swapped_payloads_fail_or_restore_wrong_but_safely() {
     let a = container();
     let mut frankenstein = a.clone();
     frankenstein.extend_from_slice(&a);
-    assert!(Pipeline::decompress(&frankenstein).is_err(), "trailing bytes accepted");
+    assert!(
+        Pipeline::decompress(&frankenstein).is_err(),
+        "trailing bytes accepted"
+    );
 }
 
 #[test]
@@ -82,5 +87,84 @@ fn structure_metadata_corruption_is_detected() {
         let mut corrupted = bytes.clone();
         corrupted[idx] = corrupted[idx].wrapping_add(13);
         let _ = Pipeline::decompress(&corrupted);
+    }
+}
+
+// ---- v2 chunked store (the same contract, plus stronger guarantees: the
+// ---- index CRC and per-chunk CRCs turn "bounded garbage" into typed
+// ---- errors). The CLI path — distinct exit codes for the same injected
+// ---- failures — is covered in crates/cli/tests/cli.rs.
+
+fn store() -> Vec<u8> {
+    let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    StoreWriter::new(CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    })
+    .with_chunk_target_bytes(2048)
+    .write(&fields)
+    .expect("write store")
+    .bytes
+}
+
+fn store_decode_all(bytes: &[u8]) -> Result<(), zmesh_suite::store::StoreError> {
+    let reader = StoreReader::open(bytes)?;
+    let names: Vec<String> = reader.field_names().iter().map(|s| s.to_string()).collect();
+    for name in names {
+        reader.decode_field(&name)?;
+    }
+    Ok(())
+}
+
+#[test]
+fn store_truncations_error_cleanly() {
+    let bytes = store();
+    for cut in 0..bytes.len().min(64) {
+        assert!(store_decode_all(&bytes[..cut]).is_err(), "cut = {cut}");
+    }
+    for frac in 1..20 {
+        let cut = bytes.len() * frac / 20;
+        assert!(
+            store_decode_all(&bytes[..cut]).is_err(),
+            "cut at {frac}/20 accepted"
+        );
+    }
+}
+
+#[test]
+fn store_single_byte_flips_are_typed_errors_not_garbage() {
+    // Stronger than v1: every single-byte flip anywhere in the store is
+    // *detected* — header/footer flips by the index CRC, payload flips by
+    // the per-chunk CRC. (Exception-free: a flip cannot go unnoticed.)
+    let bytes = store();
+    let mut pos = 7u64;
+    for _ in 0..300 {
+        pos = pos
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let idx = (pos % bytes.len() as u64) as usize;
+        let bit = 1u8 << (pos >> 61);
+        let mut corrupted = bytes.clone();
+        corrupted[idx] ^= bit;
+        assert!(
+            store_decode_all(&corrupted).is_err(),
+            "flip at byte {idx} bit {bit:#x} went undetected"
+        );
+    }
+}
+
+#[test]
+fn store_random_garbage_never_panics() {
+    let mut state = 1234u64;
+    for len in [0usize, 1, 4, 16, 22, 100, 1000] {
+        let mut buf = vec![0u8; len];
+        for b in &mut buf {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 56) as u8;
+        }
+        assert!(store_decode_all(&buf).is_err());
     }
 }

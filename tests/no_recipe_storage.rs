@@ -2,10 +2,10 @@
 //! written; containers differ across ordering policies only in the policy
 //! tag and the payload bytes.
 
-use zmesh_suite::prelude::*;
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::StorageMode;
 use zmesh_codecs::ErrorControl;
+use zmesh_suite::prelude::*;
 
 fn compress(ds: &datasets::Dataset, policy: OrderingPolicy) -> zmesh::Compressed {
     let fields: Vec<(&str, &zmesh_amr::AmrField)> =
@@ -43,7 +43,10 @@ fn recipe_is_rebuilt_from_container_metadata_alone() {
         // ds (and its tree) dropped here
     };
     let restored = Pipeline::decompress(&bytes).expect("decompress from bytes alone");
-    assert!(restored.recipe_ns > 0, "recipe must be re-generated, not read");
+    assert!(
+        restored.recipe_ns > 0,
+        "recipe must be re-generated, not read"
+    );
     assert_eq!(restored.fields.len(), 2);
 }
 

@@ -8,12 +8,12 @@
 //! 5. overhead amortizes across quantities (F8).
 
 use std::sync::Arc;
-use zmesh_suite::prelude::*;
 use zmesh::linearize;
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::{analytic, StorageMode};
 use zmesh_codecs::ErrorControl;
 use zmesh_metrics::smoothness_improvement;
+use zmesh_suite::prelude::*;
 
 fn ratio(ds: &datasets::Dataset, policy: OrderingPolicy, codec: CodecKind) -> f64 {
     let fields: Vec<(&str, &zmesh_amr::AmrField)> =
@@ -56,7 +56,11 @@ fn claim_1_and_2_smoothness_improves_everywhere() {
         // curve — it takes long diagonal jumps) may be ~neutral on isolated
         // small 3-D datasets but never clearly worse.
         assert!(zi > -5.0, "{}: z-order clearly rougher ({zi:.1}%)", ds.name);
-        assert!(hi > 0.0, "{}: hilbert made the stream rougher ({hi:.1}%)", ds.name);
+        assert!(
+            hi > 0.0,
+            "{}: hilbert made the stream rougher ({hi:.1}%)",
+            ds.name
+        );
         z_mean += zi;
         h_mean += hi;
         n += 1;
@@ -65,8 +69,14 @@ fn claim_1_and_2_smoothness_improves_everywhere() {
     h_mean /= n as f64;
     // Paper: 67.9 % (Z) / 71.3 % (Hilbert). We require the qualitative
     // ordering and a substantial effect.
-    assert!(h_mean >= z_mean, "hilbert ({h_mean:.1}) < z-order ({z_mean:.1})");
-    assert!(h_mean > 20.0, "mean hilbert improvement too small: {h_mean:.1}%");
+    assert!(
+        h_mean >= z_mean,
+        "hilbert ({h_mean:.1}) < z-order ({z_mean:.1})"
+    );
+    assert!(
+        h_mean > 20.0,
+        "mean hilbert improvement too small: {h_mean:.1}%"
+    );
 }
 
 #[test]
@@ -100,7 +110,10 @@ fn claim_4_sz_benefits_more_than_zfp() {
         sz_gain > zfp_gain,
         "SZ mean gain factor {sz_gain:.3} must exceed ZFP's {zfp_gain:.3} (paper: 133.7% vs 16.5%)"
     );
-    assert!(sz_gain > 1.05, "SZ mean gain factor too small: {sz_gain:.3}");
+    assert!(
+        sz_gain > 1.05,
+        "SZ mean gain factor too small: {sz_gain:.3}"
+    );
 }
 
 #[test]

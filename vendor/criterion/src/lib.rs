@@ -1,0 +1,211 @@
+//! Workspace-local stand-in for the `criterion` crate (offline vendored
+//! shim).
+//!
+//! Implements the subset of criterion's API the workspace benches use:
+//! `Criterion`, `benchmark_group` with `throughput`/`bench_function`/
+//! `finish`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is intentionally simple — a short
+//! warm-up, then timed batches until a wall-clock budget is spent — and
+//! results (median per-iteration time plus derived throughput) print to
+//! stdout. There is no statistical analysis, HTML report, or baseline
+//! comparison.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work per iteration, used to derive throughput from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(150),
+            budget: Duration::from_millis(750),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm_up, budget) = (self.warm_up, self.budget);
+        run_benchmark(&format!("{name}"), None, warm_up, budget, f);
+        self
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.throughput,
+            self.criterion.warm_up,
+            self.criterion.budget,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (reporting is immediate in this shim).
+    pub fn finish(self) {}
+}
+
+/// Hands the measurement routine to the benchmark closure.
+pub struct Bencher {
+    /// Per-batch sample durations divided by iterations, filled by `iter`.
+    samples: Vec<Duration>,
+    warm_up: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: also sizes the batch so each timed batch is >=1ms.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 20);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.budget || self.samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+            if self.samples.len() >= 200 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    budget: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        warm_up,
+        budget,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {label:<40} (no samples — closure never called iter)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => format!(
+            " ({:.1} MB/s)",
+            b as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+        ),
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.2} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("bench {label:<40} median {median:>12.3?}{rate}");
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            budget: Duration::from_millis(20),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

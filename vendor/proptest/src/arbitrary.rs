@@ -1,0 +1,82 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full domain (for floats: any bit pattern,
+    /// including NaN and infinities, as in real proptest's `f64::ANY`).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<A>(PhantomData<A>);
+
+/// Whole-domain strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u8_covers_the_domain() {
+        let mut rng = TestRng::seed_from(5);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[any::<u8>().generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn any_f64_eventually_hits_specials() {
+        let mut rng = TestRng::seed_from(6);
+        // NaN boxes occupy ~0.05% of the bit space; 100k draws make one
+        // overwhelmingly likely while staying fast.
+        let nan = (0..100_000).any(|_| any::<f64>().generate(&mut rng).is_nan());
+        assert!(nan, "no NaN drawn from the full bit domain");
+    }
+}

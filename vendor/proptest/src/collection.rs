@@ -1,0 +1,141 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size interval for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` targeting a size drawn from `size`.
+/// If the element domain is too small to reach the target, the set is as
+/// large as repeated draws could make it (never below one element for a
+/// positive target, matching how callers use it).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.draw(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_span_the_size_range() {
+        let strat = vec(0u32..100, 2..6);
+        let mut rng = TestRng::seed_from(11);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[2] && seen[3] && seen[4] && seen[5]);
+    }
+
+    #[test]
+    fn hash_set_hits_target_when_domain_allows() {
+        let strat = hash_set(0u32..1000, 50..51);
+        let mut rng = TestRng::seed_from(12);
+        assert_eq!(strat.generate(&mut rng).len(), 50);
+    }
+
+    #[test]
+    fn hash_set_saturates_small_domains() {
+        let strat = hash_set(0u32..3, 10..11);
+        let mut rng = TestRng::seed_from(13);
+        let s = strat.generate(&mut rng);
+        assert!(s.len() <= 3 && !s.is_empty());
+    }
+}

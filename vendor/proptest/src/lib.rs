@@ -1,0 +1,159 @@
+//! Workspace-local stand-in for the `proptest` crate (offline vendored
+//! shim).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a compact property-testing framework covering the
+//! proptest surface its tests use: the `proptest!` macro with `pat in
+//! strategy` arguments and an optional `#![proptest_config(..)]`,
+//! `prop_assert*`/`prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`,
+//! numeric range strategies, tuple strategies, `prop::collection::{vec,
+//! hash_set}`, `prop::sample::select`, and the `prop::num::f64` class
+//! strategies.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case seed
+//!   (reproducible via the fixed base seed) and the assertion message, but
+//!   is not minimized.
+//! * **Deterministic by default.** Cases derive from a fixed base seed (or
+//!   `PROPTEST_SEED` in the environment), so CI runs are reproducible.
+//! * Default case count is 64 (configurable per-block exactly as in real
+//!   proptest via `ProptestConfig::with_cases`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of the `proptest::prop` facade module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ..) {..}`
+/// becomes a normal unit test running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( #[test] fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run_property(
+                    &__config,
+                    stringify!($name),
+                    |__rng: &mut $crate::test_runner::TestRng|
+                        -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ( $($arg,)+ ) = (
+                            $( $crate::strategy::Strategy::generate(&($strat), __rng), )+
+                        );
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case (generates a replacement) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+}

@@ -1,0 +1,105 @@
+//! Numeric class strategies (`prop::num::f64::NORMAL | SUBNORMAL | ...`).
+
+/// Class-flag strategies for `f64`.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::BitOr;
+
+    /// A set of IEEE-754 value classes, usable as a strategy producing
+    /// values uniformly spread over the selected classes. Sign flags
+    /// restrict the sign; with no sign flag both signs are drawn.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct FloatClasses(u32);
+
+    /// Positive sign only.
+    pub const POSITIVE: FloatClasses = FloatClasses(1);
+    /// Negative sign only.
+    pub const NEGATIVE: FloatClasses = FloatClasses(2);
+    /// Normal (full-exponent-range) values.
+    pub const NORMAL: FloatClasses = FloatClasses(4);
+    /// Subnormal values.
+    pub const SUBNORMAL: FloatClasses = FloatClasses(8);
+    /// Zero.
+    pub const ZERO: FloatClasses = FloatClasses(16);
+    /// Infinities.
+    pub const INFINITE: FloatClasses = FloatClasses(32);
+    /// Quiet NaNs.
+    pub const QUIET_NAN: FloatClasses = FloatClasses(64);
+
+    impl BitOr for FloatClasses {
+        type Output = FloatClasses;
+
+        fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+            FloatClasses(self.0 | rhs.0)
+        }
+    }
+
+    impl Strategy for FloatClasses {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let classes: Vec<u32> = [NORMAL.0, SUBNORMAL.0, ZERO.0, INFINITE.0, QUIET_NAN.0]
+                .into_iter()
+                .filter(|c| self.0 & c != 0)
+                .collect();
+            assert!(!classes.is_empty(), "FloatClasses with no value class");
+            let class = classes[rng.below(classes.len() as u64) as usize];
+            let negative = match (self.0 & POSITIVE.0 != 0, self.0 & NEGATIVE.0 != 0) {
+                (true, false) => false,
+                (false, true) => true,
+                _ => rng.next_u64() & 1 == 1,
+            };
+            let sign = if negative { 1u64 << 63 } else { 0 };
+            let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+            let bits = if class == NORMAL.0 {
+                let exponent = 1 + rng.below(2046);
+                sign | (exponent << 52) | mantissa
+            } else if class == SUBNORMAL.0 {
+                sign | mantissa.max(1)
+            } else if class == ZERO.0 {
+                sign
+            } else if class == INFINITE.0 {
+                sign | (0x7ffu64 << 52)
+            } else {
+                // Quiet NaN: exponent all-ones, top mantissa bit set.
+                sign | (0x7ffu64 << 52) | (1u64 << 51) | mantissa
+            };
+            f64::from_bits(bits)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::TestRng;
+
+        #[test]
+        fn classes_produce_only_selected_kinds() {
+            let strat = NORMAL | SUBNORMAL | ZERO;
+            let mut rng = TestRng::seed_from(31);
+            let (mut normal, mut sub, mut zero) = (false, false, false);
+            for _ in 0..2000 {
+                let v = strat.generate(&mut rng);
+                assert!(v.is_finite(), "{v} not finite");
+                if v == 0.0 {
+                    zero = true;
+                } else if v.is_normal() {
+                    normal = true;
+                } else {
+                    sub = true;
+                }
+            }
+            assert!(normal && sub && zero);
+        }
+
+        #[test]
+        fn sign_flags_restrict_sign() {
+            let strat = POSITIVE | NORMAL;
+            let mut rng = TestRng::seed_from(32);
+            for _ in 0..500 {
+                assert!(strat.generate(&mut rng) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Sampling strategies: `select` from a fixed set.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly selects one of `items` (cloned into the strategy, so slice
+/// temporaries are fine).
+pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+    assert!(!items.is_empty(), "select from an empty slice");
+    Select {
+        items: items.to_vec(),
+    }
+}
+
+/// The strategy returned by [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_every_item() {
+        let strat = select(&[1u8, 2, 3][..]);
+        let mut rng = TestRng::seed_from(21);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3] && !seen[0]);
+    }
+}

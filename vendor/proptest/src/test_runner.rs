@@ -1,0 +1,190 @@
+//! Deterministic case generation and the property-test runner.
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator seeded with `seed`.
+    pub fn seed_from(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; the runner panics with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the runner draws a replacement.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (assumption not met) with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Cap on total `prop_assume!` rejections before the run errors.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs `property` over `config.cases` generated cases. Deterministic: the
+/// per-case seed derives from a fixed base (override with `PROPTEST_SEED`)
+/// plus the test name, so failures reproduce across runs.
+pub fn run_property<F>(config: &ProptestConfig, name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x7a4d_6573_6852_5353)
+        ^ fnv1a(name.as_bytes());
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let case_seed = base ^ (attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+        attempt += 1;
+        let mut rng = TestRng::seed_from(case_seed);
+        match property(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!("{name}: too many prop_assume! rejections ({rejected}); last: {why}");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed after {passed} passing case(s) \
+                     (case seed {case_seed:#018x}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_completes_on_passing_property() {
+        let mut calls = 0;
+        run_property(&ProptestConfig::with_cases(10), "ok", |rng| {
+            calls += 1;
+            let _ = rng.next_u64();
+            Ok(())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_panics_on_failure() {
+        run_property(&ProptestConfig::with_cases(10), "bad", |rng| {
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::fail("even"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn rejections_draw_replacements() {
+        let mut passes = 0;
+        run_property(&ProptestConfig::with_cases(5), "assume", |rng| {
+            if rng.next_u64() % 4 != 0 {
+                return Err(TestCaseError::reject("filtered"));
+            }
+            passes += 1;
+            Ok(())
+        });
+        assert_eq!(passes, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume!")]
+    fn impossible_assumption_errors() {
+        run_property(&ProptestConfig::with_cases(1), "never", |_| {
+            Err(TestCaseError::reject("always"))
+        });
+    }
+
+    #[test]
+    fn below_is_uniform_enough_and_in_bounds() {
+        let mut rng = TestRng::seed_from(9);
+        let mut counts = [0u32; 7];
+        for _ in 0..7000 {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "bucket too empty: {counts:?}");
+        }
+    }
+}

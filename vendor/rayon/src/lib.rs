@@ -1,0 +1,420 @@
+//! Workspace-local stand-in for the `rayon` crate (offline vendored shim).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of rayon's API it actually uses:
+//!
+//! * `slice.par_iter()` / `slice.par_chunks(n)` — lazy indexed parallel
+//!   iterators supporting `.map(..)`, `.enumerate()`, `.filter(..)`, and
+//!   `.collect()` into `Vec<T>` or `Result<Vec<T>, E>`;
+//! * `slice.par_sort_unstable_by_key(..)`;
+//! * `ThreadPoolBuilder` / `ThreadPool::install` (scopes a thread-count
+//!   override so thread-scaling experiments still vary real parallelism).
+//!
+//! Execution model: the terminal `collect` splits the index space into one
+//! contiguous range per worker and runs them on `std::thread::scope`
+//! threads, concatenating per-worker results in order — genuinely parallel,
+//! deterministic output order, no work stealing. Nested parallel calls
+//! (e.g. a parallel codec inside a parallel per-field map) run
+//! sequentially on their worker thread to bound thread counts.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::{ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Thread-count override installed by `ThreadPool::install` (0 = default).
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Nesting depth: parallel calls on worker threads degrade to sequential.
+    static PAR_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads a parallel call on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// An indexed parallel computation: a fixed-length source index space whose
+/// items can be produced independently from a shared `&self`. `par_get`
+/// returns `None` for source positions rejected by a `filter` stage.
+pub trait ParallelIterator: Sized + Sync {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Number of source positions (an upper bound on produced items).
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at source position `index` (must be in-bounds),
+    /// or `None` if a `filter` stage rejected it.
+    fn par_get(&self, index: usize) -> Option<Self::Item>;
+
+    /// Maps each item through `f` (applied in parallel at `collect`).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its source position. As in rayon, use this
+    /// before any `filter` stage (rayon's `filter` output is unindexed, so
+    /// `filter(..).enumerate()` does not exist there either).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Keeps only items satisfying `pred`.
+    fn filter<P>(self, pred: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Runs the computation on worker threads and gathers the results.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// `collect` targets for a parallel computation.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection by running `iter` in parallel.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        execute(&iter)
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<P: ParallelIterator<Item = Result<T, E>>>(iter: P) -> Self {
+        execute(&iter).into_iter().collect()
+    }
+}
+
+/// Runs `iter` across worker threads, preserving item order.
+fn execute<P: ParallelIterator>(iter: &P) -> Vec<P::Item> {
+    let n = iter.par_len();
+    let workers = current_num_threads().min(n);
+    let nested = PAR_DEPTH.with(Cell::get) > 0;
+    if workers <= 1 || nested {
+        return (0..n).filter_map(|i| iter.par_get(i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    PAR_DEPTH.with(|d| d.set(1));
+                    (lo..hi).filter_map(|i| iter.par_get(i)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Parallel iterator over `&[T]` (from [`ParallelSlice::par_iter`]).
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_get(&self, index: usize) -> Option<Self::Item> {
+        Some(&self.slice[index])
+    }
+}
+
+/// Parallel iterator over fixed-size chunks of a slice.
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn par_get(&self, index: usize) -> Option<Self::Item> {
+        let lo = index * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        Some(&self.slice[lo..hi])
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, index: usize) -> Option<Self::Item> {
+        self.base.par_get(index).map(&self.f)
+    }
+}
+
+/// Result of [`ParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, index: usize) -> Option<Self::Item> {
+        self.base.par_get(index).map(|item| (index, item))
+    }
+}
+
+/// Result of [`ParallelIterator::filter`].
+pub struct Filter<B, P> {
+    base: B,
+    pred: P,
+}
+
+impl<B, P> ParallelIterator for Filter<B, P>
+where
+    B: ParallelIterator,
+    P: Fn(&B::Item) -> bool + Sync,
+{
+    type Item = B::Item;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, index: usize) -> Option<Self::Item> {
+        self.base.par_get(index).filter(|item| (self.pred)(item))
+    }
+}
+
+/// Parallel views over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel counterpart of `slice::iter`.
+    fn par_iter(&self) -> Iter<'_, T>;
+
+    /// Parallel counterpart of `slice::chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Chunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Sorts the slice by key (sequential fallback in this shim; the
+    /// interface matches rayon so callers need no changes).
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(|t| f(t));
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim,
+/// kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that scopes a thread-count override: parallel calls made inside
+/// [`ThreadPool::install`] use this pool's thread count.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.threads));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// This pool's configured thread count (0 = auto).
+    pub fn current_num_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_yields_first_err() {
+        let data: Vec<u64> = (0..100).collect();
+        let ok: Result<Vec<u64>, String> = data.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u64>, String> = data
+            .par_iter()
+            .map(|&x| {
+                if x == 42 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn par_chunks_covers_everything() {
+        let data: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u32> = data.par_chunks(64).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 1000usize.div_ceil(64));
+        assert_eq!(sums.iter().sum::<u32>(), data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn enumerate_matches_indices() {
+        let data = [10, 20, 30];
+        let out: Vec<(usize, i32)> = data.par_iter().enumerate().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn filter_keeps_order_and_drops_rejected() {
+        let data: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = data
+            .par_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(_, &v)| v)
+            .collect();
+        assert_eq!(out, (0..1000).step_by(3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_sort_matches_std() {
+        let mut a: Vec<i64> = (0..500).map(|i| (i * 7919) % 271).collect();
+        let mut b = a.clone();
+        a.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        b.sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested: Vec<usize> = [0u8; 4]
+            .par_iter()
+            .map(|_| PAR_DEPTH.with(Cell::get))
+            .collect();
+        // Workers carry depth 1 so nested parallelism is sequential.
+        if current_num_threads() > 1 {
+            assert!(nested.iter().all(|&d| d == 1));
+        }
+    }
+}
