@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-8154d8390b3fe5d5.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-8154d8390b3fe5d5: tests/failure_injection.rs
+
+tests/failure_injection.rs:

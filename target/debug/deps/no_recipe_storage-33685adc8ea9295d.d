@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_recipe_storage-33685adc8ea9295d.d: tests/no_recipe_storage.rs
+
+/root/repo/target/debug/deps/no_recipe_storage-33685adc8ea9295d: tests/no_recipe_storage.rs
+
+tests/no_recipe_storage.rs:

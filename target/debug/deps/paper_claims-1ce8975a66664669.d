@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-1ce8975a66664669.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-1ce8975a66664669: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store-a7ff8bea81e10625.d: tests/store.rs
+
+/root/repo/target/debug/deps/store-a7ff8bea81e10625: tests/store.rs
+
+tests/store.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zmesh-d96d4476dfb438d6.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/debug/deps/libzmesh-d96d4476dfb438d6.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/debug/deps/libzmesh-d96d4476dfb438d6.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/container.rs crates/core/src/crc.rs crates/core/src/error.rs crates/core/src/linearize.rs crates/core/src/ordering.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/container.rs:
+crates/core/src/crc.rs:
+crates/core/src/error.rs:
+crates/core/src/linearize.rs:
+crates/core/src/ordering.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/zmesh_amr-415c2572698c4eff.d: crates/amr/src/lib.rs crates/amr/src/builder.rs crates/amr/src/clustering.rs crates/amr/src/error.rs crates/amr/src/field.rs crates/amr/src/generator/mod.rs crates/amr/src/generator/analytic.rs crates/amr/src/generator/datasets.rs crates/amr/src/generator/refine.rs crates/amr/src/geometry.rs crates/amr/src/io.rs crates/amr/src/layout.rs crates/amr/src/solver/mod.rs crates/amr/src/solver/advection.rs crates/amr/src/solver/burgers.rs crates/amr/src/solver/diffusion.rs crates/amr/src/solver/grid.rs crates/amr/src/solver/kelvin_helmholtz.rs crates/amr/src/solver/poisson.rs crates/amr/src/stats.rs crates/amr/src/tree.rs
+
+/root/repo/target/debug/deps/libzmesh_amr-415c2572698c4eff.rlib: crates/amr/src/lib.rs crates/amr/src/builder.rs crates/amr/src/clustering.rs crates/amr/src/error.rs crates/amr/src/field.rs crates/amr/src/generator/mod.rs crates/amr/src/generator/analytic.rs crates/amr/src/generator/datasets.rs crates/amr/src/generator/refine.rs crates/amr/src/geometry.rs crates/amr/src/io.rs crates/amr/src/layout.rs crates/amr/src/solver/mod.rs crates/amr/src/solver/advection.rs crates/amr/src/solver/burgers.rs crates/amr/src/solver/diffusion.rs crates/amr/src/solver/grid.rs crates/amr/src/solver/kelvin_helmholtz.rs crates/amr/src/solver/poisson.rs crates/amr/src/stats.rs crates/amr/src/tree.rs
+
+/root/repo/target/debug/deps/libzmesh_amr-415c2572698c4eff.rmeta: crates/amr/src/lib.rs crates/amr/src/builder.rs crates/amr/src/clustering.rs crates/amr/src/error.rs crates/amr/src/field.rs crates/amr/src/generator/mod.rs crates/amr/src/generator/analytic.rs crates/amr/src/generator/datasets.rs crates/amr/src/generator/refine.rs crates/amr/src/geometry.rs crates/amr/src/io.rs crates/amr/src/layout.rs crates/amr/src/solver/mod.rs crates/amr/src/solver/advection.rs crates/amr/src/solver/burgers.rs crates/amr/src/solver/diffusion.rs crates/amr/src/solver/grid.rs crates/amr/src/solver/kelvin_helmholtz.rs crates/amr/src/solver/poisson.rs crates/amr/src/stats.rs crates/amr/src/tree.rs
+
+crates/amr/src/lib.rs:
+crates/amr/src/builder.rs:
+crates/amr/src/clustering.rs:
+crates/amr/src/error.rs:
+crates/amr/src/field.rs:
+crates/amr/src/generator/mod.rs:
+crates/amr/src/generator/analytic.rs:
+crates/amr/src/generator/datasets.rs:
+crates/amr/src/generator/refine.rs:
+crates/amr/src/geometry.rs:
+crates/amr/src/io.rs:
+crates/amr/src/layout.rs:
+crates/amr/src/solver/mod.rs:
+crates/amr/src/solver/advection.rs:
+crates/amr/src/solver/burgers.rs:
+crates/amr/src/solver/diffusion.rs:
+crates/amr/src/solver/grid.rs:
+crates/amr/src/solver/kelvin_helmholtz.rs:
+crates/amr/src/solver/poisson.rs:
+crates/amr/src/stats.rs:
+crates/amr/src/tree.rs:

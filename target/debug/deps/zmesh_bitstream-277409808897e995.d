@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zmesh_bitstream-277409808897e995.d: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs
+
+/root/repo/target/debug/deps/libzmesh_bitstream-277409808897e995.rlib: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs
+
+/root/repo/target/debug/deps/libzmesh_bitstream-277409808897e995.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/reader.rs crates/bitstream/src/writer.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/reader.rs:
+crates/bitstream/src/writer.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/zmesh_codecs-2548511f5a03b93b.d: crates/codecs/src/lib.rs crates/codecs/src/lossless/mod.rs crates/codecs/src/lossless/gorilla.rs crates/codecs/src/lossless/huffman.rs crates/codecs/src/lossless/lzss.rs crates/codecs/src/lossless/rangecoder.rs crates/codecs/src/lossless/rle.rs crates/codecs/src/sz/mod.rs crates/codecs/src/sz/lorenzo.rs crates/codecs/src/sz/predictor.rs crates/codecs/src/sz/quantizer.rs crates/codecs/src/zfp/mod.rs crates/codecs/src/zfp/block.rs crates/codecs/src/zfp/embedded.rs crates/codecs/src/zfp/negabinary.rs crates/codecs/src/zfp/transform.rs crates/codecs/src/traits.rs crates/codecs/src/varint.rs
+
+/root/repo/target/debug/deps/libzmesh_codecs-2548511f5a03b93b.rlib: crates/codecs/src/lib.rs crates/codecs/src/lossless/mod.rs crates/codecs/src/lossless/gorilla.rs crates/codecs/src/lossless/huffman.rs crates/codecs/src/lossless/lzss.rs crates/codecs/src/lossless/rangecoder.rs crates/codecs/src/lossless/rle.rs crates/codecs/src/sz/mod.rs crates/codecs/src/sz/lorenzo.rs crates/codecs/src/sz/predictor.rs crates/codecs/src/sz/quantizer.rs crates/codecs/src/zfp/mod.rs crates/codecs/src/zfp/block.rs crates/codecs/src/zfp/embedded.rs crates/codecs/src/zfp/negabinary.rs crates/codecs/src/zfp/transform.rs crates/codecs/src/traits.rs crates/codecs/src/varint.rs
+
+/root/repo/target/debug/deps/libzmesh_codecs-2548511f5a03b93b.rmeta: crates/codecs/src/lib.rs crates/codecs/src/lossless/mod.rs crates/codecs/src/lossless/gorilla.rs crates/codecs/src/lossless/huffman.rs crates/codecs/src/lossless/lzss.rs crates/codecs/src/lossless/rangecoder.rs crates/codecs/src/lossless/rle.rs crates/codecs/src/sz/mod.rs crates/codecs/src/sz/lorenzo.rs crates/codecs/src/sz/predictor.rs crates/codecs/src/sz/quantizer.rs crates/codecs/src/zfp/mod.rs crates/codecs/src/zfp/block.rs crates/codecs/src/zfp/embedded.rs crates/codecs/src/zfp/negabinary.rs crates/codecs/src/zfp/transform.rs crates/codecs/src/traits.rs crates/codecs/src/varint.rs
+
+crates/codecs/src/lib.rs:
+crates/codecs/src/lossless/mod.rs:
+crates/codecs/src/lossless/gorilla.rs:
+crates/codecs/src/lossless/huffman.rs:
+crates/codecs/src/lossless/lzss.rs:
+crates/codecs/src/lossless/rangecoder.rs:
+crates/codecs/src/lossless/rle.rs:
+crates/codecs/src/sz/mod.rs:
+crates/codecs/src/sz/lorenzo.rs:
+crates/codecs/src/sz/predictor.rs:
+crates/codecs/src/sz/quantizer.rs:
+crates/codecs/src/zfp/mod.rs:
+crates/codecs/src/zfp/block.rs:
+crates/codecs/src/zfp/embedded.rs:
+crates/codecs/src/zfp/negabinary.rs:
+crates/codecs/src/zfp/transform.rs:
+crates/codecs/src/traits.rs:
+crates/codecs/src/varint.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zmesh_metrics-f96ba250065b517b.d: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs
+
+/root/repo/target/debug/deps/libzmesh_metrics-f96ba250065b517b.rlib: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs
+
+/root/repo/target/debug/deps/libzmesh_metrics-f96ba250065b517b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/error_stats.rs crates/metrics/src/ratio.rs crates/metrics/src/smoothness.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/error_stats.rs:
+crates/metrics/src/ratio.rs:
+crates/metrics/src/smoothness.rs:

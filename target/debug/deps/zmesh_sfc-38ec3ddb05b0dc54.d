@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zmesh_sfc-38ec3ddb05b0dc54.d: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs
+
+/root/repo/target/debug/deps/libzmesh_sfc-38ec3ddb05b0dc54.rlib: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs
+
+/root/repo/target/debug/deps/libzmesh_sfc-38ec3ddb05b0dc54.rmeta: crates/sfc/src/lib.rs crates/sfc/src/curve.rs crates/sfc/src/hilbert.rs crates/sfc/src/hilbert_fast.rs crates/sfc/src/morton.rs crates/sfc/src/ranges.rs crates/sfc/src/rowmajor.rs
+
+crates/sfc/src/lib.rs:
+crates/sfc/src/curve.rs:
+crates/sfc/src/hilbert.rs:
+crates/sfc/src/hilbert_fast.rs:
+crates/sfc/src/morton.rs:
+crates/sfc/src/ranges.rs:
+crates/sfc/src/rowmajor.rs:

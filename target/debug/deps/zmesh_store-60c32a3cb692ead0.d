@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zmesh_store-60c32a3cb692ead0.d: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/debug/deps/libzmesh_store-60c32a3cb692ead0.rlib: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/debug/deps/libzmesh_store-60c32a3cb692ead0.rmeta: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/chunk.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/cache.rs:
+crates/store/src/chunk.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

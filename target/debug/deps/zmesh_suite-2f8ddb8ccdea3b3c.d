@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zmesh_suite-2f8ddb8ccdea3b3c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libzmesh_suite-2f8ddb8ccdea3b3c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libzmesh_suite-2f8ddb8ccdea3b3c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zmesh_suite-9d8bf6192735058a.d: src/lib.rs
+
+/root/repo/target/debug/deps/zmesh_suite-9d8bf6192735058a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_amr-e938868d37f6f3f9.d: examples/custom_amr.rs
+
+/root/repo/target/debug/examples/custom_amr-e938868d37f6f3f9: examples/custom_amr.rs
+
+examples/custom_amr.rs:

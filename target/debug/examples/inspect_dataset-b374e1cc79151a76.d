@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_dataset-b374e1cc79151a76.d: examples/inspect_dataset.rs
+
+/root/repo/target/debug/examples/inspect_dataset-b374e1cc79151a76: examples/inspect_dataset.rs
+
+examples/inspect_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_quantity-6ead64fe46de2ea7.d: examples/multi_quantity.rs
+
+/root/repo/target/debug/examples/multi_quantity-6ead64fe46de2ea7: examples/multi_quantity.rs
+
+examples/multi_quantity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d0c2e55858bac172.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d0c2e55858bac172: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/simulation_pipeline-33c096994f4c4def.d: examples/simulation_pipeline.rs
+
+/root/repo/target/debug/examples/simulation_pipeline-33c096994f4c4def: examples/simulation_pipeline.rs
+
+examples/simulation_pipeline.rs:
