@@ -62,6 +62,27 @@ fn bench_store(c: &mut Criterion) {
         b.iter(|| warm_writer.write(black_box(&fields)).unwrap())
     });
     g.finish();
+
+    // Encode parallelism: the same warm-cache write through a 1-thread
+    // pool vs the default pool. A small chunk target gives the flat
+    // (field × chunk) job list enough work items to spread.
+    let mut g = c.benchmark_group("store_encode");
+    g.throughput(Throughput::Bytes(ds.nbytes() as u64));
+    let encode_writer = StoreWriter::new(config())
+        .with_chunk_target_bytes(2 * 1024)
+        .with_cache(std::sync::Arc::clone(&shared));
+    encode_writer.write(&fields).expect("warm the cache");
+    let serial_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("build 1-thread pool");
+    g.bench_function("serial", |b| {
+        b.iter(|| serial_pool.install(|| encode_writer.write(black_box(&fields)).unwrap()))
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| encode_writer.write(black_box(&fields)).unwrap())
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench_store);

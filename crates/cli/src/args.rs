@@ -1,20 +1,33 @@
 //! Minimal flag parsing (no external dependencies).
 
-/// Parsed positional arguments and `--flag value` options.
+/// Parsed positional arguments, `--flag value` options, and boolean
+/// `--switch` flags.
 pub struct Args {
     positional: Vec<String>,
     options: Vec<(String, String)>,
+    switches: Vec<String>,
 }
 
 impl Args {
     /// Parses `argv`; every `--flag` consumes the following token as its
     /// value.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
+        Self::parse_with_switches(argv, &[])
+    }
+
+    /// Like [`Args::parse`], but flags named in `switches` are boolean:
+    /// they consume no value and are queried with [`Args::switch`].
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Self, String> {
         let mut positional = Vec::new();
         let mut options = Vec::new();
+        let mut seen_switches = Vec::new();
         let mut it = argv.iter();
         while let Some(tok) = it.next() {
             if let Some(flag) = tok.strip_prefix("--") {
+                if switches.contains(&flag) {
+                    seen_switches.push(flag.to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{flag} needs a value"))?;
@@ -29,6 +42,7 @@ impl Args {
         Ok(Self {
             positional,
             options,
+            switches: seen_switches,
         })
     }
 
@@ -53,6 +67,12 @@ impl Args {
     pub fn required(&self, name: &str) -> Result<&str, String> {
         self.option(name)
             .ok_or_else(|| format!("missing --{name} (or -o for output)"))
+    }
+
+    /// Whether a boolean `--switch` was passed (only names registered via
+    /// [`Args::parse_with_switches`] can appear here).
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// A float-valued option.
@@ -96,6 +116,24 @@ mod tests {
         assert_eq!(a.float("rel-eb").unwrap(), Some(1e-4));
         let bad = Args::parse(&argv(&["--rel-eb", "abc"])).unwrap();
         assert!(bad.float("rel-eb").is_err());
+    }
+
+    #[test]
+    fn switches_consume_no_value() {
+        let a = Args::parse_with_switches(
+            &argv(&["in.zms", "--salvage", "--field", "density"]),
+            &["salvage"],
+        )
+        .unwrap();
+        assert!(a.switch("salvage"));
+        assert!(!a.switch("verbose"));
+        assert_eq!(a.positional(0, "input").unwrap(), "in.zms");
+        assert_eq!(a.option("field"), Some("density"));
+        // A trailing switch parses fine (it never needs a value).
+        let b = Args::parse_with_switches(&argv(&["--salvage"]), &["salvage"]).unwrap();
+        assert!(b.switch("salvage"));
+        // Unregistered, the same token is a value flag and fails.
+        assert!(Args::parse(&argv(&["--salvage"])).is_err());
     }
 
     #[test]

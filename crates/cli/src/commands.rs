@@ -7,7 +7,7 @@ use zmesh_amr::datasets::{self, Dataset, Scale};
 use zmesh_amr::{load_dataset, save_dataset, AmrField, DatasetStats, StorageMode};
 use zmesh_codecs::{CodecKind, ErrorControl};
 use zmesh_metrics::ErrorStats;
-use zmesh_store::{Query, StoreReader, StoreWriter};
+use zmesh_store::{DamageReport, Query, ReadPolicy, StoreReader, StoreWriter};
 
 fn parse_scale(args: &Args) -> Result<Scale, CliError> {
     match args.option("scale").unwrap_or("small") {
@@ -218,17 +218,39 @@ pub fn pack(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `zmesh unpack <in.zms> -o <out.zmd>` — full decode of a v2 store.
+/// Prints a one-line-per-field summary of what a salvage read lost.
+fn print_damage(report: &DamageReport) {
+    if report.is_empty() {
+        return;
+    }
+    eprintln!(
+        "warning: salvaged read: {} corrupt chunk(s), {} value(s) lost",
+        report.chunks.len(),
+        report.total_values_lost()
+    );
+    for (field, lost) in report.by_field() {
+        eprintln!("  field {field:?}: {lost} value(s) lost");
+    }
+}
+
+/// `zmesh unpack <in.zms> -o <out.zmd> [--salvage]` — full decode of a v2
+/// store. With `--salvage`, corrupt chunks are skipped (their cells become
+/// NaN) and the damage is summarized on stderr instead of failing.
 pub fn unpack(argv: &[String]) -> Result<(), CliError> {
-    let args = parse(argv)?;
+    let args = Args::parse_with_switches(argv, &["salvage"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input store (.zms)")?;
     let out = required(&args, "output")?;
     let bytes = read_file(input)?;
-    let reader = StoreReader::open(&bytes)?;
+    let mut reader = StoreReader::open(&bytes)?;
+    if args.switch("salvage") {
+        reader = reader.with_read_policy(ReadPolicy::Salvage);
+    }
     let mut fields = Vec::new();
+    let mut damage = DamageReport::default();
     for name in reader.field_names() {
         let name = name.to_string();
-        let field = reader.decode_field(&name)?;
+        let (field, report) = reader.decode_field_with_report(&name)?;
+        damage.merge(report);
         fields.push((name, field));
     }
     let ds = Dataset {
@@ -238,6 +260,7 @@ pub fn unpack(argv: &[String]) -> Result<(), CliError> {
         fields,
     };
     save_dataset(out, &ds)?;
+    print_damage(&damage);
     println!(
         "wrote {out}: {} quantities restored from v2 store",
         ds.fields.len()
@@ -265,10 +288,11 @@ fn parse_bbox(spec: &str) -> Result<([u32; 3], [u32; 3]), CliError> {
 }
 
 /// `zmesh query <in.zms> --field <name> --bbox x0,y0[,z0]:x1,y1[,z1]
-/// [--level L[,L...]] [-o out.csv]` — region read decoding only the
-/// overlapping chunks.
+/// [--level L[,L...]] [--salvage] [-o out.csv]` — region read decoding
+/// only the overlapping chunks. With `--salvage`, corrupt chunks are
+/// dropped from the result and summarized on stderr instead of failing.
 pub fn query(argv: &[String]) -> Result<(), CliError> {
-    let args = parse(argv)?;
+    let args = Args::parse_with_switches(argv, &["salvage"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input store (.zms)")?;
     let name = required(&args, "field")?;
     let (lo, hi) = parse_bbox(required(&args, "bbox")?)?;
@@ -282,8 +306,12 @@ pub fn query(argv: &[String]) -> Result<(), CliError> {
         q = q.with_levels(levels);
     }
     let bytes = read_file(input)?;
-    let reader = StoreReader::open(&bytes)?;
+    let mut reader = StoreReader::open(&bytes)?;
+    if args.switch("salvage") {
+        reader = reader.with_read_policy(ReadPolicy::Salvage);
+    }
     let result = reader.query(name, &q)?;
+    print_damage(&result.damage);
     println!(
         "field {name:?} bbox ({},{},{})..({},{},{}): {} cells | decoded {}/{} chunks{}",
         lo[0],

@@ -7,8 +7,8 @@
 //! zmesh decompress data.zmc -o restored.zmd
 //! zmesh extract data.zmc --field <name> -o field.zmd
 //! zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64]
-//! zmesh unpack data.zms -o restored.zmd
-//! zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L] [-o out.csv]
+//! zmesh unpack data.zms -o restored.zmd [--salvage]
+//! zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L] [--salvage] [-o out.csv]
 //! zmesh info <file.zmd | file.zmc | file.zms>
 //! zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]
 //! ```
@@ -71,8 +71,8 @@ fn print_usage() {
          \x20 zmesh decompress data.zmc -o restored.zmd\n\
          \x20 zmesh extract data.zmc --field <name> -o field.zmd\n\
          \x20 zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64]\n\
-         \x20 zmesh unpack data.zms -o restored.zmd\n\
-         \x20 zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L[,L...]] [-o out.csv]\n\
+         \x20 zmesh unpack data.zms -o restored.zmd [--salvage]\n\
+         \x20 zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L[,L...]] [--salvage] [-o out.csv]\n\
          \x20 zmesh info <file.zmd | file.zmc | file.zms>\n\
          \x20 zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]\n\n\
          exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt input, 5 verify failure\n\

@@ -450,6 +450,125 @@ fn exit_codes_distinguish_failure_kinds() {
 }
 
 #[test]
+fn salvage_tolerates_chunk_corruption_strict_exits_4() {
+    let zmd = tmp("salvage.zmd");
+    let zms = tmp("salvage.zms");
+    let broken = tmp("salvage_broken.zms");
+    let restored = tmp("salvage_restored.zmd");
+    let csv = tmp("salvage.csv");
+
+    for args in [
+        vec![
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ],
+        vec![
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            zms.to_str().unwrap(),
+            "--chunk-kb",
+            "1",
+        ],
+    ] {
+        let out = zmesh().args(&args).output().expect("run");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Flip one byte inside the first chunk of the first field, located
+    // precisely via the store index so only that chunk is damaged.
+    let mut bytes = std::fs::read(&zms).expect("read store");
+    let (_, fields, payload) = zmesh_store::open_parts(&bytes).expect("open store");
+    let meta = fields[0].chunks[0];
+    assert!(fields[0].chunks.len() > 1, "need multiple chunks");
+    let whole_domain = {
+        let reader = zmesh_store::StoreReader::open(&bytes).expect("open");
+        let tree = reader.tree();
+        let dims = tree.level_dims(tree.max_level());
+        format!("0,0:{},{}", dims[0] - 1, dims[1] - 1)
+    };
+    bytes[payload.start + meta.offset as usize] ^= 0xff;
+    std::fs::write(&broken, &bytes).expect("write corrupted store");
+
+    let code = |args: &[&str]| zmesh().args(args).output().expect("run").status.code();
+
+    // Strict (default) unpack and query fail with the corrupt exit code.
+    assert_eq!(
+        code(&["unpack", broken.to_str().unwrap(), "-o", "/dev/null"]),
+        Some(4)
+    );
+    assert_eq!(
+        code(&[
+            "query",
+            broken.to_str().unwrap(),
+            "--field",
+            &fields[0].name,
+            "--bbox",
+            &whole_domain,
+        ]),
+        Some(4)
+    );
+
+    // --salvage succeeds and reports the loss on stderr.
+    let out = zmesh()
+        .args([
+            "unpack",
+            broken.to_str().unwrap(),
+            "-o",
+            restored.to_str().unwrap(),
+            "--salvage",
+        ])
+        .output()
+        .expect("run unpack --salvage");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("salvaged") && stderr.contains("1 corrupt chunk"),
+        "no damage summary in: {stderr}"
+    );
+    assert!(restored.exists());
+
+    let out = zmesh()
+        .args([
+            "query",
+            broken.to_str().unwrap(),
+            "--field",
+            &fields[0].name,
+            "--bbox",
+            &whole_domain,
+            "--salvage",
+            "-o",
+            csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run query --salvage");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("salvaged"));
+    let rows = std::fs::read_to_string(&csv).expect("read csv");
+    assert!(rows.lines().count() > 1, "survivors expected in csv");
+
+    for f in [zmd, zms, broken, restored, csv] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
 fn help_lists_presets() {
     let out = zmesh().args(["--help"]).output().expect("run");
     assert!(out.status.success());

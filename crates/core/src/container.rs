@@ -150,12 +150,19 @@ pub fn read_container(bytes: &[u8]) -> Result<ContainerHeader, ZmeshError> {
     let codec = CodecKind::from_tag(*bytes.get(pos).ok_or(ZmeshError::Corrupt("missing codec"))?)
         .ok_or(ZmeshError::Corrupt("bad codec tag"))?;
     pos += 1;
+    // All lengths below come from attacker-controlled varints: every
+    // `pos + len` is computed with `checked_add` so a near-`usize::MAX`
+    // length is a typed error, not a release-mode wrap followed by an
+    // out-of-bounds slice panic.
     let slen = read_u64(bytes, &mut pos)? as usize;
+    let send = pos
+        .checked_add(slen)
+        .ok_or(ZmeshError::Corrupt("structure length overflow"))?;
     let structure = bytes
-        .get(pos..pos + slen)
+        .get(pos..send)
         .ok_or(ZmeshError::Corrupt("structure past end"))?
         .to_vec();
-    pos += slen;
+    pos = send;
     let nfields = read_u64(bytes, &mut pos)? as usize;
     if nfields > 1 << 20 {
         return Err(ZmeshError::Corrupt("implausible field count"));
@@ -163,18 +170,24 @@ pub fn read_container(bytes: &[u8]) -> Result<ContainerHeader, ZmeshError> {
     let mut fields = Vec::with_capacity(nfields);
     for _ in 0..nfields {
         let nlen = read_u64(bytes, &mut pos)? as usize;
+        let nend = pos
+            .checked_add(nlen)
+            .ok_or(ZmeshError::Corrupt("name length overflow"))?;
         let name = bytes
-            .get(pos..pos + nlen)
+            .get(pos..nend)
             .ok_or(ZmeshError::Corrupt("name past end"))?;
         let name =
             String::from_utf8(name.to_vec()).map_err(|_| ZmeshError::Corrupt("name not utf-8"))?;
-        pos += nlen;
+        pos = nend;
         let plen = read_u64(bytes, &mut pos)? as usize;
-        if pos + plen > bytes.len() {
+        let pend = pos
+            .checked_add(plen)
+            .ok_or(ZmeshError::Corrupt("payload length overflow"))?;
+        if pend > bytes.len() {
             return Err(ZmeshError::Corrupt("payload past end"));
         }
-        fields.push((name, pos..pos + plen));
-        pos += plen;
+        fields.push((name, pos..pend));
+        pos = pend;
     }
     if pos != bytes.len() {
         return Err(ZmeshError::Corrupt("trailing bytes"));
@@ -280,6 +293,49 @@ mod tests {
         let mut bad_tag = bytes.clone();
         bad_tag[5] = 99;
         assert!(read_container(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn huge_varint_lengths_error_instead_of_overflowing() {
+        // Near-usize::MAX lengths used to wrap in release (`pos + len`) and
+        // panic at the following slice. Craft bodies with a valid CRC so
+        // parsing reaches the length fields, and demand typed errors.
+        let preamble = |body: &mut Vec<u8>| {
+            body.extend_from_slice(CONTAINER_MAGIC);
+            body.push(VERSION);
+            body.push(OrderingPolicy::Hilbert.tag());
+            body.push(StorageMode::AllCells.tag());
+            body.push(CodecKind::Sz.tag());
+        };
+        let seal = |body: Vec<u8>| {
+            let mut bytes = body.clone();
+            bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+            bytes
+        };
+
+        // Structure length near usize::MAX.
+        let mut body = Vec::new();
+        preamble(&mut body);
+        write_u64(&mut body, u64::MAX);
+        assert!(read_container(&seal(body)).is_err());
+
+        // Field-name length near usize::MAX.
+        let mut body = Vec::new();
+        preamble(&mut body);
+        write_u64(&mut body, 0); // empty structure
+        write_u64(&mut body, 1); // one field
+        write_u64(&mut body, u64::MAX); // absurd name length
+        assert!(read_container(&seal(body)).is_err());
+
+        // Payload length near usize::MAX.
+        let mut body = Vec::new();
+        preamble(&mut body);
+        write_u64(&mut body, 0); // empty structure
+        write_u64(&mut body, 1); // one field
+        write_u64(&mut body, 1); // name "f"
+        body.push(b'f');
+        write_u64(&mut body, u64::MAX); // absurd payload length
+        assert!(read_container(&seal(body)).is_err());
     }
 
     #[test]

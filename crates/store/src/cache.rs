@@ -15,8 +15,11 @@ use zmesh::{GroupingMode, OrderingPolicy, RestoreRecipe};
 use zmesh_amr::AmrTree;
 
 /// FNV-1a over the serialized tree structure — stable, dependency-free,
-/// and 64 bits is plenty for a cache key (collisions only cost a rebuild
-/// check, see [`RecipeCache::get_or_build`]).
+/// and 64 bits is plenty for a cache key *because hits are verified*: the
+/// entry keeps the structure bytes it was built from and a lookup compares
+/// them before handing the recipe out, so a hash collision costs exactly
+/// one rebuild instead of silently returning the wrong permutation (see
+/// [`RecipeCache::get_or_build`]).
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -34,6 +37,14 @@ struct Key {
     grouping: GroupingMode,
 }
 
+/// A cached recipe plus the exact structure bytes it was built from (kept
+/// so hits can be verified instead of trusting the 64-bit hash).
+#[derive(Debug, Clone)]
+struct Entry {
+    structure: Arc<[u8]>,
+    recipe: Arc<RestoreRecipe>,
+}
+
 /// Hit/miss counters of a [`RecipeCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -41,12 +52,16 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to build a recipe.
     pub misses: u64,
+    /// Lookups whose key matched but whose structure bytes did not (a
+    /// 64-bit hash collision); counted as misses too, since the recipe was
+    /// rebuilt.
+    pub collisions: u64,
     /// Recipes currently cached.
     pub entries: usize,
 }
 
 /// Cached recipes plus their FIFO insertion order.
-type CacheMap = (HashMap<Key, Arc<RestoreRecipe>>, Vec<Key>);
+type CacheMap = (HashMap<Key, Entry>, Vec<Key>);
 
 /// A bounded, thread-safe cache of restore recipes keyed by tree
 /// structure, ordering policy, and grouping mode.
@@ -55,6 +70,7 @@ pub struct RecipeCache {
     map: Mutex<CacheMap>,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
     capacity: usize,
 }
 
@@ -81,6 +97,7 @@ impl RecipeCache {
             map: Mutex::new((HashMap::new(), Vec::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
             capacity,
         }
     }
@@ -89,6 +106,12 @@ impl RecipeCache {
     /// caching it on first use. `structure` must be `tree`'s serialized
     /// structure (callers have it at hand; passing it avoids re-serializing
     /// on every lookup). The boolean reports whether this was a cache hit.
+    ///
+    /// A hit is only returned when the cached entry's structure bytes are
+    /// **equal** to `structure` — the 64-bit key hash alone is never
+    /// trusted. On a genuine hash collision the recipe is rebuilt for the
+    /// caller's tree, the colliding entry is replaced, and the lookup
+    /// counts as a miss (plus a collision in [`CacheStats`]).
     pub fn get_or_build(
         &self,
         tree: &AmrTree,
@@ -102,23 +125,47 @@ impl RecipeCache {
             policy,
             grouping,
         };
-        if let Some(recipe) = self.map.lock().unwrap().0.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(recipe), true);
+        self.get_or_build_keyed(key, tree, structure)
+    }
+
+    /// [`RecipeCache::get_or_build`] with the key precomputed (split out so
+    /// tests can force a key collision without searching for real FNV
+    /// collisions).
+    fn get_or_build_keyed(
+        &self,
+        key: Key,
+        tree: &AmrTree,
+        structure: &[u8],
+    ) -> (Arc<RestoreRecipe>, bool) {
+        let mut collided = false;
+        if let Some(entry) = self.map.lock().unwrap().0.get(&key) {
+            if entry.structure[..] == *structure {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (Arc::clone(&entry.recipe), true);
+            }
+            // Same 64-bit hash, same length, different bytes: a real
+            // collision. Fall through and rebuild for the caller's tree.
+            collided = true;
+            self.collisions.fetch_add(1, Ordering::Relaxed);
         }
         // Build outside the lock: recipe construction is the expensive
         // parallel sort this cache exists to amortize.
-        let recipe = Arc::new(RestoreRecipe::build(tree, policy, grouping));
+        let recipe = Arc::new(RestoreRecipe::build(tree, key.policy, key.grouping));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = Entry {
+            structure: structure.into(),
+            recipe: Arc::clone(&recipe),
+        };
         let mut guard = self.map.lock().unwrap();
         let (map, order) = &mut *guard;
-        if !map.contains_key(&key) {
-            if map.len() >= self.capacity {
+        if collided || !map.contains_key(&key) {
+            if !map.contains_key(&key) && map.len() >= self.capacity {
                 let evict = order.remove(0);
                 map.remove(&evict);
             }
-            map.insert(key, Arc::clone(&recipe));
-            order.push(key);
+            if map.insert(key, entry).is_none() {
+                order.push(key);
+            }
         }
         (recipe, false)
     }
@@ -128,6 +175,7 @@ impl RecipeCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
             entries: self.map.lock().unwrap().0.len(),
         }
     }
@@ -166,6 +214,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
+                collisions: 0,
                 entries: 1
             }
         );
@@ -183,6 +232,40 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(a.len(), c.len());
         assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn hash_collision_rebuilds_instead_of_returning_the_wrong_recipe() {
+        // Two different trees whose serialized structures we *pretend*
+        // hash identically (forged key): the verified-hit path must spot
+        // the byte mismatch, rebuild for the caller's tree, and count a
+        // collision — never hand tree A's recipe to tree B.
+        let cache = RecipeCache::new();
+        let t8 = tree(8);
+        let t4 = tree(4);
+        let (s8, s4) = (t8.structure_bytes(), t4.structure_bytes());
+        let forged = Key {
+            structure_hash: 0xdead_beef,
+            structure_len: 0, // shared by construction: lengths differ too
+            policy: OrderingPolicy::Hilbert,
+            grouping: GroupingMode::LeafOnly,
+        };
+        let (a, hit_a) = cache.get_or_build_keyed(forged, &t8, &s8);
+        let (b, hit_b) = cache.get_or_build_keyed(forged, &t4, &s4);
+        assert!(!hit_a);
+        assert!(!hit_b, "collision must not be reported as a hit");
+        assert_eq!(a.len(), t8.leaf_count());
+        assert_eq!(b.len(), t4.leaf_count(), "got the colliding tree's recipe");
+        let stats = cache.stats();
+        assert_eq!(stats.collisions, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(
+            stats.entries, 1,
+            "colliding entry is replaced, not duplicated"
+        );
+        // The replacement now serves t4 as a verified hit.
+        let (_, hit_c) = cache.get_or_build_keyed(forged, &t4, &s4);
+        assert!(hit_c);
     }
 
     #[test]

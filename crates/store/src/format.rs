@@ -69,6 +69,11 @@ pub enum StoreError {
     UnknownField(String),
     /// A query argument is malformed (inverted box, empty level mask…).
     BadQuery(&'static str),
+    /// An internal invariant of this library was violated (a bug in
+    /// zmesh-store, not in the input). Raised instead of silently
+    /// truncating when, e.g., the number of compressed chunk payloads
+    /// disagrees with the chunk plan.
+    Internal(&'static str),
     /// Underlying codec failure.
     Codec(CodecError),
     /// Underlying AMR structure failure.
@@ -92,6 +97,12 @@ impl fmt::Display for StoreError {
             StoreError::IndexCrc => write!(f, "crc mismatch in store index"),
             StoreError::UnknownField(name) => write!(f, "no field named {name:?} in store"),
             StoreError::BadQuery(what) => write!(f, "bad query: {what}"),
+            StoreError::Internal(what) => {
+                write!(
+                    f,
+                    "internal store error: {what} (this is a zmesh-store bug)"
+                )
+            }
             StoreError::Codec(e) => write!(f, "codec: {e}"),
             StoreError::Amr(e) => write!(f, "amr: {e}"),
             StoreError::Zmesh(e) => write!(f, "{e}"),
@@ -354,8 +365,11 @@ fn fields_header_len(bytes: &[u8]) -> usize {
 }
 
 /// Splits an assembled store into `(header, footer fields, payload span)`,
-/// verifying magics and the index CRC.
-pub(crate) fn open(
+/// verifying magics and the index CRC. Public (re-exported as
+/// `zmesh_store::open_parts`) so tools and fuzzers can parse the framing
+/// without building a full [`crate::StoreReader`]; the bytes are treated
+/// as untrusted — any input returns a typed error, never a panic.
+pub fn open(
     bytes: &[u8],
 ) -> Result<(StoreHeader, Vec<FieldEntry>, std::ops::Range<usize>), StoreError> {
     if bytes.len() < 4 + TRAILER_BYTES {

@@ -12,7 +12,12 @@
 //!   the box into space-filling-curve ranges ([`zmesh_sfc::bbox_ranges_2d`])
 //!   and decoding **only the overlapping chunks**, in parallel;
 //! - a [`RecipeCache`] keyed by the tree structure makes multi-field and
-//!   time-series writes reuse one restore recipe.
+//!   time-series writes reuse one restore recipe — hits are verified
+//!   against the structure bytes, so a hash collision can never hand out
+//!   the wrong permutation;
+//! - reads run under a [`ReadPolicy`]: `Strict` (default) fails on the
+//!   first integrity error, `Salvage` skips corrupt chunks and returns the
+//!   surviving cells plus a [`DamageReport`] naming exactly what was lost.
 //!
 //! The zMesh invariant is preserved: no permutation data is stored. Chunk
 //! framing is by value count, so the index is byte-identical across
@@ -44,6 +49,8 @@ mod writer;
 
 pub use cache::{CacheStats, RecipeCache};
 pub use chunk::{plan_chunks, ChunkMeta, ChunkPlan, CHUNK_META_BYTES, DEFAULT_CHUNK_TARGET_BYTES};
-pub use format::{is_store, FieldEntry, StoreError, StoreHeader, STORE_MAGIC, STORE_VERSION};
-pub use reader::{Query, QueryResult, StoreReader};
+pub use format::{
+    is_store, open as open_parts, FieldEntry, StoreError, StoreHeader, STORE_MAGIC, STORE_VERSION,
+};
+pub use reader::{DamageReport, DamagedChunk, Query, QueryResult, ReadPolicy, StoreReader};
 pub use writer::{PipelineStoreExt, StoreWriteStats, StoreWriter, StoreWritten};

@@ -1,5 +1,11 @@
 //! The store reader: open a v2 container and answer spatial queries by
 //! decoding only the chunks that overlap.
+//!
+//! On-disk bytes are treated as **untrusted**. Every chunk carries its own
+//! CRC, so damage is contained per chunk; the [`ReadPolicy`] decides what
+//! happens when a chunk fails: [`ReadPolicy::Strict`] (the default) aborts
+//! with a typed error, [`ReadPolicy::Salvage`] skips the chunk, keeps
+//! every surviving cell, and reports the loss in a [`DamageReport`].
 
 use crate::cache::RecipeCache;
 use crate::format::{self, FieldEntry, StoreError, StoreHeader};
@@ -8,6 +14,82 @@ use std::sync::Arc;
 use zmesh::{codec_for, crc32, GroupingMode, RestoreRecipe};
 use zmesh_amr::{AmrField, AmrTree, Cell, Dim};
 use zmesh_sfc::{bbox_ranges_2d, bbox_ranges_3d};
+
+/// How a [`StoreReader`] treats chunks that fail their CRC or decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPolicy {
+    /// Any damaged chunk aborts the read with a typed error (the safe
+    /// default: you either get exactly what was written or an error).
+    #[default]
+    Strict,
+    /// Damaged chunks are skipped: full decodes fill the lost cells with
+    /// `NaN`, queries drop them, and every loss is itemized in a
+    /// [`DamageReport`]. Container-level damage (bad magic, truncated or
+    /// CRC-failing index) still errors — without a trustworthy index there
+    /// is nothing to salvage from.
+    Salvage,
+}
+
+/// One chunk a salvage read could not recover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DamagedChunk {
+    /// Field the chunk belongs to.
+    pub field: String,
+    /// Chunk index within the field, in stream order.
+    pub chunk: usize,
+    /// Byte range of the chunk's payload within the store buffer
+    /// (saturated if the recorded offset/length ran past the payload).
+    pub byte_range: Range<usize>,
+    /// Stream values (= cells) lost with this chunk.
+    pub values_lost: usize,
+    /// Why the chunk was rejected.
+    pub error: StoreError,
+}
+
+/// Structured account of everything a salvage read had to skip.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DamageReport {
+    /// The unrecoverable chunks, in (field, chunk) order.
+    pub chunks: Vec<DamagedChunk>,
+}
+
+impl DamageReport {
+    /// Whether the read recovered everything.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total cells lost across all fields.
+    pub fn total_values_lost(&self) -> usize {
+        self.chunks.iter().map(|c| c.values_lost).sum()
+    }
+
+    /// Cells lost in one field.
+    pub fn values_lost_in(&self, field: &str) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| c.field == field)
+            .map(|c| c.values_lost)
+            .sum()
+    }
+
+    /// Per-field loss counts, in order of first appearance.
+    pub fn by_field(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = Vec::new();
+        for c in &self.chunks {
+            match out.iter_mut().find(|(f, _)| *f == c.field) {
+                Some((_, lost)) => *lost += c.values_lost,
+                None => out.push((c.field.clone(), c.values_lost)),
+            }
+        }
+        out
+    }
+
+    /// Folds another report (e.g. from the next field) into this one.
+    pub fn merge(&mut self, other: DamageReport) {
+        self.chunks.extend(other.chunks);
+    }
+}
 
 /// A spatial/level selection over one field.
 ///
@@ -59,6 +141,9 @@ pub struct QueryResult {
     pub chunks_total: usize,
     /// Absolute pointwise error bound the values honor (from the footer).
     pub bound: Option<f64>,
+    /// Chunks the query needed but could not recover (always empty under
+    /// [`ReadPolicy::Strict`], which errors instead).
+    pub damage: DamageReport,
 }
 
 /// A parsed, validated view over a serialized v2 store.
@@ -69,6 +154,7 @@ pub struct StoreReader<'a> {
     payload: Range<usize>,
     tree: Arc<AmrTree>,
     recipe: Arc<RestoreRecipe>,
+    policy: ReadPolicy,
 }
 
 impl<'a> StoreReader<'a> {
@@ -111,7 +197,20 @@ impl<'a> StoreReader<'a> {
             payload,
             tree,
             recipe,
+            policy: ReadPolicy::Strict,
         })
+    }
+
+    /// Sets how damaged chunks are treated (default
+    /// [`ReadPolicy::Strict`]).
+    pub fn with_read_policy(mut self, policy: ReadPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active read policy.
+    pub fn read_policy(&self) -> ReadPolicy {
+        self.policy
     }
 
     /// The parsed header.
@@ -146,10 +245,38 @@ impl<'a> StoreReader<'a> {
         (self.header.chunk_target_bytes as usize / 8).max(1)
     }
 
-    /// The stream positions chunk `i` covers.
+    /// The stream positions chunk `i` covers. Saturating: `i` comes from a
+    /// footer whose chunk count is untrusted, so an absurd index yields an
+    /// empty range instead of a multiply-overflow panic.
     fn stream_range(&self, i: usize) -> Range<usize> {
         let cv = self.chunk_values();
-        (i * cv)..((i + 1) * cv).min(self.recipe.len())
+        let lo = i.saturating_mul(cv).min(self.recipe.len());
+        let hi = lo.saturating_add(cv).min(self.recipe.len());
+        lo..hi
+    }
+
+    /// Byte range of chunk `i` of `entry` within the store buffer, for
+    /// damage reports (saturated; never trusted for slicing).
+    fn chunk_byte_range(&self, entry: &FieldEntry, i: usize) -> Range<usize> {
+        let meta = &entry.chunks[i];
+        let lo = self
+            .payload
+            .start
+            .saturating_add(meta.offset as usize)
+            .min(self.payload.end);
+        let hi = lo.saturating_add(meta.len as usize).min(self.payload.end);
+        lo..hi
+    }
+
+    /// Records chunk `i` of `entry` as unrecoverable.
+    fn damaged(&self, entry: &FieldEntry, i: usize, error: StoreError) -> DamagedChunk {
+        DamagedChunk {
+            field: entry.name.clone(),
+            chunk: i,
+            byte_range: self.chunk_byte_range(entry, i),
+            values_lost: self.stream_range(i).len(),
+            error,
+        }
     }
 
     /// The cell behind a storage index under the store's grouping.
@@ -195,29 +322,47 @@ impl<'a> StoreReader<'a> {
     }
 
     /// Decodes every chunk of `name` (in parallel) and restores storage
-    /// order — the full-field inverse of the writer.
+    /// order — the full-field inverse of the writer. Under
+    /// [`ReadPolicy::Salvage`], cells in unrecoverable chunks come back as
+    /// `NaN`; use [`StoreReader::decode_field_with_report`] to learn which.
     pub fn decode_field(&self, name: &str) -> Result<AmrField, StoreError> {
+        self.decode_field_with_report(name).map(|(field, _)| field)
+    }
+
+    /// Like [`StoreReader::decode_field`], but also returns the
+    /// [`DamageReport`] of everything the read had to skip (always empty
+    /// under [`ReadPolicy::Strict`], which errors instead of skipping).
+    pub fn decode_field_with_report(
+        &self,
+        name: &str,
+    ) -> Result<(AmrField, DamageReport), StoreError> {
         use rayon::prelude::*;
 
         let entry = self.field(name)?;
         let ids: Vec<usize> = (0..entry.chunks.len()).collect();
-        let decoded: Vec<Vec<f64>> = ids
+        let decoded: Vec<Result<Vec<f64>, StoreError>> = ids
             .par_iter()
             .map(|&i| self.decode_chunk(entry, i))
-            .collect::<Result<_, _>>()?;
+            .collect();
+        let mut report = DamageReport::default();
         let mut stream = Vec::with_capacity(self.recipe.len());
-        for chunk in decoded {
-            stream.extend(chunk);
+        for (i, result) in decoded.into_iter().enumerate() {
+            match result {
+                Ok(values) => stream.extend(values),
+                Err(error) if self.policy == ReadPolicy::Salvage => {
+                    let lost = self.stream_range(i).len();
+                    report.chunks.push(self.damaged(entry, i, error));
+                    stream.resize(stream.len() + lost, f64::NAN);
+                }
+                Err(error) => return Err(error),
+            }
         }
         if stream.len() != self.recipe.len() {
             return Err(StoreError::Corrupt("stream length mismatches tree"));
         }
         let values = self.recipe.invert(&stream);
-        Ok(AmrField::from_values(
-            Arc::clone(&self.tree),
-            self.header.mode,
-            values,
-        )?)
+        let field = AmrField::from_values(Arc::clone(&self.tree), self.header.mode, values)?;
+        Ok((field, report))
     }
 
     /// Chunk indices of `entry` a query must decode.
@@ -289,16 +434,29 @@ impl<'a> StoreReader<'a> {
     }
 
     /// Answers a bounding-box / level query on `name`, decoding only the
-    /// chunks whose coverage intersects the query (in parallel).
+    /// chunks whose coverage intersects the query (in parallel). Under
+    /// [`ReadPolicy::Salvage`], damaged chunks are dropped from the result
+    /// and itemized in [`QueryResult::damage`].
     pub fn query(&self, name: &str, query: &Query) -> Result<QueryResult, StoreError> {
         use rayon::prelude::*;
 
         let entry = self.field(name)?;
         let selected = self.select_chunks(entry, query)?;
-        let decoded: Vec<(usize, Vec<f64>)> = selected
+        let attempts: Vec<(usize, Result<Vec<f64>, StoreError>)> = selected
             .par_iter()
-            .map(|&i| self.decode_chunk(entry, i).map(|v| (i, v)))
-            .collect::<Result<_, _>>()?;
+            .map(|&i| (i, self.decode_chunk(entry, i)))
+            .collect();
+        let mut damage = DamageReport::default();
+        let mut decoded: Vec<(usize, Vec<f64>)> = Vec::with_capacity(attempts.len());
+        for (i, result) in attempts {
+            match result {
+                Ok(values) => decoded.push((i, values)),
+                Err(error) if self.policy == ReadPolicy::Salvage => {
+                    damage.chunks.push(self.damaged(entry, i, error));
+                }
+                Err(error) => return Err(error),
+            }
+        }
 
         let perm = self.recipe.permutation();
         let mut hits: Vec<(u32, f64)> = Vec::new();
@@ -318,6 +476,7 @@ impl<'a> StoreReader<'a> {
             chunks_decoded: selected.len(),
             chunks_total: entry.chunks.len(),
             bound: entry.resolved_bound,
+            damage,
         })
     }
 }
@@ -422,6 +581,80 @@ mod tests {
             reader.query("density", &Query::bbox([5, 0, 0], [1, 9, 0])),
             Err(StoreError::BadQuery(_))
         ));
+    }
+
+    /// Flips a byte inside one specific chunk's payload.
+    fn corrupt_chunk(bytes: &mut [u8], field_idx: usize, chunk_idx: usize) {
+        let (_, fields, payload) = format::open(bytes).unwrap();
+        let meta = fields[field_idx].chunks[chunk_idx];
+        bytes[payload.start + meta.offset as usize] ^= 0xff;
+    }
+
+    #[test]
+    fn salvage_decode_fills_nan_and_reports_the_damage() {
+        let (_, mut bytes) = sample_store(512);
+        corrupt_chunk(&mut bytes, 0, 2);
+        let clean = sample_store(512).1;
+        let full = StoreReader::open(&clean)
+            .unwrap()
+            .decode_field("density")
+            .unwrap();
+
+        let reader = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::Salvage);
+        let (field, report) = reader.decode_field_with_report("density").unwrap();
+        assert_eq!(report.chunks.len(), 1);
+        assert_eq!(report.chunks[0].chunk, 2);
+        assert_eq!(report.chunks[0].field, "density");
+        assert!(matches!(
+            report.chunks[0].error,
+            StoreError::ChunkCrc { .. }
+        ));
+        assert_eq!(report.values_lost_in("density"), report.total_values_lost());
+        assert!(!report.chunks[0].byte_range.is_empty());
+        // Lost cells are NaN; every surviving cell is bit-identical to the
+        // clean decode.
+        let nan_count = field.values().iter().filter(|v| v.is_nan()).count();
+        assert_eq!(nan_count, report.total_values_lost());
+        for (a, b) in field.values().iter().zip(full.values()) {
+            if !a.is_nan() {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // The undamaged field is untouched and reports no loss.
+        let (_, clean_report) = reader.decode_field_with_report("energy").unwrap();
+        assert!(clean_report.is_empty());
+    }
+
+    #[test]
+    fn salvage_query_drops_damaged_chunks_strict_errors() {
+        let (_, mut bytes) = sample_store(512);
+        corrupt_chunk(&mut bytes, 0, 0);
+        let side = {
+            let r = StoreReader::open(&bytes).unwrap();
+            r.tree().level_dims(r.tree().max_level())[0] as u32 - 1
+        };
+        let q = Query::bbox([0, 0, 0], [side, side, 0]);
+
+        let strict = StoreReader::open(&bytes).unwrap();
+        assert!(matches!(
+            strict.query("density", &q),
+            Err(StoreError::ChunkCrc { .. })
+        ));
+
+        let salvage = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::Salvage);
+        let result = salvage.query("density", &q).unwrap();
+        assert_eq!(result.damage.chunks.len(), 1);
+        assert_eq!(result.damage.chunks[0].chunk, 0);
+        assert!(!result.storage_indices.is_empty(), "survivors expected");
+        assert!(result.values.iter().all(|v| !v.is_nan()));
+        // Reports from several fields merge into one per-field summary.
+        let mut merged = result.damage.clone();
+        merged.merge(DamageReport::default());
+        assert_eq!(merged.by_field().len(), 1);
     }
 
     #[test]

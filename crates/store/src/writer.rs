@@ -1,25 +1,47 @@
 //! The store writer: reorder → chunk → compress → indexed container.
+//!
+//! The encode fans out over **fields × chunks**: every (field, chunk)
+//! pair is one independent compression job on the rayon pool, so a write
+//! scales with cores even for a single field (the in-situ setting the
+//! paper's overhead experiments assume). The payload layout is
+//! deterministic — field-major, chunks in stream order — regardless of
+//! how many threads ran the jobs, so outputs are byte-identical at any
+//! parallelism.
 
 use crate::cache::RecipeCache;
 use crate::chunk::{plan_chunks, ChunkPlan, DEFAULT_CHUNK_TARGET_BYTES};
 use crate::format::{assemble, write_header, FieldEntry, StoreError, StoreHeader};
+use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 use zmesh::{codec_for, crc32, CompressionConfig, GroupingMode, Pipeline, ZmeshError};
 use zmesh_amr::AmrField;
-use zmesh_codecs::{CodecParams, ValueType};
+use zmesh_codecs::{CodecError, CodecParams, ErrorControl, ValueType};
 
 /// Wall-time and size accounting for one store write.
+///
+/// The reorder and encode phases report both **wall** time (elapsed, as a
+/// caller experiences it) and **CPU** time (summed across the parallel
+/// jobs). Their ratio, [`StoreWriteStats::encode_parallelism`], is the
+/// effective speedup the parallel encode achieved — ~1.0 on one core,
+/// approaching the thread count when the chunk jobs saturate the pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StoreWriteStats {
     /// Nanoseconds to obtain the restore recipe (build or cache hit).
     pub recipe_ns: u64,
     /// Whether the recipe came from the cache.
     pub recipe_cache_hit: bool,
-    /// Nanoseconds to permute all fields into stream order.
+    /// Wall nanoseconds of the reorder phase (all fields, in parallel).
     pub reorder_ns: u64,
-    /// Nanoseconds inside the codec across all chunks and fields.
+    /// CPU nanoseconds of the reorder phase, summed over per-field jobs.
+    pub reorder_cpu_ns: u64,
+    /// Wall nanoseconds of the encode phase (fields × chunks jobs).
     pub encode_ns: u64,
+    /// CPU nanoseconds of the encode phase, summed over every
+    /// (field, chunk) compression job.
+    pub encode_cpu_ns: u64,
+    /// Worker threads available to the encode fan-out.
+    pub encode_threads: usize,
     /// Fields written.
     pub n_fields: usize,
     /// Chunks per field.
@@ -38,6 +60,17 @@ impl StoreWriteStats {
     /// Compression ratio over the full store, metadata included.
     pub fn ratio(&self) -> f64 {
         self.raw_bytes as f64 / self.container_bytes as f64
+    }
+
+    /// Effective encode speedup: CPU time over wall time. Values near 1.0
+    /// mean the encode ran serially; values near `encode_threads` mean the
+    /// fan-out saturated the pool.
+    pub fn encode_parallelism(&self) -> f64 {
+        if self.encode_ns == 0 {
+            1.0
+        } else {
+            self.encode_cpu_ns as f64 / self.encode_ns as f64
+        }
     }
 }
 
@@ -132,32 +165,76 @@ impl StoreWriter {
             value_type: ValueType::F64,
         };
 
+        // Phase 1 — reorder, one parallel job per field. Each job also
+        // resolves the error bound against its *whole* stream, so every
+        // chunk of a field honors the same pointwise absolute bound and
+        // the result is distortion-identical to the monolithic path.
+        let t1 = Instant::now();
+        let reordered: Vec<(Vec<f64>, Option<f64>, u64)> = fields
+            .par_iter()
+            .map(|(_, field)| {
+                let t = Instant::now();
+                let stream = recipe.apply(field.values());
+                let resolved_bound = self.config.control.absolute_bound(&stream);
+                (stream, resolved_bound, t.elapsed().as_nanos() as u64)
+            })
+            .collect();
+        let reorder_ns = t1.elapsed().as_nanos() as u64;
+        let reorder_cpu_ns = reordered.iter().map(|(_, _, ns)| ns).sum();
+
+        // Phase 2 — compress, one parallel job per (field, chunk). A flat
+        // job list (instead of nesting per-chunk parallelism inside a
+        // per-field loop) keeps the pool saturated even when field and
+        // chunk counts are individually smaller than the core count.
+        let n_chunks = plan.metas.len();
+        let jobs: Vec<(usize, usize)> = (0..fields.len())
+            .flat_map(|f| (0..n_chunks).map(move |c| (f, c)))
+            .collect();
+        let t2 = Instant::now();
+        let compressed: Vec<(Vec<u8>, u32, u64)> = jobs
+            .par_iter()
+            .map(|&(f, c)| {
+                let t = Instant::now();
+                let (stream, bound, _) = &reordered[f];
+                let mut params = params;
+                if let Some(bound) = bound {
+                    params.control = ErrorControl::Absolute(*bound);
+                }
+                let bytes = codec.compress(&stream[plan.stream_range(c)], &params)?;
+                let crc = crc32(&bytes);
+                Ok((bytes, crc, t.elapsed().as_nanos() as u64))
+            })
+            .collect::<Result<_, CodecError>>()?;
+        let encode_ns = t2.elapsed().as_nanos() as u64;
+        let encode_cpu_ns = compressed.iter().map(|(_, _, ns)| ns).sum();
+
+        // The index is only honest if every planned chunk produced exactly
+        // one payload. A mismatch is a bug in this library — fail hard
+        // instead of zip-truncating into an index that lies.
+        if compressed.len() != fields.len() * n_chunks {
+            return Err(StoreError::Internal(
+                "compressed payload count mismatches the chunk plan",
+            ));
+        }
+
+        // Phase 3 — deterministic layout: field-major, chunks in stream
+        // order, independent of how many threads ran the jobs above.
         let mut payload: Vec<u8> = Vec::new();
         let mut entries: Vec<FieldEntry> = Vec::with_capacity(fields.len());
-        let mut reorder_ns = 0u64;
-        let mut encode_ns = 0u64;
-        for (name, field) in fields {
-            let t1 = Instant::now();
-            let stream = recipe.apply(field.values());
-            reorder_ns += t1.elapsed().as_nanos() as u64;
-
-            let t2 = Instant::now();
-            let chunked = codec.compress_chunks(&stream, &params, chunk_values)?;
-            encode_ns += t2.elapsed().as_nanos() as u64;
-            debug_assert_eq!(chunked.payloads.len(), plan.metas.len());
-
-            let mut chunks = Vec::with_capacity(plan.metas.len());
-            for (meta, bytes) in plan.metas.iter().zip(&chunked.payloads) {
+        for (f, (name, _)) in fields.iter().enumerate() {
+            let mut chunks = Vec::with_capacity(n_chunks);
+            for (c, meta) in plan.metas.iter().enumerate() {
+                let (bytes, crc, _) = &compressed[f * n_chunks + c];
                 let mut meta = *meta;
                 meta.offset = payload.len() as u64;
                 meta.len = bytes.len() as u64;
-                meta.crc = crc32(bytes);
+                meta.crc = *crc;
                 payload.extend_from_slice(bytes);
                 chunks.push(meta);
             }
             entries.push(FieldEntry {
                 name: (*name).to_string(),
-                resolved_bound: chunked.resolved_bound,
+                resolved_bound: reordered[f].1,
                 chunks,
             });
         }
@@ -180,7 +257,10 @@ impl StoreWriter {
                 recipe_ns,
                 recipe_cache_hit,
                 reorder_ns,
+                reorder_cpu_ns,
                 encode_ns,
+                encode_cpu_ns,
+                encode_threads: rayon::current_num_threads(),
                 n_fields: fields.len(),
                 n_chunks: plan.metas.len(),
                 raw_bytes,
@@ -241,6 +321,45 @@ mod tests {
         assert!(!first.stats.recipe_cache_hit);
         assert!(second.stats.recipe_cache_hit);
         assert_eq!(writer.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn output_is_byte_identical_at_any_parallelism() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer =
+            StoreWriter::new(CompressionConfig::zmesh_default()).with_chunk_target_bytes(1024);
+        let parallel = writer.write(&small_fields(&ds)).unwrap();
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| writer.write(&small_fields(&ds)).unwrap());
+        assert_eq!(parallel.bytes, serial.bytes);
+        assert!(parallel.stats.n_chunks >= 4);
+    }
+
+    #[test]
+    fn stats_split_wall_and_cpu_time() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Small);
+        let writer =
+            StoreWriter::new(CompressionConfig::zmesh_default()).with_chunk_target_bytes(4096);
+        let out = writer.write(&small_fields(&ds)).unwrap();
+        let s = out.stats;
+        assert!(s.encode_ns > 0);
+        assert!(s.encode_cpu_ns > 0);
+        assert!(s.reorder_cpu_ns > 0);
+        assert!(s.encode_threads >= 1);
+        assert!(s.encode_parallelism() > 0.0);
+        // CPU time is a sum over jobs: with more than one worker it can
+        // exceed wall time, but it can never be wildly below it (each
+        // job's time is contained in the phase).
+        assert!(
+            s.encode_cpu_ns <= s.encode_ns.saturating_mul(s.encode_threads as u64 + 1),
+            "cpu {} vs wall {} on {} threads",
+            s.encode_cpu_ns,
+            s.encode_ns,
+            s.encode_threads
+        );
     }
 
     #[test]

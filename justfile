@@ -13,8 +13,10 @@ tier1:
     cargo build --release
     cargo test -q --release
 
-# Full workspace test run.
+# Full workspace test run, both profiles (debug catches overflow panics
+# and debug_asserts; release catches what they wrap into).
 test:
+    cargo test -q --workspace
     cargo test -q --release --workspace
 
 # Criterion micro-benchmarks (includes the store query-latency bench).

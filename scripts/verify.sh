@@ -24,7 +24,10 @@ step() {
 step cargo build --release
 step cargo test -q --release
 
-# Full workspace tests (every crate, benches/examples compiled).
+# Full workspace tests in BOTH profiles: debug catches debug_asserts and
+# overflow panics on the untrusted read path; release catches the wrapping
+# behavior the same bugs turn into when debug checks are compiled out.
+step cargo test -q --workspace
 step cargo test -q --release --workspace
 
 # Formatting and lints, when the components exist.

@@ -168,3 +168,80 @@ fn store_random_garbage_never_panics() {
         assert!(store_decode_all(&buf).is_err());
     }
 }
+
+/// Corrupts one byte in each of `targets` = (field index, chunk index),
+/// located exactly via the store index.
+fn corrupt_chunks(bytes: &mut [u8], targets: &[(usize, usize)]) {
+    let (_, fields, payload) = zmesh_suite::store::open_parts(bytes).expect("open parts");
+    let offsets: Vec<usize> = targets
+        .iter()
+        .map(|&(f, c)| payload.start + fields[f].chunks[c].offset as usize)
+        .collect();
+    for pos in offsets {
+        bytes[pos] ^= 0xff;
+    }
+}
+
+#[test]
+fn salvage_report_names_exactly_the_injected_chunks() {
+    use zmesh_suite::store::{ReadPolicy, StoreError};
+
+    let clean = store();
+    let full = StoreReader::open(&clean)
+        .expect("open clean")
+        .decode_field("temperature")
+        .expect("clean decode");
+
+    // Inject damage into exactly these chunks of field 0 ("temperature");
+    // field 1 stays intact.
+    let injected = [(0usize, 0usize), (0, 2)];
+    let mut bytes = clean.clone();
+    corrupt_chunks(&mut bytes, &injected);
+
+    // Strict: typed per-chunk CRC error, nothing salvaged.
+    let strict = StoreReader::open(&bytes).expect("open");
+    assert!(matches!(
+        strict.decode_field("temperature"),
+        Err(StoreError::ChunkCrc { .. })
+    ));
+
+    // Salvage: succeeds, and the report lists exactly the injected chunks.
+    let reader = StoreReader::open(&bytes)
+        .expect("open")
+        .with_read_policy(ReadPolicy::Salvage);
+    let (field, report) = reader
+        .decode_field_with_report("temperature")
+        .expect("salvage decode");
+    let mut reported: Vec<(usize, usize)> = report
+        .chunks
+        .iter()
+        .map(|d| {
+            assert_eq!(d.field, "temperature");
+            assert!(d.values_lost > 0);
+            assert!(!d.byte_range.is_empty());
+            (0, d.chunk)
+        })
+        .collect();
+    reported.sort_unstable();
+    assert_eq!(reported, injected, "report must name exactly what was hit");
+
+    // Surviving cells are bit-identical to the clean decode; lost cells
+    // are NaN, and there are exactly as many as the report claims.
+    let mut nan = 0usize;
+    for (a, b) in field.values().iter().zip(full.values()) {
+        if a.is_nan() {
+            nan += 1;
+        } else {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    assert_eq!(nan, report.total_values_lost());
+    assert_eq!(report.values_lost_in("temperature"), nan);
+    assert_eq!(report.values_lost_in("pressure"), 0);
+
+    // The untouched field decodes undamaged under the same policy.
+    let (_, untouched) = reader
+        .decode_field_with_report("pressure")
+        .expect("clean field");
+    assert!(untouched.is_empty());
+}

@@ -1,0 +1,148 @@
+//! Panic-safety property suite for the untrusted read path.
+//!
+//! Every parser that accepts bytes from disk — the v1 container
+//! ([`zmesh::ContainerHeader::parse`], [`Pipeline::decompress`]) and the
+//! v2 store ([`zmesh_suite::store::open_parts`], [`StoreReader::open`]) —
+//! must return an `Err` on hostile input, never panic, abort, or wrap
+//! around. The suite feeds each of them:
+//!
+//! * truncations of a valid artifact at every kind of boundary,
+//! * multi-bit flips of a valid artifact (which may land in varint
+//!   length fields, CRCs, or payload),
+//! * runs of `0xff` splatted over a valid artifact (the worst case for
+//!   LEB128-style varint lengths: maximal continuation bytes),
+//! * pure random garbage.
+//!
+//! Failures here are exactly the class fixed by the checked-add hardening
+//! in `read_container` / the store footer parser: in debug builds an
+//! unchecked `pos + len` panics on overflow, in release it wraps and can
+//! slice out of bounds.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::ErrorControl;
+use zmesh_suite::prelude::*;
+use zmesh_suite::store::{self, ReadPolicy, StoreReader, StoreWriter};
+
+fn config() -> CompressionConfig {
+    CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    }
+}
+
+fn refs(ds: &datasets::Dataset) -> Vec<(&str, &AmrField)> {
+    ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect()
+}
+
+/// A valid v1 container, built once.
+fn v1_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = datasets::blast2d(StorageMode::AllCells, Scale::Tiny);
+        Pipeline::new(config())
+            .compress(&refs(&ds))
+            .expect("compress fixture")
+            .bytes
+    })
+}
+
+/// A valid v2 store with several chunks per field, built once.
+fn v2_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+        StoreWriter::new(config())
+            .with_chunk_target_bytes(1024)
+            .write(&refs(&ds))
+            .expect("write fixture")
+            .bytes
+    })
+}
+
+/// Runs every untrusted entry point over `bytes`. Reaching the end of this
+/// function without a panic IS the property; the `Result`s are free to be
+/// `Err` anything.
+fn must_not_panic(bytes: &[u8]) {
+    let _ = zmesh::ContainerHeader::parse(bytes);
+    let _ = Pipeline::list_fields(bytes);
+    let _ = Pipeline::decompress(bytes);
+    let _ = store::open_parts(bytes);
+    for policy in [ReadPolicy::Strict, ReadPolicy::Salvage] {
+        if let Ok(reader) = StoreReader::open(bytes) {
+            let reader = reader.with_read_policy(policy);
+            for name in reader.field_names() {
+                let _ = reader.decode_field_with_report(name);
+                let _ = reader.query(name, &Query::bbox([0, 0, 0], [u32::MAX; 3]));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncated_artifacts_error_instead_of_panicking(
+        v1 in any::<bool>(),
+        frac in 0.0f64..1.0,
+    ) {
+        let valid = if v1 { v1_bytes() } else { v2_bytes() };
+        let cut = ((valid.len() as f64) * frac) as usize;
+        must_not_panic(&valid[..cut.min(valid.len())]);
+    }
+
+    #[test]
+    fn bit_flipped_artifacts_error_instead_of_panicking(
+        v1 in any::<bool>(),
+        flips in prop::collection::vec((0usize..1 << 16, 0u8..8), 1..8),
+    ) {
+        let valid = if v1 { v1_bytes() } else { v2_bytes() };
+        let mut bytes = valid.to_vec();
+        for (pos, bit) in flips {
+            let i = pos % bytes.len();
+            bytes[i] ^= 1 << bit;
+        }
+        must_not_panic(&bytes);
+    }
+
+    #[test]
+    fn varint_mangled_artifacts_error_instead_of_panicking(
+        v1 in any::<bool>(),
+        start in 0usize..1 << 16,
+        run in 1usize..32,
+        fill in prop::sample::select(&[0xffu8, 0x80, 0x7f, 0x00][..]),
+    ) {
+        // Saturate a run of bytes with varint worst cases: all-ones and
+        // continuation-bit patterns decode as huge or never-ending LEB128
+        // lengths wherever they land on a length field.
+        let valid = if v1 { v1_bytes() } else { v2_bytes() };
+        let mut bytes = valid.to_vec();
+        let start = start % bytes.len();
+        let end = (start + run).min(bytes.len());
+        bytes[start..end].fill(fill);
+        must_not_panic(&bytes);
+    }
+
+    #[test]
+    fn random_garbage_errors_instead_of_panicking(
+        bytes in prop::collection::vec(any::<u8>(), 0..4096),
+        magic in any::<bool>(),
+    ) {
+        // Half the cases get a valid magic prefix so parsing proceeds past
+        // the first gate into the length-field logic.
+        let mut bytes = bytes;
+        if magic && bytes.len() >= 4 {
+            let m = if bytes[0] & 1 == 0 {
+                zmesh::CONTAINER_MAGIC
+            } else {
+                &store::STORE_MAGIC
+            };
+            bytes[..4].copy_from_slice(m);
+        }
+        must_not_panic(&bytes);
+    }
+}
