@@ -1,12 +1,13 @@
-//! Criterion bench: v2 store region-query latency vs full decode, and
-//! recipe-cache amortization on multi-field writes.
+//! Criterion bench: v2/v3 store region-query latency vs full decode,
+//! recipe-cache amortization on multi-field writes, and the self-healing
+//! path (parity write overhead, scrub throughput, single-chunk repair).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use zmesh::{CompressionConfig, OrderingPolicy};
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::StorageMode;
 use zmesh_codecs::{CodecKind, ErrorControl};
-use zmesh_store::{Query, RecipeCache, StoreReader, StoreWriter};
+use zmesh_store::{faultinject, Query, RecipeCache, StoreReader, StoreWriter};
 
 fn config() -> CompressionConfig {
     CompressionConfig {
@@ -81,6 +82,53 @@ fn bench_store(c: &mut Criterion) {
     });
     g.bench_function("parallel", |b| {
         b.iter(|| encode_writer.write(black_box(&fields)).unwrap())
+    });
+    g.finish();
+
+    // Self-healing: what parity costs on write, and what scrub/repair cost
+    // on read. The overhead print backs the acceptance criterion that the
+    // parity section stays ≤ ~1/group-width of the payload.
+    let mut g = c.benchmark_group("store_self_heal");
+    g.throughput(Throughput::Bytes(ds.nbytes() as u64));
+    for width in [0u32, 8] {
+        let out = StoreWriter::new(config())
+            .with_chunk_target_bytes(8 * 1024)
+            .with_parity_group_width(width)
+            .write(&fields)
+            .expect("write store");
+        if width > 0 {
+            eprintln!(
+                "store_self_heal: width {width}: parity overhead {:.4} \
+                 ({} parity bytes over {} payload bytes, {} groups)",
+                out.stats.parity_overhead(),
+                out.stats.parity_bytes,
+                out.stats.payload_bytes,
+                out.stats.parity_groups,
+            );
+        }
+        g.bench_function(format!("write_parity_width_{width}"), |b| {
+            b.iter(|| {
+                StoreWriter::new(config())
+                    .with_chunk_target_bytes(8 * 1024)
+                    .with_parity_group_width(width)
+                    .write(black_box(&fields))
+                    .unwrap()
+            })
+        });
+    }
+    let clean = StoreWriter::new(config())
+        .with_chunk_target_bytes(8 * 1024)
+        .write(&fields)
+        .expect("write store")
+        .bytes;
+    g.throughput(Throughput::Bytes(clean.len() as u64));
+    g.bench_function("scrub_clean", |b| {
+        b.iter(|| zmesh_store::scrub(black_box(&clean)).unwrap())
+    });
+    let mut damaged = clean.clone();
+    faultinject::flip_data_chunk(&mut damaged, 0, 0);
+    g.bench_function("repair_one_chunk", |b| {
+        b.iter(|| zmesh_store::repair(black_box(&damaged), None).unwrap())
     });
     g.finish();
 }

@@ -1,0 +1,130 @@
+//! `faultinject` — inject precisely targeted damage into a zMesh store.
+//!
+//! Shell-level companion to `zmesh_store::faultinject`, used by
+//! `scripts/scrub_smoke.sh` and ad-hoc resilience drills. It locates
+//! chunks through the store's own footer index, so a flip hits exactly
+//! the chunk it names and nothing else.
+//!
+//! ```text
+//! faultinject <store.zms> --data F,C [--data F,C ...]     # flip data chunk C of field F
+//! faultinject <store.zms> --parity F,G [--parity F,G ...] # flip parity chunk of group G
+//! faultinject <store.zms> --random N --seed S             # N seeded random bit flips
+//! faultinject <store.zms> --truncate LEN                  # cut the file to LEN bytes
+//! ```
+//!
+//! All forms rewrite the file in place; pass `-o <out>` to write a copy
+//! instead. Requires `--features faultinject`.
+
+use std::process::ExitCode;
+use zmesh_store::faultinject;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("faultinject: {msg}");
+    eprintln!(
+        "usage: faultinject <store.zms> [-o out] (--data F,C | --parity F,G)... \
+         [--random N --seed S] [--truncate LEN]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_pair(spec: &str) -> Option<(usize, usize)> {
+    let (a, b) = spec.split_once(',')?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut data = Vec::new();
+    let mut parity = Vec::new();
+    let mut random = None;
+    let mut seed = 0u64;
+    let mut truncate = None;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "-o" | "--output" => match value(arg) {
+                Ok(v) => output = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--data" | "--parity" => {
+                let spec = match value(arg) {
+                    Ok(v) => v,
+                    Err(e) => return fail(&e),
+                };
+                let Some(pair) = parse_pair(&spec) else {
+                    return fail(&format!("{arg} {spec:?}: want FIELD,INDEX"));
+                };
+                if arg == "--data" {
+                    data.push(pair);
+                } else {
+                    parity.push(pair);
+                }
+            }
+            "--random" | "--seed" | "--truncate" => {
+                let spec = match value(arg) {
+                    Ok(v) => v,
+                    Err(e) => return fail(&e),
+                };
+                let Ok(n) = spec.parse::<u64>() else {
+                    return fail(&format!("{arg} {spec:?}: want a number"));
+                };
+                match arg.as_str() {
+                    "--random" => random = Some(n as usize),
+                    "--seed" => seed = n,
+                    _ => truncate = Some(n as usize),
+                }
+            }
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let Some(input) = input else {
+        return fail("missing input store");
+    };
+    if data.is_empty() && parity.is_empty() && random.is_none() && truncate.is_none() {
+        return fail("nothing to inject: pass --data, --parity, --random, or --truncate");
+    }
+    let mut bytes = match std::fs::read(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("faultinject: {input}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+
+    for &(f, c) in &data {
+        faultinject::flip_data_chunk(&mut bytes, f, c);
+        eprintln!("flipped data chunk: field {f}, chunk {c}");
+    }
+    for &(f, g) in &parity {
+        faultinject::flip_parity_chunk(&mut bytes, f, g);
+        eprintln!("flipped parity chunk: field {f}, group {g}");
+    }
+    if let Some(n) = random {
+        let flips = faultinject::random_flips(&mut bytes, seed, n);
+        eprintln!("flipped {} random bit(s) (seed {seed})", flips.len());
+    }
+    if let Some(len) = truncate {
+        faultinject::truncate(&mut bytes, len);
+        eprintln!("truncated to {} bytes", bytes.len());
+    }
+
+    let out = output.unwrap_or(input);
+    if let Err(e) = std::fs::write(&out, &bytes) {
+        eprintln!("faultinject: {out}: {e}");
+        return ExitCode::from(3);
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}

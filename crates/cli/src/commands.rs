@@ -7,7 +7,9 @@ use zmesh_amr::datasets::{self, Dataset, Scale};
 use zmesh_amr::{load_dataset, save_dataset, AmrField, DatasetStats, StorageMode};
 use zmesh_codecs::{CodecKind, ErrorControl};
 use zmesh_metrics::ErrorStats;
-use zmesh_store::{DamageReport, Query, ReadPolicy, StoreReader, StoreWriter};
+use zmesh_store::{
+    DamageReport, Query, ReadPolicy, RepairSource, SalvageFill, StoreReader, StoreWriter,
+};
 
 fn parse_scale(args: &Args) -> Result<Scale, CliError> {
     match args.option("scale").unwrap_or("small") {
@@ -189,7 +191,8 @@ pub fn extract(argv: &[String]) -> Result<(), CliError> {
 }
 
 /// `zmesh pack <in.zmd> -o <out.zms> [--policy] [--codec] [--rel-eb|--abs-eb]
-/// [--chunk-kb N]` — write a chunked, indexed v2 store.
+/// [--chunk-kb N] [--parity-width N]` — write a chunked, indexed store
+/// (v3 with XOR parity by default; `--parity-width 0` writes a plain v2).
 pub fn pack(argv: &[String]) -> Result<(), CliError> {
     let args = parse(argv)?;
     let input = positional(&args, 0, "input dataset (.zmd)")?;
@@ -203,50 +206,90 @@ pub fn pack(argv: &[String]) -> Result<(), CliError> {
         }
         writer = writer.with_chunk_target_bytes((kb * 1024.0) as u32);
     }
+    if let Some(w) = args.option("parity-width") {
+        let width: u32 = w
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--parity-width: not a count: {w}")))?;
+        writer = writer.with_parity_group_width(width);
+    }
     let written = writer.write(&field_refs(&ds))?;
     write_file(out, &written.bytes)?;
     let s = written.stats;
     println!(
-        "wrote {out}: {} -> {} bytes (ratio {:.2}) | {} fields x {} chunks, {} index bytes",
+        "wrote {out}: {} -> {} bytes (ratio {:.2}) | {} fields x {} chunks, {} parity bytes ({} groups), {} index bytes",
         s.raw_bytes,
         s.container_bytes,
         s.ratio(),
         s.n_fields,
         s.n_chunks,
+        s.parity_bytes,
+        s.parity_groups,
         s.metadata_bytes,
     );
     Ok(())
 }
 
-/// Prints a one-line-per-field summary of what a salvage read lost.
+/// Prints a per-field summary of what a salvage read repaired or lost.
 fn print_damage(report: &DamageReport) {
     if report.is_empty() {
         return;
     }
+    let repaired = report.repaired().count();
+    let lost = report.lost().count();
     eprintln!(
-        "warning: salvaged read: {} corrupt chunk(s), {} value(s) lost",
+        "warning: salvaged read: {} corrupt chunk(s): {repaired} repaired from parity, {lost} lost ({} value(s) filled with {})",
         report.chunks.len(),
-        report.total_values_lost()
+        report.total_values_lost(),
+        match report.fill {
+            SalvageFill::Nan => "NaN",
+            SalvageFill::Zero => "0.0",
+        },
     );
     for (field, lost) in report.by_field() {
         eprintln!("  field {field:?}: {lost} value(s) lost");
     }
+    for p in &report.parity {
+        eprintln!(
+            "  field {:?}: parity group {} damaged (data intact, healing margin reduced)",
+            p.field, p.group
+        );
+    }
 }
 
-/// `zmesh unpack <in.zms> -o <out.zmd> [--salvage]` — full decode of a v2
-/// store. With `--salvage`, corrupt chunks are skipped (their cells become
-/// NaN) and the damage is summarized on stderr instead of failing.
+/// Parses `--salvage-fill nan|zero`.
+fn parse_salvage_fill(args: &Args) -> Result<Option<SalvageFill>, CliError> {
+    match args.option("salvage-fill") {
+        None => Ok(None),
+        Some("nan") => Ok(Some(SalvageFill::Nan)),
+        Some("zero") => Ok(Some(SalvageFill::Zero)),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown salvage fill {other:?} (nan|zero)"
+        ))),
+    }
+}
+
+/// `zmesh unpack <in.zms> -o <out.zmd> [--salvage] [--salvage-fill nan|zero]`
+/// — full decode of a store. With `--salvage`, corrupt chunks are rebuilt
+/// from parity where possible; what stays lost decodes to the fill value
+/// (NaN by default) and the damage is summarized on stderr instead of
+/// failing. `--salvage-fill` implies `--salvage`.
 pub fn unpack(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse_with_switches(argv, &["salvage"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input store (.zms)")?;
     let out = required(&args, "output")?;
     let bytes = read_file(input)?;
     let mut reader = StoreReader::open(&bytes)?;
-    if args.switch("salvage") {
-        reader = reader.with_read_policy(ReadPolicy::Salvage);
+    let fill = parse_salvage_fill(&args)?;
+    if args.switch("salvage") || fill.is_some() {
+        reader = reader.with_read_policy(ReadPolicy::Salvage {
+            fill: fill.unwrap_or_default(),
+        });
     }
     let mut fields = Vec::new();
-    let mut damage = DamageReport::default();
+    let mut damage = DamageReport {
+        fill: fill.unwrap_or_default(),
+        ..DamageReport::default()
+    };
     for name in reader.field_names() {
         let name = name.to_string();
         let (field, report) = reader.decode_field_with_report(&name)?;
@@ -262,10 +305,95 @@ pub fn unpack(argv: &[String]) -> Result<(), CliError> {
     save_dataset(out, &ds)?;
     print_damage(&damage);
     println!(
-        "wrote {out}: {} quantities restored from v2 store",
-        ds.fields.len()
+        "wrote {out}: {} quantities restored from v{} store",
+        ds.fields.len(),
+        reader.header().version,
     );
     Ok(())
+}
+
+/// `zmesh scrub <in.zms>` — verify every data and parity chunk's CRC
+/// without decoding payloads and print a JSON damage summary on stdout.
+/// Exit 0 when clean, 6 when all damage is parity-recoverable, 4 when any
+/// chunk is beyond parity.
+pub fn scrub(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input store (.zms)")?;
+    let bytes = read_file(input)?;
+    let report = zmesh_store::scrub(&bytes)?;
+    println!("{}", report.to_json());
+    if !report.parity_available {
+        eprintln!(
+            "note: no parity available (v{} store, width 0): damage is not self-healable",
+            report.version
+        );
+    }
+    if report.is_clean() {
+        Ok(())
+    } else if report.unrecoverable() == 0 {
+        Err(CliError::Recoverable(format!(
+            "{} damaged chunk(s), all recoverable — run `zmesh repair`",
+            report.damaged.len()
+        )))
+    } else {
+        Err(CliError::Corrupt(format!(
+            "{} damaged chunk(s), {} beyond parity recovery",
+            report.damaged.len(),
+            report.unrecoverable()
+        )))
+    }
+}
+
+/// `zmesh repair <in.zms> -o <out.zms> [--replica <other.zms>]` — rewrite
+/// a damaged store by rebuilding chunks from parity (and, with
+/// `--replica`, from a structurally identical second copy). The output is
+/// written only when every chunk was recovered; otherwise the losses are
+/// listed and the exit code is 4.
+pub fn repair(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let input = positional(&args, 0, "input store (.zms)")?;
+    let out = required(&args, "output")?;
+    let bytes = read_file(input)?;
+    let replica = args.option("replica").map(read_file).transpose()?;
+    let outcome = zmesh_store::repair(&bytes, replica.as_deref())?;
+    for r in &outcome.repaired {
+        println!(
+            "repaired field {:?} chunk {} from {}",
+            r.field,
+            r.chunk,
+            match r.source {
+                RepairSource::Parity => "parity",
+                RepairSource::Replica => "replica",
+            }
+        );
+    }
+    if outcome.parity_rebuilt > 0 {
+        println!("rebuilt {} parity chunk(s)", outcome.parity_rebuilt);
+    }
+    match outcome.bytes {
+        Some(repaired) => {
+            write_file(out, &repaired)?;
+            println!(
+                "wrote {out}: {} chunk(s) repaired, store verified clean",
+                outcome.repaired.len()
+            );
+            Ok(())
+        }
+        None => {
+            for l in &outcome.lost {
+                eprintln!("lost: field {:?} chunk {}: {}", l.field, l.chunk, l.error);
+            }
+            Err(CliError::Corrupt(format!(
+                "{} chunk(s) unrecoverable{}; no output written",
+                outcome.lost.len(),
+                if replica.is_some() {
+                    " even with the replica"
+                } else {
+                    " (try --replica <copy>)"
+                },
+            )))
+        }
+    }
 }
 
 /// Parses `x0,y0[,z0]:x1,y1[,z1]` into inclusive finest-grid corners.
@@ -308,7 +436,7 @@ pub fn query(argv: &[String]) -> Result<(), CliError> {
     let bytes = read_file(input)?;
     let mut reader = StoreReader::open(&bytes)?;
     if args.switch("salvage") {
-        reader = reader.with_read_policy(ReadPolicy::Salvage);
+        reader = reader.with_read_policy(ReadPolicy::salvage());
     }
     let result = reader.query(name, &q)?;
     print_damage(&result.damage);
@@ -339,7 +467,7 @@ pub fn query(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `zmesh info <file>` — dataset, v1 container, or v2 store, by magic.
+/// `zmesh info <file>` — dataset, v1 container, or v2/v3 store, by magic.
 pub fn info(argv: &[String]) -> Result<(), CliError> {
     let args = parse(argv)?;
     let input = positional(&args, 0, "input file")?;
@@ -349,12 +477,18 @@ pub fn info(argv: &[String]) -> Result<(), CliError> {
         let h = reader.header();
         let tree = reader.tree();
         println!(
-            "zMesh v2 store: policy {:?}, codec {}, {} fields, {} bytes total ({} KiB chunk target)",
+            "zMesh v{} store: policy {:?}, codec {}, {} fields, {} bytes total ({} KiB chunk target, {})",
+            h.version,
             h.policy,
             h.codec.label(),
             reader.fields().len(),
             bytes.len(),
             h.chunk_target_bytes / 1024,
+            if h.capabilities().parity {
+                format!("parity width {}", h.parity_group_width)
+            } else {
+                "no parity".to_string()
+            },
         );
         println!(
             "  mesh: {:?}, {} cells ({} leaves), {} levels",
@@ -366,9 +500,10 @@ pub fn info(argv: &[String]) -> Result<(), CliError> {
         for entry in reader.fields() {
             let payload: u64 = entry.chunks.iter().map(|c| c.len).sum();
             println!(
-                "  field {:?}: {} chunks, {} payload bytes{}",
+                "  field {:?}: {} chunks (+{} parity), {} payload bytes{}",
                 entry.name,
                 entry.chunks.len(),
+                entry.parity.len(),
                 payload,
                 match entry.resolved_bound {
                     Some(b) => format!(", abs bound {b:.3e}"),

@@ -3,13 +3,17 @@
 //! Scripts driving `zmesh` can branch on the exit status instead of
 //! scraping stderr:
 //!
-//! | code | meaning                                         |
-//! |------|-------------------------------------------------|
-//! | 0    | success                                         |
-//! | 2    | usage error (bad flags, unknown name/field)     |
-//! | 3    | I/O error (missing file, unwritable output)     |
-//! | 4    | corrupt or truncated container / dataset        |
-//! | 5    | verification failed (data exceeded error bound) |
+//! | code | meaning                                              |
+//! |------|------------------------------------------------------|
+//! | 0    | success                                              |
+//! | 2    | usage error (bad flags, unknown name/field)          |
+//! | 3    | I/O error (missing file, unwritable output)          |
+//! | 4    | corrupt or truncated container / dataset             |
+//! | 5    | verification failed (data exceeded error bound)      |
+//! | 6    | damage found, but all of it is parity-recoverable    |
+//!
+//! Code 6 lets a monitoring loop distinguish "run `zmesh repair` now" from
+//! "restore from backup" (code 4) without parsing the scrub report.
 
 use std::fmt;
 use zmesh::ZmeshError;
@@ -29,6 +33,10 @@ pub enum CliError {
     Corrupt(String),
     /// `zmesh verify` found values outside the bound. Exit code 5.
     Verify(String),
+    /// `zmesh scrub` found damage, but every damaged chunk can be rebuilt
+    /// from parity — `zmesh repair` will restore the store bit-exactly.
+    /// Exit code 6.
+    Recoverable(String),
 }
 
 impl CliError {
@@ -39,6 +47,7 @@ impl CliError {
             CliError::Io(_) => 3,
             CliError::Corrupt(_) => 4,
             CliError::Verify(_) => 5,
+            CliError::Recoverable(_) => 6,
         }
     }
 
@@ -55,6 +64,7 @@ impl fmt::Display for CliError {
             CliError::Io(msg) => write!(f, "{msg}"),
             CliError::Corrupt(msg) => write!(f, "{msg}"),
             CliError::Verify(msg) => write!(f, "{msg}"),
+            CliError::Recoverable(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -97,6 +107,7 @@ mod tests {
             CliError::Io(String::new()),
             CliError::Corrupt(String::new()),
             CliError::Verify(String::new()),
+            CliError::Recoverable(String::new()),
         ];
         let mut codes: Vec<u8> = all.iter().map(|e| e.exit_code()).collect();
         codes.sort_unstable();

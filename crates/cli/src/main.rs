@@ -6,15 +6,17 @@
 //!                                     [--codec sz|zfp] [--rel-eb 1e-4 | --abs-eb X]
 //! zmesh decompress data.zmc -o restored.zmd
 //! zmesh extract data.zmc --field <name> -o field.zmd
-//! zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64]
-//! zmesh unpack data.zms -o restored.zmd [--salvage]
+//! zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64] [--parity-width 8]
+//! zmesh unpack data.zms -o restored.zmd [--salvage] [--salvage-fill nan|zero]
 //! zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L] [--salvage] [-o out.csv]
+//! zmesh scrub data.zms
+//! zmesh repair data.zms -o repaired.zms [--replica copy.zms]
 //! zmesh info <file.zmd | file.zmc | file.zms>
 //! zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage, 3 I/O, 4 corrupt input, 5 verification
-//! failure (see [`error::CliError`]).
+//! failure, 6 recoverable damage (see [`error::CliError`]).
 
 mod args;
 mod commands;
@@ -48,6 +50,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "pack" => commands::pack(rest),
         "unpack" => commands::unpack(rest),
         "query" => commands::query(rest),
+        "scrub" => commands::scrub(rest),
+        "repair" => commands::repair(rest),
         "info" => commands::info(rest),
         "verify" => commands::verify(rest),
         "--help" | "-h" | "help" => {
@@ -70,12 +74,14 @@ fn print_usage() {
          \x20                                     [--codec sz|zfp] [--rel-eb 1e-4 | --abs-eb X]\n\
          \x20 zmesh decompress data.zmc -o restored.zmd\n\
          \x20 zmesh extract data.zmc --field <name> -o field.zmd\n\
-         \x20 zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64]\n\
-         \x20 zmesh unpack data.zms -o restored.zmd [--salvage]\n\
+         \x20 zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64] [--parity-width 8]\n\
+         \x20 zmesh unpack data.zms -o restored.zmd [--salvage] [--salvage-fill nan|zero]\n\
          \x20 zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L[,L...]] [--salvage] [-o out.csv]\n\
+         \x20 zmesh scrub data.zms\n\
+         \x20 zmesh repair data.zms -o repaired.zms [--replica copy.zms]\n\
          \x20 zmesh info <file.zmd | file.zmc | file.zms>\n\
          \x20 zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]\n\n\
-         exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt input, 5 verify failure\n\
+         exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt input, 5 verify failure, 6 recoverable damage\n\
          presets: {}",
         zmesh_amr::datasets::names().join(", ")
     );

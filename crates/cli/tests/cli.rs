@@ -227,7 +227,7 @@ fn store_workflow_pack_query_unpack() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("chunks"), "no chunk count in: {stdout}");
 
-    // info recognizes the v2 store and reports its index.
+    // info recognizes the v3 store and reports its index + parity width.
     let out = zmesh()
         .args(["info", zms.to_str().unwrap()])
         .output()
@@ -239,7 +239,7 @@ fn store_workflow_pack_query_unpack() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("v2 store") && stdout.contains("chunks"),
+        stdout.contains("v3 store") && stdout.contains("chunks") && stdout.contains("parity"),
         "info said: {stdout}"
     );
 
@@ -484,18 +484,19 @@ fn salvage_tolerates_chunk_corruption_strict_exits_4() {
     }
 
     // Flip one byte inside the first chunk of the first field, located
-    // precisely via the store index so only that chunk is damaged.
+    // precisely via the fault-injection harness so only that chunk is
+    // damaged.
     let mut bytes = std::fs::read(&zms).expect("read store");
-    let (_, fields, payload) = zmesh_store::open_parts(&bytes).expect("open store");
-    let meta = fields[0].chunks[0];
+    let (_, fields, _) = zmesh_store::open_parts(&bytes).expect("open store");
     assert!(fields[0].chunks.len() > 1, "need multiple chunks");
+    let field_name = fields[0].name.clone();
     let whole_domain = {
         let reader = zmesh_store::StoreReader::open(&bytes).expect("open");
         let tree = reader.tree();
         let dims = tree.level_dims(tree.max_level());
         format!("0,0:{},{}", dims[0] - 1, dims[1] - 1)
     };
-    bytes[payload.start + meta.offset as usize] ^= 0xff;
+    zmesh_store::faultinject::flip_data_chunk(&mut bytes, 0, 0);
     std::fs::write(&broken, &bytes).expect("write corrupted store");
 
     let code = |args: &[&str]| zmesh().args(args).output().expect("run").status.code();
@@ -510,14 +511,15 @@ fn salvage_tolerates_chunk_corruption_strict_exits_4() {
             "query",
             broken.to_str().unwrap(),
             "--field",
-            &fields[0].name,
+            &field_name,
             "--bbox",
             &whole_domain,
         ]),
         Some(4)
     );
 
-    // --salvage succeeds and reports the loss on stderr.
+    // --salvage succeeds; with v3 parity the single damaged chunk is
+    // repaired in-flight rather than lost, and stderr says so.
     let out = zmesh()
         .args([
             "unpack",
@@ -535,7 +537,9 @@ fn salvage_tolerates_chunk_corruption_strict_exits_4() {
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("salvaged") && stderr.contains("1 corrupt chunk"),
+        stderr.contains("salvaged")
+            && stderr.contains("1 corrupt chunk")
+            && stderr.contains("1 repaired from parity"),
         "no damage summary in: {stderr}"
     );
     assert!(restored.exists());
@@ -545,7 +549,7 @@ fn salvage_tolerates_chunk_corruption_strict_exits_4() {
             "query",
             broken.to_str().unwrap(),
             "--field",
-            &fields[0].name,
+            &field_name,
             "--bbox",
             &whole_domain,
             "--salvage",
@@ -564,6 +568,243 @@ fn salvage_tolerates_chunk_corruption_strict_exits_4() {
     assert!(rows.lines().count() > 1, "survivors expected in csv");
 
     for f in [zmd, zms, broken, restored, csv] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn scrub_and_repair_self_heal_workflow() {
+    let zmd = tmp("heal.zmd");
+    let zms = tmp("heal.zms");
+    let broken = tmp("heal_broken.zms");
+    let repaired = tmp("heal_repaired.zms");
+    let double = tmp("heal_double.zms");
+    let rescued = tmp("heal_rescued.zms");
+
+    for args in [
+        vec![
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ],
+        vec![
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            zms.to_str().unwrap(),
+            "--chunk-kb",
+            "1",
+        ],
+    ] {
+        let out = zmesh().args(&args).output().expect("run");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let pristine = std::fs::read(&zms).expect("read store");
+    let (_, fields, _) = zmesh_store::open_parts(&pristine).expect("open store");
+    assert!(fields[0].chunks.len() > 2, "need several chunks per group");
+
+    let code = |args: &[&str]| zmesh().args(args).output().expect("run").status.code();
+
+    // A pristine store scrubs clean: exit 0, machine-readable report.
+    let out = zmesh()
+        .args(["scrub", zms.to_str().unwrap()])
+        .output()
+        .expect("run scrub");
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"clean\":true") && json.contains("\"parity_available\":true"),
+        "scrub said: {json}"
+    );
+
+    // One flipped chunk: exit 6 (recoverable), and repair restores the
+    // container byte for byte.
+    let mut bytes = pristine.clone();
+    zmesh_store::faultinject::flip_data_chunk(&mut bytes, 0, 1);
+    std::fs::write(&broken, &bytes).expect("write");
+    let out = zmesh()
+        .args(["scrub", broken.to_str().unwrap()])
+        .output()
+        .expect("run scrub");
+    assert_eq!(out.status.code(), Some(6), "recoverable damage exits 6");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"recoverable\":1"));
+
+    let out = zmesh()
+        .args([
+            "repair",
+            broken.to_str().unwrap(),
+            "-o",
+            repaired.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repair");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("parity"));
+    assert_eq!(
+        std::fs::read(&repaired).expect("read repaired"),
+        pristine,
+        "repair must be byte-identical to the pristine store"
+    );
+
+    // Two flipped chunks in the same parity group: beyond parity (exit 4),
+    // repair refuses to write, but a replica rescues it bit-exactly.
+    let mut bytes = pristine.clone();
+    zmesh_store::faultinject::flip_data_chunk(&mut bytes, 0, 0);
+    zmesh_store::faultinject::flip_data_chunk(&mut bytes, 0, 1);
+    std::fs::write(&double, &bytes).expect("write");
+    assert_eq!(code(&["scrub", double.to_str().unwrap()]), Some(4));
+    assert_eq!(
+        code(&[
+            "repair",
+            double.to_str().unwrap(),
+            "-o",
+            rescued.to_str().unwrap(),
+        ]),
+        Some(4),
+        "repair without a replica cannot recover a double fault"
+    );
+    assert!(!rescued.exists(), "no output on failed repair");
+    let out = zmesh()
+        .args([
+            "repair",
+            double.to_str().unwrap(),
+            "-o",
+            rescued.to_str().unwrap(),
+            "--replica",
+            zms.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repair --replica");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(&rescued).expect("read rescued"), pristine);
+
+    // A parity-less (v2) store still scrubs, reporting no self-healing.
+    let v2 = tmp("heal_v2.zms");
+    let out = zmesh()
+        .args([
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            v2.to_str().unwrap(),
+            "--parity-width",
+            "0",
+        ])
+        .output()
+        .expect("run pack --parity-width 0");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = zmesh()
+        .args(["scrub", v2.to_str().unwrap()])
+        .output()
+        .expect("run scrub v2");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"parity_available\":false"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no parity"));
+    let out = zmesh()
+        .args(["info", v2.to_str().unwrap()])
+        .output()
+        .expect("run info v2");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("v2 store"));
+
+    for f in [zmd, zms, broken, repaired, double, rescued, v2] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn salvage_fill_zero_replaces_lost_cells() {
+    let zmd = tmp("fill.zmd");
+    let zms = tmp("fill.zms");
+    let restored = tmp("fill_restored.zmd");
+
+    for args in [
+        vec![
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ],
+        // No parity: damage cannot be healed, so the fill is observable.
+        vec![
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            zms.to_str().unwrap(),
+            "--chunk-kb",
+            "1",
+            "--parity-width",
+            "0",
+        ],
+    ] {
+        let out = zmesh().args(&args).output().expect("run");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let mut bytes = std::fs::read(&zms).expect("read store");
+    zmesh_store::faultinject::flip_data_chunk(&mut bytes, 0, 0);
+    std::fs::write(&zms, &bytes).expect("write");
+
+    // --salvage-fill implies --salvage; stderr reports the chosen fill.
+    let out = zmesh()
+        .args([
+            "unpack",
+            zms.to_str().unwrap(),
+            "-o",
+            restored.to_str().unwrap(),
+            "--salvage-fill",
+            "zero",
+        ])
+        .output()
+        .expect("run unpack --salvage-fill zero");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("salvaged") && stderr.contains("0.0"),
+        "fill not reported: {stderr}"
+    );
+
+    // Bogus fill name is a usage error.
+    let out = zmesh()
+        .args([
+            "unpack",
+            zms.to_str().unwrap(),
+            "-o",
+            "/dev/null",
+            "--salvage-fill",
+            "infinity",
+        ])
+        .output()
+        .expect("run unpack bad fill");
+    assert_eq!(out.status.code(), Some(2));
+
+    for f in [zmd, zms, restored] {
         let _ = std::fs::remove_file(f);
     }
 }

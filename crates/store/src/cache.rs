@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use zmesh::{GroupingMode, OrderingPolicy, RestoreRecipe};
 use zmesh_amr::AmrTree;
 
@@ -56,6 +56,10 @@ pub struct CacheStats {
     /// 64-bit hash collision); counted as misses too, since the recipe was
     /// rebuilt.
     pub collisions: u64,
+    /// Times the cache recovered from a poisoned mutex (a panic in another
+    /// thread while it held the lock). Each recovery drops every cached
+    /// recipe, so later lookups rebuild instead of crashing.
+    pub poison_recoveries: u64,
     /// Recipes currently cached.
     pub entries: usize,
 }
@@ -71,6 +75,7 @@ pub struct RecipeCache {
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
+    poison_recoveries: AtomicU64,
     capacity: usize,
 }
 
@@ -98,7 +103,27 @@ impl RecipeCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
             capacity,
+        }
+    }
+
+    /// Locks the map, recovering from poisoning: a panic in another thread
+    /// while it held the lock must not take down every later reader. The
+    /// panicking thread may have left the map/order pair mid-update, so
+    /// the recovered cache is **cleared** — dropping cached recipes is
+    /// always safe (they get rebuilt), serving a half-updated map is not.
+    fn lock_map(&self) -> MutexGuard<'_, CacheMap> {
+        match self.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.map.clear_poison();
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                let mut guard = poisoned.into_inner();
+                guard.0.clear();
+                guard.1.clear();
+                guard
+            }
         }
     }
 
@@ -138,7 +163,7 @@ impl RecipeCache {
         structure: &[u8],
     ) -> (Arc<RestoreRecipe>, bool) {
         let mut collided = false;
-        if let Some(entry) = self.map.lock().unwrap().0.get(&key) {
+        if let Some(entry) = self.lock_map().0.get(&key) {
             if entry.structure[..] == *structure {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return (Arc::clone(&entry.recipe), true);
@@ -156,7 +181,7 @@ impl RecipeCache {
             structure: structure.into(),
             recipe: Arc::clone(&recipe),
         };
-        let mut guard = self.map.lock().unwrap();
+        let mut guard = self.lock_map();
         let (map, order) = &mut *guard;
         if collided || !map.contains_key(&key) {
             if !map.contains_key(&key) && map.len() >= self.capacity {
@@ -176,13 +201,14 @@ impl RecipeCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             collisions: self.collisions.load(Ordering::Relaxed),
-            entries: self.map.lock().unwrap().0.len(),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            entries: self.lock_map().0.len(),
         }
     }
 
     /// Drops every cached recipe (counters are kept).
     pub fn clear(&self) {
-        let mut guard = self.map.lock().unwrap();
+        let mut guard = self.lock_map();
         guard.0.clear();
         guard.1.clear();
     }
@@ -215,6 +241,7 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 collisions: 0,
+                poison_recoveries: 0,
                 entries: 1
             }
         );
@@ -266,6 +293,38 @@ mod tests {
         // The replacement now serves t4 as a verified hit.
         let (_, hit_c) = cache.get_or_build_keyed(forged, &t4, &s4);
         assert!(hit_c);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_propagating() {
+        let cache = Arc::new(RecipeCache::new());
+        let t = tree(8);
+        let s = t.structure_bytes();
+        // Warm the cache so there is something to lose.
+        cache.get_or_build(&t, &s, OrderingPolicy::Hilbert, GroupingMode::LeafOnly);
+
+        // Poison the mutex: a thread panics while holding the lock.
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.map.lock().unwrap();
+            panic!("deliberate panic while holding the cache lock");
+        })
+        .join();
+        assert!(cache.map.is_poisoned());
+
+        // Every entry point must keep working. The poisoned map was
+        // cleared, so the first lookup is a rebuild, the second a hit.
+        let (a, hit) = cache.get_or_build(&t, &s, OrderingPolicy::Hilbert, GroupingMode::LeafOnly);
+        assert!(!hit, "recovery clears the cache, so this must rebuild");
+        assert_eq!(a.len(), t.leaf_count());
+        let (_, hit) = cache.get_or_build(&t, &s, OrderingPolicy::Hilbert, GroupingMode::LeafOnly);
+        assert!(hit);
+        let stats = cache.stats();
+        assert!(stats.poison_recoveries >= 1);
+        assert_eq!(stats.entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert!(!cache.map.is_poisoned());
     }
 
     #[test]

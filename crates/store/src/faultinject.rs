@@ -1,0 +1,164 @@
+//! Fault injection for store bytes — the one audited way tests damage a
+//! container.
+//!
+//! Robustness tests used to scatter ad-hoc "flip a byte at this offset"
+//! code; every helper here instead locates a target through the store's
+//! own (trusted, index-CRC-protected) footer and mutates exactly the bytes
+//! it names, so an injected fault damages what the test *says* it damages
+//! — a data chunk, a parity chunk, a trailer — and nothing else.
+//!
+//! Compiled only for tests and under the `testing` cargo feature; helpers
+//! panic on invalid targets (they are test tooling, not production code).
+
+use crate::format;
+use std::ops::Range;
+
+/// Byte range of data chunk `chunk` of field `field_idx` within `bytes`.
+///
+/// Panics when `bytes` is not a parseable store or the indices are out of
+/// range.
+pub fn chunk_byte_range(bytes: &[u8], field_idx: usize, chunk: usize) -> Range<usize> {
+    let (_, fields, payload) = format::open(bytes).expect("faultinject: store must parse");
+    let meta = fields[field_idx].chunks[chunk];
+    let lo = payload.start + meta.offset as usize;
+    lo..lo + meta.len as usize
+}
+
+/// Byte range of parity chunk `group` of field `field_idx` within `bytes`.
+///
+/// Panics when the store parses without parity (v2 / width 0) or the
+/// indices are out of range.
+pub fn parity_byte_range(bytes: &[u8], field_idx: usize, group: usize) -> Range<usize> {
+    let (_, fields, payload) = format::open(bytes).expect("faultinject: store must parse");
+    let meta = fields[field_idx].parity[group];
+    let lo = payload.start + meta.offset as usize;
+    lo..lo + meta.len as usize
+}
+
+/// Corrupts data chunk `chunk` of field `field_idx` by inverting its first
+/// payload byte (guaranteed to fail the chunk CRC).
+pub fn flip_data_chunk(bytes: &mut [u8], field_idx: usize, chunk: usize) {
+    let range = chunk_byte_range(bytes, field_idx, chunk);
+    assert!(!range.is_empty(), "faultinject: empty chunk payload");
+    bytes[range.start] ^= 0xff;
+}
+
+/// Corrupts parity chunk `group` of field `field_idx` by inverting its
+/// first payload byte.
+pub fn flip_parity_chunk(bytes: &mut [u8], field_idx: usize, group: usize) {
+    let range = parity_byte_range(bytes, field_idx, group);
+    assert!(!range.is_empty(), "faultinject: empty parity payload");
+    bytes[range.start] ^= 0xff;
+}
+
+/// Flips bit `bit` of byte `idx`.
+pub fn flip_bit(bytes: &mut [u8], idx: usize, bit: u8) {
+    bytes[idx] ^= 1 << (bit % 8);
+}
+
+/// Overwrites `len` bytes starting at `start` with `fill` (saturated to
+/// the buffer).
+pub fn splat(bytes: &mut [u8], start: usize, len: usize, fill: u8) {
+    let end = start.saturating_add(len).min(bytes.len());
+    if start < end {
+        bytes[start..end].fill(fill);
+    }
+}
+
+/// Truncates the buffer to `len` bytes.
+pub fn truncate(bytes: &mut Vec<u8>, len: usize) {
+    bytes.truncate(len);
+}
+
+/// A tiny deterministic PRNG (64-bit LCG, splitmix-style output) so fault
+/// campaigns are reproducible from a seed without any dependency.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// PRNG seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Flips `count` pseudo-random bits anywhere in `bytes`, deterministically
+/// from `seed`. Returns the flipped (byte, bit) positions.
+pub fn random_flips(bytes: &mut [u8], seed: u64, count: usize) -> Vec<(usize, u8)> {
+    assert!(!bytes.is_empty(), "faultinject: empty buffer");
+    let mut rng = Lcg::new(seed);
+    let mut flipped = Vec::with_capacity(count);
+    for _ in 0..count {
+        let idx = rng.below(bytes.len());
+        let bit = (rng.next_u64() % 8) as u8;
+        flip_bit(bytes, idx, bit);
+        flipped.push((idx, bit));
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::StoreWriter;
+    use zmesh::CompressionConfig;
+    use zmesh_amr::{datasets, AmrField, StorageMode};
+
+    fn store() -> Vec<u8> {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let fields: Vec<(&str, &AmrField)> =
+            ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+        StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(512)
+            .write(&fields)
+            .unwrap()
+            .bytes
+    }
+
+    #[test]
+    fn flips_damage_exactly_the_named_target() {
+        let clean = store();
+        let mut bytes = clean.clone();
+        flip_data_chunk(&mut bytes, 0, 1);
+        let diff: Vec<usize> = (0..bytes.len()).filter(|&i| bytes[i] != clean[i]).collect();
+        assert_eq!(diff.len(), 1);
+        assert!(chunk_byte_range(&clean, 0, 1).contains(&diff[0]));
+
+        let mut bytes = clean.clone();
+        flip_parity_chunk(&mut bytes, 1, 0);
+        let diff: Vec<usize> = (0..bytes.len()).filter(|&i| bytes[i] != clean[i]).collect();
+        assert_eq!(diff.len(), 1);
+        assert!(parity_byte_range(&clean, 1, 0).contains(&diff[0]));
+    }
+
+    #[test]
+    fn random_flips_are_deterministic() {
+        let clean = store();
+        let (mut a, mut b) = (clean.clone(), clean.clone());
+        let fa = random_flips(&mut a, 42, 16);
+        let fb = random_flips(&mut b, 42, 16);
+        assert_eq!(fa, fb);
+        assert_eq!(a, b);
+        assert_ne!(a, clean);
+        let mut c = clean.clone();
+        let fc = random_flips(&mut c, 43, 16);
+        assert_ne!(fa, fc);
+    }
+}

@@ -1,40 +1,55 @@
-//! Container format v2 (`ZMS2`): byte layout, typed errors, and the
+//! Container formats v2/v3 (`ZMS2`): byte layout, typed errors, and the
 //! header/footer (de)serializers.
 //!
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────────┐
 //! │ header   magic "ZMS2" · version u16 · policy u8 · mode u8 ·      │
 //! │          codec u8 · value-type u8 · chunk-target-bytes u32 ·     │
+//! │          [v3: parity group width u32] ·                          │
 //! │          structure len u64 · structure bytes                     │
 //! ├──────────────────────────────────────────────────────────────────┤
 //! │ payload  per field, per chunk: one self-describing codec stream  │
 //! ├──────────────────────────────────────────────────────────────────┤
+//! │ parity   [v3] per field, per group: XOR parity payload           │
+//! ├──────────────────────────────────────────────────────────────────┤
 //! │ footer   per field: name (u16 + bytes) · bound flag u8 ·         │
-//! │          bound f64 · chunk count u64 · chunk metas (64 B each)   │
+//! │          bound f64 · chunk count u64 · chunk metas (64 B each) · │
+//! │          [v3: parity count u64 · parity metas (20 B each)]       │
 //! ├──────────────────────────────────────────────────────────────────┤
 //! │ trailer  footer offset u64 · crc32(header ∥ footer) u32 ·        │
 //! │          magic "ZMSI"                                            │
 //! └──────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Every chunk meta is **fixed width**, and the variable parts of the
-//! footer (names, structure) do not depend on the ordering policy — so the
-//! total metadata size is policy-independent, preserving the paper's
-//! no-recipe-storage claim for v2: the restore recipe is regenerated from
-//! `structure`, never stored.
+//! Version negotiation: this crate writes [`STORE_VERSION`] (v3, or v2
+//! when parity is disabled) and reads every version in
+//! [`MIN_STORE_VERSION`]`..=`[`STORE_VERSION`]. What a parsed store can do
+//! is exposed as [`StoreCapabilities`] — a v2 store simply has no parity,
+//! so it opens, queries, and unpacks exactly as before, and scrub reports
+//! "no parity available" instead of erroring.
+//!
+//! Every chunk/parity meta is **fixed width**, and the variable parts of
+//! the footer (names, structure) do not depend on the ordering policy — so
+//! the total metadata size is policy-independent, preserving the paper's
+//! no-recipe-storage claim: the restore recipe is regenerated from
+//! `structure`, never stored. Parity *payload* bytes scale with compressed
+//! payload size (≈ 1/group-width), not with the permutation.
 
 use crate::chunk::{ChunkMeta, CHUNK_META_BYTES};
+use crate::parity::{group_count, ParityMeta, PARITY_META_BYTES};
 use std::fmt;
 use zmesh::{crc32, GroupingMode, OrderingPolicy, ZmeshError};
 use zmesh_amr::{AmrError, StorageMode};
 use zmesh_codecs::{CodecError, CodecKind, ValueType};
 
-/// Leading magic of a v2 store.
+/// Leading magic of a v2/v3 store.
 pub const STORE_MAGIC: [u8; 4] = *b"ZMS2";
 /// Trailing magic of the index trailer.
 pub const INDEX_MAGIC: [u8; 4] = *b"ZMSI";
-/// Format version written by this crate.
-pub const STORE_VERSION: u16 = 2;
+/// Newest format version this crate writes (v3: parity-protected chunks).
+pub const STORE_VERSION: u16 = 3;
+/// Oldest format version this crate still reads (v2: no parity section).
+pub const MIN_STORE_VERSION: u16 = 2;
 /// Fixed trailer size: footer offset + footer crc + index magic.
 pub const TRAILER_BYTES: usize = 8 + 4 + 4;
 
@@ -62,6 +77,14 @@ pub enum StoreError {
         field: String,
         /// Chunk index within the field.
         chunk: usize,
+    },
+    /// A parity chunk failed its CRC check (the protected data chunks may
+    /// all be fine, but the store is no longer fully self-healing).
+    ParityCrc {
+        /// Field the parity group belongs to.
+        field: String,
+        /// Parity group index within the field.
+        group: usize,
     },
     /// The footer failed its CRC check.
     IndexCrc,
@@ -93,6 +116,9 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
             StoreError::ChunkCrc { field, chunk } => {
                 write!(f, "crc mismatch in field {field:?} chunk {chunk}")
+            }
+            StoreError::ParityCrc { field, group } => {
+                write!(f, "crc mismatch in field {field:?} parity group {group}")
             }
             StoreError::IndexCrc => write!(f, "crc mismatch in store index"),
             StoreError::UnknownField(name) => write!(f, "no field named {name:?} in store"),
@@ -139,9 +165,21 @@ impl From<ZmeshError> for StoreError {
     }
 }
 
+/// What a parsed store of some version can do — the read path branches on
+/// these instead of comparing raw version numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreCapabilities {
+    /// Chunks are grouped under XOR parity; single-chunk damage per group
+    /// is reconstructible (v3 with a nonzero group width).
+    pub parity: bool,
+}
+
 /// Parsed fixed header of a store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreHeader {
+    /// Format version the store declares (within
+    /// [`MIN_STORE_VERSION`]`..=`[`STORE_VERSION`]).
+    pub version: u16,
     /// Stream ordering the payloads were written under.
     pub policy: OrderingPolicy,
     /// AMR storage convention of the fields.
@@ -152,6 +190,9 @@ pub struct StoreHeader {
     pub value_type: ValueType,
     /// Uncompressed bytes each chunk targets (the last chunk may be short).
     pub chunk_target_bytes: u32,
+    /// Data chunks per parity group; `0` means no parity section (always
+    /// `0` for v2 stores).
+    pub parity_group_width: u32,
     /// Serialized `AmrTree` structure — the only mesh metadata stored; the
     /// restore recipe is regenerated from it.
     pub structure: Vec<u8>,
@@ -164,9 +205,16 @@ impl StoreHeader {
     pub fn grouping(&self) -> GroupingMode {
         GroupingMode::from_storage_mode(self.mode)
     }
+
+    /// What this store's version/parameters support.
+    pub fn capabilities(&self) -> StoreCapabilities {
+        StoreCapabilities {
+            parity: self.version >= 3 && self.parity_group_width > 0,
+        }
+    }
 }
 
-/// One field's footer entry: name, resolved bound, chunk index.
+/// One field's footer entry: name, resolved bound, chunk + parity index.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FieldEntry {
     /// Field name.
@@ -176,6 +224,9 @@ pub struct FieldEntry {
     pub resolved_bound: Option<f64>,
     /// Per-chunk metadata, in stream order.
     pub chunks: Vec<ChunkMeta>,
+    /// Per-parity-group metadata (empty for v2 stores / parity disabled);
+    /// group `g` protects data chunks `g*width..(g+1)*width`.
+    pub parity: Vec<ParityMeta>,
 }
 
 pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -238,29 +289,35 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Serializes the fixed header.
+/// Serializes the fixed header for `header.version` (v2 omits the parity
+/// group width, so width-0 v2 output stays byte-identical to historical
+/// v2 writers).
 pub(crate) fn write_header(header: &StoreHeader) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + 2 + 4 + 4 + 8 + header.structure.len());
+    let mut out = Vec::with_capacity(4 + 2 + 4 + 4 + 4 + 8 + header.structure.len());
     out.extend_from_slice(&STORE_MAGIC);
-    put_u16(&mut out, STORE_VERSION);
+    put_u16(&mut out, header.version);
     out.push(header.policy.tag());
     out.push(header.mode.tag());
     out.push(header.codec.tag());
     out.push(header.value_type.tag());
     put_u32(&mut out, header.chunk_target_bytes);
+    if header.version >= 3 {
+        put_u32(&mut out, header.parity_group_width);
+    }
     put_u64(&mut out, header.structure.len() as u64);
     out.extend_from_slice(&header.structure);
     out
 }
 
-/// Parses the fixed header from the front of `bytes`.
+/// Parses the fixed header from the front of `bytes`, accepting every
+/// version in [`MIN_STORE_VERSION`]`..=`[`STORE_VERSION`].
 pub(crate) fn read_header(bytes: &[u8]) -> Result<StoreHeader, StoreError> {
     let mut c = Cursor::new(bytes);
     if c.take(4)? != STORE_MAGIC {
         return Err(StoreError::BadMagic);
     }
     let version = c.u16()?;
-    if version != STORE_VERSION {
+    if !(MIN_STORE_VERSION..=STORE_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion(version));
     }
     let policy = OrderingPolicy::from_tag(c.u8()?).ok_or(StoreError::Corrupt("policy tag"))?;
@@ -271,21 +328,24 @@ pub(crate) fn read_header(bytes: &[u8]) -> Result<StoreHeader, StoreError> {
     if chunk_target_bytes == 0 {
         return Err(StoreError::Corrupt("zero chunk target"));
     }
+    let parity_group_width = if version >= 3 { c.u32()? } else { 0 };
     let structure_len = c.u64()? as usize;
     let structure = c.take(structure_len)?.to_vec();
     Ok(StoreHeader {
+        version,
         policy,
         mode,
         codec,
         value_type,
         chunk_target_bytes,
+        parity_group_width,
         structure,
         header_bytes: c.pos(),
     })
 }
 
-/// Serializes the footer (field entries).
-pub(crate) fn write_footer(fields: &[FieldEntry]) -> Vec<u8> {
+/// Serializes the footer (field entries) for `version`.
+pub(crate) fn write_footer(fields: &[FieldEntry], version: u16) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, fields.len() as u32);
     for field in fields {
@@ -297,12 +357,18 @@ pub(crate) fn write_footer(fields: &[FieldEntry]) -> Vec<u8> {
         for chunk in &field.chunks {
             chunk.write(&mut out);
         }
+        if version >= 3 {
+            put_u64(&mut out, field.parity.len() as u64);
+            for parity in &field.parity {
+                parity.write(&mut out);
+            }
+        }
     }
     out
 }
 
-/// Parses the footer.
-pub(crate) fn read_footer(bytes: &[u8]) -> Result<Vec<FieldEntry>, StoreError> {
+/// Parses the footer of a `version` store.
+pub(crate) fn read_footer(bytes: &[u8], version: u16) -> Result<Vec<FieldEntry>, StoreError> {
     let mut c = Cursor::new(bytes);
     let n_fields = c.u32()? as usize;
     let mut fields = Vec::with_capacity(n_fields.min(1024));
@@ -327,10 +393,22 @@ pub(crate) fn read_footer(bytes: &[u8]) -> Result<Vec<FieldEntry>, StoreError> {
         for _ in 0..n_chunks {
             chunks.push(ChunkMeta::read(&mut c)?);
         }
+        let mut parity = Vec::new();
+        if version >= 3 {
+            let n_parity = c.u64()? as usize;
+            if n_parity.saturating_mul(PARITY_META_BYTES) > bytes.len() {
+                return Err(StoreError::Corrupt("parity count exceeds footer"));
+            }
+            parity.reserve(n_parity);
+            for _ in 0..n_parity {
+                parity.push(ParityMeta::read(&mut c)?);
+            }
+        }
         fields.push(FieldEntry {
             name,
             resolved_bound,
             chunks,
+            parity,
         });
     }
     if c.pos() != bytes.len() {
@@ -339,12 +417,14 @@ pub(crate) fn read_footer(bytes: &[u8]) -> Result<Vec<FieldEntry>, StoreError> {
     Ok(fields)
 }
 
-/// Assembles a complete store from its parts.
+/// Assembles a complete store from its parts (`payload` already contains
+/// the parity section, when there is one).
 pub(crate) fn assemble(header_bytes: Vec<u8>, payload: &[u8], fields: &[FieldEntry]) -> Vec<u8> {
+    let version = u16::from_le_bytes(header_bytes[4..6].try_into().expect("header present"));
     let mut out = header_bytes;
     out.extend_from_slice(payload);
     let footer_offset = out.len() as u64;
-    let footer = write_footer(fields);
+    let footer = write_footer(fields, version);
     let crc_input_header = out[..fields_header_len(&out)].to_vec();
     let mut crc_bytes = crc_input_header;
     crc_bytes.extend_from_slice(&footer);
@@ -358,10 +438,13 @@ pub(crate) fn assemble(header_bytes: Vec<u8>, payload: &[u8], fields: &[FieldEnt
 
 /// Header length of an assembled buffer (used to scope the index CRC).
 fn fields_header_len(bytes: &[u8]) -> usize {
-    // Magic(4) + version(2) + tags(4) + chunk target(4) + structure len(8).
+    // Magic(4) + version(2) + tags(4) + chunk target(4)
+    // + [v3: parity width(4)] + structure len(8).
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("header present"));
+    let fixed = if version >= 3 { 26 } else { 22 };
     let structure_len =
-        u64::from_le_bytes(bytes[14..22].try_into().expect("header present")) as usize;
-    22 + structure_len
+        u64::from_le_bytes(bytes[fixed - 8..fixed].try_into().expect("header present")) as usize;
+    fixed + structure_len
 }
 
 /// Splits an assembled store into `(header, footer fields, payload span)`,
@@ -394,7 +477,14 @@ pub fn open(
     if crc32(&crc_bytes) != stored_crc {
         return Err(StoreError::IndexCrc);
     }
-    let fields = read_footer(&bytes[footer_offset..footer_end])?;
+    let fields = read_footer(&bytes[footer_offset..footer_end], header.version)?;
+    let width = header.parity_group_width as usize;
+    for field in &fields {
+        let expect = group_count(field.chunks.len(), width);
+        if field.parity.len() != expect {
+            return Err(StoreError::Corrupt("parity group count mismatch"));
+        }
+    }
     let payload = header.header_bytes..footer_offset;
     Ok((header, fields, payload))
 }
@@ -410,11 +500,13 @@ mod tests {
 
     fn sample_header() -> StoreHeader {
         StoreHeader {
+            version: STORE_VERSION,
             policy: OrderingPolicy::Hilbert,
             mode: StorageMode::AllCells,
             codec: CodecKind::Sz,
             value_type: ValueType::F64,
             chunk_target_bytes: 4096,
+            parity_group_width: 8,
             structure: vec![1, 2, 3, 4, 5],
             header_bytes: 0,
         }
@@ -425,10 +517,28 @@ mod tests {
         let h = sample_header();
         let bytes = write_header(&h);
         let parsed = read_header(&bytes).unwrap();
+        assert_eq!(parsed.version, STORE_VERSION);
         assert_eq!(parsed.policy, h.policy);
         assert_eq!(parsed.codec, h.codec);
+        assert_eq!(parsed.parity_group_width, 8);
         assert_eq!(parsed.structure, h.structure);
         assert_eq!(parsed.header_bytes, bytes.len());
+        assert!(parsed.capabilities().parity);
+    }
+
+    #[test]
+    fn v2_header_round_trips_without_parity() {
+        let mut h = sample_header();
+        h.version = 2;
+        h.parity_group_width = 0;
+        let bytes = write_header(&h);
+        // v2 fixed part is 4 bytes shorter (no parity width field).
+        assert_eq!(bytes.len() + 4, write_header(&sample_header()).len());
+        let parsed = read_header(&bytes).unwrap();
+        assert_eq!(parsed.version, 2);
+        assert_eq!(parsed.parity_group_width, 0);
+        assert_eq!(parsed.structure, h.structure);
+        assert!(!parsed.capabilities().parity);
     }
 
     #[test]
@@ -441,21 +551,30 @@ mod tests {
         let mut wrong = bytes.clone();
         wrong[0] = b'X';
         assert_eq!(read_header(&wrong), Err(StoreError::BadMagic));
-        bytes[4] = 99;
-        assert!(matches!(
-            read_header(&bytes),
-            Err(StoreError::UnsupportedVersion(_))
-        ));
+        for bad in [0u8, 1, 4, 99] {
+            bytes[4] = bad;
+            assert!(
+                matches!(read_header(&bytes), Err(StoreError::UnsupportedVersion(_))),
+                "version {bad} must be rejected"
+            );
+        }
     }
 
     #[test]
     fn assembled_store_round_trips_and_detects_index_corruption() {
-        let header = sample_header();
+        let mut header = sample_header();
+        // One chunk at width 8 ⇒ exactly one parity group.
+        header.parity_group_width = 8;
         let payload = vec![9u8; 100];
         let fields = vec![FieldEntry {
             name: "density".into(),
             resolved_bound: Some(1e-4),
             chunks: vec![ChunkMeta::test_sample(0, 100)],
+            parity: vec![ParityMeta {
+                offset: 0,
+                len: 100,
+                crc: crc32(&payload),
+            }],
         }];
         let bytes = assemble(write_header(&header), &payload, &fields);
         let (h, f, span) = open(&bytes).unwrap();
@@ -486,6 +605,47 @@ mod tests {
         bytes.push(0);
         put_u64(&mut bytes, 0);
         put_u64(&mut bytes, u64::MAX); // absurd chunk count
-        assert!(read_footer(&bytes).is_err());
+        assert!(read_footer(&bytes, STORE_VERSION).is_err());
+        assert!(read_footer(&bytes, 2).is_err());
+    }
+
+    #[test]
+    fn footer_rejects_absurd_parity_counts() {
+        let fields = vec![FieldEntry {
+            name: "x".into(),
+            resolved_bound: None,
+            chunks: vec![],
+            parity: vec![],
+        }];
+        let mut bytes = write_footer(&fields, STORE_VERSION);
+        // The final u64 is the parity count: make it absurd.
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_footer(&bytes, STORE_VERSION).is_err());
+    }
+
+    #[test]
+    fn footer_round_trips_across_versions() {
+        let v3_fields = vec![FieldEntry {
+            name: "rho".into(),
+            resolved_bound: None,
+            chunks: vec![ChunkMeta::test_sample(0, 64)],
+            parity: vec![ParityMeta {
+                offset: 64,
+                len: 64,
+                crc: 7,
+            }],
+        }];
+        let bytes = write_footer(&v3_fields, STORE_VERSION);
+        assert_eq!(read_footer(&bytes, STORE_VERSION).unwrap(), v3_fields);
+
+        let v2_fields = vec![FieldEntry {
+            name: "rho".into(),
+            resolved_bound: None,
+            chunks: vec![ChunkMeta::test_sample(0, 64)],
+            parity: vec![],
+        }];
+        let bytes = write_footer(&v2_fields, 2);
+        assert_eq!(read_footer(&bytes, 2).unwrap(), v2_fields);
     }
 }

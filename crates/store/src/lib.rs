@@ -16,12 +16,21 @@
 //!   against the structure bytes, so a hash collision can never hand out
 //!   the wrong permutation;
 //! - reads run under a [`ReadPolicy`]: `Strict` (default) fails on the
-//!   first integrity error, `Salvage` skips corrupt chunks and returns the
-//!   surviving cells plus a [`DamageReport`] naming exactly what was lost.
+//!   first integrity error, `Salvage` first rebuilds corrupt chunks from
+//!   their XOR parity group (v3) and only then skips, returning the
+//!   surviving cells plus a [`DamageReport`] naming exactly what was
+//!   repaired or lost;
+//! - the **v3 format** protects chunks with per-group XOR parity (default
+//!   8 data + 1 parity, configurable via [`StoreWriteOptions`]); [`scrub`]
+//!   audits every chunk's CRC without decoding and [`repair`] rewrites a
+//!   damaged store back to byte-identity with the original (optionally
+//!   pulling chunks parity cannot reach from a replica). v2 stores stay
+//!   fully readable — they simply have no parity to heal from.
 //!
 //! The zMesh invariant is preserved: no permutation data is stored. Chunk
 //! framing is by value count, so the index is byte-identical across
-//! ordering policies — only chunk payload bytes differ.
+//! ordering policies — only chunk payload bytes differ (and parity bytes,
+//! which track payload size, not the permutation).
 //!
 //! ```
 //! use zmesh::{CompressionConfig, Pipeline};
@@ -43,14 +52,27 @@
 
 mod cache;
 mod chunk;
+#[cfg(any(test, feature = "testing"))]
+pub mod faultinject;
 mod format;
+mod parity;
 mod reader;
+mod repair;
 mod writer;
 
 pub use cache::{CacheStats, RecipeCache};
 pub use chunk::{plan_chunks, ChunkMeta, ChunkPlan, CHUNK_META_BYTES, DEFAULT_CHUNK_TARGET_BYTES};
 pub use format::{
-    is_store, open as open_parts, FieldEntry, StoreError, StoreHeader, STORE_MAGIC, STORE_VERSION,
+    is_store, open as open_parts, FieldEntry, StoreCapabilities, StoreError, StoreHeader,
+    MIN_STORE_VERSION, STORE_MAGIC, STORE_VERSION,
 };
-pub use reader::{DamageReport, DamagedChunk, Query, QueryResult, ReadPolicy, StoreReader};
-pub use writer::{PipelineStoreExt, StoreWriteStats, StoreWriter, StoreWritten};
+pub use parity::{ParityMeta, DEFAULT_PARITY_GROUP_WIDTH, PARITY_META_BYTES};
+pub use reader::{
+    DamageReport, DamageStatus, DamagedChunk, DamagedParity, Query, QueryResult, ReadPolicy,
+    SalvageFill, StoreReader,
+};
+pub use repair::{
+    repair, scrub, ChunkKind, LostChunk, RepairOutcome, RepairSource, RepairedChunk, ScrubChunk,
+    ScrubReport,
+};
+pub use writer::{PipelineStoreExt, StoreWriteOptions, StoreWriteStats, StoreWriter, StoreWritten};

@@ -1,19 +1,44 @@
-//! The store reader: open a v2 container and answer spatial queries by
+//! The store reader: open a v2/v3 container and answer spatial queries by
 //! decoding only the chunks that overlap.
 //!
 //! On-disk bytes are treated as **untrusted**. Every chunk carries its own
 //! CRC, so damage is contained per chunk; the [`ReadPolicy`] decides what
 //! happens when a chunk fails: [`ReadPolicy::Strict`] (the default) aborts
-//! with a typed error, [`ReadPolicy::Salvage`] skips the chunk, keeps
-//! every surviving cell, and reports the loss in a [`DamageReport`].
+//! with a typed error, [`ReadPolicy::Salvage`] first tries to
+//! **reconstruct** the chunk from its XOR parity group (v3 stores), and
+//! only when that fails skips it, keeps every surviving cell, and reports
+//! the loss in a [`DamageReport`].
 
 use crate::cache::RecipeCache;
 use crate::format::{self, FieldEntry, StoreError, StoreHeader};
+use crate::parity::{group_members, group_of, reconstruct, ParityMeta};
 use std::ops::Range;
 use std::sync::Arc;
 use zmesh::{codec_for, crc32, GroupingMode, RestoreRecipe};
 use zmesh_amr::{AmrField, AmrTree, Cell, Dim};
 use zmesh_sfc::{bbox_ranges_2d, bbox_ranges_3d};
+
+/// The value salvage reads substitute for cells that could not be
+/// recovered (NaN by default; `Zero` for consumers that choke on NaN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SalvageFill {
+    /// Fill lost cells with `f64::NAN` — unambiguous, but poisons naive
+    /// reductions.
+    #[default]
+    Nan,
+    /// Fill lost cells with `0.0`.
+    Zero,
+}
+
+impl SalvageFill {
+    /// The actual fill value.
+    pub fn value(self) -> f64 {
+        match self {
+            SalvageFill::Nan => f64::NAN,
+            SalvageFill::Zero => 0.0,
+        }
+    }
+}
 
 /// How a [`StoreReader`] treats chunks that fail their CRC or decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,15 +47,54 @@ pub enum ReadPolicy {
     /// default: you either get exactly what was written or an error).
     #[default]
     Strict,
-    /// Damaged chunks are skipped: full decodes fill the lost cells with
-    /// `NaN`, queries drop them, and every loss is itemized in a
-    /// [`DamageReport`]. Container-level damage (bad magic, truncated or
-    /// CRC-failing index) still errors — without a trustworthy index there
-    /// is nothing to salvage from.
-    Salvage,
+    /// Damaged chunks are reconstructed from parity when possible (v3
+    /// stores, single failure per group) and otherwise skipped: full
+    /// decodes fill the lost cells with `fill`, queries drop them, and
+    /// every repair or loss is itemized in a [`DamageReport`].
+    /// Container-level damage (bad magic, truncated or CRC-failing index)
+    /// still errors — without a trustworthy index there is nothing to
+    /// salvage from.
+    Salvage {
+        /// What lost (unreconstructable) cells decode to.
+        fill: SalvageFill,
+    },
 }
 
-/// One chunk a salvage read could not recover.
+impl ReadPolicy {
+    /// Salvage with the default `NaN` fill.
+    pub fn salvage() -> Self {
+        ReadPolicy::Salvage {
+            fill: SalvageFill::default(),
+        }
+    }
+
+    /// Whether this policy tolerates (and reports) chunk damage.
+    pub fn is_salvage(self) -> bool {
+        matches!(self, ReadPolicy::Salvage { .. })
+    }
+
+    /// The salvage fill, when salvaging.
+    pub fn salvage_fill(self) -> Option<SalvageFill> {
+        match self {
+            ReadPolicy::Strict => None,
+            ReadPolicy::Salvage { fill } => Some(fill),
+        }
+    }
+}
+
+/// What became of one damaged chunk under salvage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DamageStatus {
+    /// The chunk failed its CRC but was rebuilt from its parity group and
+    /// re-verified — no data was lost.
+    Repaired,
+    /// The chunk could not be recovered; its cells decode to the salvage
+    /// fill (full decode) or are dropped (query).
+    Lost,
+}
+
+/// One chunk a salvage read found damaged (whether or not parity could
+/// repair it — see [`DamagedChunk::status`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DamagedChunk {
     /// Field the chunk belongs to.
@@ -40,26 +104,63 @@ pub struct DamagedChunk {
     /// Byte range of the chunk's payload within the store buffer
     /// (saturated if the recorded offset/length ran past the payload).
     pub byte_range: Range<usize>,
-    /// Stream values (= cells) lost with this chunk.
+    /// Stream values (= cells) lost with this chunk — `0` when the chunk
+    /// was [`DamageStatus::Repaired`].
     pub values_lost: usize,
     /// Why the chunk was rejected.
     pub error: StoreError,
+    /// Whether parity reconstruction recovered the chunk.
+    pub status: DamageStatus,
 }
 
-/// Structured account of everything a salvage read had to skip.
+/// One parity chunk that failed its own CRC during a salvage full decode
+/// (the data it protects may be intact, but the group has lost its
+/// self-healing margin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DamagedParity {
+    /// Field the parity group belongs to.
+    pub field: String,
+    /// Parity group index within the field.
+    pub group: usize,
+    /// Byte range of the parity payload within the store buffer
+    /// (saturated).
+    pub byte_range: Range<usize>,
+}
+
+/// Structured account of everything a salvage read repaired or skipped.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DamageReport {
-    /// The unrecoverable chunks, in (field, chunk) order.
+    /// Every damaged data chunk, repaired or lost, in (field, chunk)
+    /// order.
     pub chunks: Vec<DamagedChunk>,
+    /// Parity chunks that failed their own CRC (full decodes only;
+    /// queries do not touch parity unless they need it).
+    pub parity: Vec<DamagedParity>,
+    /// The fill value lost cells decode to.
+    pub fill: SalvageFill,
 }
 
 impl DamageReport {
-    /// Whether the read recovered everything.
+    /// Whether the read found no damage at all (data or parity).
     pub fn is_empty(&self) -> bool {
-        self.chunks.is_empty()
+        self.chunks.is_empty() && self.parity.is_empty()
     }
 
-    /// Total cells lost across all fields.
+    /// Damaged chunks parity reconstruction recovered.
+    pub fn repaired(&self) -> impl Iterator<Item = &DamagedChunk> {
+        self.chunks
+            .iter()
+            .filter(|c| c.status == DamageStatus::Repaired)
+    }
+
+    /// Damaged chunks that stayed lost.
+    pub fn lost(&self) -> impl Iterator<Item = &DamagedChunk> {
+        self.chunks
+            .iter()
+            .filter(|c| c.status == DamageStatus::Lost)
+    }
+
+    /// Total cells lost across all fields (repaired chunks lose nothing).
     pub fn total_values_lost(&self) -> usize {
         self.chunks.iter().map(|c| c.values_lost).sum()
     }
@@ -88,6 +189,7 @@ impl DamageReport {
     /// Folds another report (e.g. from the next field) into this one.
     pub fn merge(&mut self, other: DamageReport) {
         self.chunks.extend(other.chunks);
+        self.parity.extend(other.parity);
     }
 }
 
@@ -255,28 +357,125 @@ impl<'a> StoreReader<'a> {
         lo..hi
     }
 
+    /// Saturated byte range of a payload-relative span within the store
+    /// buffer, for damage reports (never trusted for slicing).
+    fn report_range(&self, offset: u64, len: u64) -> Range<usize> {
+        let lo = self
+            .payload
+            .start
+            .saturating_add(offset as usize)
+            .min(self.payload.end);
+        let hi = lo.saturating_add(len as usize).min(self.payload.end);
+        lo..hi
+    }
+
     /// Byte range of chunk `i` of `entry` within the store buffer, for
     /// damage reports (saturated; never trusted for slicing).
     fn chunk_byte_range(&self, entry: &FieldEntry, i: usize) -> Range<usize> {
         let meta = &entry.chunks[i];
-        let lo = self
-            .payload
-            .start
-            .saturating_add(meta.offset as usize)
-            .min(self.payload.end);
-        let hi = lo.saturating_add(meta.len as usize).min(self.payload.end);
-        lo..hi
+        self.report_range(meta.offset, meta.len)
     }
 
-    /// Records chunk `i` of `entry` as unrecoverable.
-    fn damaged(&self, entry: &FieldEntry, i: usize, error: StoreError) -> DamagedChunk {
+    /// Records chunk `i` of `entry` as damaged (repaired or lost).
+    fn damaged(
+        &self,
+        entry: &FieldEntry,
+        i: usize,
+        error: StoreError,
+        status: DamageStatus,
+    ) -> DamagedChunk {
         DamagedChunk {
             field: entry.name.clone(),
             chunk: i,
             byte_range: self.chunk_byte_range(entry, i),
-            values_lost: self.stream_range(i).len(),
+            values_lost: match status {
+                DamageStatus::Repaired => 0,
+                DamageStatus::Lost => self.stream_range(i).len(),
+            },
             error,
+            status,
         }
+    }
+
+    /// Bounds-checked payload slice for a (payload-relative) span.
+    fn payload_slice(&self, offset: u64, len: u64) -> Result<&'a [u8], StoreError> {
+        let lo = self
+            .payload
+            .start
+            .checked_add(offset as usize)
+            .ok_or(StoreError::Corrupt("chunk offset overflow"))?;
+        let hi = lo
+            .checked_add(len as usize)
+            .ok_or(StoreError::Corrupt("chunk length overflow"))?;
+        if hi > self.payload.end {
+            return Err(StoreError::Truncated {
+                needed: hi,
+                have: self.payload.end,
+            });
+        }
+        Ok(&self.bytes[lo..hi])
+    }
+
+    /// CRC-verified compressed payload of chunk `i` of `entry`.
+    fn chunk_payload(&self, entry: &FieldEntry, i: usize) -> Result<&'a [u8], StoreError> {
+        let meta = &entry.chunks[i];
+        let payload = self.payload_slice(meta.offset, meta.len)?;
+        if crc32(payload) != meta.crc {
+            return Err(StoreError::ChunkCrc {
+                field: entry.name.clone(),
+                chunk: i,
+            });
+        }
+        Ok(payload)
+    }
+
+    /// CRC-verified parity payload of group `g` of `entry`.
+    fn parity_payload(&self, entry: &FieldEntry, g: usize) -> Result<&'a [u8], StoreError> {
+        let meta: &ParityMeta = entry
+            .parity
+            .get(g)
+            .ok_or(StoreError::Corrupt("parity group out of range"))?;
+        let payload = self.payload_slice(meta.offset, meta.len)?;
+        if crc32(payload) != meta.crc {
+            return Err(StoreError::ParityCrc {
+                field: entry.name.clone(),
+                group: g,
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Attempts to rebuild chunk `i` of `entry` from its XOR parity group
+    /// and decode it. Succeeds only when the parity chunk and *every*
+    /// sibling verify their CRCs, the rebuilt bytes match the chunk's
+    /// stored CRC (the footer is index-CRC protected, so that CRC is
+    /// trustworthy), and the decode yields the framed value count —
+    /// reconstruction can repair, never fabricate.
+    fn reconstruct_chunk(&self, entry: &FieldEntry, i: usize) -> Option<Vec<f64>> {
+        let width = self.header.parity_group_width as usize;
+        if width == 0 {
+            return None;
+        }
+        let g = group_of(i, width);
+        let parity = self.parity_payload(entry, g).ok()?;
+        let mut siblings = Vec::with_capacity(width.saturating_sub(1));
+        for c in group_members(g, width, entry.chunks.len()) {
+            if c == i {
+                continue;
+            }
+            siblings.push(self.chunk_payload(entry, c).ok()?);
+        }
+        let meta = &entry.chunks[i];
+        let rebuilt = reconstruct(parity, siblings, meta.len as usize)?;
+        if crc32(&rebuilt) != meta.crc {
+            return None;
+        }
+        let codec = codec_for(self.header.codec);
+        let values = codec.decompress(&rebuilt).ok()?;
+        if values.len() != self.stream_range(i).len() {
+            return None;
+        }
+        Some(values)
     }
 
     /// The cell behind a storage index under the store's grouping.
@@ -291,28 +490,7 @@ impl<'a> StoreReader<'a> {
 
     /// Decodes one chunk of `entry`, verifying its CRC and length.
     fn decode_chunk(&self, entry: &FieldEntry, i: usize) -> Result<Vec<f64>, StoreError> {
-        let meta = &entry.chunks[i];
-        let lo = self
-            .payload
-            .start
-            .checked_add(meta.offset as usize)
-            .ok_or(StoreError::Corrupt("chunk offset overflow"))?;
-        let hi = lo
-            .checked_add(meta.len as usize)
-            .ok_or(StoreError::Corrupt("chunk length overflow"))?;
-        if hi > self.payload.end {
-            return Err(StoreError::Truncated {
-                needed: hi,
-                have: self.payload.end,
-            });
-        }
-        let payload = &self.bytes[lo..hi];
-        if crc32(payload) != meta.crc {
-            return Err(StoreError::ChunkCrc {
-                field: entry.name.clone(),
-                chunk: i,
-            });
-        }
+        let payload = self.chunk_payload(entry, i)?;
         let codec = codec_for(self.header.codec);
         let values = codec.decompress(payload)?;
         if values.len() != self.stream_range(i).len() {
@@ -344,17 +522,48 @@ impl<'a> StoreReader<'a> {
             .par_iter()
             .map(|&i| self.decode_chunk(entry, i))
             .collect();
-        let mut report = DamageReport::default();
+        let mut report = DamageReport {
+            fill: self.policy.salvage_fill().unwrap_or_default(),
+            ..DamageReport::default()
+        };
         let mut stream = Vec::with_capacity(self.recipe.len());
         for (i, result) in decoded.into_iter().enumerate() {
-            match result {
-                Ok(values) => stream.extend(values),
-                Err(error) if self.policy == ReadPolicy::Salvage => {
-                    let lost = self.stream_range(i).len();
-                    report.chunks.push(self.damaged(entry, i, error));
-                    stream.resize(stream.len() + lost, f64::NAN);
+            match (result, self.policy.salvage_fill()) {
+                (Ok(values), _) => stream.extend(values),
+                (Err(error), Some(fill)) => match self.reconstruct_chunk(entry, i) {
+                    Some(values) => {
+                        report
+                            .chunks
+                            .push(self.damaged(entry, i, error, DamageStatus::Repaired));
+                        stream.extend(values);
+                    }
+                    None => {
+                        let lost = self.stream_range(i).len();
+                        report
+                            .chunks
+                            .push(self.damaged(entry, i, error, DamageStatus::Lost));
+                        stream.resize(stream.len() + lost, fill.value());
+                    }
+                },
+                (Err(error), None) => return Err(error),
+            }
+        }
+        // A full decode also audits the field's parity chunks: strict
+        // readers promise "exactly what was written or an error" for every
+        // byte the field owns, and salvage readers report eroded
+        // self-healing margin.
+        for g in 0..entry.parity.len() {
+            if let Err(error) = self.parity_payload(entry, g) {
+                if self.policy.is_salvage() {
+                    let meta = &entry.parity[g];
+                    report.parity.push(DamagedParity {
+                        field: entry.name.clone(),
+                        group: g,
+                        byte_range: self.report_range(meta.offset, meta.len),
+                    });
+                } else {
+                    return Err(error);
                 }
-                Err(error) => return Err(error),
             }
         }
         if stream.len() != self.recipe.len() {
@@ -446,14 +655,27 @@ impl<'a> StoreReader<'a> {
             .par_iter()
             .map(|&i| (i, self.decode_chunk(entry, i)))
             .collect();
-        let mut damage = DamageReport::default();
+        let mut damage = DamageReport {
+            fill: self.policy.salvage_fill().unwrap_or_default(),
+            ..DamageReport::default()
+        };
         let mut decoded: Vec<(usize, Vec<f64>)> = Vec::with_capacity(attempts.len());
         for (i, result) in attempts {
             match result {
                 Ok(values) => decoded.push((i, values)),
-                Err(error) if self.policy == ReadPolicy::Salvage => {
-                    damage.chunks.push(self.damaged(entry, i, error));
-                }
+                Err(error) if self.policy.is_salvage() => match self.reconstruct_chunk(entry, i) {
+                    Some(values) => {
+                        damage
+                            .chunks
+                            .push(self.damaged(entry, i, error, DamageStatus::Repaired));
+                        decoded.push((i, values));
+                    }
+                    None => {
+                        damage
+                            .chunks
+                            .push(self.damaged(entry, i, error, DamageStatus::Lost));
+                    }
+                },
                 Err(error) => return Err(error),
             }
         }
@@ -493,9 +715,14 @@ mod tests {
     }
 
     fn sample_store(chunk_bytes: u32) -> (datasets::Dataset, Vec<u8>) {
+        sample_store_with_width(chunk_bytes, crate::parity::DEFAULT_PARITY_GROUP_WIDTH)
+    }
+
+    fn sample_store_with_width(chunk_bytes: u32, width: u32) -> (datasets::Dataset, Vec<u8>) {
         let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
         let out = StoreWriter::new(CompressionConfig::zmesh_default())
             .with_chunk_target_bytes(chunk_bytes)
+            .with_parity_group_width(width)
             .write(&refs(&ds))
             .unwrap();
         (ds, out.bytes)
@@ -591,7 +818,7 @@ mod tests {
     }
 
     #[test]
-    fn salvage_decode_fills_nan_and_reports_the_damage() {
+    fn salvage_repairs_single_chunk_damage_from_parity() {
         let (_, mut bytes) = sample_store(512);
         corrupt_chunk(&mut bytes, 0, 2);
         let clean = sample_store(512).1;
@@ -602,33 +829,84 @@ mod tests {
 
         let reader = StoreReader::open(&bytes)
             .unwrap()
-            .with_read_policy(ReadPolicy::Salvage);
+            .with_read_policy(ReadPolicy::salvage());
         let (field, report) = reader.decode_field_with_report("density").unwrap();
         assert_eq!(report.chunks.len(), 1);
         assert_eq!(report.chunks[0].chunk, 2);
         assert_eq!(report.chunks[0].field, "density");
+        assert_eq!(report.chunks[0].status, DamageStatus::Repaired);
         assert!(matches!(
             report.chunks[0].error,
             StoreError::ChunkCrc { .. }
         ));
+        assert_eq!(
+            report.total_values_lost(),
+            0,
+            "repaired chunk loses nothing"
+        );
+        assert_eq!(report.repaired().count(), 1);
+        assert_eq!(report.lost().count(), 0);
+        // The repaired decode is bit-identical to the clean one.
+        for (a, b) in field.values().iter().zip(full.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The undamaged field is untouched and reports no damage.
+        let (_, clean_report) = reader.decode_field_with_report("energy").unwrap();
+        assert!(clean_report.is_empty());
+    }
+
+    #[test]
+    fn salvage_decode_fills_and_reports_when_parity_cannot_help() {
+        // Width 0 ⇒ v2 store, no parity: single-chunk damage stays lost.
+        let (_, mut bytes) = sample_store_with_width(512, 0);
+        corrupt_chunk(&mut bytes, 0, 2);
+        let clean = sample_store_with_width(512, 0).1;
+        let full = StoreReader::open(&clean)
+            .unwrap()
+            .decode_field("density")
+            .unwrap();
+
+        let reader = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::salvage());
+        let (field, report) = reader.decode_field_with_report("density").unwrap();
+        assert_eq!(report.chunks.len(), 1);
+        assert_eq!(report.chunks[0].status, DamageStatus::Lost);
+        assert_eq!(report.fill, SalvageFill::Nan);
         assert_eq!(report.values_lost_in("density"), report.total_values_lost());
         assert!(!report.chunks[0].byte_range.is_empty());
         // Lost cells are NaN; every surviving cell is bit-identical to the
         // clean decode.
         let nan_count = field.values().iter().filter(|v| v.is_nan()).count();
         assert_eq!(nan_count, report.total_values_lost());
+        assert!(nan_count > 0);
         for (a, b) in field.values().iter().zip(full.values()) {
             if !a.is_nan() {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-        // The undamaged field is untouched and reports no loss.
-        let (_, clean_report) = reader.decode_field_with_report("energy").unwrap();
-        assert!(clean_report.is_empty());
     }
 
     #[test]
-    fn salvage_query_drops_damaged_chunks_strict_errors() {
+    fn salvage_fill_zero_substitutes_zeros() {
+        let (_, mut bytes) = sample_store_with_width(512, 0);
+        corrupt_chunk(&mut bytes, 0, 2);
+        let reader = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::Salvage {
+                fill: SalvageFill::Zero,
+            });
+        let (field, report) = reader.decode_field_with_report("density").unwrap();
+        assert_eq!(report.fill, SalvageFill::Zero);
+        assert!(report.total_values_lost() > 0);
+        assert!(
+            field.values().iter().all(|v| !v.is_nan()),
+            "zero fill must not produce NaN"
+        );
+    }
+
+    #[test]
+    fn salvage_query_repairs_or_drops_damaged_chunks_strict_errors() {
         let (_, mut bytes) = sample_store(512);
         corrupt_chunk(&mut bytes, 0, 0);
         let side = {
@@ -637,20 +915,43 @@ mod tests {
         };
         let q = Query::bbox([0, 0, 0], [side, side, 0]);
 
+        // Strict never reconstructs: you asked for exactly the written
+        // bytes, you get an error.
         let strict = StoreReader::open(&bytes).unwrap();
         assert!(matches!(
             strict.query("density", &q),
             Err(StoreError::ChunkCrc { .. })
         ));
 
+        // With parity, the damaged chunk is rebuilt and the query result
+        // is complete.
         let salvage = StoreReader::open(&bytes)
             .unwrap()
-            .with_read_policy(ReadPolicy::Salvage);
+            .with_read_policy(ReadPolicy::salvage());
         let result = salvage.query("density", &q).unwrap();
         assert_eq!(result.damage.chunks.len(), 1);
         assert_eq!(result.damage.chunks[0].chunk, 0);
+        assert_eq!(result.damage.chunks[0].status, DamageStatus::Repaired);
+        let clean = sample_store(512).1;
+        let clean_result = StoreReader::open(&clean)
+            .unwrap()
+            .query("density", &q)
+            .unwrap();
+        assert_eq!(result.storage_indices, clean_result.storage_indices);
+        assert_eq!(result.values, clean_result.values);
+
+        // Without parity, the damaged chunk is dropped from the result.
+        let (_, mut v2) = sample_store_with_width(512, 0);
+        corrupt_chunk(&mut v2, 0, 0);
+        let salvage = StoreReader::open(&v2)
+            .unwrap()
+            .with_read_policy(ReadPolicy::salvage());
+        let result = salvage.query("density", &q).unwrap();
+        assert_eq!(result.damage.chunks.len(), 1);
+        assert_eq!(result.damage.chunks[0].status, DamageStatus::Lost);
         assert!(!result.storage_indices.is_empty(), "survivors expected");
         assert!(result.values.iter().all(|v| !v.is_nan()));
+        assert!(result.storage_indices.len() < clean_result.storage_indices.len());
         // Reports from several fields merge into one per-field summary.
         let mut merged = result.damage.clone();
         merged.merge(DamageReport::default());
@@ -658,7 +959,48 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_chunk_payload_is_caught_by_crc() {
+    fn two_failures_in_one_group_stay_lost() {
+        let (_, mut bytes) = sample_store(512);
+        // Chunks 0 and 2 share parity group 0 at the default width 8.
+        corrupt_chunk(&mut bytes, 0, 0);
+        corrupt_chunk(&mut bytes, 0, 2);
+        let reader = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::salvage());
+        let (field, report) = reader.decode_field_with_report("density").unwrap();
+        assert_eq!(report.chunks.len(), 2);
+        assert!(report.chunks.iter().all(|c| c.status == DamageStatus::Lost));
+        assert!(report.total_values_lost() > 0);
+        assert!(field.values().iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn strict_decode_detects_parity_damage_salvage_reports_it() {
+        let (_, mut bytes) = sample_store(512);
+        // Flip a byte inside field 0's first parity chunk.
+        {
+            let (_, fields, payload) = format::open(&bytes).unwrap();
+            let meta = fields[0].parity[0];
+            bytes[payload.start + meta.offset as usize] ^= 0xff;
+        }
+        let strict = StoreReader::open(&bytes).unwrap();
+        assert!(matches!(
+            strict.decode_field("density"),
+            Err(StoreError::ParityCrc { .. })
+        ));
+        let salvage = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::salvage());
+        let (field, report) = salvage.decode_field_with_report("density").unwrap();
+        assert!(report.chunks.is_empty(), "data chunks are intact");
+        assert_eq!(report.parity.len(), 1);
+        assert_eq!(report.parity[0].group, 0);
+        assert!(!report.is_empty());
+        assert!(field.values().iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn corrupt_payload_byte_is_caught_by_some_crc() {
         let (_, mut bytes) = sample_store(1024);
         // Flip one byte in the middle of the payload region.
         let mid = {
@@ -668,9 +1010,12 @@ mod tests {
         bytes[mid] ^= 0x40;
         let reader = StoreReader::open(&bytes).unwrap();
         let names: Vec<String> = reader.field_names().iter().map(|s| s.to_string()).collect();
-        let hit = names
-            .iter()
-            .any(|n| matches!(reader.decode_field(n), Err(StoreError::ChunkCrc { .. })));
-        assert!(hit, "no field reported a chunk CRC failure");
+        let hit = names.iter().any(|n| {
+            matches!(
+                reader.decode_field(n),
+                Err(StoreError::ChunkCrc { .. }) | Err(StoreError::ParityCrc { .. })
+            )
+        });
+        assert!(hit, "no field reported a CRC failure");
     }
 }

@@ -1,0 +1,636 @@
+//! Scrub & repair: offline integrity audit and reconstruction of stores.
+//!
+//! [`scrub`] walks every data and parity chunk of a container and verifies
+//! CRCs **without decoding payloads** — it answers "is this store healthy,
+//! and if not, can parity still save it?" cheaply enough to run in a
+//! monitoring loop. [`repair`] actually rewrites the store: every damaged
+//! data chunk that its XOR parity group can reconstruct is rebuilt (and
+//! re-verified against its footer CRC), parity chunks are recomputed from
+//! the recovered data, and chunks parity cannot reach can optionally be
+//! pulled from a structurally identical `replica` store. Because the
+//! writer's layout is deterministic (field-major data, then field-major
+//! parity), a successful repair of a writer-produced store is
+//! **byte-identical** to the pre-damage original.
+//!
+//! Both operations work on v2 stores too: there is simply no parity to
+//! verify or reconstruct from, so scrub reports damage as unrecoverable
+//! (`parity_available: false`) and repair can only use a replica.
+
+use crate::format::{self, assemble, write_header, FieldEntry, StoreError, StoreHeader};
+use crate::parity::{build_group_parity, group_members, group_of, reconstruct, ParityMeta};
+use std::ops::Range;
+use zmesh::crc32;
+
+/// Which chunk of a field a scrub/repair record points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Data chunk `i` (stream order).
+    Data(usize),
+    /// Parity chunk of group `g`.
+    Parity(usize),
+}
+
+impl ChunkKind {
+    fn kind_str(self) -> &'static str {
+        match self {
+            ChunkKind::Data(_) => "data",
+            ChunkKind::Parity(_) => "parity",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ChunkKind::Data(i) | ChunkKind::Parity(i) => i,
+        }
+    }
+}
+
+/// One chunk scrub found damaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrubChunk {
+    /// Field the chunk belongs to.
+    pub field: String,
+    /// Data or parity chunk, with its index.
+    pub chunk: ChunkKind,
+    /// Whether parity alone can recover it (no replica considered).
+    pub recoverable: bool,
+    /// Byte range within the store buffer (saturated).
+    pub byte_range: Range<usize>,
+    /// Why the chunk failed verification.
+    pub error: StoreError,
+}
+
+/// Outcome of [`scrub`]: per-chunk health of a store, CRCs only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrubReport {
+    /// Format version the store declares.
+    pub version: u16,
+    /// Data chunks per parity group (0 ⇒ no parity section).
+    pub parity_group_width: u32,
+    /// Whether the store carries parity at all.
+    pub parity_available: bool,
+    /// Fields in the store.
+    pub fields: usize,
+    /// Data chunks verified across all fields.
+    pub data_chunks: usize,
+    /// Parity chunks verified across all fields.
+    pub parity_chunks: usize,
+    /// Every damaged chunk, in (field, data-before-parity, index) order.
+    pub damaged: Vec<ScrubChunk>,
+}
+
+impl ScrubReport {
+    /// No damage at all.
+    pub fn is_clean(&self) -> bool {
+        self.damaged.is_empty()
+    }
+
+    /// Damaged chunks parity can recover.
+    pub fn recoverable(&self) -> usize {
+        self.damaged.iter().filter(|d| d.recoverable).count()
+    }
+
+    /// Damaged chunks parity cannot recover (replica or data loss).
+    pub fn unrecoverable(&self) -> usize {
+        self.damaged.len() - self.recoverable()
+    }
+
+    /// Machine-readable JSON summary (hand-rolled: no serde in tree).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"version\":{},\"parity_group_width\":{},\"parity_available\":{},\
+             \"fields\":{},\"data_chunks\":{},\"parity_chunks\":{},\
+             \"recoverable\":{},\"unrecoverable\":{},\"clean\":{},\"damaged\":[",
+            self.version,
+            self.parity_group_width,
+            self.parity_available,
+            self.fields,
+            self.data_chunks,
+            self.parity_chunks,
+            self.recoverable(),
+            self.unrecoverable(),
+            self.is_clean(),
+        ));
+        for (i, d) in self.damaged.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"field\":\"{}\",\"kind\":\"{}\",\"index\":{},\"recoverable\":{},\
+                 \"byte_range\":[{},{}],\"error\":\"{}\"}}",
+                json_escape(&d.field),
+                d.chunk.kind_str(),
+                d.chunk.index(),
+                d.recoverable,
+                d.byte_range.start,
+                d.byte_range.end,
+                json_escape(&d.error.to_string()),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Saturated byte range for damage records.
+fn report_range(payload: &Range<usize>, offset: u64, len: u64) -> Range<usize> {
+    let lo = payload
+        .start
+        .saturating_add(offset as usize)
+        .min(payload.end);
+    let hi = lo.saturating_add(len as usize).min(payload.end);
+    lo..hi
+}
+
+/// Bounds-checked CRC verification of one payload span. Returns the slice
+/// on success.
+fn verified_slice<'a>(
+    bytes: &'a [u8],
+    payload: &Range<usize>,
+    offset: u64,
+    len: u64,
+    crc: u32,
+    on_crc_fail: impl FnOnce() -> StoreError,
+) -> Result<&'a [u8], StoreError> {
+    let lo = payload
+        .start
+        .checked_add(offset as usize)
+        .ok_or(StoreError::Corrupt("chunk offset overflow"))?;
+    let hi = lo
+        .checked_add(len as usize)
+        .ok_or(StoreError::Corrupt("chunk length overflow"))?;
+    if hi > payload.end {
+        return Err(StoreError::Truncated {
+            needed: hi,
+            have: payload.end,
+        });
+    }
+    let slice = &bytes[lo..hi];
+    if crc32(slice) != crc {
+        return Err(on_crc_fail());
+    }
+    Ok(slice)
+}
+
+fn data_slice<'a>(
+    bytes: &'a [u8],
+    payload: &Range<usize>,
+    entry: &FieldEntry,
+    i: usize,
+) -> Result<&'a [u8], StoreError> {
+    let meta = &entry.chunks[i];
+    verified_slice(bytes, payload, meta.offset, meta.len, meta.crc, || {
+        StoreError::ChunkCrc {
+            field: entry.name.clone(),
+            chunk: i,
+        }
+    })
+}
+
+fn parity_slice<'a>(
+    bytes: &'a [u8],
+    payload: &Range<usize>,
+    entry: &FieldEntry,
+    g: usize,
+) -> Result<&'a [u8], StoreError> {
+    let meta = &entry.parity[g];
+    verified_slice(bytes, payload, meta.offset, meta.len, meta.crc, || {
+        StoreError::ParityCrc {
+            field: entry.name.clone(),
+            group: g,
+        }
+    })
+}
+
+/// Verifies every data and parity chunk of a store (CRCs only, no payload
+/// decoding) and classifies each failure as parity-recoverable or not.
+/// Container-level damage (bad magic, truncated/CRC-failing index) is
+/// returned as an error — there is no per-chunk story to tell without a
+/// trustworthy index.
+pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
+    let (header, fields, payload) = format::open(bytes)?;
+    let width = header.parity_group_width as usize;
+    let parity_available = header.capabilities().parity;
+    let mut report = ScrubReport {
+        version: header.version,
+        parity_group_width: header.parity_group_width,
+        parity_available,
+        fields: fields.len(),
+        data_chunks: fields.iter().map(|f| f.chunks.len()).sum(),
+        parity_chunks: fields.iter().map(|f| f.parity.len()).sum(),
+        damaged: Vec::new(),
+    };
+    for entry in &fields {
+        let data_ok: Vec<bool> = (0..entry.chunks.len())
+            .map(|i| data_slice(bytes, &payload, entry, i).is_ok())
+            .collect();
+        let parity_ok: Vec<bool> = (0..entry.parity.len())
+            .map(|g| parity_slice(bytes, &payload, entry, g).is_ok())
+            .collect();
+        let failures_in = |g: usize| -> usize {
+            group_members(g, width, entry.chunks.len())
+                .filter(|&c| !data_ok[c])
+                .count()
+        };
+        for (i, ok) in data_ok.iter().enumerate() {
+            if *ok {
+                continue;
+            }
+            let error = data_slice(bytes, &payload, entry, i).unwrap_err();
+            let recoverable = parity_available && {
+                let g = group_of(i, width);
+                failures_in(g) == 1 && parity_ok.get(g).copied().unwrap_or(false)
+            };
+            let meta = &entry.chunks[i];
+            report.damaged.push(ScrubChunk {
+                field: entry.name.clone(),
+                chunk: ChunkKind::Data(i),
+                recoverable,
+                byte_range: report_range(&payload, meta.offset, meta.len),
+                error,
+            });
+        }
+        for (g, ok) in parity_ok.iter().enumerate() {
+            if *ok {
+                continue;
+            }
+            let error = parity_slice(bytes, &payload, entry, g).unwrap_err();
+            // A parity chunk is recomputable whenever all the data it
+            // protects is intact.
+            let recoverable = failures_in(g) == 0;
+            let meta = &entry.parity[g];
+            report.damaged.push(ScrubChunk {
+                field: entry.name.clone(),
+                chunk: ChunkKind::Parity(g),
+                recoverable,
+                byte_range: report_range(&payload, meta.offset, meta.len),
+                error,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Where a repaired chunk's bytes came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairSource {
+    /// Rebuilt from the XOR parity group.
+    Parity,
+    /// Copied from the replica store.
+    Replica,
+}
+
+/// One data chunk [`repair`] recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairedChunk {
+    /// Field the chunk belongs to.
+    pub field: String,
+    /// Data chunk index.
+    pub chunk: usize,
+    /// How it was recovered.
+    pub source: RepairSource,
+}
+
+/// One data chunk [`repair`] could not recover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LostChunk {
+    /// Field the chunk belongs to.
+    pub field: String,
+    /// Data chunk index.
+    pub chunk: usize,
+    /// Why every recovery avenue failed.
+    pub error: StoreError,
+}
+
+/// Outcome of [`repair`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The rewritten, fully verified store — `Some` only when **every**
+    /// data chunk was recovered (a partially repaired store would verify
+    /// clean while silently missing data, so none is emitted).
+    pub bytes: Option<Vec<u8>>,
+    /// Data chunks recovered, with their source.
+    pub repaired: Vec<RepairedChunk>,
+    /// Parity chunks rewritten (recomputed from the recovered data).
+    pub parity_rebuilt: usize,
+    /// Data chunks no avenue could recover.
+    pub lost: Vec<LostChunk>,
+}
+
+/// Checks that `replica` is structurally interchangeable with the store
+/// being repaired: same mesh structure bytes and same encoding parameters,
+/// so equal (chunk index → payload) mappings are meaningful.
+fn replica_compatible(ours: &StoreHeader, theirs: &StoreHeader) -> bool {
+    ours.structure == theirs.structure
+        && ours.policy == theirs.policy
+        && ours.mode == theirs.mode
+        && ours.codec == theirs.codec
+        && ours.value_type == theirs.value_type
+        && ours.chunk_target_bytes == theirs.chunk_target_bytes
+}
+
+/// Rewrites `bytes` as a clean store: damaged data chunks are rebuilt from
+/// parity where a group has exactly one failure, then (optionally) pulled
+/// from `replica` when parity cannot help; all parity chunks are
+/// recomputed from the recovered data. Every recovered payload is verified
+/// against its footer CRC before use. Container-level damage errors out —
+/// repair needs a trustworthy index.
+pub fn repair(bytes: &[u8], replica: Option<&[u8]>) -> Result<RepairOutcome, StoreError> {
+    let (header, fields, payload) = format::open(bytes)?;
+    let width = header.parity_group_width as usize;
+
+    // Parse and vet the replica once, up front. An incompatible replica is
+    // a caller error, not a silent no-op.
+    let replica_parts = match replica {
+        None => None,
+        Some(r) => {
+            let (rh, rf, rp) = format::open(r)?;
+            if !replica_compatible(&header, &rh) {
+                return Err(StoreError::Corrupt(
+                    "replica store does not match (structure or encoding differ)",
+                ));
+            }
+            Some((r, rf, rp))
+        }
+    };
+    let replica_chunk = |field_name: &str, i: usize, meta_len: u64, meta_crc: u32| {
+        let (rbytes, rfields, rpayload) = replica_parts.as_ref()?;
+        let rentry = rfields.iter().find(|f| f.name == field_name)?;
+        let rmeta = rentry.chunks.get(i)?;
+        // The replica's copy must be the *same* chunk (length and CRC
+        // agree with our footer), not merely a chunk at the same index.
+        if rmeta.len != meta_len || rmeta.crc != meta_crc {
+            return None;
+        }
+        data_slice(rbytes, rpayload, rentry, i).ok()
+    };
+
+    let mut outcome = RepairOutcome {
+        bytes: None,
+        repaired: Vec::new(),
+        parity_rebuilt: 0,
+        lost: Vec::new(),
+    };
+
+    // Phase 1 — recover every data chunk, field by field.
+    let mut recovered: Vec<Vec<Vec<u8>>> = Vec::with_capacity(fields.len());
+    for entry in &fields {
+        let mut chunks: Vec<Option<Vec<u8>>> = (0..entry.chunks.len())
+            .map(|i| {
+                data_slice(bytes, &payload, entry, i)
+                    .ok()
+                    .map(<[u8]>::to_vec)
+            })
+            .collect();
+        for i in 0..entry.chunks.len() {
+            if chunks[i].is_some() {
+                continue;
+            }
+            let meta = &entry.chunks[i];
+            // Avenue 1: XOR parity (single failure in the group, parity
+            // intact, every sibling intact).
+            let from_parity = (width > 0)
+                .then(|| {
+                    let g = group_of(i, width);
+                    let members = group_members(g, width, entry.chunks.len());
+                    if members.clone().filter(|&c| chunks[c].is_none()).count() != 1 {
+                        return None;
+                    }
+                    let parity = parity_slice(bytes, &payload, entry, g).ok()?;
+                    let siblings = members
+                        .filter(|&c| c != i)
+                        .map(|c| chunks[c].as_deref().expect("siblings intact"))
+                        .collect::<Vec<_>>();
+                    let rebuilt = reconstruct(parity, siblings, meta.len as usize)?;
+                    (crc32(&rebuilt) == meta.crc).then_some(rebuilt)
+                })
+                .flatten();
+            let (payload_bytes, source) = match from_parity {
+                Some(p) => (Some(p), RepairSource::Parity),
+                None => (
+                    replica_chunk(&entry.name, i, meta.len, meta.crc).map(<[u8]>::to_vec),
+                    RepairSource::Replica,
+                ),
+            };
+            match payload_bytes {
+                Some(p) => {
+                    chunks[i] = Some(p);
+                    outcome.repaired.push(RepairedChunk {
+                        field: entry.name.clone(),
+                        chunk: i,
+                        source,
+                    });
+                }
+                None => outcome.lost.push(LostChunk {
+                    field: entry.name.clone(),
+                    chunk: i,
+                    error: data_slice(bytes, &payload, entry, i).unwrap_err(),
+                }),
+            }
+        }
+        recovered.push(chunks.into_iter().map(|c| c.unwrap_or_default()).collect());
+    }
+
+    if !outcome.lost.is_empty() {
+        return Ok(outcome);
+    }
+
+    // Phase 2 — reassemble with the writer's deterministic layout
+    // (field-major data, then field-major parity), recomputing every
+    // offset and parity payload. For a writer-produced store this
+    // reproduces the pre-damage bytes exactly.
+    let mut new_payload: Vec<u8> = Vec::with_capacity(payload.len());
+    let mut entries: Vec<FieldEntry> = Vec::with_capacity(fields.len());
+    for (f, entry) in fields.iter().enumerate() {
+        let mut chunks = Vec::with_capacity(entry.chunks.len());
+        for (i, meta) in entry.chunks.iter().enumerate() {
+            let mut meta = *meta;
+            meta.offset = new_payload.len() as u64;
+            new_payload.extend_from_slice(&recovered[f][i]);
+            chunks.push(meta);
+        }
+        entries.push(FieldEntry {
+            name: entry.name.clone(),
+            resolved_bound: entry.resolved_bound,
+            chunks,
+            parity: Vec::new(),
+        });
+    }
+    for (f, entry) in fields.iter().enumerate() {
+        for g in 0..entry.parity.len() {
+            let members = group_members(g, width, entry.chunks.len());
+            let parity_bytes = build_group_parity(members.map(|c| recovered[f][c].as_slice()));
+            let crc = crc32(&parity_bytes);
+            if parity_slice(bytes, &payload, entry, g).is_err() || crc != entry.parity[g].crc {
+                outcome.parity_rebuilt += 1;
+            }
+            entries[f].parity.push(ParityMeta {
+                offset: new_payload.len() as u64,
+                len: parity_bytes.len() as u64,
+                crc,
+            });
+            new_payload.extend_from_slice(&parity_bytes);
+        }
+    }
+    outcome.bytes = Some(assemble(write_header(&header), &new_payload, &entries));
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultinject;
+    use crate::writer::StoreWriter;
+    use zmesh::CompressionConfig;
+    use zmesh_amr::{datasets, AmrField, StorageMode};
+
+    fn store(width: u32) -> Vec<u8> {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let fields: Vec<(&str, &AmrField)> =
+            ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+        StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(512)
+            .with_parity_group_width(width)
+            .write(&fields)
+            .unwrap()
+            .bytes
+    }
+
+    #[test]
+    fn scrub_is_clean_on_a_fresh_store_and_json_parses_shape() {
+        let bytes = store(8);
+        let report = scrub(&bytes).unwrap();
+        assert!(report.is_clean());
+        assert!(report.parity_available);
+        assert!(report.data_chunks > 0);
+        assert!(report.parity_chunks > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"clean\":true"));
+        assert!(json.contains("\"damaged\":[]"));
+    }
+
+    #[test]
+    fn scrub_classifies_recoverable_and_unrecoverable_damage() {
+        let mut bytes = store(8);
+        faultinject::flip_data_chunk(&mut bytes, 0, 1);
+        let report = scrub(&bytes).unwrap();
+        assert_eq!(report.damaged.len(), 1);
+        assert!(report.damaged[0].recoverable);
+        assert_eq!(report.recoverable(), 1);
+        assert_eq!(report.unrecoverable(), 0);
+
+        // Second failure in the same group makes both unrecoverable.
+        faultinject::flip_data_chunk(&mut bytes, 0, 2);
+        let report = scrub(&bytes).unwrap();
+        assert_eq!(report.damaged.len(), 2);
+        assert_eq!(report.unrecoverable(), 2);
+    }
+
+    #[test]
+    fn scrub_reports_v2_damage_as_unrecoverable() {
+        let mut bytes = store(0);
+        let report = scrub(&bytes).unwrap();
+        assert!(report.is_clean());
+        assert!(!report.parity_available);
+        assert_eq!(report.parity_chunks, 0);
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        let report = scrub(&bytes).unwrap();
+        assert_eq!(report.unrecoverable(), 1);
+        assert!(report.to_json().contains("\"parity_available\":false"));
+    }
+
+    #[test]
+    fn repair_restores_byte_identity_from_parity() {
+        let clean = store(8);
+        let mut bytes = clean.clone();
+        faultinject::flip_data_chunk(&mut bytes, 0, 1);
+        faultinject::flip_data_chunk(&mut bytes, 1, 3);
+        let outcome = repair(&bytes, None).unwrap();
+        assert_eq!(outcome.repaired.len(), 2);
+        assert!(outcome.lost.is_empty());
+        assert!(outcome
+            .repaired
+            .iter()
+            .all(|r| r.source == RepairSource::Parity));
+        assert_eq!(outcome.bytes.unwrap(), clean);
+    }
+
+    #[test]
+    fn repair_rebuilds_damaged_parity() {
+        let clean = store(8);
+        let mut bytes = clean.clone();
+        faultinject::flip_parity_chunk(&mut bytes, 0, 0);
+        let outcome = repair(&bytes, None).unwrap();
+        assert!(outcome.repaired.is_empty());
+        assert_eq!(outcome.parity_rebuilt, 1);
+        assert_eq!(outcome.bytes.unwrap(), clean);
+    }
+
+    #[test]
+    fn repair_pulls_from_replica_when_parity_cannot_help() {
+        let clean = store(8);
+        let mut bytes = clean.clone();
+        // Two failures in one group: beyond XOR parity.
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        faultinject::flip_data_chunk(&mut bytes, 0, 2);
+        let outcome = repair(&bytes, None).unwrap();
+        assert_eq!(outcome.lost.len(), 2);
+        assert!(outcome.bytes.is_none());
+
+        let outcome = repair(&bytes, Some(&clean)).unwrap();
+        assert!(outcome.lost.is_empty());
+        // Recovery cascades: once the replica restores the first chunk,
+        // the group is back to a single failure and parity finishes the
+        // job — so both sources appear.
+        assert!(outcome
+            .repaired
+            .iter()
+            .any(|r| r.source == RepairSource::Replica));
+        assert_eq!(outcome.bytes.unwrap(), clean);
+    }
+
+    #[test]
+    fn repair_rejects_mismatched_replica() {
+        let mut bytes = store(8);
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        let other = {
+            let ds = datasets::front2d(StorageMode::AllCells, datasets::Scale::Tiny);
+            let fields: Vec<(&str, &AmrField)> =
+                ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+            StoreWriter::new(CompressionConfig::zmesh_default())
+                .with_chunk_target_bytes(512)
+                .write(&fields)
+                .unwrap()
+                .bytes
+        };
+        assert!(matches!(
+            repair(&bytes, Some(&other)),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn repair_of_a_clean_store_is_the_identity() {
+        for width in [8u32, 0] {
+            let clean = store(width);
+            let outcome = repair(&clean, None).unwrap();
+            assert!(outcome.repaired.is_empty());
+            assert_eq!(outcome.parity_rebuilt, 0);
+            assert_eq!(outcome.bytes.unwrap(), clean, "width {width}");
+        }
+    }
+}

@@ -10,7 +10,10 @@
 
 use crate::cache::RecipeCache;
 use crate::chunk::{plan_chunks, ChunkPlan, DEFAULT_CHUNK_TARGET_BYTES};
-use crate::format::{assemble, write_header, FieldEntry, StoreError, StoreHeader};
+use crate::format::{assemble, write_header, FieldEntry, StoreError, StoreHeader, STORE_VERSION};
+use crate::parity::{
+    build_group_parity, group_count, group_members, ParityMeta, DEFAULT_PARITY_GROUP_WIDTH,
+};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,7 +55,12 @@ pub struct StoreWriteStats {
     pub container_bytes: usize,
     /// Compressed chunk payload bytes.
     pub payload_bytes: usize,
-    /// Header + footer + trailer bytes (everything except payloads).
+    /// XOR parity section bytes (0 when parity is disabled).
+    pub parity_bytes: usize,
+    /// Parity groups across all fields.
+    pub parity_groups: usize,
+    /// Header + footer + trailer bytes (everything except data and parity
+    /// payloads).
     pub metadata_bytes: usize,
 }
 
@@ -70,6 +78,37 @@ impl StoreWriteStats {
             1.0
         } else {
             self.encode_cpu_ns as f64 / self.encode_ns as f64
+        }
+    }
+
+    /// Parity section size relative to the data payload — ≈ 1/group-width
+    /// when chunk sizes are uniform, 0.0 with parity disabled.
+    pub fn parity_overhead(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            0.0
+        } else {
+            self.parity_bytes as f64 / self.payload_bytes as f64
+        }
+    }
+}
+
+/// Tunable knobs of a [`StoreWriter`] beyond the compression config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreWriteOptions {
+    /// Uncompressed bytes each chunk targets (the last chunk may be short).
+    pub chunk_target_bytes: u32,
+    /// Data chunks per XOR parity group. `0` disables parity entirely and
+    /// makes the writer emit a byte-identical **v2** store (useful for
+    /// interop with pre-parity readers and as the cross-version test
+    /// fixture).
+    pub parity_group_width: u32,
+}
+
+impl Default for StoreWriteOptions {
+    fn default() -> Self {
+        Self {
+            chunk_target_bytes: DEFAULT_CHUNK_TARGET_BYTES,
+            parity_group_width: DEFAULT_PARITY_GROUP_WIDTH,
         }
     }
 }
@@ -90,23 +129,37 @@ pub struct StoreWritten {
 #[derive(Debug, Clone)]
 pub struct StoreWriter {
     config: CompressionConfig,
-    chunk_target_bytes: u32,
+    options: StoreWriteOptions,
     cache: Arc<RecipeCache>,
 }
 
 impl StoreWriter {
-    /// Writer with [`DEFAULT_CHUNK_TARGET_BYTES`] and a private cache.
+    /// Writer with default [`StoreWriteOptions`] and a private cache.
     pub fn new(config: CompressionConfig) -> Self {
+        Self::with_options(config, StoreWriteOptions::default())
+    }
+
+    /// Writer with explicit options and a private cache.
+    pub fn with_options(config: CompressionConfig, options: StoreWriteOptions) -> Self {
         Self {
             config,
-            chunk_target_bytes: DEFAULT_CHUNK_TARGET_BYTES,
+            options: StoreWriteOptions {
+                chunk_target_bytes: options.chunk_target_bytes.max(8),
+                ..options
+            },
             cache: Arc::new(RecipeCache::new()),
         }
     }
 
     /// Sets the uncompressed bytes each chunk targets (min 8 = one value).
     pub fn with_chunk_target_bytes(mut self, bytes: u32) -> Self {
-        self.chunk_target_bytes = bytes.max(8);
+        self.options.chunk_target_bytes = bytes.max(8);
+        self
+    }
+
+    /// Sets the parity group width (`0` disables parity ⇒ v2 output).
+    pub fn with_parity_group_width(mut self, width: u32) -> Self {
+        self.options.parity_group_width = width;
         self
     }
 
@@ -124,6 +177,11 @@ impl StoreWriter {
     /// The compression configuration in use.
     pub fn config(&self) -> CompressionConfig {
         self.config
+    }
+
+    /// The write options in use.
+    pub fn options(&self) -> StoreWriteOptions {
+        self.options
     }
 
     /// Compresses `fields` (sharing one mesh) into a chunked, indexed
@@ -154,7 +212,7 @@ impl StoreWriter {
                 .get_or_build(tree, &structure, self.config.policy, grouping);
         let recipe_ns = t0.elapsed().as_nanos() as u64;
 
-        let chunk_values = (self.chunk_target_bytes as usize / 8).max(1);
+        let chunk_values = (self.options.chunk_target_bytes as usize / 8).max(1);
         let plan: ChunkPlan =
             plan_chunks(tree, &recipe, self.config.policy, grouping, chunk_values);
 
@@ -236,22 +294,51 @@ impl StoreWriter {
                 name: (*name).to_string(),
                 resolved_bound: reordered[f].1,
                 chunks,
+                parity: Vec::new(),
             });
         }
+        let payload_bytes = payload.len();
+
+        // Phase 4 — parity section, appended after the data payload in the
+        // same field-major order. One XOR chunk per group of `width` data
+        // chunks; offsets stay relative to the payload span like the data
+        // chunks', so readers slice both through one code path.
+        let width = self.options.parity_group_width as usize;
+        let mut parity_groups = 0usize;
+        if width > 0 {
+            for (f, entry) in entries.iter_mut().enumerate() {
+                let groups = group_count(n_chunks, width);
+                parity_groups += groups;
+                for g in 0..groups {
+                    let members = group_members(g, width, n_chunks);
+                    let bytes = build_group_parity(
+                        members.map(|c| compressed[f * n_chunks + c].0.as_slice()),
+                    );
+                    entry.parity.push(ParityMeta {
+                        offset: payload.len() as u64,
+                        len: bytes.len() as u64,
+                        crc: crc32(&bytes),
+                    });
+                    payload.extend_from_slice(&bytes);
+                }
+            }
+        }
+        let parity_bytes = payload.len() - payload_bytes;
 
         let header = StoreHeader {
+            version: if width == 0 { 2 } else { STORE_VERSION },
             policy: self.config.policy,
             mode,
             codec: self.config.codec,
             value_type: ValueType::F64,
-            chunk_target_bytes: self.chunk_target_bytes,
+            chunk_target_bytes: self.options.chunk_target_bytes,
+            parity_group_width: self.options.parity_group_width,
             structure,
             header_bytes: 0,
         };
         let bytes = assemble(write_header(&header), &payload, &entries);
 
         let raw_bytes: usize = fields.iter().map(|(_, f)| f.nbytes()).sum();
-        let payload_bytes = payload.len();
         Ok(StoreWritten {
             stats: StoreWriteStats {
                 recipe_ns,
@@ -266,7 +353,9 @@ impl StoreWriter {
                 raw_bytes,
                 container_bytes: bytes.len(),
                 payload_bytes,
-                metadata_bytes: bytes.len() - payload_bytes,
+                parity_bytes,
+                parity_groups,
+                metadata_bytes: bytes.len() - payload_bytes - parity_bytes,
             },
             bytes,
         })
@@ -307,9 +396,43 @@ mod tests {
         assert_eq!(out.stats.n_fields, ds.fields.len());
         assert_eq!(
             out.stats.container_bytes,
-            out.stats.payload_bytes + out.stats.metadata_bytes
+            out.stats.payload_bytes + out.stats.parity_bytes + out.stats.metadata_bytes
         );
+        assert!(out.stats.parity_groups > 0);
         assert!(out.stats.ratio() > 1.0);
+    }
+
+    #[test]
+    fn parity_overhead_is_bounded_by_group_width() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer = StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(1024)
+            .with_parity_group_width(4);
+        let out = writer.write(&small_fields(&ds)).unwrap();
+        assert!(out.stats.parity_bytes > 0);
+        // Each group's parity chunk is as long as its *largest* member, so
+        // the overhead can exceed 1/width when chunk sizes vary — but never
+        // by more than ~2x for these well-behaved payloads.
+        assert!(
+            out.stats.parity_overhead() <= 2.0 / 4.0,
+            "overhead {} too large",
+            out.stats.parity_overhead()
+        );
+    }
+
+    #[test]
+    fn zero_parity_width_writes_a_v2_store() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer = StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(2048)
+            .with_parity_group_width(0);
+        let out = writer.write(&small_fields(&ds)).unwrap();
+        assert_eq!(out.stats.parity_bytes, 0);
+        assert_eq!(out.stats.parity_groups, 0);
+        let (header, fields, _) = crate::format::open(&out.bytes).unwrap();
+        assert_eq!(header.version, 2);
+        assert!(!header.capabilities().parity);
+        assert!(fields.iter().all(|f| f.parity.is_empty()));
     }
 
     #[test]

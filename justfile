@@ -23,6 +23,10 @@ test:
 bench:
     cargo bench --workspace
 
+# Self-healing smoke: pack → inject fault → scrub → repair → bit-exact.
+scrub-smoke:
+    bash scripts/scrub_smoke.sh
+
 # Regenerate every reconstructed paper artifact.
 repro scale="small":
     cargo run --release -p zmesh-bench --bin repro_all -- --scale {{scale}}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Scrub/repair smoke test: drive the self-healing store end to end through
+# the real binaries.
+#
+#   pack → scrub (clean, exit 0)
+#        → inject one chunk fault → scrub (recoverable, exit 6)
+#        → repair from parity → byte-identical to the pristine store
+#        → inject two faults in one parity group → scrub (exit 4)
+#        → repair --replica → byte-identical again
+#
+# Uses only workspace binaries: the `zmesh` CLI and the gated
+# `faultinject` injector (zmesh-bench, --features faultinject).
+
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/zmesh_scrub_smoke.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT
+
+zmesh() { cargo run -q --release -p zmesh-cli --bin zmesh -- "$@"; }
+inject() {
+    cargo run -q --release -p zmesh-bench --features faultinject \
+        --bin faultinject -- "$@"
+}
+
+expect_code() {
+    local want=$1
+    shift
+    local got=0
+    "$@" || got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "scrub_smoke: expected exit $want from: $* (got $got)" >&2
+        exit 1
+    fi
+}
+
+echo "==> pack a parity-protected store"
+zmesh generate blast2d -o "$workdir/data.zmd" --scale tiny
+zmesh pack "$workdir/data.zmd" -o "$workdir/data.zms" --chunk-kb 1
+
+echo "==> pristine store scrubs clean (exit 0)"
+expect_code 0 zmesh scrub "$workdir/data.zms"
+
+echo "==> one flipped chunk: recoverable (exit 6)"
+cp "$workdir/data.zms" "$workdir/broken.zms"
+inject "$workdir/broken.zms" --data 0,1
+expect_code 6 zmesh scrub "$workdir/broken.zms"
+
+echo "==> repair from parity restores the exact bytes"
+expect_code 0 zmesh repair "$workdir/broken.zms" -o "$workdir/repaired.zms"
+cmp "$workdir/repaired.zms" "$workdir/data.zms"
+expect_code 0 zmesh scrub "$workdir/repaired.zms"
+
+echo "==> two faults in one parity group: beyond parity (exit 4)"
+cp "$workdir/data.zms" "$workdir/double.zms"
+inject "$workdir/double.zms" --data 0,0 --data 0,1
+expect_code 4 zmesh scrub "$workdir/double.zms"
+expect_code 4 zmesh repair "$workdir/double.zms" -o "$workdir/nope.zms"
+test ! -e "$workdir/nope.zms"
+
+echo "==> a replica rescues what parity cannot"
+expect_code 0 zmesh repair "$workdir/double.zms" -o "$workdir/rescued.zms" \
+    --replica "$workdir/data.zms"
+cmp "$workdir/rescued.zms" "$workdir/data.zms"
+
+echo "scrub_smoke: all steps passed"

@@ -30,6 +30,9 @@ step cargo test -q --release
 step cargo test -q --workspace
 step cargo test -q --release --workspace
 
+# Self-healing smoke: pack → inject fault → scrub → repair → bit-exact.
+step bash scripts/scrub_smoke.sh
+
 # Formatting and lints, when the components exist.
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all --check

@@ -16,8 +16,9 @@
 //! * [`codecs`] — SZ-like and ZFP-like error-bounded lossy compressors and
 //!   the lossless substrate (Huffman, range coder, Gorilla, RLE, LZSS).
 //! * [`metrics`] — smoothness, distortion, and ratio metrics.
-//! * [`store`] — the chunked, indexed v2 container with random-access
-//!   region queries and a recipe cache.
+//! * [`store`] — the chunked, indexed v2/v3 container with random-access
+//!   region queries, a recipe cache, and XOR-parity self-healing
+//!   (scrub/repair).
 
 pub use zmesh;
 pub use zmesh_amr as amr;
@@ -34,5 +35,8 @@ pub mod prelude {
     pub use zmesh_codecs::{Codec, CodecKind, CodecParams};
     pub use zmesh_metrics::{compression_ratio, max_abs_error, psnr, total_variation};
     pub use zmesh_sfc::{Curve, CurveKind};
-    pub use zmesh_store::{PipelineStoreExt, Query, RecipeCache, StoreReader, StoreWriter};
+    pub use zmesh_store::{
+        repair, scrub, PipelineStoreExt, Query, ReadPolicy, RecipeCache, RepairOutcome,
+        SalvageFill, ScrubReport, StoreReader, StoreWriteOptions, StoreWriter,
+    };
 }

@@ -170,15 +170,10 @@ fn store_random_garbage_never_panics() {
 }
 
 /// Corrupts one byte in each of `targets` = (field index, chunk index),
-/// located exactly via the store index.
+/// located exactly via the shared fault-injection harness.
 fn corrupt_chunks(bytes: &mut [u8], targets: &[(usize, usize)]) {
-    let (_, fields, payload) = zmesh_suite::store::open_parts(bytes).expect("open parts");
-    let offsets: Vec<usize> = targets
-        .iter()
-        .map(|&(f, c)| payload.start + fields[f].chunks[c].offset as usize)
-        .collect();
-    for pos in offsets {
-        bytes[pos] ^= 0xff;
+    for &(f, c) in targets {
+        zmesh_suite::store::faultinject::flip_data_chunk(bytes, f, c);
     }
 }
 
@@ -193,7 +188,8 @@ fn salvage_report_names_exactly_the_injected_chunks() {
         .expect("clean decode");
 
     // Inject damage into exactly these chunks of field 0 ("temperature");
-    // field 1 stays intact.
+    // field 1 stays intact. Both chunks sit in the same parity group
+    // (default width 8), so parity cannot rebuild either: both stay Lost.
     let injected = [(0usize, 0usize), (0, 2)];
     let mut bytes = clean.clone();
     corrupt_chunks(&mut bytes, &injected);
@@ -208,7 +204,7 @@ fn salvage_report_names_exactly_the_injected_chunks() {
     // Salvage: succeeds, and the report lists exactly the injected chunks.
     let reader = StoreReader::open(&bytes)
         .expect("open")
-        .with_read_policy(ReadPolicy::Salvage);
+        .with_read_policy(ReadPolicy::salvage());
     let (field, report) = reader
         .decode_field_with_report("temperature")
         .expect("salvage decode");

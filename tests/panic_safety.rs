@@ -2,9 +2,10 @@
 //!
 //! Every parser that accepts bytes from disk — the v1 container
 //! ([`zmesh::ContainerHeader::parse`], [`Pipeline::decompress`]) and the
-//! v2 store ([`zmesh_suite::store::open_parts`], [`StoreReader::open`]) —
-//! must return an `Err` on hostile input, never panic, abort, or wrap
-//! around. The suite feeds each of them:
+//! v2/v3 store ([`zmesh_suite::store::open_parts`], [`StoreReader::open`],
+//! [`zmesh_suite::store::scrub`], [`zmesh_suite::store::repair`]) — must
+//! return an `Err` on hostile input, never panic, abort, or wrap around.
+//! The suite feeds each of them:
 //!
 //! * truncations of a valid artifact at every kind of boundary,
 //! * multi-bit flips of a valid artifact (which may land in varint
@@ -71,7 +72,18 @@ fn must_not_panic(bytes: &[u8]) {
     let _ = Pipeline::list_fields(bytes);
     let _ = Pipeline::decompress(bytes);
     let _ = store::open_parts(bytes);
-    for policy in [ReadPolicy::Strict, ReadPolicy::Salvage] {
+    let _ = store::scrub(bytes);
+    let _ = store::repair(bytes, None);
+    let _ = store::repair(bytes, Some(bytes));
+    for policy in [
+        ReadPolicy::Strict,
+        ReadPolicy::Salvage {
+            fill: store::SalvageFill::Nan,
+        },
+        ReadPolicy::Salvage {
+            fill: store::SalvageFill::Zero,
+        },
+    ] {
         if let Ok(reader) = StoreReader::open(bytes) {
             let reader = reader.with_read_policy(policy);
             for name in reader.field_names() {

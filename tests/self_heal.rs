@@ -1,0 +1,272 @@
+//! Self-healing property suite: correlated damage patterns against the v3
+//! parity-protected store.
+//!
+//! The contract under test:
+//!
+//! * **One failure per parity group** is always recoverable: salvage reads
+//!   reconstruct the chunk in-flight (bit-identical to the clean decode),
+//!   and `repair` rewrites the whole container byte-identical to the
+//!   pristine bytes.
+//! * **Two failures in the same group** exceed XOR parity: both chunks are
+//!   classified `Lost` (never silently wrong), and `repair` refuses to
+//!   write output — unless a structurally identical replica supplies the
+//!   missing chunks.
+//! * **Parity-only damage** never costs data: full decodes still succeed
+//!   under salvage (the damage report names the group), and `repair`
+//!   rebuilds the parity section byte-identically from the intact data.
+//!
+//! Damage is injected exclusively through `zmesh_store::faultinject` so
+//! every test hits exactly the chunk it names.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::ErrorControl;
+use zmesh_suite::prelude::*;
+use zmesh_suite::store::{faultinject, DamageStatus, RepairSource, StoreWriteOptions};
+
+const WIDTH: u32 = 4;
+
+fn pristine() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+        let fields: Vec<(&str, &AmrField)> =
+            ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+        StoreWriter::with_options(
+            CompressionConfig {
+                policy: OrderingPolicy::Hilbert,
+                codec: CodecKind::Sz,
+                control: ErrorControl::ValueRangeRelative(1e-4),
+            },
+            StoreWriteOptions {
+                chunk_target_bytes: 1024,
+                parity_group_width: WIDTH,
+            },
+        )
+        .write(&fields)
+        .expect("write fixture")
+        .bytes
+    })
+}
+
+/// (field name, chunk count) for field 0 of the fixture.
+fn field0() -> (String, usize) {
+    let reader = StoreReader::open(pristine()).expect("open fixture");
+    let entry = &reader.fields()[0];
+    (entry.name.clone(), entry.chunks.len())
+}
+
+fn clean_decode(name: &str) -> Vec<u64> {
+    StoreReader::open(pristine())
+        .expect("open")
+        .decode_field(name)
+        .expect("decode")
+        .values()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // One corrupted chunk in every parity group — the worst damage that is
+    // still fully recoverable. Every chunk is Repaired (values
+    // bit-identical to the clean decode) and repair() restores the exact
+    // pristine bytes.
+    #[test]
+    fn one_failure_per_group_is_fully_repaired(seed in any::<u64>()) {
+        let (name, n_chunks) = field0();
+        prop_assume!(n_chunks > WIDTH as usize);
+        let mut rng = faultinject::Lcg::new(seed);
+        let mut bytes = pristine().clone();
+        let mut hit = Vec::new();
+        for group_start in (0..n_chunks).step_by(WIDTH as usize) {
+            let members = (n_chunks - group_start).min(WIDTH as usize);
+            let victim = group_start + rng.below(members);
+            faultinject::flip_data_chunk(&mut bytes, 0, victim);
+            hit.push(victim);
+        }
+
+        let reader = StoreReader::open(&bytes)
+            .expect("open")
+            .with_read_policy(ReadPolicy::salvage());
+        let (field, report) = reader
+            .decode_field_with_report(&name)
+            .expect("salvage decode");
+        for d in report.repaired() {
+            prop_assert_eq!(d.values_lost, 0);
+        }
+        let mut repaired: Vec<usize> = report.repaired().map(|d| d.chunk).collect();
+        repaired.sort_unstable();
+        prop_assert_eq!(&repaired, &hit, "every hit chunk must be Repaired");
+        prop_assert_eq!(report.lost().count(), 0);
+        prop_assert_eq!(report.total_values_lost(), 0);
+
+        let clean = clean_decode(&name);
+        for (v, c) in field.values().iter().zip(&clean) {
+            prop_assert_eq!(v.to_bits(), *c, "repaired values must be bit-identical");
+        }
+
+        let outcome = scrub(&bytes).expect("scrub");
+        prop_assert_eq!(outcome.unrecoverable(), 0);
+        prop_assert_eq!(outcome.recoverable(), hit.len());
+
+        let fixed = repair(&bytes, None).expect("repair");
+        prop_assert!(fixed.lost.is_empty());
+        prop_assert!(fixed.repaired.iter().all(|r| r.source == RepairSource::Parity));
+        prop_assert_eq!(fixed.bytes.expect("output"), pristine().clone(),
+            "repair must restore the pristine container byte for byte");
+    }
+
+    // Adjacent-pair damage: two consecutive chunks either share a parity
+    // group (both Lost, repair refuses) or straddle a group boundary
+    // (both Repaired, repair is byte-identical).
+    #[test]
+    fn adjacent_pair_damage_classifies_by_group_boundary(at in 0usize..64) {
+        let (name, n_chunks) = field0();
+        prop_assume!(n_chunks >= 2);
+        let first = at % (n_chunks - 1);
+        let same_group = first as u32 % WIDTH != WIDTH - 1;
+        let mut bytes = pristine().clone();
+        faultinject::flip_data_chunk(&mut bytes, 0, first);
+        faultinject::flip_data_chunk(&mut bytes, 0, first + 1);
+
+        let reader = StoreReader::open(&bytes)
+            .expect("open")
+            .with_read_policy(ReadPolicy::salvage());
+        let (_, report) = reader
+            .decode_field_with_report(&name)
+            .expect("salvage decode");
+        prop_assert_eq!(report.chunks.len(), 2);
+        let outcome = repair(&bytes, None).expect("repair");
+        if same_group {
+            prop_assert!(report.chunks.iter().all(|d| d.status == DamageStatus::Lost),
+                "two failures in one group must both be Lost");
+            prop_assert!(outcome.bytes.is_none(), "repair must refuse");
+            prop_assert_eq!(outcome.lost.len(), 2);
+            prop_assert_eq!(scrub(&bytes).expect("scrub").unrecoverable(), 2);
+            // A pristine replica rescues both, bit-exactly.
+            let rescued = repair(&bytes, Some(pristine())).expect("repair w/ replica");
+            prop_assert!(rescued.lost.is_empty());
+            prop_assert!(rescued
+                .repaired
+                .iter()
+                .any(|r| r.source == RepairSource::Replica));
+            prop_assert_eq!(rescued.bytes.expect("output"), pristine().clone());
+        } else {
+            prop_assert!(report.chunks.iter().all(|d| d.status == DamageStatus::Repaired),
+                "cross-boundary neighbors live in different groups");
+            prop_assert_eq!(outcome.bytes.expect("output"), pristine().clone());
+        }
+    }
+
+    // Parity-only damage: data reads stay clean (and bit-identical), the
+    // report names the damaged group, and repair rebuilds the parity
+    // section byte-identically from the intact data chunks.
+    #[test]
+    fn parity_damage_never_costs_data(group in 0usize..16) {
+        let (name, n_chunks) = field0();
+        let n_groups = n_chunks.div_ceil(WIDTH as usize);
+        let group = group % n_groups;
+        let mut bytes = pristine().clone();
+        faultinject::flip_parity_chunk(&mut bytes, 0, group);
+
+        // Strict full decode refuses: the store is not pristine.
+        let strict = StoreReader::open(&bytes).expect("open");
+        prop_assert!(strict.decode_field(&name).is_err());
+
+        // Salvage decode: all data intact, damage confined to parity.
+        let reader = StoreReader::open(&bytes)
+            .expect("open")
+            .with_read_policy(ReadPolicy::salvage());
+        let (field, report) = reader
+            .decode_field_with_report(&name)
+            .expect("salvage decode");
+        prop_assert!(report.chunks.is_empty(), "no data chunk may be reported");
+        prop_assert_eq!(report.parity.len(), 1);
+        prop_assert_eq!(report.parity[0].group, group);
+        let clean = clean_decode(&name);
+        for (v, c) in field.values().iter().zip(&clean) {
+            prop_assert_eq!(v.to_bits(), *c);
+        }
+
+        // Scrub classifies it recoverable; repair regenerates the parity.
+        let outcome = scrub(&bytes).expect("scrub");
+        prop_assert_eq!(outcome.unrecoverable(), 0);
+        prop_assert!(outcome.recoverable() >= 1);
+        let fixed = repair(&bytes, None).expect("repair");
+        prop_assert!(fixed.parity_rebuilt >= 1);
+        prop_assert_eq!(fixed.bytes.expect("output"), pristine().clone());
+    }
+}
+
+/// A whole parity group wiped out (every member + its parity chunk) is
+/// beyond self-healing: salvage fills the gap with the requested fill
+/// value, and only a replica brings the bytes back.
+#[test]
+fn whole_group_loss_fills_and_needs_a_replica() {
+    let (name, n_chunks) = field0();
+    assert!(n_chunks >= WIDTH as usize, "fixture too small");
+    let mut bytes = pristine().clone();
+    for c in 0..WIDTH as usize {
+        faultinject::flip_data_chunk(&mut bytes, 0, c);
+    }
+    faultinject::flip_parity_chunk(&mut bytes, 0, 0);
+
+    for fill in [SalvageFill::Nan, SalvageFill::Zero] {
+        let reader = StoreReader::open(&bytes)
+            .expect("open")
+            .with_read_policy(ReadPolicy::Salvage { fill });
+        let (field, report) = reader
+            .decode_field_with_report(&name)
+            .expect("salvage decode");
+        assert_eq!(report.lost().count(), WIDTH as usize);
+        assert_eq!(report.repaired().count(), 0);
+        assert_eq!(report.fill, fill);
+        assert!(report.total_values_lost() > 0);
+        let filled = field
+            .values()
+            .iter()
+            .filter(|v| match fill {
+                SalvageFill::Nan => v.is_nan(),
+                SalvageFill::Zero => v.to_bits() == 0,
+            })
+            .count();
+        assert!(
+            filled >= report.total_values_lost(),
+            "every lost cell must carry the fill value"
+        );
+    }
+
+    assert!(repair(&bytes, None).expect("repair").bytes.is_none());
+    let rescued = repair(&bytes, Some(pristine())).expect("repair w/ replica");
+    assert!(rescued.lost.is_empty());
+    assert_eq!(rescued.bytes.expect("output"), pristine().clone());
+}
+
+/// A replica from a different mesh (or different chunking) must be
+/// rejected outright rather than splicing foreign bytes into the store.
+#[test]
+fn mismatched_replica_is_rejected() {
+    let ds = datasets::blast2d(StorageMode::AllCells, Scale::Tiny);
+    let fields: Vec<(&str, &AmrField)> = ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let other = StoreWriter::new(CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    })
+    .write(&fields)
+    .expect("write other")
+    .bytes;
+
+    let mut bytes = pristine().clone();
+    faultinject::flip_data_chunk(&mut bytes, 0, 0);
+    faultinject::flip_data_chunk(&mut bytes, 0, 1);
+    assert!(
+        repair(&bytes, Some(&other)).is_err(),
+        "structurally different replica must be refused"
+    );
+}

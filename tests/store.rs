@@ -179,3 +179,87 @@ fn pipeline_pack_and_shared_tree_arc() {
     assert!(Arc::ptr_eq(field.tree(), reader.tree()));
     assert_eq!(field.len(), ds.fields[0].1.len());
 }
+
+/// Satellite: version negotiation. A writer configured with parity width 0
+/// emits a v2 store (no parity section, no width field); the v3 reader
+/// opens it, queries it, and full-decodes it exactly like a v3 store, and
+/// scrub reports "no parity available" instead of erroring.
+#[test]
+fn v3_reader_round_trips_v2_stores() {
+    use zmesh_suite::store::{StoreCapabilities, StoreWriteOptions, MIN_STORE_VERSION};
+
+    let ds = datasets::blast2d(StorageMode::AllCells, Scale::Tiny);
+    let v2 = StoreWriter::with_options(
+        config(OrderingPolicy::Hilbert),
+        StoreWriteOptions {
+            chunk_target_bytes: 2048,
+            parity_group_width: 0,
+        },
+    )
+    .write(&refs(&ds))
+    .expect("write v2");
+    let v3 = StoreWriter::new(config(OrderingPolicy::Hilbert))
+        .with_chunk_target_bytes(2048)
+        .write(&refs(&ds))
+        .expect("write v3");
+
+    let r2 = StoreReader::open(&v2.bytes).expect("v3 reader opens v2");
+    let r3 = StoreReader::open(&v3.bytes).expect("open v3");
+    assert_eq!(r2.header().version, MIN_STORE_VERSION);
+    assert_eq!(r3.header().version, zmesh_suite::store::STORE_VERSION);
+    assert_eq!(
+        r2.header().capabilities(),
+        StoreCapabilities { parity: false }
+    );
+    assert_eq!(
+        r3.header().capabilities(),
+        StoreCapabilities { parity: true }
+    );
+    assert_eq!(v2.stats.parity_bytes, 0);
+    assert!(v3.stats.parity_bytes > 0);
+
+    // Decoded values are bit-identical across versions: parity changes the
+    // container, never the data.
+    for name in ["density", "energy"] {
+        if !r2.field_names().contains(&name) {
+            continue;
+        }
+        let f2 = r2.decode_field(name).expect("decode v2");
+        let f3 = r3.decode_field(name).expect("decode v3");
+        for (a, b) in f2.values().iter().zip(f3.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let q = Query::bbox([0, 0, 0], [3, 3, 0]);
+        let q2 = r2.query(name, &q).expect("query v2");
+        let q3 = r3.query(name, &q).expect("query v3");
+        assert_eq!(q2.values, q3.values);
+    }
+
+    // Scrub degrades gracefully on a parity-less store.
+    let report = scrub(&v2.bytes).expect("scrub v2");
+    assert!(report.is_clean());
+    assert!(!report.parity_available);
+    assert_eq!(report.parity_chunks, 0);
+    let report = scrub(&v3.bytes).expect("scrub v3");
+    assert!(report.parity_available);
+    assert!(report.parity_chunks > 0);
+}
+
+/// Satellite: the parity section's cost is bounded by the group width —
+/// roughly one parity chunk per `width` data chunks.
+#[test]
+fn parity_overhead_is_a_small_fraction_of_payload() {
+    let ds = datasets::front2d(StorageMode::AllCells, Scale::Small);
+    for width in [4u32, 8, 16] {
+        let out = StoreWriter::new(config(OrderingPolicy::Hilbert))
+            .with_chunk_target_bytes(2048)
+            .with_parity_group_width(width)
+            .write(&refs(&ds))
+            .expect("write store");
+        let overhead = out.stats.parity_overhead();
+        assert!(
+            overhead <= 2.0 / width as f64,
+            "width {width}: parity overhead {overhead:.3} exceeds ~1/{width}"
+        );
+    }
+}
