@@ -1,13 +1,14 @@
-//! Criterion bench: v2/v3 store region-query latency vs full decode,
+//! Criterion bench: v2/v3/v4 store region-query latency vs full decode,
 //! recipe-cache amortization on multi-field writes, and the self-healing
-//! path (parity write overhead, scrub throughput, single-chunk repair).
+//! path (XOR vs Reed–Solomon parity write overhead across a k+m sweep,
+//! scrub throughput, single- and multi-erasure repair).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use zmesh::{CompressionConfig, OrderingPolicy};
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::StorageMode;
 use zmesh_codecs::{CodecKind, ErrorControl};
-use zmesh_store::{faultinject, Query, RecipeCache, StoreReader, StoreWriter};
+use zmesh_store::{faultinject, Parity, Query, RecipeCache, StoreReader, StoreWriter};
 
 fn config() -> CompressionConfig {
     CompressionConfig {
@@ -90,15 +91,27 @@ fn bench_store(c: &mut Criterion) {
     // parity section stays ≤ ~1/group-width of the payload.
     let mut g = c.benchmark_group("store_self_heal");
     g.throughput(Throughput::Bytes(ds.nbytes() as u64));
-    for width in [0u32, 8] {
+    // XOR vs Reed–Solomon across a k+m sweep: same 8-chunk group span, so
+    // the label directly compares the GF(2^8) encode cost against the
+    // plain XOR fold (rs 8+1 vs xor 8) and what each extra healing shard
+    // adds (8+2, 8+4, plus a narrow 4+2 group).
+    let schemes = [
+        ("none", Parity::None),
+        ("xor_8", Parity::Xor { width: 8 }),
+        ("rs_8_1", Parity::Rs { data: 8, parity: 1 }),
+        ("rs_8_2", Parity::Rs { data: 8, parity: 2 }),
+        ("rs_8_4", Parity::Rs { data: 8, parity: 4 }),
+        ("rs_4_2", Parity::Rs { data: 4, parity: 2 }),
+    ];
+    for (label, parity) in schemes {
         let out = StoreWriter::new(config())
             .with_chunk_target_bytes(8 * 1024)
-            .with_parity_group_width(width)
+            .with_parity(parity)
             .write(&fields)
             .expect("write store");
-        if width > 0 {
+        if out.stats.parity_bytes > 0 {
             eprintln!(
-                "store_self_heal: width {width}: parity overhead {:.4} \
+                "store_self_heal: {label}: parity overhead {:.4} \
                  ({} parity bytes over {} payload bytes, {} groups)",
                 out.stats.parity_overhead(),
                 out.stats.parity_bytes,
@@ -106,11 +119,11 @@ fn bench_store(c: &mut Criterion) {
                 out.stats.parity_groups,
             );
         }
-        g.bench_function(format!("write_parity_width_{width}"), |b| {
+        g.bench_function(format!("write_parity_{label}"), |b| {
             b.iter(|| {
                 StoreWriter::new(config())
                     .with_chunk_target_bytes(8 * 1024)
-                    .with_parity_group_width(width)
+                    .with_parity(parity)
                     .write(black_box(&fields))
                     .unwrap()
             })
@@ -129,6 +142,19 @@ fn bench_store(c: &mut Criterion) {
     faultinject::flip_data_chunk(&mut damaged, 0, 0);
     g.bench_function("repair_one_chunk", |b| {
         b.iter(|| zmesh_store::repair(black_box(&damaged), None).unwrap())
+    });
+    // Multi-erasure repair: two failures in one RS group exercise the
+    // Cauchy-matrix solve instead of the XOR fold.
+    let rs_clean = StoreWriter::new(config())
+        .with_chunk_target_bytes(8 * 1024)
+        .with_parity(Parity::Rs { data: 8, parity: 2 })
+        .write(&fields)
+        .expect("write store")
+        .bytes;
+    let mut rs_damaged = rs_clean.clone();
+    faultinject::flip_data_chunks(&mut rs_damaged, 0, &[0, 1]);
+    g.bench_function("repair_two_chunks_rs_8_2", |b| {
+        b.iter(|| zmesh_store::repair(black_box(&rs_damaged), None).unwrap())
     });
     g.finish();
 }

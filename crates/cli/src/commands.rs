@@ -8,7 +8,8 @@ use zmesh_amr::{load_dataset, save_dataset, AmrField, DatasetStats, StorageMode}
 use zmesh_codecs::{CodecKind, ErrorControl};
 use zmesh_metrics::ErrorStats;
 use zmesh_store::{
-    DamageReport, Query, ReadPolicy, RepairSource, SalvageFill, StoreReader, StoreWriter,
+    DamageReport, Parity, Query, RawSource, ReadPolicy, RecipeCache, RepairSource, SalvageFill,
+    StoreError, StoreReader, StoreWriter, DEFAULT_PARITY_GROUP_WIDTH,
 };
 
 fn parse_scale(args: &Args) -> Result<Scale, CliError> {
@@ -60,6 +61,56 @@ fn parse_control(args: &Args) -> Result<ErrorControl, CliError> {
         (None, Some(rel)) => Ok(ErrorControl::ValueRangeRelative(rel)),
         (None, None) => Ok(ErrorControl::ValueRangeRelative(1e-4)),
     }
+}
+
+/// Parses the erasure-protection scheme: `--parity none|xor[:W]|rs:K,M`
+/// (or the legacy `--parity-width N`, where 0 means none and `N > 0` an
+/// XOR group of `N`). Returns `None` when neither flag was given.
+fn parse_parity(args: &Args) -> Result<Option<Parity>, CliError> {
+    let spec = match (args.option("parity"), args.option("parity-width")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--parity and --parity-width are mutually exclusive".into(),
+            ))
+        }
+        (None, Some(w)) => {
+            let width: u32 = w
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--parity-width: not a count: {w}")))?;
+            return Ok(Some(if width == 0 {
+                Parity::None
+            } else {
+                Parity::Xor { width }
+            }));
+        }
+        (Some(s), None) => s,
+        (None, None) => return Ok(None),
+    };
+    let bad = || {
+        CliError::Usage(format!(
+            "--parity {spec:?}: want none, xor, xor:WIDTH, or rs:DATA,PARITY"
+        ))
+    };
+    let parity = if spec == "none" {
+        Parity::None
+    } else if spec == "xor" {
+        Parity::Xor {
+            width: DEFAULT_PARITY_GROUP_WIDTH,
+        }
+    } else if let Some(w) = spec.strip_prefix("xor:") {
+        Parity::Xor {
+            width: w.parse().map_err(|_| bad())?,
+        }
+    } else if let Some(km) = spec.strip_prefix("rs:") {
+        let (k, m) = km.split_once(',').ok_or_else(bad)?;
+        Parity::Rs {
+            data: k.trim().parse().map_err(|_| bad())?,
+            parity: m.trim().parse().map_err(|_| bad())?,
+        }
+    } else {
+        return Err(bad());
+    };
+    Ok(Some(parity))
 }
 
 fn parse_config(args: &Args) -> Result<CompressionConfig, CliError> {
@@ -191,8 +242,11 @@ pub fn extract(argv: &[String]) -> Result<(), CliError> {
 }
 
 /// `zmesh pack <in.zmd> -o <out.zms> [--policy] [--codec] [--rel-eb|--abs-eb]
-/// [--chunk-kb N] [--parity-width N]` — write a chunked, indexed store
-/// (v3 with XOR parity by default; `--parity-width 0` writes a plain v2).
+/// [--chunk-kb N] [--parity none|xor[:W]|rs:K,M]` — write a chunked,
+/// indexed store (v3 with XOR parity by default; `--parity none` writes a
+/// plain v2, `--parity rs:K,M` a v4 with `M` Reed–Solomon shards per group
+/// of `K` chunks). The output lands via an atomic temp-file + rename, so a
+/// crash mid-pack never leaves a half-written store at the target path.
 pub fn pack(argv: &[String]) -> Result<(), CliError> {
     let args = parse(argv)?;
     let input = positional(&args, 0, "input dataset (.zmd)")?;
@@ -206,14 +260,10 @@ pub fn pack(argv: &[String]) -> Result<(), CliError> {
         }
         writer = writer.with_chunk_target_bytes((kb * 1024.0) as u32);
     }
-    if let Some(w) = args.option("parity-width") {
-        let width: u32 = w
-            .parse()
-            .map_err(|_| CliError::Usage(format!("--parity-width: not a count: {w}")))?;
-        writer = writer.with_parity_group_width(width);
+    if let Some(parity) = parse_parity(&args)? {
+        writer = writer.with_parity(parity);
     }
-    let written = writer.write(&field_refs(&ds))?;
-    write_file(out, &written.bytes)?;
+    let written = writer.write_to_path(&field_refs(&ds), std::path::Path::new(out))?;
     let s = written.stats;
     println!(
         "wrote {out}: {} -> {} bytes (ratio {:.2}) | {} fields x {} chunks, {} parity bytes ({} groups), {} index bytes",
@@ -248,10 +298,16 @@ fn print_damage(report: &DamageReport) {
     for (field, lost) in report.by_field() {
         eprintln!("  field {field:?}: {lost} value(s) lost");
     }
+    for g in &report.groups {
+        eprintln!(
+            "  field {:?}: group {}: {} erasure(s), {} repaired",
+            g.field, g.group, g.erasures, g.repaired
+        );
+    }
     for p in &report.parity {
         eprintln!(
-            "  field {:?}: parity group {} damaged (data intact, healing margin reduced)",
-            p.field, p.group
+            "  field {:?}: parity group {} shard {} damaged (data intact, healing margin reduced)",
+            p.field, p.group, p.shard
         );
     }
 }
@@ -315,12 +371,22 @@ pub fn unpack(argv: &[String]) -> Result<(), CliError> {
 /// `zmesh scrub <in.zms>` — verify every data and parity chunk's CRC
 /// without decoding payloads and print a JSON damage summary on stdout.
 /// Exit 0 when clean, 6 when all damage is parity-recoverable, 4 when any
-/// chunk is beyond parity.
+/// chunk is beyond parity, 7 when the store is a torn (incomplete) write.
 pub fn scrub(argv: &[String]) -> Result<(), CliError> {
     let args = parse(argv)?;
     let input = positional(&args, 0, "input store (.zms)")?;
     let bytes = read_file(input)?;
-    let report = zmesh_store::scrub(&bytes)?;
+    let report = match zmesh_store::scrub(&bytes) {
+        Err(StoreError::Torn) => {
+            println!("{{\"torn\":true,\"clean\":false}}");
+            return Err(CliError::Torn(
+                "store is torn (incomplete write, no commit record): \
+                 rerun the writer or `zmesh repair --from-raw <dataset.zmd>`"
+                    .into(),
+            ));
+        }
+        other => other?,
+    };
     println!("{}", report.to_json());
     if !report.parity_available {
         eprintln!(
@@ -344,18 +410,35 @@ pub fn scrub(argv: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// `zmesh repair <in.zms> -o <out.zms> [--replica <other.zms>]` — rewrite
-/// a damaged store by rebuilding chunks from parity (and, with
-/// `--replica`, from a structurally identical second copy). The output is
-/// written only when every chunk was recovered; otherwise the losses are
-/// listed and the exit code is 4.
+/// `zmesh repair <in.zms> -o <out.zms> [--replica <other.zms>]
+/// [--from-raw <dataset.zmd>]` — rewrite a damaged store by rebuilding
+/// chunks from parity (XOR or Reed–Solomon), then from a structurally
+/// identical `--replica` copy, then by re-encoding lost chunks from the
+/// original `--from-raw` dataset; the avenues cascade until nothing more
+/// heals. A *torn* store (interrupted write, no commit record) has no
+/// trustworthy index, so it is rebuilt from `--from-raw` wholesale and
+/// accepted only when the result extends the torn prefix byte-for-byte.
+/// The output is written only when every chunk was recovered; otherwise
+/// the losses are listed and the exit code is 4.
 pub fn repair(argv: &[String]) -> Result<(), CliError> {
     let args = parse(argv)?;
     let input = positional(&args, 0, "input store (.zms)")?;
     let out = required(&args, "output")?;
     let bytes = read_file(input)?;
+    let raw_ds = args.option("from-raw").map(load_dataset).transpose()?;
+    if matches!(zmesh_store::open_parts(&bytes), Err(StoreError::Torn)) {
+        let Some(ds) = &raw_ds else {
+            return Err(CliError::Torn(
+                "store is torn (incomplete write); pass --from-raw <dataset.zmd> to rebuild it"
+                    .into(),
+            ));
+        };
+        return rebuild_torn(&bytes, ds, &args, out);
+    }
     let replica = args.option("replica").map(read_file).transpose()?;
-    let outcome = zmesh_store::repair(&bytes, replica.as_deref())?;
+    let raw_fields = raw_ds.as_ref().map(field_refs);
+    let raw = raw_fields.as_deref().map(RawSource::new);
+    let outcome = zmesh_store::repair_with(&bytes, replica.as_deref(), raw.as_ref())?;
     for r in &outcome.repaired {
         println!(
             "repaired field {:?} chunk {} from {}",
@@ -364,6 +447,7 @@ pub fn repair(argv: &[String]) -> Result<(), CliError> {
             match r.source {
                 RepairSource::Parity => "parity",
                 RepairSource::Replica => "replica",
+                RepairSource::Raw => "raw data",
             }
         );
     }
@@ -386,14 +470,49 @@ pub fn repair(argv: &[String]) -> Result<(), CliError> {
             Err(CliError::Corrupt(format!(
                 "{} chunk(s) unrecoverable{}; no output written",
                 outcome.lost.len(),
-                if replica.is_some() {
-                    " even with the replica"
+                if replica.is_some() || raw_ds.is_some() {
+                    " even with the extra sources"
                 } else {
-                    " (try --replica <copy>)"
+                    " (try --replica <copy> or --from-raw <dataset.zmd>)"
                 },
             )))
         }
     }
+}
+
+/// Rebuilds a torn store from the original dataset: the surviving header
+/// prefix supplies the encoding parameters (policy, codec, chunking,
+/// parity scheme), the error bound comes from `--rel-eb`/`--abs-eb`
+/// (default: the pack default), and the rebuilt store is accepted only
+/// when the torn file is a byte-for-byte prefix of it — proof it is the
+/// same write, just completed.
+fn rebuild_torn(torn: &[u8], ds: &Dataset, args: &Args, out: &str) -> Result<(), CliError> {
+    let header = zmesh_store::peek_header(torn)
+        .map_err(|e| CliError::Torn(format!("torn store header unreadable: {e}")))?;
+    let config = CompressionConfig {
+        policy: header.policy,
+        codec: header.codec,
+        control: parse_control(args)?,
+    };
+    let writer = StoreWriter::new(config)
+        .with_chunk_target_bytes(header.chunk_target_bytes)
+        .with_parity(header.scheme());
+    let written = writer.write(&field_refs(ds))?;
+    if !written.bytes.starts_with(torn) {
+        return Err(CliError::Verify(
+            "rebuilt store does not extend the torn prefix — the dataset or \
+             error bound differ from the original write; no output written"
+                .into(),
+        ));
+    }
+    zmesh_store::persist(&written.bytes, std::path::Path::new(out))
+        .map_err(|e| CliError::io(out, e))?;
+    println!(
+        "wrote {out}: torn store rebuilt from raw data ({} bytes, verified against the {}-byte torn prefix)",
+        written.bytes.len(),
+        torn.len()
+    );
+    Ok(())
 }
 
 /// Parses `x0,y0[,z0]:x1,y1[,z1]` into inclusive finest-grid corners.
@@ -467,13 +586,16 @@ pub fn query(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `zmesh info <file>` — dataset, v1 container, or v2/v3 store, by magic.
+/// `zmesh info <file> [--stats]` — dataset, v1 container, or v2/v3/v4
+/// store, by magic. `--stats` additionally exercises and prints the
+/// recipe-cache counters (hits, misses, collisions, poison recoveries).
 pub fn info(argv: &[String]) -> Result<(), CliError> {
-    let args = parse(argv)?;
+    let args = Args::parse_with_switches(argv, &["stats"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input file")?;
     let bytes = read_file(input)?;
     if zmesh_store::is_store(&bytes) {
-        let reader = StoreReader::open(&bytes)?;
+        let cache = RecipeCache::new();
+        let reader = StoreReader::open_with_cache(&bytes, &cache)?;
         let h = reader.header();
         let tree = reader.tree();
         println!(
@@ -484,10 +606,11 @@ pub fn info(argv: &[String]) -> Result<(), CliError> {
             reader.fields().len(),
             bytes.len(),
             h.chunk_target_bytes / 1024,
-            if h.capabilities().parity {
-                format!("parity width {}", h.parity_group_width)
-            } else {
-                "no parity".to_string()
+            match h.scheme() {
+                Parity::None => "no parity".to_string(),
+                Parity::Xor { width } => format!("parity width {width}"),
+                Parity::Rs { data, parity } =>
+                    format!("rs parity {data}+{parity} (heals {parity}/group)"),
             },
         );
         println!(
@@ -509,6 +632,17 @@ pub fn info(argv: &[String]) -> Result<(), CliError> {
                     Some(b) => format!(", abs bound {b:.3e}"),
                     None => String::new(),
                 },
+            );
+        }
+        if args.switch("stats") {
+            // A second open through the same cache turns the counters
+            // over: one miss from the first open, one hit here — plus any
+            // collisions or poison recoveries the cache had to absorb.
+            let _ = StoreReader::open_with_cache(&bytes, &cache)?;
+            let s = cache.stats();
+            println!(
+                "  recipe cache: {} hit(s), {} miss(es), {} collision(s), {} poison recovery(ies), {} entry(ies)",
+                s.hits, s.misses, s.collisions, s.poison_recoveries, s.entries
             );
         }
     } else if bytes.starts_with(zmesh::CONTAINER_MAGIC) {

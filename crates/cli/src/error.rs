@@ -11,9 +11,12 @@
 //! | 4    | corrupt or truncated container / dataset             |
 //! | 5    | verification failed (data exceeded error bound)      |
 //! | 6    | damage found, but all of it is parity-recoverable    |
+//! | 7    | torn store (interrupted write, no commit record)     |
 //!
 //! Code 6 lets a monitoring loop distinguish "run `zmesh repair` now" from
-//! "restore from backup" (code 4) without parsing the scrub report.
+//! "restore from backup" (code 4) without parsing the scrub report. Code 7
+//! separates "the writer never finished" (rerun it, or
+//! `zmesh repair --from-raw`) from bit rot in a completed store (code 4).
 
 use std::fmt;
 use zmesh::ZmeshError;
@@ -37,6 +40,10 @@ pub enum CliError {
     /// from parity — `zmesh repair` will restore the store bit-exactly.
     /// Exit code 6.
     Recoverable(String),
+    /// The store is an incomplete write: its v4 commit record is missing
+    /// or invalid, so the file was torn mid-write rather than corrupted
+    /// after the fact. Exit code 7.
+    Torn(String),
 }
 
 impl CliError {
@@ -48,6 +55,7 @@ impl CliError {
             CliError::Corrupt(_) => 4,
             CliError::Verify(_) => 5,
             CliError::Recoverable(_) => 6,
+            CliError::Torn(_) => 7,
         }
     }
 
@@ -65,6 +73,7 @@ impl fmt::Display for CliError {
             CliError::Corrupt(msg) => write!(f, "{msg}"),
             CliError::Verify(msg) => write!(f, "{msg}"),
             CliError::Recoverable(msg) => write!(f, "{msg}"),
+            CliError::Torn(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -90,6 +99,9 @@ impl From<StoreError> for CliError {
     fn from(e: StoreError) -> Self {
         match e {
             StoreError::UnknownField(_) | StoreError::BadQuery(_) => CliError::Usage(e.to_string()),
+            StoreError::InvalidOptions(_) => CliError::Usage(e.to_string()),
+            StoreError::Torn => CliError::Torn(e.to_string()),
+            StoreError::Io(_) => CliError::Io(e.to_string()),
             StoreError::Amr(inner) => inner.into(),
             other => CliError::Corrupt(other.to_string()),
         }
@@ -108,6 +120,7 @@ mod tests {
             CliError::Corrupt(String::new()),
             CliError::Verify(String::new()),
             CliError::Recoverable(String::new()),
+            CliError::Torn(String::new()),
         ];
         let mut codes: Vec<u8> = all.iter().map(|e| e.exit_code()).collect();
         codes.sort_unstable();
@@ -119,6 +132,15 @@ mod tests {
     #[test]
     fn store_errors_bucket_sensibly() {
         assert_eq!(CliError::from(StoreError::BadMagic).exit_code(), 4);
+        assert_eq!(CliError::from(StoreError::Torn).exit_code(), 7);
+        assert_eq!(
+            CliError::from(StoreError::InvalidOptions("bad geometry")).exit_code(),
+            2
+        );
+        assert_eq!(
+            CliError::from(StoreError::Io("disk gone".into())).exit_code(),
+            3
+        );
         assert_eq!(
             CliError::from(StoreError::UnknownField("x".into())).exit_code(),
             2

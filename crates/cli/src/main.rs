@@ -6,17 +6,17 @@
 //!                                     [--codec sz|zfp] [--rel-eb 1e-4 | --abs-eb X]
 //! zmesh decompress data.zmc -o restored.zmd
 //! zmesh extract data.zmc --field <name> -o field.zmd
-//! zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64] [--parity-width 8]
+//! zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64] [--parity none|xor[:W]|rs:K,M]
 //! zmesh unpack data.zms -o restored.zmd [--salvage] [--salvage-fill nan|zero]
 //! zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L] [--salvage] [-o out.csv]
 //! zmesh scrub data.zms
-//! zmesh repair data.zms -o repaired.zms [--replica copy.zms]
-//! zmesh info <file.zmd | file.zmc | file.zms>
+//! zmesh repair data.zms -o repaired.zms [--replica copy.zms] [--from-raw data.zmd]
+//! zmesh info <file.zmd | file.zmc | file.zms> [--stats]
 //! zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage, 3 I/O, 4 corrupt input, 5 verification
-//! failure, 6 recoverable damage (see [`error::CliError`]).
+//! failure, 6 recoverable damage, 7 torn store (see [`error::CliError`]).
 
 mod args;
 mod commands;
@@ -74,14 +74,14 @@ fn print_usage() {
          \x20                                     [--codec sz|zfp] [--rel-eb 1e-4 | --abs-eb X]\n\
          \x20 zmesh decompress data.zmc -o restored.zmd\n\
          \x20 zmesh extract data.zmc --field <name> -o field.zmd\n\
-         \x20 zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64] [--parity-width 8]\n\
+         \x20 zmesh pack data.zmd -o data.zms [compress flags] [--chunk-kb 64] [--parity none|xor[:W]|rs:K,M]\n\
          \x20 zmesh unpack data.zms -o restored.zmd [--salvage] [--salvage-fill nan|zero]\n\
          \x20 zmesh query data.zms --field <name> --bbox x0,y0:x1,y1 [--level L[,L...]] [--salvage] [-o out.csv]\n\
          \x20 zmesh scrub data.zms\n\
-         \x20 zmesh repair data.zms -o repaired.zms [--replica copy.zms]\n\
-         \x20 zmesh info <file.zmd | file.zmc | file.zms>\n\
+         \x20 zmesh repair data.zms -o repaired.zms [--replica copy.zms] [--from-raw data.zmd]\n\
+         \x20 zmesh info <file.zmd | file.zmc | file.zms> [--stats]\n\
          \x20 zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]\n\n\
-         exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt input, 5 verify failure, 6 recoverable damage\n\
+         exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt input, 5 verify failure, 6 recoverable damage, 7 torn store\n\
          presets: {}",
         zmesh_amr::datasets::names().join(", ")
     );

@@ -810,6 +810,227 @@ fn salvage_fill_zero_replaces_lost_cells() {
 }
 
 #[test]
+fn rs_parity_and_torn_store_workflow() {
+    let zmd = tmp("rs.zmd");
+    let zms = tmp("rs.zms");
+    let broken = tmp("rs_broken.zms");
+    let repaired = tmp("rs_repaired.zms");
+    let torn = tmp("rs_torn.zms");
+    let rebuilt = tmp("rs_rebuilt.zms");
+    let restored = tmp("rs_restored.zmd");
+
+    for args in [
+        vec![
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ],
+        vec![
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            zms.to_str().unwrap(),
+            "--chunk-kb",
+            "1",
+            "--parity",
+            "rs:4,2",
+        ],
+    ] {
+        let out = zmesh().args(&args).output().expect("run");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let code = |args: &[&str]| zmesh().args(args).output().expect("run").status.code();
+
+    // info reports the v4 format and the RS scheme; --stats surfaces the
+    // recipe-cache counters.
+    let out = zmesh()
+        .args(["info", zms.to_str().unwrap(), "--stats"])
+        .output()
+        .expect("run info --stats");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("v4 store") && stdout.contains("rs parity 4+2"),
+        "info said: {stdout}"
+    );
+    assert!(
+        stdout.contains("recipe cache:")
+            && stdout.contains("hit(s)")
+            && stdout.contains("collision(s)")
+            && stdout.contains("poison recovery(ies)"),
+        "no cache counters in: {stdout}"
+    );
+
+    let pristine = std::fs::read(&zms).expect("read store");
+    let (_, fields, _) = zmesh_store::open_parts(&pristine).expect("open store");
+    assert!(fields[0].chunks.len() > 2, "need several chunks per group");
+
+    // Two corrupt chunks in one group sit inside the m = 2 shard budget:
+    // scrub calls them recoverable and plain parity repair restores the
+    // container byte for byte.
+    let mut bytes = pristine.clone();
+    zmesh_store::faultinject::flip_data_chunk(&mut bytes, 0, 0);
+    zmesh_store::faultinject::flip_data_chunk(&mut bytes, 0, 1);
+    std::fs::write(&broken, &bytes).expect("write");
+    let out = zmesh()
+        .args(["scrub", broken.to_str().unwrap()])
+        .output()
+        .expect("run scrub");
+    assert_eq!(out.status.code(), Some(6), "2 <= m erasures exit 6");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"recoverable\":2") && json.contains("\"parity_shards\":2"),
+        "scrub said: {json}"
+    );
+    let out = zmesh()
+        .args([
+            "repair",
+            broken.to_str().unwrap(),
+            "-o",
+            repaired.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repair");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&repaired).expect("read repaired"),
+        pristine,
+        "RS repair must be byte-identical to the pristine store"
+    );
+
+    // A write cut off mid-commit-record is *torn*, not corrupt: every
+    // reader distinguishes it with exit 7, and repair refuses to guess
+    // without the raw dataset.
+    std::fs::write(&torn, &pristine[..pristine.len() - 7]).expect("write torn");
+    let out = zmesh()
+        .args(["scrub", torn.to_str().unwrap()])
+        .output()
+        .expect("run scrub torn");
+    assert_eq!(out.status.code(), Some(7), "torn store exits 7");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"torn\":true"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("torn"));
+    assert_eq!(code(&["info", torn.to_str().unwrap()]), Some(7));
+    assert_eq!(
+        code(&[
+            "unpack",
+            torn.to_str().unwrap(),
+            "-o",
+            "/dev/null",
+            "--salvage",
+        ]),
+        Some(7),
+        "salvage must not paper over a torn store"
+    );
+    assert_eq!(
+        code(&[
+            "repair",
+            torn.to_str().unwrap(),
+            "-o",
+            rebuilt.to_str().unwrap(),
+        ]),
+        Some(7),
+        "torn repair without --from-raw is refused"
+    );
+    assert!(!rebuilt.exists());
+
+    // --from-raw completes the interrupted write: the rebuild extends the
+    // torn prefix byte-for-byte and round-trips like the original.
+    let out = zmesh()
+        .args([
+            "repair",
+            torn.to_str().unwrap(),
+            "-o",
+            rebuilt.to_str().unwrap(),
+            "--from-raw",
+            zmd.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repair --from-raw");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&rebuilt).expect("read rebuilt"),
+        pristine,
+        "torn rebuild must complete the original write exactly"
+    );
+    for args in [
+        vec![
+            "unpack",
+            rebuilt.to_str().unwrap(),
+            "-o",
+            restored.to_str().unwrap(),
+        ],
+        vec![
+            "verify",
+            zmd.to_str().unwrap(),
+            restored.to_str().unwrap(),
+            "--rel-eb",
+            "1e-4",
+        ],
+    ] {
+        let out = zmesh().args(&args).output().expect("run");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Malformed parity specs are usage errors, not writes.
+    for spec in ["rs:1", "rs:4", "rs:0,2", "xor:none", "bogus"] {
+        assert_eq!(
+            code(&[
+                "pack",
+                zmd.to_str().unwrap(),
+                "-o",
+                "/dev/null",
+                "--parity",
+                spec,
+            ]),
+            Some(2),
+            "--parity {spec} should be rejected"
+        );
+    }
+    assert_eq!(
+        code(&[
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            "/dev/null",
+            "--parity",
+            "xor",
+            "--parity-width",
+            "4",
+        ]),
+        Some(2),
+        "--parity and --parity-width conflict"
+    );
+
+    for f in [zmd, zms, broken, repaired, torn, rebuilt, restored] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
 fn help_lists_presets() {
     let out = zmesh().args(["--help"]).output().expect("run");
     assert!(out.status.success());

@@ -51,6 +51,50 @@ pub fn flip_parity_chunk(bytes: &mut [u8], field_idx: usize, group: usize) {
     bytes[range.start] ^= 0xff;
 }
 
+/// Corrupts several data chunks of field `field_idx` in one call — the
+/// multi-erasure scenario Reed–Solomon groups exist for.
+pub fn flip_data_chunks(bytes: &mut [u8], field_idx: usize, chunks: &[usize]) {
+    for &chunk in chunks {
+        flip_data_chunk(bytes, field_idx, chunk);
+    }
+}
+
+/// Picks `count` *distinct* pseudo-random data chunks of field `field_idx`
+/// and corrupts each, deterministically from `seed`. Returns the chosen
+/// chunk indices so the test can assert exactly those were repaired.
+pub fn random_chunk_flips(
+    bytes: &mut [u8],
+    field_idx: usize,
+    seed: u64,
+    count: usize,
+) -> Vec<usize> {
+    let n = {
+        let (_, fields, _) = format::open(bytes).expect("faultinject: store must parse");
+        fields[field_idx].chunks.len()
+    };
+    assert!(count <= n, "faultinject: more flips than chunks");
+    let mut rng = Lcg::new(seed);
+    let mut picked: Vec<usize> = Vec::with_capacity(count);
+    while picked.len() < count {
+        let chunk = rng.below(n);
+        if !picked.contains(&chunk) {
+            picked.push(chunk);
+        }
+    }
+    flip_data_chunks(bytes, field_idx, &picked);
+    picked
+}
+
+/// The first `cut` bytes of `bytes` — what a crash mid-write leaves on
+/// disk when the `.tmp` file was flushed up to `cut` and never renamed.
+/// Any proper prefix of a v4 store must open as
+/// [`crate::StoreError::Torn`] (or a typed header error below the 6-byte
+/// version gate), never panic.
+pub fn torn_at(bytes: &[u8], cut: usize) -> Vec<u8> {
+    assert!(cut <= bytes.len(), "faultinject: cut beyond buffer");
+    bytes[..cut].to_vec()
+}
+
 /// Flips bit `bit` of byte `idx`.
 pub fn flip_bit(bytes: &mut [u8], idx: usize, bit: u8) {
     bytes[idx] ^= 1 << (bit % 8);
@@ -146,6 +190,37 @@ mod tests {
         let diff: Vec<usize> = (0..bytes.len()).filter(|&i| bytes[i] != clean[i]).collect();
         assert_eq!(diff.len(), 1);
         assert!(parity_byte_range(&clean, 1, 0).contains(&diff[0]));
+    }
+
+    #[test]
+    fn multi_chunk_flips_hit_exactly_the_picked_chunks() {
+        let clean = store();
+        let mut bytes = clean.clone();
+        let picked = random_chunk_flips(&mut bytes, 0, 7, 3);
+        assert_eq!(picked.len(), 3);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "picks must be distinct");
+        let diff: Vec<usize> = (0..bytes.len()).filter(|&i| bytes[i] != clean[i]).collect();
+        assert_eq!(diff.len(), 3);
+        for (i, &chunk) in picked.iter().enumerate() {
+            let range = chunk_byte_range(&clean, 0, chunk);
+            assert!(diff.iter().any(|d| range.contains(d)), "pick {i} missed");
+        }
+
+        // Same seed, same picks.
+        let mut again = clean.clone();
+        assert_eq!(random_chunk_flips(&mut again, 0, 7, 3), picked);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn torn_at_is_a_prefix_copy() {
+        let clean = store();
+        let torn = torn_at(&clean, clean.len() - 5);
+        assert_eq!(&torn[..], &clean[..clean.len() - 5]);
+        assert_eq!(torn_at(&clean, clean.len()), clean);
     }
 
     #[test]

@@ -1,32 +1,43 @@
-//! Container formats v2/v3 (`ZMS2`): byte layout, typed errors, and the
-//! header/footer (de)serializers.
+//! Container formats v2/v3/v4 (`ZMS2`): byte layout, typed errors, and
+//! the header/footer (de)serializers.
 //!
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────────┐
 //! │ header   magic "ZMS2" · version u16 · policy u8 · mode u8 ·      │
 //! │          codec u8 · value-type u8 · chunk-target-bytes u32 ·     │
-//! │          [v3: parity group width u32] ·                          │
+//! │          [v3+: parity group width u32] ·                         │
+//! │          [v4: parity shard count u32] ·                          │
 //! │          structure len u64 · structure bytes                     │
 //! ├──────────────────────────────────────────────────────────────────┤
 //! │ payload  per field, per chunk: one self-describing codec stream  │
 //! ├──────────────────────────────────────────────────────────────────┤
 //! │ parity   [v3] per field, per group: XOR parity payload           │
+//! │          [v4] per field, per group: m Reed–Solomon shards        │
 //! ├──────────────────────────────────────────────────────────────────┤
 //! │ footer   per field: name (u16 + bytes) · bound flag u8 ·         │
 //! │          bound f64 · chunk count u64 · chunk metas (64 B each) · │
-//! │          [v3: parity count u64 · parity metas (20 B each)]       │
+//! │          [v3+: parity count u64 · parity metas (20 B each)]      │
 //! ├──────────────────────────────────────────────────────────────────┤
 //! │ trailer  footer offset u64 · crc32(header ∥ footer) u32 ·        │
 //! │          magic "ZMSI"                                            │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ commit   [v4] magic "ZMSCMT01" · footer crc u32 ·                │
+//! │          crc32(first 12 commit bytes) u32                        │
 //! └──────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Version negotiation: this crate writes [`STORE_VERSION`] (v3, or v2
-//! when parity is disabled) and reads every version in
+//! Version negotiation: this crate writes v2 (no parity), v3 (XOR
+//! parity), or [`STORE_VERSION`] = v4 (Reed–Solomon parity + commit
+//! record), and reads every version in
 //! [`MIN_STORE_VERSION`]`..=`[`STORE_VERSION`]. What a parsed store can do
 //! is exposed as [`StoreCapabilities`] — a v2 store simply has no parity,
 //! so it opens, queries, and unpacks exactly as before, and scrub reports
 //! "no parity available" instead of erroring.
+//!
+//! The v4 **commit record** is the crash-consistency witness: the writer
+//! emits it last, so a store whose tail is not a valid commit record was
+//! torn mid-write ([`StoreError::Torn`]) rather than corrupted at rest —
+//! readers can tell "re-pack from raw data" apart from "bytes rotted".
 //!
 //! Every chunk/parity meta is **fixed width**, and the variable parts of
 //! the footer (names, structure) do not depend on the ordering policy — so
@@ -36,7 +47,8 @@
 //! payload size (≈ 1/group-width), not with the permutation.
 
 use crate::chunk::{ChunkMeta, CHUNK_META_BYTES};
-use crate::parity::{group_count, ParityMeta, PARITY_META_BYTES};
+use crate::gf256;
+use crate::parity::{group_count, Parity, ParityMeta, PARITY_META_BYTES};
 use std::fmt;
 use zmesh::{crc32, GroupingMode, OrderingPolicy, ZmeshError};
 use zmesh_amr::{AmrError, StorageMode};
@@ -46,12 +58,17 @@ use zmesh_codecs::{CodecError, CodecKind, ValueType};
 pub const STORE_MAGIC: [u8; 4] = *b"ZMS2";
 /// Trailing magic of the index trailer.
 pub const INDEX_MAGIC: [u8; 4] = *b"ZMSI";
-/// Newest format version this crate writes (v3: parity-protected chunks).
-pub const STORE_VERSION: u16 = 3;
+/// Newest format version this crate writes (v4: Reed–Solomon parity +
+/// commit record; v3/v2 are still emitted for XOR/no parity).
+pub const STORE_VERSION: u16 = 4;
 /// Oldest format version this crate still reads (v2: no parity section).
 pub const MIN_STORE_VERSION: u16 = 2;
 /// Fixed trailer size: footer offset + footer crc + index magic.
 pub const TRAILER_BYTES: usize = 8 + 4 + 4;
+/// Magic opening the v4 commit record.
+pub const COMMIT_MAGIC: [u8; 8] = *b"ZMSCMT01";
+/// Fixed commit-record size: magic + footer crc + self crc.
+pub const COMMIT_RECORD_BYTES: usize = 8 + 4 + 4;
 
 /// Typed failures from writing, opening, or querying a store. Each variant
 /// maps to a distinct CLI exit code (see `zmesh-cli`).
@@ -88,6 +105,16 @@ pub enum StoreError {
     },
     /// The footer failed its CRC check.
     IndexCrc,
+    /// A v4 store is missing its commit record: the write never completed
+    /// (crash or truncation mid-`pack`), as opposed to completed-then-
+    /// corrupted. Recoverable by re-encoding from the raw dataset
+    /// (`zmesh repair --from-raw`).
+    Torn,
+    /// Invalid [`crate::StoreWriteOptions`] (caller error, not corrupt
+    /// input) — e.g. a Reed–Solomon geometry with `k + m > 256`.
+    InvalidOptions(&'static str),
+    /// An underlying filesystem operation failed while persisting a store.
+    Io(String),
     /// A requested field name is not present.
     UnknownField(String),
     /// A query argument is malformed (inverted box, empty level mask…).
@@ -121,6 +148,12 @@ impl fmt::Display for StoreError {
                 write!(f, "crc mismatch in field {field:?} parity group {group}")
             }
             StoreError::IndexCrc => write!(f, "crc mismatch in store index"),
+            StoreError::Torn => write!(
+                f,
+                "torn store: the write never completed (missing or invalid commit record)"
+            ),
+            StoreError::InvalidOptions(what) => write!(f, "invalid store options: {what}"),
+            StoreError::Io(what) => write!(f, "i/o: {what}"),
             StoreError::UnknownField(name) => write!(f, "no field named {name:?} in store"),
             StoreError::BadQuery(what) => write!(f, "bad query: {what}"),
             StoreError::Internal(what) => {
@@ -169,9 +202,12 @@ impl From<ZmeshError> for StoreError {
 /// these instead of comparing raw version numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreCapabilities {
-    /// Chunks are grouped under XOR parity; single-chunk damage per group
-    /// is reconstructible (v3 with a nonzero group width).
+    /// Chunks are grouped under parity; damaged chunks per group are
+    /// reconstructible up to `erasure_budget` (v3/v4 with nonzero width).
     pub parity: bool,
+    /// Maximum CRC-failing data chunks per group that parity alone can
+    /// rebuild: `0` (v2), `1` (v3 XOR), or `m` (v4 Reed–Solomon).
+    pub erasure_budget: u32,
 }
 
 /// Parsed fixed header of a store.
@@ -193,6 +229,9 @@ pub struct StoreHeader {
     /// Data chunks per parity group; `0` means no parity section (always
     /// `0` for v2 stores).
     pub parity_group_width: u32,
+    /// Parity shards per group: `0` without parity, `1` for v3 XOR, `m`
+    /// for v4 Reed–Solomon.
+    pub parity_shards: u32,
     /// Serialized `AmrTree` structure — the only mesh metadata stored; the
     /// restore recipe is regenerated from it.
     pub structure: Vec<u8>,
@@ -206,10 +245,28 @@ impl StoreHeader {
         GroupingMode::from_storage_mode(self.mode)
     }
 
+    /// The erasure-protection scheme this store was written under.
+    pub fn scheme(&self) -> Parity {
+        if self.version >= 4 {
+            Parity::Rs {
+                data: self.parity_group_width,
+                parity: self.parity_shards,
+            }
+        } else if self.version >= 3 && self.parity_group_width > 0 {
+            Parity::Xor {
+                width: self.parity_group_width,
+            }
+        } else {
+            Parity::None
+        }
+    }
+
     /// What this store's version/parameters support.
     pub fn capabilities(&self) -> StoreCapabilities {
+        let budget = self.scheme().shards();
         StoreCapabilities {
-            parity: self.version >= 3 && self.parity_group_width > 0,
+            parity: budget > 0,
+            erasure_budget: budget,
         }
     }
 }
@@ -224,8 +281,10 @@ pub struct FieldEntry {
     pub resolved_bound: Option<f64>,
     /// Per-chunk metadata, in stream order.
     pub chunks: Vec<ChunkMeta>,
-    /// Per-parity-group metadata (empty for v2 stores / parity disabled);
-    /// group `g` protects data chunks `g*width..(g+1)*width`.
+    /// Per-parity-shard metadata (empty for v2 stores / parity disabled);
+    /// group `g` protects data chunks `g*width..(g+1)*width` and owns
+    /// shards `g*m..(g+1)*m` of this vector (`m = 1` for v3 XOR, so the
+    /// v3 index is simply the group index).
     pub parity: Vec<ParityMeta>,
 }
 
@@ -304,6 +363,9 @@ pub(crate) fn write_header(header: &StoreHeader) -> Vec<u8> {
     if header.version >= 3 {
         put_u32(&mut out, header.parity_group_width);
     }
+    if header.version >= 4 {
+        put_u32(&mut out, header.parity_shards);
+    }
     put_u64(&mut out, header.structure.len() as u64);
     out.extend_from_slice(&header.structure);
     out
@@ -329,6 +391,18 @@ pub(crate) fn read_header(bytes: &[u8]) -> Result<StoreHeader, StoreError> {
         return Err(StoreError::Corrupt("zero chunk target"));
     }
     let parity_group_width = if version >= 3 { c.u32()? } else { 0 };
+    let parity_shards = if version >= 4 {
+        let m = c.u32()?;
+        if parity_group_width == 0 || m == 0 {
+            return Err(StoreError::Corrupt("v4 store without parity geometry"));
+        }
+        if parity_group_width as usize + m as usize > gf256::MAX_SHARDS {
+            return Err(StoreError::Corrupt("parity geometry exceeds 256 shards"));
+        }
+        m
+    } else {
+        u32::from(parity_group_width > 0)
+    };
     let structure_len = c.u64()? as usize;
     let structure = c.take(structure_len)?.to_vec();
     Ok(StoreHeader {
@@ -339,9 +413,18 @@ pub(crate) fn read_header(bytes: &[u8]) -> Result<StoreHeader, StoreError> {
         value_type,
         chunk_target_bytes,
         parity_group_width,
+        parity_shards,
         structure,
         header_bytes: c.pos(),
     })
+}
+
+/// Parses just the fixed header from the front of `bytes`, without
+/// requiring a footer, trailer, or commit record. This is the only parse
+/// that works on a **torn** store — `zmesh repair --from-raw` uses it to
+/// recover the write parameters for a full re-encode.
+pub fn peek_header(bytes: &[u8]) -> Result<StoreHeader, StoreError> {
+    read_header(bytes)
 }
 
 /// Serializes the footer (field entries) for `version`.
@@ -385,8 +468,12 @@ pub(crate) fn read_footer(bytes: &[u8], version: u16) -> Result<Vec<FieldEntry>,
             _ => return Err(StoreError::Corrupt("bound flag")),
         };
         let n_chunks = c.u64()? as usize;
-        // Bound allocation by what the buffer can actually hold.
-        if n_chunks.saturating_mul(CHUNK_META_BYTES) > bytes.len() {
+        // Bound allocation by what the *unread* buffer can actually hold;
+        // both counts are attacker-controlled, so every size computation
+        // on them is checked/saturating (an overflowed product would
+        // otherwise pass a `> len` guard and reserve absurd capacity).
+        let remaining = bytes.len() - c.pos();
+        if n_chunks.saturating_mul(CHUNK_META_BYTES) > remaining {
             return Err(StoreError::Corrupt("chunk count exceeds footer"));
         }
         let mut chunks = Vec::with_capacity(n_chunks);
@@ -396,7 +483,8 @@ pub(crate) fn read_footer(bytes: &[u8], version: u16) -> Result<Vec<FieldEntry>,
         let mut parity = Vec::new();
         if version >= 3 {
             let n_parity = c.u64()? as usize;
-            if n_parity.saturating_mul(PARITY_META_BYTES) > bytes.len() {
+            let remaining = bytes.len() - c.pos();
+            if n_parity.saturating_mul(PARITY_META_BYTES) > remaining {
                 return Err(StoreError::Corrupt("parity count exceeds footer"));
             }
             parity.reserve(n_parity);
@@ -418,7 +506,9 @@ pub(crate) fn read_footer(bytes: &[u8], version: u16) -> Result<Vec<FieldEntry>,
 }
 
 /// Assembles a complete store from its parts (`payload` already contains
-/// the parity section, when there is one).
+/// the parity section, when there is one). v4 stores get the trailing
+/// commit record — written last, so its presence proves the store bytes
+/// before it are complete.
 pub(crate) fn assemble(header_bytes: Vec<u8>, payload: &[u8], fields: &[FieldEntry]) -> Vec<u8> {
     let version = u16::from_le_bytes(header_bytes[4..6].try_into().expect("header present"));
     let mut out = header_bytes;
@@ -433,18 +523,62 @@ pub(crate) fn assemble(header_bytes: Vec<u8>, payload: &[u8], fields: &[FieldEnt
     put_u64(&mut out, footer_offset);
     put_u32(&mut out, crc);
     out.extend_from_slice(&INDEX_MAGIC);
+    if version >= 4 {
+        let start = out.len();
+        out.extend_from_slice(&COMMIT_MAGIC);
+        put_u32(&mut out, crc);
+        let self_crc = crc32(&out[start..start + 12]);
+        put_u32(&mut out, self_crc);
+        debug_assert_eq!(out.len() - start, COMMIT_RECORD_BYTES);
+    }
     out
 }
 
 /// Header length of an assembled buffer (used to scope the index CRC).
 fn fields_header_len(bytes: &[u8]) -> usize {
     // Magic(4) + version(2) + tags(4) + chunk target(4)
-    // + [v3: parity width(4)] + structure len(8).
+    // + [v3+: parity width(4)] + [v4: parity shards(4)] + structure len(8).
     let version = u16::from_le_bytes(bytes[4..6].try_into().expect("header present"));
-    let fixed = if version >= 3 { 26 } else { 22 };
+    let fixed = match version {
+        0..=2 => 22,
+        3 => 26,
+        _ => 30,
+    };
     let structure_len =
         u64::from_le_bytes(bytes[fixed - 8..fixed].try_into().expect("header present")) as usize;
     fixed + structure_len
+}
+
+/// Validates the v4 commit record at the tail of `bytes` and returns the
+/// committed body (everything before the record). A missing or invalid
+/// record means the write never finished — [`StoreError::Torn`]; a valid
+/// record whose footer CRC disagrees with the index trailer means the
+/// write finished and the bytes changed afterwards — corrupt.
+fn split_committed(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    let Some(body_len) = bytes.len().checked_sub(COMMIT_RECORD_BYTES) else {
+        return Err(StoreError::Torn);
+    };
+    let record = &bytes[body_len..];
+    if record[..8] != COMMIT_MAGIC {
+        return Err(StoreError::Torn);
+    }
+    let self_crc = u32::from_le_bytes(record[12..16].try_into().unwrap());
+    if crc32(&record[..12]) != self_crc {
+        return Err(StoreError::Torn);
+    }
+    if body_len < TRAILER_BYTES {
+        return Err(StoreError::Torn);
+    }
+    let trailer = &bytes[body_len - TRAILER_BYTES..body_len];
+    if trailer[12..16] != INDEX_MAGIC {
+        return Err(StoreError::Corrupt("commit record without index trailer"));
+    }
+    let committed_crc = u32::from_le_bytes(record[8..12].try_into().unwrap());
+    let trailer_crc = u32::from_le_bytes(trailer[8..12].try_into().unwrap());
+    if committed_crc != trailer_crc {
+        return Err(StoreError::Corrupt("commit record disagrees with trailer"));
+    }
+    Ok(&bytes[..body_len])
 }
 
 /// Splits an assembled store into `(header, footer fields, payload span)`,
@@ -455,6 +589,27 @@ fn fields_header_len(bytes: &[u8]) -> usize {
 pub fn open(
     bytes: &[u8],
 ) -> Result<(StoreHeader, Vec<FieldEntry>, std::ops::Range<usize>), StoreError> {
+    if bytes.len() < 6 {
+        return Err(StoreError::Truncated {
+            needed: 6,
+            have: bytes.len(),
+        });
+    }
+    if bytes[..4] != STORE_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if !(MIN_STORE_VERSION..=STORE_VERSION).contains(&version) {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    // A v4 store is validated commit-record-first: a bad tail means the
+    // write never completed (Torn), and only a committed body is parsed
+    // further — so every later failure is genuine corruption.
+    let bytes = if version >= 4 {
+        split_committed(bytes)?
+    } else {
+        bytes
+    };
     if bytes.len() < 4 + TRAILER_BYTES {
         return Err(StoreError::Truncated {
             needed: 4 + TRAILER_BYTES,
@@ -479,8 +634,13 @@ pub fn open(
     }
     let fields = read_footer(&bytes[footer_offset..footer_end], header.version)?;
     let width = header.parity_group_width as usize;
+    let shards = header.scheme().shards() as usize;
     for field in &fields {
-        let expect = group_count(field.chunks.len(), width);
+        // Both factors derive from attacker-controlled header/footer
+        // counts: the product must be checked, not assumed.
+        let expect = group_count(field.chunks.len(), width)
+            .checked_mul(shards)
+            .ok_or(StoreError::Corrupt("parity shard count overflow"))?;
         if field.parity.len() != expect {
             return Err(StoreError::Corrupt("parity group count mismatch"));
         }
@@ -500,16 +660,24 @@ mod tests {
 
     fn sample_header() -> StoreHeader {
         StoreHeader {
-            version: STORE_VERSION,
+            version: 3,
             policy: OrderingPolicy::Hilbert,
             mode: StorageMode::AllCells,
             codec: CodecKind::Sz,
             value_type: ValueType::F64,
             chunk_target_bytes: 4096,
             parity_group_width: 8,
+            parity_shards: 1,
             structure: vec![1, 2, 3, 4, 5],
             header_bytes: 0,
         }
+    }
+
+    fn sample_v4_header() -> StoreHeader {
+        let mut h = sample_header();
+        h.version = STORE_VERSION;
+        h.parity_shards = 2;
+        h
     }
 
     #[test]
@@ -517,13 +685,44 @@ mod tests {
         let h = sample_header();
         let bytes = write_header(&h);
         let parsed = read_header(&bytes).unwrap();
-        assert_eq!(parsed.version, STORE_VERSION);
+        assert_eq!(parsed.version, 3);
         assert_eq!(parsed.policy, h.policy);
         assert_eq!(parsed.codec, h.codec);
         assert_eq!(parsed.parity_group_width, 8);
+        assert_eq!(parsed.parity_shards, 1);
+        assert_eq!(parsed.scheme(), Parity::Xor { width: 8 });
         assert_eq!(parsed.structure, h.structure);
         assert_eq!(parsed.header_bytes, bytes.len());
         assert!(parsed.capabilities().parity);
+        assert_eq!(parsed.capabilities().erasure_budget, 1);
+    }
+
+    #[test]
+    fn v4_header_round_trips_with_shard_count() {
+        let h = sample_v4_header();
+        let bytes = write_header(&h);
+        // v4 fixed part is 4 bytes longer (parity shard count).
+        assert_eq!(bytes.len(), write_header(&sample_header()).len() + 4);
+        let parsed = read_header(&bytes).unwrap();
+        assert_eq!(parsed.version, STORE_VERSION);
+        assert_eq!(parsed.parity_shards, 2);
+        assert_eq!(parsed.scheme(), Parity::Rs { data: 8, parity: 2 });
+        assert_eq!(parsed.capabilities().erasure_budget, 2);
+        assert_eq!(parsed.header_bytes, bytes.len());
+    }
+
+    #[test]
+    fn v4_header_rejects_degenerate_geometry() {
+        for (width, shards) in [(0u32, 2u32), (8, 0), (200, 100)] {
+            let mut h = sample_v4_header();
+            h.parity_group_width = width;
+            h.parity_shards = shards;
+            let bytes = write_header(&h);
+            assert!(
+                matches!(read_header(&bytes), Err(StoreError::Corrupt(_))),
+                "geometry {width}+{shards} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -531,12 +730,14 @@ mod tests {
         let mut h = sample_header();
         h.version = 2;
         h.parity_group_width = 0;
+        h.parity_shards = 0;
         let bytes = write_header(&h);
         // v2 fixed part is 4 bytes shorter (no parity width field).
         assert_eq!(bytes.len() + 4, write_header(&sample_header()).len());
         let parsed = read_header(&bytes).unwrap();
         assert_eq!(parsed.version, 2);
         assert_eq!(parsed.parity_group_width, 0);
+        assert_eq!(parsed.scheme(), Parity::None);
         assert_eq!(parsed.structure, h.structure);
         assert!(!parsed.capabilities().parity);
     }
@@ -551,7 +752,7 @@ mod tests {
         let mut wrong = bytes.clone();
         wrong[0] = b'X';
         assert_eq!(read_header(&wrong), Err(StoreError::BadMagic));
-        for bad in [0u8, 1, 4, 99] {
+        for bad in [0u8, 1, 5, 99] {
             bytes[4] = bad;
             assert!(
                 matches!(read_header(&bytes), Err(StoreError::UnsupportedVersion(_))),
@@ -594,6 +795,87 @@ mod tests {
             open(&flipped),
             Err(StoreError::IndexCrc) | Err(StoreError::Corrupt(_))
         ));
+    }
+
+    fn sample_v4_store() -> (Vec<u8>, Vec<FieldEntry>) {
+        let header = sample_v4_header();
+        let payload = vec![9u8; 100];
+        let fields = vec![FieldEntry {
+            name: "density".into(),
+            resolved_bound: Some(1e-4),
+            chunks: vec![ChunkMeta::test_sample(0, 100)],
+            parity: vec![
+                ParityMeta {
+                    offset: 0,
+                    len: 100,
+                    crc: crc32(&payload),
+                },
+                ParityMeta {
+                    offset: 0,
+                    len: 100,
+                    crc: crc32(&payload),
+                },
+            ],
+        }];
+        (assemble(write_header(&header), &payload, &fields), fields)
+    }
+
+    #[test]
+    fn v4_store_round_trips_with_commit_record() {
+        let (bytes, fields) = sample_v4_store();
+        assert_eq!(
+            &bytes[bytes.len() - COMMIT_RECORD_BYTES..][..8],
+            &COMMIT_MAGIC
+        );
+        let (h, f, span) = open(&bytes).unwrap();
+        assert_eq!(h.version, STORE_VERSION);
+        assert_eq!(h.scheme(), Parity::Rs { data: 8, parity: 2 });
+        assert_eq!(f, fields);
+        assert_eq!(span.len(), 100);
+    }
+
+    #[test]
+    fn v4_truncation_reads_as_torn_not_corrupt() {
+        let (bytes, _) = sample_v4_store();
+        // Any cut that keeps magic + version but loses the commit record.
+        for cut in [6, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(
+                open(&bytes[..cut]).unwrap_err(),
+                StoreError::Torn,
+                "cut = {cut}"
+            );
+        }
+        // Cuts inside magic/version cannot even prove the format.
+        for cut in [0, 3, 5] {
+            assert!(matches!(
+                open(&bytes[..cut]),
+                Err(StoreError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn v4_corruption_after_commit_is_corrupt_not_torn() {
+        let (bytes, _) = sample_v4_store();
+        // A flipped footer bit with an intact commit record: the write
+        // completed, so this is corruption, not a torn write.
+        let mut flipped = bytes.clone();
+        let idx = bytes.len() - COMMIT_RECORD_BYTES - TRAILER_BYTES - 10;
+        flipped[idx] ^= 1;
+        assert!(matches!(
+            open(&flipped),
+            Err(StoreError::IndexCrc) | Err(StoreError::Corrupt(_))
+        ));
+        // A trailer CRC that disagrees with the commit record likewise.
+        let mut mismatched = bytes.clone();
+        let crc_at = bytes.len() - COMMIT_RECORD_BYTES - 8;
+        mismatched[crc_at] ^= 0xff;
+        assert!(matches!(open(&mismatched), Err(StoreError::Corrupt(_))));
+        // A damaged commit record itself means torn.
+        let mut torn = bytes;
+        let tail = torn.len() - 4;
+        torn[tail] ^= 1;
+        assert_eq!(open(&torn).unwrap_err(), StoreError::Torn);
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod chunk;
 #[cfg(any(test, feature = "testing"))]
 pub mod faultinject;
 mod format;
+pub mod gf256;
 mod parity;
 mod reader;
 mod repair;
@@ -63,16 +64,19 @@ mod writer;
 pub use cache::{CacheStats, RecipeCache};
 pub use chunk::{plan_chunks, ChunkMeta, ChunkPlan, CHUNK_META_BYTES, DEFAULT_CHUNK_TARGET_BYTES};
 pub use format::{
-    is_store, open as open_parts, FieldEntry, StoreCapabilities, StoreError, StoreHeader,
-    MIN_STORE_VERSION, STORE_MAGIC, STORE_VERSION,
+    is_store, open as open_parts, peek_header, FieldEntry, StoreCapabilities, StoreError,
+    StoreHeader, COMMIT_MAGIC, COMMIT_RECORD_BYTES, MIN_STORE_VERSION, STORE_MAGIC, STORE_VERSION,
+    TRAILER_BYTES,
 };
-pub use parity::{ParityMeta, DEFAULT_PARITY_GROUP_WIDTH, PARITY_META_BYTES};
+pub use parity::{Parity, ParityMeta, DEFAULT_PARITY_GROUP_WIDTH, PARITY_META_BYTES};
 pub use reader::{
-    DamageReport, DamageStatus, DamagedChunk, DamagedParity, Query, QueryResult, ReadPolicy,
-    SalvageFill, StoreReader,
+    DamageReport, DamageStatus, DamagedChunk, DamagedParity, GroupDamage, Query, QueryResult,
+    ReadPolicy, SalvageFill, StoreReader,
 };
 pub use repair::{
-    repair, scrub, ChunkKind, LostChunk, RepairOutcome, RepairSource, RepairedChunk, ScrubChunk,
-    ScrubReport,
+    repair, repair_with, scrub, ChunkKind, LostChunk, RawSource, RepairOutcome, RepairSource,
+    RepairedChunk, ScrubChunk, ScrubReport,
 };
-pub use writer::{PipelineStoreExt, StoreWriteOptions, StoreWriteStats, StoreWriter, StoreWritten};
+pub use writer::{
+    persist, PipelineStoreExt, StoreWriteOptions, StoreWriteStats, StoreWriter, StoreWritten,
+};

@@ -1,4 +1,4 @@
-//! Chunk-group XOR parity: the erasure-protection layer of the v3 store.
+//! Chunk-group parity: the erasure-protection layer of the v3/v4 stores.
 //!
 //! The writer groups each field's data chunks into fixed-width **parity
 //! groups** (default [`DEFAULT_PARITY_GROUP_WIDTH`] data chunks per group)
@@ -10,12 +10,107 @@
 //! member's CRC from the (index-CRC-protected) footer, so a reconstruction
 //! can never silently hand back wrong data.
 //!
+//! The v4 format generalizes the group to a Reed–Solomon code over
+//! GF(2^8) (see [`crate::gf256`]): `k` data chunks are protected by `m`
+//! parity shards, and **any** ≤ m CRC-failing members of a group are
+//! recoverable — shard `j` of group `g` sits at footer index `g·m + j`,
+//! so v3 is exactly the `m = 1` degenerate layout.
+//!
 //! The parity section lives *after* the data payload region and is indexed
 //! in the footer alongside the per-chunk offsets/CRCs ([`ParityMeta`]).
 //! Everything here is pure byte math over untrusted input: helpers return
 //! `Option`/`Result`, never panic.
 
 use crate::format::{put_u32, put_u64, Cursor, StoreError};
+use crate::gf256;
+
+/// Erasure-protection scheme of a store: what the writer emits and what a
+/// parsed header reports ([`crate::StoreHeader::scheme`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parity {
+    /// No parity section (v2 layout).
+    None,
+    /// One XOR parity chunk per group of `width` data chunks (v3 layout);
+    /// tolerates a single erasure per group.
+    Xor {
+        /// Data chunks per parity group (≥ 1).
+        width: u32,
+    },
+    /// `parity` GF(2^8) Reed–Solomon shards per group of `data` chunks
+    /// (v4 layout); tolerates up to `parity` erasures per group.
+    Rs {
+        /// Data chunks per parity group (≥ 1).
+        data: u32,
+        /// Parity shards per group (≥ 1, `data + parity ≤ 256`).
+        parity: u32,
+    },
+}
+
+impl Default for Parity {
+    fn default() -> Self {
+        Parity::Xor {
+            width: DEFAULT_PARITY_GROUP_WIDTH,
+        }
+    }
+}
+
+impl Parity {
+    /// Data chunks per group (`0` when parity is disabled).
+    pub fn width(&self) -> u32 {
+        match *self {
+            Parity::None => 0,
+            Parity::Xor { width } => width,
+            Parity::Rs { data, .. } => data,
+        }
+    }
+
+    /// Parity shards per group — the per-group erasure budget.
+    pub fn shards(&self) -> u32 {
+        match *self {
+            Parity::None => 0,
+            Parity::Xor { .. } => 1,
+            Parity::Rs { parity, .. } => parity,
+        }
+    }
+
+    /// Store format version this scheme serializes as.
+    pub fn store_version(&self) -> u16 {
+        match self {
+            Parity::None => 2,
+            Parity::Xor { .. } => 3,
+            Parity::Rs { .. } => 4,
+        }
+    }
+
+    /// Rejects geometries the format cannot represent.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        match *self {
+            Parity::None => Ok(()),
+            Parity::Xor { width } => {
+                if width == 0 {
+                    Err(StoreError::InvalidOptions(
+                        "xor parity needs a nonzero group width (use Parity::None)",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            Parity::Rs { data, parity } => {
+                if data == 0 || parity == 0 {
+                    Err(StoreError::InvalidOptions(
+                        "rs parity needs nonzero data and parity shard counts",
+                    ))
+                } else if data as usize + parity as usize > gf256::MAX_SHARDS {
+                    Err(StoreError::InvalidOptions(
+                        "rs parity needs data + parity <= 256 shards per group",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
 
 /// Default data chunks per parity group (8 data + 1 parity ⇒ ~12.5% space
 /// overhead on the payload).

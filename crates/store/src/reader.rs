@@ -1,17 +1,19 @@
-//! The store reader: open a v2/v3 container and answer spatial queries by
-//! decoding only the chunks that overlap.
+//! The store reader: open a v2/v3/v4 container and answer spatial queries
+//! by decoding only the chunks that overlap.
 //!
 //! On-disk bytes are treated as **untrusted**. Every chunk carries its own
 //! CRC, so damage is contained per chunk; the [`ReadPolicy`] decides what
 //! happens when a chunk fails: [`ReadPolicy::Strict`] (the default) aborts
 //! with a typed error, [`ReadPolicy::Salvage`] first tries to
-//! **reconstruct** the chunk from its XOR parity group (v3 stores), and
-//! only when that fails skips it, keeps every surviving cell, and reports
-//! the loss in a [`DamageReport`].
+//! **reconstruct** the chunk from its parity group — XOR (v3, one erasure
+//! per group) or GF(2^8) Reed–Solomon (v4, up to `m` erasures per group) —
+//! and only when that fails skips it, keeps every surviving cell, and
+//! reports the loss in a [`DamageReport`].
 
 use crate::cache::RecipeCache;
 use crate::format::{self, FieldEntry, StoreError, StoreHeader};
-use crate::parity::{group_members, group_of, reconstruct, ParityMeta};
+use crate::gf256;
+use crate::parity::{group_members, group_of, reconstruct, Parity, ParityMeta};
 use std::ops::Range;
 use std::sync::Arc;
 use zmesh::{codec_for, crc32, GroupingMode, RestoreRecipe};
@@ -114,17 +116,36 @@ pub struct DamagedChunk {
 }
 
 /// One parity chunk that failed its own CRC during a salvage full decode
-/// (the data it protects may be intact, but the group has lost its
-/// self-healing margin).
+/// (the data it protects may be intact, but the group has lost part of
+/// its self-healing margin).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DamagedParity {
     /// Field the parity group belongs to.
     pub field: String,
     /// Parity group index within the field.
     pub group: usize,
+    /// Shard within the group (`0` for v3 XOR, `0..m` for v4
+    /// Reed–Solomon).
+    pub shard: usize,
     /// Byte range of the parity payload within the store buffer
     /// (saturated).
     pub byte_range: Range<usize>,
+}
+
+/// Erasure accounting for one parity group a salvage read found damage
+/// in: how many of its data chunks failed, and how many of those the
+/// group's parity could rebuild. `erasures > repaired` means the group
+/// exceeded its erasure budget (1 for v3 XOR, `m` for v4 Reed–Solomon).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDamage {
+    /// Field the group belongs to.
+    pub field: String,
+    /// Parity group index within the field.
+    pub group: usize,
+    /// Data chunks of the group that failed CRC or decode.
+    pub erasures: usize,
+    /// Of those, how many parity reconstruction recovered.
+    pub repaired: usize,
 }
 
 /// Structured account of everything a salvage read repaired or skipped.
@@ -136,6 +157,9 @@ pub struct DamageReport {
     /// Parity chunks that failed their own CRC (full decodes only;
     /// queries do not touch parity unless they need it).
     pub parity: Vec<DamagedParity>,
+    /// Per-parity-group erasure counts derived from `chunks` (empty when
+    /// the store has no parity groups).
+    pub groups: Vec<GroupDamage>,
     /// The fill value lost cells decode to.
     pub fill: SalvageFill,
 }
@@ -190,6 +214,40 @@ impl DamageReport {
     pub fn merge(&mut self, other: DamageReport) {
         self.chunks.extend(other.chunks);
         self.parity.extend(other.parity);
+        self.groups.extend(other.groups);
+    }
+
+    /// (Re)derives the per-group erasure counts from `chunks`. `width` is
+    /// the store's parity group width; with `width == 0` there are no
+    /// groups and the summary is empty.
+    pub fn summarize_groups(&mut self, width: usize) {
+        self.groups.clear();
+        if width == 0 {
+            return;
+        }
+        for c in &self.chunks {
+            let group = c.chunk / width;
+            let entry = match self
+                .groups
+                .iter_mut()
+                .find(|g| g.field == c.field && g.group == group)
+            {
+                Some(entry) => entry,
+                None => {
+                    self.groups.push(GroupDamage {
+                        field: c.field.clone(),
+                        group,
+                        erasures: 0,
+                        repaired: 0,
+                    });
+                    self.groups.last_mut().expect("just pushed")
+                }
+            };
+            entry.erasures += 1;
+            if c.status == DamageStatus::Repaired {
+                entry.repaired += 1;
+            }
+        }
     }
 }
 
@@ -429,44 +487,74 @@ impl<'a> StoreReader<'a> {
         Ok(payload)
     }
 
-    /// CRC-verified parity payload of group `g` of `entry`.
-    fn parity_payload(&self, entry: &FieldEntry, g: usize) -> Result<&'a [u8], StoreError> {
+    /// Parity shards per group (`1` for v3 XOR) — the divisor that turns a
+    /// parity *slot* index (`g·m + j`) back into a group index.
+    fn parity_shards(&self) -> usize {
+        (self.header.scheme().shards() as usize).max(1)
+    }
+
+    /// CRC-verified parity payload at *slot* `slot` of `entry` (slot =
+    /// group for v3, `g·m + j` for v4).
+    fn parity_payload(&self, entry: &FieldEntry, slot: usize) -> Result<&'a [u8], StoreError> {
         let meta: &ParityMeta = entry
             .parity
-            .get(g)
+            .get(slot)
             .ok_or(StoreError::Corrupt("parity group out of range"))?;
         let payload = self.payload_slice(meta.offset, meta.len)?;
         if crc32(payload) != meta.crc {
             return Err(StoreError::ParityCrc {
                 field: entry.name.clone(),
-                group: g,
+                group: slot / self.parity_shards(),
             });
         }
         Ok(payload)
     }
 
-    /// Attempts to rebuild chunk `i` of `entry` from its XOR parity group
-    /// and decode it. Succeeds only when the parity chunk and *every*
-    /// sibling verify their CRCs, the rebuilt bytes match the chunk's
-    /// stored CRC (the footer is index-CRC protected, so that CRC is
-    /// trustworthy), and the decode yields the framed value count —
-    /// reconstruction can repair, never fabricate.
+    /// Attempts to rebuild chunk `i` of `entry` from its parity group and
+    /// decode it. XOR (v3) needs the parity chunk and *every* sibling
+    /// intact; Reed–Solomon (v4) tolerates up to `m` failing members per
+    /// group as long as enough shards survive. Either way the rebuilt
+    /// bytes must match the chunk's stored CRC (the footer is index-CRC
+    /// protected, so that CRC is trustworthy) and the decode must yield
+    /// the framed value count — reconstruction can repair, never
+    /// fabricate.
     fn reconstruct_chunk(&self, entry: &FieldEntry, i: usize) -> Option<Vec<f64>> {
-        let width = self.header.parity_group_width as usize;
-        if width == 0 {
-            return None;
-        }
-        let g = group_of(i, width);
-        let parity = self.parity_payload(entry, g).ok()?;
-        let mut siblings = Vec::with_capacity(width.saturating_sub(1));
-        for c in group_members(g, width, entry.chunks.len()) {
-            if c == i {
-                continue;
+        let rebuilt = match self.header.scheme() {
+            Parity::None => return None,
+            Parity::Xor { width } => {
+                let width = width as usize;
+                let g = group_of(i, width);
+                let parity = self.parity_payload(entry, g).ok()?;
+                let mut siblings = Vec::with_capacity(width.saturating_sub(1));
+                for c in group_members(g, width, entry.chunks.len()) {
+                    if c == i {
+                        continue;
+                    }
+                    siblings.push(self.chunk_payload(entry, c).ok()?);
+                }
+                reconstruct(parity, siblings, entry.chunks[i].len as usize)?
             }
-            siblings.push(self.chunk_payload(entry, c).ok()?);
-        }
+            Parity::Rs { data, parity: m } => {
+                let (k, m) = (data as usize, m as usize);
+                let g = group_of(i, k);
+                let members = group_members(g, k, entry.chunks.len());
+                let states: Vec<Option<&[u8]>> = members
+                    .clone()
+                    .map(|c| self.chunk_payload(entry, c).ok())
+                    .collect();
+                let lens: Vec<usize> = members
+                    .clone()
+                    .map(|c| entry.chunks[c].len as usize)
+                    .collect();
+                let shards: Vec<Option<&[u8]>> = (0..m)
+                    .map(|j| self.parity_payload(entry, g * m + j).ok())
+                    .collect();
+                let rebuilt = gf256::rs_recover(&states, &shards, &lens)?;
+                let local = i - members.start;
+                rebuilt.into_iter().find(|&(idx, _)| idx == local)?.1
+            }
+        };
         let meta = &entry.chunks[i];
-        let rebuilt = reconstruct(parity, siblings, meta.len as usize)?;
         if crc32(&rebuilt) != meta.crc {
             return None;
         }
@@ -552,13 +640,15 @@ impl<'a> StoreReader<'a> {
         // readers promise "exactly what was written or an error" for every
         // byte the field owns, and salvage readers report eroded
         // self-healing margin.
-        for g in 0..entry.parity.len() {
-            if let Err(error) = self.parity_payload(entry, g) {
+        for slot in 0..entry.parity.len() {
+            if let Err(error) = self.parity_payload(entry, slot) {
                 if self.policy.is_salvage() {
-                    let meta = &entry.parity[g];
+                    let meta = &entry.parity[slot];
+                    let shards = self.parity_shards();
                     report.parity.push(DamagedParity {
                         field: entry.name.clone(),
-                        group: g,
+                        group: slot / shards,
+                        shard: slot % shards,
                         byte_range: self.report_range(meta.offset, meta.len),
                     });
                 } else {
@@ -566,6 +656,7 @@ impl<'a> StoreReader<'a> {
                 }
             }
         }
+        report.summarize_groups(self.header.parity_group_width as usize);
         if stream.len() != self.recipe.len() {
             return Err(StoreError::Corrupt("stream length mismatches tree"));
         }
@@ -679,6 +770,7 @@ impl<'a> StoreReader<'a> {
                 Err(error) => return Err(error),
             }
         }
+        damage.summarize_groups(self.header.parity_group_width as usize);
 
         let perm = self.recipe.permutation();
         let mut hits: Vec<(u32, f64)> = Vec::new();
@@ -972,6 +1064,91 @@ mod tests {
         assert!(report.chunks.iter().all(|c| c.status == DamageStatus::Lost));
         assert!(report.total_values_lost() > 0);
         assert!(field.values().iter().any(|v| v.is_nan()));
+    }
+
+    fn sample_rs_store(chunk_bytes: u32, k: u32, m: u32) -> Vec<u8> {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(chunk_bytes)
+            .with_parity(Parity::Rs { data: k, parity: m })
+            .write(&refs(&ds))
+            .unwrap()
+            .bytes
+    }
+
+    #[test]
+    fn rs_salvage_repairs_up_to_m_failures_per_group() {
+        let mut bytes = sample_rs_store(512, 8, 2);
+        // Chunks 0 and 2 share group 0 at k = 8: two erasures, budget 2.
+        corrupt_chunk(&mut bytes, 0, 0);
+        corrupt_chunk(&mut bytes, 0, 2);
+        let clean = sample_rs_store(512, 8, 2);
+        let full = StoreReader::open(&clean)
+            .unwrap()
+            .decode_field("density")
+            .unwrap();
+        let reader = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::salvage());
+        let (field, report) = reader.decode_field_with_report("density").unwrap();
+        assert_eq!(report.chunks.len(), 2);
+        assert!(report
+            .chunks
+            .iter()
+            .all(|c| c.status == DamageStatus::Repaired));
+        assert_eq!(report.total_values_lost(), 0);
+        assert_eq!(
+            report.groups,
+            vec![GroupDamage {
+                field: "density".into(),
+                group: 0,
+                erasures: 2,
+                repaired: 2,
+            }]
+        );
+        for (a, b) in field.values().iter().zip(full.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn rs_salvage_gives_up_past_the_parity_budget() {
+        let mut bytes = sample_rs_store(512, 8, 2);
+        for c in [0, 2, 4] {
+            corrupt_chunk(&mut bytes, 0, c);
+        }
+        let reader = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::salvage());
+        let (field, report) = reader.decode_field_with_report("density").unwrap();
+        assert_eq!(report.chunks.len(), 3);
+        assert!(report.chunks.iter().all(|c| c.status == DamageStatus::Lost));
+        assert_eq!(report.groups.len(), 1);
+        assert_eq!(report.groups[0].erasures, 3);
+        assert_eq!(report.groups[0].repaired, 0);
+        assert!(field.values().iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn rs_reconstruction_survives_a_lost_parity_shard() {
+        let mut bytes = sample_rs_store(512, 8, 2);
+        corrupt_chunk(&mut bytes, 0, 1);
+        // Also destroy shard 0 of group 0 (parity slot 0): one erasure,
+        // one surviving shard — still within budget.
+        {
+            let (_, fields, payload) = format::open(&bytes).unwrap();
+            let meta = fields[0].parity[0];
+            bytes[payload.start + meta.offset as usize] ^= 0xff;
+        }
+        let reader = StoreReader::open(&bytes)
+            .unwrap()
+            .with_read_policy(ReadPolicy::salvage());
+        let (_, report) = reader.decode_field_with_report("density").unwrap();
+        assert_eq!(report.chunks.len(), 1);
+        assert_eq!(report.chunks[0].status, DamageStatus::Repaired);
+        assert_eq!(report.parity.len(), 1);
+        assert_eq!(report.parity[0].group, 0);
+        assert_eq!(report.parity[0].shard, 0);
     }
 
     #[test]

@@ -4,29 +4,43 @@
 //! CRCs **without decoding payloads** — it answers "is this store healthy,
 //! and if not, can parity still save it?" cheaply enough to run in a
 //! monitoring loop. [`repair`] actually rewrites the store: every damaged
-//! data chunk that its XOR parity group can reconstruct is rebuilt (and
-//! re-verified against its footer CRC), parity chunks are recomputed from
-//! the recovered data, and chunks parity cannot reach can optionally be
-//! pulled from a structurally identical `replica` store. Because the
-//! writer's layout is deterministic (field-major data, then field-major
-//! parity), a successful repair of a writer-produced store is
-//! **byte-identical** to the pre-damage original.
+//! data chunk its parity group can reconstruct is rebuilt (and re-verified
+//! against its footer CRC), parity chunks are recomputed from the
+//! recovered data, and chunks parity cannot reach can be pulled from a
+//! structurally identical `replica` store or — via [`repair_with`] and a
+//! [`RawSource`] — **re-encoded from the original field data** through the
+//! writer's chunk pipeline. Recovery avenues cascade to a fixpoint
+//! (parity → replica → raw, then parity again with the group refilled), so
+//! a replica or raw copy of one chunk can put a group back inside its
+//! erasure budget. Because the writer's layout is deterministic
+//! (field-major data, then field-major parity), a successful repair of a
+//! writer-produced store is **byte-identical** to the pre-damage original.
 //!
-//! Both operations work on v2 stores too: there is simply no parity to
-//! verify or reconstruct from, so scrub reports damage as unrecoverable
-//! (`parity_available: false`) and repair can only use a replica.
+//! The erasure budget follows the store's scheme: v3 XOR groups tolerate
+//! one failure per group, v4 Reed–Solomon groups tolerate up to `m`
+//! ([`crate::StoreHeader::scheme`]). Both operations work on v2 stores
+//! too: there is simply no parity to verify or reconstruct from, so scrub
+//! reports damage as unrecoverable (`parity_available: false`) and repair
+//! can only use a replica or raw source.
 
+use crate::cache::RecipeCache;
 use crate::format::{self, assemble, write_header, FieldEntry, StoreError, StoreHeader};
-use crate::parity::{build_group_parity, group_members, group_of, reconstruct, ParityMeta};
+use crate::gf256;
+use crate::parity::{
+    build_group_parity, group_count, group_members, group_of, reconstruct, Parity, ParityMeta,
+};
 use std::ops::Range;
-use zmesh::crc32;
+use zmesh::{codec_for, crc32, GroupingMode};
+use zmesh_amr::AmrField;
+use zmesh_codecs::{CodecParams, ErrorControl};
 
 /// Which chunk of a field a scrub/repair record points at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChunkKind {
     /// Data chunk `i` (stream order).
     Data(usize),
-    /// Parity chunk of group `g`.
+    /// Parity slot `s` — group `s / shards`, shard `s % shards` (v3 has
+    /// one shard per group, so slot = group).
     Parity(usize),
 }
 
@@ -67,6 +81,9 @@ pub struct ScrubReport {
     pub version: u16,
     /// Data chunks per parity group (0 ⇒ no parity section).
     pub parity_group_width: u32,
+    /// Parity shards per group — the per-group erasure budget (1 for XOR
+    /// v3, `m` for Reed–Solomon v4, 0 without parity).
+    pub parity_shards: u32,
     /// Whether the store carries parity at all.
     pub parity_available: bool,
     /// Fields in the store.
@@ -99,11 +116,13 @@ impl ScrubReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push_str(&format!(
-            "{{\"version\":{},\"parity_group_width\":{},\"parity_available\":{},\
+            "{{\"version\":{},\"parity_group_width\":{},\"parity_shards\":{},\
+             \"parity_available\":{},\
              \"fields\":{},\"data_chunks\":{},\"parity_chunks\":{},\
              \"recoverable\":{},\"unrecoverable\":{},\"clean\":{},\"damaged\":[",
             self.version,
             self.parity_group_width,
+            self.parity_shards,
             self.parity_available,
             self.fields,
             self.data_chunks,
@@ -205,29 +224,33 @@ fn parity_slice<'a>(
     bytes: &'a [u8],
     payload: &Range<usize>,
     entry: &FieldEntry,
-    g: usize,
+    slot: usize,
+    shards: usize,
 ) -> Result<&'a [u8], StoreError> {
-    let meta = &entry.parity[g];
+    let meta = &entry.parity[slot];
     verified_slice(bytes, payload, meta.offset, meta.len, meta.crc, || {
         StoreError::ParityCrc {
             field: entry.name.clone(),
-            group: g,
+            group: slot / shards.max(1),
         }
     })
 }
 
 /// Verifies every data and parity chunk of a store (CRCs only, no payload
 /// decoding) and classifies each failure as parity-recoverable or not.
-/// Container-level damage (bad magic, truncated/CRC-failing index) is
-/// returned as an error — there is no per-chunk story to tell without a
-/// trustworthy index.
+/// Container-level damage (bad magic, torn commit, truncated/CRC-failing
+/// index) is returned as an error — there is no per-chunk story to tell
+/// without a trustworthy index.
 pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
     let (header, fields, payload) = format::open(bytes)?;
     let width = header.parity_group_width as usize;
+    let scheme = header.scheme();
+    let shards = scheme.shards() as usize;
     let parity_available = header.capabilities().parity;
     let mut report = ScrubReport {
         version: header.version,
         parity_group_width: header.parity_group_width,
+        parity_shards: scheme.shards(),
         parity_available,
         fields: fields.len(),
         data_chunks: fields.iter().map(|f| f.chunks.len()).sum(),
@@ -239,11 +262,17 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
             .map(|i| data_slice(bytes, &payload, entry, i).is_ok())
             .collect();
         let parity_ok: Vec<bool> = (0..entry.parity.len())
-            .map(|g| parity_slice(bytes, &payload, entry, g).is_ok())
+            .map(|s| parity_slice(bytes, &payload, entry, s, shards).is_ok())
             .collect();
         let failures_in = |g: usize| -> usize {
             group_members(g, width, entry.chunks.len())
                 .filter(|&c| !data_ok[c])
+                .count()
+        };
+        // A group's erasure budget is its count of *intact* parity shards.
+        let intact_shards = |g: usize| -> usize {
+            (0..shards)
+                .filter(|&j| parity_ok.get(g * shards + j).copied().unwrap_or(false))
                 .count()
         };
         for (i, ok) in data_ok.iter().enumerate() {
@@ -253,7 +282,7 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
             let error = data_slice(bytes, &payload, entry, i).unwrap_err();
             let recoverable = parity_available && {
                 let g = group_of(i, width);
-                failures_in(g) == 1 && parity_ok.get(g).copied().unwrap_or(false)
+                failures_in(g) <= intact_shards(g)
             };
             let meta = &entry.chunks[i];
             report.damaged.push(ScrubChunk {
@@ -264,18 +293,19 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
                 error,
             });
         }
-        for (g, ok) in parity_ok.iter().enumerate() {
+        for (s, ok) in parity_ok.iter().enumerate() {
             if *ok {
                 continue;
             }
-            let error = parity_slice(bytes, &payload, entry, g).unwrap_err();
-            // A parity chunk is recomputable whenever all the data it
-            // protects is intact.
-            let recoverable = failures_in(g) == 0;
-            let meta = &entry.parity[g];
+            let error = parity_slice(bytes, &payload, entry, s, shards).unwrap_err();
+            // A parity shard is recomputable whenever the data it protects
+            // is intact or itself recoverable from the surviving shards.
+            let g = s / shards.max(1);
+            let recoverable = failures_in(g) <= intact_shards(g);
+            let meta = &entry.parity[s];
             report.damaged.push(ScrubChunk {
                 field: entry.name.clone(),
-                chunk: ChunkKind::Parity(g),
+                chunk: ChunkKind::Parity(s),
                 recoverable,
                 byte_range: report_range(&payload, meta.offset, meta.len),
                 error,
@@ -288,10 +318,13 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
 /// Where a repaired chunk's bytes came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepairSource {
-    /// Rebuilt from the XOR parity group.
+    /// Rebuilt from the store's own parity (XOR group or Reed–Solomon
+    /// shards).
     Parity,
     /// Copied from the replica store.
     Replica,
+    /// Re-encoded from the original field data ([`RawSource`]).
+    Raw,
 }
 
 /// One data chunk [`repair`] recovered.
@@ -331,27 +364,109 @@ pub struct RepairOutcome {
     pub lost: Vec<LostChunk>,
 }
 
-/// Checks that `replica` is structurally interchangeable with the store
-/// being repaired: same mesh structure bytes and same encoding parameters,
-/// so equal (chunk index → payload) mappings are meaningful.
-fn replica_compatible(ours: &StoreHeader, theirs: &StoreHeader) -> bool {
-    ours.structure == theirs.structure
-        && ours.policy == theirs.policy
-        && ours.mode == theirs.mode
-        && ours.codec == theirs.codec
-        && ours.value_type == theirs.value_type
-        && ours.chunk_target_bytes == theirs.chunk_target_bytes
+/// The original, uncompressed field data a store was written from — the
+/// recovery avenue of last resort for [`repair_with`]. Lost chunks are
+/// re-encoded through the writer's deterministic pipeline (reorder →
+/// chunk → compress) and accepted **only** when the re-encoded payload
+/// matches the damaged store's footer CRC byte-for-byte, so a drifted or
+/// wrong dataset can never be spliced in silently.
+pub struct RawSource<'a> {
+    fields: &'a [(&'a str, &'a AmrField)],
+    cache: Option<&'a RecipeCache>,
 }
 
-/// Rewrites `bytes` as a clean store: damaged data chunks are rebuilt from
-/// parity where a group has exactly one failure, then (optionally) pulled
-/// from `replica` when parity cannot help; all parity chunks are
-/// recomputed from the recovered data. Every recovered payload is verified
-/// against its footer CRC before use. Container-level damage errors out —
-/// repair needs a trustworthy index.
+impl<'a> RawSource<'a> {
+    /// Wraps the original `(name, field)` pairs the store was packed from.
+    pub fn new(fields: &'a [(&'a str, &'a AmrField)]) -> Self {
+        Self {
+            fields,
+            cache: None,
+        }
+    }
+
+    /// Reuses an existing recipe cache for the re-encode (the same cache a
+    /// long-lived writer holds), skipping the parallel recipe rebuild.
+    pub fn with_cache(mut self, cache: &'a RecipeCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// Re-encodes every chunk of `entry` from the raw field data, reproducing
+/// the writer's pipeline from the parameters recorded in the header and
+/// footer. Returns `None` when the raw data cannot possibly match (wrong
+/// mesh, wrong mode, unreproducible error control) — callers still verify
+/// each chunk against its footer CRC before use.
+fn raw_encode_field(
+    header: &StoreHeader,
+    entry: &FieldEntry,
+    raw: &RawSource<'_>,
+) -> Option<Vec<Vec<u8>>> {
+    let (_, field) = raw.fields.iter().find(|(n, _)| *n == entry.name)?;
+    if field.mode() != header.mode {
+        return None;
+    }
+    let tree = field.tree();
+    if tree.structure_bytes() != header.structure {
+        return None;
+    }
+    // FixedRate/FixedPrecision controls resolve to no absolute bound; the
+    // footer cannot reproduce them, so re-encoding is undefined there.
+    let bound = entry.resolved_bound?;
+    let grouping = GroupingMode::from_storage_mode(header.mode);
+    let local_cache;
+    let cache = match raw.cache {
+        Some(c) => c,
+        None => {
+            local_cache = RecipeCache::new();
+            &local_cache
+        }
+    };
+    let (recipe, _) = cache.get_or_build(tree, &header.structure, header.policy, grouping);
+    let stream = recipe.apply(field.values());
+    let chunk_values = (header.chunk_target_bytes as usize / 8).max(1);
+    if stream.len().div_ceil(chunk_values) != entry.chunks.len() {
+        return None;
+    }
+    let codec = codec_for(header.codec);
+    let params = CodecParams {
+        control: ErrorControl::Absolute(bound),
+        dims: [0, 0, 0],
+        value_type: header.value_type,
+    };
+    let mut out = Vec::with_capacity(entry.chunks.len());
+    for i in 0..entry.chunks.len() {
+        let lo = i * chunk_values;
+        let hi = ((i + 1) * chunk_values).min(stream.len());
+        out.push(codec.compress(&stream[lo..hi], &params).ok()?);
+    }
+    Some(out)
+}
+
+/// [`repair_with`] without a raw source: parity first, then `replica`.
 pub fn repair(bytes: &[u8], replica: Option<&[u8]>) -> Result<RepairOutcome, StoreError> {
+    repair_with(bytes, replica, None)
+}
+
+/// Rewrites `bytes` as a clean store. Damaged data chunks are recovered by
+/// cascading three avenues to a fixpoint: (1) the store's own parity —
+/// XOR for a single failure per group, Reed–Solomon for up to `m` — then
+/// (2) a structurally identical `replica` store, then (3) re-encoding from
+/// the original field data in `raw`. Each round a replica or raw copy can
+/// pull a group back inside its erasure budget, so parity gets another
+/// try. All parity shards are recomputed from the recovered data, and
+/// every recovered payload is verified against its footer CRC before use.
+/// Container-level damage errors out — repair needs a trustworthy index
+/// (for a torn v4 store, rebuild from raw data instead and compare).
+pub fn repair_with(
+    bytes: &[u8],
+    replica: Option<&[u8]>,
+    raw: Option<&RawSource<'_>>,
+) -> Result<RepairOutcome, StoreError> {
     let (header, fields, payload) = format::open(bytes)?;
     let width = header.parity_group_width as usize;
+    let scheme = header.scheme();
+    let shards = scheme.shards() as usize;
 
     // Parse and vet the replica once, up front. An incompatible replica is
     // a caller error, not a silent no-op.
@@ -386,60 +501,124 @@ pub fn repair(bytes: &[u8], replica: Option<&[u8]>) -> Result<RepairOutcome, Sto
         lost: Vec::new(),
     };
 
-    // Phase 1 — recover every data chunk, field by field.
+    // Phase 1 — recover every data chunk, field by field, cascading the
+    // avenues until a full pass makes no progress.
     let mut recovered: Vec<Vec<Vec<u8>>> = Vec::with_capacity(fields.len());
     for entry in &fields {
-        let mut chunks: Vec<Option<Vec<u8>>> = (0..entry.chunks.len())
+        let n = entry.chunks.len();
+        let mut chunks: Vec<Option<Vec<u8>>> = (0..n)
             .map(|i| {
                 data_slice(bytes, &payload, entry, i)
                     .ok()
                     .map(<[u8]>::to_vec)
             })
             .collect();
-        for i in 0..entry.chunks.len() {
-            if chunks[i].is_some() {
-                continue;
-            }
-            let meta = &entry.chunks[i];
-            // Avenue 1: XOR parity (single failure in the group, parity
-            // intact, every sibling intact).
-            let from_parity = (width > 0)
-                .then(|| {
-                    let g = group_of(i, width);
-                    let members = group_members(g, width, entry.chunks.len());
-                    if members.clone().filter(|&c| chunks[c].is_none()).count() != 1 {
-                        return None;
-                    }
-                    let parity = parity_slice(bytes, &payload, entry, g).ok()?;
-                    let siblings = members
-                        .filter(|&c| c != i)
-                        .map(|c| chunks[c].as_deref().expect("siblings intact"))
-                        .collect::<Vec<_>>();
-                    let rebuilt = reconstruct(parity, siblings, meta.len as usize)?;
-                    (crc32(&rebuilt) == meta.crc).then_some(rebuilt)
-                })
-                .flatten();
-            let (payload_bytes, source) = match from_parity {
-                Some(p) => (Some(p), RepairSource::Parity),
-                None => (
-                    replica_chunk(&entry.name, i, meta.len, meta.crc).map(<[u8]>::to_vec),
-                    RepairSource::Replica,
-                ),
-            };
-            match payload_bytes {
-                Some(p) => {
-                    chunks[i] = Some(p);
-                    outcome.repaired.push(RepairedChunk {
-                        field: entry.name.clone(),
-                        chunk: i,
-                        source,
-                    });
+        let mut sources: Vec<Option<RepairSource>> = vec![None; n];
+        // The raw re-encode covers the whole field; run it at most once.
+        let mut raw_chunks: Option<Option<Vec<Vec<u8>>>> = None;
+        loop {
+            let mut progress = false;
+            // Avenue 1: the store's own parity, one group at a time.
+            for g in 0..group_count(n, width) {
+                let members = group_members(g, width, n);
+                let missing: Vec<usize> =
+                    members.clone().filter(|&c| chunks[c].is_none()).collect();
+                if missing.is_empty() {
+                    continue;
                 }
-                None => outcome.lost.push(LostChunk {
+                let rebuilt: Option<Vec<(usize, Vec<u8>)>> = match scheme {
+                    Parity::None => None,
+                    Parity::Xor { .. } => (missing.len() == 1)
+                        .then(|| {
+                            let i = missing[0];
+                            let parity = parity_slice(bytes, &payload, entry, g, 1).ok()?;
+                            let siblings = members
+                                .clone()
+                                .filter(|&c| c != i)
+                                .map(|c| chunks[c].as_deref().expect("siblings intact"))
+                                .collect::<Vec<_>>();
+                            let b = reconstruct(parity, siblings, entry.chunks[i].len as usize)?;
+                            Some(vec![(i, b)])
+                        })
+                        .flatten(),
+                    Parity::Rs { .. } => {
+                        let member_payloads: Vec<Option<&[u8]>> =
+                            members.clone().map(|c| chunks[c].as_deref()).collect();
+                        let lens: Vec<usize> = members
+                            .clone()
+                            .map(|c| entry.chunks[c].len as usize)
+                            .collect();
+                        let shard_payloads: Vec<Option<&[u8]>> = (0..shards)
+                            .map(|j| {
+                                parity_slice(bytes, &payload, entry, g * shards + j, shards).ok()
+                            })
+                            .collect();
+                        gf256::rs_recover(&member_payloads, &shard_payloads, &lens).map(|v| {
+                            v.into_iter()
+                                .map(|(local, b)| (members.start + local, b))
+                                .collect()
+                        })
+                    }
+                };
+                for (i, b) in rebuilt.into_iter().flatten() {
+                    // Never splice in a reconstruction the footer disowns.
+                    if crc32(&b) == entry.chunks[i].crc {
+                        chunks[i] = Some(b);
+                        sources[i] = Some(RepairSource::Parity);
+                        progress = true;
+                    }
+                }
+            }
+            // Avenue 2: the replica store.
+            for i in 0..n {
+                if chunks[i].is_some() {
+                    continue;
+                }
+                let meta = &entry.chunks[i];
+                if let Some(p) = replica_chunk(&entry.name, i, meta.len, meta.crc) {
+                    chunks[i] = Some(p.to_vec());
+                    sources[i] = Some(RepairSource::Replica);
+                    progress = true;
+                }
+            }
+            // Avenue 3: re-encode from the original field data.
+            if let Some(raw_src) = raw {
+                if chunks.iter().any(Option::is_none) {
+                    let encoded =
+                        raw_chunks.get_or_insert_with(|| raw_encode_field(&header, entry, raw_src));
+                    if let Some(encoded) = encoded {
+                        for i in 0..n {
+                            if chunks[i].is_some() {
+                                continue;
+                            }
+                            let meta = &entry.chunks[i];
+                            let b = &encoded[i];
+                            if b.len() as u64 == meta.len && crc32(b) == meta.crc {
+                                chunks[i] = Some(b.clone());
+                                sources[i] = Some(RepairSource::Raw);
+                                progress = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        for i in 0..n {
+            match (&chunks[i], sources[i]) {
+                (Some(_), Some(source)) => outcome.repaired.push(RepairedChunk {
+                    field: entry.name.clone(),
+                    chunk: i,
+                    source,
+                }),
+                (None, _) => outcome.lost.push(LostChunk {
                     field: entry.name.clone(),
                     chunk: i,
                     error: data_slice(bytes, &payload, entry, i).unwrap_err(),
                 }),
+                _ => {}
             }
         }
         recovered.push(chunks.into_iter().map(|c| c.unwrap_or_default()).collect());
@@ -471,23 +650,52 @@ pub fn repair(bytes: &[u8], replica: Option<&[u8]>) -> Result<RepairOutcome, Sto
         });
     }
     for (f, entry) in fields.iter().enumerate() {
-        for g in 0..entry.parity.len() {
+        for g in 0..group_count(entry.chunks.len(), width) {
             let members = group_members(g, width, entry.chunks.len());
-            let parity_bytes = build_group_parity(members.map(|c| recovered[f][c].as_slice()));
-            let crc = crc32(&parity_bytes);
-            if parity_slice(bytes, &payload, entry, g).is_err() || crc != entry.parity[g].crc {
-                outcome.parity_rebuilt += 1;
+            let new_shards: Vec<Vec<u8>> = match scheme {
+                Parity::None => Vec::new(),
+                Parity::Xor { .. } => vec![build_group_parity(
+                    members.map(|c| recovered[f][c].as_slice()),
+                )],
+                Parity::Rs { .. } => {
+                    let payloads: Vec<&[u8]> =
+                        members.map(|c| recovered[f][c].as_slice()).collect();
+                    gf256::rs_encode(&payloads, shards).ok_or(StoreError::Internal(
+                        "rs encode rejected a validated geometry",
+                    ))?
+                }
+            };
+            for (j, parity_bytes) in new_shards.iter().enumerate() {
+                let slot = g * shards + j;
+                let crc = crc32(parity_bytes);
+                if parity_slice(bytes, &payload, entry, slot, shards).is_err()
+                    || crc != entry.parity[slot].crc
+                {
+                    outcome.parity_rebuilt += 1;
+                }
+                entries[f].parity.push(ParityMeta {
+                    offset: new_payload.len() as u64,
+                    len: parity_bytes.len() as u64,
+                    crc,
+                });
+                new_payload.extend_from_slice(parity_bytes);
             }
-            entries[f].parity.push(ParityMeta {
-                offset: new_payload.len() as u64,
-                len: parity_bytes.len() as u64,
-                crc,
-            });
-            new_payload.extend_from_slice(&parity_bytes);
         }
     }
     outcome.bytes = Some(assemble(write_header(&header), &new_payload, &entries));
     Ok(outcome)
+}
+
+/// Checks that `replica` is structurally interchangeable with the store
+/// being repaired: same mesh structure bytes and same encoding parameters,
+/// so equal (chunk index → payload) mappings are meaningful.
+fn replica_compatible(ours: &StoreHeader, theirs: &StoreHeader) -> bool {
+    ours.structure == theirs.structure
+        && ours.policy == theirs.policy
+        && ours.mode == theirs.mode
+        && ours.codec == theirs.codec
+        && ours.value_type == theirs.value_type
+        && ours.chunk_target_bytes == theirs.chunk_target_bytes
 }
 
 #[cfg(test)]
@@ -498,16 +706,34 @@ mod tests {
     use zmesh::CompressionConfig;
     use zmesh_amr::{datasets, AmrField, StorageMode};
 
-    fn store(width: u32) -> Vec<u8> {
-        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
-        let fields: Vec<(&str, &AmrField)> =
-            ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    fn dataset() -> datasets::Dataset {
+        datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny)
+    }
+
+    fn refs(ds: &datasets::Dataset) -> Vec<(&str, &AmrField)> {
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect()
+    }
+
+    fn store_with(parity: Parity) -> Vec<u8> {
+        let ds = dataset();
         StoreWriter::new(CompressionConfig::zmesh_default())
             .with_chunk_target_bytes(512)
-            .with_parity_group_width(width)
-            .write(&fields)
+            .with_parity(parity)
+            .write(&refs(&ds))
             .unwrap()
             .bytes
+    }
+
+    fn store(width: u32) -> Vec<u8> {
+        store_with(if width == 0 {
+            Parity::None
+        } else {
+            Parity::Xor { width }
+        })
+    }
+
+    fn rs_store(k: u32, m: u32) -> Vec<u8> {
+        store_with(Parity::Rs { data: k, parity: m })
     }
 
     #[test]
@@ -516,10 +742,12 @@ mod tests {
         let report = scrub(&bytes).unwrap();
         assert!(report.is_clean());
         assert!(report.parity_available);
+        assert_eq!(report.parity_shards, 1);
         assert!(report.data_chunks > 0);
         assert!(report.parity_chunks > 0);
         let json = report.to_json();
         assert!(json.contains("\"clean\":true"));
+        assert!(json.contains("\"parity_shards\":1"));
         assert!(json.contains("\"damaged\":[]"));
     }
 
@@ -541,12 +769,31 @@ mod tests {
     }
 
     #[test]
+    fn scrub_classifies_rs_damage_against_the_shard_budget() {
+        let mut bytes = rs_store(8, 2);
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        faultinject::flip_data_chunk(&mut bytes, 0, 2);
+        let report = scrub(&bytes).unwrap();
+        assert_eq!(report.version, 4);
+        assert_eq!(report.parity_shards, 2);
+        assert_eq!(report.damaged.len(), 2);
+        assert_eq!(report.recoverable(), 2, "two failures fit an m = 2 budget");
+
+        // A third failure in the same group exceeds the budget.
+        faultinject::flip_data_chunk(&mut bytes, 0, 4);
+        let report = scrub(&bytes).unwrap();
+        assert_eq!(report.damaged.len(), 3);
+        assert_eq!(report.unrecoverable(), 3);
+    }
+
+    #[test]
     fn scrub_reports_v2_damage_as_unrecoverable() {
         let mut bytes = store(0);
         let report = scrub(&bytes).unwrap();
         assert!(report.is_clean());
         assert!(!report.parity_available);
         assert_eq!(report.parity_chunks, 0);
+        assert_eq!(report.parity_shards, 0);
         faultinject::flip_data_chunk(&mut bytes, 0, 0);
         let report = scrub(&bytes).unwrap();
         assert_eq!(report.unrecoverable(), 1);
@@ -570,6 +817,24 @@ mod tests {
     }
 
     #[test]
+    fn repair_restores_byte_identity_from_rs_parity() {
+        let clean = rs_store(8, 2);
+        let mut bytes = clean.clone();
+        // Two failures in one group: beyond XOR, within an m = 2 budget.
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        faultinject::flip_data_chunk(&mut bytes, 0, 2);
+        faultinject::flip_data_chunk(&mut bytes, 1, 5);
+        let outcome = repair(&bytes, None).unwrap();
+        assert_eq!(outcome.repaired.len(), 3);
+        assert!(outcome.lost.is_empty());
+        assert!(outcome
+            .repaired
+            .iter()
+            .all(|r| r.source == RepairSource::Parity));
+        assert_eq!(outcome.bytes.unwrap(), clean);
+    }
+
+    #[test]
     fn repair_rebuilds_damaged_parity() {
         let clean = store(8);
         let mut bytes = clean.clone();
@@ -577,6 +842,19 @@ mod tests {
         let outcome = repair(&bytes, None).unwrap();
         assert!(outcome.repaired.is_empty());
         assert_eq!(outcome.parity_rebuilt, 1);
+        assert_eq!(outcome.bytes.unwrap(), clean);
+    }
+
+    #[test]
+    fn repair_rebuilds_damaged_rs_shards() {
+        let clean = rs_store(4, 2);
+        let mut bytes = clean.clone();
+        // Slot 1 = group 0, shard 1; slot 3 = group 1, shard 1.
+        faultinject::flip_parity_chunk(&mut bytes, 0, 1);
+        faultinject::flip_parity_chunk(&mut bytes, 0, 3);
+        let outcome = repair(&bytes, None).unwrap();
+        assert!(outcome.repaired.is_empty());
+        assert_eq!(outcome.parity_rebuilt, 2);
         assert_eq!(outcome.bytes.unwrap(), clean);
     }
 
@@ -593,14 +871,76 @@ mod tests {
 
         let outcome = repair(&bytes, Some(&clean)).unwrap();
         assert!(outcome.lost.is_empty());
-        // Recovery cascades: once the replica restores the first chunk,
-        // the group is back to a single failure and parity finishes the
-        // job — so both sources appear.
+        // Recovery cascades: once the replica restores a chunk, the group
+        // is back inside the parity budget and parity can finish the job —
+        // but the replica pass of the same round may already have healed
+        // both, so only the replica source is guaranteed to appear.
         assert!(outcome
             .repaired
             .iter()
             .any(|r| r.source == RepairSource::Replica));
         assert_eq!(outcome.bytes.unwrap(), clean);
+    }
+
+    #[test]
+    fn repair_reencodes_from_raw_when_parity_cannot_help() {
+        let ds = dataset();
+        let fields = refs(&ds);
+        let clean = StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(512)
+            .with_parity(Parity::Xor { width: 8 })
+            .write(&fields)
+            .unwrap()
+            .bytes;
+        let mut bytes = clean.clone();
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        faultinject::flip_data_chunk(&mut bytes, 0, 2);
+        assert!(!repair(&bytes, None).unwrap().lost.is_empty());
+
+        let raw = RawSource::new(&fields);
+        let outcome = repair_with(&bytes, None, Some(&raw)).unwrap();
+        assert!(outcome.lost.is_empty());
+        assert!(outcome
+            .repaired
+            .iter()
+            .any(|r| r.source == RepairSource::Raw));
+        assert_eq!(outcome.bytes.unwrap(), clean);
+    }
+
+    #[test]
+    fn raw_source_alone_rebuilds_a_v2_store() {
+        let ds = dataset();
+        let fields = refs(&ds);
+        let clean = StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(512)
+            .with_parity(Parity::None)
+            .write(&fields)
+            .unwrap()
+            .bytes;
+        let mut bytes = clean.clone();
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        faultinject::flip_data_chunk(&mut bytes, 1, 1);
+        let raw = RawSource::new(&fields);
+        let outcome = repair_with(&bytes, None, Some(&raw)).unwrap();
+        assert!(outcome.lost.is_empty());
+        assert!(outcome
+            .repaired
+            .iter()
+            .all(|r| r.source == RepairSource::Raw));
+        assert_eq!(outcome.bytes.unwrap(), clean);
+    }
+
+    #[test]
+    fn raw_source_rejects_a_mismatched_dataset() {
+        let mut bytes = store(8);
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        faultinject::flip_data_chunk(&mut bytes, 0, 2);
+        let other = datasets::front2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let fields = refs(&other);
+        let raw = RawSource::new(&fields);
+        let outcome = repair_with(&bytes, None, Some(&raw)).unwrap();
+        assert_eq!(outcome.lost.len(), 2, "wrong mesh must never repair");
+        assert!(outcome.bytes.is_none());
     }
 
     #[test]
@@ -625,12 +965,16 @@ mod tests {
 
     #[test]
     fn repair_of_a_clean_store_is_the_identity() {
-        for width in [8u32, 0] {
-            let clean = store(width);
+        for parity in [
+            Parity::Xor { width: 8 },
+            Parity::None,
+            Parity::Rs { data: 4, parity: 2 },
+        ] {
+            let clean = store_with(parity);
             let outcome = repair(&clean, None).unwrap();
             assert!(outcome.repaired.is_empty());
             assert_eq!(outcome.parity_rebuilt, 0);
-            assert_eq!(outcome.bytes.unwrap(), clean, "width {width}");
+            assert_eq!(outcome.bytes.unwrap(), clean, "{parity:?}");
         }
     }
 }

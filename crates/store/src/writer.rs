@@ -10,11 +10,11 @@
 
 use crate::cache::RecipeCache;
 use crate::chunk::{plan_chunks, ChunkPlan, DEFAULT_CHUNK_TARGET_BYTES};
-use crate::format::{assemble, write_header, FieldEntry, StoreError, StoreHeader, STORE_VERSION};
-use crate::parity::{
-    build_group_parity, group_count, group_members, ParityMeta, DEFAULT_PARITY_GROUP_WIDTH,
-};
+use crate::format::{assemble, write_header, FieldEntry, StoreError, StoreHeader};
+use crate::gf256;
+use crate::parity::{build_group_parity, group_count, group_members, Parity, ParityMeta};
 use rayon::prelude::*;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 use zmesh::{codec_for, crc32, CompressionConfig, GroupingMode, Pipeline, ZmeshError};
@@ -55,7 +55,8 @@ pub struct StoreWriteStats {
     pub container_bytes: usize,
     /// Compressed chunk payload bytes.
     pub payload_bytes: usize,
-    /// XOR parity section bytes (0 when parity is disabled).
+    /// Parity section bytes — XOR chunks (v3) or Reed–Solomon shards
+    /// (v4); 0 when parity is disabled.
     pub parity_bytes: usize,
     /// Parity groups across all fields.
     pub parity_groups: usize,
@@ -97,18 +98,19 @@ impl StoreWriteStats {
 pub struct StoreWriteOptions {
     /// Uncompressed bytes each chunk targets (the last chunk may be short).
     pub chunk_target_bytes: u32,
-    /// Data chunks per XOR parity group. `0` disables parity entirely and
-    /// makes the writer emit a byte-identical **v2** store (useful for
-    /// interop with pre-parity readers and as the cross-version test
-    /// fixture).
-    pub parity_group_width: u32,
+    /// Erasure-protection scheme. The scheme picks the emitted format
+    /// version: [`Parity::None`] ⇒ byte-identical **v2** (interop with
+    /// pre-parity readers), [`Parity::Xor`] ⇒ byte-identical **v3**,
+    /// [`Parity::Rs`] ⇒ **v4** with `parity` shards per group and a
+    /// trailing commit record.
+    pub parity: Parity,
 }
 
 impl Default for StoreWriteOptions {
     fn default() -> Self {
         Self {
             chunk_target_bytes: DEFAULT_CHUNK_TARGET_BYTES,
-            parity_group_width: DEFAULT_PARITY_GROUP_WIDTH,
+            parity: Parity::default(),
         }
     }
 }
@@ -157,10 +159,21 @@ impl StoreWriter {
         self
     }
 
-    /// Sets the parity group width (`0` disables parity ⇒ v2 output).
-    pub fn with_parity_group_width(mut self, width: u32) -> Self {
-        self.options.parity_group_width = width;
+    /// Sets the erasure-protection scheme (and with it the emitted format
+    /// version).
+    pub fn with_parity(mut self, parity: Parity) -> Self {
+        self.options.parity = parity;
         self
+    }
+
+    /// Back-compat knob: an XOR group width (`0` disables parity ⇒ v2
+    /// output, `w > 0` ⇒ v3 XOR groups of `w`).
+    pub fn with_parity_group_width(self, width: u32) -> Self {
+        self.with_parity(if width == 0 {
+            Parity::None
+        } else {
+            Parity::Xor { width }
+        })
     }
 
     /// Shares a recipe cache with other writers/readers.
@@ -188,6 +201,7 @@ impl StoreWriter {
     /// store. The stream framing (and hence the index size) is identical
     /// for every ordering policy; only payload bytes differ.
     pub fn write(&self, fields: &[(&str, &AmrField)]) -> Result<StoreWritten, StoreError> {
+        self.options.parity.validate()?;
         let (_, first) = fields
             .first()
             .ok_or(StoreError::Zmesh(ZmeshError::Mismatch(
@@ -300,10 +314,11 @@ impl StoreWriter {
         let payload_bytes = payload.len();
 
         // Phase 4 — parity section, appended after the data payload in the
-        // same field-major order. One XOR chunk per group of `width` data
-        // chunks; offsets stay relative to the payload span like the data
-        // chunks', so readers slice both through one code path.
-        let width = self.options.parity_group_width as usize;
+        // same field-major order. One XOR chunk (v3) or `m` Reed–Solomon
+        // shards (v4) per group of `width` data chunks; offsets stay
+        // relative to the payload span like the data chunks', so readers
+        // slice both through one code path.
+        let width = self.options.parity.width() as usize;
         let mut parity_groups = 0usize;
         if width > 0 {
             for (f, entry) in entries.iter_mut().enumerate() {
@@ -311,28 +326,42 @@ impl StoreWriter {
                 parity_groups += groups;
                 for g in 0..groups {
                     let members = group_members(g, width, n_chunks);
-                    let bytes = build_group_parity(
-                        members.map(|c| compressed[f * n_chunks + c].0.as_slice()),
-                    );
-                    entry.parity.push(ParityMeta {
-                        offset: payload.len() as u64,
-                        len: bytes.len() as u64,
-                        crc: crc32(&bytes),
-                    });
-                    payload.extend_from_slice(&bytes);
+                    let shards: Vec<Vec<u8>> = match self.options.parity {
+                        Parity::None => unreachable!("width > 0"),
+                        Parity::Xor { .. } => vec![build_group_parity(
+                            members.map(|c| compressed[f * n_chunks + c].0.as_slice()),
+                        )],
+                        Parity::Rs { parity: m, .. } => {
+                            let payloads: Vec<&[u8]> = members
+                                .map(|c| compressed[f * n_chunks + c].0.as_slice())
+                                .collect();
+                            gf256::rs_encode(&payloads, m as usize).ok_or(StoreError::Internal(
+                                "rs encode rejected validated geometry",
+                            ))?
+                        }
+                    };
+                    for bytes in shards {
+                        entry.parity.push(ParityMeta {
+                            offset: payload.len() as u64,
+                            len: bytes.len() as u64,
+                            crc: crc32(&bytes),
+                        });
+                        payload.extend_from_slice(&bytes);
+                    }
                 }
             }
         }
         let parity_bytes = payload.len() - payload_bytes;
 
         let header = StoreHeader {
-            version: if width == 0 { 2 } else { STORE_VERSION },
+            version: self.options.parity.store_version(),
             policy: self.config.policy,
             mode,
             codec: self.config.codec,
             value_type: ValueType::F64,
             chunk_target_bytes: self.options.chunk_target_bytes,
-            parity_group_width: self.options.parity_group_width,
+            parity_group_width: self.options.parity.width(),
+            parity_shards: self.options.parity.shards(),
             structure,
             header_bytes: 0,
         };
@@ -360,6 +389,69 @@ impl StoreWriter {
             bytes,
         })
     }
+}
+
+impl StoreWriter {
+    /// [`StoreWriter::write`] followed by a crash-consistent [`persist`]
+    /// to `path`: readers see either the previous file or the complete
+    /// new store, never a torn intermediate.
+    pub fn write_to_path(
+        &self,
+        fields: &[(&str, &AmrField)],
+        path: &Path,
+    ) -> Result<StoreWritten, StoreError> {
+        let out = self.write(fields)?;
+        persist(&out.bytes, path)
+            .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+        Ok(out)
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: write `<path>.tmp`, fsync the
+/// file, rename over the target, then fsync the parent directory so the
+/// rename itself is durable. A crash at any point leaves either the old
+/// file or the new one — the v4 commit record covers the one remaining
+/// hole (a torn `.tmp` copied into place by some other tool).
+pub fn persist(bytes: &[u8], path: &Path) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = tmp_path(path);
+    let result = (|| {
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// `<path>.tmp` — appended, not an extension swap, so `store.zst` and
+/// `store` cannot collide with a sibling's temp file.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> std::io::Result<()> {
+    // Directory handles are not fsync-able portably; the rename is still
+    // atomic on the filesystems we target.
+    Ok(())
 }
 
 /// Chunked-store entry point hung off the core [`Pipeline`]: `pack` is to
@@ -433,6 +525,81 @@ mod tests {
         assert_eq!(header.version, 2);
         assert!(!header.capabilities().parity);
         assert!(fields.iter().all(|f| f.parity.is_empty()));
+    }
+
+    #[test]
+    fn rs_parity_writes_a_v4_store_with_m_shards_per_group() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer = StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(1024)
+            .with_parity(Parity::Rs { data: 4, parity: 2 });
+        let out = writer.write(&small_fields(&ds)).unwrap();
+        let (header, fields, _) = crate::format::open(&out.bytes).unwrap();
+        assert_eq!(header.version, 4);
+        assert_eq!(header.scheme(), Parity::Rs { data: 4, parity: 2 });
+        assert_eq!(header.capabilities().erasure_budget, 2);
+        let groups = group_count(out.stats.n_chunks, 4);
+        for f in &fields {
+            assert_eq!(f.parity.len(), groups * 2);
+        }
+        // Two shards per group cost roughly twice one XOR chunk.
+        assert!(out.stats.parity_overhead() > 0.0);
+        assert!(out.stats.parity_overhead() <= 2.0 * 2.0 / 4.0);
+    }
+
+    #[test]
+    fn rs_output_is_byte_identical_at_any_parallelism() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer = StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(1024)
+            .with_parity(Parity::Rs { data: 4, parity: 3 });
+        let parallel = writer.write(&small_fields(&ds)).unwrap();
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| writer.write(&small_fields(&ds)).unwrap());
+        assert_eq!(parallel.bytes, serial.bytes);
+    }
+
+    #[test]
+    fn invalid_parity_geometry_is_rejected_up_front() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        for parity in [
+            Parity::Rs { data: 0, parity: 2 },
+            Parity::Rs { data: 8, parity: 0 },
+            Parity::Rs {
+                data: 250,
+                parity: 10,
+            },
+            Parity::Xor { width: 0 },
+        ] {
+            let writer = StoreWriter::new(CompressionConfig::zmesh_default()).with_parity(parity);
+            assert!(
+                matches!(
+                    writer.write(&small_fields(&ds)),
+                    Err(StoreError::InvalidOptions(_))
+                ),
+                "{parity:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn persist_replaces_the_target_atomically() {
+        let dir = std::env::temp_dir().join(format!("zmesh-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.zms");
+        std::fs::write(&path, b"old contents").unwrap();
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer = StoreWriter::new(CompressionConfig::zmesh_default());
+        let out = writer.write_to_path(&small_fields(&ds), &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), out.bytes);
+        assert!(
+            !tmp_path(&path).exists(),
+            "temp file must not survive a successful persist"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -2,11 +2,16 @@
 # Scrub/repair smoke test: drive the self-healing store end to end through
 # the real binaries.
 #
-#   pack → scrub (clean, exit 0)
+#   pack (v3 XOR) → scrub (clean, exit 0)
 #        → inject one chunk fault → scrub (recoverable, exit 6)
 #        → repair from parity → byte-identical to the pristine store
 #        → inject two faults in one parity group → scrub (exit 4)
 #        → repair --replica → byte-identical again
+#   pack (v4 rs:4,2) → inject two faults in one group → scrub (exit 6)
+#        → repair from Reed–Solomon parity → byte-identical
+#        → truncate mid-commit-record → scrub/repair report torn (exit 7)
+#        → repair --from-raw → completed write, byte-identical
+#   pack (v2, --parity-width 0) → scrub clean, unpack → verify round-trip
 #
 # Uses only workspace binaries: the `zmesh` CLI and the gated
 # `faultinject` injector (zmesh-bench, --features faultinject).
@@ -62,5 +67,33 @@ echo "==> a replica rescues what parity cannot"
 expect_code 0 zmesh repair "$workdir/double.zms" -o "$workdir/rescued.zms" \
     --replica "$workdir/data.zms"
 cmp "$workdir/rescued.zms" "$workdir/data.zms"
+
+echo "==> v4 Reed-Solomon store: two faults in one group stay recoverable"
+zmesh pack "$workdir/data.zmd" -o "$workdir/rs.zms" --chunk-kb 1 --parity rs:4,2
+expect_code 0 zmesh scrub "$workdir/rs.zms"
+cp "$workdir/rs.zms" "$workdir/rs_broken.zms"
+inject "$workdir/rs_broken.zms" --data 0,0 --data 0,1
+expect_code 6 zmesh scrub "$workdir/rs_broken.zms"
+expect_code 0 zmesh repair "$workdir/rs_broken.zms" -o "$workdir/rs_repaired.zms"
+cmp "$workdir/rs_repaired.zms" "$workdir/rs.zms"
+
+echo "==> a truncated write is reported torn (exit 7), not corrupt"
+rs_len=$(wc -c <"$workdir/rs.zms")
+inject "$workdir/rs.zms" -o "$workdir/rs_torn.zms" --truncate $((rs_len - 7))
+expect_code 7 zmesh scrub "$workdir/rs_torn.zms"
+expect_code 7 zmesh repair "$workdir/rs_torn.zms" -o "$workdir/rs_nope.zms"
+test ! -e "$workdir/rs_nope.zms"
+
+echo "==> repair --from-raw completes the interrupted write bit-exactly"
+expect_code 0 zmesh repair "$workdir/rs_torn.zms" -o "$workdir/rs_rebuilt.zms" \
+    --from-raw "$workdir/data.zmd"
+cmp "$workdir/rs_rebuilt.zms" "$workdir/rs.zms"
+expect_code 0 zmesh scrub "$workdir/rs_rebuilt.zms"
+
+echo "==> v2 compatibility: parity-less store still round-trips"
+zmesh pack "$workdir/data.zmd" -o "$workdir/v2.zms" --chunk-kb 1 --parity-width 0
+expect_code 0 zmesh scrub "$workdir/v2.zms"
+zmesh unpack "$workdir/v2.zms" -o "$workdir/v2_restored.zmd"
+expect_code 0 zmesh verify "$workdir/data.zmd" "$workdir/v2_restored.zmd" --rel-eb 1e-4
 
 echo "scrub_smoke: all steps passed"

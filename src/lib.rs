@@ -16,9 +16,10 @@
 //! * [`codecs`] — SZ-like and ZFP-like error-bounded lossy compressors and
 //!   the lossless substrate (Huffman, range coder, Gorilla, RLE, LZSS).
 //! * [`metrics`] — smoothness, distortion, and ratio metrics.
-//! * [`store`] — the chunked, indexed v2/v3 container with random-access
-//!   region queries, a recipe cache, and XOR-parity self-healing
-//!   (scrub/repair).
+//! * [`store`] — the chunked, indexed v2/v3/v4 container with
+//!   random-access region queries, a recipe cache, XOR or Reed–Solomon
+//!   parity self-healing (scrub/repair/repair-from-raw), and a
+//!   crash-consistent writer (atomic persist + commit record).
 
 pub use zmesh;
 pub use zmesh_amr as amr;
@@ -36,7 +37,8 @@ pub mod prelude {
     pub use zmesh_metrics::{compression_ratio, max_abs_error, psnr, total_variation};
     pub use zmesh_sfc::{Curve, CurveKind};
     pub use zmesh_store::{
-        repair, scrub, PipelineStoreExt, Query, ReadPolicy, RecipeCache, RepairOutcome,
-        SalvageFill, ScrubReport, StoreReader, StoreWriteOptions, StoreWriter,
+        persist, repair, repair_with, scrub, Parity, PipelineStoreExt, Query, RawSource,
+        ReadPolicy, RecipeCache, RepairOutcome, SalvageFill, ScrubReport, StoreError, StoreReader,
+        StoreWriteOptions, StoreWriter,
     };
 }

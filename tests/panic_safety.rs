@@ -2,16 +2,19 @@
 //!
 //! Every parser that accepts bytes from disk — the v1 container
 //! ([`zmesh::ContainerHeader::parse`], [`Pipeline::decompress`]) and the
-//! v2/v3 store ([`zmesh_suite::store::open_parts`], [`StoreReader::open`],
+//! v2/v3/v4 store ([`zmesh_suite::store::open_parts`], [`StoreReader::open`],
 //! [`zmesh_suite::store::scrub`], [`zmesh_suite::store::repair`]) — must
 //! return an `Err` on hostile input, never panic, abort, or wrap around.
-//! The suite feeds each of them:
+//! (A torn v4 tail is an `Err` too — [`StoreError::Torn`] — just a typed
+//! one.) The suite feeds each of them:
 //!
 //! * truncations of a valid artifact at every kind of boundary,
 //! * multi-bit flips of a valid artifact (which may land in varint
 //!   length fields, CRCs, or payload),
 //! * runs of `0xff` splatted over a valid artifact (the worst case for
 //!   LEB128-style varint lengths: maximal continuation bytes),
+//! * footer mangles *re-signed* with a correct trailer CRC and commit
+//!   record, so attacker-controlled counts reach `read_footer` itself,
 //! * pure random garbage.
 //!
 //! Failures here are exactly the class fixed by the checked-add hardening
@@ -51,7 +54,7 @@ fn v1_bytes() -> &'static [u8] {
     })
 }
 
-/// A valid v2 store with several chunks per field, built once.
+/// A valid v3 store with several chunks per field, built once.
 fn v2_bytes() -> &'static [u8] {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
     BYTES.get_or_init(|| {
@@ -64,6 +67,30 @@ fn v2_bytes() -> &'static [u8] {
     })
 }
 
+/// A valid v4 Reed–Solomon store (commit record, shard groups), built once.
+fn v4_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+        StoreWriter::new(config())
+            .with_chunk_target_bytes(1024)
+            .with_parity(Parity::Rs { data: 4, parity: 2 })
+            .write(&refs(&ds))
+            .expect("write fixture")
+            .bytes
+    })
+}
+
+/// Picks a store-generation fixture: 0 = v1 container, 1 = v3 XOR store,
+/// 2 = v4 RS store.
+fn fixture(kind: usize) -> &'static [u8] {
+    match kind {
+        0 => v1_bytes(),
+        1 => v2_bytes(),
+        _ => v4_bytes(),
+    }
+}
+
 /// Runs every untrusted entry point over `bytes`. Reaching the end of this
 /// function without a panic IS the property; the `Result`s are free to be
 /// `Err` anything.
@@ -71,6 +98,7 @@ fn must_not_panic(bytes: &[u8]) {
     let _ = zmesh::ContainerHeader::parse(bytes);
     let _ = Pipeline::list_fields(bytes);
     let _ = Pipeline::decompress(bytes);
+    let _ = store::peek_header(bytes);
     let _ = store::open_parts(bytes);
     let _ = store::scrub(bytes);
     let _ = store::repair(bytes, None);
@@ -99,20 +127,20 @@ proptest! {
 
     #[test]
     fn truncated_artifacts_error_instead_of_panicking(
-        v1 in any::<bool>(),
+        kind in 0usize..3,
         frac in 0.0f64..1.0,
     ) {
-        let valid = if v1 { v1_bytes() } else { v2_bytes() };
+        let valid = fixture(kind);
         let cut = ((valid.len() as f64) * frac) as usize;
         must_not_panic(&valid[..cut.min(valid.len())]);
     }
 
     #[test]
     fn bit_flipped_artifacts_error_instead_of_panicking(
-        v1 in any::<bool>(),
+        kind in 0usize..3,
         flips in prop::collection::vec((0usize..1 << 16, 0u8..8), 1..8),
     ) {
-        let valid = if v1 { v1_bytes() } else { v2_bytes() };
+        let valid = fixture(kind);
         let mut bytes = valid.to_vec();
         for (pos, bit) in flips {
             let i = pos % bytes.len();
@@ -123,7 +151,7 @@ proptest! {
 
     #[test]
     fn varint_mangled_artifacts_error_instead_of_panicking(
-        v1 in any::<bool>(),
+        kind in 0usize..3,
         start in 0usize..1 << 16,
         run in 1usize..32,
         fill in prop::sample::select(&[0xffu8, 0x80, 0x7f, 0x00][..]),
@@ -131,11 +159,52 @@ proptest! {
         // Saturate a run of bytes with varint worst cases: all-ones and
         // continuation-bit patterns decode as huge or never-ending LEB128
         // lengths wherever they land on a length field.
-        let valid = if v1 { v1_bytes() } else { v2_bytes() };
+        let valid = fixture(kind);
         let mut bytes = valid.to_vec();
         let start = start % bytes.len();
         let end = (start + run).min(bytes.len());
         bytes[start..end].fill(fill);
+        must_not_panic(&bytes);
+    }
+
+    #[test]
+    fn footer_mangled_behind_valid_crcs_errors_instead_of_panicking(
+        v4 in any::<bool>(),
+        pos in 0usize..1 << 16,
+        run in 1usize..24,
+        fill in prop::sample::select(&[0xffu8, 0x80, 0x7f, 0x01][..]),
+    ) {
+        // The nastiest footer attack: tamper with the index, then re-sign
+        // it. The trailer CRC (and, on v4, the commit record) is patched to
+        // match the mangled bytes, so the parser walks straight past every
+        // integrity gate and `read_footer` consumes the attacker-controlled
+        // chunk/parity counts directly — exactly where the checked
+        // arithmetic must hold the line.
+        let valid = if v4 { v4_bytes() } else { v2_bytes() };
+        let mut bytes = valid.to_vec();
+        let body_len = if v4 {
+            bytes.len() - store::COMMIT_RECORD_BYTES
+        } else {
+            bytes.len()
+        };
+        let trailer_at = body_len - store::TRAILER_BYTES;
+        let footer_at =
+            u64::from_le_bytes(bytes[trailer_at..trailer_at + 8].try_into().unwrap()) as usize;
+        let header_bytes = store::peek_header(&bytes).expect("valid fixture").header_bytes;
+
+        let start = footer_at + pos % (trailer_at - footer_at);
+        let end = (start + run).min(trailer_at);
+        bytes[start..end].fill(fill);
+
+        let mut signed = bytes[..header_bytes].to_vec();
+        signed.extend_from_slice(&bytes[footer_at..trailer_at]);
+        let crc = zmesh::crc32(&signed).to_le_bytes();
+        bytes[trailer_at + 8..trailer_at + 12].copy_from_slice(&crc);
+        if v4 {
+            bytes[body_len + 8..body_len + 12].copy_from_slice(&crc);
+            let self_crc = zmesh::crc32(&bytes[body_len..body_len + 12]).to_le_bytes();
+            bytes[body_len + 12..body_len + 16].copy_from_slice(&self_crc);
+        }
         must_not_panic(&bytes);
     }
 

@@ -1,5 +1,5 @@
-//! Self-healing property suite: correlated damage patterns against the v3
-//! parity-protected store.
+//! Self-healing property suite: correlated damage patterns against the
+//! parity-protected stores (v3 XOR and v4 Reed–Solomon).
 //!
 //! The contract under test:
 //!
@@ -9,11 +9,17 @@
 //!   pristine bytes.
 //! * **Two failures in the same group** exceed XOR parity: both chunks are
 //!   classified `Lost` (never silently wrong), and `repair` refuses to
-//!   write output — unless a structurally identical replica supplies the
-//!   missing chunks.
+//!   write output — unless a structurally identical replica (or the raw
+//!   dataset, via `repair_with`) supplies the missing chunks.
+//! * **Up to `m` failures per Reed–Solomon group** round-trip
+//!   byte-identically for random `(k, m)` geometries; `m + 1` failures
+//!   degrade to `Lost` + fill exactly like an overwhelmed v3 group.
 //! * **Parity-only damage** never costs data: full decodes still succeed
 //!   under salvage (the damage report names the group), and `repair`
 //!   rebuilds the parity section byte-identically from the intact data.
+//! * **A write truncated at any byte** opens as `StoreError::Torn` (once
+//!   enough bytes survive to prove it was a store) — never a panic, never
+//!   a silently short decode.
 //!
 //! Damage is injected exclusively through `zmesh_store::faultinject` so
 //! every test hits exactly the chunk it names.
@@ -28,27 +34,36 @@ use zmesh_suite::store::{faultinject, DamageStatus, RepairSource, StoreWriteOpti
 
 const WIDTH: u32 = 4;
 
+fn fixture_config() -> CompressionConfig {
+    CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    }
+}
+
+fn fixture_dataset() -> datasets::Dataset {
+    datasets::front2d(StorageMode::AllCells, Scale::Tiny)
+}
+
+fn write_fixture(parity: Parity) -> Vec<u8> {
+    let ds = fixture_dataset();
+    let fields: Vec<(&str, &AmrField)> = ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    StoreWriter::with_options(
+        fixture_config(),
+        StoreWriteOptions {
+            chunk_target_bytes: 1024,
+            parity,
+        },
+    )
+    .write(&fields)
+    .expect("write fixture")
+    .bytes
+}
+
 fn pristine() -> &'static Vec<u8> {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
-    BYTES.get_or_init(|| {
-        let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
-        let fields: Vec<(&str, &AmrField)> =
-            ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
-        StoreWriter::with_options(
-            CompressionConfig {
-                policy: OrderingPolicy::Hilbert,
-                codec: CodecKind::Sz,
-                control: ErrorControl::ValueRangeRelative(1e-4),
-            },
-            StoreWriteOptions {
-                chunk_target_bytes: 1024,
-                parity_group_width: WIDTH,
-            },
-        )
-        .write(&fields)
-        .expect("write fixture")
-        .bytes
-    })
+    BYTES.get_or_init(|| write_fixture(Parity::Xor { width: WIDTH }))
 }
 
 /// (field name, chunk count) for field 0 of the fixture.
@@ -245,6 +260,137 @@ fn whole_group_loss_fills_and_needs_a_replica() {
     let rescued = repair(&bytes, Some(pristine())).expect("repair w/ replica");
     assert!(rescued.lost.is_empty());
     assert_eq!(rescued.bytes.expect("output"), pristine().clone());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // v4 tentpole property: for a random Reed–Solomon geometry (k, m),
+    // any ≤ m failures in a group round-trip byte-identically through
+    // salvage *and* repair; m + 1 failures degrade to Lost + fill exactly
+    // like an overwhelmed v3 group — never silently wrong data.
+    #[test]
+    fn rs_round_trips_damage_up_to_the_shard_budget(
+        k in 2u32..6,
+        m in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let clean = write_fixture(Parity::Rs { data: k, parity: m });
+        let reader = StoreReader::open(&clean).expect("open clean");
+        let entry = &reader.fields()[0];
+        let name = entry.name.clone();
+        let n_chunks = entry.chunks.len();
+        let clean_bits: Vec<u64> = reader
+            .decode_field(&name)
+            .expect("clean decode")
+            .values()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+
+        // Damage `budget` distinct chunks of group 0 (a contiguous run at
+        // a random start keeps them distinct within the group).
+        let group0 = n_chunks.min(k as usize);
+        let budget = (m as usize).min(group0);
+        let mut rng = faultinject::Lcg::new(seed);
+        let start = rng.below(group0);
+        let victims: Vec<usize> = (0..budget).map(|i| (start + i) % group0).collect();
+        let mut bytes = clean.clone();
+        for &v in &victims {
+            faultinject::flip_data_chunk(&mut bytes, 0, v);
+        }
+
+        let salvage = StoreReader::open(&bytes)
+            .expect("open damaged")
+            .with_read_policy(ReadPolicy::salvage());
+        let (field, report) = salvage
+            .decode_field_with_report(&name)
+            .expect("salvage decode");
+        prop_assert_eq!(report.chunks.len(), budget);
+        prop_assert!(
+            report.chunks.iter().all(|d| d.status == DamageStatus::Repaired),
+            "≤ m failures must all be Repaired (k = {}, m = {})", k, m
+        );
+        prop_assert_eq!(report.total_values_lost(), 0);
+        for (v, c) in field.values().iter().zip(&clean_bits) {
+            prop_assert_eq!(v.to_bits(), *c, "repaired values must be bit-identical");
+        }
+
+        let fixed = repair(&bytes, None).expect("repair");
+        prop_assert!(fixed.lost.is_empty());
+        prop_assert!(fixed.repaired.iter().all(|r| r.source == RepairSource::Parity));
+        prop_assert_eq!(fixed.bytes.expect("output"), clean.clone());
+
+        // One failure past the budget: every damaged chunk in the group is
+        // Lost (fill applied), and repair refuses to write output.
+        if budget < group0 {
+            let mut bytes = clean.clone();
+            for i in 0..budget + 1 {
+                faultinject::flip_data_chunk(&mut bytes, 0, (start + i) % group0);
+            }
+            let salvage = StoreReader::open(&bytes)
+                .expect("open overwhelmed")
+                .with_read_policy(ReadPolicy::salvage());
+            let (field, report) = salvage
+                .decode_field_with_report(&name)
+                .expect("salvage decode");
+            prop_assert_eq!(report.chunks.len(), budget + 1);
+            prop_assert!(
+                report.chunks.iter().all(|d| d.status == DamageStatus::Lost),
+                "m + 1 failures must all be Lost, exactly as an overwhelmed v3 group"
+            );
+            prop_assert!(report.total_values_lost() > 0);
+            prop_assert!(field.values().iter().any(|v| v.is_nan()), "fill must be applied");
+            let refused = repair(&bytes, None).expect("repair");
+            prop_assert!(refused.bytes.is_none(), "repair must refuse");
+        }
+    }
+
+}
+
+/// Crash consistency: a v4 write truncated at *any* byte boundary opens as
+/// a typed error — `Torn` once enough bytes survive to prove a store was
+/// being written — and never panics or decodes short.
+#[test]
+fn any_truncation_of_a_v4_store_reads_as_torn() {
+    let clean = write_fixture(Parity::Rs { data: 4, parity: 2 });
+    for cut in 0..clean.len() {
+        let torn = faultinject::torn_at(&clean, cut);
+        match StoreReader::open(&torn) {
+            Err(StoreError::Torn) => assert!(
+                cut >= 6,
+                "cut {cut} too short to even carry magic + version"
+            ),
+            Err(_) => assert!(cut < 6, "cut {cut} must be Torn, not another error"),
+            Ok(_) => panic!("cut {cut} of {} opened clean", clean.len()),
+        }
+    }
+}
+
+/// Two failures in one XOR group are beyond parity — but `repair_with` can
+/// re-encode the lost chunks from the original dataset and restore the
+/// store byte-for-byte.
+#[test]
+fn raw_dataset_rescues_a_group_beyond_xor_parity() {
+    let ds = fixture_dataset();
+    let fields: Vec<(&str, &AmrField)> = ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let clean = pristine().clone();
+    let mut bytes = clean.clone();
+    faultinject::flip_data_chunk(&mut bytes, 0, 0);
+    faultinject::flip_data_chunk(&mut bytes, 0, 1);
+    assert!(
+        repair(&bytes, None).expect("repair").bytes.is_none(),
+        "two failures in one XOR group must defeat parity alone"
+    );
+
+    let raw = RawSource::new(&fields);
+    let rescued = repair_with(&bytes, None, Some(&raw)).expect("repair from raw");
+    assert!(rescued.lost.is_empty());
+    assert!(rescued
+        .repaired
+        .iter()
+        .any(|r| r.source == RepairSource::Raw));
+    assert_eq!(rescued.bytes.expect("output"), clean);
 }
 
 /// A replica from a different mesh (or different chunking) must be

@@ -180,12 +180,13 @@ fn pipeline_pack_and_shared_tree_arc() {
     assert_eq!(field.len(), ds.fields[0].1.len());
 }
 
-/// Satellite: version negotiation. A writer configured with parity width 0
-/// emits a v2 store (no parity section, no width field); the v3 reader
-/// opens it, queries it, and full-decodes it exactly like a v3 store, and
-/// scrub reports "no parity available" instead of erroring.
+/// Satellite: version negotiation. A writer configured with `Parity::None`
+/// emits a v2 store (no parity section, no width field), the default XOR
+/// writer a v3, and a Reed–Solomon writer a v4 with a commit record; one
+/// reader opens, queries, and full-decodes all three bit-identically, and
+/// scrub degrades gracefully where parity is absent.
 #[test]
-fn v3_reader_round_trips_v2_stores() {
+fn reader_round_trips_v2_v3_and_v4_stores() {
     use zmesh_suite::store::{StoreCapabilities, StoreWriteOptions, MIN_STORE_VERSION};
 
     let ds = datasets::blast2d(StorageMode::AllCells, Scale::Tiny);
@@ -193,7 +194,7 @@ fn v3_reader_round_trips_v2_stores() {
         config(OrderingPolicy::Hilbert),
         StoreWriteOptions {
             chunk_target_bytes: 2048,
-            parity_group_width: 0,
+            parity: Parity::None,
         },
     )
     .write(&refs(&ds))
@@ -202,21 +203,42 @@ fn v3_reader_round_trips_v2_stores() {
         .with_chunk_target_bytes(2048)
         .write(&refs(&ds))
         .expect("write v3");
+    let v4 = StoreWriter::new(config(OrderingPolicy::Hilbert))
+        .with_chunk_target_bytes(2048)
+        .with_parity(Parity::Rs { data: 4, parity: 2 })
+        .write(&refs(&ds))
+        .expect("write v4");
 
-    let r2 = StoreReader::open(&v2.bytes).expect("v3 reader opens v2");
+    let r2 = StoreReader::open(&v2.bytes).expect("reader opens v2");
     let r3 = StoreReader::open(&v3.bytes).expect("open v3");
+    let r4 = StoreReader::open(&v4.bytes).expect("open v4");
     assert_eq!(r2.header().version, MIN_STORE_VERSION);
-    assert_eq!(r3.header().version, zmesh_suite::store::STORE_VERSION);
+    assert_eq!(r3.header().version, 3);
+    assert_eq!(r4.header().version, zmesh_suite::store::STORE_VERSION);
     assert_eq!(
         r2.header().capabilities(),
-        StoreCapabilities { parity: false }
+        StoreCapabilities {
+            parity: false,
+            erasure_budget: 0
+        }
     );
     assert_eq!(
         r3.header().capabilities(),
-        StoreCapabilities { parity: true }
+        StoreCapabilities {
+            parity: true,
+            erasure_budget: 1
+        }
+    );
+    assert_eq!(
+        r4.header().capabilities(),
+        StoreCapabilities {
+            parity: true,
+            erasure_budget: 2
+        }
     );
     assert_eq!(v2.stats.parity_bytes, 0);
     assert!(v3.stats.parity_bytes > 0);
+    assert!(v4.stats.parity_bytes > v3.stats.parity_bytes / 2);
 
     // Decoded values are bit-identical across versions: parity changes the
     // container, never the data.
@@ -226,13 +248,17 @@ fn v3_reader_round_trips_v2_stores() {
         }
         let f2 = r2.decode_field(name).expect("decode v2");
         let f3 = r3.decode_field(name).expect("decode v3");
-        for (a, b) in f2.values().iter().zip(f3.values()) {
+        let f4 = r4.decode_field(name).expect("decode v4");
+        for ((a, b), c) in f2.values().iter().zip(f3.values()).zip(f4.values()) {
             assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), c.to_bits());
         }
         let q = Query::bbox([0, 0, 0], [3, 3, 0]);
         let q2 = r2.query(name, &q).expect("query v2");
         let q3 = r3.query(name, &q).expect("query v3");
+        let q4 = r4.query(name, &q).expect("query v4");
         assert_eq!(q2.values, q3.values);
+        assert_eq!(q2.values, q4.values);
     }
 
     // Scrub degrades gracefully on a parity-less store.
@@ -243,6 +269,9 @@ fn v3_reader_round_trips_v2_stores() {
     let report = scrub(&v3.bytes).expect("scrub v3");
     assert!(report.parity_available);
     assert!(report.parity_chunks > 0);
+    let report = scrub(&v4.bytes).expect("scrub v4");
+    assert!(report.is_clean());
+    assert_eq!(report.parity_shards, 2);
 }
 
 /// Satellite: the parity section's cost is bounded by the group width —
