@@ -129,6 +129,37 @@ fn bench_store(c: &mut Criterion) {
             })
         });
     }
+    // GF(2^8) fused-multiply-accumulate kernel: the split nibble tables
+    // (16+16 entries per coefficient) against the historical flat
+    // 256-entry walk, on one parity-group-sized buffer. This is the inner
+    // loop every rs_* row above runs per (member, shard) pair.
+    {
+        use zmesh_store::gf256::{mul, MulTable};
+        let src: Vec<u8> = (0..64 * 1024).map(|i| (i * 31 + 7) as u8).collect();
+        let mut acc = vec![0u8; src.len()];
+        let c = 0x8e;
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_function("gf256_fma_flat_table", |b| {
+            b.iter(|| {
+                let mut t = [0u8; 256];
+                for (v, slot) in t.iter_mut().enumerate() {
+                    *slot = mul(c, v as u8);
+                }
+                for (a, &s) in acc.iter_mut().zip(black_box(&src)) {
+                    *a ^= t[s as usize];
+                }
+                black_box(acc[0])
+            })
+        });
+        g.bench_function("gf256_fma_nibble_tables", |b| {
+            b.iter(|| {
+                let t = MulTable::new(c);
+                t.fma_into(&mut acc, black_box(&src));
+                black_box(acc[0])
+            })
+        });
+    }
+
     let clean = StoreWriter::new(config())
         .with_chunk_target_bytes(8 * 1024)
         .write(&fields)

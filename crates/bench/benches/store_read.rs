@@ -1,0 +1,113 @@
+//! Criterion bench: ranged (`FileSource`) vs in-memory (`SliceSource`)
+//! store reads — full decode and a ~1%-of-domain bbox query on a
+//! multi-field store persisted to disk.
+//!
+//! The in-memory rows pay one up-front `std::fs::read` per iteration (the
+//! historical CLI behavior) so the comparison reflects what a cold reader
+//! actually costs end to end; the ranged rows open the file and let the
+//! footer index drive positioned reads, overlapping I/O with decode.
+//!
+//! Run with `CRITERION_JSON=BENCH_store_read.json` to emit the
+//! machine-readable medians next to the human-readable table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zmesh::{CompressionConfig, OrderingPolicy};
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::{CodecKind, ErrorControl};
+use zmesh_store::{persist, Query, StoreReader, StoreWriter};
+
+#[cfg(unix)]
+use zmesh_store::FileSource;
+
+fn config() -> CompressionConfig {
+    CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    }
+}
+
+fn bench_store_read(c: &mut Criterion) {
+    // Multi-field fixture: the physical fields replicated under distinct
+    // names multiply the payload past the (shared) tree structure, like a
+    // many-quantity production dump.
+    let ds = datasets::blast2d(StorageMode::AllCells, Scale::Small);
+    let named: Vec<(String, &zmesh_amr::AmrField)> = (0..6)
+        .flat_map(|rep| {
+            ds.fields
+                .iter()
+                .map(move |(n, f)| (format!("{n}_{rep}"), f))
+        })
+        .collect();
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        named.iter().map(|(n, f)| (n.as_str(), *f)).collect();
+    let store = StoreWriter::new(config())
+        .with_chunk_target_bytes(2 * 1024)
+        .write(&fields)
+        .expect("write store");
+    let path =
+        std::env::temp_dir().join(format!("zmesh_bench_store_read_{}.zms", std::process::id()));
+    persist(&store.bytes, &path).expect("persist store");
+    let file_bytes = store.bytes.len() as u64;
+
+    let probe = StoreReader::open(&store.bytes).expect("open store");
+    let side = probe.tree().level_dims(probe.tree().max_level())[0] as u32;
+    // A corner covering 1/16 of each axis: ~0.4% of the 2-D domain, a few
+    // chunks out of hundreds.
+    let corner = Query::bbox(
+        [0, 0, 0],
+        [(side / 16).max(1) - 1, (side / 16).max(1) - 1, 0],
+    );
+
+    let mut g = c.benchmark_group("store_read");
+    g.throughput(Throughput::Bytes(file_bytes));
+
+    g.bench_function("full_decode/in_memory", |b| {
+        b.iter(|| {
+            let bytes = std::fs::read(black_box(&path)).unwrap();
+            let reader = StoreReader::open(&bytes).unwrap();
+            reader.decode_field("density_0").unwrap()
+        })
+    });
+    g.bench_function("query_1pct/in_memory", |b| {
+        b.iter(|| {
+            let bytes = std::fs::read(black_box(&path)).unwrap();
+            let reader = StoreReader::open(&bytes).unwrap();
+            reader.query("density_0", &corner).unwrap()
+        })
+    });
+    #[cfg(unix)]
+    {
+        g.bench_function("full_decode/ranged", |b| {
+            b.iter(|| {
+                let reader =
+                    StoreReader::open_source(FileSource::open(black_box(&path)).unwrap()).unwrap();
+                reader.decode_field("density_0").unwrap()
+            })
+        });
+        g.bench_function("query_1pct/ranged", |b| {
+            b.iter(|| {
+                let reader =
+                    StoreReader::open_source(FileSource::open(black_box(&path)).unwrap()).unwrap();
+                reader.query("density_0", &corner).unwrap()
+            })
+        });
+        let reader =
+            StoreReader::open_source(FileSource::open(&path).expect("open")).expect("open ranged");
+        let r = reader.query("density_0", &corner).expect("query");
+        eprintln!(
+            "store_read: 1pct query decodes {}/{} chunks, reads {} of {} file bytes",
+            r.chunks_decoded,
+            r.chunks_total,
+            reader.bytes_read(),
+            file_bytes,
+        );
+    }
+    g.finish();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_store_read);
+criterion_main!(benches);

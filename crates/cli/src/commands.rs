@@ -7,9 +7,11 @@ use zmesh_amr::datasets::{self, Dataset, Scale};
 use zmesh_amr::{load_dataset, save_dataset, AmrField, DatasetStats, StorageMode};
 use zmesh_codecs::{CodecKind, ErrorControl};
 use zmesh_metrics::ErrorStats;
+#[cfg(unix)]
+use zmesh_store::FileSource;
 use zmesh_store::{
-    DamageReport, Parity, Query, RawSource, ReadPolicy, RecipeCache, RepairSource, SalvageFill,
-    StoreError, StoreReader, StoreWriter, DEFAULT_PARITY_GROUP_WIDTH,
+    ByteSource, DamageReport, Parity, Query, RawSource, ReadPolicy, RecipeCache, RepairOutcome,
+    RepairSource, SalvageFill, StoreError, StoreReader, StoreWriter, DEFAULT_PARITY_GROUP_WIDTH,
 };
 
 fn parse_scale(args: &Args) -> Result<Scale, CliError> {
@@ -139,6 +141,16 @@ fn read_file(path: &str) -> Result<Vec<u8>, CliError> {
 
 fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
     std::fs::write(path, bytes).map_err(|e| CliError::io(path, e))
+}
+
+/// Opens `path` as a ranged [`FileSource`]: only the footer and the chunk
+/// ranges a command actually touches are ever read, so store commands stay
+/// O(touched bytes) in memory instead of O(file size). The `--in-memory`
+/// switch on each store command falls back to the historical
+/// whole-file-in-RAM path.
+#[cfg(unix)]
+fn ranged_source(path: &str) -> Result<FileSource, CliError> {
+    FileSource::open(path).map_err(CliError::from)
 }
 
 fn field_refs(ds: &Dataset) -> Vec<(&str, &AmrField)> {
@@ -324,18 +336,33 @@ fn parse_salvage_fill(args: &Args) -> Result<Option<SalvageFill>, CliError> {
     }
 }
 
-/// `zmesh unpack <in.zms> -o <out.zmd> [--salvage] [--salvage-fill nan|zero]`
-/// — full decode of a store. With `--salvage`, corrupt chunks are rebuilt
-/// from parity where possible; what stays lost decodes to the fill value
-/// (NaN by default) and the damage is summarized on stderr instead of
-/// failing. `--salvage-fill` implies `--salvage`.
+/// `zmesh unpack <in.zms> -o <out.zmd> [--salvage] [--salvage-fill nan|zero]
+/// [--in-memory]` — full decode of a store. With `--salvage`, corrupt
+/// chunks are rebuilt from parity where possible; what stays lost decodes
+/// to the fill value (NaN by default) and the damage is summarized on
+/// stderr instead of failing. `--salvage-fill` implies `--salvage`. Reads
+/// stream chunk ranges straight from the file (overlapping I/O with
+/// decode) unless `--in-memory` loads the whole store up front.
 pub fn unpack(argv: &[String]) -> Result<(), CliError> {
-    let args = Args::parse_with_switches(argv, &["salvage"]).map_err(CliError::Usage)?;
+    let args =
+        Args::parse_with_switches(argv, &["salvage", "in-memory"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input store (.zms)")?;
     let out = required(&args, "output")?;
+    #[cfg(unix)]
+    if !args.switch("in-memory") {
+        let reader = StoreReader::open_source(ranged_source(input)?)?;
+        return unpack_reader(reader, &args, out);
+    }
     let bytes = read_file(input)?;
-    let mut reader = StoreReader::open(&bytes)?;
-    let fill = parse_salvage_fill(&args)?;
+    unpack_reader(StoreReader::open(&bytes)?, &args, out)
+}
+
+fn unpack_reader<S: ByteSource>(
+    mut reader: StoreReader<S>,
+    args: &Args,
+    out: &str,
+) -> Result<(), CliError> {
+    let fill = parse_salvage_fill(args)?;
     if args.switch("salvage") || fill.is_some() {
         reader = reader.with_read_policy(ReadPolicy::Salvage {
             fill: fill.unwrap_or_default(),
@@ -368,15 +395,29 @@ pub fn unpack(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `zmesh scrub <in.zms>` — verify every data and parity chunk's CRC
-/// without decoding payloads and print a JSON damage summary on stdout.
-/// Exit 0 when clean, 6 when all damage is parity-recoverable, 4 when any
-/// chunk is beyond parity, 7 when the store is a torn (incomplete) write.
+/// `zmesh scrub <in.zms> [--in-memory]` — verify every data and parity
+/// chunk's CRC without decoding payloads and print a JSON damage summary
+/// (including `bytes_read` vs `store_bytes`) on stdout. Exit 0 when clean,
+/// 6 when all damage is parity-recoverable, 4 when any chunk is beyond
+/// parity, 7 when the store is a torn (incomplete) write. The store is
+/// streamed span by span unless `--in-memory` loads it whole.
 pub fn scrub(argv: &[String]) -> Result<(), CliError> {
-    let args = parse(argv)?;
+    let args = Args::parse_with_switches(argv, &["in-memory"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input store (.zms)")?;
-    let bytes = read_file(input)?;
-    let report = match zmesh_store::scrub(&bytes) {
+    let scrubbed;
+    #[cfg(unix)]
+    {
+        scrubbed = if args.switch("in-memory") {
+            zmesh_store::scrub(&read_file(input)?)
+        } else {
+            zmesh_store::scrub_source(&ranged_source(input)?)
+        };
+    }
+    #[cfg(not(unix))]
+    {
+        scrubbed = zmesh_store::scrub(&read_file(input)?);
+    }
+    let report = match scrubbed {
         Err(StoreError::Torn) => {
             println!("{{\"torn\":true,\"clean\":false}}");
             return Err(CliError::Torn(
@@ -411,7 +452,8 @@ pub fn scrub(argv: &[String]) -> Result<(), CliError> {
 }
 
 /// `zmesh repair <in.zms> -o <out.zms> [--replica <other.zms>]
-/// [--from-raw <dataset.zmd>]` — rewrite a damaged store by rebuilding
+/// [--from-raw <dataset.zmd>] [--in-memory]` — rewrite a damaged store by
+/// rebuilding
 /// chunks from parity (XOR or Reed–Solomon), then from a structurally
 /// identical `--replica` copy, then by re-encoding lost chunks from the
 /// original `--from-raw` dataset; the avenues cascade until nothing more
@@ -421,17 +463,37 @@ pub fn scrub(argv: &[String]) -> Result<(), CliError> {
 /// The output is written only when every chunk was recovered; otherwise
 /// the losses are listed and the exit code is 4.
 pub fn repair(argv: &[String]) -> Result<(), CliError> {
-    let args = parse(argv)?;
+    let args = Args::parse_with_switches(argv, &["in-memory"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input store (.zms)")?;
     let out = required(&args, "output")?;
-    let bytes = read_file(input)?;
     let raw_ds = args.option("from-raw").map(load_dataset).transpose()?;
+    let torn_refused = || {
+        CliError::Torn(
+            "store is torn (incomplete write); pass --from-raw <dataset.zmd> to rebuild it".into(),
+        )
+    };
+    #[cfg(unix)]
+    if !args.switch("in-memory") {
+        let src = ranged_source(input)?;
+        if matches!(zmesh_store::open_parts_source(&src), Err(StoreError::Torn)) {
+            // Torn rebuild compares the rebuilt store against the whole
+            // torn prefix, so only this path still loads the file.
+            let Some(ds) = &raw_ds else {
+                return Err(torn_refused());
+            };
+            return rebuild_torn(&read_file(input)?, ds, &args, out);
+        }
+        let replica = args.option("replica").map(ranged_source).transpose()?;
+        let raw_fields = raw_ds.as_ref().map(field_refs);
+        let raw = raw_fields.as_deref().map(RawSource::new);
+        let outcome = zmesh_store::repair_with_sources(&src, replica.as_ref(), raw.as_ref())?;
+        let had_sources = replica.is_some() || raw_ds.is_some();
+        return report_repair(outcome, had_sources, out);
+    }
+    let bytes = read_file(input)?;
     if matches!(zmesh_store::open_parts(&bytes), Err(StoreError::Torn)) {
         let Some(ds) = &raw_ds else {
-            return Err(CliError::Torn(
-                "store is torn (incomplete write); pass --from-raw <dataset.zmd> to rebuild it"
-                    .into(),
-            ));
+            return Err(torn_refused());
         };
         return rebuild_torn(&bytes, ds, &args, out);
     }
@@ -439,6 +501,15 @@ pub fn repair(argv: &[String]) -> Result<(), CliError> {
     let raw_fields = raw_ds.as_ref().map(field_refs);
     let raw = raw_fields.as_deref().map(RawSource::new);
     let outcome = zmesh_store::repair_with(&bytes, replica.as_deref(), raw.as_ref())?;
+    let had_sources = replica.is_some() || raw_ds.is_some();
+    report_repair(outcome, had_sources, out)
+}
+
+/// Prints a repair outcome (shared between the ranged and in-memory
+/// paths), writes the healed store when complete, and maps losses to the
+/// corrupt exit code. A machine-readable summary line on stdout carries
+/// the read-traffic accounting alongside the repair counts.
+fn report_repair(outcome: RepairOutcome, had_sources: bool, out: &str) -> Result<(), CliError> {
     for r in &outcome.repaired {
         println!(
             "repaired field {:?} chunk {} from {}",
@@ -454,6 +525,13 @@ pub fn repair(argv: &[String]) -> Result<(), CliError> {
     if outcome.parity_rebuilt > 0 {
         println!("rebuilt {} parity chunk(s)", outcome.parity_rebuilt);
     }
+    println!(
+        "{{\"repaired\":{},\"lost\":{},\"parity_rebuilt\":{},\"bytes_read\":{}}}",
+        outcome.repaired.len(),
+        outcome.lost.len(),
+        outcome.parity_rebuilt,
+        outcome.bytes_read,
+    );
     match outcome.bytes {
         Some(repaired) => {
             write_file(out, &repaired)?;
@@ -470,7 +548,7 @@ pub fn repair(argv: &[String]) -> Result<(), CliError> {
             Err(CliError::Corrupt(format!(
                 "{} chunk(s) unrecoverable{}; no output written",
                 outcome.lost.len(),
-                if replica.is_some() || raw_ds.is_some() {
+                if had_sources {
                     " even with the extra sources"
                 } else {
                     " (try --replica <copy> or --from-raw <dataset.zmd>)"
@@ -535,11 +613,15 @@ fn parse_bbox(spec: &str) -> Result<([u32; 3], [u32; 3]), CliError> {
 }
 
 /// `zmesh query <in.zms> --field <name> --bbox x0,y0[,z0]:x1,y1[,z1]
-/// [--level L[,L...]] [--salvage] [-o out.csv]` — region read decoding
-/// only the overlapping chunks. With `--salvage`, corrupt chunks are
-/// dropped from the result and summarized on stderr instead of failing.
+/// [--level L[,L...]] [--salvage] [--in-memory] [-o out.csv]` — region
+/// read decoding only the overlapping chunks. With `--salvage`, corrupt
+/// chunks are dropped from the result and summarized on stderr instead of
+/// failing. By default only the footer and the selected chunk ranges are
+/// read from the file (reported as `read N of M store bytes`);
+/// `--in-memory` loads the whole store first.
 pub fn query(argv: &[String]) -> Result<(), CliError> {
-    let args = Args::parse_with_switches(argv, &["salvage"]).map_err(CliError::Usage)?;
+    let args =
+        Args::parse_with_switches(argv, &["salvage", "in-memory"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input store (.zms)")?;
     let name = required(&args, "field")?;
     let (lo, hi) = parse_bbox(required(&args, "bbox")?)?;
@@ -552,13 +634,33 @@ pub fn query(argv: &[String]) -> Result<(), CliError> {
             .map_err(|_| CliError::Usage(format!("--level {spec:?}: want L[,L...]")))?;
         q = q.with_levels(levels);
     }
+    #[cfg(unix)]
+    if !args.switch("in-memory") {
+        let reader = StoreReader::open_source(ranged_source(input)?)?;
+        return query_reader(reader, &args, name, &q, lo, hi);
+    }
     let bytes = read_file(input)?;
-    let mut reader = StoreReader::open(&bytes)?;
+    query_reader(StoreReader::open(&bytes)?, &args, name, &q, lo, hi)
+}
+
+fn query_reader<S: ByteSource>(
+    mut reader: StoreReader<S>,
+    args: &Args,
+    name: &str,
+    q: &Query,
+    lo: [u32; 3],
+    hi: [u32; 3],
+) -> Result<(), CliError> {
     if args.switch("salvage") {
         reader = reader.with_read_policy(ReadPolicy::salvage());
     }
-    let result = reader.query(name, &q)?;
+    let result = reader.query(name, q)?;
     print_damage(&result.damage);
+    println!(
+        "read {} of {} store bytes",
+        reader.bytes_read(),
+        reader.source().len()
+    );
     println!(
         "field {name:?} bbox ({},{},{})..({},{},{}): {} cells | decoded {}/{} chunks{}",
         lo[0],
@@ -586,65 +688,98 @@ pub fn query(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `zmesh info <file> [--stats]` — dataset, v1 container, or v2/v3/v4
-/// store, by magic. `--stats` additionally exercises and prints the
-/// recipe-cache counters (hits, misses, collisions, poison recoveries).
+/// Prints the store summary for `info`, shared between the ranged and
+/// in-memory paths. `reopen` opens the store a second time through the
+/// same cache when `--stats` asks for the counters.
+fn info_store<S: ByteSource>(
+    reader: &StoreReader<S>,
+    cache: &RecipeCache,
+    args: &Args,
+    reopen: impl FnOnce(&RecipeCache) -> Result<(), CliError>,
+) -> Result<(), CliError> {
+    let h = reader.header();
+    let tree = reader.tree();
+    println!(
+        "zMesh v{} store: policy {:?}, codec {}, {} fields, {} bytes total ({} KiB chunk target, {})",
+        h.version,
+        h.policy,
+        h.codec.label(),
+        reader.fields().len(),
+        reader.source().len(),
+        h.chunk_target_bytes / 1024,
+        match h.scheme() {
+            Parity::None => "no parity".to_string(),
+            Parity::Xor { width } => format!("parity width {width}"),
+            Parity::Rs { data, parity } =>
+                format!("rs parity {data}+{parity} (heals {parity}/group)"),
+        },
+    );
+    println!(
+        "  mesh: {:?}, {} cells ({} leaves), {} levels",
+        tree.dim(),
+        tree.cell_count(),
+        tree.leaf_count(),
+        tree.max_level() + 1,
+    );
+    for entry in reader.fields() {
+        let payload: u64 = entry.chunks.iter().map(|c| c.len).sum();
+        println!(
+            "  field {:?}: {} chunks (+{} parity), {} payload bytes{}",
+            entry.name,
+            entry.chunks.len(),
+            entry.parity.len(),
+            payload,
+            match entry.resolved_bound {
+                Some(b) => format!(", abs bound {b:.3e}"),
+                None => String::new(),
+            },
+        );
+    }
+    if args.switch("stats") {
+        // A second open through the same cache turns the counters
+        // over: one miss from the first open, one hit here — plus any
+        // collisions or poison recoveries the cache had to absorb.
+        reopen(cache)?;
+        let s = cache.stats();
+        println!(
+            "  recipe cache: {} hit(s), {} miss(es), {} collision(s), {} poison recovery(ies), {} entry(ies)",
+            s.hits, s.misses, s.collisions, s.poison_recoveries, s.entries
+        );
+    }
+    Ok(())
+}
+
+/// `zmesh info <file> [--stats] [--in-memory]` — dataset, v1 container, or
+/// v2/v3/v4 store, by magic. `--stats` additionally exercises and prints
+/// the recipe-cache counters (hits, misses, collisions, poison
+/// recoveries). Stores are inspected via ranged reads (footer only) unless
+/// `--in-memory` is given; other artifact kinds are always loaded whole.
 pub fn info(argv: &[String]) -> Result<(), CliError> {
-    let args = Args::parse_with_switches(argv, &["stats"]).map_err(CliError::Usage)?;
+    let args = Args::parse_with_switches(argv, &["stats", "in-memory"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input file")?;
+    #[cfg(unix)]
+    if !args.switch("in-memory") {
+        let src = ranged_source(input)?;
+        let head = src.read_vec(0, src.len().min(8) as usize)?;
+        if zmesh_store::is_store(&head) {
+            let cache = RecipeCache::new();
+            let reader = StoreReader::open_source_with_cache(src, &cache)?;
+            return info_store(&reader, &cache, &args, |c| {
+                StoreReader::open_source_with_cache(ranged_source(input)?, c)
+                    .map(|_| ())
+                    .map_err(CliError::from)
+            });
+        }
+    }
     let bytes = read_file(input)?;
     if zmesh_store::is_store(&bytes) {
         let cache = RecipeCache::new();
         let reader = StoreReader::open_with_cache(&bytes, &cache)?;
-        let h = reader.header();
-        let tree = reader.tree();
-        println!(
-            "zMesh v{} store: policy {:?}, codec {}, {} fields, {} bytes total ({} KiB chunk target, {})",
-            h.version,
-            h.policy,
-            h.codec.label(),
-            reader.fields().len(),
-            bytes.len(),
-            h.chunk_target_bytes / 1024,
-            match h.scheme() {
-                Parity::None => "no parity".to_string(),
-                Parity::Xor { width } => format!("parity width {width}"),
-                Parity::Rs { data, parity } =>
-                    format!("rs parity {data}+{parity} (heals {parity}/group)"),
-            },
-        );
-        println!(
-            "  mesh: {:?}, {} cells ({} leaves), {} levels",
-            tree.dim(),
-            tree.cell_count(),
-            tree.leaf_count(),
-            tree.max_level() + 1,
-        );
-        for entry in reader.fields() {
-            let payload: u64 = entry.chunks.iter().map(|c| c.len).sum();
-            println!(
-                "  field {:?}: {} chunks (+{} parity), {} payload bytes{}",
-                entry.name,
-                entry.chunks.len(),
-                entry.parity.len(),
-                payload,
-                match entry.resolved_bound {
-                    Some(b) => format!(", abs bound {b:.3e}"),
-                    None => String::new(),
-                },
-            );
-        }
-        if args.switch("stats") {
-            // A second open through the same cache turns the counters
-            // over: one miss from the first open, one hit here — plus any
-            // collisions or poison recoveries the cache had to absorb.
-            let _ = StoreReader::open_with_cache(&bytes, &cache)?;
-            let s = cache.stats();
-            println!(
-                "  recipe cache: {} hit(s), {} miss(es), {} collision(s), {} poison recovery(ies), {} entry(ies)",
-                s.hits, s.misses, s.collisions, s.poison_recoveries, s.entries
-            );
-        }
+        info_store(&reader, &cache, &args, |c| {
+            StoreReader::open_with_cache(&bytes, c)
+                .map(|_| ())
+                .map_err(CliError::from)
+        })?;
     } else if bytes.starts_with(zmesh::CONTAINER_MAGIC) {
         let header = zmesh::ContainerHeader::parse(&bytes)?;
         println!(

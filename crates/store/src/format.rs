@@ -49,6 +49,7 @@
 use crate::chunk::{ChunkMeta, CHUNK_META_BYTES};
 use crate::gf256;
 use crate::parity::{group_count, Parity, ParityMeta, PARITY_META_BYTES};
+use crate::source::{self, ByteSource, SliceSource};
 use std::fmt;
 use zmesh::{crc32, GroupingMode, OrderingPolicy, ZmeshError};
 use zmesh_amr::{AmrError, StorageMode};
@@ -549,38 +550,6 @@ fn fields_header_len(bytes: &[u8]) -> usize {
     fixed + structure_len
 }
 
-/// Validates the v4 commit record at the tail of `bytes` and returns the
-/// committed body (everything before the record). A missing or invalid
-/// record means the write never finished — [`StoreError::Torn`]; a valid
-/// record whose footer CRC disagrees with the index trailer means the
-/// write finished and the bytes changed afterwards — corrupt.
-fn split_committed(bytes: &[u8]) -> Result<&[u8], StoreError> {
-    let Some(body_len) = bytes.len().checked_sub(COMMIT_RECORD_BYTES) else {
-        return Err(StoreError::Torn);
-    };
-    let record = &bytes[body_len..];
-    if record[..8] != COMMIT_MAGIC {
-        return Err(StoreError::Torn);
-    }
-    let self_crc = u32::from_le_bytes(record[12..16].try_into().unwrap());
-    if crc32(&record[..12]) != self_crc {
-        return Err(StoreError::Torn);
-    }
-    if body_len < TRAILER_BYTES {
-        return Err(StoreError::Torn);
-    }
-    let trailer = &bytes[body_len - TRAILER_BYTES..body_len];
-    if trailer[12..16] != INDEX_MAGIC {
-        return Err(StoreError::Corrupt("commit record without index trailer"));
-    }
-    let committed_crc = u32::from_le_bytes(record[8..12].try_into().unwrap());
-    let trailer_crc = u32::from_le_bytes(trailer[8..12].try_into().unwrap());
-    if committed_crc != trailer_crc {
-        return Err(StoreError::Corrupt("commit record disagrees with trailer"));
-    }
-    Ok(&bytes[..body_len])
-}
-
 /// Splits an assembled store into `(header, footer fields, payload span)`,
 /// verifying magics and the index CRC. Public (re-exported as
 /// `zmesh_store::open_parts`) so tools and fuzzers can parse the framing
@@ -589,50 +558,148 @@ fn split_committed(bytes: &[u8]) -> Result<&[u8], StoreError> {
 pub fn open(
     bytes: &[u8],
 ) -> Result<(StoreHeader, Vec<FieldEntry>, std::ops::Range<usize>), StoreError> {
-    if bytes.len() < 6 {
+    // The slice path is the ranged path over a zero-copy source — one
+    // parser, so the two can never drift in validation order or typed
+    // errors (the panic-safety property suite pins this equivalence).
+    let (header, fields, payload) = open_source(&SliceSource::new(bytes))?;
+    Ok((header, fields, payload.start as usize..payload.end as usize))
+}
+
+/// Validates the v4 commit record at the tail of `src` and returns the
+/// committed body length. A missing or invalid record means the write
+/// never finished — [`StoreError::Torn`]; a valid record whose footer CRC
+/// disagrees with the index trailer means the write finished and the
+/// bytes changed afterwards — corrupt.
+fn split_committed_source<S: ByteSource + ?Sized>(src: &S, total: u64) -> Result<u64, StoreError> {
+    let Some(body_len) = total.checked_sub(COMMIT_RECORD_BYTES as u64) else {
+        return Err(StoreError::Torn);
+    };
+    let record = src.read_vec(body_len, COMMIT_RECORD_BYTES)?;
+    if record[..8] != COMMIT_MAGIC {
+        return Err(StoreError::Torn);
+    }
+    let self_crc = u32::from_le_bytes(record[12..16].try_into().unwrap());
+    if crc32(&record[..12]) != self_crc {
+        return Err(StoreError::Torn);
+    }
+    if body_len < TRAILER_BYTES as u64 {
+        return Err(StoreError::Torn);
+    }
+    let trailer = src.read_vec(body_len - TRAILER_BYTES as u64, TRAILER_BYTES)?;
+    if trailer[12..16] != INDEX_MAGIC {
+        return Err(StoreError::Corrupt("commit record without index trailer"));
+    }
+    let committed_crc = u32::from_le_bytes(record[8..12].try_into().unwrap());
+    let trailer_crc = u32::from_le_bytes(trailer[8..12].try_into().unwrap());
+    if committed_crc != trailer_crc {
+        return Err(StoreError::Corrupt("commit record disagrees with trailer"));
+    }
+    Ok(body_len)
+}
+
+/// Reads and parses the header from the front of a source without pulling
+/// in the payload: a ≤30-byte probe resolves the structure length, then
+/// exactly the header span is fetched. `body_len` is the committed body
+/// size (everything before a v4 commit record), which scopes `Truncated`
+/// errors exactly like the slice parser's buffer length does.
+fn read_header_source<S: ByteSource + ?Sized>(
+    src: &S,
+    body_len: u64,
+) -> Result<StoreHeader, StoreError> {
+    // Largest fixed (pre-structure) header part across versions: v4's 30.
+    const FIXED_MAX: u64 = 30;
+    let probe_len = body_len.min(FIXED_MAX);
+    let probe = source::fetch(src, 0, probe_len)?;
+    // Callers validated magic + version range already, so the fixed size
+    // is known; `read_header` re-validates both on the exact span anyway.
+    let version = u16::from_le_bytes(probe[4..6].try_into().unwrap());
+    let fixed: u64 = match version {
+        0..=2 => 22,
+        3 => 26,
+        _ => 30,
+    };
+    let span = if probe_len < fixed {
+        probe_len
+    } else {
+        let structure_len = u64::from_le_bytes(
+            probe[fixed as usize - 8..fixed as usize]
+                .try_into()
+                .unwrap(),
+        );
+        fixed
+            .checked_add(structure_len)
+            .ok_or(StoreError::Corrupt("length overflow"))?
+            .min(body_len)
+    };
+    let raw = source::fetch(src, 0, span)?;
+    read_header(&raw).map_err(|e| match e {
+        // The slice parser sees the whole body, so its overrun errors
+        // report the body length, not the probed span.
+        StoreError::Truncated { needed, .. } => StoreError::Truncated {
+            needed,
+            have: body_len as usize,
+        },
+        e => e,
+    })
+}
+
+/// Ranged-read counterpart of [`open`]: splits a store reachable through
+/// any [`ByteSource`] into `(header, footer fields, payload span)` while
+/// fetching only the framing — head probe, commit record, trailer,
+/// header, and footer — never the payload. Re-exported as
+/// `zmesh_store::open_parts_source`; the slice [`open`] is a thin wrapper
+/// over this, so both paths share one validation order and error surface.
+pub fn open_source<S: ByteSource + ?Sized>(
+    src: &S,
+) -> Result<(StoreHeader, Vec<FieldEntry>, std::ops::Range<u64>), StoreError> {
+    let total = src.len();
+    if total < 6 {
         return Err(StoreError::Truncated {
             needed: 6,
-            have: bytes.len(),
+            have: total as usize,
         });
     }
-    if bytes[..4] != STORE_MAGIC {
+    let head = src.read_vec(0, 6)?;
+    if head[..4] != STORE_MAGIC {
         return Err(StoreError::BadMagic);
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    let version = u16::from_le_bytes(head[4..6].try_into().unwrap());
     if !(MIN_STORE_VERSION..=STORE_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion(version));
     }
     // A v4 store is validated commit-record-first: a bad tail means the
     // write never completed (Torn), and only a committed body is parsed
     // further — so every later failure is genuine corruption.
-    let bytes = if version >= 4 {
-        split_committed(bytes)?
+    let body_len = if version >= 4 {
+        split_committed_source(src, total)?
     } else {
-        bytes
+        total
     };
-    if bytes.len() < 4 + TRAILER_BYTES {
+    if body_len < (4 + TRAILER_BYTES) as u64 {
         return Err(StoreError::Truncated {
             needed: 4 + TRAILER_BYTES,
-            have: bytes.len(),
+            have: body_len as usize,
         });
     }
-    let header = read_header(bytes)?;
-    let trailer = &bytes[bytes.len() - TRAILER_BYTES..];
+    let header = read_header_source(src, body_len)?;
+    let trailer = src.read_vec(body_len - TRAILER_BYTES as u64, TRAILER_BYTES)?;
     if trailer[12..16] != INDEX_MAGIC {
         return Err(StoreError::BadMagic);
     }
-    let footer_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap()) as usize;
+    let footer_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
     let stored_crc = u32::from_le_bytes(trailer[8..12].try_into().unwrap());
-    let footer_end = bytes.len() - TRAILER_BYTES;
-    if footer_offset < header.header_bytes || footer_offset > footer_end {
+    let footer_end = body_len - TRAILER_BYTES as u64;
+    if footer_offset < header.header_bytes as u64 || footer_offset > footer_end {
         return Err(StoreError::Corrupt("footer offset out of range"));
     }
-    let mut crc_bytes = bytes[..header.header_bytes].to_vec();
-    crc_bytes.extend_from_slice(&bytes[footer_offset..footer_end]);
+    let header_raw = source::fetch(src, 0, header.header_bytes as u64)?;
+    let footer_raw = source::fetch(src, footer_offset, footer_end - footer_offset)?;
+    let mut crc_bytes = header_raw.into_owned();
+    crc_bytes.extend_from_slice(&footer_raw);
     if crc32(&crc_bytes) != stored_crc {
         return Err(StoreError::IndexCrc);
     }
-    let fields = read_footer(&bytes[footer_offset..footer_end], header.version)?;
+    let fields = read_footer(&footer_raw, header.version)?;
     let width = header.parity_group_width as usize;
     let shards = header.scheme().shards() as usize;
     for field in &fields {
@@ -645,7 +712,7 @@ pub fn open(
             return Err(StoreError::Corrupt("parity group count mismatch"));
         }
     }
-    let payload = header.header_bytes..footer_offset;
+    let payload = header.header_bytes as u64..footer_offset;
     Ok((header, fields, payload))
 }
 

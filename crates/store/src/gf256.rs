@@ -80,16 +80,48 @@ pub fn inv(a: u8) -> Option<u8> {
     }
 }
 
-/// The 256-entry multiplication table of a fixed coefficient — turns the
-/// inner encode/decode loops into a table lookup + XOR per byte.
-fn mul_table(c: u8) -> [u8; 256] {
-    let mut t = [0u8; 256];
-    if c != 0 {
-        for (b, slot) in t.iter_mut().enumerate() {
-            *slot = mul(c, b as u8);
+/// Split low/high-nibble multiplication tables of a fixed coefficient.
+///
+/// GF(2^8) multiplication distributes over XOR, and any byte splits as
+/// `b = (b & 0x0f) ⊕ (b & 0xf0)`, so `c·b = lo[b & 0xf] ⊕ hi[b >> 4]`.
+/// Two 16-entry tables replace the historical flat 256-entry table: setup
+/// drops from 256 field multiplications per coefficient to 32, and the 32
+/// working bytes stay resident in one cache line through the whole encode
+/// loop instead of streaming 256 table bytes against the shard data. This
+/// is the scalar form of the SSSE3 `pshufb` kernel every fast RS coder
+/// uses — same tables, byte-at-a-time lookup.
+pub struct MulTable {
+    lo: [u8; 16],
+    hi: [u8; 16],
+}
+
+impl MulTable {
+    /// Tables for multiplying by `c`.
+    pub fn new(c: u8) -> Self {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        let mut n = 0u8;
+        while n < 16 {
+            lo[n as usize] = mul(c, n);
+            hi[n as usize] = mul(c, n << 4);
+            n += 1;
+        }
+        Self { lo, hi }
+    }
+
+    /// `c · b` via two nibble lookups.
+    #[inline]
+    pub fn mul(&self, b: u8) -> u8 {
+        self.lo[(b & 0x0f) as usize] ^ self.hi[(b >> 4) as usize]
+    }
+
+    /// XOR-accumulates `c · src[i]` into `acc[i]` over the overlap.
+    #[inline]
+    pub fn fma_into(&self, acc: &mut [u8], src: &[u8]) {
+        for (a, &s) in acc.iter_mut().zip(src) {
+            *a ^= self.mul(s);
         }
     }
-    t
 }
 
 /// Cauchy coefficient `c[j][i]` tying parity shard `j` to data shard `i`
@@ -102,15 +134,12 @@ pub fn coefficient(j: usize, i: usize, m: usize) -> Option<u8> {
     inv(x ^ y)
 }
 
-/// XOR-accumulates `mul_table(c) ∘ src` into `acc[..src.len()]`.
+/// XOR-accumulates `c · src[i]` into `acc[..src.len()]`.
 fn fma_into(acc: &mut [u8], src: &[u8], c: u8) {
     if c == 0 {
         return;
     }
-    let t = mul_table(c);
-    for (a, &s) in acc.iter_mut().zip(src) {
-        *a ^= t[s as usize];
-    }
+    MulTable::new(c).fma_into(acc, src);
 }
 
 /// Encodes `m` parity shards over `members` (zero-padded to the longest
@@ -255,6 +284,27 @@ mod tests {
             assert_eq!(mul(a, b), mul(b, a));
         }
         assert!(inv(0).is_none());
+    }
+
+    #[test]
+    fn nibble_tables_agree_with_field_mul_for_every_pair() {
+        for c in 0..=255u8 {
+            let t = MulTable::new(c);
+            for b in 0..=255u8 {
+                assert_eq!(t.mul(b), mul(c, b), "c = {c}, b = {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_fma_matches_scalar_accumulation() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 29, 142, 255] {
+            let mut acc = vec![0xa5u8; src.len()];
+            let expect: Vec<u8> = acc.iter().zip(&src).map(|(&a, &s)| a ^ mul(c, s)).collect();
+            fma_into(&mut acc, &src, c);
+            assert_eq!(acc, expect, "c = {c}");
+        }
     }
 
     fn sample_members(k: usize, len: usize) -> Vec<Vec<u8>> {

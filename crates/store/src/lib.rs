@@ -59,14 +59,15 @@ pub mod gf256;
 mod parity;
 mod reader;
 mod repair;
+mod source;
 mod writer;
 
 pub use cache::{CacheStats, RecipeCache};
 pub use chunk::{plan_chunks, ChunkMeta, ChunkPlan, CHUNK_META_BYTES, DEFAULT_CHUNK_TARGET_BYTES};
 pub use format::{
-    is_store, open as open_parts, peek_header, FieldEntry, StoreCapabilities, StoreError,
-    StoreHeader, COMMIT_MAGIC, COMMIT_RECORD_BYTES, MIN_STORE_VERSION, STORE_MAGIC, STORE_VERSION,
-    TRAILER_BYTES,
+    is_store, open as open_parts, open_source as open_parts_source, peek_header, FieldEntry,
+    StoreCapabilities, StoreError, StoreHeader, COMMIT_MAGIC, COMMIT_RECORD_BYTES,
+    MIN_STORE_VERSION, STORE_MAGIC, STORE_VERSION, TRAILER_BYTES,
 };
 pub use parity::{Parity, ParityMeta, DEFAULT_PARITY_GROUP_WIDTH, PARITY_META_BYTES};
 pub use reader::{
@@ -74,9 +75,14 @@ pub use reader::{
     ReadPolicy, SalvageFill, StoreReader,
 };
 pub use repair::{
-    repair, repair_with, scrub, ChunkKind, LostChunk, RawSource, RepairOutcome, RepairSource,
-    RepairedChunk, ScrubChunk, ScrubReport,
+    repair, repair_with, repair_with_sources, scrub, scrub_source, ChunkKind, LostChunk, RawSource,
+    RepairOutcome, RepairSource, RepairedChunk, ScrubChunk, ScrubReport,
 };
+#[cfg(unix)]
+pub use source::FileSource;
+#[cfg(all(unix, feature = "mmap"))]
+pub use source::MmapSource;
+pub use source::{ByteSource, SliceSource};
 pub use writer::{
     persist, PipelineStoreExt, StoreWriteOptions, StoreWriteStats, StoreWriter, StoreWritten,
 };

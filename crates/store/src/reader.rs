@@ -14,6 +14,8 @@ use crate::cache::RecipeCache;
 use crate::format::{self, FieldEntry, StoreError, StoreHeader};
 use crate::gf256;
 use crate::parity::{group_members, group_of, reconstruct, Parity, ParityMeta};
+use crate::source::{self, ByteSource, SliceSource};
+use std::borrow::Cow;
 use std::ops::Range;
 use std::sync::Arc;
 use zmesh::{codec_for, crc32, GroupingMode, RestoreRecipe};
@@ -306,33 +308,70 @@ pub struct QueryResult {
     pub damage: DamageReport,
 }
 
-/// A parsed, validated view over a serialized v2 store.
-pub struct StoreReader<'a> {
-    bytes: &'a [u8],
+/// Default bound on coalesced read groups in flight ahead of decode.
+const DEFAULT_PREFETCH_WINDOW: usize = 2;
+/// Never grow a coalesced read past this size (a single oversized chunk
+/// still gets one read — chunks are never split).
+const MAX_COALESCED_BYTES: u64 = 4 << 20;
+
+/// One coalesced read: a contiguous byte range covering the payloads of
+/// `members` (positions into the caller's chunk-id list).
+struct ReadGroup {
+    range: Range<u64>,
+    members: Vec<usize>,
+}
+
+/// A parsed, validated view over a serialized v2/v3/v4 store, generic
+/// over where the bytes come from.
+///
+/// `StoreReader<SliceSource>` (via [`StoreReader::open`]) is the
+/// historical in-memory reader; [`StoreReader::open_source`] accepts any
+/// [`ByteSource`] — a [`crate::FileSource`] reads only the framing at
+/// open and exactly the selected chunks' coalesced byte ranges at
+/// query/decode time, overlapping the reads with decode.
+pub struct StoreReader<S> {
+    source: S,
     header: StoreHeader,
     fields: Vec<FieldEntry>,
-    payload: Range<usize>,
+    payload: Range<u64>,
     tree: Arc<AmrTree>,
     recipe: Arc<RestoreRecipe>,
     policy: ReadPolicy,
+    prefetch_window: usize,
+    coalesce_gap: u64,
 }
 
-impl<'a> StoreReader<'a> {
-    /// Opens a store, verifying magics and the index CRC, rebuilding the
-    /// tree from structure metadata, and regenerating the restore recipe.
+impl<'a> StoreReader<SliceSource<'a>> {
+    /// Opens an in-memory store, verifying magics and the index CRC,
+    /// rebuilding the tree from structure metadata, and regenerating the
+    /// restore recipe.
     pub fn open(bytes: &'a [u8]) -> Result<Self, StoreError> {
-        Self::open_impl(bytes, None)
+        Self::open_impl(SliceSource::new(bytes), None)
     }
 
     /// Like [`StoreReader::open`], but recipe regeneration goes through a
     /// shared [`RecipeCache`] — opening many stores over the same mesh
     /// (timesteps, field files) builds the recipe once.
     pub fn open_with_cache(bytes: &'a [u8], cache: &RecipeCache) -> Result<Self, StoreError> {
-        Self::open_impl(bytes, Some(cache))
+        Self::open_impl(SliceSource::new(bytes), Some(cache))
+    }
+}
+
+impl<S: ByteSource> StoreReader<S> {
+    /// Opens a store through any [`ByteSource`], fetching only the
+    /// framing (head probe, commit record, trailer, header, footer) —
+    /// never the payload.
+    pub fn open_source(source: S) -> Result<Self, StoreError> {
+        Self::open_impl(source, None)
     }
 
-    fn open_impl(bytes: &'a [u8], cache: Option<&RecipeCache>) -> Result<Self, StoreError> {
-        let (header, fields, payload) = format::open(bytes)?;
+    /// [`StoreReader::open_source`] with a shared [`RecipeCache`].
+    pub fn open_source_with_cache(source: S, cache: &RecipeCache) -> Result<Self, StoreError> {
+        Self::open_impl(source, Some(cache))
+    }
+
+    fn open_impl(source: S, cache: Option<&RecipeCache>) -> Result<Self, StoreError> {
+        let (header, fields, payload) = format::open_source(&source)?;
         let tree = Arc::new(AmrTree::from_structure_bytes(&header.structure)?);
         let grouping = header.grouping();
         let recipe = match cache {
@@ -351,13 +390,15 @@ impl<'a> StoreReader<'a> {
             return Err(StoreError::Corrupt("recipe length mismatches tree"));
         }
         Ok(Self {
-            bytes,
+            source,
             header,
             fields,
             payload,
             tree,
             recipe,
             policy: ReadPolicy::Strict,
+            prefetch_window: DEFAULT_PREFETCH_WINDOW,
+            coalesce_gap: 0,
         })
     }
 
@@ -366,6 +407,34 @@ impl<'a> StoreReader<'a> {
     pub fn with_read_policy(mut self, policy: ReadPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Sets how many coalesced read groups the prefetcher keeps in flight
+    /// ahead of decode (default 2; clamped to ≥ 1). Only affects ranged
+    /// sources — zero-copy sources decode in place.
+    pub fn with_prefetch_window(mut self, window: usize) -> Self {
+        self.prefetch_window = window.max(1);
+        self
+    }
+
+    /// Sets the maximum byte gap bridged when coalescing adjacent chunk
+    /// ranges into one read (default 0: only exactly-adjacent ranges
+    /// merge). Bridging small gaps trades a few wasted bytes for fewer
+    /// read calls.
+    pub fn with_coalesce_gap(mut self, gap: u64) -> Self {
+        self.coalesce_gap = gap;
+        self
+    }
+
+    /// The source the store is being read from.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Bytes the underlying source has supplied so far (see
+    /// [`ByteSource::bytes_read`]).
+    pub fn bytes_read(&self) -> u64 {
+        self.source.bytes_read()
     }
 
     /// The active read policy.
@@ -421,10 +490,10 @@ impl<'a> StoreReader<'a> {
         let lo = self
             .payload
             .start
-            .saturating_add(offset as usize)
+            .saturating_add(offset)
             .min(self.payload.end);
-        let hi = lo.saturating_add(len as usize).min(self.payload.end);
-        lo..hi
+        let hi = lo.saturating_add(len).min(self.payload.end);
+        lo as usize..hi as usize
     }
 
     /// Byte range of chunk `i` of `entry` within the store buffer, for
@@ -455,30 +524,37 @@ impl<'a> StoreReader<'a> {
         }
     }
 
-    /// Bounds-checked payload slice for a (payload-relative) span.
-    fn payload_slice(&self, offset: u64, len: u64) -> Result<&'a [u8], StoreError> {
+    /// Bounds-checked absolute byte range for a (payload-relative) span.
+    fn payload_range(&self, offset: u64, len: u64) -> Result<Range<u64>, StoreError> {
         let lo = self
             .payload
             .start
-            .checked_add(offset as usize)
+            .checked_add(offset)
             .ok_or(StoreError::Corrupt("chunk offset overflow"))?;
         let hi = lo
-            .checked_add(len as usize)
+            .checked_add(len)
             .ok_or(StoreError::Corrupt("chunk length overflow"))?;
         if hi > self.payload.end {
             return Err(StoreError::Truncated {
-                needed: hi,
-                have: self.payload.end,
+                needed: hi as usize,
+                have: self.payload.end as usize,
             });
         }
-        Ok(&self.bytes[lo..hi])
+        Ok(lo..hi)
+    }
+
+    /// Bounds-checked payload bytes for a (payload-relative) span —
+    /// borrowed zero-copy from resident sources, read otherwise.
+    fn payload_slice(&self, offset: u64, len: u64) -> Result<Cow<'_, [u8]>, StoreError> {
+        let range = self.payload_range(offset, len)?;
+        source::fetch(&self.source, range.start, range.end - range.start)
     }
 
     /// CRC-verified compressed payload of chunk `i` of `entry`.
-    fn chunk_payload(&self, entry: &FieldEntry, i: usize) -> Result<&'a [u8], StoreError> {
+    fn chunk_payload(&self, entry: &FieldEntry, i: usize) -> Result<Cow<'_, [u8]>, StoreError> {
         let meta = &entry.chunks[i];
         let payload = self.payload_slice(meta.offset, meta.len)?;
-        if crc32(payload) != meta.crc {
+        if crc32(&payload) != meta.crc {
             return Err(StoreError::ChunkCrc {
                 field: entry.name.clone(),
                 chunk: i,
@@ -495,13 +571,13 @@ impl<'a> StoreReader<'a> {
 
     /// CRC-verified parity payload at *slot* `slot` of `entry` (slot =
     /// group for v3, `g·m + j` for v4).
-    fn parity_payload(&self, entry: &FieldEntry, slot: usize) -> Result<&'a [u8], StoreError> {
+    fn parity_payload(&self, entry: &FieldEntry, slot: usize) -> Result<Cow<'_, [u8]>, StoreError> {
         let meta: &ParityMeta = entry
             .parity
             .get(slot)
             .ok_or(StoreError::Corrupt("parity group out of range"))?;
         let payload = self.payload_slice(meta.offset, meta.len)?;
-        if crc32(payload) != meta.crc {
+        if crc32(&payload) != meta.crc {
             return Err(StoreError::ParityCrc {
                 field: entry.name.clone(),
                 group: slot / self.parity_shards(),
@@ -532,24 +608,30 @@ impl<'a> StoreReader<'a> {
                     }
                     siblings.push(self.chunk_payload(entry, c).ok()?);
                 }
-                reconstruct(parity, siblings, entry.chunks[i].len as usize)?
+                reconstruct(
+                    &parity,
+                    siblings.iter().map(|s| s.as_ref()),
+                    entry.chunks[i].len as usize,
+                )?
             }
             Parity::Rs { data, parity: m } => {
                 let (k, m) = (data as usize, m as usize);
                 let g = group_of(i, k);
                 let members = group_members(g, k, entry.chunks.len());
-                let states: Vec<Option<&[u8]>> = members
+                let states: Vec<Option<Cow<'_, [u8]>>> = members
                     .clone()
                     .map(|c| self.chunk_payload(entry, c).ok())
                     .collect();
+                let state_refs: Vec<Option<&[u8]>> = states.iter().map(|s| s.as_deref()).collect();
                 let lens: Vec<usize> = members
                     .clone()
                     .map(|c| entry.chunks[c].len as usize)
                     .collect();
-                let shards: Vec<Option<&[u8]>> = (0..m)
+                let shards: Vec<Option<Cow<'_, [u8]>>> = (0..m)
                     .map(|j| self.parity_payload(entry, g * m + j).ok())
                     .collect();
-                let rebuilt = gf256::rs_recover(&states, &shards, &lens)?;
+                let shard_refs: Vec<Option<&[u8]>> = shards.iter().map(|s| s.as_deref()).collect();
+                let rebuilt = gf256::rs_recover(&state_refs, &shard_refs, &lens)?;
                 let local = i - members.start;
                 rebuilt.into_iter().find(|&(idx, _)| idx == local)?.1
             }
@@ -576,15 +658,147 @@ impl<'a> StoreReader<'a> {
         }
     }
 
-    /// Decodes one chunk of `entry`, verifying its CRC and length.
-    fn decode_chunk(&self, entry: &FieldEntry, i: usize) -> Result<Vec<f64>, StoreError> {
-        let payload = self.chunk_payload(entry, i)?;
+    /// Verifies and decodes chunk `i` of `entry` from already-fetched
+    /// payload bytes.
+    fn decode_chunk_bytes(
+        &self,
+        entry: &FieldEntry,
+        i: usize,
+        payload: &[u8],
+    ) -> Result<Vec<f64>, StoreError> {
+        let meta = &entry.chunks[i];
+        if crc32(payload) != meta.crc {
+            return Err(StoreError::ChunkCrc {
+                field: entry.name.clone(),
+                chunk: i,
+            });
+        }
         let codec = codec_for(self.header.codec);
         let values = codec.decompress(payload)?;
         if values.len() != self.stream_range(i).len() {
             return Err(StoreError::Corrupt("chunk value count mismatches framing"));
         }
         Ok(values)
+    }
+
+    /// Decodes one chunk of `entry`, verifying its CRC and length.
+    fn decode_chunk(&self, entry: &FieldEntry, i: usize) -> Result<Vec<f64>, StoreError> {
+        let meta = &entry.chunks[i];
+        let payload = self.payload_slice(meta.offset, meta.len)?;
+        self.decode_chunk_bytes(entry, i, &payload)
+    }
+
+    /// Sorts the selected chunks' byte ranges and merges adjacent ones
+    /// (bridging up to `coalesce_gap` bytes, capped at
+    /// [`MAX_COALESCED_BYTES`]) into contiguous read groups. Chunks whose
+    /// recorded span is invalid are reported through `results` instead of
+    /// joining a group.
+    fn coalesce(
+        &self,
+        entry: &FieldEntry,
+        ids: &[usize],
+        results: &mut [Option<Result<Vec<f64>, StoreError>>],
+    ) -> Vec<ReadGroup> {
+        let mut spans: Vec<(usize, Range<u64>)> = Vec::with_capacity(ids.len());
+        for (pos, &i) in ids.iter().enumerate() {
+            let meta = &entry.chunks[i];
+            match self.payload_range(meta.offset, meta.len) {
+                Ok(range) => spans.push((pos, range)),
+                Err(e) => results[pos] = Some(Err(e)),
+            }
+        }
+        spans.sort_by_key(|a| (a.1.start, a.1.end));
+        let mut groups: Vec<ReadGroup> = Vec::new();
+        for (pos, range) in spans {
+            match groups.last_mut() {
+                Some(g)
+                    if range.start <= g.range.end.saturating_add(self.coalesce_gap)
+                        && range.end.max(g.range.end) - g.range.start <= MAX_COALESCED_BYTES =>
+                {
+                    g.range.end = g.range.end.max(range.end);
+                    g.members.push(pos);
+                }
+                _ => groups.push(ReadGroup {
+                    range,
+                    members: vec![pos],
+                }),
+            }
+        }
+        groups
+    }
+
+    /// Fetches and decodes the given chunks of `entry`, returning
+    /// `(chunk id, result)` pairs in the order of `ids`.
+    ///
+    /// Zero-copy sources decode straight from the resident bytes in
+    /// parallel (the historical path, unchanged). Ranged sources overlap
+    /// I/O with decode: a producer thread reads coalesced group `g+1`
+    /// while rayon workers decode group `g`, with a bounded channel (the
+    /// prefetch window) between them.
+    fn fetch_decode(
+        &self,
+        entry: &FieldEntry,
+        ids: &[usize],
+    ) -> Vec<(usize, Result<Vec<f64>, StoreError>)> {
+        use rayon::prelude::*;
+
+        if self.source.as_slice().is_some() {
+            return ids
+                .par_iter()
+                .map(|&i| (i, self.decode_chunk(entry, i)))
+                .collect();
+        }
+        let mut results: Vec<Option<Result<Vec<f64>, StoreError>>> =
+            ids.iter().map(|_| None).collect();
+        let groups = self.coalesce(entry, ids, &mut results);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(ReadGroup, Result<Vec<u8>, StoreError>)>(
+            self.prefetch_window,
+        );
+        std::thread::scope(|scope| {
+            let source = &self.source;
+            scope.spawn(move || {
+                for group in groups {
+                    let len = (group.range.end - group.range.start) as usize;
+                    let bytes = source.read_vec(group.range.start, len);
+                    if tx.send((group, bytes)).is_err() {
+                        return;
+                    }
+                }
+            });
+            for (group, bytes) in rx {
+                match bytes {
+                    Ok(bytes) => {
+                        let decoded: Vec<(usize, Result<Vec<f64>, StoreError>)> = group
+                            .members
+                            .par_iter()
+                            .map(|&pos| {
+                                let i = ids[pos];
+                                let meta = &entry.chunks[i];
+                                // In-group offset: the span was validated
+                                // by `coalesce`, so this cannot wrap.
+                                let lo =
+                                    (self.payload.start + meta.offset - group.range.start) as usize;
+                                let payload = &bytes[lo..lo + meta.len as usize];
+                                (pos, self.decode_chunk_bytes(entry, i, payload))
+                            })
+                            .collect();
+                        for (pos, result) in decoded {
+                            results[pos] = Some(result);
+                        }
+                    }
+                    // A failed group read fans out to all its chunks.
+                    Err(e) => {
+                        for &pos in &group.members {
+                            results[pos] = Some(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+        });
+        ids.iter()
+            .zip(results)
+            .map(|(&i, r)| (i, r.expect("every selected chunk has a decode result")))
+            .collect()
     }
 
     /// Decodes every chunk of `name` (in parallel) and restores storage
@@ -602,20 +816,15 @@ impl<'a> StoreReader<'a> {
         &self,
         name: &str,
     ) -> Result<(AmrField, DamageReport), StoreError> {
-        use rayon::prelude::*;
-
         let entry = self.field(name)?;
         let ids: Vec<usize> = (0..entry.chunks.len()).collect();
-        let decoded: Vec<Result<Vec<f64>, StoreError>> = ids
-            .par_iter()
-            .map(|&i| self.decode_chunk(entry, i))
-            .collect();
+        let decoded = self.fetch_decode(entry, &ids);
         let mut report = DamageReport {
             fill: self.policy.salvage_fill().unwrap_or_default(),
             ..DamageReport::default()
         };
         let mut stream = Vec::with_capacity(self.recipe.len());
-        for (i, result) in decoded.into_iter().enumerate() {
+        for (i, result) in decoded {
             match (result, self.policy.salvage_fill()) {
                 (Ok(values), _) => stream.extend(values),
                 (Err(error), Some(fill)) => match self.reconstruct_chunk(entry, i) {
@@ -738,14 +947,9 @@ impl<'a> StoreReader<'a> {
     /// [`ReadPolicy::Salvage`], damaged chunks are dropped from the result
     /// and itemized in [`QueryResult::damage`].
     pub fn query(&self, name: &str, query: &Query) -> Result<QueryResult, StoreError> {
-        use rayon::prelude::*;
-
         let entry = self.field(name)?;
         let selected = self.select_chunks(entry, query)?;
-        let attempts: Vec<(usize, Result<Vec<f64>, StoreError>)> = selected
-            .par_iter()
-            .map(|&i| (i, self.decode_chunk(entry, i)))
-            .collect();
+        let attempts = self.fetch_decode(entry, &selected);
         let mut damage = DamageReport {
             fill: self.policy.salvage_fill().unwrap_or_default(),
             ..DamageReport::default()
@@ -1182,7 +1386,7 @@ mod tests {
         // Flip one byte in the middle of the payload region.
         let mid = {
             let reader = StoreReader::open(&bytes).unwrap();
-            reader.payload.start + reader.payload.len() / 2
+            (reader.payload.start + (reader.payload.end - reader.payload.start) / 2) as usize
         };
         bytes[mid] ^= 0x40;
         let reader = StoreReader::open(&bytes).unwrap();

@@ -29,6 +29,8 @@ use crate::gf256;
 use crate::parity::{
     build_group_parity, group_count, group_members, group_of, reconstruct, Parity, ParityMeta,
 };
+use crate::source::{self, ByteSource, SliceSource};
+use std::borrow::Cow;
 use std::ops::Range;
 use zmesh::{codec_for, crc32, GroupingMode};
 use zmesh_amr::AmrField;
@@ -94,6 +96,11 @@ pub struct ScrubReport {
     pub parity_chunks: usize,
     /// Every damaged chunk, in (field, data-before-parity, index) order.
     pub damaged: Vec<ScrubChunk>,
+    /// Bytes the scrub actually read from its source (the whole buffer
+    /// for in-memory scrubs; framing + chunk spans for ranged ones).
+    pub bytes_read: u64,
+    /// Total size of the store being scrubbed.
+    pub store_bytes: u64,
 }
 
 impl ScrubReport {
@@ -119,7 +126,8 @@ impl ScrubReport {
             "{{\"version\":{},\"parity_group_width\":{},\"parity_shards\":{},\
              \"parity_available\":{},\
              \"fields\":{},\"data_chunks\":{},\"parity_chunks\":{},\
-             \"recoverable\":{},\"unrecoverable\":{},\"clean\":{},\"damaged\":[",
+             \"recoverable\":{},\"unrecoverable\":{},\"clean\":{},\
+             \"bytes_read\":{},\"store_bytes\":{},\"damaged\":[",
             self.version,
             self.parity_group_width,
             self.parity_shards,
@@ -130,6 +138,8 @@ impl ScrubReport {
             self.recoverable(),
             self.unrecoverable(),
             self.is_clean(),
+            self.bytes_read,
+            self.store_bytes,
         ));
         for (i, d) in self.damaged.iter().enumerate() {
             if i > 0 {
@@ -166,53 +176,50 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Saturated byte range for damage records.
-fn report_range(payload: &Range<usize>, offset: u64, len: u64) -> Range<usize> {
-    let lo = payload
-        .start
-        .saturating_add(offset as usize)
-        .min(payload.end);
-    let hi = lo.saturating_add(len as usize).min(payload.end);
-    lo..hi
+fn report_range(payload: &Range<u64>, offset: u64, len: u64) -> Range<usize> {
+    let lo = payload.start.saturating_add(offset).min(payload.end);
+    let hi = lo.saturating_add(len).min(payload.end);
+    lo as usize..hi as usize
 }
 
-/// Bounds-checked CRC verification of one payload span. Returns the slice
-/// on success.
-fn verified_slice<'a>(
-    bytes: &'a [u8],
-    payload: &Range<usize>,
+/// Bounds-checked CRC verification of one payload span. Returns the bytes
+/// on success (borrowed zero-copy from resident sources).
+fn verified_span<'s, S: ByteSource + ?Sized>(
+    src: &'s S,
+    payload: &Range<u64>,
     offset: u64,
     len: u64,
     crc: u32,
     on_crc_fail: impl FnOnce() -> StoreError,
-) -> Result<&'a [u8], StoreError> {
+) -> Result<Cow<'s, [u8]>, StoreError> {
     let lo = payload
         .start
-        .checked_add(offset as usize)
+        .checked_add(offset)
         .ok_or(StoreError::Corrupt("chunk offset overflow"))?;
     let hi = lo
-        .checked_add(len as usize)
+        .checked_add(len)
         .ok_or(StoreError::Corrupt("chunk length overflow"))?;
     if hi > payload.end {
         return Err(StoreError::Truncated {
-            needed: hi,
-            have: payload.end,
+            needed: hi as usize,
+            have: payload.end as usize,
         });
     }
-    let slice = &bytes[lo..hi];
-    if crc32(slice) != crc {
+    let span = source::fetch(src, lo, hi - lo)?;
+    if crc32(&span) != crc {
         return Err(on_crc_fail());
     }
-    Ok(slice)
+    Ok(span)
 }
 
-fn data_slice<'a>(
-    bytes: &'a [u8],
-    payload: &Range<usize>,
+fn data_span<'s, S: ByteSource + ?Sized>(
+    src: &'s S,
+    payload: &Range<u64>,
     entry: &FieldEntry,
     i: usize,
-) -> Result<&'a [u8], StoreError> {
+) -> Result<Cow<'s, [u8]>, StoreError> {
     let meta = &entry.chunks[i];
-    verified_slice(bytes, payload, meta.offset, meta.len, meta.crc, || {
+    verified_span(src, payload, meta.offset, meta.len, meta.crc, || {
         StoreError::ChunkCrc {
             field: entry.name.clone(),
             chunk: i,
@@ -220,15 +227,15 @@ fn data_slice<'a>(
     })
 }
 
-fn parity_slice<'a>(
-    bytes: &'a [u8],
-    payload: &Range<usize>,
+fn parity_span<'s, S: ByteSource + ?Sized>(
+    src: &'s S,
+    payload: &Range<u64>,
     entry: &FieldEntry,
     slot: usize,
     shards: usize,
-) -> Result<&'a [u8], StoreError> {
+) -> Result<Cow<'s, [u8]>, StoreError> {
     let meta = &entry.parity[slot];
-    verified_slice(bytes, payload, meta.offset, meta.len, meta.crc, || {
+    verified_span(src, payload, meta.offset, meta.len, meta.crc, || {
         StoreError::ParityCrc {
             field: entry.name.clone(),
             group: slot / shards.max(1),
@@ -236,13 +243,21 @@ fn parity_slice<'a>(
     })
 }
 
+/// Verifies every data and parity chunk of an in-memory store. See
+/// [`scrub_source`].
+pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
+    scrub_source(&SliceSource::new(bytes))
+}
+
 /// Verifies every data and parity chunk of a store (CRCs only, no payload
 /// decoding) and classifies each failure as parity-recoverable or not.
 /// Container-level damage (bad magic, torn commit, truncated/CRC-failing
 /// index) is returned as an error — there is no per-chunk story to tell
-/// without a trustworthy index.
-pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
-    let (header, fields, payload) = format::open(bytes)?;
+/// without a trustworthy index. Through a ranged source (e.g.
+/// [`crate::FileSource`]) the scrub streams chunk spans instead of loading
+/// the file; [`ScrubReport::bytes_read`] records the actual traffic.
+pub fn scrub_source<S: ByteSource + ?Sized>(src: &S) -> Result<ScrubReport, StoreError> {
+    let (header, fields, payload) = format::open_source(src)?;
     let width = header.parity_group_width as usize;
     let scheme = header.scheme();
     let shards = scheme.shards() as usize;
@@ -256,13 +271,15 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
         data_chunks: fields.iter().map(|f| f.chunks.len()).sum(),
         parity_chunks: fields.iter().map(|f| f.parity.len()).sum(),
         damaged: Vec::new(),
+        bytes_read: 0,
+        store_bytes: src.len(),
     };
     for entry in &fields {
         let data_ok: Vec<bool> = (0..entry.chunks.len())
-            .map(|i| data_slice(bytes, &payload, entry, i).is_ok())
+            .map(|i| data_span(src, &payload, entry, i).is_ok())
             .collect();
         let parity_ok: Vec<bool> = (0..entry.parity.len())
-            .map(|s| parity_slice(bytes, &payload, entry, s, shards).is_ok())
+            .map(|s| parity_span(src, &payload, entry, s, shards).is_ok())
             .collect();
         let failures_in = |g: usize| -> usize {
             group_members(g, width, entry.chunks.len())
@@ -279,7 +296,7 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
             if *ok {
                 continue;
             }
-            let error = data_slice(bytes, &payload, entry, i).unwrap_err();
+            let error = data_span(src, &payload, entry, i).unwrap_err();
             let recoverable = parity_available && {
                 let g = group_of(i, width);
                 failures_in(g) <= intact_shards(g)
@@ -297,7 +314,7 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
             if *ok {
                 continue;
             }
-            let error = parity_slice(bytes, &payload, entry, s, shards).unwrap_err();
+            let error = parity_span(src, &payload, entry, s, shards).unwrap_err();
             // A parity shard is recomputable whenever the data it protects
             // is intact or itself recoverable from the surviving shards.
             let g = s / shards.max(1);
@@ -312,6 +329,7 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
             });
         }
     }
+    report.bytes_read = src.bytes_read();
     Ok(report)
 }
 
@@ -362,6 +380,9 @@ pub struct RepairOutcome {
     pub parity_rebuilt: usize,
     /// Data chunks no avenue could recover.
     pub lost: Vec<LostChunk>,
+    /// Bytes read from the damaged store's source (framing + the spans
+    /// the repair actually touched).
+    pub bytes_read: u64,
 }
 
 /// The original, uncompressed field data a store was written from — the
@@ -463,7 +484,21 @@ pub fn repair_with(
     replica: Option<&[u8]>,
     raw: Option<&RawSource<'_>>,
 ) -> Result<RepairOutcome, StoreError> {
-    let (header, fields, payload) = format::open(bytes)?;
+    let src = SliceSource::new(bytes);
+    let replica_src = replica.map(SliceSource::new);
+    repair_with_sources(&src, replica_src.as_ref(), raw)
+}
+
+/// [`repair_with`] over arbitrary [`ByteSource`]s. Through ranged sources
+/// the repair reads only the framing plus the chunk spans it actually
+/// touches — intact groups cost one CRC pass over their data, and only
+/// damaged groups pull in parity shards.
+pub fn repair_with_sources<S: ByteSource + ?Sized, R: ByteSource + ?Sized>(
+    src: &S,
+    replica: Option<&R>,
+    raw: Option<&RawSource<'_>>,
+) -> Result<RepairOutcome, StoreError> {
+    let (header, fields, payload) = format::open_source(src)?;
     let width = header.parity_group_width as usize;
     let scheme = header.scheme();
     let shards = scheme.shards() as usize;
@@ -473,7 +508,7 @@ pub fn repair_with(
     let replica_parts = match replica {
         None => None,
         Some(r) => {
-            let (rh, rf, rp) = format::open(r)?;
+            let (rh, rf, rp) = format::open_source(r)?;
             if !replica_compatible(&header, &rh) {
                 return Err(StoreError::Corrupt(
                     "replica store does not match (structure or encoding differ)",
@@ -483,7 +518,7 @@ pub fn repair_with(
         }
     };
     let replica_chunk = |field_name: &str, i: usize, meta_len: u64, meta_crc: u32| {
-        let (rbytes, rfields, rpayload) = replica_parts.as_ref()?;
+        let (rsrc, rfields, rpayload) = replica_parts.as_ref()?;
         let rentry = rfields.iter().find(|f| f.name == field_name)?;
         let rmeta = rentry.chunks.get(i)?;
         // The replica's copy must be the *same* chunk (length and CRC
@@ -491,7 +526,7 @@ pub fn repair_with(
         if rmeta.len != meta_len || rmeta.crc != meta_crc {
             return None;
         }
-        data_slice(rbytes, rpayload, rentry, i).ok()
+        data_span(*rsrc, rpayload, rentry, i).ok()
     };
 
     let mut outcome = RepairOutcome {
@@ -499,6 +534,7 @@ pub fn repair_with(
         repaired: Vec::new(),
         parity_rebuilt: 0,
         lost: Vec::new(),
+        bytes_read: 0,
     };
 
     // Phase 1 — recover every data chunk, field by field, cascading the
@@ -507,11 +543,7 @@ pub fn repair_with(
     for entry in &fields {
         let n = entry.chunks.len();
         let mut chunks: Vec<Option<Vec<u8>>> = (0..n)
-            .map(|i| {
-                data_slice(bytes, &payload, entry, i)
-                    .ok()
-                    .map(<[u8]>::to_vec)
-            })
+            .map(|i| data_span(src, &payload, entry, i).ok().map(Cow::into_owned))
             .collect();
         let mut sources: Vec<Option<RepairSource>> = vec![None; n];
         // The raw re-encode covers the whole field; run it at most once.
@@ -531,13 +563,13 @@ pub fn repair_with(
                     Parity::Xor { .. } => (missing.len() == 1)
                         .then(|| {
                             let i = missing[0];
-                            let parity = parity_slice(bytes, &payload, entry, g, 1).ok()?;
+                            let parity = parity_span(src, &payload, entry, g, 1).ok()?;
                             let siblings = members
                                 .clone()
                                 .filter(|&c| c != i)
                                 .map(|c| chunks[c].as_deref().expect("siblings intact"))
                                 .collect::<Vec<_>>();
-                            let b = reconstruct(parity, siblings, entry.chunks[i].len as usize)?;
+                            let b = reconstruct(&parity, siblings, entry.chunks[i].len as usize)?;
                             Some(vec![(i, b)])
                         })
                         .flatten(),
@@ -548,11 +580,11 @@ pub fn repair_with(
                             .clone()
                             .map(|c| entry.chunks[c].len as usize)
                             .collect();
-                        let shard_payloads: Vec<Option<&[u8]>> = (0..shards)
-                            .map(|j| {
-                                parity_slice(bytes, &payload, entry, g * shards + j, shards).ok()
-                            })
+                        let shard_data: Vec<Option<Cow<'_, [u8]>>> = (0..shards)
+                            .map(|j| parity_span(src, &payload, entry, g * shards + j, shards).ok())
                             .collect();
+                        let shard_payloads: Vec<Option<&[u8]>> =
+                            shard_data.iter().map(|s| s.as_deref()).collect();
                         gf256::rs_recover(&member_payloads, &shard_payloads, &lens).map(|v| {
                             v.into_iter()
                                 .map(|(local, b)| (members.start + local, b))
@@ -576,7 +608,7 @@ pub fn repair_with(
                 }
                 let meta = &entry.chunks[i];
                 if let Some(p) = replica_chunk(&entry.name, i, meta.len, meta.crc) {
-                    chunks[i] = Some(p.to_vec());
+                    chunks[i] = Some(p.into_owned());
                     sources[i] = Some(RepairSource::Replica);
                     progress = true;
                 }
@@ -616,7 +648,7 @@ pub fn repair_with(
                 (None, _) => outcome.lost.push(LostChunk {
                     field: entry.name.clone(),
                     chunk: i,
-                    error: data_slice(bytes, &payload, entry, i).unwrap_err(),
+                    error: data_span(src, &payload, entry, i).unwrap_err(),
                 }),
                 _ => {}
             }
@@ -625,6 +657,7 @@ pub fn repair_with(
     }
 
     if !outcome.lost.is_empty() {
+        outcome.bytes_read = src.bytes_read();
         return Ok(outcome);
     }
 
@@ -632,7 +665,7 @@ pub fn repair_with(
     // (field-major data, then field-major parity), recomputing every
     // offset and parity payload. For a writer-produced store this
     // reproduces the pre-damage bytes exactly.
-    let mut new_payload: Vec<u8> = Vec::with_capacity(payload.len());
+    let mut new_payload: Vec<u8> = Vec::with_capacity((payload.end - payload.start) as usize);
     let mut entries: Vec<FieldEntry> = Vec::with_capacity(fields.len());
     for (f, entry) in fields.iter().enumerate() {
         let mut chunks = Vec::with_capacity(entry.chunks.len());
@@ -668,7 +701,7 @@ pub fn repair_with(
             for (j, parity_bytes) in new_shards.iter().enumerate() {
                 let slot = g * shards + j;
                 let crc = crc32(parity_bytes);
-                if parity_slice(bytes, &payload, entry, slot, shards).is_err()
+                if parity_span(src, &payload, entry, slot, shards).is_err()
                     || crc != entry.parity[slot].crc
                 {
                     outcome.parity_rebuilt += 1;
@@ -683,6 +716,7 @@ pub fn repair_with(
         }
     }
     outcome.bytes = Some(assemble(write_header(&header), &new_payload, &entries));
+    outcome.bytes_read = src.bytes_read();
     Ok(outcome)
 }
 

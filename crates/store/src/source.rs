@@ -1,0 +1,433 @@
+//! Where store bytes come from: the [`ByteSource`] abstraction behind
+//! ranged reads.
+//!
+//! [`crate::StoreReader`] historically required the entire container in
+//! one `&[u8]` — fine for tests, hostile to the in-situ I/O budget the
+//! paper targets: a bounding-box query over a multi-GB checkpoint paid
+//! full-file read cost before decoding a single chunk. `ByteSource`
+//! abstracts the byte supply so the reader can fetch exactly the ranges
+//! the footer index selects:
+//!
+//! - [`SliceSource`] — the in-memory path, byte-identical behavior to the
+//!   historical reader (zero-copy through [`ByteSource::as_slice`]);
+//! - [`FileSource`] — positioned reads (`pread`) via
+//!   `std::os::unix::fs::FileExt::read_exact_at`, no extra dependencies,
+//!   with atomic counters recording exactly how many bytes and read calls
+//!   the store access cost;
+//! - [`MmapSource`] (feature `mmap`) — a read-only private mapping via a
+//!   direct `mmap(2)` binding (no new crates), exposed zero-copy like a
+//!   slice but demand-paged by the kernel.
+//!
+//! Sources are `Send + Sync`: the reader's prefetch pipeline reads from a
+//! producer thread while rayon workers decode, and all counters are
+//! relaxed atomics.
+
+use crate::format::StoreError;
+use std::borrow::Cow;
+use std::fs::File;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A random-access supply of store bytes.
+///
+/// The contract mirrors slice indexing: `read_at` either fills the whole
+/// buffer from `offset` or fails — [`StoreError::Truncated`] when the
+/// range runs past [`ByteSource::len`] (so ranged parsers report the same
+/// typed errors as in-memory ones), [`StoreError::Io`] for genuine I/O
+/// failures (which an in-memory source can never produce).
+pub trait ByteSource: Send + Sync {
+    /// Total size of the underlying store in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the source holds zero bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fills `buf` from absolute `offset`, counting the traffic.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError>;
+
+    /// The whole store as a resident slice, when the source is zero-copy
+    /// (in-memory buffer, mapping). Ranged callers use this to skip the
+    /// copy; `None` means every access must go through `read_at`.
+    fn as_slice(&self) -> Option<&[u8]> {
+        None
+    }
+
+    /// Bytes this source has supplied. Ranged sources count actual read
+    /// traffic; zero-copy sources report [`ByteSource::len`] (the whole
+    /// buffer is resident, so nothing smaller was ever read).
+    fn bytes_read(&self) -> u64;
+
+    /// Read calls issued so far (`0` for zero-copy sources) — how well
+    /// range coalescing is batching I/O.
+    fn read_calls(&self) -> u64 {
+        0
+    }
+
+    /// Reads `len` bytes at `offset` into a fresh buffer.
+    fn read_vec(&self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        let mut buf = vec![0u8; len];
+        self.read_at(offset, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// Bounds-check `offset + buf_len` against `total`, mirroring the slice
+/// reader's `Truncated` semantics.
+fn check_range(offset: u64, buf_len: usize, total: u64) -> Result<(), StoreError> {
+    let end = offset
+        .checked_add(buf_len as u64)
+        .ok_or(StoreError::Corrupt("read range overflow"))?;
+    if end > total {
+        return Err(StoreError::Truncated {
+            needed: end as usize,
+            have: total as usize,
+        });
+    }
+    Ok(())
+}
+
+/// Fetches `payload`-absolute bytes from a source: borrowed from the
+/// resident slice when the source is zero-copy, copied through `read_at`
+/// otherwise.
+pub(crate) fn fetch<S: ByteSource + ?Sized>(
+    src: &S,
+    offset: u64,
+    len: u64,
+) -> Result<Cow<'_, [u8]>, StoreError> {
+    match src.as_slice() {
+        Some(s) => {
+            check_range(offset, len as usize, s.len() as u64)?;
+            Ok(Cow::Borrowed(&s[offset as usize..(offset + len) as usize]))
+        }
+        None => src.read_vec(offset, len as usize).map(Cow::Owned),
+    }
+}
+
+/// The in-memory source: today's `StoreReader::open(&[u8])` path, with
+/// zero behavior change and zero copies.
+pub struct SliceSource<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps an in-memory store buffer.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+}
+
+impl ByteSource for SliceSource<'_> {
+    fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
+        check_range(offset, buf.len(), self.bytes.len() as u64)?;
+        let lo = offset as usize;
+        buf.copy_from_slice(&self.bytes[lo..lo + buf.len()]);
+        Ok(())
+    }
+
+    fn as_slice(&self) -> Option<&[u8]> {
+        Some(self.bytes)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+}
+
+/// A file-backed source issuing positioned reads (`pread`) — no seek
+/// state, safe to share across the prefetch thread and rayon workers.
+///
+/// Every successful read is counted, so `bytes_read`/`read_calls` expose
+/// exactly what a ranged open + query cost — the observable the paper's
+/// I/O-reduction claim is judged by.
+#[cfg(unix)]
+pub struct FileSource {
+    file: File,
+    len: u64,
+    bytes_read: AtomicU64,
+    read_calls: AtomicU64,
+}
+
+#[cfg(unix)]
+impl FileSource {
+    /// Opens `path` for positioned reads.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let file =
+            File::open(path).map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_file(file)
+    }
+
+    /// Wraps an already-open file.
+    pub fn from_file(file: File) -> Result<Self, StoreError> {
+        let len = file
+            .metadata()
+            .map_err(|e| StoreError::Io(format!("metadata: {e}")))?
+            .len();
+        Ok(Self {
+            file,
+            len,
+            bytes_read: AtomicU64::new(0),
+            read_calls: AtomicU64::new(0),
+        })
+    }
+}
+
+#[cfg(unix)]
+impl ByteSource for FileSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
+        use std::os::unix::fs::FileExt;
+        check_range(offset, buf.len(), self.len)?;
+        self.file
+            .read_exact_at(buf, offset)
+            .map_err(|e| StoreError::Io(format!("read {} bytes at {offset}: {e}", buf.len())))?;
+        self.bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.read_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    fn read_calls(&self) -> u64 {
+        self.read_calls.load(Ordering::Relaxed)
+    }
+}
+
+/// Read-only private memory mapping of a store file (feature `mmap`).
+///
+/// Bound directly against `mmap(2)`/`munmap(2)` — the toolchain links
+/// libc through `std` already, so no new dependency is needed. The map is
+/// `PROT_READ | MAP_PRIVATE`: the kernel pages bytes in on demand, so a
+/// selective query touches only the pages its chunks live on, while the
+/// reader sees an ordinary zero-copy slice.
+#[cfg(all(unix, feature = "mmap"))]
+pub struct MmapSource {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+#[cfg(all(unix, feature = "mmap"))]
+mod sys {
+    use core::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const MAP_PRIVATE: c_int = 0x2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+// SAFETY: the mapping is read-only and owned for the lifetime of the
+// struct; concurrent reads of immutable pages are safe.
+#[cfg(all(unix, feature = "mmap"))]
+unsafe impl Send for MmapSource {}
+#[cfg(all(unix, feature = "mmap"))]
+unsafe impl Sync for MmapSource {}
+
+#[cfg(all(unix, feature = "mmap"))]
+impl MmapSource {
+    /// Maps `path` read-only.
+    pub fn map(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        use std::os::unix::io::AsRawFd;
+        let path = path.as_ref();
+        let file =
+            File::open(path).map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StoreError::Io(format!("metadata: {e}")))?
+            .len() as usize;
+        if len == 0 {
+            // mmap(len = 0) is EINVAL; an empty store is representable as
+            // an empty (never dereferenced) mapping.
+            return Ok(Self {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: len > 0, the fd is valid for the duration of the call,
+        // and a MAP_FAILED return is checked before use. The fd may be
+        // closed after mmap returns; the mapping stays valid.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return Err(StoreError::Io(format!(
+                "mmap of {} ({len} bytes) failed",
+                path.display()
+            )));
+        }
+        Ok(Self { ptr, len })
+    }
+
+    fn slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr..ptr+len is a live PROT_READ mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+#[cfg(all(unix, feature = "mmap"))]
+impl Drop for MmapSource {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: the mapping was created by mmap with this exact
+            // length and is unmapped exactly once.
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, feature = "mmap"))]
+impl ByteSource for MmapSource {
+    fn len(&self) -> u64 {
+        self.len as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
+        check_range(offset, buf.len(), self.len as u64)?;
+        let lo = offset as usize;
+        buf.copy_from_slice(&self.slice()[lo..lo + buf.len()]);
+        Ok(())
+    }
+
+    fn as_slice(&self) -> Option<&[u8]> {
+        Some(self.slice())
+    }
+
+    fn bytes_read(&self) -> u64 {
+        // Demand paging makes true traffic unknowable from user space;
+        // report the mapped length (everything is addressable).
+        self.len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_source_reads_and_bounds_checks() {
+        let data: Vec<u8> = (0u8..64).collect();
+        let src = SliceSource::new(&data);
+        assert_eq!(src.len(), 64);
+        assert!(!src.is_empty());
+        assert_eq!(src.as_slice().unwrap(), &data[..]);
+        let mut buf = [0u8; 4];
+        src.read_at(10, &mut buf).unwrap();
+        assert_eq!(buf, [10, 11, 12, 13]);
+        assert_eq!(src.read_vec(62, 2).unwrap(), vec![62, 63]);
+        assert!(matches!(
+            src.read_at(62, &mut buf),
+            Err(StoreError::Truncated {
+                needed: 66,
+                have: 64
+            })
+        ));
+        assert!(matches!(
+            src.read_at(u64::MAX, &mut buf),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert_eq!(src.bytes_read(), 64, "slice sources are fully resident");
+        assert_eq!(src.read_calls(), 0);
+    }
+
+    #[cfg(unix)]
+    fn temp_file(name: &str, data: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "zmesh-source-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, data).unwrap();
+        path
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn file_source_reads_and_counts_traffic() {
+        let data: Vec<u8> = (0u8..128).collect();
+        let path = temp_file("file", &data);
+        let src = FileSource::open(&path).unwrap();
+        assert_eq!(src.len(), 128);
+        assert!(src.as_slice().is_none());
+        let mut buf = [0u8; 8];
+        src.read_at(64, &mut buf).unwrap();
+        assert_eq!(buf, [64, 65, 66, 67, 68, 69, 70, 71]);
+        assert_eq!(src.read_vec(0, 2).unwrap(), vec![0, 1]);
+        assert_eq!(src.bytes_read(), 10);
+        assert_eq!(src.read_calls(), 2);
+        // Out-of-range reads are typed, counted as no traffic.
+        assert!(matches!(
+            src.read_at(127, &mut buf),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert_eq!(src.bytes_read(), 10);
+        assert!(FileSource::open(path.with_extension("missing")).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(all(unix, feature = "mmap"))]
+    #[test]
+    fn mmap_source_matches_file_contents() {
+        let data: Vec<u8> = (0u8..255).collect();
+        let path = temp_file("mmap", &data);
+        let src = MmapSource::map(&path).unwrap();
+        assert_eq!(src.len(), 255);
+        assert_eq!(src.as_slice().unwrap(), &data[..]);
+        let mut buf = [0u8; 3];
+        src.read_at(100, &mut buf).unwrap();
+        assert_eq!(buf, [100, 101, 102]);
+        assert!(matches!(
+            src.read_at(254, &mut buf),
+            Err(StoreError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(all(unix, feature = "mmap"))]
+    #[test]
+    fn mmap_source_handles_empty_files() {
+        let path = temp_file("mmap-empty", &[]);
+        let src = MmapSource::map(&path).unwrap();
+        assert_eq!(src.len(), 0);
+        assert!(src.is_empty());
+        assert_eq!(src.as_slice().unwrap(), &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

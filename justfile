@@ -27,6 +27,15 @@ bench:
 scrub-smoke:
     bash scripts/scrub_smoke.sh
 
+# Ranged-read smoke: pack a multi-field store, query through the
+# file-backed path, assert bytes_read << file size and ranged ≡ in-memory.
+store-read-smoke:
+    bash scripts/store_read_smoke.sh
+
+# Ranged vs in-memory store read bench, with machine-readable medians.
+bench-store-read:
+    CRITERION_JSON=BENCH_store_read.json cargo bench -p zmesh-bench --bench store_read
+
 # Regenerate every reconstructed paper artifact.
 repro scale="small":
     cargo run --release -p zmesh-bench --bin repro_all -- --scale {{scale}}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Ranged-read smoke test: prove the CLI's file-backed store path actually
+# reads a small fraction of the file, and that it returns exactly what the
+# in-memory path returns.
+#
+#   generate (small) → pack with 1 KiB chunks (many chunks)
+#        → query a corner bbox through the default FileSource path
+#        → parse the "read N of M store bytes" accounting line
+#        → assert N << M and M == the file's size
+#        → rerun with --in-memory → identical CSV output
+#        → scrub reports bytes_read/store_bytes in its JSON
+#
+# Uses only the workspace `zmesh` CLI.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/zmesh_store_read_smoke.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT
+
+zmesh() { cargo run -q --release -p zmesh-cli --bin zmesh -- "$@"; }
+
+echo "==> pack a multi-field store with many chunks"
+zmesh generate blast2d -o "$workdir/data.zmd" --scale small
+zmesh pack "$workdir/data.zmd" -o "$workdir/data.zms" --chunk-kb 1
+
+file_bytes=$(wc -c <"$workdir/data.zms")
+
+echo "==> corner query through the default ranged (FileSource) path"
+zmesh query "$workdir/data.zms" --field density --bbox 0,0:3,3 \
+    -o "$workdir/ranged.csv" | tee "$workdir/query.out"
+read_bytes=$(sed -n 's/^read \([0-9]*\) of [0-9]* store bytes$/\1/p' "$workdir/query.out")
+total_bytes=$(sed -n 's/^read [0-9]* of \([0-9]*\) store bytes$/\1/p' "$workdir/query.out")
+if [ -z "$read_bytes" ] || [ -z "$total_bytes" ]; then
+    echo "store_read_smoke: no 'read N of M store bytes' line in query output" >&2
+    exit 1
+fi
+if [ "$total_bytes" -ne "$file_bytes" ]; then
+    echo "store_read_smoke: query reports $total_bytes store bytes, file has $file_bytes" >&2
+    exit 1
+fi
+# The corner query must touch well under half the file: the footer plus a
+# few coalesced chunk ranges. (The tighter 15% acceptance bound lives in
+# tests/ranged_read.rs, on a fixture whose header amortizes further.)
+if [ $((read_bytes * 2)) -ge "$total_bytes" ]; then
+    echo "store_read_smoke: ranged query read $read_bytes of $total_bytes bytes (not << file size)" >&2
+    exit 1
+fi
+echo "    ranged query read $read_bytes of $total_bytes bytes"
+
+echo "==> --in-memory query returns identical rows"
+zmesh query "$workdir/data.zms" --field density --bbox 0,0:3,3 \
+    --in-memory -o "$workdir/mem.csv" >/dev/null
+cmp "$workdir/ranged.csv" "$workdir/mem.csv"
+
+echo "==> scrub reports its read traffic in the JSON summary"
+zmesh scrub "$workdir/data.zms" >"$workdir/scrub.json"
+grep -q '"bytes_read":' "$workdir/scrub.json"
+grep -q '"store_bytes":' "$workdir/scrub.json"
+
+echo "store_read_smoke: all steps passed"

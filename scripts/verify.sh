@@ -33,6 +33,10 @@ step cargo test -q --release --workspace
 # Self-healing smoke: pack → inject fault → scrub → repair → bit-exact.
 step bash scripts/scrub_smoke.sh
 
+# Ranged-read smoke: pack a multi-field store, query it through the
+# file-backed path, assert bytes_read << file size and ranged ≡ in-memory.
+step bash scripts/store_read_smoke.sh
+
 # Formatting and lints, when the components exist.
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all --check

@@ -1,0 +1,312 @@
+//! Ranged-read equivalence and traffic suite: every [`ByteSource`]
+//! implementation must be observationally identical to the in-memory
+//! slice reader, and the ranged reader must actually *be* ranged — a
+//! small-bbox query on a file-backed store may only touch the footer and
+//! the coalesced chunk ranges it selects, not the whole file.
+//!
+//! The contract under test:
+//!
+//! * **Acceptance:** a bbox query selecting ≤ 5 % of a field's chunks on a
+//!   `FileSource`-opened store reads ≤ 15 % of the file's bytes (counted
+//!   by `read_exact_at` traffic), and the decoded values are bit-identical
+//!   to the in-memory reader's.
+//! * **Equivalence:** across v2/v3/v4 stores, Strict/Salvage policies,
+//!   chunk bit-flips, random corruption, and torn tails, `FileSource` and
+//!   `MmapSource` readers return exactly the slice reader's results —
+//!   the same `Ok` values bit for bit, the same `DamageReport`s, and the
+//!   same `StoreError` variants on failure.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::ErrorControl;
+use zmesh_suite::prelude::*;
+use zmesh_suite::store::{
+    faultinject, ByteSource, FileSource, MmapSource, SliceSource, StoreReader,
+};
+
+fn config() -> CompressionConfig {
+    CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    }
+}
+
+fn refs(ds: &datasets::Dataset) -> Vec<(&str, &AmrField)> {
+    ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect()
+}
+
+fn write_fixture(ds: &datasets::Dataset, chunk_bytes: u32, parity: Parity) -> Vec<u8> {
+    StoreWriter::with_options(
+        config(),
+        StoreWriteOptions {
+            chunk_target_bytes: chunk_bytes,
+            parity,
+        },
+    )
+    .write(&refs(ds))
+    .expect("write fixture")
+    .bytes
+}
+
+/// Writes `bytes` to a fresh temp file and returns its path. Each call
+/// gets a distinct name so concurrent tests never collide.
+fn temp_store(bytes: &[u8]) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("zmesh_ranged_read_{}_{n}.zms", std::process::id()));
+    std::fs::write(&path, bytes).expect("write temp store");
+    path
+}
+
+/// Acceptance: footer-only open plus a corner query that selects ≤ 5 % of
+/// the field's chunks must read ≤ 15 % of the file, byte-identically to
+/// the in-memory reader.
+#[test]
+fn small_bbox_query_reads_small_fraction_of_file() {
+    // A multi-field store: replicating the physical fields under distinct
+    // names multiplies the payload while the tree structure (stored once
+    // in the header) stays fixed, as in a real many-quantity dump. The
+    // acceptance ratio is then governed by the footer + selected chunks,
+    // not by the header amortization of a toy store.
+    let ds = datasets::blast2d(StorageMode::AllCells, Scale::Small);
+    let named: Vec<(String, &AmrField)> = (0..6)
+        .flat_map(|rep| {
+            ds.fields
+                .iter()
+                .map(move |(n, f)| (format!("{n}_{rep}"), f))
+        })
+        .collect();
+    let fields: Vec<(&str, &AmrField)> = named.iter().map(|(n, f)| (n.as_str(), *f)).collect();
+    let bytes = StoreWriter::with_options(
+        config(),
+        StoreWriteOptions {
+            chunk_target_bytes: 1024,
+            parity: Parity::Xor { width: 8 },
+        },
+    )
+    .write(&fields)
+    .expect("write fixture")
+    .bytes;
+    let path = temp_store(&bytes);
+
+    let mem_reader = StoreReader::open(&bytes).expect("open in-memory");
+    let side = mem_reader.tree().level_dims(mem_reader.tree().max_level())[0] as u32;
+    let corner = (side / 16).max(1);
+    let q = Query::bbox([0, 0, 0], [corner - 1, corner - 1, 0]);
+    let mem = mem_reader.query("density_0", &q).expect("in-memory query");
+    assert!(
+        mem.chunks_total >= 20,
+        "fixture too coarse: {} chunks",
+        mem.chunks_total
+    );
+    assert!(
+        mem.chunks_decoded * 20 <= mem.chunks_total,
+        "query must select ≤ 5% of chunks, got {}/{}",
+        mem.chunks_decoded,
+        mem.chunks_total
+    );
+
+    let reader =
+        StoreReader::open_source(FileSource::open(&path).expect("open file")).expect("open ranged");
+    let ranged = reader.query("density_0", &q).expect("ranged query");
+
+    // Result-identical to the in-memory reader, bit for bit.
+    assert_eq!(ranged.storage_indices, mem.storage_indices);
+    assert_eq!(ranged.values.len(), mem.values.len());
+    for (a, b) in ranged.values.iter().zip(&mem.values) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(ranged.chunks_decoded, mem.chunks_decoded);
+    assert_eq!(ranged.chunks_total, mem.chunks_total);
+
+    // Traffic: open (commit record + trailer + header + footer) plus the
+    // coalesced chunk ranges — far below the file size.
+    let total = bytes.len() as u64;
+    let read = reader.bytes_read();
+    assert!(
+        read * 100 <= total * 15,
+        "ranged query read {read} of {total} bytes (> 15%)"
+    );
+    assert!(reader.source().read_calls() > 0, "no positioned reads seen");
+
+    let _ = std::fs::remove_file(path);
+}
+
+/// A full decode through the ranged reader pays the whole payload but
+/// still matches the in-memory decode bit for bit — the prefetch pipeline
+/// must not reorder, drop, or duplicate chunks.
+#[test]
+fn full_decode_matches_in_memory_bit_for_bit() {
+    let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+    for parity in [
+        Parity::None,
+        Parity::Xor { width: 4 },
+        Parity::Rs { data: 3, parity: 2 },
+    ] {
+        let bytes = write_fixture(&ds, 1024, parity);
+        let path = temp_store(&bytes);
+        let mem_reader = StoreReader::open(&bytes).expect("open in-memory");
+        let ranged_reader = StoreReader::open_source(FileSource::open(&path).expect("open file"))
+            .expect("open ranged");
+        for name in mem_reader.field_names() {
+            let mem = mem_reader.decode_field(name).expect("in-memory decode");
+            let ranged = ranged_reader.decode_field(name).expect("ranged decode");
+            assert_eq!(mem.len(), ranged.len(), "{name}: length mismatch");
+            for (a, b) in mem.values().iter().zip(ranged.values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}: value mismatch");
+            }
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Fixture stores for the equivalence property: one per format version.
+fn equivalence_fixtures() -> &'static [Vec<u8>; 3] {
+    static FIXTURES: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+        [
+            write_fixture(&ds, 1024, Parity::None),             // v2
+            write_fixture(&ds, 1024, Parity::Xor { width: 4 }), // v3
+            write_fixture(&ds, 1024, Parity::Rs { data: 3, parity: 2 }), // v4
+        ]
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Damage {
+    None,
+    FlipChunk { chunk: usize },
+    RandomFlips { seed: u64, count: usize },
+    Torn { frac: f64 },
+}
+
+fn damage_strategy() -> impl Strategy<Value = Damage> {
+    prop_oneof![
+        Just(Damage::None),
+        (0usize..64).prop_map(|chunk| Damage::FlipChunk { chunk }),
+        (any::<u64>(), 1usize..4).prop_map(|(seed, count)| Damage::RandomFlips { seed, count }),
+        (0.0f64..1.0).prop_map(|frac| Damage::Torn { frac }),
+    ]
+}
+
+/// Everything observable about one field decode, in comparable form.
+type DecodeObservation = Result<(Vec<u64>, zmesh_suite::store::DamageReport), StoreError>;
+
+fn observe_decode<S: ByteSource>(reader: &StoreReader<S>, name: &str) -> DecodeObservation {
+    reader
+        .decode_field_with_report(name)
+        .map(|(field, report)| {
+            let bits = field.values().iter().map(|v| v.to_bits()).collect();
+            (bits, report)
+        })
+}
+
+/// Opens all three sources over the same damaged bytes and asserts the
+/// slice reader's behavior is reproduced exactly: open errors, per-field
+/// decode results and damage reports, and a region query.
+fn assert_sources_equivalent(bytes: &[u8], salvage: bool) -> Result<(), TestCaseError> {
+    let path = temp_store(bytes);
+    let policy = if salvage {
+        ReadPolicy::salvage()
+    } else {
+        ReadPolicy::Strict
+    };
+
+    let slice = StoreReader::open_source(SliceSource::new(bytes));
+    let file = StoreReader::open_source(FileSource::open(&path).expect("open temp file"));
+    let mmap = StoreReader::open_source(MmapSource::map(&path).expect("map temp file"));
+
+    match (slice, file, mmap) {
+        (Err(se), fi, mm) => {
+            prop_assert_eq!(
+                Some(&se),
+                fi.as_ref().err(),
+                "FileSource open error differs"
+            );
+            prop_assert_eq!(
+                Some(&se),
+                mm.as_ref().err(),
+                "MmapSource open error differs"
+            );
+        }
+        (Ok(slice), Ok(file), Ok(mmap)) => {
+            let slice = slice.with_read_policy(policy);
+            let file = file.with_read_policy(policy);
+            let mmap = mmap.with_read_policy(policy);
+            let names: Vec<String> = slice.field_names().iter().map(|s| s.to_string()).collect();
+            for name in &names {
+                let want = observe_decode(&slice, name);
+                prop_assert_eq!(&want, &observe_decode(&file, name), "FileSource: {}", name);
+                prop_assert_eq!(&want, &observe_decode(&mmap, name), "MmapSource: {}", name);
+            }
+            let side = slice.tree().level_dims(slice.tree().max_level())[0] as u32;
+            let q = Query::bbox([0, 0, 0], [(side / 2).max(1) - 1, side - 1, 0]);
+            fn observe_query<S: ByteSource>(
+                reader: &StoreReader<S>,
+                name: &str,
+                q: &Query,
+            ) -> Result<(Vec<u64>, Vec<u32>, usize, zmesh_suite::store::DamageReport), StoreError>
+            {
+                reader.query(name, q).map(|res| {
+                    let bits: Vec<u64> = res.values.iter().map(|v| v.to_bits()).collect();
+                    (bits, res.storage_indices, res.chunks_decoded, res.damage)
+                })
+            }
+            let want = observe_query(&slice, &names[0], &q);
+            let got_file = observe_query(&file, &names[0], &q);
+            let got_mmap = observe_query(&mmap, &names[0], &q);
+            prop_assert_eq!(&want, &got_file, "FileSource query differs");
+            prop_assert_eq!(&want, &got_mmap, "MmapSource query differs");
+        }
+        (slice, file, mmap) => {
+            let summary = (
+                slice.as_ref().err().cloned(),
+                file.as_ref().err().cloned(),
+                mmap.as_ref().err().cloned(),
+            );
+            prop_assert!(false, "open outcomes disagree: {summary:?}");
+        }
+    }
+
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Every (format version, damage pattern, read policy) triple behaves
+    // identically through all three byte sources.
+    #[test]
+    fn sources_are_result_identical(
+        version in 0usize..3,
+        damage in damage_strategy(),
+        salvage in any::<bool>(),
+    ) {
+        let pristine = &equivalence_fixtures()[version];
+        let mut bytes = pristine.clone();
+        match damage {
+            Damage::None => {}
+            Damage::FlipChunk { chunk } => {
+                let (_, fields, _) = zmesh_suite::store::open_parts(&bytes).expect("open");
+                let n = fields[0].chunks.len();
+                faultinject::flip_data_chunk(&mut bytes, 0, chunk % n);
+            }
+            Damage::RandomFlips { seed, count } => {
+                faultinject::random_flips(&mut bytes, seed, count);
+            }
+            Damage::Torn { frac } => {
+                let cut = ((bytes.len() as f64) * frac) as usize;
+                bytes = faultinject::torn_at(&bytes, cut.max(1));
+            }
+        }
+        assert_sources_equivalent(&bytes, salvage)?;
+    }
+}

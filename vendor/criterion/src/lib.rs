@@ -10,11 +10,62 @@
 //! stdout. There is no statistical analysis, HTML report, or baseline
 //! comparison.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier (re-export of `std::hint::black_box`).
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// One completed benchmark, kept for machine-readable emission.
+struct BenchRecord {
+    label: String,
+    median_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+fn records() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Writes every benchmark result recorded so far to the path named by the
+/// `CRITERION_JSON` environment variable, as a single JSON object. A no-op
+/// when the variable is unset. `criterion_main!` calls this after all
+/// groups finish, so harness scripts get machine-readable medians without
+/// scraping stdout.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let records = records().lock().unwrap_or_else(|e| e.into_inner());
+    let mut json = String::from("{\"results\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let (tp_kind, tp_amount, rate) = match r.throughput {
+            Some(Throughput::Bytes(b)) => (
+                "\"bytes\"",
+                b as f64,
+                b as f64 / (r.median_ns / 1e9) / (1024.0 * 1024.0),
+            ),
+            Some(Throughput::Elements(n)) => {
+                ("\"elements\"", n as f64, n as f64 / (r.median_ns / 1e9))
+            }
+            None => ("null", 0.0, 0.0),
+        };
+        json.push_str(&format!(
+            "{{\"label\":{:?},\"median_ns\":{:.1},\"throughput_kind\":{tp_kind},\
+             \"throughput_per_iter\":{tp_amount},\"rate_per_s\":{rate:.3}}}",
+            r.label, r.median_ns,
+        ));
+    }
+    json.push_str("]}");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
 }
 
 /// Work per iteration, used to derive throughput from iteration time.
@@ -152,6 +203,14 @@ fn run_benchmark<F>(
     }
     bencher.samples.sort_unstable();
     let median = bencher.samples[bencher.samples.len() / 2];
+    records()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchRecord {
+            label: label.to_string(),
+            median_ns: median.as_nanos() as f64,
+            throughput,
+        });
     let rate = match throughput {
         Some(Throughput::Bytes(b)) => format!(
             " ({:.1} MB/s)",
@@ -176,12 +235,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running each listed group.
+/// Declares `main` running each listed group, then emitting the JSON
+/// results file when `CRITERION_JSON` names one.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_if_requested();
         }
     };
 }
@@ -207,5 +268,18 @@ mod tests {
         });
         g.finish();
         assert!(calls > 0);
+
+        // With CRITERION_JSON set, the recorded results land on disk as
+        // one JSON object (shares the test process, so run in sequence).
+        let path = std::env::temp_dir().join(format!("criterion_shim_{}.json", std::process::id()));
+        std::env::set_var("CRITERION_JSON", &path);
+        write_json_if_requested();
+        std::env::remove_var("CRITERION_JSON");
+        let json = std::fs::read_to_string(&path).expect("json written");
+        assert!(
+            json.starts_with("{\"results\":[") && json.contains("\"shim/noop\""),
+            "unexpected json: {json}"
+        );
+        let _ = std::fs::remove_file(path);
     }
 }
