@@ -507,8 +507,9 @@ pub fn repair(argv: &[String]) -> Result<(), CliError> {
 
 /// Prints a repair outcome (shared between the ranged and in-memory
 /// paths), writes the healed store when complete, and maps losses to the
-/// corrupt exit code. A machine-readable summary line on stdout carries
-/// the read-traffic accounting alongside the repair counts.
+/// corrupt exit code. The machine-readable summary line goes to stderr
+/// with the rest of the progress chatter, keeping stdout reserved for
+/// command output.
 fn report_repair(outcome: RepairOutcome, had_sources: bool, out: &str) -> Result<(), CliError> {
     for r in &outcome.repaired {
         println!(
@@ -525,7 +526,7 @@ fn report_repair(outcome: RepairOutcome, had_sources: bool, out: &str) -> Result
     if outcome.parity_rebuilt > 0 {
         println!("rebuilt {} parity chunk(s)", outcome.parity_rebuilt);
     }
-    println!(
+    eprintln!(
         "{{\"repaired\":{},\"lost\":{},\"parity_rebuilt\":{},\"bytes_read\":{}}}",
         outcome.repaired.len(),
         outcome.lost.len(),
@@ -617,7 +618,7 @@ fn parse_bbox(spec: &str) -> Result<([u32; 3], [u32; 3]), CliError> {
 /// read decoding only the overlapping chunks. With `--salvage`, corrupt
 /// chunks are dropped from the result and summarized on stderr instead of
 /// failing. By default only the footer and the selected chunk ranges are
-/// read from the file (reported as `read N of M store bytes`);
+/// read from the file (reported as `read N of M store bytes` on stderr);
 /// `--in-memory` loads the whole store first.
 pub fn query(argv: &[String]) -> Result<(), CliError> {
     let args =
@@ -656,7 +657,9 @@ fn query_reader<S: ByteSource>(
     }
     let result = reader.query(name, q)?;
     print_damage(&result.damage);
-    println!(
+    // Accounting is diagnostics, not command output: stderr, so scripts
+    // can parse stdout (and the CSV) without filtering.
+    eprintln!(
         "read {} of {} store bytes",
         reader.bytes_read(),
         reader.source().len()
@@ -688,14 +691,33 @@ fn query_reader<S: ByteSource>(
     Ok(())
 }
 
+/// Runs the same corner query twice through a reader wired to a fresh
+/// decoded-chunk cache: the first pass misses, the second hits, so the
+/// printed counters demonstrate the LRU is live over this store.
+fn exercise_chunk_cache<S: ByteSource>(
+    reader: StoreReader<S>,
+) -> Result<zmesh_store::ChunkCacheStats, CliError> {
+    let cache = std::sync::Arc::new(zmesh_store::ChunkCache::new(8 << 20));
+    let reader = reader.with_chunk_cache(std::sync::Arc::clone(&cache), 0);
+    if let Some(name) = reader.field_names().first().map(|s| s.to_string()) {
+        let q = Query::bbox([0, 0, 0], [3, 3, 0]);
+        for _ in 0..2 {
+            reader.query(&name, &q)?;
+        }
+    }
+    Ok(cache.stats())
+}
+
 /// Prints the store summary for `info`, shared between the ranged and
 /// in-memory paths. `reopen` opens the store a second time through the
-/// same cache when `--stats` asks for the counters.
+/// same cache when `--stats` asks for the counters; `chunk_probe` opens
+/// a chunk-cache-wired reader and reports its counters.
 fn info_store<S: ByteSource>(
     reader: &StoreReader<S>,
     cache: &RecipeCache,
     args: &Args,
     reopen: impl FnOnce(&RecipeCache) -> Result<(), CliError>,
+    chunk_probe: impl FnOnce() -> Result<zmesh_store::ChunkCacheStats, CliError>,
 ) -> Result<(), CliError> {
     let h = reader.header();
     let tree = reader.tree();
@@ -745,6 +767,11 @@ fn info_store<S: ByteSource>(
             "  recipe cache: {} hit(s), {} miss(es), {} collision(s), {} poison recovery(ies), {} entry(ies)",
             s.hits, s.misses, s.collisions, s.poison_recoveries, s.entries
         );
+        let chunk = chunk_probe()?;
+        println!(
+            "  decoded-chunk LRU: {} hit(s), {} miss(es), {} eviction(s), {} coalesced, {} entry(ies), {} bytes",
+            chunk.hits, chunk.misses, chunk.evictions, chunk.coalesced, chunk.entries, chunk.bytes
+        );
     }
     Ok(())
 }
@@ -764,22 +791,39 @@ pub fn info(argv: &[String]) -> Result<(), CliError> {
         if zmesh_store::is_store(&head) {
             let cache = RecipeCache::new();
             let reader = StoreReader::open_source_with_cache(src, &cache)?;
-            return info_store(&reader, &cache, &args, |c| {
-                StoreReader::open_source_with_cache(ranged_source(input)?, c)
-                    .map(|_| ())
-                    .map_err(CliError::from)
-            });
+            return info_store(
+                &reader,
+                &cache,
+                &args,
+                |c| {
+                    StoreReader::open_source_with_cache(ranged_source(input)?, c)
+                        .map(|_| ())
+                        .map_err(CliError::from)
+                },
+                || {
+                    exercise_chunk_cache(StoreReader::open_source_with_cache(
+                        ranged_source(input)?,
+                        &cache,
+                    )?)
+                },
+            );
         }
     }
     let bytes = read_file(input)?;
     if zmesh_store::is_store(&bytes) {
         let cache = RecipeCache::new();
         let reader = StoreReader::open_with_cache(&bytes, &cache)?;
-        info_store(&reader, &cache, &args, |c| {
-            StoreReader::open_with_cache(&bytes, c)
-                .map(|_| ())
-                .map_err(CliError::from)
-        })?;
+        info_store(
+            &reader,
+            &cache,
+            &args,
+            |c| {
+                StoreReader::open_with_cache(&bytes, c)
+                    .map(|_| ())
+                    .map_err(CliError::from)
+            },
+            || exercise_chunk_cache(StoreReader::open_with_cache(&bytes, &cache)?),
+        )?;
     } else if bytes.starts_with(zmesh::CONTAINER_MAGIC) {
         let header = zmesh::ContainerHeader::parse(&bytes)?;
         println!(
@@ -853,4 +897,190 @@ pub fn verify(argv: &[String]) -> Result<(), CliError> {
     } else {
         Err(CliError::Verify("verification failed".into()))
     }
+}
+
+/// A positive-integer option.
+#[cfg(unix)]
+fn parse_count(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
+    args.option(name)
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| CliError::Usage(format!("--{name}: want a positive integer: {v}")))
+        })
+        .transpose()
+}
+
+/// `zmesh serve <dir> [--addr host:port] [--workers N] [--queue N]
+/// [--cache-mb N]` — resident query daemon over every `*.zms` under
+/// `<dir>`. Prints the bound address on stdout (`--addr 127.0.0.1:0`
+/// picks an ephemeral port), then serves until SIGTERM/SIGINT, draining
+/// in-flight requests before exiting 0. Endpoints: `/healthz`,
+/// `/metrics`, `/catalog[?refresh=1]`, `/stores/{id}/info`,
+/// `/stores/{id}/query`.
+#[cfg(unix)]
+pub fn serve(argv: &[String]) -> Result<(), CliError> {
+    use std::io::Write as _;
+
+    let args = parse(argv)?;
+    let dir = positional(&args, 0, "store directory")?;
+    let mut opts = zmesh_serve::ServeOptions::default();
+    if let Some(addr) = args.option("addr") {
+        opts.addr = addr.to_string();
+    }
+    if let Some(workers) = parse_count(&args, "workers")? {
+        opts.workers = workers;
+    }
+    if let Some(queue) = parse_count(&args, "queue")? {
+        opts.queue_depth = queue;
+    }
+    if let Some(mb) = parse_count(&args, "cache-mb")? {
+        opts.cache_bytes = (mb as u64) << 20;
+    }
+    let server = zmesh_serve::Server::bind(dir, opts).map_err(|e| CliError::Io(e.to_string()))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    let catalog = server.catalog();
+    // The listen line is the machine-readable contract (scripts parse the
+    // port from it); flush so it is visible before the blocking run loop.
+    println!("listening on http://{addr} ({} stores)", catalog.len());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    zmesh_serve::install_signal_handlers();
+    server.run().map_err(|e| CliError::Io(e.to_string()))?;
+    eprintln!("serve: drained in-flight requests, shutting down");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+pub fn serve(_argv: &[String]) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "serve requires a unix platform (ranged FileSource reads)".into(),
+    ))
+}
+
+/// Removes the ephemeral bench catalog on exit.
+#[cfg(unix)]
+struct TempCatalog(std::path::PathBuf);
+
+#[cfg(unix)]
+impl Drop for TempCatalog {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// `zmesh bench-serve [dir] [--clients N] [--requests N] [--workers N]
+/// [--zipf S] [--seed N] [--cache-mb N] [-o out.json]` — traffic
+/// generator against an in-process daemon on an ephemeral port. Without
+/// `dir`, packs a disposable three-store catalog first. Writes the
+/// latency/QPS/cache report as JSON (default `BENCH_serve.json`, or
+/// `$BENCH_SERVE_JSON`) in the same `{"results":[...]}` dialect the
+/// criterion benches emit via `CRITERION_JSON`.
+#[cfg(unix)]
+pub fn bench_serve(argv: &[String]) -> Result<(), CliError> {
+    let args = parse(argv)?;
+    let mut opts = zmesh_serve::BenchOptions::default();
+    if let Some(clients) = parse_count(&args, "clients")? {
+        opts.clients = clients;
+    }
+    if let Some(requests) = parse_count(&args, "requests")? {
+        opts.requests = requests;
+    }
+    if let Some(workers) = parse_count(&args, "workers")? {
+        opts.workers = workers;
+    }
+    if let Some(s) = args.float("zipf").map_err(CliError::Usage)? {
+        if s <= 0.0 || s.is_nan() {
+            return Err(CliError::Usage(format!("--zipf: want s > 0, got {s}")));
+        }
+        opts.zipf_s = s;
+    }
+    if let Some(seed) = args.option("seed") {
+        opts.seed = seed
+            .parse::<u64>()
+            .map_err(|_| CliError::Usage(format!("--seed: not an integer: {seed}")))?;
+    }
+    if let Some(mb) = parse_count(&args, "cache-mb")? {
+        opts.cache_bytes = (mb as u64) << 20;
+    }
+
+    // Bench the given catalog, or pack a disposable one.
+    let (dir, _cleanup) = match args.positional(0, "dir") {
+        Ok(dir) => (std::path::PathBuf::from(dir), None),
+        Err(_) => {
+            let dir =
+                std::env::temp_dir().join(format!("zmesh_bench_serve_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).map_err(|e| CliError::Io(e.to_string()))?;
+            for preset in ["blast2d", "front2d", "advect2d"] {
+                let ds = datasets::by_name(preset, StorageMode::AllCells, Scale::Tiny)
+                    .expect("built-in preset");
+                let fields: Vec<(&str, &AmrField)> =
+                    ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+                // Small chunks so every query touches several of them —
+                // the cache and coalescing paths get real work.
+                let out = StoreWriter::new(CompressionConfig::zmesh_default())
+                    .with_chunk_target_bytes(2048)
+                    .write(&fields)?;
+                zmesh_store::persist(&out.bytes, &dir.join(format!("{preset}.zms")))
+                    .map_err(|e| CliError::Io(e.to_string()))?;
+            }
+            (dir.clone(), Some(TempCatalog(dir)))
+        }
+    };
+
+    let report = zmesh_serve::bench::run(&dir, &opts).map_err(|e| CliError::Io(e.to_string()))?;
+    let out = args
+        .option("output")
+        .map(String::from)
+        .or_else(|| std::env::var("BENCH_SERVE_JSON").ok())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    write_file(&out, report.to_json().as_bytes())?;
+
+    let us = |ns: u64| ns as f64 / 1000.0;
+    println!(
+        "bench-serve: {} clients x {} requests over {} store(s), {} workers",
+        report.clients, report.requests_per_client, report.stores, opts.workers
+    );
+    for (label, p) in [("cold", &report.cold), ("warm", &report.warm)] {
+        println!(
+            "  {label}: p50 {:.1}us p95 {:.1}us p99 {:.1}us ({} queries, {} errors)",
+            us(p.p50_ns),
+            us(p.p95_ns),
+            us(p.p99_ns),
+            p.count,
+            p.errors,
+        );
+    }
+    println!(
+        "  mixed: p50 {:.1}us p95 {:.1}us p99 {:.1}us, {:.0} req/s ({} requests, {} errors)",
+        us(report.mixed.p50_ns),
+        us(report.mixed.p95_ns),
+        us(report.mixed.p99_ns),
+        report.mixed.qps(),
+        report.mixed.count,
+        report.mixed.errors,
+    );
+    println!(
+        "  chunk cache: {} hit(s) / {} miss(es), {} eviction(s), {} coalesced; recipe cache: {} hit(s) / {} miss(es)",
+        report.chunk_cache.hits,
+        report.chunk_cache.misses,
+        report.chunk_cache.evictions,
+        report.chunk_cache.coalesced,
+        report.recipe_cache.hits,
+        report.recipe_cache.misses,
+    );
+    println!("wrote {out}");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+pub fn bench_serve(_argv: &[String]) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "bench-serve requires a unix platform (ranged FileSource reads)".into(),
+    ))
 }

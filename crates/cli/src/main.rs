@@ -54,6 +54,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "repair" => commands::repair(rest),
         "info" => commands::info(rest),
         "verify" => commands::verify(rest),
+        "serve" => commands::serve(rest),
+        "bench-serve" => commands::bench_serve(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -80,7 +82,10 @@ fn print_usage() {
          \x20 zmesh scrub data.zms\n\
          \x20 zmesh repair data.zms -o repaired.zms [--replica copy.zms] [--from-raw data.zmd]\n\
          \x20 zmesh info <file.zmd | file.zmc | file.zms> [--stats]\n\
-         \x20 zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]\n\n\
+         \x20 zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]\n\
+         \x20 zmesh serve <dir> [--addr 127.0.0.1:0] [--workers 4] [--queue 64] [--cache-mb 64]\n\
+         \x20 zmesh bench-serve [dir] [--clients 4] [--requests 200] [--workers 4] [--zipf 1.1]\n\
+         \x20                        [--seed N] [--cache-mb 64] [-o BENCH_serve.json]\n\n\
          exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt input, 5 verify failure, 6 recoverable damage, 7 torn store\n\
          presets: {}",
         zmesh_amr::datasets::names().join(", ")

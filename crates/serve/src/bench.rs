@@ -1,0 +1,438 @@
+//! `bench-serve`: a closed-loop traffic generator against an in-process
+//! daemon.
+//!
+//! Spins a [`Server`] on an ephemeral port, then drives it with N client
+//! threads issuing a mixed workload (queries, info, catalog, health)
+//! whose store and bbox choices are zipf-skewed — a few hot stores and
+//! regions absorb most traffic, the realistic shape for a cache to earn
+//! its keep against. Three phases are measured separately:
+//!
+//! * **cold** — every distinct `(store, bbox)` query once, serially,
+//!   against empty caches (every chunk decode is a miss);
+//! * **warm** — the identical serial pass again, now riding the
+//!   decoded-chunk LRU: the p50 delta against cold isolates the cache,
+//!   with no concurrency noise in either measurement;
+//! * **mixed** — the concurrent zipf-skewed mix (queries + info +
+//!   catalog + health) that produces the QPS and tail-latency numbers.
+//!
+//! The report carries QPS, p50/p95/p99 latencies per phase, error
+//! counts, and both cache hit rates, and serializes to the same
+//! `{"results":[...]}` JSON dialect the vendored criterion shim emits
+//! (`CRITERION_JSON`), so downstream tooling parses one format.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::server::{ServeOptions, Server};
+
+/// Traffic-generator knobs.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues in the warm phase.
+    pub requests: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Zipf skew exponent for store/bbox selection (larger = hotter head).
+    pub zipf_s: f64,
+    /// Deterministic workload seed.
+    pub seed: u64,
+    /// Decoded-chunk LRU budget for the server under test.
+    pub cache_bytes: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests: 200,
+            workers: 4,
+            zipf_s: 1.1,
+            seed: 0x5eed_cafe,
+            cache_bytes: crate::catalog::DEFAULT_CACHE_BYTES,
+        }
+    }
+}
+
+/// Latency digest for one phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStats {
+    /// Requests measured.
+    pub count: usize,
+    /// Requests that failed (transport error or non-2xx status).
+    pub errors: usize,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 95th-percentile latency.
+    pub p95_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Phase wall time.
+    pub wall: Duration,
+}
+
+impl PhaseStats {
+    /// Requests per second over the phase wall time.
+    pub fn qps(&self) -> f64 {
+        if self.wall.as_secs_f64() > 0.0 {
+            self.count as f64 / self.wall.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    fn from_latencies(mut ns: Vec<u64>, errors: usize, wall: Duration) -> Self {
+        ns.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if ns.is_empty() {
+                return 0;
+            }
+            let idx = ((p / 100.0) * (ns.len() - 1) as f64).round() as usize;
+            ns[idx.min(ns.len() - 1)]
+        };
+        Self {
+            count: ns.len(),
+            errors,
+            p50_ns: pct(50.0),
+            p95_ns: pct(95.0),
+            p99_ns: pct(99.0),
+            wall,
+        }
+    }
+}
+
+/// Everything `bench-serve` measured.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Serial first-touch queries against cold caches.
+    pub cold: PhaseStats,
+    /// The same serial queries repeated against warm caches.
+    pub warm: PhaseStats,
+    /// Concurrent zipf-skewed mixed workload.
+    pub mixed: PhaseStats,
+    /// Client threads used.
+    pub clients: usize,
+    /// Warm-phase requests per client.
+    pub requests_per_client: usize,
+    /// Decoded-chunk cache counters after the run.
+    pub chunk_cache: zmesh_store::ChunkCacheStats,
+    /// Recipe cache counters after the run.
+    pub recipe_cache: zmesh_store::CacheStats,
+    /// Stores in the benched catalog.
+    pub stores: usize,
+}
+
+impl BenchReport {
+    /// Serializes in the vendored-criterion `CRITERION_JSON` dialect: a
+    /// `results` array of labeled medians, plus serve-specific fields.
+    pub fn to_json(&self) -> String {
+        let phase = |label: &str, p: &PhaseStats, rate: bool| {
+            format!(
+                "{{\"label\":\"{label}\",\"median_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+                 \"count\":{},\"errors\":{}{}}}",
+                p.p50_ns,
+                p.p95_ns,
+                p.p99_ns,
+                p.count,
+                p.errors,
+                if rate {
+                    format!(",\"rate_per_s\":{:.3}", p.qps())
+                } else {
+                    String::new()
+                },
+            )
+        };
+        let c = &self.chunk_cache;
+        let r = &self.recipe_cache;
+        format!(
+            "{{\"results\":[{},{},{}],\"clients\":{},\"requests_per_client\":{},\"stores\":{},\
+             \"qps\":{:.3},\"total_errors\":{},\
+             \"chunk_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"coalesced\":{}}},\
+             \"recipe_cache\":{{\"hits\":{},\"misses\":{}}}}}",
+            phase("serve/query_cold", &self.cold, false),
+            phase("serve/query_warm", &self.warm, false),
+            phase("serve/mixed_zipf", &self.mixed, true),
+            self.clients,
+            self.requests_per_client,
+            self.stores,
+            self.mixed.qps(),
+            self.cold.errors + self.warm.errors + self.mixed.errors,
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.coalesced,
+            r.hits,
+            r.misses,
+        )
+    }
+}
+
+/// Zipf(s) sampler over ranks `0..n` via a precomputed harmonic CDF and
+/// binary search on a uniform draw.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over an empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a rank; rank 0 is the hottest.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One blocking `GET` with `Connection: close`; returns status and body.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: zmesh\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+        })?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 headers"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "unparseable status line")
+        })?;
+    Ok((status, raw[header_end + 4..].to_vec()))
+}
+
+/// Query-region pool: modest corner/interior boxes valid for any preset
+/// (a box past the mesh edge just selects fewer cells).
+const BBOXES: [&str; 8] = [
+    "0,0:3,3",
+    "0,0:7,7",
+    "2,2:9,9",
+    "4,4:11,11",
+    "0,0:15,15",
+    "8,8:15,15",
+    "1,1:6,6",
+    "3,0:12,7",
+];
+
+/// Runs the full benchmark against the stores in `dir`. Returns the
+/// report; the caller decides where the JSON goes.
+pub fn run(dir: &Path, opts: &BenchOptions) -> std::io::Result<BenchReport> {
+    let server = Server::bind(
+        dir,
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: opts.workers,
+            queue_depth: (opts.clients * 4).max(64),
+            cache_bytes: opts.cache_bytes,
+        },
+    )?;
+    let catalog = server.catalog();
+    let targets: Vec<(String, String)> = catalog
+        .entries()
+        .iter()
+        .filter_map(|e| {
+            let opened = e.store.as_ref().ok()?;
+            let field = opened.reader.field_names().first()?.to_string();
+            Some((e.id.clone(), field))
+        })
+        .collect();
+    if targets.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("no readable stores under {}", dir.display()),
+        ));
+    }
+    let addr = server.local_addr()?.to_string();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let query_path = |t: &(String, String), bbox: &str| {
+        format!(
+            "/stores/{}/query?field={}&bbox={}&format=frames",
+            t.0, t.1, bbox
+        )
+    };
+
+    // One serial pass over every (store, bbox). Run twice: the first
+    // pass decodes every chunk (cold), the second rides the LRU (warm).
+    // Identical request streams, so the p50 delta is the cache.
+    let serial_pass = || {
+        let start = Instant::now();
+        let mut latencies = Vec::new();
+        let mut errors = 0;
+        for target in &targets {
+            for bbox in BBOXES {
+                let t0 = Instant::now();
+                match http_get(&addr, &query_path(target, bbox)) {
+                    Ok((200, _)) => latencies.push(t0.elapsed().as_nanos() as u64),
+                    Ok(_) | Err(_) => errors += 1,
+                }
+            }
+        }
+        PhaseStats::from_latencies(latencies, errors, start.elapsed())
+    };
+    let cold = serial_pass();
+    let warm = serial_pass();
+
+    // Mixed: concurrent zipf-skewed mix over the now-primed working set.
+    let store_zipf = Arc::new(Zipf::new(targets.len(), opts.zipf_s));
+    let bbox_zipf = Arc::new(Zipf::new(BBOXES.len(), opts.zipf_s));
+    let targets = Arc::new(targets);
+    let mixed_start = Instant::now();
+    let mut clients = Vec::new();
+    for client in 0..opts.clients.max(1) {
+        let addr = addr.clone();
+        let targets = Arc::clone(&targets);
+        let store_zipf = Arc::clone(&store_zipf);
+        let bbox_zipf = Arc::clone(&bbox_zipf);
+        let requests = opts.requests;
+        let seed = opts.seed ^ ((client as u64 + 1) * 0x9e37_79b9);
+        clients.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut latencies = Vec::with_capacity(requests);
+            let mut errors = 0usize;
+            for _ in 0..requests {
+                let roll: f64 = rng.gen();
+                let path = if roll < 0.80 {
+                    let t = &targets[store_zipf.sample(&mut rng)];
+                    let bbox = BBOXES[bbox_zipf.sample(&mut rng)];
+                    format!(
+                        "/stores/{}/query?field={}&bbox={}&format=frames",
+                        t.0, t.1, bbox
+                    )
+                } else if roll < 0.90 {
+                    let t = &targets[store_zipf.sample(&mut rng)];
+                    format!("/stores/{}/info", t.0)
+                } else if roll < 0.95 {
+                    "/catalog".to_string()
+                } else {
+                    "/healthz".to_string()
+                };
+                let t0 = Instant::now();
+                match http_get(&addr, &path) {
+                    Ok((200, _)) => latencies.push(t0.elapsed().as_nanos() as u64),
+                    Ok(_) | Err(_) => errors += 1,
+                }
+            }
+            (latencies, errors)
+        }));
+    }
+    let mut mixed_lat = Vec::new();
+    let mut mixed_errors = 0;
+    for client in clients {
+        let (lat, errs) = client.join().expect("client thread panicked");
+        mixed_lat.extend(lat);
+        mixed_errors += errs;
+    }
+    let mixed = PhaseStats::from_latencies(mixed_lat, mixed_errors, mixed_start.elapsed());
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    server_thread.join().expect("server thread panicked")?;
+
+    Ok(BenchReport {
+        cold,
+        warm,
+        mixed,
+        clients: opts.clients.max(1),
+        requests_per_client: opts.requests,
+        chunk_cache: catalog.chunk_stats(),
+        recipe_cache: catalog.recipe_stats(),
+        stores: catalog.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_is_hotter_than_tail() {
+        let zipf = Zipf::new(16, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 16];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8] * 4, "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_sorted_tail() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let p = PhaseStats::from_latencies(lat, 2, Duration::from_secs(1));
+        assert_eq!(p.count, 100);
+        assert_eq!(p.errors, 2);
+        // Nearest-rank on 100 samples: round(0.5 * 99) = index 50.
+        assert_eq!(p.p50_ns, 51);
+        assert_eq!(p.p95_ns, 95);
+        assert_eq!(p.p99_ns, 99);
+        assert!((p.qps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_phase_digests_to_zeroes() {
+        let p = PhaseStats::from_latencies(Vec::new(), 0, Duration::ZERO);
+        assert_eq!((p.p50_ns, p.p95_ns, p.p99_ns), (0, 0, 0));
+        assert_eq!(p.qps(), 0.0);
+    }
+
+    #[test]
+    fn report_json_carries_both_phases_and_cache_counters() {
+        let phase = PhaseStats {
+            count: 10,
+            errors: 0,
+            p50_ns: 100,
+            p95_ns: 200,
+            p99_ns: 300,
+            wall: Duration::from_secs(1),
+        };
+        let report = BenchReport {
+            cold: phase,
+            warm: phase,
+            mixed: phase,
+            clients: 4,
+            requests_per_client: 10,
+            chunk_cache: zmesh_store::ChunkCacheStats::default(),
+            recipe_cache: zmesh_store::CacheStats::default(),
+            stores: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"label\":\"serve/query_cold\""));
+        assert!(json.contains("\"label\":\"serve/query_warm\""));
+        assert!(json.contains("\"label\":\"serve/mixed_zipf\""));
+        assert!(json.contains("\"rate_per_s\":10.000"));
+        assert!(json.contains("\"chunk_cache\":{"));
+        assert!(json.contains("\"clients\":4"));
+    }
+}

@@ -1,0 +1,285 @@
+//! The store catalog: every `*.zms` under one directory, opened once.
+//!
+//! Opening a store parses and CRC-checks the footer, rebuilds the tree,
+//! and regenerates the restore recipe — work worth paying exactly once
+//! per store, not per request. The catalog does that on startup and on
+//! explicit refresh (`GET /catalog?refresh=1`), holding each store as a
+//! ready [`StoreReader`] over a ranged [`FileSource`]. All readers share
+//! one process-wide [`RecipeCache`] (structure-identical stores reuse one
+//! recipe) and one size-bounded decoded-chunk [`ChunkCache`].
+//!
+//! Each opened reader gets a fresh, unique `store_key` for the chunk
+//! cache. A refresh that reopens a changed file therefore never observes
+//! stale cached chunks — entries under the old key simply age out of the
+//! LRU.
+//!
+//! A file that fails to open stays in the catalog as a broken entry
+//! carrying its error message: it is listed (so operators see it) and
+//! requests against it answer a structured 500 instead of vanishing as a
+//! 404.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::SystemTime;
+
+use zmesh_store::{ChunkCache, ChunkCacheStats, FileSource, RecipeCache, StoreError, StoreReader};
+
+/// Default decoded-chunk LRU budget: 64 MiB of f64 payload.
+pub const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
+
+/// One `*.zms` file under the catalog directory.
+pub struct CatalogEntry {
+    /// Catalog id: the file stem (`run_0042.zms` → `run_0042`).
+    pub id: String,
+    /// Absolute or directory-relative path of the file.
+    pub path: PathBuf,
+    /// File size at open time.
+    pub file_bytes: u64,
+    /// Modification time at open time (drives refresh invalidation).
+    pub mtime: Option<SystemTime>,
+    /// The opened reader, or the open error (kept so requests can report
+    /// why the store is unavailable).
+    pub store: Result<OpenedStore, StoreError>,
+}
+
+/// A successfully opened store plus its chunk-cache identity.
+pub struct OpenedStore {
+    /// Ranged reader; shared read-only across all worker threads.
+    pub reader: StoreReader<FileSource>,
+    /// This open's unique key into the shared decoded-chunk cache.
+    pub store_key: u64,
+}
+
+/// Directory scan + shared caches. Cheap to share: lookups clone an
+/// `Arc<CatalogEntry>` out of the read-locked map.
+pub struct Catalog {
+    dir: PathBuf,
+    recipes: RecipeCache,
+    chunks: Arc<ChunkCache>,
+    stores: RwLock<BTreeMap<String, Arc<CatalogEntry>>>,
+    next_key: AtomicU64,
+}
+
+impl Catalog {
+    /// Creates a catalog over `dir` with a decoded-chunk budget of
+    /// `cache_bytes`, then performs the initial scan.
+    pub fn open(dir: impl Into<PathBuf>, cache_bytes: u64) -> std::io::Result<Self> {
+        let catalog = Self {
+            dir: dir.into(),
+            recipes: RecipeCache::new(),
+            chunks: Arc::new(ChunkCache::new(cache_bytes)),
+            stores: RwLock::new(BTreeMap::new()),
+            next_key: AtomicU64::new(0),
+        };
+        catalog.refresh()?;
+        Ok(catalog)
+    }
+
+    /// The catalog directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shared decoded-chunk cache.
+    pub fn chunk_cache(&self) -> &Arc<ChunkCache> {
+        &self.chunks
+    }
+
+    /// Decoded-chunk cache counters.
+    pub fn chunk_stats(&self) -> ChunkCacheStats {
+        self.chunks.stats()
+    }
+
+    /// Recipe cache counters.
+    pub fn recipe_stats(&self) -> zmesh_store::CacheStats {
+        self.recipes.stats()
+    }
+
+    /// Looks up a store by id.
+    pub fn get(&self, id: &str) -> Option<Arc<CatalogEntry>> {
+        self.stores
+            .read()
+            .expect("catalog lock poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// All entries, id-ordered.
+    pub fn entries(&self) -> Vec<Arc<CatalogEntry>> {
+        self.stores
+            .read()
+            .expect("catalog lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of listed stores (including broken ones).
+    pub fn len(&self) -> usize {
+        self.stores.read().expect("catalog lock poisoned").len()
+    }
+
+    /// Whether the scan found no stores at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rescans the directory: new files are opened, files whose
+    /// `(len, mtime)` changed are reopened under a fresh chunk-cache key,
+    /// unchanged files keep their existing reader, removed files drop
+    /// out. Returns the number of (re)opened stores.
+    ///
+    /// Concurrent refreshes are safe but may both open a changed file;
+    /// the map insert is last-writer-wins and the loser's reader is just
+    /// dropped.
+    pub fn refresh(&self) -> std::io::Result<usize> {
+        let old: BTreeMap<String, Arc<CatalogEntry>> =
+            self.stores.read().expect("catalog lock poisoned").clone();
+        let mut fresh = BTreeMap::new();
+        let mut opened = 0;
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let path = dirent?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("zms") {
+                continue;
+            }
+            let Some(id) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                continue;
+            };
+            let meta = std::fs::metadata(&path).ok();
+            let file_bytes = meta.as_ref().map_or(0, |m| m.len());
+            let mtime = meta.and_then(|m| m.modified().ok());
+            if let Some(existing) = old.get(&id) {
+                let unchanged = existing.path == path
+                    && existing.file_bytes == file_bytes
+                    && existing.mtime == mtime
+                    && existing.store.is_ok();
+                if unchanged {
+                    fresh.insert(id, Arc::clone(existing));
+                    continue;
+                }
+            }
+            let store_key = self.next_key.fetch_add(1, Ordering::Relaxed);
+            let store = FileSource::open(&path)
+                .and_then(|src| StoreReader::open_source_with_cache(src, &self.recipes))
+                .map(|reader| OpenedStore {
+                    reader: reader.with_chunk_cache(Arc::clone(&self.chunks), store_key),
+                    store_key,
+                });
+            opened += 1;
+            fresh.insert(
+                id.clone(),
+                Arc::new(CatalogEntry {
+                    id,
+                    path,
+                    file_bytes,
+                    mtime,
+                    store,
+                }),
+            );
+        }
+        *self.stores.write().expect("catalog lock poisoned") = fresh;
+        Ok(opened)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zmesh::{CompressionConfig, Pipeline};
+    use zmesh_amr::{datasets, StorageMode};
+    use zmesh_store::{persist, PipelineStoreExt, Query};
+
+    fn pack_into(dir: &Path, name: &str) {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+            ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+        let store = Pipeline::new(CompressionConfig::zmesh_default())
+            .pack(&fields)
+            .expect("pack");
+        persist(&store.bytes, &dir.join(name)).expect("persist");
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("zmesh_serve_catalog_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn scans_opens_and_queries_through_the_shared_caches() {
+        let dir = tempdir("scan");
+        pack_into(&dir, "alpha.zms");
+        pack_into(&dir, "beta.zms");
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let catalog = Catalog::open(&dir, DEFAULT_CACHE_BYTES).expect("open catalog");
+        assert_eq!(catalog.len(), 2);
+        let alpha = catalog.get("alpha").expect("alpha listed");
+        let opened = alpha.store.as_ref().expect("alpha opens");
+        let q = Query::bbox([0, 0, 0], [7, 7, 0]);
+        let first = opened.reader.query("density", &q).expect("query");
+        let second = opened.reader.query("density", &q).expect("query again");
+        assert_eq!(first.values, second.values);
+        let stats = catalog.chunk_stats();
+        assert!(stats.hits > 0, "repeat query must hit the chunk cache");
+
+        // Two structure-identical stores share one restore recipe.
+        let recipe = catalog.recipe_stats();
+        assert_eq!(recipe.misses, 1, "one recipe build for both stores");
+        assert!(recipe.hits >= 1);
+
+        // Distinct store keys were handed out.
+        let beta = catalog.get("beta").expect("beta listed");
+        assert_ne!(
+            opened.store_key,
+            beta.store.as_ref().expect("beta opens").store_key
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_keeps_unchanged_reopens_changed_and_drops_removed() {
+        let dir = tempdir("refresh");
+        pack_into(&dir, "keep.zms");
+        pack_into(&dir, "gone.zms");
+        let catalog = Catalog::open(&dir, DEFAULT_CACHE_BYTES).expect("open catalog");
+        let keep_key = catalog
+            .get("keep")
+            .unwrap()
+            .store
+            .as_ref()
+            .expect("opens")
+            .store_key;
+
+        // Unchanged file keeps its reader; removed file drops out; a new
+        // file appears.
+        std::fs::remove_file(dir.join("gone.zms")).unwrap();
+        pack_into(&dir, "new.zms");
+        catalog.refresh().expect("refresh");
+        assert!(catalog.get("gone").is_none());
+        assert!(catalog.get("new").is_some());
+        assert_eq!(
+            catalog
+                .get("keep")
+                .unwrap()
+                .store
+                .as_ref()
+                .expect("opens")
+                .store_key,
+            keep_key,
+            "unchanged store must keep its reader and cache key"
+        );
+
+        // A truncated (corrupt) file becomes a broken entry, still listed.
+        let bytes = std::fs::read(dir.join("keep.zms")).unwrap();
+        std::fs::write(dir.join("keep.zms"), &bytes[..bytes.len() / 2]).unwrap();
+        catalog.refresh().expect("refresh");
+        let broken = catalog.get("keep").expect("still listed");
+        assert!(broken.store.is_err(), "truncated store records its error");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! The daemon speaks just enough HTTP for its control plane: `GET`
+//! requests with a query string, a handful of response headers, and
+//! `Connection: close` semantics (one request per connection — the
+//! concurrency story is the worker pool, not pipelining). Hand-rolled on
+//! `std::net` because the workspace builds offline with no HTTP crate.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes. Anything
+/// larger is a malformed or hostile request.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most header lines accepted before the blank separator.
+const MAX_HEADER_LINES: usize = 64;
+
+/// A parsed request line: method, decoded path, decoded query parameters
+/// in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method verbatim (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Percent-decoded path component, always starting with `/`.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs from the query string.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query parameter, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed. The connection should answer 400
+/// and close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad request: {}", self.0)
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, bounding its length.
+fn read_line(r: &mut impl BufRead) -> Result<String, BadRequest> {
+    let mut buf = Vec::new();
+    loop {
+        let byte = {
+            let chunk = r.fill_buf().map_err(|e| BadRequest(format!("read: {e}")))?;
+            if chunk.is_empty() {
+                return Err(BadRequest("connection closed mid-request".into()));
+            }
+            chunk[0]
+        };
+        r.consume(1);
+        if byte == b'\n' {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return String::from_utf8(buf).map_err(|_| BadRequest("non-utf8 header".into()));
+        }
+        buf.push(byte);
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(BadRequest("header line too long".into()));
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a URL component.
+fn percent_decode(s: &str) -> Result<String, BadRequest> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| BadRequest(format!("bad percent escape in {s:?}")))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| BadRequest("non-utf8 percent escape".into()))
+}
+
+/// Parses one request from the stream: request line, then headers up to
+/// the blank line (headers are read and discarded — the control plane
+/// needs none of them). Bodies are not supported; every endpoint is GET.
+pub fn parse_request(r: &mut impl BufRead) -> Result<Request, BadRequest> {
+    let line = read_line(r)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| BadRequest("missing request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(BadRequest("not an HTTP/1.x request".into())),
+    }
+    for _ in 0..MAX_HEADER_LINES {
+        if read_line(r)?.is_empty() {
+            let (raw_path, raw_query) = match target.split_once('?') {
+                Some((p, q)) => (p, Some(q)),
+                None => (target, None),
+            };
+            let path = percent_decode(raw_path)?;
+            if !path.starts_with('/') {
+                return Err(BadRequest(format!("relative request target {path:?}")));
+            }
+            let mut query = Vec::new();
+            if let Some(q) = raw_query {
+                for pair in q.split('&').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                    query.push((percent_decode(k)?, percent_decode(v)?));
+                }
+            }
+            return Ok(Request {
+                method,
+                path,
+                query,
+            });
+        }
+    }
+    Err(BadRequest("too many header lines".into()))
+}
+
+/// A response ready to serialize: status, content type, optional extra
+/// headers, body. Always `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Additional `(name, value)` headers (e.g. `Retry-After`).
+    pub extra: Vec<(&'static str, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A structured JSON error body: `{"error":{"kind":...,"message":...}}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Self {
+        Self::json(
+            status,
+            format!(
+                "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+                json_escape(kind),
+                json_escape(message)
+            ),
+        )
+    }
+
+    /// Reason phrase for the handful of statuses the daemon emits.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes status line, headers, and body to the stream.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.extra {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (same dialect
+/// as the store's hand-rolled reports: quotes, backslashes, control
+/// bytes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, BadRequest> {
+        parse_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query_parameters() {
+        let req = parse(
+            "GET /stores/run%201/query?field=density&bbox=0,0:7,7&x=a%2Cb HTTP/1.1\r\n\
+             Host: localhost\r\nUser-Agent: test\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stores/run 1/query");
+        assert_eq!(req.param("field"), Some("density"));
+        assert_eq!(req.param("bbox"), Some("0,0:7,7"));
+        assert_eq!(req.param("x"), Some("a,b"));
+        assert_eq!(req.param("nope"), None);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(parse("\r\n\r\n").is_err());
+        assert!(parse("GET /x\r\n\r\n").is_err(), "missing HTTP version");
+        assert!(parse("GET /x HTTP/1.1\r\n").is_err(), "truncated headers");
+        assert!(parse("GET /%zz HTTP/1.1\r\n\r\n").is_err(), "bad escape");
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 10));
+        assert!(parse(&long).is_err(), "oversized request line");
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut buf = Vec::new();
+        let mut resp = Response::error(503, "busy", "queue full");
+        resp.extra.push(("Retry-After", "1".to_string()));
+        resp.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains(&format!(
+            "Content-Length: {}",
+            text.split("\r\n\r\n").nth(1).unwrap().len()
+        )));
+        assert!(text.ends_with("{\"error\":{\"kind\":\"busy\",\"message\":\"queue full\"}}"));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_bytes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

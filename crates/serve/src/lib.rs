@@ -1,0 +1,54 @@
+//! # zmesh-serve — a resident concurrent query daemon over a store catalog
+//!
+//! The CLI opens a store per invocation: footer parse, tree rebuild,
+//! recipe regeneration — all paid again for every query. This crate
+//! keeps that work resident. `zmesh serve <dir>` scans a directory of
+//! `*.zms` stores into a [`Catalog`] (each opened exactly once over a
+//! ranged [`zmesh_store::FileSource`]), shares one
+//! [`zmesh_store::RecipeCache`] and one size-bounded decoded-chunk
+//! [`zmesh_store::ChunkCache`] across all of them, and answers
+//! concurrent bbox/level queries over HTTP/1.1:
+//!
+//! | endpoint | answer |
+//! |----------|--------|
+//! | `GET /healthz` | `{"ok":true}` |
+//! | `GET /metrics` | request/response counters + cache hit rates |
+//! | `GET /catalog[?refresh=1]` | store listing, optional rescan |
+//! | `GET /stores/{id}/info` | header, mesh, per-field summary |
+//! | `GET /stores/{id}/query?field=F&bbox=…[&levels=…][&format=…]` | region read |
+//!
+//! Control responses are JSON; query payloads default to length-prefixed
+//! binary frames (`tag u8 · len u64 LE · payload`: JSON metadata, u32
+//! indices, f64 values — see [`wire`]) so values never round-trip
+//! through decimal text. `format=csv` reproduces the CLI's `query -o`
+//! bytes exactly, which is what the serve smoke test diffs against.
+//!
+//! Load is shed at the door: a bounded queue between the accept loop and
+//! the fixed worker pool answers `503` + `Retry-After` when full, and
+//! `SIGTERM`/`SIGINT` drain in-flight requests before exit
+//! ([`server::install_signal_handlers`]). Identical concurrent decodes
+//! of one chunk are coalesced into a single decode by the chunk cache's
+//! single-flight protocol (see `zmesh_store::ChunkCache`).
+//!
+//! [`bench`] is the companion traffic generator behind
+//! `zmesh bench-serve`: N client threads, zipf-skewed store/region
+//! selection, cold vs warm phases, QPS + p50/p95/p99 + cache hit rates,
+//! reported in the vendored-criterion JSON dialect.
+
+pub mod http;
+pub mod metrics;
+pub mod wire;
+
+#[cfg(unix)]
+pub mod bench;
+#[cfg(unix)]
+pub mod catalog;
+#[cfg(unix)]
+pub mod server;
+
+#[cfg(unix)]
+pub use bench::{BenchOptions, BenchReport, PhaseStats, Zipf};
+#[cfg(unix)]
+pub use catalog::{Catalog, CatalogEntry, OpenedStore, DEFAULT_CACHE_BYTES};
+#[cfg(unix)]
+pub use server::{install_signal_handlers, ServeOptions, Server};

@@ -1,0 +1,590 @@
+//! The daemon: accept loop, bounded worker pool, routing, graceful drain.
+//!
+//! Concurrency model: one nonblocking accept loop feeds accepted
+//! connections into a bounded `sync_channel`; a fixed pool of worker
+//! threads drains it, each handling one connection at a time
+//! (parse → route → respond → close). When the queue is full the accept
+//! loop answers `503` with `Retry-After` inline and closes — load is
+//! shed at the door instead of queueing unboundedly. Heavy decode work
+//! inside a request still fans out across rayon (the store reader's
+//! parallel chunk decode), so a single large query uses the whole
+//! machine while small queries stay cheap.
+//!
+//! Shutdown: a `SIGTERM`/`SIGINT` handler (or a programmatic handle)
+//! flips an atomic flag; the accept loop stops accepting, drops the
+//! queue sender, and joins the workers — which finish every request
+//! already accepted before exiting. No request that got a connection is
+//! abandoned.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use zmesh_store::{Query, StoreError};
+
+use crate::catalog::{Catalog, CatalogEntry, DEFAULT_CACHE_BYTES};
+use crate::http::{json_escape, parse_request, Request, Response};
+use crate::metrics::ServeMetrics;
+use crate::wire;
+
+/// Upper bound on one `poll(2)` wait in the accept loop: pending
+/// connections are accepted immediately; this only caps how stale the
+/// shutdown-flag check can get.
+const ACCEPT_POLL_MS: i32 = 50;
+/// Per-connection socket timeouts: a stalled client cannot pin a worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before new
+    /// arrivals are answered `503`.
+    pub queue_depth: usize,
+    /// Decoded-chunk LRU budget in bytes.
+    pub cache_bytes: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+        }
+    }
+}
+
+/// Process-global flag flipped by the signal handler. Worker/bench
+/// servers each also carry their own [`Server::shutdown_handle`]; the
+/// run loop honors either.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_short, c_ulong};
+
+    pub const SIGINT: c_int = 2;
+    pub const SIGTERM: c_int = 15;
+    pub type Handler = extern "C" fn(c_int);
+
+    /// `struct pollfd` for `poll(2)`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x1;
+
+    extern "C" {
+        /// `signal(2)` — installed handlers only store to an atomic,
+        /// which is async-signal-safe.
+        pub fn signal(signum: c_int, handler: Handler) -> usize;
+        /// `poll(2)` — lets the accept loop sleep until a connection is
+        /// pending instead of adding fixed latency to every accept.
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+}
+
+/// Waits until the listener has a pending connection or the timeout
+/// elapses — whichever is first. Errors are ignored: the accept loop
+/// simply retries (and re-checks the shutdown flag).
+#[cfg(unix)]
+fn wait_readable(listener: &TcpListener, timeout_ms: i32) {
+    use std::os::unix::io::AsRawFd;
+    let mut fds = [sys::PollFd {
+        fd: listener.as_raw_fd(),
+        events: sys::POLLIN,
+        revents: 0,
+    }];
+    unsafe {
+        sys::poll(fds.as_mut_ptr(), 1, timeout_ms);
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: std::ffi::c_int) {
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `SIGTERM`/`SIGINT` handlers that request a graceful drain of
+/// every running [`Server`] in this process.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    unsafe {
+        sys::signal(sys::SIGTERM, on_signal);
+        sys::signal(sys::SIGINT, on_signal);
+    }
+}
+
+/// A bound, catalog-loaded daemon, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    catalog: Arc<Catalog>,
+    metrics: Arc<ServeMetrics>,
+    shutdown: Arc<AtomicBool>,
+    opts: ServeOptions,
+}
+
+impl Server {
+    /// Scans `dir`, opens every store, and binds the listen socket.
+    pub fn bind(dir: impl Into<PathBuf>, opts: ServeOptions) -> std::io::Result<Self> {
+        let catalog = Arc::new(Catalog::open(dir, opts.cache_bytes)?);
+        let listener = TcpListener::bind(&opts.addr)?;
+        Ok(Self {
+            listener,
+            catalog,
+            metrics: Arc::new(ServeMetrics::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            opts,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared catalog (caches, entries) — stays valid after `run`.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// The shared metrics — stays valid after `run`.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A flag that, once set, makes [`Server::run`] stop accepting,
+    /// drain in-flight requests, and return.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until shutdown is requested (handle or signal), then
+    /// drains: every accepted connection is answered before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            mpsc::sync_channel(self.opts.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.opts.workers.max(1));
+        for i in 0..self.opts.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let catalog = Arc::clone(&self.catalog);
+            let metrics = Arc::clone(&self.metrics);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("zmesh-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the recv: workers take
+                        // turns pulling, then handle in parallel.
+                        let next = rx.lock().expect("queue lock poisoned").recv();
+                        match next {
+                            Ok(stream) => handle_connection(stream, &catalog, &metrics),
+                            Err(_) => return, // sender dropped: drained
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        while !self.shutdown.load(Ordering::SeqCst) && !SIGNAL_SHUTDOWN.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    ServeMetrics::bump(&self.metrics.connections);
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            ServeMetrics::bump(&self.metrics.rejected_busy);
+                            reject_busy(stream, &self.metrics);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    wait_readable(&self.listener, ACCEPT_POLL_MS);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: close the intake, let workers finish everything queued.
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Answers an over-capacity connection inline from the accept loop.
+fn reject_busy(stream: TcpStream, metrics: &ServeMetrics) {
+    let mut resp = Response::error(503, "busy", "request queue full, retry shortly");
+    resp.extra.push(("Retry-After", "1".to_string()));
+    metrics.count_response(resp.status, resp.body.len());
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let mut stream = stream;
+    let _ = resp.write_to(&mut stream);
+}
+
+/// One connection: parse, route, respond, close.
+fn handle_connection(stream: TcpStream, catalog: &Catalog, metrics: &ServeMetrics) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let resp = match parse_request(&mut reader) {
+        Ok(req) => {
+            ServeMetrics::bump(&metrics.requests);
+            route(&req, catalog, metrics)
+        }
+        Err(e) => Response::error(400, "bad_request", &e.0),
+    };
+    metrics.count_response(resp.status, resp.body.len());
+    let mut stream = stream;
+    let _ = resp.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+/// Dispatches a parsed request to its endpoint.
+fn route(req: &Request, catalog: &Catalog, metrics: &ServeMetrics) -> Response {
+    if req.method != "GET" {
+        return Response::error(405, "method_not_allowed", "only GET is supported");
+    }
+    match req.path.as_str() {
+        "/healthz" => Response::json(200, "{\"ok\":true}"),
+        "/metrics" => metrics_response(catalog, metrics),
+        "/catalog" => catalog_response(req, catalog),
+        path => match parse_store_path(path) {
+            Some((id, "info")) => match catalog.get(id) {
+                Some(entry) => info_response(&entry),
+                None => unknown_store(id),
+            },
+            Some((id, "query")) => match catalog.get(id) {
+                Some(entry) => query_response(req, &entry, metrics),
+                None => unknown_store(id),
+            },
+            _ => Response::error(404, "not_found", &format!("no route for {path:?}")),
+        },
+    }
+}
+
+/// Splits `/stores/{id}/{verb}` into `(id, verb)`.
+fn parse_store_path(path: &str) -> Option<(&str, &str)> {
+    let rest = path.strip_prefix("/stores/")?;
+    let (id, verb) = rest.split_once('/')?;
+    if id.is_empty() || verb.contains('/') {
+        return None;
+    }
+    Some((id, verb))
+}
+
+fn unknown_store(id: &str) -> Response {
+    Response::error(404, "unknown_store", &format!("no store {id:?} in catalog"))
+}
+
+/// `GET /metrics`: server counters plus both shared cache stats.
+fn metrics_response(catalog: &Catalog, metrics: &ServeMetrics) -> Response {
+    let c = catalog.chunk_stats();
+    let r = catalog.recipe_stats();
+    Response::json(
+        200,
+        format!(
+            "{{\"server\":{},\"chunk_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"coalesced\":{},\"entries\":{},\"bytes\":{},\"max_bytes\":{}}},\
+             \"recipe_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"stores\":{}}}",
+            metrics.to_json(),
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.coalesced,
+            c.entries,
+            c.bytes,
+            catalog.chunk_cache().max_bytes(),
+            r.hits,
+            r.misses,
+            r.entries,
+            catalog.len(),
+        ),
+    )
+}
+
+/// `GET /catalog[?refresh=1]`: list every store, optionally rescanning
+/// the directory first.
+fn catalog_response(req: &Request, catalog: &Catalog) -> Response {
+    if matches!(req.param("refresh"), Some("1") | Some("true")) {
+        if let Err(e) = catalog.refresh() {
+            return Response::error(500, "io", &format!("refresh failed: {e}"));
+        }
+    }
+    let mut stores = String::new();
+    for entry in catalog.entries() {
+        if !stores.is_empty() {
+            stores.push(',');
+        }
+        match &entry.store {
+            Ok(opened) => stores.push_str(&format!(
+                "{{\"id\":\"{}\",\"path\":\"{}\",\"bytes\":{},\"ok\":true,\"fields\":{}}}",
+                json_escape(&entry.id),
+                json_escape(&entry.path.display().to_string()),
+                entry.file_bytes,
+                opened.reader.fields().len(),
+            )),
+            Err(e) => stores.push_str(&format!(
+                "{{\"id\":\"{}\",\"path\":\"{}\",\"bytes\":{},\"ok\":false,\"error\":\"{}\"}}",
+                json_escape(&entry.id),
+                json_escape(&entry.path.display().to_string()),
+                entry.file_bytes,
+                json_escape(&e.to_string()),
+            )),
+        }
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"dir\":\"{}\",\"stores\":[{stores}]}}",
+            json_escape(&catalog.dir().display().to_string())
+        ),
+    )
+}
+
+/// Maps a read-path [`StoreError`] onto a structured HTTP error.
+fn store_error_response(e: &StoreError) -> Response {
+    match e {
+        StoreError::UnknownField(_) => Response::error(404, "unknown_field", &e.to_string()),
+        StoreError::BadQuery(_) | StoreError::InvalidOptions(_) => {
+            Response::error(400, "bad_request", &e.to_string())
+        }
+        StoreError::Io(_) => Response::error(500, "io", &e.to_string()),
+        StoreError::Torn => Response::error(500, "torn", &e.to_string()),
+        _ => Response::error(500, "corrupt", &e.to_string()),
+    }
+}
+
+/// The broken-entry 500: the store is listed but did not open.
+fn broken_store_response(entry: &CatalogEntry, err: &StoreError) -> Response {
+    Response::error(
+        500,
+        "store_unavailable",
+        &format!("store {:?} failed to open: {err}", entry.id),
+    )
+}
+
+/// `GET /stores/{id}/info`: header, mesh, and per-field summary.
+fn info_response(entry: &CatalogEntry) -> Response {
+    let opened = match &entry.store {
+        Ok(o) => o,
+        Err(e) => return broken_store_response(entry, e),
+    };
+    let reader = &opened.reader;
+    let h = reader.header();
+    let tree = reader.tree();
+    let mut fields = String::new();
+    for f in reader.fields() {
+        if !fields.is_empty() {
+            fields.push(',');
+        }
+        let payload: u64 = f.chunks.iter().map(|c| c.len).sum();
+        fields.push_str(&format!(
+            "{{\"name\":\"{}\",\"chunks\":{},\"parity\":{},\"payload_bytes\":{},\"bound\":{}}}",
+            json_escape(&f.name),
+            f.chunks.len(),
+            f.parity.len(),
+            payload,
+            match f.resolved_bound {
+                Some(b) => format!("{b:e}"),
+                None => "null".to_string(),
+            },
+        ));
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"id\":\"{}\",\"version\":{},\"policy\":\"{:?}\",\"codec\":\"{}\",\
+             \"file_bytes\":{},\"cells\":{},\"leaves\":{},\"levels\":{},\"fields\":[{fields}]}}",
+            json_escape(&entry.id),
+            h.version,
+            h.policy,
+            h.codec.label(),
+            entry.file_bytes,
+            tree.cell_count(),
+            tree.leaf_count(),
+            tree.max_level() + 1,
+        ),
+    )
+}
+
+/// Parses `x0,y0[,z0]:x1,y1[,z1]` (same grammar as the CLI).
+fn parse_bbox(spec: &str) -> Result<([u32; 3], [u32; 3]), String> {
+    let bad = || format!("bbox {spec:?}: want x0,y0[,z0]:x1,y1[,z1]");
+    let corner = |s: &str| -> Result<[u32; 3], String> {
+        let parts: Vec<u32> = s
+            .split(',')
+            .map(|t| t.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad())?;
+        match parts[..] {
+            [x, y] => Ok([x, y, 0]),
+            [x, y, z] => Ok([x, y, z]),
+            _ => Err(bad()),
+        }
+    };
+    let (lo, hi) = spec.split_once(':').ok_or_else(bad)?;
+    Ok((corner(lo)?, corner(hi)?))
+}
+
+/// `GET /stores/{id}/query?field=F&bbox=x0,y0[,z0]:x1,y1[,z1]`
+/// `[&levels=L,L...][&format=frames|csv|json]`.
+///
+/// `frames` (default) answers `application/octet-stream`: three
+/// length-prefixed frames (JSON metadata · u32 indices · f64 values) —
+/// see [`crate::wire`]. `csv` answers the exact bytes `zmesh query -o`
+/// writes, making responses diffable against the CLI. `json` is a debug
+/// view with decimal-formatted values.
+fn query_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -> Response {
+    let opened = match &entry.store {
+        Ok(o) => o,
+        Err(e) => return broken_store_response(entry, e),
+    };
+    let Some(field) = req.param("field") else {
+        return Response::error(400, "bad_request", "missing query parameter: field");
+    };
+    let Some(bbox) = req.param("bbox") else {
+        return Response::error(400, "bad_request", "missing query parameter: bbox");
+    };
+    let (lo, hi) = match parse_bbox(bbox) {
+        Ok(corners) => corners,
+        Err(e) => return Response::error(400, "bad_request", &e),
+    };
+    let mut q = Query::bbox(lo, hi);
+    if let Some(spec) = req.param("levels") {
+        let levels: Result<Vec<u32>, _> =
+            spec.split(',').map(|t| t.trim().parse::<u32>()).collect();
+        match levels {
+            Ok(levels) => q = q.with_levels(levels),
+            Err(_) => {
+                return Response::error(
+                    400,
+                    "bad_request",
+                    &format!("levels {spec:?}: want L[,L...]"),
+                )
+            }
+        }
+    }
+    let result = match opened.reader.query(field, &q) {
+        Ok(r) => r,
+        Err(e) => return store_error_response(&e),
+    };
+    ServeMetrics::bump(&metrics.queries);
+    ServeMetrics::add(&metrics.query_cells, result.values.len() as u64);
+    let meta = format!(
+        "{{\"id\":\"{}\",\"field\":\"{}\",\"cells\":{},\"chunks_decoded\":{},\
+         \"chunks_total\":{},\"bound\":{}}}",
+        json_escape(&entry.id),
+        json_escape(field),
+        result.values.len(),
+        result.chunks_decoded,
+        result.chunks_total,
+        match result.bound {
+            Some(b) => format!("{b:e}"),
+            None => "null".to_string(),
+        },
+    );
+    match req.param("format").unwrap_or("frames") {
+        "frames" => Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            extra: Vec::new(),
+            body: wire::encode_query_frames(&meta, &result.storage_indices, &result.values),
+        },
+        "csv" => {
+            // Byte-identical to the CLI's `query -o` output: same format
+            // machinery, so responses can be `cmp`'d against it.
+            let mut csv = String::from("storage_index,value\n");
+            for (&s, &v) in result.storage_indices.iter().zip(&result.values) {
+                csv.push_str(&format!("{s},{v}\n"));
+            }
+            Response {
+                status: 200,
+                content_type: "text/csv",
+                extra: Vec::new(),
+                body: csv.into_bytes(),
+            }
+        }
+        "json" => {
+            let indices: Vec<String> = result.storage_indices.iter().map(u32::to_string).collect();
+            let values: Vec<String> = result.values.iter().map(|v| format!("{v}")).collect();
+            Response::json(
+                200,
+                format!(
+                    "{{\"meta\":{meta},\"storage_indices\":[{}],\"values\":[{}]}}",
+                    indices.join(","),
+                    values.join(","),
+                ),
+            )
+        }
+        other => Response::error(
+            400,
+            "bad_request",
+            &format!("format {other:?}: want frames, csv, or json"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_paths_parse_and_reject_nesting() {
+        assert_eq!(
+            parse_store_path("/stores/run_1/query"),
+            Some(("run_1", "query"))
+        );
+        assert_eq!(parse_store_path("/stores/a/info"), Some(("a", "info")));
+        assert_eq!(parse_store_path("/stores//info"), None);
+        assert_eq!(parse_store_path("/stores/a"), None);
+        assert_eq!(parse_store_path("/stores/a/b/c"), None);
+        assert_eq!(parse_store_path("/catalog"), None);
+    }
+
+    #[test]
+    fn bbox_grammar_matches_the_cli() {
+        assert_eq!(parse_bbox("0,0:7,7"), Ok(([0, 0, 0], [7, 7, 0])));
+        assert_eq!(parse_bbox("1,2,3:4,5,6"), Ok(([1, 2, 3], [4, 5, 6])));
+        assert!(parse_bbox("1,2").is_err());
+        assert!(parse_bbox("a,b:c,d").is_err());
+        assert!(parse_bbox("1:2").is_err());
+    }
+
+    #[test]
+    fn store_errors_map_to_structured_statuses() {
+        let cases = [
+            (StoreError::UnknownField("x".into()), 404),
+            (StoreError::BadQuery("inverted box"), 400),
+            (StoreError::InvalidOptions("geometry"), 400),
+            (StoreError::Io("disk".into()), 500),
+            (StoreError::Corrupt("crc"), 500),
+        ];
+        for (err, want) in cases {
+            let resp = store_error_response(&err);
+            assert_eq!(resp.status, want, "{err:?}");
+            let body = String::from_utf8(resp.body).unwrap();
+            assert!(body.starts_with("{\"error\":{\"kind\":"), "{body}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Length-prefixed binary frames for field payloads.
+//!
+//! JSON is the daemon's control plane; cell data goes out as raw frames
+//! so clients never round-trip floating-point values through decimal
+//! text. A frame is:
+//!
+//! ```text
+//! tag: u8 · len: u64 LE · payload: len bytes
+//! ```
+//!
+//! A query response body is exactly three frames, in order:
+//!
+//! | tag | payload |
+//! |-----|---------|
+//! | 1   | UTF-8 JSON metadata object |
+//! | 2   | selected storage indices, `u32` little-endian each |
+//! | 3   | selected values, `f64` little-endian each, parallel to tag 2 |
+
+/// Frame tag: UTF-8 JSON metadata.
+pub const FRAME_JSON: u8 = 1;
+/// Frame tag: `u32` little-endian storage indices.
+pub const FRAME_INDICES: u8 = 2;
+/// Frame tag: `f64` little-endian cell values.
+pub const FRAME_VALUES: u8 = 3;
+
+/// Appends one `tag · len · payload` frame.
+pub fn push_frame(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes a complete query response: metadata JSON, indices, values.
+pub fn encode_query_frames(meta_json: &str, indices: &[u32], values: &[f64]) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(3 * 9 + meta_json.len() + indices.len() * 4 + values.len() * 8);
+    push_frame(&mut out, FRAME_JSON, meta_json.as_bytes());
+    let mut idx = Vec::with_capacity(indices.len() * 4);
+    for &i in indices {
+        idx.extend_from_slice(&i.to_le_bytes());
+    }
+    push_frame(&mut out, FRAME_INDICES, &idx);
+    let mut vals = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        vals.extend_from_slice(&v.to_le_bytes());
+    }
+    push_frame(&mut out, FRAME_VALUES, &vals);
+    out
+}
+
+/// Splits a frame stream back into `(tag, payload)` pairs. Rejects
+/// truncated frames and lengths that overrun the buffer.
+pub fn decode_frames(mut bytes: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, String> {
+    let mut frames = Vec::new();
+    while !bytes.is_empty() {
+        if bytes.len() < 9 {
+            return Err(format!(
+                "truncated frame header: {} bytes left",
+                bytes.len()
+            ));
+        }
+        let tag = bytes[0];
+        let len = u64::from_le_bytes(bytes[1..9].try_into().expect("9-byte header"));
+        let len = usize::try_from(len).map_err(|_| "frame length overflows usize".to_string())?;
+        let rest = &bytes[9..];
+        if rest.len() < len {
+            return Err(format!(
+                "frame tag {tag} claims {len} bytes, {} available",
+                rest.len()
+            ));
+        }
+        frames.push((tag, rest[..len].to_vec()));
+        bytes = &rest[len..];
+    }
+    Ok(frames)
+}
+
+/// Reassembles a decoded query response from its three frames.
+pub fn decode_query_frames(bytes: &[u8]) -> Result<(String, Vec<u32>, Vec<f64>), String> {
+    let frames = decode_frames(bytes)?;
+    let [(FRAME_JSON, meta), (FRAME_INDICES, idx), (FRAME_VALUES, vals)] = &frames[..] else {
+        return Err(format!(
+            "expected frames [1,2,3], got tags {:?}",
+            frames.iter().map(|(t, _)| *t).collect::<Vec<_>>()
+        ));
+    };
+    if idx.len() % 4 != 0 || vals.len() % 8 != 0 {
+        return Err("index/value frame length not a multiple of element size".into());
+    }
+    let meta = String::from_utf8(meta.clone()).map_err(|_| "non-utf8 metadata".to_string())?;
+    let indices = idx
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    let values = vals
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    Ok((meta, indices, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_frames_round_trip_bit_exactly() {
+        let meta = "{\"cells\":3}";
+        let indices = [7u32, 9, 1 << 30];
+        let values = [1.5f64, -0.0, f64::MIN_POSITIVE];
+        let bytes = encode_query_frames(meta, &indices, &values);
+        let (m, i, v) = decode_query_frames(&bytes).unwrap();
+        assert_eq!(m, meta);
+        assert_eq!(i, indices);
+        // Bit-exact, not approximate: -0.0 must survive.
+        let bits: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u64> = values.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits, want);
+    }
+
+    #[test]
+    fn truncated_and_overrunning_frames_are_rejected() {
+        let bytes = encode_query_frames("{}", &[1], &[2.0]);
+        assert!(decode_frames(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_frames(&bytes[..5]).is_err());
+        let mut lying = bytes.clone();
+        // Inflate the first frame's length past the buffer end.
+        lying[1] = 0xff;
+        assert!(decode_frames(&lying).is_err());
+    }
+
+    #[test]
+    fn frame_order_is_enforced() {
+        let mut out = Vec::new();
+        push_frame(&mut out, FRAME_VALUES, &[]);
+        push_frame(&mut out, FRAME_INDICES, &[]);
+        push_frame(&mut out, FRAME_JSON, b"{}");
+        assert!(decode_query_frames(&out).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end daemon tests over real TCP sockets: bind an in-process
+//! server on an ephemeral port, drive every endpoint, check the
+//! concurrent query path against a direct reader, and drain cleanly.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+
+use zmesh::{CompressionConfig, Pipeline};
+use zmesh_amr::{datasets, StorageMode};
+use zmesh_serve::bench::http_get;
+use zmesh_serve::{wire, ServeOptions, Server};
+use zmesh_store::{persist, PipelineStoreExt, Query, StoreReader};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zmesh_serve_daemon_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn pack_into(dir: &Path, name: &str) -> Vec<u8> {
+    let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+    let fields: Vec<(&str, &zmesh_amr::AmrField)> =
+        ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    let store = Pipeline::new(CompressionConfig::zmesh_default())
+        .pack(&fields)
+        .expect("pack");
+    persist(&store.bytes, &dir.join(name)).expect("persist");
+    store.bytes
+}
+
+struct Running {
+    addr: String,
+    shutdown: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(dir: &Path, opts: ServeOptions) -> Running {
+    let server = Server::bind(dir, opts).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    Running {
+        addr,
+        shutdown,
+        thread,
+    }
+}
+
+impl Running {
+    fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.thread
+            .join()
+            .expect("server thread")
+            .expect("server run");
+    }
+}
+
+#[test]
+fn serves_catalog_info_and_bit_identical_concurrent_queries() {
+    let dir = tempdir("endpoints");
+    let bytes = pack_into(&dir, "run_a.zms");
+    pack_into(&dir, "run_b.zms");
+    let running = start(&dir, ServeOptions::default());
+
+    let (status, body) = http_get(&running.addr, "/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"{\"ok\":true}");
+
+    let (status, body) = http_get(&running.addr, "/catalog").expect("catalog");
+    assert_eq!(status, 200);
+    let listing = String::from_utf8(body).unwrap();
+    assert!(listing.contains("\"id\":\"run_a\""), "{listing}");
+    assert!(listing.contains("\"id\":\"run_b\""), "{listing}");
+    assert!(listing.contains("\"ok\":true"), "{listing}");
+
+    let (status, body) = http_get(&running.addr, "/stores/run_a/info").expect("info");
+    assert_eq!(status, 200);
+    let info = String::from_utf8(body).unwrap();
+    assert!(info.contains("\"fields\":["), "{info}");
+    assert!(info.contains("\"cells\":"), "{info}");
+
+    // What the daemon must reproduce: a direct in-memory query.
+    let reader = StoreReader::open(&bytes).expect("open");
+    let expect = reader
+        .query("density", &Query::bbox([0, 0, 0], [7, 7, 0]))
+        .expect("direct query");
+
+    // Eight concurrent clients, same query: every response bit-identical.
+    let path = "/stores/run_a/query?field=density&bbox=0,0:7,7&format=frames";
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let addr = running.addr.clone();
+        handles.push(std::thread::spawn(move || http_get(&addr, path)));
+    }
+    for handle in handles {
+        let (status, body) = handle.join().expect("client").expect("query");
+        assert_eq!(status, 200);
+        let (meta, indices, values) = wire::decode_query_frames(&body).expect("frames");
+        assert!(meta.contains("\"field\":\"density\""), "{meta}");
+        assert_eq!(indices, expect.storage_indices);
+        let got: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = expect.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "frame values must be bit-identical");
+    }
+
+    // CSV format matches the CLI's file output byte-for-byte.
+    let (status, body) = http_get(
+        &running.addr,
+        "/stores/run_a/query?field=density&bbox=0,0:7,7&format=csv",
+    )
+    .expect("csv");
+    assert_eq!(status, 200);
+    let mut csv = String::from("storage_index,value\n");
+    for (&s, &v) in expect.storage_indices.iter().zip(&expect.values) {
+        csv.push_str(&format!("{s},{v}\n"));
+    }
+    assert_eq!(body, csv.into_bytes());
+
+    running.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn structured_errors_for_unknown_routes_fields_and_bad_queries() {
+    let dir = tempdir("errors");
+    pack_into(&dir, "only.zms");
+    let running = start(&dir, ServeOptions::default());
+
+    let cases = [
+        ("/nope", 404, "not_found"),
+        ("/stores/ghost/info", 404, "unknown_store"),
+        (
+            "/stores/ghost/query?field=x&bbox=0,0:1,1",
+            404,
+            "unknown_store",
+        ),
+        (
+            "/stores/only/query?field=ghost&bbox=0,0:1,1",
+            404,
+            "unknown_field",
+        ),
+        ("/stores/only/query?bbox=0,0:1,1", 400, "bad_request"),
+        ("/stores/only/query?field=density", 400, "bad_request"),
+        (
+            "/stores/only/query?field=density&bbox=zap",
+            400,
+            "bad_request",
+        ),
+        (
+            "/stores/only/query?field=density&bbox=0,0:1,1&format=xml",
+            400,
+            "bad_request",
+        ),
+    ];
+    for (path, want_status, want_kind) in cases {
+        let (status, body) = http_get(&running.addr, path).expect(path);
+        let body = String::from_utf8(body).unwrap();
+        assert_eq!(status, want_status, "{path}: {body}");
+        assert!(
+            body.contains(&format!("\"kind\":\"{want_kind}\"")),
+            "{path}: {body}"
+        );
+    }
+
+    running.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn refresh_picks_up_new_stores_and_metrics_count_traffic() {
+    let dir = tempdir("refresh");
+    pack_into(&dir, "first.zms");
+    let running = start(&dir, ServeOptions::default());
+
+    let (_, body) = http_get(&running.addr, "/catalog").expect("catalog");
+    assert!(!String::from_utf8(body)
+        .unwrap()
+        .contains("\"id\":\"second\""));
+
+    pack_into(&dir, "second.zms");
+    let (status, body) = http_get(&running.addr, "/catalog?refresh=1").expect("refresh");
+    assert_eq!(status, 200);
+    assert!(String::from_utf8(body)
+        .unwrap()
+        .contains("\"id\":\"second\""));
+
+    // Repeat one query; the second round must hit the decoded-chunk LRU.
+    let path = "/stores/first/query?field=density&bbox=0,0:7,7";
+    for _ in 0..2 {
+        let (status, _) = http_get(&running.addr, path).expect("query");
+        assert_eq!(status, 200);
+    }
+    let (status, body) = http_get(&running.addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8(body).unwrap();
+    assert!(metrics.contains("\"chunk_cache\":{\"hits\":"), "{metrics}");
+    let hits: u64 = metrics
+        .split("\"chunk_cache\":{\"hits\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse hits");
+    assert!(hits > 0, "repeat query must register chunk-cache hits");
+    assert!(metrics.contains("\"queries\":"), "{metrics}");
+
+    running.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drains_in_flight_requests_on_shutdown() {
+    let dir = tempdir("drain");
+    pack_into(&dir, "only.zms");
+    let running = start(
+        &dir,
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Launch a burst, request shutdown mid-flight, and require every
+    // accepted request to still be answered.
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let addr = running.addr.clone();
+        handles.push(std::thread::spawn(move || {
+            http_get(
+                &addr,
+                &format!("/stores/only/query?field=density&bbox=0,0:{0},{0}", 3 + i),
+            )
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    running.shutdown.store(true, Ordering::SeqCst);
+    for handle in handles {
+        match handle.join().expect("client") {
+            // Either answered (accepted before the drain began)…
+            Ok((status, _)) => assert_eq!(status, 200),
+            // …or refused outright (arrived after the listener closed,
+            // or reset out of the backlog) — never accepted by a worker
+            // and then abandoned mid-response.
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::BrokenPipe
+                        | std::io::ErrorKind::InvalidData
+                ),
+                "unexpected failure mode: {e:?}"
+            ),
+        }
+    }
+    running
+        .thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

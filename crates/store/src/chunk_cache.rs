@@ -1,0 +1,473 @@
+//! A process-wide, size-bounded LRU of **decoded** chunks with
+//! single-flight decode coalescing.
+//!
+//! The serving path decodes the same hot chunks over and over: two
+//! queries that overlap the same region re-fetch and re-decompress
+//! identical payloads. [`ChunkCache`] closes that gap at the layer where
+//! the work happens — a [`crate::StoreReader`] with an attached cache
+//! ([`crate::StoreReader::with_chunk_cache`]) consults it per chunk,
+//! keyed by `(store, field, chunk)`, and only fetches/decodes the misses.
+//!
+//! Two properties matter under concurrency:
+//!
+//! - **Bounded memory.** The cache holds at most `max_bytes` of decoded
+//!   values; inserting past the bound evicts the least-recently-used
+//!   entries (a decoded chunk larger than the whole bound is simply not
+//!   retained). Eviction counts are observable so capacity tuning is
+//!   data-driven, not guesswork.
+//! - **Single-flight decode.** When N requests race for the same absent
+//!   chunk, exactly one (the *leader*) fetches and decodes; the other
+//!   N−1 (*followers*) block on a condvar and receive the leader's
+//!   `Arc`'d result. Without this, a popular cold chunk triggers a
+//!   decode stampede exactly when the server is busiest.
+//!
+//! Values are shared as `Arc<Vec<f64>>`: a hit costs a pointer clone,
+//! never a payload copy. Lock discipline mirrors [`crate::RecipeCache`]:
+//! poisoned mutexes are recovered (`into_inner`), counted, and never
+//! propagate panics into readers.
+
+use crate::format::StoreError;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Identity of one decoded chunk in a shared cache: the owning store (a
+/// caller-assigned key — e.g. a catalog id hash — that must be unique per
+/// open store), the field index within its footer, and the chunk index
+/// within the field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkKey {
+    /// Caller-assigned store identity.
+    pub store: u64,
+    /// Field index in the store's footer.
+    pub field: u32,
+    /// Chunk index within the field.
+    pub chunk: u32,
+}
+
+/// Decoded values of one chunk, shared without copying.
+pub type ChunkValues = Arc<Vec<f64>>;
+
+/// Observable [`ChunkCache`] counters (monotonic since construction,
+/// except `entries`/`bytes` which describe the current residency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to decode (each increments exactly once, on the
+    /// single-flight leader).
+    pub misses: u64,
+    /// Entries evicted to respect the size bound.
+    pub evictions: u64,
+    /// Requests that joined another request's in-flight decode instead of
+    /// decoding themselves (single-flight followers).
+    pub coalesced: u64,
+    /// Mutex poisonings absorbed.
+    pub poison_recoveries: u64,
+    /// Decoded chunks currently resident.
+    pub entries: u64,
+    /// Decoded bytes currently resident.
+    pub bytes: u64,
+}
+
+/// LRU bookkeeping: entries keyed by [`ChunkKey`], recency tracked with a
+/// monotone tick so eviction pops the smallest tick in `O(log n)`.
+struct Lru {
+    map: HashMap<ChunkKey, (ChunkValues, u64)>,
+    order: BTreeMap<u64, ChunkKey>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// One in-flight decode: followers wait on the condvar until the leader
+/// publishes a result.
+struct Flight {
+    slot: Mutex<Option<Result<ChunkValues, StoreError>>>,
+    done: Condvar,
+}
+
+/// Leader-side handle for an in-flight decode. Dropping it without
+/// [`ChunkCache::complete`] publishes an error so followers can never
+/// deadlock on an abandoned flight.
+pub struct FlightLead<'a> {
+    cache: &'a ChunkCache,
+    key: ChunkKey,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl Drop for FlightLead<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.cache.publish(
+                self.key,
+                &self.flight,
+                Err(StoreError::Internal("chunk decode abandoned mid-flight")),
+                false,
+            );
+        }
+    }
+}
+
+/// Follower-side handle: redeem with [`ChunkCache::wait`].
+pub struct FlightJoin {
+    flight: Arc<Flight>,
+}
+
+/// Outcome of [`ChunkCache::begin`] for one chunk.
+pub enum Claim<'a> {
+    /// The decoded values were resident.
+    Cached(ChunkValues),
+    /// This caller owns the decode; it must call [`ChunkCache::complete`].
+    Lead(FlightLead<'a>),
+    /// Another caller is already decoding; wait for its result.
+    Join(FlightJoin),
+}
+
+/// Size-bounded decoded-chunk LRU with single-flight coalescing. See the
+/// module docs for semantics; all methods take `&self` and are safe to
+/// call from any number of threads through an `Arc`.
+pub struct ChunkCache {
+    max_bytes: u64,
+    lru: Mutex<Lru>,
+    inflight: Mutex<HashMap<ChunkKey, Arc<Flight>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    coalesced: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+impl ChunkCache {
+    /// Creates a cache retaining at most `max_bytes` of decoded values.
+    pub fn new(max_bytes: u64) -> Self {
+        Self {
+            max_bytes,
+            lru: Mutex::new(Lru {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            inflight: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured residency bound in bytes.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Drops every resident entry (counters keep their values; nothing
+    /// counts as an eviction). In-flight decodes are unaffected: leads
+    /// publish into the emptied cache as usual.
+    pub fn clear(&self) {
+        let mut lru = self.lock(&self.lru);
+        lru.map.clear();
+        lru.order.clear();
+        lru.bytes = 0;
+    }
+
+    fn lock<'m, T>(&self, m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+        m.lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Counts a hit or
+    /// nothing — `begin` is the counting entry point for misses.
+    pub fn get(&self, key: &ChunkKey) -> Option<ChunkValues> {
+        let mut lru = self.lock(&self.lru);
+        lru.tick += 1;
+        let tick = lru.tick;
+        let (values, old_tick) = match lru.map.get_mut(key) {
+            None => return None,
+            Some((values, t)) => {
+                let old = *t;
+                *t = tick;
+                (Arc::clone(values), old)
+            }
+        };
+        lru.order.remove(&old_tick);
+        lru.order.insert(tick, *key);
+        drop(lru);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(values)
+    }
+
+    /// Inserts `values` under `key`, evicting least-recently-used entries
+    /// until the bound holds. A value larger than the whole bound is not
+    /// retained (callers still hold their `Arc`).
+    pub fn insert(&self, key: ChunkKey, values: ChunkValues) {
+        let cost = (values.len() as u64) * 8;
+        if cost > self.max_bytes {
+            return;
+        }
+        let mut lru = self.lock(&self.lru);
+        lru.tick += 1;
+        let tick = lru.tick;
+        if let Some((old, old_tick)) = lru.map.remove(&key) {
+            lru.order.remove(&old_tick);
+            lru.bytes -= (old.len() as u64) * 8;
+        }
+        while lru.bytes + cost > self.max_bytes {
+            let Some((&oldest, &victim)) = lru.order.iter().next() else {
+                break;
+            };
+            lru.order.remove(&oldest);
+            if let Some((evicted, _)) = lru.map.remove(&victim) {
+                lru.bytes -= (evicted.len() as u64) * 8;
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        lru.map.insert(key, (values, tick));
+        lru.order.insert(tick, key);
+        lru.bytes += cost;
+    }
+
+    /// Claims `key`: a resident value, leadership of its decode, or a
+    /// ticket to join the decode already in flight.
+    pub fn begin(&self, key: ChunkKey) -> Claim<'_> {
+        if let Some(values) = self.get(&key) {
+            return Claim::Cached(values);
+        }
+        let mut inflight = self.lock(&self.inflight);
+        match inflight.entry(key) {
+            Entry::Occupied(e) => {
+                let flight = Arc::clone(e.get());
+                drop(inflight);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Claim::Join(FlightJoin { flight })
+            }
+            Entry::Vacant(e) => {
+                let flight = Arc::new(Flight {
+                    slot: Mutex::new(None),
+                    done: Condvar::new(),
+                });
+                e.insert(Arc::clone(&flight));
+                drop(inflight);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Claim::Lead(FlightLead {
+                    cache: self,
+                    key,
+                    flight,
+                    completed: false,
+                })
+            }
+        }
+    }
+
+    /// Publishes the leader's decode `result`: followers wake with a
+    /// shared clone, and successful values become resident.
+    pub fn complete(&self, mut lead: FlightLead<'_>, result: Result<ChunkValues, StoreError>) {
+        lead.completed = true;
+        let key = lead.key;
+        let flight = Arc::clone(&lead.flight);
+        drop(lead);
+        self.publish(key, &flight, result, true);
+    }
+
+    fn publish(
+        &self,
+        key: ChunkKey,
+        flight: &Arc<Flight>,
+        result: Result<ChunkValues, StoreError>,
+        retain: bool,
+    ) {
+        if retain {
+            if let Ok(values) = &result {
+                self.insert(key, Arc::clone(values));
+            }
+        }
+        {
+            let mut slot = self.lock(&flight.slot);
+            *slot = Some(result);
+        }
+        flight.done.notify_all();
+        self.lock(&self.inflight).remove(&key);
+    }
+
+    /// Blocks until the joined flight's leader publishes, then returns a
+    /// clone of its result.
+    pub fn wait(&self, join: FlightJoin) -> Result<ChunkValues, StoreError> {
+        let mut slot = self.lock(&join.flight.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = match join.flight.done.wait(slot) {
+                Ok(guard) => guard,
+                Err(poisoned) => {
+                    self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                    poisoned.into_inner()
+                }
+            };
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> ChunkCacheStats {
+        let (entries, bytes) = {
+            let lru = self.lock(&self.lru);
+            (lru.map.len() as u64, lru.bytes)
+        };
+        ChunkCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(store: u64, chunk: u32) -> ChunkKey {
+        ChunkKey {
+            store,
+            field: 0,
+            chunk,
+        }
+    }
+
+    fn values(n: usize, fill: f64) -> ChunkValues {
+        Arc::new(vec![fill; n])
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_accounts_bytes() {
+        // Bound of 3 chunks × 10 values × 8 bytes.
+        let cache = ChunkCache::new(240);
+        for c in 0..3 {
+            cache.insert(key(1, c), values(10, f64::from(c)));
+        }
+        assert_eq!(cache.stats().entries, 3);
+        assert_eq!(cache.stats().bytes, 240);
+
+        // Touch chunk 0 so chunk 1 is now the LRU victim.
+        assert!(cache.get(&key(1, 0)).is_some());
+        cache.insert(key(1, 3), values(10, 3.0));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.bytes, 240);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.get(&key(1, 1)).is_none(), "LRU entry must be gone");
+        assert!(cache.get(&key(1, 0)).is_some());
+        assert!(cache.get(&key(1, 3)).is_some());
+
+        // An oversized value is not retained and evicts nothing.
+        cache.insert(key(1, 9), values(1000, 9.0));
+        assert_eq!(cache.stats().entries, 3);
+        assert_eq!(cache.stats().evictions, 1);
+
+        // A large (but fitting) value evicts as many entries as needed.
+        cache.insert(key(1, 10), values(25, 10.0));
+        let stats = cache.stats();
+        assert_eq!(stats.bytes, 200);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 4);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_begin() {
+        let cache = ChunkCache::new(1 << 20);
+        match cache.begin(key(7, 0)) {
+            Claim::Lead(lead) => cache.complete(lead, Ok(values(4, 1.0))),
+            _ => panic!("cold begin must lead"),
+        }
+        match cache.begin(key(7, 0)) {
+            Claim::Cached(v) => assert_eq!(v.len(), 4),
+            _ => panic!("warm begin must hit"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.coalesced), (1, 1, 0));
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_decodes() {
+        let cache = Arc::new(ChunkCache::new(1 << 20));
+        let decodes = Arc::new(AtomicU64::new(0));
+        let threads = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let decodes = Arc::clone(&decodes);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match cache.begin(key(3, 5)) {
+                        Claim::Cached(v) => v,
+                        Claim::Join(join) => cache.wait(join).unwrap(),
+                        Claim::Lead(lead) => {
+                            // Linger so the other threads pile onto the
+                            // flight instead of winning their own race.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            decodes.fetch_add(1, Ordering::SeqCst);
+                            let v = values(6, 42.0);
+                            cache.complete(lead, Ok(Arc::clone(&v)));
+                            v
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap()[0], 42.0);
+        }
+        assert_eq!(decodes.load(Ordering::SeqCst), 1, "exactly one decode");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.coalesced + stats.hits, threads as u64 - 1);
+    }
+
+    #[test]
+    fn abandoned_flight_unblocks_followers_with_an_error() {
+        let cache = Arc::new(ChunkCache::new(1 << 20));
+        let lead = match cache.begin(key(1, 1)) {
+            Claim::Lead(lead) => lead,
+            _ => panic!("cold begin must lead"),
+        };
+        let follower = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.begin(key(1, 1)) {
+                Claim::Join(join) => cache.wait(join),
+                Claim::Cached(_) => panic!("nothing was published"),
+                Claim::Lead(_) => panic!("flight already has a leader"),
+            })
+        };
+        // Give the follower time to join, then abandon the flight.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(lead);
+        assert!(matches!(
+            follower.join().unwrap(),
+            Err(StoreError::Internal(_))
+        ));
+        // The key is claimable again afterwards.
+        assert!(matches!(cache.begin(key(1, 1)), Claim::Lead(_)));
+    }
+
+    #[test]
+    fn leader_error_propagates_to_followers_and_is_not_cached() {
+        let cache = ChunkCache::new(1 << 20);
+        let lead = match cache.begin(key(2, 2)) {
+            Claim::Lead(lead) => lead,
+            _ => panic!("cold begin must lead"),
+        };
+        cache.complete(lead, Err(StoreError::Corrupt("boom")));
+        assert!(cache.get(&key(2, 2)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

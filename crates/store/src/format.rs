@@ -14,8 +14,9 @@
 //! │ parity   [v3] per field, per group: XOR parity payload           │
 //! │          [v4] per field, per group: m Reed–Solomon shards        │
 //! ├──────────────────────────────────────────────────────────────────┤
-//! │ footer   per field: name (u16 + bytes) · bound flag u8 ·         │
-//! │          bound f64 · chunk count u64 · chunk metas (64 B each) · │
+//! │ footer   per field: name (u16 + bytes) · control tag u8 ·        │
+//! │          control payload f64 · chunk count u64 ·                 │
+//! │          chunk metas (64 B each) ·                               │
 //! │          [v3+: parity count u64 · parity metas (20 B each)]      │
 //! ├──────────────────────────────────────────────────────────────────┤
 //! │ trailer  footer offset u64 · crc32(header ∥ footer) u32 ·        │
@@ -53,7 +54,7 @@ use crate::source::{self, ByteSource, SliceSource};
 use std::fmt;
 use zmesh::{crc32, GroupingMode, OrderingPolicy, ZmeshError};
 use zmesh_amr::{AmrError, StorageMode};
-use zmesh_codecs::{CodecError, CodecKind, ValueType};
+use zmesh_codecs::{CodecError, CodecKind, ErrorControl, ValueType};
 
 /// Leading magic of a v2/v3 store.
 pub const STORE_MAGIC: [u8; 4] = *b"ZMS2";
@@ -280,6 +281,15 @@ pub struct FieldEntry {
     /// Absolute pointwise error bound every chunk of this field honors
     /// (`None` under fixed-rate / fixed-precision control).
     pub resolved_bound: Option<f64>,
+    /// The *original* precision control, recorded only when no resolved
+    /// absolute bound exists to reproduce the encode (fixed-rate /
+    /// fixed-precision fields; control tags 2/3 in the footer). Bounded
+    /// controls need no record: re-encoding with
+    /// `Absolute(resolved_bound)` is exactly what the writer did. `None`
+    /// with `resolved_bound == None` marks a store written before control
+    /// tagging — `repair --from-raw` cannot re-encode such fields and says
+    /// so explicitly.
+    pub control: Option<ErrorControl>,
     /// Per-chunk metadata, in stream order.
     pub chunks: Vec<ChunkMeta>,
     /// Per-parity-shard metadata (empty for v2 stores / parity disabled);
@@ -435,8 +445,18 @@ pub(crate) fn write_footer(fields: &[FieldEntry], version: u16) -> Vec<u8> {
     for field in fields {
         put_u16(&mut out, field.name.len() as u16);
         out.extend_from_slice(field.name.as_bytes());
-        out.push(u8::from(field.resolved_bound.is_some()));
-        put_u64(&mut out, field.resolved_bound.unwrap_or(0.0).to_bits());
+        // Control tag + one f64 payload slot. Tag 1 (resolved absolute
+        // bound) keeps historical bytes; tags 2/3 reuse the same slot to
+        // persist the original unbounded control instead of writing the
+        // legacy "nothing recorded" tag 0.
+        let (tag, payload) = match (field.resolved_bound, field.control) {
+            (Some(bound), _) => (1u8, bound.to_bits()),
+            (None, Some(ErrorControl::FixedRate(rate))) => (2, rate.to_bits()),
+            (None, Some(ErrorControl::FixedPrecision(p))) => (3, u64::from(p)),
+            (None, _) => (0, 0),
+        };
+        out.push(tag);
+        put_u64(&mut out, payload);
         put_u64(&mut out, field.chunks.len() as u64);
         for chunk in &field.chunks {
             chunk.write(&mut out);
@@ -461,12 +481,21 @@ pub(crate) fn read_footer(bytes: &[u8], version: u16) -> Result<Vec<FieldEntry>,
         let name = std::str::from_utf8(c.take(name_len)?)
             .map_err(|_| StoreError::Corrupt("field name not utf-8"))?
             .to_string();
-        let has_bound = c.u8()?;
-        let bound_bits = c.u64()?;
-        let resolved_bound = match has_bound {
-            0 => None,
-            1 => Some(f64::from_bits(bound_bits)),
-            _ => return Err(StoreError::Corrupt("bound flag")),
+        let control_tag = c.u8()?;
+        let control_bits = c.u64()?;
+        let (resolved_bound, control) = match control_tag {
+            0 => (None, None),
+            1 => (Some(f64::from_bits(control_bits)), None),
+            2 => (
+                None,
+                Some(ErrorControl::FixedRate(f64::from_bits(control_bits))),
+            ),
+            3 => {
+                let p = u32::try_from(control_bits)
+                    .map_err(|_| StoreError::Corrupt("fixed-precision payload"))?;
+                (None, Some(ErrorControl::FixedPrecision(p)))
+            }
+            _ => return Err(StoreError::Corrupt("control tag")),
         };
         let n_chunks = c.u64()? as usize;
         // Bound allocation by what the *unread* buffer can actually hold;
@@ -496,6 +525,7 @@ pub(crate) fn read_footer(bytes: &[u8], version: u16) -> Result<Vec<FieldEntry>,
         fields.push(FieldEntry {
             name,
             resolved_bound,
+            control,
             chunks,
             parity,
         });
@@ -837,6 +867,7 @@ mod tests {
         let fields = vec![FieldEntry {
             name: "density".into(),
             resolved_bound: Some(1e-4),
+            control: None,
             chunks: vec![ChunkMeta::test_sample(0, 100)],
             parity: vec![ParityMeta {
                 offset: 0,
@@ -864,12 +895,42 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn footer_round_trips_every_control_tag() {
+        let entry = |resolved_bound, control| FieldEntry {
+            name: "density".into(),
+            resolved_bound,
+            control,
+            chunks: vec![ChunkMeta::test_sample(0, 100)],
+            parity: Vec::new(),
+        };
+        let fields = vec![
+            entry(Some(1e-4), None),
+            entry(None, Some(ErrorControl::FixedRate(12.5))),
+            entry(None, Some(ErrorControl::FixedPrecision(24))),
+            entry(None, None),
+        ];
+        let bytes = write_footer(&fields, 2);
+        assert_eq!(read_footer(&bytes, 2).unwrap(), fields);
+
+        // An unknown control tag is corrupt, not silently ignored.
+        let mut bad = write_footer(&fields[..1], 2);
+        let tag_at = 4 + 2 + "density".len();
+        assert_eq!(bad[tag_at], 1);
+        bad[tag_at] = 9;
+        assert!(matches!(
+            read_footer(&bad, 2),
+            Err(StoreError::Corrupt("control tag"))
+        ));
+    }
+
     fn sample_v4_store() -> (Vec<u8>, Vec<FieldEntry>) {
         let header = sample_v4_header();
         let payload = vec![9u8; 100];
         let fields = vec![FieldEntry {
             name: "density".into(),
             resolved_bound: Some(1e-4),
+            control: None,
             chunks: vec![ChunkMeta::test_sample(0, 100)],
             parity: vec![
                 ParityMeta {
@@ -963,6 +1024,7 @@ mod tests {
         let fields = vec![FieldEntry {
             name: "x".into(),
             resolved_bound: None,
+            control: None,
             chunks: vec![],
             parity: vec![],
         }];
@@ -978,6 +1040,7 @@ mod tests {
         let v3_fields = vec![FieldEntry {
             name: "rho".into(),
             resolved_bound: None,
+            control: None,
             chunks: vec![ChunkMeta::test_sample(0, 64)],
             parity: vec![ParityMeta {
                 offset: 64,
@@ -991,6 +1054,7 @@ mod tests {
         let v2_fields = vec![FieldEntry {
             name: "rho".into(),
             resolved_bound: None,
+            control: None,
             chunks: vec![ChunkMeta::test_sample(0, 64)],
             parity: vec![],
         }];

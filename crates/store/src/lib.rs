@@ -52,6 +52,7 @@
 
 mod cache;
 mod chunk;
+mod chunk_cache;
 #[cfg(any(test, feature = "testing"))]
 pub mod faultinject;
 mod format;
@@ -64,6 +65,7 @@ mod writer;
 
 pub use cache::{CacheStats, RecipeCache};
 pub use chunk::{plan_chunks, ChunkMeta, ChunkPlan, CHUNK_META_BYTES, DEFAULT_CHUNK_TARGET_BYTES};
+pub use chunk_cache::{ChunkCache, ChunkCacheStats, ChunkKey, ChunkValues};
 pub use format::{
     is_store, open as open_parts, open_source as open_parts_source, peek_header, FieldEntry,
     StoreCapabilities, StoreError, StoreHeader, COMMIT_MAGIC, COMMIT_RECORD_BYTES,

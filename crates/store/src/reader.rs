@@ -11,6 +11,7 @@
 //! reports the loss in a [`DamageReport`].
 
 use crate::cache::RecipeCache;
+use crate::chunk_cache::{ChunkCache, ChunkKey, ChunkValues, Claim};
 use crate::format::{self, FieldEntry, StoreError, StoreHeader};
 use crate::gf256;
 use crate::parity::{group_members, group_of, reconstruct, Parity, ParityMeta};
@@ -339,6 +340,7 @@ pub struct StoreReader<S> {
     policy: ReadPolicy,
     prefetch_window: usize,
     coalesce_gap: u64,
+    chunk_cache: Option<(Arc<ChunkCache>, u64)>,
 }
 
 impl<'a> StoreReader<SliceSource<'a>> {
@@ -399,6 +401,7 @@ impl<S: ByteSource> StoreReader<S> {
             policy: ReadPolicy::Strict,
             prefetch_window: DEFAULT_PREFETCH_WINDOW,
             coalesce_gap: 0,
+            chunk_cache: None,
         })
     }
 
@@ -424,6 +427,23 @@ impl<S: ByteSource> StoreReader<S> {
     pub fn with_coalesce_gap(mut self, gap: u64) -> Self {
         self.coalesce_gap = gap;
         self
+    }
+
+    /// Routes chunk decodes through a shared [`ChunkCache`]. `store_key`
+    /// is this store's identity inside the cache — callers sharing one
+    /// cache across stores (a catalog, a server) must assign each open
+    /// store a distinct key, or hits will serve another store's values.
+    /// Hits return the cached decoded values without touching the source;
+    /// misses decode once even under concurrency (single-flight) and
+    /// populate the cache.
+    pub fn with_chunk_cache(mut self, cache: Arc<ChunkCache>, store_key: u64) -> Self {
+        self.chunk_cache = Some((cache, store_key));
+        self
+    }
+
+    /// The attached decoded-chunk cache, if any.
+    pub fn chunk_cache(&self) -> Option<&Arc<ChunkCache>> {
+        self.chunk_cache.as_ref().map(|(cache, _)| cache)
     }
 
     /// The source the store is being read from.
@@ -462,10 +482,11 @@ impl<S: ByteSource> StoreReader<S> {
         self.fields.iter().map(|f| f.name.as_str()).collect()
     }
 
-    fn field(&self, name: &str) -> Result<&FieldEntry, StoreError> {
+    fn field(&self, name: &str) -> Result<(usize, &FieldEntry), StoreError> {
         self.fields
             .iter()
-            .find(|f| f.name == name)
+            .enumerate()
+            .find(|(_, f)| f.name == name)
             .ok_or_else(|| StoreError::UnknownField(name.to_string()))
     }
 
@@ -697,7 +718,7 @@ impl<S: ByteSource> StoreReader<S> {
         &self,
         entry: &FieldEntry,
         ids: &[usize],
-        results: &mut [Option<Result<Vec<f64>, StoreError>>],
+        results: &mut [Option<Result<ChunkValues, StoreError>>],
     ) -> Vec<ReadGroup> {
         let mut spans: Vec<(usize, Range<u64>)> = Vec::with_capacity(ids.len());
         for (pos, &i) in ids.iter().enumerate() {
@@ -727,28 +748,79 @@ impl<S: ByteSource> StoreReader<S> {
         groups
     }
 
-    /// Fetches and decodes the given chunks of `entry`, returning
-    /// `(chunk id, result)` pairs in the order of `ids`.
+    /// Fetches and decodes the given chunks of `entry` (footer index
+    /// `field_idx`), returning `(chunk id, result)` pairs in the order of
+    /// `ids`. With an attached [`ChunkCache`], resident chunks are served
+    /// without touching the source, concurrent decodes of the same chunk
+    /// coalesce onto one leader, and fresh decodes populate the cache;
+    /// without one this is exactly [`StoreReader::fetch_decode_direct`].
+    fn fetch_decode(
+        &self,
+        field_idx: usize,
+        entry: &FieldEntry,
+        ids: &[usize],
+    ) -> Vec<(usize, Result<ChunkValues, StoreError>)> {
+        let Some((cache, store_key)) = &self.chunk_cache else {
+            return self.fetch_decode_direct(entry, ids);
+        };
+        let key = |i: usize| ChunkKey {
+            store: *store_key,
+            field: field_idx as u32,
+            chunk: i as u32,
+        };
+        let mut results: Vec<Option<Result<ChunkValues, StoreError>>> =
+            ids.iter().map(|_| None).collect();
+        let mut leads = Vec::new();
+        let mut joins = Vec::new();
+        for (pos, &i) in ids.iter().enumerate() {
+            match cache.begin(key(i)) {
+                Claim::Cached(values) => results[pos] = Some(Ok(values)),
+                Claim::Lead(lead) => leads.push((pos, lead)),
+                Claim::Join(join) => joins.push((pos, join)),
+            }
+        }
+        // Decode every led chunk through the normal (coalesced,
+        // prefetching) batch path, then publish each result to its flight
+        // so followers — here or in other threads — wake with it.
+        let lead_ids: Vec<usize> = leads.iter().map(|&(pos, _)| ids[pos]).collect();
+        let decoded = self.fetch_decode_direct(entry, &lead_ids);
+        for ((pos, lead), (i, result)) in leads.into_iter().zip(decoded) {
+            debug_assert_eq!(ids[pos], i);
+            cache.complete(lead, result.clone());
+            results[pos] = Some(result);
+        }
+        for (pos, join) in joins {
+            results[pos] = Some(cache.wait(join));
+        }
+        ids.iter()
+            .zip(results)
+            .map(|(&i, r)| (i, r.expect("every selected chunk has a decode result")))
+            .collect()
+    }
+
+    /// The cache-oblivious batch decode path: fetches and decodes the
+    /// given chunks of `entry`, returning `(chunk id, result)` pairs in
+    /// the order of `ids`.
     ///
     /// Zero-copy sources decode straight from the resident bytes in
     /// parallel (the historical path, unchanged). Ranged sources overlap
     /// I/O with decode: a producer thread reads coalesced group `g+1`
     /// while rayon workers decode group `g`, with a bounded channel (the
     /// prefetch window) between them.
-    fn fetch_decode(
+    fn fetch_decode_direct(
         &self,
         entry: &FieldEntry,
         ids: &[usize],
-    ) -> Vec<(usize, Result<Vec<f64>, StoreError>)> {
+    ) -> Vec<(usize, Result<ChunkValues, StoreError>)> {
         use rayon::prelude::*;
 
         if self.source.as_slice().is_some() {
             return ids
                 .par_iter()
-                .map(|&i| (i, self.decode_chunk(entry, i)))
+                .map(|&i| (i, self.decode_chunk(entry, i).map(Arc::new)))
                 .collect();
         }
-        let mut results: Vec<Option<Result<Vec<f64>, StoreError>>> =
+        let mut results: Vec<Option<Result<ChunkValues, StoreError>>> =
             ids.iter().map(|_| None).collect();
         let groups = self.coalesce(entry, ids, &mut results);
         let (tx, rx) = std::sync::mpsc::sync_channel::<(ReadGroup, Result<Vec<u8>, StoreError>)>(
@@ -768,7 +840,7 @@ impl<S: ByteSource> StoreReader<S> {
             for (group, bytes) in rx {
                 match bytes {
                     Ok(bytes) => {
-                        let decoded: Vec<(usize, Result<Vec<f64>, StoreError>)> = group
+                        let decoded: Vec<(usize, Result<ChunkValues, StoreError>)> = group
                             .members
                             .par_iter()
                             .map(|&pos| {
@@ -779,7 +851,10 @@ impl<S: ByteSource> StoreReader<S> {
                                 let lo =
                                     (self.payload.start + meta.offset - group.range.start) as usize;
                                 let payload = &bytes[lo..lo + meta.len as usize];
-                                (pos, self.decode_chunk_bytes(entry, i, payload))
+                                (
+                                    pos,
+                                    self.decode_chunk_bytes(entry, i, payload).map(Arc::new),
+                                )
                             })
                             .collect();
                         for (pos, result) in decoded {
@@ -816,9 +891,9 @@ impl<S: ByteSource> StoreReader<S> {
         &self,
         name: &str,
     ) -> Result<(AmrField, DamageReport), StoreError> {
-        let entry = self.field(name)?;
+        let (field_idx, entry) = self.field(name)?;
         let ids: Vec<usize> = (0..entry.chunks.len()).collect();
-        let decoded = self.fetch_decode(entry, &ids);
+        let decoded = self.fetch_decode(field_idx, entry, &ids);
         let mut report = DamageReport {
             fill: self.policy.salvage_fill().unwrap_or_default(),
             ..DamageReport::default()
@@ -826,7 +901,7 @@ impl<S: ByteSource> StoreReader<S> {
         let mut stream = Vec::with_capacity(self.recipe.len());
         for (i, result) in decoded {
             match (result, self.policy.salvage_fill()) {
-                (Ok(values), _) => stream.extend(values),
+                (Ok(values), _) => stream.extend_from_slice(&values),
                 (Err(error), Some(fill)) => match self.reconstruct_chunk(entry, i) {
                     Some(values) => {
                         report
@@ -947,14 +1022,14 @@ impl<S: ByteSource> StoreReader<S> {
     /// [`ReadPolicy::Salvage`], damaged chunks are dropped from the result
     /// and itemized in [`QueryResult::damage`].
     pub fn query(&self, name: &str, query: &Query) -> Result<QueryResult, StoreError> {
-        let entry = self.field(name)?;
+        let (field_idx, entry) = self.field(name)?;
         let selected = self.select_chunks(entry, query)?;
-        let attempts = self.fetch_decode(entry, &selected);
+        let attempts = self.fetch_decode(field_idx, entry, &selected);
         let mut damage = DamageReport {
             fill: self.policy.salvage_fill().unwrap_or_default(),
             ..DamageReport::default()
         };
-        let mut decoded: Vec<(usize, Vec<f64>)> = Vec::with_capacity(attempts.len());
+        let mut decoded: Vec<(usize, ChunkValues)> = Vec::with_capacity(attempts.len());
         for (i, result) in attempts {
             match result {
                 Ok(values) => decoded.push((i, values)),
@@ -963,7 +1038,7 @@ impl<S: ByteSource> StoreReader<S> {
                         damage
                             .chunks
                             .push(self.damaged(entry, i, error, DamageStatus::Repaired));
-                        decoded.push((i, values));
+                        decoded.push((i, Arc::new(values)));
                     }
                     None => {
                         damage
@@ -980,7 +1055,7 @@ impl<S: ByteSource> StoreReader<S> {
         let mut hits: Vec<(u32, f64)> = Vec::new();
         for (i, values) in &decoded {
             let range = self.stream_range(*i);
-            for (pos, &value) in range.clone().zip(values) {
+            for (pos, &value) in range.clone().zip(values.iter()) {
                 let storage = perm[pos];
                 if self.cell_selected(self.cell(storage), query) {
                     hits.push((storage, value));
@@ -1031,7 +1106,7 @@ mod tests {
         assert_eq!(reader.field_names(), vec!["density", "energy"]);
         for (name, original) in &ds.fields {
             let decoded = reader.decode_field(name).unwrap();
-            let bound = reader.field(name).unwrap().resolved_bound.unwrap();
+            let bound = reader.field(name).unwrap().1.resolved_bound.unwrap();
             for (a, b) in original.values().iter().zip(decoded.values()) {
                 assert!((a - b).abs() <= bound * (1.0 + 1e-9));
             }
@@ -1378,6 +1453,46 @@ mod tests {
         assert_eq!(report.parity[0].group, 0);
         assert!(!report.is_empty());
         assert!(field.values().iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn chunk_cache_round_trips_and_counts_hits() {
+        let (_, bytes) = sample_store(1024);
+        let plain = StoreReader::open(&bytes).unwrap();
+        let q = Query::bbox([0, 0, 0], [7, 7, 0]);
+        let want = plain.query("density", &q).unwrap();
+
+        let cache = Arc::new(ChunkCache::new(1 << 20));
+        let cached = StoreReader::open(&bytes)
+            .unwrap()
+            .with_chunk_cache(Arc::clone(&cache), 1);
+        let cold = cached.query("density", &q).unwrap();
+        assert_eq!(cold.storage_indices, want.storage_indices);
+        assert_eq!(cold.values, want.values);
+        let after_cold = cache.stats();
+        assert!(after_cold.misses > 0);
+        assert_eq!(after_cold.hits, 0);
+
+        let warm = cached.query("density", &q).unwrap();
+        assert_eq!(warm.storage_indices, want.storage_indices);
+        assert_eq!(warm.values, want.values);
+        let after_warm = cache.stats();
+        assert_eq!(after_warm.hits, after_cold.misses);
+        assert_eq!(after_warm.misses, after_cold.misses);
+
+        // A second store sharing the cache under a different key must not
+        // collide: same field/chunk indices, fresh misses.
+        let other = StoreReader::open(&bytes)
+            .unwrap()
+            .with_chunk_cache(Arc::clone(&cache), 2);
+        let again = other.query("density", &q).unwrap();
+        assert_eq!(again.values, want.values);
+        assert_eq!(cache.stats().misses, 2 * after_cold.misses);
+
+        // Full-field decode also flows through the cache.
+        let field = cached.decode_field("density").unwrap();
+        assert!(!field.values().is_empty());
+        assert!(cache.stats().hits > after_warm.hits);
     }
 
     #[test]

@@ -415,25 +415,49 @@ impl<'a> RawSource<'a> {
 
 /// Re-encodes every chunk of `entry` from the raw field data, reproducing
 /// the writer's pipeline from the parameters recorded in the header and
-/// footer. Returns `None` when the raw data cannot possibly match (wrong
-/// mesh, wrong mode, unreproducible error control) — callers still verify
-/// each chunk against its footer CRC before use.
+/// footer. Returns a descriptive error when the raw data cannot possibly
+/// match (wrong mesh, wrong mode, no reproducible error control) — the
+/// error surfaces on any chunks the other avenues also fail to recover,
+/// and callers still verify each re-encoded chunk against its footer CRC
+/// before use.
 fn raw_encode_field(
     header: &StoreHeader,
     entry: &FieldEntry,
     raw: &RawSource<'_>,
-) -> Option<Vec<Vec<u8>>> {
-    let (_, field) = raw.fields.iter().find(|(n, _)| *n == entry.name)?;
+) -> Result<Vec<Vec<u8>>, StoreError> {
+    let (_, field) = raw
+        .fields
+        .iter()
+        .find(|(n, _)| *n == entry.name)
+        .ok_or_else(|| StoreError::UnknownField(entry.name.clone()))?;
     if field.mode() != header.mode {
-        return None;
+        return Err(StoreError::InvalidOptions(
+            "raw dataset storage mode differs from the store's",
+        ));
     }
     let tree = field.tree();
     if tree.structure_bytes() != header.structure {
-        return None;
+        return Err(StoreError::InvalidOptions(
+            "raw dataset mesh structure differs from the store's",
+        ));
     }
-    // FixedRate/FixedPrecision controls resolve to no absolute bound; the
-    // footer cannot reproduce them, so re-encoding is undefined there.
-    let bound = entry.resolved_bound?;
+    // Bounded controls re-encode as `Absolute(resolved_bound)` — exactly
+    // what the writer did. Unbounded controls (fixed-rate /
+    // fixed-precision) resolve to no bound, so the writer records the
+    // original control in the footer; a store written before that tagging
+    // existed cannot be re-encoded, and silently substituting some bound
+    // would produce chunks the footer CRCs reject anyway.
+    let control = match (entry.resolved_bound, entry.control) {
+        (Some(bound), _) => ErrorControl::Absolute(bound),
+        (None, Some(control)) => control,
+        (None, None) => {
+            return Err(StoreError::InvalidOptions(
+                "store predates control tagging: the original fixed-rate/fixed-precision \
+                 control is not recorded in the footer, so this field cannot be re-encoded \
+                 from raw data (re-pack the dataset instead)",
+            ))
+        }
+    };
     let grouping = GroupingMode::from_storage_mode(header.mode);
     let local_cache;
     let cache = match raw.cache {
@@ -447,11 +471,13 @@ fn raw_encode_field(
     let stream = recipe.apply(field.values());
     let chunk_values = (header.chunk_target_bytes as usize / 8).max(1);
     if stream.len().div_ceil(chunk_values) != entry.chunks.len() {
-        return None;
+        return Err(StoreError::InvalidOptions(
+            "raw dataset value count disagrees with the store's chunk plan",
+        ));
     }
     let codec = codec_for(header.codec);
     let params = CodecParams {
-        control: ErrorControl::Absolute(bound),
+        control,
         dims: [0, 0, 0],
         value_type: header.value_type,
     };
@@ -459,9 +485,13 @@ fn raw_encode_field(
     for i in 0..entry.chunks.len() {
         let lo = i * chunk_values;
         let hi = ((i + 1) * chunk_values).min(stream.len());
-        out.push(codec.compress(&stream[lo..hi], &params).ok()?);
+        out.push(
+            codec
+                .compress(&stream[lo..hi], &params)
+                .map_err(StoreError::Codec)?,
+        );
     }
-    Some(out)
+    Ok(out)
 }
 
 /// [`repair_with`] without a raw source: parity first, then `replica`.
@@ -547,7 +577,7 @@ pub fn repair_with_sources<S: ByteSource + ?Sized, R: ByteSource + ?Sized>(
             .collect();
         let mut sources: Vec<Option<RepairSource>> = vec![None; n];
         // The raw re-encode covers the whole field; run it at most once.
-        let mut raw_chunks: Option<Option<Vec<Vec<u8>>>> = None;
+        let mut raw_chunks: Option<Result<Vec<Vec<u8>>, StoreError>> = None;
         loop {
             let mut progress = false;
             // Avenue 1: the store's own parity, one group at a time.
@@ -618,7 +648,7 @@ pub fn repair_with_sources<S: ByteSource + ?Sized, R: ByteSource + ?Sized>(
                 if chunks.iter().any(Option::is_none) {
                     let encoded =
                         raw_chunks.get_or_insert_with(|| raw_encode_field(&header, entry, raw_src));
-                    if let Some(encoded) = encoded {
+                    if let Ok(encoded) = encoded {
                         for i in 0..n {
                             if chunks[i].is_some() {
                                 continue;
@@ -645,10 +675,17 @@ pub fn repair_with_sources<S: ByteSource + ?Sized, R: ByteSource + ?Sized>(
                     chunk: i,
                     source,
                 }),
+                // When a raw source was offered but could not be used, that
+                // reason (mesh mismatch, missing precision control, …) is
+                // the actionable error — report it instead of the
+                // underlying span damage the caller already knows about.
                 (None, _) => outcome.lost.push(LostChunk {
                     field: entry.name.clone(),
                     chunk: i,
-                    error: data_span(src, &payload, entry, i).unwrap_err(),
+                    error: match &raw_chunks {
+                        Some(Err(e)) => e.clone(),
+                        _ => data_span(src, &payload, entry, i).unwrap_err(),
+                    },
                 }),
                 _ => {}
             }
@@ -678,6 +715,7 @@ pub fn repair_with_sources<S: ByteSource + ?Sized, R: ByteSource + ?Sized>(
         entries.push(FieldEntry {
             name: entry.name.clone(),
             resolved_bound: entry.resolved_bound,
+            control: entry.control,
             chunks,
             parity: Vec::new(),
         });
@@ -1010,5 +1048,64 @@ mod tests {
             assert_eq!(outcome.parity_rebuilt, 0);
             assert_eq!(outcome.bytes.unwrap(), clean, "{parity:?}");
         }
+    }
+
+    fn fixed_rate_store(ds: &datasets::Dataset) -> Vec<u8> {
+        let config = CompressionConfig {
+            codec: zmesh_codecs::CodecKind::Zfp,
+            control: ErrorControl::FixedRate(16.0),
+            ..CompressionConfig::zmesh_default()
+        };
+        StoreWriter::new(config)
+            .with_chunk_target_bytes(512)
+            .with_parity(Parity::None)
+            .write(&refs(ds))
+            .unwrap()
+            .bytes
+    }
+
+    #[test]
+    fn raw_reencode_reproduces_fixed_rate_fields_from_the_recorded_control() {
+        let ds = dataset();
+        let pristine = fixed_rate_store(&ds);
+        let (_, fields, _) = format::open(&pristine).unwrap();
+        assert!(fields.iter().all(
+            |f| f.resolved_bound.is_none() && f.control == Some(ErrorControl::FixedRate(16.0))
+        ));
+
+        let mut broken = pristine.clone();
+        faultinject::flip_data_chunk(&mut broken, 0, 0);
+        let raw_fields = refs(&ds);
+        let raw = RawSource::new(&raw_fields);
+        let outcome = repair_with(&broken, None, Some(&raw)).unwrap();
+        assert!(outcome.lost.is_empty(), "{:?}", outcome.lost);
+        assert_eq!(outcome.bytes.unwrap(), pristine);
+    }
+
+    #[test]
+    fn raw_reencode_rejects_stores_without_a_recorded_control() {
+        let ds = dataset();
+        let pristine = fixed_rate_store(&ds);
+        // Simulate a store written before control tagging: same payload,
+        // footer control record stripped back to tag 0.
+        let (header, mut fields, payload) = format::open(&pristine).unwrap();
+        for f in &mut fields {
+            f.control = None;
+        }
+        let mut legacy = assemble(write_header(&header), &pristine[payload], &fields);
+        faultinject::flip_data_chunk(&mut legacy, 0, 0);
+
+        let raw_fields = refs(&ds);
+        let raw = RawSource::new(&raw_fields);
+        let outcome = repair_with(&legacy, None, Some(&raw)).unwrap();
+        assert!(!outcome.lost.is_empty());
+        assert!(
+            matches!(
+                &outcome.lost[0].error,
+                StoreError::InvalidOptions(msg) if msg.contains("control")
+            ),
+            "want a clear missing-control error, got {:?}",
+            outcome.lost[0].error
+        );
     }
 }

@@ -307,6 +307,11 @@ impl StoreWriter {
             entries.push(FieldEntry {
                 name: (*name).to_string(),
                 resolved_bound: reordered[f].1,
+                // Unbounded controls leave no resolved bound to re-encode
+                // from, so the footer records the control itself — this is
+                // what lets `repair --from-raw` reproduce fixed-rate /
+                // fixed-precision fields bit-exactly.
+                control: reordered[f].1.is_none().then_some(self.config.control),
                 chunks,
                 parity: Vec::new(),
             });

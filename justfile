@@ -32,9 +32,23 @@ scrub-smoke:
 store-read-smoke:
     bash scripts/store_read_smoke.sh
 
+# Serve smoke: daemon on a packed catalog, concurrent responses ≡ CLI,
+# structured errors, clean SIGTERM drain.
+serve-smoke:
+    bash scripts/serve_smoke.sh
+
 # Ranged vs in-memory store read bench, with machine-readable medians.
 bench-store-read:
     CRITERION_JSON=BENCH_store_read.json cargo bench -p zmesh-bench --bench store_read
+
+# Multi-client daemon traffic generator: QPS + p50/p95/p99 and cache hit
+# rates, written to BENCH_serve.json.
+bench-serve:
+    cargo run --release -p zmesh-cli --bin zmesh -- bench-serve
+
+# Single-request daemon latency under criterion (cold vs warm chunk LRU).
+bench-serve-micro:
+    CRITERION_JSON=BENCH_serve_micro.json cargo bench -p zmesh-bench --bench serve
 
 # Regenerate every reconstructed paper artifact.
 repro scale="small":

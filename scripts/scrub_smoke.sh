@@ -52,7 +52,16 @@ inject "$workdir/broken.zms" --data 0,1
 expect_code 6 zmesh scrub "$workdir/broken.zms"
 
 echo "==> repair from parity restores the exact bytes"
-expect_code 0 zmesh repair "$workdir/broken.zms" -o "$workdir/repaired.zms"
+expect_code 0 zmesh repair "$workdir/broken.zms" -o "$workdir/repaired.zms" \
+    >"$workdir/repair.out" 2>"$workdir/repair.err"
+cat "$workdir/repair.out" "$workdir/repair.err"
+# The JSON summary is diagnostics and belongs on stderr; stdout stays
+# machine-parseable.
+if grep -q '"repaired":' "$workdir/repair.out"; then
+    echo "scrub_smoke: repair JSON summary leaked onto stdout" >&2
+    exit 1
+fi
+grep -q '"repaired":' "$workdir/repair.err"
 cmp "$workdir/repaired.zms" "$workdir/data.zms"
 expect_code 0 zmesh scrub "$workdir/repaired.zms"
 

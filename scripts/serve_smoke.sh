@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Serve-daemon smoke test: prove the resident `zmesh serve` daemon answers
+# concurrent queries byte-identically to the offline CLI, surfaces broken
+# stores as structured errors instead of dying, and drains cleanly on
+# SIGTERM.
+#
+#   pack two stores into a catalog dir → start `zmesh serve` on an
+#   ephemeral port → parse the advertised address from stdout
+#        → /healthz and /catalog sanity
+#        → CLI `zmesh query -o golden.csv` as the golden answer
+#        → 4 concurrent `curl …format=csv` responses, each byte-identical
+#        → unknown field → 404, malformed bbox → 400 (structured JSON)
+#        → corrupt a third store, /catalog?refresh=1 picks it up,
+#          querying it → 500 with an "error" object (daemon stays up)
+#        → kill -TERM → daemon drains and exits 0
+#
+# Uses the built `target/release/zmesh` binary directly (not `cargo run`)
+# so the TERM signal reaches the daemon itself, plus `curl` as the client.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/zmesh_serve_smoke.XXXXXX")
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> build the CLI and the fault injector"
+cargo build -q --release -p zmesh-cli --bin zmesh
+cargo build -q --release -p zmesh-bench --features faultinject --bin faultinject
+zmesh=target/release/zmesh
+faultinject=target/release/faultinject
+
+echo "==> pack a two-store catalog"
+catalog="$workdir/catalog"
+mkdir -p "$catalog"
+"$zmesh" generate blast2d -o "$workdir/blast.zmd" --scale tiny
+"$zmesh" generate front2d -o "$workdir/front.zmd" --scale tiny
+"$zmesh" pack "$workdir/blast.zmd" -o "$catalog/blast.zms" --chunk-kb 2
+"$zmesh" pack "$workdir/front.zmd" -o "$catalog/front.zms" --chunk-kb 2
+
+echo "==> start the daemon on an ephemeral port"
+"$zmesh" serve "$catalog" --addr 127.0.0.1:0 --workers 4 \
+    >"$workdir/serve.out" 2>"$workdir/serve.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^listening on http://\([0-9.:]*\) .*#\1#p' "$workdir/serve.out")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "serve_smoke: daemon died before listening" >&2
+        cat "$workdir/serve.out" "$workdir/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve_smoke: never saw the 'listening on http://' line" >&2
+    exit 1
+fi
+echo "    daemon is up at $addr"
+
+echo "==> control-plane sanity: /healthz and /catalog"
+curl -fsS "http://$addr/healthz" | grep -q '"ok":true'
+curl -fsS "http://$addr/catalog" >"$workdir/catalog.json"
+grep -q '"blast"' "$workdir/catalog.json"
+grep -q '"front"' "$workdir/catalog.json"
+
+echo "==> golden answer from the offline CLI"
+"$zmesh" query "$catalog/blast.zms" --field density --bbox 0,0:7,7 \
+    -o "$workdir/golden.csv" >/dev/null 2>&1
+
+echo "==> 4 concurrent daemon queries, each byte-identical to the CLI"
+url="http://$addr/stores/blast/query?field=density&bbox=0,0:7,7&format=csv"
+pids=""
+for i in 1 2 3 4; do
+    curl -fsS "$url" -o "$workdir/concurrent_$i.csv" &
+    pids="$pids $!"
+done
+for pid in $pids; do
+    wait "$pid"
+done
+for i in 1 2 3 4; do
+    cmp "$workdir/golden.csv" "$workdir/concurrent_$i.csv"
+done
+echo "    all 4 responses match the CLI byte for byte"
+
+echo "==> structured errors: unknown field → 404, malformed bbox → 400"
+status=$(curl -s -o "$workdir/err404.json" -w '%{http_code}' \
+    "http://$addr/stores/blast/query?field=nope&bbox=0,0:7,7")
+[ "$status" = "404" ]
+grep -q '"error"' "$workdir/err404.json"
+status=$(curl -s -o "$workdir/err400.json" -w '%{http_code}' \
+    "http://$addr/stores/blast/query?field=density&bbox=backwards")
+[ "$status" = "400" ]
+grep -q '"error"' "$workdir/err400.json"
+
+echo "==> a corrupted store surfaces as 500, daemon stays up"
+"$faultinject" "$catalog/blast.zms" -o "$catalog/broken.zms" --data 0,0 >/dev/null
+curl -fsS "http://$addr/catalog?refresh=1" | grep -q '"broken"'
+status=$(curl -s -o "$workdir/err500.json" -w '%{http_code}' \
+    "http://$addr/stores/broken/query?field=density&bbox=0,0:7,7")
+[ "$status" = "500" ]
+grep -q '"error"' "$workdir/err500.json"
+curl -fsS "http://$addr/healthz" | grep -q '"ok":true'
+
+echo "==> /metrics counted the traffic"
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.json"
+grep -q '"requests"' "$workdir/metrics.json"
+grep -q '"chunk_cache"' "$workdir/metrics.json"
+
+echo "==> SIGTERM drains and exits 0"
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "serve_smoke: daemon exited nonzero on SIGTERM" >&2
+    cat "$workdir/serve.err" >&2
+    exit 1
+fi
+serve_pid=""
+
+echo "serve_smoke: all steps passed"

@@ -28,11 +28,18 @@ file_bytes=$(wc -c <"$workdir/data.zms")
 
 echo "==> corner query through the default ranged (FileSource) path"
 zmesh query "$workdir/data.zms" --field density --bbox 0,0:3,3 \
-    -o "$workdir/ranged.csv" | tee "$workdir/query.out"
-read_bytes=$(sed -n 's/^read \([0-9]*\) of [0-9]* store bytes$/\1/p' "$workdir/query.out")
-total_bytes=$(sed -n 's/^read [0-9]* of \([0-9]*\) store bytes$/\1/p' "$workdir/query.out")
+    -o "$workdir/ranged.csv" >"$workdir/query.out" 2>"$workdir/query.err"
+cat "$workdir/query.out" "$workdir/query.err"
+# The read-traffic accounting is diagnostics: it must land on stderr,
+# keeping stdout machine-parseable.
+if grep -q 'store bytes' "$workdir/query.out"; then
+    echo "store_read_smoke: accounting line leaked onto stdout" >&2
+    exit 1
+fi
+read_bytes=$(sed -n 's/^read \([0-9]*\) of [0-9]* store bytes$/\1/p' "$workdir/query.err")
+total_bytes=$(sed -n 's/^read [0-9]* of \([0-9]*\) store bytes$/\1/p' "$workdir/query.err")
 if [ -z "$read_bytes" ] || [ -z "$total_bytes" ]; then
-    echo "store_read_smoke: no 'read N of M store bytes' line in query output" >&2
+    echo "store_read_smoke: no 'read N of M store bytes' line on query stderr" >&2
     exit 1
 fi
 if [ "$total_bytes" -ne "$file_bytes" ]; then

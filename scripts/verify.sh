@@ -37,6 +37,11 @@ step bash scripts/scrub_smoke.sh
 # file-backed path, assert bytes_read << file size and ranged ≡ in-memory.
 step bash scripts/store_read_smoke.sh
 
+# Serve smoke: start the daemon on a packed catalog, prove concurrent
+# responses are byte-identical to the CLI, errors are structured, and
+# SIGTERM drains to exit 0.
+step bash scripts/serve_smoke.sh
+
 # Formatting and lints, when the components exist.
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all --check

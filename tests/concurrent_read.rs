@@ -1,0 +1,291 @@
+//! Concurrency equivalence suite: a single shared [`StoreReader`] must be
+//! safe to query from many threads at once, and every concurrent result
+//! must be bit-identical to the serial execution of the same query.
+//!
+//! This is the invariant the `zmesh serve` daemon rests on — its worker
+//! pool shares one reader per catalog entry — so it is pinned here at the
+//! store layer, independent of any HTTP machinery:
+//!
+//! * **Strict × {Slice, File}:** N threads querying a pristine store
+//!   return exactly the serial reader's `storage_indices`, `values`
+//!   (compared as bits), chunk accounting, bound, and (empty) damage
+//!   report.
+//! * **Salvage × {Slice, File}:** the same holds on a parity-damaged
+//!   store — concurrent salvage reads reconstruct the flipped chunk
+//!   in-flight and report *identical* [`DamageReport`]s, never a
+//!   half-repaired or torn view.
+//! * **Shared decoded-chunk LRU:** attaching one [`ChunkCache`] to the
+//!   reader and hammering it concurrently changes nothing about the
+//!   results; the cache's single-flight accounting stays coherent
+//!   (`hits + misses + coalesced` covers every decode).
+//!
+//! Damage is injected exclusively through `zmesh_store::faultinject` so
+//! the salvage arm hits exactly the chunk it names.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use zmesh_amr::datasets::{self, Scale};
+use zmesh_amr::StorageMode;
+use zmesh_codecs::ErrorControl;
+use zmesh_suite::prelude::*;
+use zmesh_suite::store::{
+    faultinject, ByteSource, ChunkCache, DamageReport, FileSource, StoreReader,
+};
+
+fn fixture_config() -> CompressionConfig {
+    CompressionConfig {
+        policy: OrderingPolicy::Hilbert,
+        codec: CodecKind::Sz,
+        control: ErrorControl::ValueRangeRelative(1e-4),
+    }
+}
+
+/// Pristine v3 fixture: many small chunks so queries span several, XOR
+/// parity so the salvage arm can actually repair.
+fn pristine() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = datasets::front2d(StorageMode::AllCells, Scale::Tiny);
+        let fields: Vec<(&str, &AmrField)> =
+            ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+        StoreWriter::with_options(
+            fixture_config(),
+            StoreWriteOptions {
+                chunk_target_bytes: 1024,
+                parity: Parity::Xor { width: 4 },
+            },
+        )
+        .write(&fields)
+        .expect("write fixture")
+        .bytes
+    })
+}
+
+/// The pristine fixture with one data chunk of field 0 bit-flipped —
+/// within XOR parity's budget, so salvage repairs it in-flight.
+fn damaged() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut bytes = pristine().clone();
+        faultinject::flip_data_chunk(&mut bytes, 0, 0);
+        bytes
+    })
+}
+
+/// Writes `bytes` to a fresh temp file and returns its path. Each call
+/// gets a distinct name so concurrent tests never collide.
+fn temp_store(bytes: &[u8]) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "zmesh_concurrent_read_{}_{n}.zms",
+        std::process::id()
+    ));
+    std::fs::write(&path, bytes).expect("write temp store");
+    path
+}
+
+/// Everything a query answer contains, with floats frozen to bits so
+/// equality means *bit*-identity.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    storage_indices: Vec<u32>,
+    value_bits: Vec<u64>,
+    chunks_decoded: usize,
+    chunks_total: usize,
+    bound_bits: Option<u64>,
+    damage: DamageReport,
+}
+
+fn snapshot(r: &zmesh_store::QueryResult) -> Snapshot {
+    Snapshot {
+        storage_indices: r.storage_indices.clone(),
+        value_bits: r.values.iter().map(|v| v.to_bits()).collect(),
+        chunks_decoded: r.chunks_decoded,
+        chunks_total: r.chunks_total,
+        bound_bits: r.bound.map(f64::to_bits),
+        damage: r.damage.clone(),
+    }
+}
+
+/// Side length of the finest grid, for scaling generated bboxes.
+fn finest_side() -> u32 {
+    let reader = StoreReader::open(pristine()).expect("open fixture");
+    reader.tree().level_dims(reader.tree().max_level())[0] as u32
+}
+
+/// A query pool that spans the interesting shapes: full domain (touches
+/// the damaged chunk), corners, strips, and level-restricted reads.
+fn query_pool(extra: Option<Query>) -> Vec<Query> {
+    let side = finest_side();
+    let hi = side - 1;
+    let mid = side / 2;
+    let mut pool = vec![
+        Query::bbox([0, 0, 0], [hi, hi, 0]),
+        Query::bbox([0, 0, 0], [mid, mid, 0]),
+        Query::bbox([mid, mid, 0], [hi, hi, 0]),
+        Query::bbox([0, mid, 0], [hi, mid, 0]),
+        Query::bbox([0, 0, 0], [hi, hi, 0]).with_levels([0, 1]),
+        Query::bbox([0, 0, 0], [hi, hi, 0]).with_levels([2, 3, 4]),
+    ];
+    pool.extend(extra);
+    pool
+}
+
+/// Serial golden pass, then `threads` scoped threads re-running every
+/// (field × query) against the *same shared reader*, each starting at a
+/// different offset so the interleavings differ. Every concurrent answer
+/// must equal the serial one exactly.
+fn assert_concurrent_matches_serial<S: ByteSource + Sync>(
+    reader: &StoreReader<S>,
+    threads: usize,
+    queries: &[Query],
+) -> Vec<Snapshot> {
+    let fields: Vec<String> = reader.fields().iter().map(|f| f.name.clone()).collect();
+    let work: Vec<(&str, &Query)> = fields
+        .iter()
+        .flat_map(|f| queries.iter().map(move |q| (f.as_str(), q)))
+        .collect();
+
+    let golden: Vec<Snapshot> = work
+        .iter()
+        .map(|(f, q)| snapshot(&reader.query(f, q).expect("serial query")))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let work = &work;
+            let golden = &golden;
+            scope.spawn(move || {
+                for i in 0..work.len() {
+                    let idx = (i + t) % work.len();
+                    let (f, q) = work[idx];
+                    let got = snapshot(&reader.query(f, q).expect("concurrent query"));
+                    assert_eq!(
+                        got, golden[idx],
+                        "thread {t} diverged from serial on field {f:?} query #{idx}"
+                    );
+                }
+            });
+        }
+    });
+    golden
+}
+
+/// Strict policy, pristine store, both sources: concurrent ≡ serial.
+#[test]
+fn strict_concurrent_queries_match_serial_on_both_sources() {
+    let queries = query_pool(None);
+
+    let slice_reader = StoreReader::open(pristine()).expect("open slice");
+    let slice_golden = assert_concurrent_matches_serial(&slice_reader, 4, &queries);
+
+    let path = temp_store(pristine());
+    let file_reader =
+        StoreReader::open_source(FileSource::open(&path).expect("open file")).expect("open ranged");
+    let file_golden = assert_concurrent_matches_serial(&file_reader, 4, &queries);
+    std::fs::remove_file(&path).ok();
+
+    // The two sources agree with each other, not just each with itself.
+    assert_eq!(slice_golden, file_golden);
+    // Strict on a pristine store never reports damage.
+    assert!(slice_golden.iter().all(|s| s.damage.chunks.is_empty()));
+}
+
+/// Salvage policy, damaged store, both sources: concurrent ≡ serial,
+/// including the damage report — and the damaged chunk is actually hit.
+#[test]
+fn salvage_concurrent_queries_on_damaged_store_match_serial() {
+    let queries = query_pool(None);
+
+    let slice_reader = StoreReader::open(damaged())
+        .expect("open slice")
+        .with_read_policy(ReadPolicy::salvage());
+    let slice_golden = assert_concurrent_matches_serial(&slice_reader, 4, &queries);
+
+    let path = temp_store(damaged());
+    let file_reader = StoreReader::open_source(FileSource::open(&path).expect("open file"))
+        .expect("open ranged")
+        .with_read_policy(ReadPolicy::salvage());
+    let file_golden = assert_concurrent_matches_serial(&file_reader, 4, &queries);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(slice_golden, file_golden);
+    // The full-domain query must have crossed the flipped chunk, so the
+    // salvage arm is genuinely exercised (repaired, not silently clean).
+    assert!(
+        slice_golden.iter().any(|s| !s.damage.chunks.is_empty()),
+        "no query touched the damaged chunk — fixture too coarse"
+    );
+    // XOR parity with a single flip repairs in-flight: values match the
+    // pristine store bit for bit.
+    let clean = StoreReader::open(pristine()).expect("open pristine");
+    let q = &queries[0];
+    let clean_snap = snapshot(
+        &clean
+            .query(&clean.fields()[0].name.clone(), q)
+            .expect("clean query"),
+    );
+    assert_eq!(slice_golden[0].storage_indices, clean_snap.storage_indices);
+    assert_eq!(slice_golden[0].value_bits, clean_snap.value_bits);
+}
+
+/// A shared decoded-chunk LRU under concurrent hammering: results stay
+/// bit-identical and the single-flight accounting remains coherent.
+#[test]
+fn shared_chunk_cache_keeps_results_identical_under_concurrency() {
+    let path = temp_store(pristine());
+    let cache = Arc::new(ChunkCache::new(8 << 20));
+    let reader = StoreReader::open_source(FileSource::open(&path).expect("open file"))
+        .expect("open ranged")
+        .with_chunk_cache(Arc::clone(&cache), 1);
+    let queries = query_pool(None);
+    assert_concurrent_matches_serial(&reader, 4, &queries);
+    std::fs::remove_file(&path).ok();
+
+    let stats = cache.stats();
+    assert!(stats.misses > 0, "cache never filled: {stats:?}");
+    assert!(
+        stats.hits > 0,
+        "repeat queries never hit the cache: {stats:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Random thread counts and a random extra bbox/level query: the
+    // whole {Slice, File} × {Strict-on-pristine, Salvage-on-damaged}
+    // matrix stays serial-equivalent.
+    #[test]
+    fn concurrent_reads_equal_serial_reads(
+        threads in 2usize..=4,
+        ax in 0u32..100,
+        ay in 0u32..100,
+        bx in 0u32..100,
+        by in 0u32..100,
+        mask_bits in 1u32..32,
+    ) {
+        let side = finest_side();
+        let scale = |p: u32| p * (side - 1) / 99;
+        let (lo_x, hi_x) = (scale(ax).min(scale(bx)), scale(ax).max(scale(bx)));
+        let (lo_y, hi_y) = (scale(ay).min(scale(by)), scale(ay).max(scale(by)));
+        let levels = (0..5).filter(|l| mask_bits & (1 << l) != 0);
+        let extra = Query::bbox([lo_x, lo_y, 0], [hi_x, hi_y, 0]).with_levels(levels);
+        let queries = query_pool(Some(extra));
+
+        // Strict × Slice on pristine.
+        let reader = StoreReader::open(pristine()).expect("open slice");
+        assert_concurrent_matches_serial(&reader, threads, &queries);
+
+        // Salvage × File on damaged.
+        let path = temp_store(damaged());
+        let reader = StoreReader::open_source(FileSource::open(&path).expect("open file"))
+            .expect("open ranged")
+            .with_read_policy(ReadPolicy::salvage());
+        assert_concurrent_matches_serial(&reader, threads, &queries);
+        std::fs::remove_file(&path).ok();
+    }
+}
