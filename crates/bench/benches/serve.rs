@@ -79,6 +79,18 @@ fn bench_serve(c: &mut Criterion) {
             black_box(body);
         })
     });
+    group.bench_function("query_warm_keepalive", |b| {
+        // Same warm query over one persistent connection: the delta
+        // against query_warm_cache is the per-request TCP setup cost.
+        let mut client = zmesh_serve::bench::HttpClient::new(&addr);
+        let (status, _) = client.get(query).expect("prime");
+        assert_eq!(status, 200);
+        b.iter(|| {
+            let (status, body) = client.get(query).expect("query");
+            assert_eq!(status, 200);
+            black_box(body);
+        })
+    });
     group.finish();
 
     shutdown.store(true, std::sync::atomic::Ordering::SeqCst);

@@ -913,12 +913,16 @@ fn parse_count(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
 }
 
 /// `zmesh serve <dir> [--addr host:port] [--workers N] [--queue N]
-/// [--cache-mb N]` — resident query daemon over every `*.zms` under
-/// `<dir>`. Prints the bound address on stdout (`--addr 127.0.0.1:0`
-/// picks an ephemeral port), then serves until SIGTERM/SIGINT, draining
-/// in-flight requests before exiting 0. Endpoints: `/healthz`,
-/// `/metrics`, `/catalog[?refresh=1]`, `/stores/{id}/info`,
-/// `/stores/{id}/query`.
+/// [--cache-mb N] [--idle-timeout SECS] [--max-requests N]` — resident
+/// query daemon over every `*.zms` under `<dir>`. Prints the bound
+/// address on stdout (`--addr 127.0.0.1:0` picks an ephemeral port),
+/// then serves until SIGTERM/SIGINT, draining in-flight requests before
+/// exiting 0. Connections are persistent (HTTP/1.1 keep-alive) up to
+/// `--max-requests` per connection; a connection idle past
+/// `--idle-timeout` is answered `408` and closed so it cannot pin a
+/// worker. Endpoints: `/healthz`, `/metrics`, `/catalog[?refresh=1]`,
+/// `/stores/{id}/info`, `/stores/{id}/query`,
+/// `POST /stores/{id}/query-batch`.
 #[cfg(unix)]
 pub fn serve(argv: &[String]) -> Result<(), CliError> {
     use std::io::Write as _;
@@ -937,6 +941,12 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
     }
     if let Some(mb) = parse_count(&args, "cache-mb")? {
         opts.cache_bytes = (mb as u64) << 20;
+    }
+    if let Some(secs) = parse_count(&args, "idle-timeout")? {
+        opts.idle_timeout = std::time::Duration::from_secs(secs as u64);
+    }
+    if let Some(n) = parse_count(&args, "max-requests")? {
+        opts.max_requests = n;
     }
     let server = zmesh_serve::Server::bind(dir, opts).map_err(|e| CliError::Io(e.to_string()))?;
     let addr = server
@@ -974,16 +984,23 @@ impl Drop for TempCatalog {
 }
 
 /// `zmesh bench-serve [dir] [--clients N] [--requests N] [--workers N]
-/// [--zipf S] [--seed N] [--cache-mb N] [-o out.json]` — traffic
-/// generator against an in-process daemon on an ephemeral port. Without
-/// `dir`, packs a disposable three-store catalog first. Writes the
-/// latency/QPS/cache report as JSON (default `BENCH_serve.json`, or
-/// `$BENCH_SERVE_JSON`) in the same `{"results":[...]}` dialect the
-/// criterion benches emit via `CRITERION_JSON`.
+/// [--zipf S] [--seed N] [--cache-mb N] [--no-keepalive] [-o out.json]`
+/// — traffic generator against an in-process daemon on an ephemeral
+/// port. Without `dir`, packs a disposable three-store catalog first.
+/// Measures closed-connection (cold/warm), reused-keep-alive-connection,
+/// batch-POST, and concurrent mixed phases; `--no-keepalive` makes the
+/// mixed phase reconnect per request (the pre-keep-alive baseline).
+/// Writes the latency/QPS/cache report as JSON (default
+/// `BENCH_serve.json`, or `$BENCH_SERVE_JSON`) in the same
+/// `{"results":[...]}` dialect the criterion benches emit via
+/// `CRITERION_JSON`.
 #[cfg(unix)]
 pub fn bench_serve(argv: &[String]) -> Result<(), CliError> {
-    let args = parse(argv)?;
-    let mut opts = zmesh_serve::BenchOptions::default();
+    let args = Args::parse_with_switches(argv, &["no-keepalive"]).map_err(CliError::Usage)?;
+    let mut opts = zmesh_serve::BenchOptions {
+        keepalive: !args.switch("no-keepalive"),
+        ..Default::default()
+    };
     if let Some(clients) = parse_count(&args, "clients")? {
         opts.clients = clients;
     }
@@ -1046,7 +1063,11 @@ pub fn bench_serve(argv: &[String]) -> Result<(), CliError> {
         "bench-serve: {} clients x {} requests over {} store(s), {} workers",
         report.clients, report.requests_per_client, report.stores, opts.workers
     );
-    for (label, p) in [("cold", &report.cold), ("warm", &report.warm)] {
+    for (label, p) in [
+        ("cold", &report.cold),
+        ("warm", &report.warm),
+        ("reused", &report.reused),
+    ] {
         println!(
             "  {label}: p50 {:.1}us p95 {:.1}us p99 {:.1}us ({} queries, {} errors)",
             us(p.p50_ns),
@@ -1057,7 +1078,20 @@ pub fn bench_serve(argv: &[String]) -> Result<(), CliError> {
         );
     }
     println!(
-        "  mixed: p50 {:.1}us p95 {:.1}us p99 {:.1}us, {:.0} req/s ({} requests, {} errors)",
+        "  batch: p50 {:.1}us/POST, {} queries at {:.0} query/s ({} POSTs, {} errors)",
+        us(report.batch.p50_ns),
+        report.batch_queries,
+        report.batch_qps(),
+        report.batch.count,
+        report.batch.errors,
+    );
+    println!(
+        "  mixed{}: p50 {:.1}us p95 {:.1}us p99 {:.1}us, {:.0} req/s ({} requests, {} errors)",
+        if report.keepalive {
+            " (keep-alive)"
+        } else {
+            " (closed connections)"
+        },
         us(report.mixed.p50_ns),
         us(report.mixed.p95_ns),
         us(report.mixed.p99_ns),

@@ -5,22 +5,34 @@
 //! threads issuing a mixed workload (queries, info, catalog, health)
 //! whose store and bbox choices are zipf-skewed — a few hot stores and
 //! regions absorb most traffic, the realistic shape for a cache to earn
-//! its keep against. Three phases are measured separately:
+//! its keep against. Five phases are measured separately:
 //!
 //! * **cold** — every distinct `(store, bbox)` query once, serially,
-//!   against empty caches (every chunk decode is a miss);
+//!   against empty caches (every chunk decode is a miss), one TCP
+//!   connection per request (`Connection: close`);
 //! * **warm** — the identical serial pass again, now riding the
-//!   decoded-chunk LRU: the p50 delta against cold isolates the cache,
-//!   with no concurrency noise in either measurement;
+//!   decoded-chunk LRU but still paying a fresh connection per request:
+//!   the p50 delta against cold isolates the cache, with no concurrency
+//!   noise in either measurement;
+//! * **reused** — the identical serial pass a third time over **one
+//!   persistent keep-alive connection**: the p50 delta against warm
+//!   isolates per-request TCP setup, the daemon's dominant warm-path
+//!   cost before keep-alive landed;
+//! * **batch** — the same (store, bbox) set again, one
+//!   `POST /stores/{id}/query-batch` per store covering all its bboxes:
+//!   one request amortizes connection, parse, and catalog lookup across
+//!   the whole set (batch-vs-serial QPS);
 //! * **mixed** — the concurrent zipf-skewed mix (queries + info +
-//!   catalog + health) that produces the QPS and tail-latency numbers.
+//!   catalog + health) that produces the QPS and tail-latency numbers,
+//!   over persistent connections by default
+//!   ([`BenchOptions::keepalive`]).
 //!
 //! The report carries QPS, p50/p95/p99 latencies per phase, error
 //! counts, and both cache hit rates, and serializes to the same
 //! `{"results":[...]}` JSON dialect the vendored criterion shim emits
 //! (`CRITERION_JSON`), so downstream tooling parses one format.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::Path;
 use std::sync::Arc;
@@ -29,6 +41,7 @@ use std::time::{Duration, Instant};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::server::{ServeOptions, Server};
+use crate::wire;
 
 /// Traffic-generator knobs.
 #[derive(Debug, Clone)]
@@ -45,6 +58,10 @@ pub struct BenchOptions {
     pub seed: u64,
     /// Decoded-chunk LRU budget for the server under test.
     pub cache_bytes: u64,
+    /// Whether mixed-phase clients reuse one connection each
+    /// (keep-alive) or reconnect per request (the pre-keep-alive
+    /// behavior, kept as a baseline mode).
+    pub keepalive: bool,
 }
 
 impl Default for BenchOptions {
@@ -56,6 +73,7 @@ impl Default for BenchOptions {
             zipf_s: 1.1,
             seed: 0x5eed_cafe,
             cache_bytes: crate::catalog::DEFAULT_CACHE_BYTES,
+            keepalive: true,
         }
     }
 }
@@ -110,12 +128,25 @@ impl PhaseStats {
 /// Everything `bench-serve` measured.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
-    /// Serial first-touch queries against cold caches.
+    /// Serial first-touch queries against cold caches, closed
+    /// connections.
     pub cold: PhaseStats,
-    /// The same serial queries repeated against warm caches.
+    /// The same serial queries repeated against warm caches, still one
+    /// fresh connection per request.
     pub warm: PhaseStats,
+    /// The same serial queries a third time over one persistent
+    /// keep-alive connection (warm caches): `warm` minus `reused` is the
+    /// per-request TCP setup cost.
+    pub reused: PhaseStats,
+    /// One `query-batch` POST per store covering all its bboxes
+    /// (latencies are per batch request, not per query).
+    pub batch: PhaseStats,
+    /// Sub-queries executed across all batch POSTs.
+    pub batch_queries: usize,
     /// Concurrent zipf-skewed mixed workload.
     pub mixed: PhaseStats,
+    /// Whether mixed-phase clients used keep-alive connections.
+    pub keepalive: bool,
     /// Client threads used.
     pub clients: usize,
     /// Warm-phase requests per client.
@@ -129,6 +160,17 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
+    /// Queries per second through the batch endpoint (sub-queries over
+    /// batch wall time) — the number to compare against `warm`'s and
+    /// `reused`'s serial QPS.
+    pub fn batch_qps(&self) -> f64 {
+        if self.batch.wall.as_secs_f64() > 0.0 {
+            self.batch_queries as f64 / self.batch.wall.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
     /// Serializes in the vendored-criterion `CRITERION_JSON` dialect: a
     /// `results` array of labeled medians, plus serve-specific fields.
     pub fn to_json(&self) -> String {
@@ -151,18 +193,31 @@ impl BenchReport {
         let c = &self.chunk_cache;
         let r = &self.recipe_cache;
         format!(
-            "{{\"results\":[{},{},{}],\"clients\":{},\"requests_per_client\":{},\"stores\":{},\
-             \"qps\":{:.3},\"total_errors\":{},\
+            "{{\"results\":[{},{},{},{},{}],\"clients\":{},\"requests_per_client\":{},\
+             \"stores\":{},\"keepalive\":{},\
+             \"qps\":{:.3},\"serial_warm_qps\":{:.3},\"reused_warm_qps\":{:.3},\
+             \"batch_queries\":{},\"batch_query_qps\":{:.3},\"total_errors\":{},\
              \"chunk_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"coalesced\":{}}},\
              \"recipe_cache\":{{\"hits\":{},\"misses\":{}}}}}",
             phase("serve/query_cold", &self.cold, false),
             phase("serve/query_warm", &self.warm, false),
+            phase("serve/query_warm_reused", &self.reused, false),
+            phase("serve/query_batch", &self.batch, true),
             phase("serve/mixed_zipf", &self.mixed, true),
             self.clients,
             self.requests_per_client,
             self.stores,
+            self.keepalive,
             self.mixed.qps(),
-            self.cold.errors + self.warm.errors + self.mixed.errors,
+            self.warm.qps(),
+            self.reused.qps(),
+            self.batch_queries,
+            self.batch_qps(),
+            self.cold.errors
+                + self.warm.errors
+                + self.reused.errors
+                + self.batch.errors
+                + self.mixed.errors,
             c.hits,
             c.misses,
             c.evictions,
@@ -199,6 +254,145 @@ impl Zipf {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A keep-alive HTTP/1.1 client: one persistent connection, lazily
+/// (re)established. Responses are framed by `Content-Length` (which the
+/// daemon always sends), so the socket stays usable for the next
+/// request. If the server closes the connection (idle timeout,
+/// max-requests cap, drain) the next request transparently reconnects —
+/// a stale-connection failure is retried once on a fresh socket before
+/// surfacing as an error.
+pub struct HttpClient {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `addr`; connects lazily on the first request.
+    pub fn new(addr: &str) -> Self {
+        Self {
+            addr: addr.to_string(),
+            conn: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Whether a connection is currently held open for reuse.
+    pub fn connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// One `GET` over the persistent connection.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        self.request("GET", path, None)
+    }
+
+    /// One `POST` with a JSON body over the persistent connection.
+    pub fn post_json(&mut self, path: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let reused = self.conn.is_some();
+        match self.try_request(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                // The held connection may have been closed server-side
+                // between requests; retry exactly once on a fresh one.
+                let _ = e;
+                self.conn = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            // One request per round-trip; Nagle only adds latency here.
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(BufReader::new(stream));
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        {
+            // Single write per request: split header/body writes stall
+            // on Nagle + delayed ACK over a reused connection.
+            let out = match body {
+                Some(body) => {
+                    let mut out = format!(
+                        "{method} {path} HTTP/1.1\r\nHost: zmesh\r\n\
+                         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                        body.len()
+                    )
+                    .into_bytes();
+                    out.extend_from_slice(body);
+                    out
+                }
+                None => format!("{method} {path} HTTP/1.1\r\nHost: zmesh\r\n\r\n").into_bytes(),
+            };
+            let stream = conn.get_mut();
+            stream.write_all(&out)?;
+            stream.flush()?;
+        }
+
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut line = String::new();
+        if conn.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the status line",
+            ));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("unparseable status line"))?;
+        let mut content_length: Option<usize> = None;
+        let mut server_closes = false;
+        loop {
+            line.clear();
+            if conn.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = Some(value.parse().map_err(|_| bad("bad content-length"))?);
+                } else if name.eq_ignore_ascii_case("connection") {
+                    server_closes = value
+                        .split(',')
+                        .any(|t| t.trim().eq_ignore_ascii_case("close"));
+                }
+            }
+        }
+        let len = content_length.ok_or_else(|| bad("response without content-length"))?;
+        let mut payload = vec![0u8; len];
+        conn.read_exact(&mut payload)?;
+        if server_closes {
+            self.conn = None;
+        }
+        Ok((status, payload))
     }
 }
 
@@ -254,6 +448,7 @@ pub fn run(dir: &Path, opts: &BenchOptions) -> std::io::Result<BenchReport> {
             workers: opts.workers,
             queue_depth: (opts.clients * 4).max(64),
             cache_bytes: opts.cache_bytes,
+            ..ServeOptions::default()
         },
     )?;
     let catalog = server.catalog();
@@ -304,6 +499,59 @@ pub fn run(dir: &Path, opts: &BenchOptions) -> std::io::Result<BenchReport> {
     let cold = serial_pass();
     let warm = serial_pass();
 
+    // Reused: the identical serial pass over ONE keep-alive connection.
+    // Caches are already warm, so warm-vs-reused is pure TCP setup.
+    let reused = {
+        let mut client = HttpClient::new(&addr);
+        let start = Instant::now();
+        let mut latencies = Vec::new();
+        let mut errors = 0;
+        for target in &targets {
+            for bbox in BBOXES {
+                let t0 = Instant::now();
+                match client.get(&query_path(target, bbox)) {
+                    Ok((200, _)) => latencies.push(t0.elapsed().as_nanos() as u64),
+                    Ok(_) | Err(_) => errors += 1,
+                }
+            }
+        }
+        PhaseStats::from_latencies(latencies, errors, start.elapsed())
+    };
+
+    // Batch: one POST per store covering all its bboxes. Latencies are
+    // per batch request; sub-query throughput is batch_queries / wall.
+    let (batch, batch_queries) = {
+        let mut client = HttpClient::new(&addr);
+        let start = Instant::now();
+        let mut latencies = Vec::new();
+        let mut errors = 0;
+        let mut queries = 0usize;
+        for target in &targets {
+            let body = batch_body(&target.1, &BBOXES);
+            let t0 = Instant::now();
+            match client.post_json(
+                &format!("/stores/{}/query-batch", target.0),
+                body.as_bytes(),
+            ) {
+                Ok((200, payload)) => {
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                    match wire::decode_batch_frames(&payload) {
+                        Ok(items) => {
+                            queries += items.len();
+                            errors += items.iter().filter(|i| i.is_err()).count();
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                Ok(_) | Err(_) => errors += 1,
+            }
+        }
+        (
+            PhaseStats::from_latencies(latencies, errors, start.elapsed()),
+            queries,
+        )
+    };
+
     // Mixed: concurrent zipf-skewed mix over the now-primed working set.
     let store_zipf = Arc::new(Zipf::new(targets.len(), opts.zipf_s));
     let bbox_zipf = Arc::new(Zipf::new(BBOXES.len(), opts.zipf_s));
@@ -316,9 +564,11 @@ pub fn run(dir: &Path, opts: &BenchOptions) -> std::io::Result<BenchReport> {
         let store_zipf = Arc::clone(&store_zipf);
         let bbox_zipf = Arc::clone(&bbox_zipf);
         let requests = opts.requests;
+        let keepalive = opts.keepalive;
         let seed = opts.seed ^ ((client as u64 + 1) * 0x9e37_79b9);
         clients.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
+            let mut conn = HttpClient::new(&addr);
             let mut latencies = Vec::with_capacity(requests);
             let mut errors = 0usize;
             for _ in 0..requests {
@@ -339,7 +589,12 @@ pub fn run(dir: &Path, opts: &BenchOptions) -> std::io::Result<BenchReport> {
                     "/healthz".to_string()
                 };
                 let t0 = Instant::now();
-                match http_get(&addr, &path) {
+                let result = if keepalive {
+                    conn.get(&path)
+                } else {
+                    http_get(&addr, &path)
+                };
+                match result {
                     Ok((200, _)) => latencies.push(t0.elapsed().as_nanos() as u64),
                     Ok(_) | Err(_) => errors += 1,
                 }
@@ -362,13 +617,27 @@ pub fn run(dir: &Path, opts: &BenchOptions) -> std::io::Result<BenchReport> {
     Ok(BenchReport {
         cold,
         warm,
+        reused,
+        batch,
+        batch_queries,
         mixed,
+        keepalive: opts.keepalive,
         clients: opts.clients.max(1),
         requests_per_client: opts.requests,
         chunk_cache: catalog.chunk_stats(),
         recipe_cache: catalog.recipe_stats(),
         stores: catalog.len(),
     })
+}
+
+/// The `query-batch` request body: every bbox in `bboxes` against one
+/// field, in order.
+pub fn batch_body(field: &str, bboxes: &[&str]) -> String {
+    let items: Vec<String> = bboxes
+        .iter()
+        .map(|b| format!("{{\"field\":\"{field}\",\"bbox\":\"{b}\"}}"))
+        .collect();
+    format!("{{\"queries\":[{}]}}", items.join(","))
 }
 
 #[cfg(test)]
@@ -408,7 +677,7 @@ mod tests {
     }
 
     #[test]
-    fn report_json_carries_both_phases_and_cache_counters() {
+    fn report_json_carries_all_phases_and_cache_counters() {
         let phase = PhaseStats {
             count: 10,
             errors: 0,
@@ -420,7 +689,15 @@ mod tests {
         let report = BenchReport {
             cold: phase,
             warm: phase,
+            reused: phase,
+            batch: PhaseStats {
+                count: 2,
+                wall: Duration::from_secs(2),
+                ..phase
+            },
+            batch_queries: 16,
             mixed: phase,
+            keepalive: true,
             clients: 4,
             requests_per_client: 10,
             chunk_cache: zmesh_store::ChunkCacheStats::default(),
@@ -430,9 +707,27 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"label\":\"serve/query_cold\""));
         assert!(json.contains("\"label\":\"serve/query_warm\""));
+        assert!(json.contains("\"label\":\"serve/query_warm_reused\""));
+        assert!(json.contains("\"label\":\"serve/query_batch\""));
         assert!(json.contains("\"label\":\"serve/mixed_zipf\""));
         assert!(json.contains("\"rate_per_s\":10.000"));
+        assert!(json.contains("\"keepalive\":true"));
+        assert!(json.contains("\"serial_warm_qps\":10.000"));
+        assert!(json.contains("\"reused_warm_qps\":10.000"));
+        assert!(json.contains("\"batch_queries\":16"));
+        // 16 sub-queries over the 2s batch wall = 8 QPS.
+        assert!(json.contains("\"batch_query_qps\":8.000"));
         assert!(json.contains("\"chunk_cache\":{"));
         assert!(json.contains("\"clients\":4"));
+    }
+
+    #[test]
+    fn batch_body_lists_every_bbox_in_order() {
+        let body = batch_body("rho", &["0,0:3,3", "4,4:7,7"]);
+        assert_eq!(
+            body,
+            "{\"queries\":[{\"field\":\"rho\",\"bbox\":\"0,0:3,3\"},\
+             {\"field\":\"rho\",\"bbox\":\"4,4:7,7\"}]}"
+        );
     }
 }

@@ -1,0 +1,390 @@
+//! A minimal JSON value parser for request bodies.
+//!
+//! The daemon *emits* JSON by hand everywhere (same dialect as the
+//! store's reports), but the batch-query endpoint needs to *read* a
+//! small JSON document from an untrusted client. The workspace builds
+//! offline with no serde, so this is a compact recursive-descent parser
+//! over the JSON grammar: objects, arrays, strings (with `\uXXXX`
+//! escapes incl. surrogate pairs), numbers (as `f64`), booleans, null.
+//!
+//! Hardened the same way the store's untrusted read path is: an explicit
+//! nesting-depth bound (no stack overflow on `[[[[…`), strict escape
+//! validation, and errors that carry the byte offset. Input size is
+//! already bounded upstream by [`crate::http::MAX_BODY_BYTES`].
+
+/// Deepest accepted array/object nesting.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in arrival order (duplicates kept; `get`
+    /// returns the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match), `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as `u32`, if this is a non-negative integral number in
+    /// range (the shape levels lists use).
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= f64::from(u32::MAX) => {
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: message plus byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset where it went wrong.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &[u8]) -> Result<Json, JsonError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing bytes after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `lit` (used for `true`/`false`/`null`).
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.input[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected byte {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // past '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key string"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            fields.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // past '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    /// One `\uXXXX` escape's four hex digits (caller consumed `\u`).
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let hex = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u16::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(hex)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // past opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: require a \uXXXX low half.
+                                if self.input.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let cp = 0x10000
+                                    + ((u32::from(unit) - 0xd800) << 10)
+                                    + (u32::from(low) - 0xdc00);
+                                char::from_u32(cp).ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(u32::from(unit))
+                                    .ok_or_else(|| self.err("lone low surrogate"))?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(self.err(&format!("bad escape \\{:?}", other as char))),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences are
+                    // validated as a unit).
+                    let start = self.pos;
+                    let len = match self.input[start] {
+                        b if b < 0x80 => 1,
+                        b if b >> 5 == 0b110 => 2,
+                        b if b >> 4 == 0b1110 => 3,
+                        b if b >> 3 == 0b11110 => 4,
+                        _ => return Err(self.err("invalid utf-8 in string")),
+                    };
+                    let chunk = self
+                        .input
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid utf-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii digits");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("bad number {text:?}")))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_batch_request_shape() {
+        let doc = parse(
+            br#"{"queries":[{"field":"density","bbox":"0,0:7,7","levels":[0,1]},
+                            {"field":"pressure","bbox":"1,1:2,2"}]}"#,
+        )
+        .unwrap();
+        let queries = doc.get("queries").unwrap().as_arr().unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].get("field").unwrap().as_str(), Some("density"));
+        assert_eq!(queries[0].get("bbox").unwrap().as_str(), Some("0,0:7,7"));
+        let levels: Vec<u32> = queries[0]
+            .get("levels")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|l| l.as_u32().unwrap())
+            .collect();
+        assert_eq!(levels, [0, 1]);
+        assert!(queries[1].get("levels").is_none());
+    }
+
+    #[test]
+    fn scalars_escapes_and_numbers_round_trip() {
+        assert_eq!(parse(b"null").unwrap(), Json::Null);
+        assert_eq!(parse(b" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse(b"-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(
+            parse(br#""a\"b\\c\n\u0041""#).unwrap(),
+            Json::Str("a\"b\\c\nA".into())
+        );
+        // Surrogate pair → one astral scalar.
+        assert_eq!(
+            parse(br#""\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{1f600}".into())
+        );
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(
+            parse("\"héllo\"".as_bytes()).unwrap(),
+            Json::Str("héllo".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            &b"{"[..],
+            b"[1,",
+            b"{\"a\" 1}",
+            b"\"unterminated",
+            b"tru",
+            b"1e999",
+            b"[] trailing",
+            b"\"\\q\"",
+            b"\"\\ud83d\"",
+            b"nan",
+            b"",
+            b"\"\x01\"",
+        ] {
+            assert!(parse(bad).is_err(), "{:?}", String::from_utf8_lossy(bad));
+        }
+        // Depth bound: 40 nested arrays exceed MAX_DEPTH.
+        let deep = [b"[" as &[u8]; 40].concat();
+        assert!(parse(&deep).is_err());
+        assert_eq!(parse(b"{}").unwrap(), Json::Obj(vec![]));
+        assert_eq!(parse(b"[]").unwrap(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_for_get() {
+        let doc = parse(br#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(doc.get("k"), Some(&Json::Num(1.0)));
+    }
+}

@@ -36,6 +36,7 @@
 //! reported in the vendored-criterion JSON dialect.
 
 pub mod http;
+pub mod json;
 pub mod metrics;
 pub mod wire;
 

@@ -18,7 +18,15 @@ pub struct ServeMetrics {
     pub responses_server_error: AtomicU64,
     /// Connections answered `503 Retry-After` because the queue was full.
     pub rejected_busy: AtomicU64,
-    /// Query endpoint hits that produced a result.
+    /// Connections closed (408-or-close) after idling past the timeout.
+    pub timeouts: AtomicU64,
+    /// Requests served on an already-used keep-alive connection (the
+    /// second and later requests of each connection).
+    pub keepalive_reuses: AtomicU64,
+    /// `query-batch` POSTs accepted (each fans out to many queries).
+    pub batch_requests: AtomicU64,
+    /// Query endpoint hits that produced a result (batch sub-queries
+    /// included).
     pub queries: AtomicU64,
     /// Cells returned across all successful queries.
     pub query_cells: AtomicU64,
@@ -55,13 +63,17 @@ impl ServeMetrics {
         format!(
             "{{\"connections\":{},\"requests\":{},\"responses_ok\":{},\
              \"responses_client_error\":{},\"responses_server_error\":{},\
-             \"rejected_busy\":{},\"queries\":{},\"query_cells\":{},\"bytes_out\":{}}}",
+             \"rejected_busy\":{},\"timeouts\":{},\"keepalive_reuses\":{},\
+             \"batch_requests\":{},\"queries\":{},\"query_cells\":{},\"bytes_out\":{}}}",
             get(&self.connections),
             get(&self.requests),
             get(&self.responses_ok),
             get(&self.responses_client_error),
             get(&self.responses_server_error),
             get(&self.rejected_busy),
+            get(&self.timeouts),
+            get(&self.keepalive_reuses),
+            get(&self.batch_requests),
             get(&self.queries),
             get(&self.query_cells),
             get(&self.bytes_out),

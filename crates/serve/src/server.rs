@@ -2,13 +2,29 @@
 //!
 //! Concurrency model: one nonblocking accept loop feeds accepted
 //! connections into a bounded `sync_channel`; a fixed pool of worker
-//! threads drains it, each handling one connection at a time
-//! (parse → route → respond → close). When the queue is full the accept
-//! loop answers `503` with `Retry-After` inline and closes — load is
-//! shed at the door instead of queueing unboundedly. Heavy decode work
-//! inside a request still fans out across rayon (the store reader's
-//! parallel chunk decode), so a single large query uses the whole
-//! machine while small queries stay cheap.
+//! threads drains it, each running one connection's **request loop**
+//! (parse → route → respond, repeated while the client keeps the
+//! connection alive). When the queue is full the accept loop answers
+//! `503` with `Retry-After` inline and closes — load is shed at the door
+//! instead of queueing unboundedly. Heavy decode work inside a request
+//! still fans out across rayon (the store reader's parallel chunk
+//! decode), so a single large query uses the whole machine while small
+//! queries stay cheap.
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive) but bounded three
+//! ways so no client can pin a worker from the fixed pool:
+//!
+//! * an **idle/read/write timeout** ([`ServeOptions::idle_timeout`], via
+//!   `set_read_timeout`/`set_write_timeout`) — a client that connects
+//!   and sends nothing, or stalls mid-request, is answered `408` (when a
+//!   request was underway) or simply closed, freeing the worker;
+//! * a **max-requests-per-connection** cap
+//!   ([`ServeOptions::max_requests`]) — the final response carries
+//!   `Connection: close`, so one immortal client cannot monopolize a
+//!   worker forever under load;
+//! * **drain awareness** — once shutdown is requested, the in-flight
+//!   request is finished and answered with `Connection: close` instead
+//!   of either abandoning it or continuing to serve the connection.
 //!
 //! Shutdown: a `SIGTERM`/`SIGINT` handler (or a programmatic handle)
 //! flips an atomic flag; the accept loop stops accepting, drops the
@@ -16,7 +32,7 @@
 //! already accepted before exiting. No request that got a connection is
 //! abandoned.
 
-use std::io::{BufReader, Write};
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,10 +40,11 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use zmesh_store::{Query, StoreError};
+use zmesh_store::{Query, QueryResult, StoreError};
 
 use crate::catalog::{Catalog, CatalogEntry, DEFAULT_CACHE_BYTES};
-use crate::http::{json_escape, parse_request, Request, Response};
+use crate::http::{json_escape, parse_request, ParseOutcome, Request, Response};
+use crate::json::{self, Json};
 use crate::metrics::ServeMetrics;
 use crate::wire;
 
@@ -35,8 +52,8 @@ use crate::wire;
 /// connections are accepted immediately; this only caps how stale the
 /// shutdown-flag check can get.
 const ACCEPT_POLL_MS: i32 = 50;
-/// Per-connection socket timeouts: a stalled client cannot pin a worker.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+/// Most queries accepted in one `query-batch` body.
+pub const MAX_BATCH_QUERIES: usize = 1024;
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -50,6 +67,14 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Decoded-chunk LRU budget in bytes.
     pub cache_bytes: u64,
+    /// Socket read/write timeout: how long a connection may sit idle
+    /// between requests (or stall mid-request / mid-response) before the
+    /// worker answers `408`-or-closes and moves on.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server closes it
+    /// (`Connection: close` on the final response). Bounds how long one
+    /// client can hold a worker under keep-alive; minimum 1.
+    pub max_requests: usize,
 }
 
 impl Default for ServeOptions {
@@ -59,6 +84,8 @@ impl Default for ServeOptions {
             workers: 4,
             queue_depth: 64,
             cache_bytes: DEFAULT_CACHE_BYTES,
+            idle_timeout: Duration::from_secs(10),
+            max_requests: 1000,
         }
     }
 }
@@ -183,6 +210,8 @@ impl Server {
             let rx = Arc::clone(&rx);
             let catalog = Arc::clone(&self.catalog);
             let metrics = Arc::clone(&self.metrics);
+            let opts = self.opts.clone();
+            let shutdown = Arc::clone(&self.shutdown);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("zmesh-serve-{i}"))
@@ -191,7 +220,9 @@ impl Server {
                         // turns pulling, then handle in parallel.
                         let next = rx.lock().expect("queue lock poisoned").recv();
                         match next {
-                            Ok(stream) => handle_connection(stream, &catalog, &metrics),
+                            Ok(stream) => {
+                                handle_connection(stream, &catalog, &metrics, &opts, &shutdown)
+                            }
                             Err(_) => return, // sender dropped: drained
                         }
                     })
@@ -207,7 +238,7 @@ impl Server {
                         Ok(()) => {}
                         Err(TrySendError::Full(stream)) => {
                             ServeMetrics::bump(&self.metrics.rejected_busy);
-                            reject_busy(stream, &self.metrics);
+                            reject_busy(stream, &self.metrics, &self.opts);
                         }
                         Err(TrySendError::Disconnected(_)) => break,
                     }
@@ -230,40 +261,96 @@ impl Server {
 }
 
 /// Answers an over-capacity connection inline from the accept loop.
-fn reject_busy(stream: TcpStream, metrics: &ServeMetrics) {
+fn reject_busy(stream: TcpStream, metrics: &ServeMetrics, opts: &ServeOptions) {
     let mut resp = Response::error(503, "busy", "request queue full, retry shortly");
     resp.extra.push(("Retry-After", "1".to_string()));
     metrics.count_response(resp.status, resp.body.len());
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(opts.idle_timeout));
     let mut stream = stream;
     let _ = resp.write_to(&mut stream);
 }
 
-/// One connection: parse, route, respond, close.
-fn handle_connection(stream: TcpStream, catalog: &Catalog, metrics: &ServeMetrics) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+/// One connection's request loop: parse → route → respond, repeated
+/// while the client keeps the connection alive, up to
+/// [`ServeOptions::max_requests`]. A clean close at a request boundary
+/// ends the loop silently (it is not an error); a socket timeout answers
+/// `408` and closes so a stalled client frees its worker; a malformed
+/// request answers `400` and closes (framing is untrustworthy after).
+/// Once shutdown is requested the in-flight request is still answered —
+/// with `Connection: close` — before the worker moves on.
+fn handle_connection(
+    stream: TcpStream,
+    catalog: &Catalog,
+    metrics: &ServeMetrics,
+    opts: &ServeOptions,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(opts.idle_timeout));
+    let _ = stream.set_write_timeout(Some(opts.idle_timeout));
+    // Responses go out in one write; Nagle would only delay the next
+    // keep-alive round-trip.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let resp = match parse_request(&mut reader) {
-        Ok(req) => {
-            ServeMetrics::bump(&metrics.requests);
-            route(&req, catalog, metrics)
-        }
-        Err(e) => Response::error(400, "bad_request", &e.0),
-    };
-    metrics.count_response(resp.status, resp.body.len());
     let mut stream = stream;
-    let _ = resp.write_to(&mut stream);
-    let _ = stream.flush();
+    let max_requests = opts.max_requests.max(1);
+    let draining = || shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst);
+    for served in 1..=max_requests {
+        // An idle keep-alive connection is not held open across a drain:
+        // nothing is in flight, so just close.
+        if served > 1 && draining() {
+            return;
+        }
+        let (resp, keep_alive) = match parse_request(&mut reader) {
+            Ok(ParseOutcome::Closed) => return,
+            Ok(ParseOutcome::TimedOut) => {
+                // Best-effort 408; the client may be gone already. Either
+                // way the worker is freed.
+                ServeMetrics::bump(&metrics.timeouts);
+                let resp =
+                    Response::error(408, "timeout", "connection idle past the server's timeout");
+                metrics.count_response(resp.status, resp.body.len());
+                let _ = resp.write_to(&mut stream);
+                return;
+            }
+            Ok(ParseOutcome::Request(req)) => {
+                ServeMetrics::bump(&metrics.requests);
+                if served > 1 {
+                    ServeMetrics::bump(&metrics.keepalive_reuses);
+                }
+                let resp = route(&req, catalog, metrics);
+                let keep = req.keep_alive() && served < max_requests && !draining();
+                (resp, keep)
+            }
+            Err(e) => (Response::error(400, "bad_request", &e.0), false),
+        };
+        metrics.count_response(resp.status, resp.body.len());
+        if resp.write_with_connection(&mut stream, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
 }
 
 /// Dispatches a parsed request to its endpoint.
 fn route(req: &Request, catalog: &Catalog, metrics: &ServeMetrics) -> Response {
+    // The batch endpoint is the one POST; everything else is GET.
+    if let Some((id, "query-batch")) = parse_store_path(&req.path) {
+        if req.method != "POST" {
+            return Response::error(405, "method_not_allowed", "query-batch wants POST");
+        }
+        return match catalog.get(id) {
+            Some(entry) => query_batch_response(req, &entry, metrics),
+            None => unknown_store(id),
+        };
+    }
     if req.method != "GET" {
-        return Response::error(405, "method_not_allowed", "only GET is supported");
+        return Response::error(
+            405,
+            "method_not_allowed",
+            "only GET (and POST query-batch) is supported",
+        );
     }
     match req.path.as_str() {
         "/healthz" => Response::json(200, "{\"ok\":true}"),
@@ -447,6 +534,53 @@ fn parse_bbox(spec: &str) -> Result<([u32; 3], [u32; 3]), String> {
     Ok((corner(lo)?, corner(hi)?))
 }
 
+/// Builds a [`Query`] from the textual `field`/`bbox`/`levels` grammar
+/// shared by the GET endpoint (query parameters) and the batch endpoint
+/// (JSON fields).
+fn build_query(bbox: &str, levels: Option<&str>) -> Result<Query, String> {
+    let (lo, hi) = parse_bbox(bbox)?;
+    let mut q = Query::bbox(lo, hi);
+    if let Some(spec) = levels {
+        let levels: Result<Vec<u32>, _> =
+            spec.split(',').map(|t| t.trim().parse::<u32>()).collect();
+        match levels {
+            Ok(levels) => q = q.with_levels(levels),
+            Err(_) => return Err(format!("levels {spec:?}: want L[,L...]")),
+        }
+    }
+    Ok(q)
+}
+
+/// Runs one query and renders the shared metadata JSON — the exact
+/// object both the single and batch endpoints frame, so a batch item's
+/// triple is byte-identical to the single-query response for the same
+/// bbox.
+fn run_query(
+    entry: &CatalogEntry,
+    reader: &zmesh_store::StoreReader<zmesh_store::FileSource>,
+    field: &str,
+    q: &Query,
+    metrics: &ServeMetrics,
+) -> Result<(String, QueryResult), StoreError> {
+    let result = reader.query(field, q)?;
+    ServeMetrics::bump(&metrics.queries);
+    ServeMetrics::add(&metrics.query_cells, result.values.len() as u64);
+    let meta = format!(
+        "{{\"id\":\"{}\",\"field\":\"{}\",\"cells\":{},\"chunks_decoded\":{},\
+         \"chunks_total\":{},\"bound\":{}}}",
+        json_escape(&entry.id),
+        json_escape(field),
+        result.values.len(),
+        result.chunks_decoded,
+        result.chunks_total,
+        match result.bound {
+            Some(b) => format!("{b:e}"),
+            None => "null".to_string(),
+        },
+    );
+    Ok((meta, result))
+}
+
 /// `GET /stores/{id}/query?field=F&bbox=x0,y0[,z0]:x1,y1[,z1]`
 /// `[&levels=L,L...][&format=frames|csv|json]`.
 ///
@@ -466,44 +600,14 @@ fn query_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -
     let Some(bbox) = req.param("bbox") else {
         return Response::error(400, "bad_request", "missing query parameter: bbox");
     };
-    let (lo, hi) = match parse_bbox(bbox) {
-        Ok(corners) => corners,
+    let q = match build_query(bbox, req.param("levels")) {
+        Ok(q) => q,
         Err(e) => return Response::error(400, "bad_request", &e),
     };
-    let mut q = Query::bbox(lo, hi);
-    if let Some(spec) = req.param("levels") {
-        let levels: Result<Vec<u32>, _> =
-            spec.split(',').map(|t| t.trim().parse::<u32>()).collect();
-        match levels {
-            Ok(levels) => q = q.with_levels(levels),
-            Err(_) => {
-                return Response::error(
-                    400,
-                    "bad_request",
-                    &format!("levels {spec:?}: want L[,L...]"),
-                )
-            }
-        }
-    }
-    let result = match opened.reader.query(field, &q) {
+    let (meta, result) = match run_query(entry, &opened.reader, field, &q, metrics) {
         Ok(r) => r,
         Err(e) => return store_error_response(&e),
     };
-    ServeMetrics::bump(&metrics.queries);
-    ServeMetrics::add(&metrics.query_cells, result.values.len() as u64);
-    let meta = format!(
-        "{{\"id\":\"{}\",\"field\":\"{}\",\"cells\":{},\"chunks_decoded\":{},\
-         \"chunks_total\":{},\"bound\":{}}}",
-        json_escape(&entry.id),
-        json_escape(field),
-        result.values.len(),
-        result.chunks_decoded,
-        result.chunks_total,
-        match result.bound {
-            Some(b) => format!("{b:e}"),
-            None => "null".to_string(),
-        },
-    );
     match req.param("format").unwrap_or("frames") {
         "frames" => Response {
             status: 200,
@@ -543,6 +647,99 @@ fn query_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -
             &format!("format {other:?}: want frames, csv, or json"),
         ),
     }
+}
+
+/// `POST /stores/{id}/query-batch` — many bboxes, one request.
+///
+/// Body: `{"queries":[{"field":"F","bbox":"x0,y0[,z0]:x1,y1[,z1]"
+/// [,"levels":[L,...]]}, ...]}` (at most [`MAX_BATCH_QUERIES`]).
+/// Amortizes one connection, one catalog lookup, and one shared-cache
+/// pass over the whole set — overlapping bboxes decode each chunk once
+/// via the decoded-chunk LRU.
+///
+/// Response: `application/octet-stream`, the per-query frame groups
+/// concatenated **in request order** — a successful query contributes
+/// the same `1·2·3` triple as the single-query endpoint (byte-identical
+/// meta/indices/values), a failed one contributes a single tag-4 frame
+/// holding the structured JSON error it would have gotten over the
+/// single endpoint. Per-query failures do not fail the batch; a
+/// malformed envelope answers 400.
+fn query_batch_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -> Response {
+    let opened = match &entry.store {
+        Ok(o) => o,
+        Err(e) => return broken_store_response(entry, e),
+    };
+    let doc = match json::parse(&req.body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, "bad_request", &format!("body: {e}")),
+    };
+    let Some(queries) = doc.get("queries").and_then(Json::as_arr) else {
+        return Response::error(400, "bad_request", "body wants {\"queries\":[...]}");
+    };
+    if queries.is_empty() {
+        return Response::error(400, "bad_request", "empty queries array");
+    }
+    if queries.len() > MAX_BATCH_QUERIES {
+        return Response::error(
+            400,
+            "bad_request",
+            &format!(
+                "{} queries exceed the {MAX_BATCH_QUERIES} batch cap",
+                queries.len()
+            ),
+        );
+    }
+    ServeMetrics::bump(&metrics.batch_requests);
+    let mut body = Vec::new();
+    for item in queries {
+        match batch_item_query(item) {
+            Err(msg) => {
+                let err = Response::error(400, "bad_request", &msg);
+                wire::push_frame(&mut body, wire::FRAME_ERROR, &err.body);
+            }
+            Ok((field, q)) => match run_query(entry, &opened.reader, &field, &q, metrics) {
+                Ok((meta, result)) => body.extend_from_slice(&wire::encode_query_frames(
+                    &meta,
+                    &result.storage_indices,
+                    &result.values,
+                )),
+                Err(e) => {
+                    let err = store_error_response(&e);
+                    wire::push_frame(&mut body, wire::FRAME_ERROR, &err.body);
+                }
+            },
+        }
+    }
+    Response {
+        status: 200,
+        content_type: "application/octet-stream",
+        extra: Vec::new(),
+        body,
+    }
+}
+
+/// Extracts one batch item's `(field, Query)` from its JSON object.
+fn batch_item_query(item: &Json) -> Result<(String, Query), String> {
+    let field = item
+        .get("field")
+        .and_then(Json::as_str)
+        .ok_or("query item wants a \"field\" string")?;
+    let bbox = item
+        .get("bbox")
+        .and_then(Json::as_str)
+        .ok_or("query item wants a \"bbox\" string")?;
+    let (lo, hi) = parse_bbox(bbox)?;
+    let mut q = Query::bbox(lo, hi);
+    if let Some(levels) = item.get("levels") {
+        let levels: Vec<u32> = levels
+            .as_arr()
+            .ok_or("\"levels\" wants an array of integers")?
+            .iter()
+            .map(|l| l.as_u32().ok_or("\"levels\" wants non-negative integers"))
+            .collect::<Result<_, _>>()?;
+        q = q.with_levels(levels);
+    }
+    Ok((field.to_string(), q))
 }
 
 #[cfg(test)]

@@ -22,6 +22,9 @@ pub const FRAME_JSON: u8 = 1;
 pub const FRAME_INDICES: u8 = 2;
 /// Frame tag: `f64` little-endian cell values.
 pub const FRAME_VALUES: u8 = 3;
+/// Frame tag: UTF-8 JSON error object — stands in for the 1·2·3 triple
+/// of one failed query inside a batch response.
+pub const FRAME_ERROR: u8 = 4;
 
 /// Appends one `tag · len · payload` frame.
 pub fn push_frame(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
@@ -99,6 +102,49 @@ pub fn decode_query_frames(bytes: &[u8]) -> Result<(String, Vec<u32>, Vec<f64>),
     Ok((meta, indices, values))
 }
 
+/// One query's outcome inside a batch response: the decoded
+/// `(meta JSON, indices, values)` triple, or the error-frame JSON.
+pub type BatchItem = Result<(String, Vec<u32>, Vec<f64>), String>;
+
+/// Splits a batch response — a concatenation of per-query `1·2·3`
+/// triples and standalone error frames (tag 4) — back into per-query
+/// outcomes, in request order.
+pub fn decode_batch_frames(bytes: &[u8]) -> Result<Vec<BatchItem>, String> {
+    let frames = decode_frames(bytes)?;
+    let mut items = Vec::new();
+    let mut rest = &frames[..];
+    while let Some((tag, payload)) = rest.first() {
+        match *tag {
+            FRAME_ERROR => {
+                let err = String::from_utf8(payload.clone())
+                    .map_err(|_| "non-utf8 error frame".to_string())?;
+                items.push(Err(err));
+                rest = &rest[1..];
+            }
+            FRAME_JSON => {
+                let [(_, meta), (FRAME_INDICES, idx), (FRAME_VALUES, vals)] =
+                    &rest[..3.min(rest.len())]
+                else {
+                    return Err(format!(
+                        "batch item at frame {} is not a 1·2·3 triple",
+                        items.len()
+                    ));
+                };
+                // Re-encode nothing: reuse the single-query decoder on
+                // the triple so framing rules stay in one place.
+                let mut triple = Vec::new();
+                push_frame(&mut triple, FRAME_JSON, meta);
+                push_frame(&mut triple, FRAME_INDICES, idx);
+                push_frame(&mut triple, FRAME_VALUES, vals);
+                items.push(Ok(decode_query_frames(&triple)?));
+                rest = &rest[3..];
+            }
+            other => return Err(format!("unexpected frame tag {other} in batch response")),
+        }
+    }
+    Ok(items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +173,31 @@ mod tests {
         // Inflate the first frame's length past the buffer end.
         lying[1] = 0xff;
         assert!(decode_frames(&lying).is_err());
+    }
+
+    #[test]
+    fn batch_frames_interleave_triples_and_error_frames() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&encode_query_frames("{\"q\":0}", &[1, 2], &[0.5, 1.5]));
+        push_frame(
+            &mut body,
+            FRAME_ERROR,
+            b"{\"error\":{\"kind\":\"unknown_field\"}}",
+        );
+        body.extend_from_slice(&encode_query_frames("{\"q\":2}", &[], &[]));
+        let items = decode_batch_frames(&body).unwrap();
+        assert_eq!(items.len(), 3);
+        let (meta, idx, vals) = items[0].as_ref().unwrap();
+        assert_eq!(meta, "{\"q\":0}");
+        assert_eq!(idx, &[1, 2]);
+        assert_eq!(vals, &[0.5, 1.5]);
+        assert!(items[1].as_ref().unwrap_err().contains("unknown_field"));
+        assert!(items[2].is_ok());
+        // A dangling triple (values frame missing) is rejected.
+        let mut torn = Vec::new();
+        push_frame(&mut torn, FRAME_JSON, b"{}");
+        push_frame(&mut torn, FRAME_INDICES, &[]);
+        assert!(decode_batch_frames(&torn).is_err());
     }
 
     #[test]

@@ -4,12 +4,15 @@
 
 #![cfg(unix)]
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
 
 use zmesh::{CompressionConfig, Pipeline};
 use zmesh_amr::{datasets, StorageMode};
-use zmesh_serve::bench::http_get;
+use zmesh_serve::bench::{batch_body, http_get, HttpClient};
 use zmesh_serve::{wire, ServeOptions, Server};
 use zmesh_store::{persist, PipelineStoreExt, Query, StoreReader};
 
@@ -206,6 +209,222 @@ fn refresh_picks_up_new_stores_and_metrics_count_traffic() {
         .expect("parse hits");
     assert!(hits > 0, "repeat query must register chunk-cache hits");
     assert!(metrics.contains("\"queries\":"), "{metrics}");
+
+    running.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keepalive_connection_reuses_and_answers_byte_identically() {
+    let dir = tempdir("keepalive");
+    pack_into(&dir, "only.zms");
+    // A store id with a literal `+` must stay reachable: `+` is a space
+    // only inside query strings, never in paths.
+    pack_into(&dir, "run+hot.zms");
+    let running = start(&dir, ServeOptions::default());
+
+    let paths = [
+        "/stores/only/query?field=density&bbox=0,0:7,7&format=frames",
+        "/stores/only/info",
+        "/stores/run+hot/info",
+        "/healthz",
+    ];
+    let mut client = HttpClient::new(&running.addr);
+    for path in paths {
+        let (ka_status, ka_body) = client.get(path).expect(path);
+        assert!(
+            client.connected(),
+            "{path}: server must keep the connection open"
+        );
+        let (cl_status, cl_body) = http_get(&running.addr, path).expect(path);
+        assert_eq!(ka_status, cl_status, "{path}");
+        assert_eq!(
+            ka_body, cl_body,
+            "{path}: keep-alive and closed-connection bodies must match"
+        );
+    }
+
+    let (status, body) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8(body).unwrap();
+    let reuses: u64 = metrics
+        .split("\"keepalive_reuses\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse keepalive_reuses");
+    // Requests 2..=5 on the persistent connection are reuses.
+    assert!(reuses >= 4, "want >=4 reuses, got {reuses}: {metrics}");
+
+    running.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_client_cannot_starve_concurrent_queries() {
+    let dir = tempdir("stall");
+    pack_into(&dir, "only.zms");
+    // One worker: pre-timeout, a stalled connection would pin it forever
+    // and this test would hang. Post-timeout, the worker frees itself.
+    let running = start(
+        &dir,
+        ServeOptions {
+            workers: 1,
+            idle_timeout: Duration::from_millis(300),
+            ..ServeOptions::default()
+        },
+    );
+
+    // A client that connects, sends half a request line, and stalls.
+    let mut stalled = TcpStream::connect(&running.addr).expect("connect");
+    stalled.write_all(b"GET /healthz").expect("partial write");
+    stalled.flush().expect("flush");
+    // Let the single worker pick the stalled connection up.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // A well-behaved query issued while the worker is pinned: it must be
+    // answered once the stalled connection times out — not starve.
+    let t0 = Instant::now();
+    let (status, _) = http_get(
+        &running.addr,
+        "/stores/only/query?field=density&bbox=0,0:7,7",
+    )
+    .expect("query during stall");
+    assert_eq!(status, 200);
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "query stalled behind an idle connection for {elapsed:?}"
+    );
+
+    // The stalled client is told why: 408, then EOF (or a bare close if
+    // the response write raced the teardown).
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut answer = Vec::new();
+    let _ = stalled.read_to_end(&mut answer);
+    let answer = String::from_utf8_lossy(&answer);
+    assert!(
+        answer.is_empty() || answer.starts_with("HTTP/1.1 408"),
+        "stalled client got: {answer:?}"
+    );
+
+    let (_, body) = http_get(&running.addr, "/metrics").expect("metrics");
+    let metrics = String::from_utf8(body).unwrap();
+    assert!(
+        metrics.contains("\"timeouts\":1"),
+        "timeout must be counted: {metrics}"
+    );
+
+    running.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_queries_match_single_queries_and_direct_reads() {
+    let dir = tempdir("batch");
+    let bytes = pack_into(&dir, "only.zms");
+    let running = start(&dir, ServeOptions::default());
+
+    let bboxes = ["0,0:3,3", "2,2:9,9", "0,0:15,15"];
+    let mut body = batch_body("density", &bboxes);
+    // Splice in a failing item: unknown field, same bbox grammar.
+    body = body.replace("]}", ",{\"field\":\"ghost\",\"bbox\":\"0,0:1,1\"}]}");
+
+    let mut client = HttpClient::new(&running.addr);
+    let (status, payload) = client
+        .post_json("/stores/only/query-batch", body.as_bytes())
+        .expect("batch post");
+    assert_eq!(status, 200);
+    let items = wire::decode_batch_frames(&payload).expect("batch frames");
+    assert_eq!(items.len(), bboxes.len() + 1);
+
+    let reader = StoreReader::open(&bytes).expect("open");
+    for (bbox, item) in bboxes.iter().zip(&items) {
+        let (meta, indices, values) = item.as_ref().expect("batch item");
+
+        // Byte-identical to the single-query endpoint for the same bbox…
+        let (status, single) = http_get(
+            &running.addr,
+            &format!("/stores/only/query?field=density&bbox={bbox}&format=frames"),
+        )
+        .expect("single query");
+        assert_eq!(status, 200);
+        let (s_meta, s_indices, s_values) = wire::decode_query_frames(&single).expect("frames");
+        assert_eq!(meta, &s_meta, "{bbox}");
+        assert_eq!(indices, &s_indices, "{bbox}");
+        let batch_bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        let single_bits: Vec<u64> = s_values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(batch_bits, single_bits, "{bbox}");
+
+        // …and bit-exact against a direct in-memory read.
+        let (lo, hi) = {
+            let (lo, hi) = bbox.split_once(':').unwrap();
+            let corner = |s: &str| {
+                let v: Vec<u32> = s.split(',').map(|t| t.parse().unwrap()).collect();
+                [v[0], v[1], 0]
+            };
+            (corner(lo), corner(hi))
+        };
+        let direct = reader
+            .query("density", &Query::bbox(lo, hi))
+            .expect("direct query");
+        assert_eq!(indices, &direct.storage_indices, "{bbox}");
+        let direct_bits: Vec<u64> = direct.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(batch_bits, direct_bits, "{bbox}");
+    }
+    let err = items[bboxes.len()].as_ref().expect_err("ghost field");
+    assert!(err.contains("unknown_field"), "{err}");
+
+    // The endpoint is POST-only, and garbage bodies answer 400.
+    let (status, _) = http_get(&running.addr, "/stores/only/query-batch").expect("get");
+    assert_eq!(status, 405);
+    let (status, body) = client
+        .post_json("/stores/only/query-batch", b"{\"queries\":[]}")
+        .expect("empty batch");
+    assert_eq!(status, 400);
+    assert!(String::from_utf8(body).unwrap().contains("bad_request"));
+
+    running.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_close_is_not_a_client_error_and_max_requests_caps_reuse() {
+    let dir = tempdir("close");
+    pack_into(&dir, "only.zms");
+    let running = start(
+        &dir,
+        ServeOptions {
+            max_requests: 2,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Connect and close without sending a byte: a normal keep-alive end,
+    // not a 400.
+    drop(TcpStream::connect(&running.addr).expect("connect"));
+    std::thread::sleep(Duration::from_millis(100));
+    let (_, body) = http_get(&running.addr, "/metrics").expect("metrics");
+    let metrics = String::from_utf8(body).unwrap();
+    assert!(
+        metrics.contains("\"responses_client_error\":0"),
+        "clean close counted as client error: {metrics}"
+    );
+
+    // max_requests: 2 — the second response closes the connection, and
+    // the client transparently reconnects for the third.
+    let mut client = HttpClient::new(&running.addr);
+    client.get("/healthz").expect("first");
+    assert!(client.connected());
+    client.get("/healthz").expect("second");
+    assert!(
+        !client.connected(),
+        "second response must carry Connection: close"
+    );
+    let (status, _) = client.get("/healthz").expect("third");
+    assert_eq!(status, 200);
 
     running.stop();
     let _ = std::fs::remove_dir_all(&dir);

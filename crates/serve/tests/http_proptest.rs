@@ -1,0 +1,165 @@
+//! Property tests torturing the HTTP/1.1 request parser: arbitrary byte
+//! noise, structured near-requests with bare-LF lines and lying
+//! `Content-Length` headers, and pipelined keep-alive streams. The
+//! parser must never panic, must enforce its line/header limits as
+//! errors, and must never misattribute bytes across keep-alive request
+//! boundaries.
+
+use std::io::{Cursor, Read};
+
+use proptest::prelude::*;
+use zmesh_serve::http::{parse_request, ParseOutcome};
+
+/// Parses every request out of one buffer, returning them in order.
+/// Panics (failing the test) if the parser panics; errors just end the
+/// stream, as they do in the server's request loop.
+fn drain(buf: &[u8]) -> Vec<ParseOutcome> {
+    let mut cursor = Cursor::new(buf.to_vec());
+    let mut out = Vec::new();
+    loop {
+        match parse_request(&mut cursor) {
+            Ok(ParseOutcome::Closed) => {
+                out.push(ParseOutcome::Closed);
+                return out;
+            }
+            Ok(other) => out.push(other),
+            Err(_) => return out,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine; reaching it without panicking is the test.
+        let _ = drain(&bytes);
+    }
+
+    #[test]
+    fn structured_near_requests_never_panic(
+        method in prop::sample::select(&["GET", "POST", "PUT", "", "G\tT"]),
+        path in prop::sample::select(&[
+            "/healthz", "/stores/a+b/info", "/q?x=1&y=%20", "/%zz", "", "no-slash",
+        ]),
+        version in prop::sample::select(&["HTTP/1.1", "HTTP/1.0", "HTTP/9", ""]),
+        eol in prop::sample::select(&["\r\n", "\n"]),
+        headers in prop::collection::vec(
+            prop::sample::select(&[
+                "Connection: close", "Connection: keep-alive", "Content-Length: 3",
+                "Content-Length: -1", "Content-Length: 999999999999999999999",
+                "Transfer-Encoding: chunked", "no-colon-line", ": empty-name",
+                "X-Junk: v",
+            ]),
+            0..70,
+        ),
+        body in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(format!("{method} {path} {version}{eol}").as_bytes());
+        for h in &headers {
+            buf.extend_from_slice(h.as_bytes());
+            buf.extend_from_slice(eol.as_bytes());
+        }
+        buf.extend_from_slice(eol.as_bytes());
+        buf.extend_from_slice(&body);
+        let outcomes = drain(&buf);
+        // If anything parsed, the parser must have honored its limits:
+        // at most 64 retained headers per request.
+        for outcome in &outcomes {
+            if let ParseOutcome::Request(req) = outcome {
+                prop_assert!(req.headers.len() <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_lines_and_header_floods_error_out(
+        pad in 0usize..3,
+        flood in prop::sample::select(&[true, false]),
+    ) {
+        let buf = if flood {
+            let mut b = b"GET / HTTP/1.1\r\n".to_vec();
+            for i in 0..(65 + pad) {
+                b.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+            }
+            b.extend_from_slice(b"\r\n");
+            b
+        } else {
+            format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(8 * 1024 + 1 + pad)).into_bytes()
+        };
+        let mut cursor = Cursor::new(buf);
+        prop_assert!(parse_request(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn lying_content_length_cannot_smear_request_boundaries(
+        body in prop::collection::vec(any::<u8>(), 0..64),
+        lie in -8i64..=8,
+    ) {
+        let declared = body.len() as i64 + lie;
+        prop_assume!(declared >= 0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(
+            format!("POST /x HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n").as_bytes(),
+        );
+        buf.extend_from_slice(&body);
+        let mut cursor = Cursor::new(buf);
+        match parse_request(&mut cursor) {
+            Ok(ParseOutcome::Request(req)) => {
+                // Only possible when the declared length was satisfiable:
+                // the body is exactly the declared prefix, and every byte
+                // past it is still in the reader for the next parse.
+                prop_assert!(lie <= 0);
+                prop_assert_eq!(&req.body[..], &body[..declared as usize]);
+                let mut rest = Vec::new();
+                cursor.read_to_end(&mut rest).unwrap();
+                prop_assert_eq!(&rest[..], &body[declared as usize..]);
+            }
+            Ok(_) => prop_assert!(false, "a full request line was sent"),
+            // Declared more than was sent: EOF mid-body is an error.
+            Err(_) => prop_assert!(lie > 0),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_never_misattribute_bytes(
+        requests in prop::collection::vec(
+            (
+                prop::sample::select(&["/healthz", "/stores/s/info", "/a?b=c+d"]),
+                prop::collection::vec(any::<u8>(), 0..32),
+            ),
+            1..5,
+        ),
+    ) {
+        let mut buf = Vec::new();
+        for (path, body) in &requests {
+            if body.is_empty() {
+                buf.extend_from_slice(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes());
+            } else {
+                buf.extend_from_slice(
+                    format!(
+                        "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+                buf.extend_from_slice(body);
+            }
+        }
+        let mut cursor = Cursor::new(buf);
+        for (path, body) in &requests {
+            match parse_request(&mut cursor).unwrap() {
+                ParseOutcome::Request(req) => {
+                    prop_assert_eq!(&req.path, path.split('?').next().unwrap());
+                    prop_assert_eq!(&req.body[..], &body[..]);
+                }
+                other => prop_assert!(false, "expected a request, got {:?}", other),
+            }
+        }
+        // The stream ends exactly at the last body byte: a clean close.
+        prop_assert!(matches!(
+            parse_request(&mut cursor).unwrap(),
+            ParseOutcome::Closed
+        ));
+    }
+}

@@ -9,6 +9,11 @@
 #        → /healthz and /catalog sanity
 #        → CLI `zmesh query -o golden.csv` as the golden answer
 #        → 4 concurrent `curl …format=csv` responses, each byte-identical
+#        → two requests over ONE keep-alive connection, both byte-identical,
+#          /metrics counts the reuse
+#        → POST /stores/…/query-batch answers 200, two runs byte-identical
+#        → a stalled client (partial request, then silence) cannot block a
+#          concurrent query, and is answered 408-or-closed
 #        → unknown field → 404, malformed bbox → 400 (structured JSON)
 #        → corrupt a third store, /catalog?refresh=1 picks it up,
 #          querying it → 500 with an "error" object (daemon stays up)
@@ -43,7 +48,7 @@ mkdir -p "$catalog"
 "$zmesh" pack "$workdir/front.zmd" -o "$catalog/front.zms" --chunk-kb 2
 
 echo "==> start the daemon on an ephemeral port"
-"$zmesh" serve "$catalog" --addr 127.0.0.1:0 --workers 4 \
+"$zmesh" serve "$catalog" --addr 127.0.0.1:0 --workers 4 --idle-timeout 2 \
     >"$workdir/serve.out" 2>"$workdir/serve.err" &
 serve_pid=$!
 addr=""
@@ -87,6 +92,55 @@ for i in 1 2 3 4; do
     cmp "$workdir/golden.csv" "$workdir/concurrent_$i.csv"
 done
 echo "    all 4 responses match the CLI byte for byte"
+
+echo "==> keep-alive: two requests over one connection, both byte-identical"
+# One curl invocation with two URLs reuses the connection (the daemon
+# answers HTTP/1.1 keep-alive by default).
+curl -fsS -o "$workdir/ka_1.csv" "$url" -o "$workdir/ka_2.csv" "$url"
+cmp "$workdir/golden.csv" "$workdir/ka_1.csv"
+cmp "$workdir/golden.csv" "$workdir/ka_2.csv"
+curl -fsS "http://$addr/metrics" >"$workdir/metrics_ka.json"
+reuses=$(sed -n 's/.*"keepalive_reuses":\([0-9]*\).*/\1/p' "$workdir/metrics_ka.json")
+if [ -z "$reuses" ] || [ "$reuses" -lt 1 ]; then
+    echo "serve_smoke: expected keepalive_reuses >= 1, got '${reuses:-missing}'" >&2
+    exit 1
+fi
+echo "    connection was reused ($reuses keep-alive reuse(s) counted)"
+
+echo "==> batch queries: one POST, many bboxes, deterministic bytes"
+printf '{"queries":[{"field":"density","bbox":"0,0:7,7"},{"field":"density","bbox":"0,0:3,3"},{"field":"nope","bbox":"0,0:1,1"}]}' \
+    >"$workdir/batch.json"
+batch_url="http://$addr/stores/blast/query-batch"
+curl -fsS -X POST --data-binary @"$workdir/batch.json" \
+    -H 'Content-Type: application/json' "$batch_url" -o "$workdir/batch_1.bin"
+# The binary frames carry the per-query JSON metadata and the structured
+# error for the unknown field.
+grep -aq '"field":"density"' "$workdir/batch_1.bin"
+grep -aq 'unknown_field' "$workdir/batch_1.bin"
+curl -fsS -X POST --data-binary @"$workdir/batch.json" \
+    -H 'Content-Type: application/json' "$batch_url" -o "$workdir/batch_2.bin"
+cmp "$workdir/batch_1.bin" "$workdir/batch_2.bin"
+echo "    batch responses are byte-identical across runs"
+
+echo "==> a stalled client cannot block other queries, then gets 408"
+host=${addr%:*}
+port=${addr##*:}
+# Open a raw connection, send half a request line, and go silent.
+exec 3<>"/dev/tcp/$host/$port"
+printf 'GET /healthz' >&3
+# While it stalls, a well-behaved query must still be answered promptly.
+curl -fsS --max-time 10 "$url" -o "$workdir/during_stall.csv"
+cmp "$workdir/golden.csv" "$workdir/during_stall.csv"
+# The daemon times the stalled connection out (--idle-timeout 2) with a
+# best-effort 408, or just closes it; either way the worker is freed.
+stalled=$(timeout 10 cat <&3 || true)
+exec 3>&- 3<&-
+case "$stalled" in
+    ''|*'408'*) ;;
+    *) echo "serve_smoke: stalled client got unexpected answer: $stalled" >&2
+       exit 1 ;;
+esac
+echo "    concurrent query unaffected; stalled connection timed out"
 
 echo "==> structured errors: unknown field → 404, malformed bbox → 400"
 status=$(curl -s -o "$workdir/err404.json" -w '%{http_code}' \
