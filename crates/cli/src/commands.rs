@@ -457,9 +457,11 @@ pub fn scrub(argv: &[String]) -> Result<(), CliError> {
 /// chunks from parity (XOR or Reed–Solomon), then from a structurally
 /// identical `--replica` copy, then by re-encoding lost chunks from the
 /// original `--from-raw` dataset; the avenues cascade until nothing more
-/// heals. A *torn* store (interrupted write, no commit record) has no
-/// trustworthy index, so it is rebuilt from `--from-raw` wholesale and
-/// accepted only when the result extends the torn prefix byte-for-byte.
+/// heals. A *torn* store (interrupted write, no commit record) is rebuilt
+/// from `--from-raw` wholesale — accepted only when the result extends the
+/// torn prefix byte-for-byte — or, without `--from-raw`, salvaged down to
+/// every field's intact whole-chunk prefix (lossless when only the
+/// trailing commit record was lost; exit 6 when chunks were dropped).
 /// The output is written only when every chunk was recovered; otherwise
 /// the losses are listed and the exit code is 4.
 pub fn repair(argv: &[String]) -> Result<(), CliError> {
@@ -467,21 +469,16 @@ pub fn repair(argv: &[String]) -> Result<(), CliError> {
     let input = positional(&args, 0, "input store (.zms)")?;
     let out = required(&args, "output")?;
     let raw_ds = args.option("from-raw").map(load_dataset).transpose()?;
-    let torn_refused = || {
-        CliError::Torn(
-            "store is torn (incomplete write); pass --from-raw <dataset.zmd> to rebuild it".into(),
-        )
-    };
     #[cfg(unix)]
     if !args.switch("in-memory") {
         let src = ranged_source(input)?;
         if matches!(zmesh_store::open_parts_source(&src), Err(StoreError::Torn)) {
-            // Torn rebuild compares the rebuilt store against the whole
-            // torn prefix, so only this path still loads the file.
-            let Some(ds) = &raw_ds else {
-                return Err(torn_refused());
+            // Torn handling scans (or compares against) the whole torn
+            // prefix, so only this path still loads the file.
+            return match &raw_ds {
+                Some(ds) => rebuild_torn(&read_file(input)?, ds, &args, out),
+                None => salvage_torn_prefix(&read_file(input)?, out),
             };
-            return rebuild_torn(&read_file(input)?, ds, &args, out);
         }
         let replica = args.option("replica").map(ranged_source).transpose()?;
         let raw_fields = raw_ds.as_ref().map(field_refs);
@@ -492,10 +489,10 @@ pub fn repair(argv: &[String]) -> Result<(), CliError> {
     }
     let bytes = read_file(input)?;
     if matches!(zmesh_store::open_parts(&bytes), Err(StoreError::Torn)) {
-        let Some(ds) = &raw_ds else {
-            return Err(torn_refused());
+        return match &raw_ds {
+            Some(ds) => rebuild_torn(&bytes, ds, &args, out),
+            None => salvage_torn_prefix(&bytes, out),
         };
-        return rebuild_torn(&bytes, ds, &args, out);
     }
     let replica = args.option("replica").map(read_file).transpose()?;
     let raw_fields = raw_ds.as_ref().map(field_refs);
@@ -556,6 +553,45 @@ fn report_repair(outcome: RepairOutcome, had_sources: bool, out: &str) -> Result
                 },
             )))
         }
+    }
+}
+
+/// Salvages a torn store without the original dataset: keeps every
+/// field's intact whole-chunk prefix, recomputes parity over it, and
+/// writes a shorter but fully committed store. Lossless when only the
+/// trailing commit record was torn off; otherwise the dropped chunks are
+/// listed and the exit code is 6 (recoverable — `--from-raw` can still
+/// rebuild them). The machine-readable summary goes to stderr with the
+/// rest of the progress chatter, matching [`report_repair`].
+fn salvage_torn_prefix(torn: &[u8], out: &str) -> Result<(), CliError> {
+    let salvage = zmesh_store::salvage_torn(torn)?;
+    eprintln!("{}", salvage.to_json());
+    let Some(bytes) = &salvage.bytes else {
+        return Err(CliError::Torn(
+            "store is torn and no chunk survived intact; pass --from-raw \
+             <dataset.zmd> to rebuild it"
+                .into(),
+        ));
+    };
+    write_file(out, bytes)?;
+    for lost in &salvage.dropped {
+        eprintln!(
+            "dropped: field {:?} chunk {}: {}",
+            lost.field, lost.chunk, lost.error
+        );
+    }
+    println!(
+        "wrote {out}: torn store salvaged, kept {}/{} chunk(s) across {} field(s)",
+        salvage.chunks_kept, salvage.chunks_total, salvage.fields
+    );
+    if salvage.dropped.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Recoverable(format!(
+            "{} chunk(s) beyond the salvaged prefix; pass --from-raw \
+             <dataset.zmd> to rebuild them",
+            salvage.dropped.len()
+        )))
     }
 }
 
@@ -912,8 +948,39 @@ fn parse_count(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
         .transpose()
 }
 
+/// Binds the daemon, honoring `--fault-plan <spec>` in testing builds:
+/// the plan wraps every matching store's file reads in a deterministic
+/// fault injector (see `zmesh_store::faultinject::FaultSpec::parse` for
+/// the grammar). Release builds reject the flag instead of silently
+/// serving clean.
+#[cfg(unix)]
+fn bind_server(
+    args: &Args,
+    dir: &str,
+    opts: zmesh_serve::ServeOptions,
+) -> Result<zmesh_serve::Server, CliError> {
+    match args.option("fault-plan") {
+        None => zmesh_serve::Server::bind(dir, opts).map_err(|e| CliError::Io(e.to_string())),
+        #[cfg(feature = "testing")]
+        Some(spec) => {
+            let plan = zmesh_store::faultinject::FaultSpec::parse(spec)
+                .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?;
+            eprintln!("serve: fault injection active: {spec}");
+            zmesh_serve::Server::bind_with_faults(dir, opts, Some(plan))
+                .map_err(|e| CliError::Io(e.to_string()))
+        }
+        #[cfg(not(feature = "testing"))]
+        Some(_) => Err(CliError::Usage(
+            "--fault-plan requires a testing build: \
+             cargo build -p zmesh-cli --features testing"
+                .into(),
+        )),
+    }
+}
+
 /// `zmesh serve <dir> [--addr host:port] [--workers N] [--queue N]
-/// [--cache-mb N] [--idle-timeout SECS] [--max-requests N]` — resident
+/// [--cache-mb N] [--idle-timeout SECS] [--max-requests N]
+/// [--fault-plan SPEC]` — resident
 /// query daemon over every `*.zms` under `<dir>`. Prints the bound
 /// address on stdout (`--addr 127.0.0.1:0` picks an ephemeral port),
 /// then serves until SIGTERM/SIGINT, draining in-flight requests before
@@ -922,7 +989,8 @@ fn parse_count(args: &Args, name: &str) -> Result<Option<usize>, CliError> {
 /// `--idle-timeout` is answered `408` and closed so it cannot pin a
 /// worker. Endpoints: `/healthz`, `/metrics`, `/catalog[?refresh=1]`,
 /// `/stores/{id}/info`, `/stores/{id}/query`,
-/// `POST /stores/{id}/query-batch`.
+/// `POST /stores/{id}/query-batch`. `--fault-plan` (testing builds only)
+/// injects deterministic read faults for chaos drills.
 #[cfg(unix)]
 pub fn serve(argv: &[String]) -> Result<(), CliError> {
     use std::io::Write as _;
@@ -948,7 +1016,7 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
     if let Some(n) = parse_count(&args, "max-requests")? {
         opts.max_requests = n;
     }
-    let server = zmesh_serve::Server::bind(dir, opts).map_err(|e| CliError::Io(e.to_string()))?;
+    let server = bind_server(&args, dir, opts)?;
     let addr = server
         .local_addr()
         .map_err(|e| CliError::Io(e.to_string()))?;
@@ -1067,6 +1135,7 @@ pub fn bench_serve(argv: &[String]) -> Result<(), CliError> {
         ("cold", &report.cold),
         ("warm", &report.warm),
         ("reused", &report.reused),
+        ("salvage", &report.salvage),
     ] {
         println!(
             "  {label}: p50 {:.1}us p95 {:.1}us p99 {:.1}us ({} queries, {} errors)",

@@ -84,7 +84,7 @@ fn print_usage() {
          \x20 zmesh info <file.zmd | file.zmc | file.zms> [--stats]\n\
          \x20 zmesh verify original.zmd restored.zmd [--rel-eb 1e-4]\n\
          \x20 zmesh serve <dir> [--addr 127.0.0.1:0] [--workers 4] [--queue 64] [--cache-mb 64]\n\
-         \x20                   [--idle-timeout 10] [--max-requests 1000]\n\
+         \x20                   [--idle-timeout 10] [--max-requests 1000] [--fault-plan SPEC]\n\
          \x20 zmesh bench-serve [dir] [--clients 4] [--requests 200] [--workers 4] [--zipf 1.1]\n\
          \x20                        [--seed N] [--cache-mb 64] [--no-keepalive] [-o BENCH_serve.json]\n\n\
          exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt input, 5 verify failure, 6 recoverable damage, 7 torn store\n\

@@ -915,8 +915,8 @@ fn rs_parity_and_torn_store_workflow() {
     );
 
     // A write cut off mid-commit-record is *torn*, not corrupt: every
-    // reader distinguishes it with exit 7, and repair refuses to guess
-    // without the raw dataset.
+    // reader distinguishes it with exit 7; repair salvages the intact
+    // prefix, or completes the write exactly with the raw dataset.
     std::fs::write(&torn, &pristine[..pristine.len() - 7]).expect("write torn");
     let out = zmesh()
         .args(["scrub", torn.to_str().unwrap()])
@@ -937,17 +937,30 @@ fn rs_parity_and_torn_store_workflow() {
         Some(7),
         "salvage must not paper over a torn store"
     );
-    assert_eq!(
-        code(&[
+    // Repair without --from-raw salvages the intact whole-chunk prefix.
+    // Only the commit record was torn off here, so the salvage is
+    // lossless — byte-identical to the pristine store.
+    let out = zmesh()
+        .args([
             "repair",
             torn.to_str().unwrap(),
             "-o",
             rebuilt.to_str().unwrap(),
-        ]),
-        Some(7),
-        "torn repair without --from-raw is refused"
+        ])
+        .output()
+        .expect("run torn salvage");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
     );
-    assert!(!rebuilt.exists());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("\"salvaged\":true"));
+    assert_eq!(
+        std::fs::read(&rebuilt).expect("read salvaged"),
+        pristine,
+        "commit-record-only tear must salvage byte-identically"
+    );
+    std::fs::remove_file(&rebuilt).expect("drop salvaged output");
 
     // --from-raw completes the interrupted write: the rebuild extends the
     // torn prefix byte-for-byte and round-trips like the original.

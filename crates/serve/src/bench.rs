@@ -145,6 +145,11 @@ pub struct BenchReport {
     pub batch_queries: usize,
     /// Concurrent zipf-skewed mixed workload.
     pub mixed: PhaseStats,
+    /// `?salvage=1` queries against a disposable copy of the first store
+    /// with one data chunk deliberately corrupted on disk (tiny chunk
+    /// cache, so every query re-reads): the price of answering through
+    /// parity reconstruction instead of the clean path.
+    pub salvage: PhaseStats,
     /// Whether mixed-phase clients used keep-alive connections.
     pub keepalive: bool,
     /// Client threads used.
@@ -193,7 +198,7 @@ impl BenchReport {
         let c = &self.chunk_cache;
         let r = &self.recipe_cache;
         format!(
-            "{{\"results\":[{},{},{},{},{}],\"clients\":{},\"requests_per_client\":{},\
+            "{{\"results\":[{},{},{},{},{},{}],\"clients\":{},\"requests_per_client\":{},\
              \"stores\":{},\"keepalive\":{},\
              \"qps\":{:.3},\"serial_warm_qps\":{:.3},\"reused_warm_qps\":{:.3},\
              \"batch_queries\":{},\"batch_query_qps\":{:.3},\"total_errors\":{},\
@@ -204,6 +209,7 @@ impl BenchReport {
             phase("serve/query_warm_reused", &self.reused, false),
             phase("serve/query_batch", &self.batch, true),
             phase("serve/mixed_zipf", &self.mixed, true),
+            phase("serve/query_salvage", &self.salvage, false),
             self.clients,
             self.requests_per_client,
             self.stores,
@@ -611,6 +617,58 @@ pub fn run(dir: &Path, opts: &BenchOptions) -> std::io::Result<BenchReport> {
     }
     let mixed = PhaseStats::from_latencies(mixed_lat, mixed_errors, mixed_start.elapsed());
 
+    // Salvage: a disposable one-store catalog whose first data chunk is
+    // corrupted on disk, queried with `?salvage=1` through a unit-size
+    // chunk cache so every request really pays the reconstruction.
+    let salvage = {
+        let damaged_dir =
+            std::env::temp_dir().join(format!("zmesh_bench_salvage_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&damaged_dir);
+        std::fs::create_dir_all(&damaged_dir)?;
+        let (src_id, field) = &targets[0];
+        let mut bytes = std::fs::read(dir.join(format!("{src_id}.zms")))?;
+        if let Ok((_, fields, payload)) = zmesh_store::open_parts(&bytes) {
+            if let Some(meta) = fields.first().and_then(|f| f.chunks.first()) {
+                // One flipped byte mid-chunk: CRC damage that parity can
+                // repair (or, on a v2 store, a cleanly dropped chunk).
+                let at = payload.start + meta.offset as usize + meta.len as usize / 2;
+                bytes[at] ^= 0xff;
+            }
+        }
+        std::fs::write(damaged_dir.join("damaged.zms"), &bytes)?;
+        let server = Server::bind(
+            &damaged_dir,
+            ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                cache_bytes: 1,
+                ..ServeOptions::default()
+            },
+        )?;
+        let addr = server.local_addr()?.to_string();
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        let start = Instant::now();
+        let mut latencies = Vec::new();
+        let mut errors = 0;
+        for _ in 0..2 {
+            for bbox in BBOXES {
+                let path = format!(
+                    "/stores/damaged/query?field={field}&bbox={bbox}&format=frames&salvage=1"
+                );
+                let t0 = Instant::now();
+                match http_get(&addr, &path) {
+                    Ok((200, _)) => latencies.push(t0.elapsed().as_nanos() as u64),
+                    Ok(_) | Err(_) => errors += 1,
+                }
+            }
+        }
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        thread.join().expect("salvage server thread panicked")?;
+        let _ = std::fs::remove_dir_all(&damaged_dir);
+        PhaseStats::from_latencies(latencies, errors, start.elapsed())
+    };
+
     shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
     server_thread.join().expect("server thread panicked")?;
 
@@ -621,6 +679,7 @@ pub fn run(dir: &Path, opts: &BenchOptions) -> std::io::Result<BenchReport> {
         batch,
         batch_queries,
         mixed,
+        salvage,
         keepalive: opts.keepalive,
         clients: opts.clients.max(1),
         requests_per_client: opts.requests,
@@ -697,6 +756,7 @@ mod tests {
             },
             batch_queries: 16,
             mixed: phase,
+            salvage: phase,
             keepalive: true,
             clients: 4,
             requests_per_client: 10,
@@ -710,6 +770,7 @@ mod tests {
         assert!(json.contains("\"label\":\"serve/query_warm_reused\""));
         assert!(json.contains("\"label\":\"serve/query_batch\""));
         assert!(json.contains("\"label\":\"serve/mixed_zipf\""));
+        assert!(json.contains("\"label\":\"serve/query_salvage\""));
         assert!(json.contains("\"rate_per_s\":10.000"));
         assert!(json.contains("\"keepalive\":true"));
         assert!(json.contains("\"serial_warm_qps\":10.000"));

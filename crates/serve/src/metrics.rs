@@ -32,6 +32,11 @@ pub struct ServeMetrics {
     pub query_cells: AtomicU64,
     /// Body bytes written across all responses.
     pub bytes_out: AtomicU64,
+    /// Queries answered under salvage that actually repaired or dropped
+    /// damaged chunks (the responses carrying a damage report).
+    pub salvaged_queries: AtomicU64,
+    /// Background re-open probes attempted against quarantined stores.
+    pub probes: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -64,7 +69,8 @@ impl ServeMetrics {
             "{{\"connections\":{},\"requests\":{},\"responses_ok\":{},\
              \"responses_client_error\":{},\"responses_server_error\":{},\
              \"rejected_busy\":{},\"timeouts\":{},\"keepalive_reuses\":{},\
-             \"batch_requests\":{},\"queries\":{},\"query_cells\":{},\"bytes_out\":{}}}",
+             \"batch_requests\":{},\"queries\":{},\"query_cells\":{},\"bytes_out\":{},\
+             \"salvaged_queries\":{},\"probes\":{}}}",
             get(&self.connections),
             get(&self.requests),
             get(&self.responses_ok),
@@ -77,6 +83,8 @@ impl ServeMetrics {
             get(&self.queries),
             get(&self.query_cells),
             get(&self.bytes_out),
+            get(&self.salvaged_queries),
+            get(&self.probes),
         )
     }
 }

@@ -40,9 +40,9 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use zmesh_store::{Query, QueryResult, StoreError};
+use zmesh_store::{DamageReport, Query, QueryResult, ReadPolicy, StoreError};
 
-use crate::catalog::{Catalog, CatalogEntry, DEFAULT_CACHE_BYTES};
+use crate::catalog::{Catalog, CatalogEntry, HealthReport, HealthState, DEFAULT_CACHE_BYTES};
 use crate::http::{json_escape, parse_request, ParseOutcome, Request, Response};
 use crate::json::{self, Json};
 use crate::metrics::ServeMetrics;
@@ -75,6 +75,9 @@ pub struct ServeOptions {
     /// (`Connection: close` on the final response). Bounds how long one
     /// client can hold a worker under keep-alive; minimum 1.
     pub max_requests: usize,
+    /// `Retry-After` advertised on queue-full `503`s. (Quarantined-store
+    /// `503`s advertise the store's actual probe backoff instead.)
+    pub busy_retry_after: Duration,
 }
 
 impl Default for ServeOptions {
@@ -86,6 +89,7 @@ impl Default for ServeOptions {
             cache_bytes: DEFAULT_CACHE_BYTES,
             idle_timeout: Duration::from_secs(10),
             max_requests: 1000,
+            busy_retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -167,6 +171,23 @@ impl Server {
     /// Scans `dir`, opens every store, and binds the listen socket.
     pub fn bind(dir: impl Into<PathBuf>, opts: ServeOptions) -> std::io::Result<Self> {
         let catalog = Arc::new(Catalog::open(dir, opts.cache_bytes)?);
+        Self::bind_catalog(catalog, opts)
+    }
+
+    /// [`Server::bind`] with a runtime fault plan: stores the plan
+    /// matches are opened over a deterministic
+    /// [`zmesh_store::faultinject::FaultSource`]. Chaos harness only.
+    #[cfg(feature = "testing")]
+    pub fn bind_with_faults(
+        dir: impl Into<PathBuf>,
+        opts: ServeOptions,
+        plan: Option<zmesh_store::faultinject::FaultSpec>,
+    ) -> std::io::Result<Self> {
+        let catalog = Arc::new(Catalog::open_with_faults(dir, opts.cache_bytes, plan)?);
+        Self::bind_catalog(catalog, opts)
+    }
+
+    fn bind_catalog(catalog: Arc<Catalog>, opts: ServeOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&opts.addr)?;
         Ok(Self {
             listener,
@@ -200,8 +221,30 @@ impl Server {
 
     /// Serves until shutdown is requested (handle or signal), then
     /// drains: every accepted connection is answered before returning.
+    ///
+    /// Beside the worker pool, one background **probe thread** wakes
+    /// every ~100 ms and re-opens quarantined stores whose decorrelated-
+    /// jitter backoff has elapsed ([`Catalog::probe_quarantined`]); a
+    /// clean probe reinstates the store without any operator action.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let prober = {
+            let catalog = Arc::clone(&self.catalog);
+            let metrics = Arc::clone(&self.metrics);
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::Builder::new()
+                .name("zmesh-serve-probe".to_string())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst)
+                        && !SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+                    {
+                        let probed = catalog.probe_quarantined();
+                        ServeMetrics::add(&metrics.probes, probed as u64);
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                })
+                .expect("spawn probe thread")
+        };
         let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
             mpsc::sync_channel(self.opts.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -256,14 +299,27 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        // The probe thread watches the same shutdown flags; make sure it
+        // sees the signal-path exit too.
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = prober.join();
         Ok(())
     }
+}
+
+/// Seconds for a `Retry-After` header: ceiling, never zero (a zero would
+/// tell clients to hammer immediately).
+fn retry_after_secs(d: Duration) -> u64 {
+    (d.as_millis() as u64).div_ceil(1000).max(1)
 }
 
 /// Answers an over-capacity connection inline from the accept loop.
 fn reject_busy(stream: TcpStream, metrics: &ServeMetrics, opts: &ServeOptions) {
     let mut resp = Response::error(503, "busy", "request queue full, retry shortly");
-    resp.extra.push(("Retry-After", "1".to_string()));
+    resp.extra.push((
+        "Retry-After",
+        retry_after_secs(opts.busy_retry_after).to_string(),
+    ));
     metrics.count_response(resp.status, resp.body.len());
     let _ = stream.set_write_timeout(Some(opts.idle_timeout));
     let mut stream = stream;
@@ -341,7 +397,7 @@ fn route(req: &Request, catalog: &Catalog, metrics: &ServeMetrics) -> Response {
             return Response::error(405, "method_not_allowed", "query-batch wants POST");
         }
         return match catalog.get(id) {
-            Some(entry) => query_batch_response(req, &entry, metrics),
+            Some(entry) => query_batch_response(req, catalog, &entry, metrics),
             None => unknown_store(id),
         };
     }
@@ -353,7 +409,17 @@ fn route(req: &Request, catalog: &Catalog, metrics: &ServeMetrics) -> Response {
         );
     }
     match req.path.as_str() {
-        "/healthz" => Response::json(200, "{\"ok\":true}"),
+        "/healthz" => {
+            let (degraded, quarantined) = catalog.health_counts();
+            Response::json(
+                200,
+                format!(
+                    "{{\"ok\":true,\"stores\":{},\"degraded\":{degraded},\
+                     \"quarantined\":{quarantined}}}",
+                    catalog.len()
+                ),
+            )
+        }
         "/metrics" => metrics_response(catalog, metrics),
         "/catalog" => catalog_response(req, catalog),
         path => match parse_store_path(path) {
@@ -362,7 +428,7 @@ fn route(req: &Request, catalog: &Catalog, metrics: &ServeMetrics) -> Response {
                 None => unknown_store(id),
             },
             Some((id, "query")) => match catalog.get(id) {
-                Some(entry) => query_response(req, &entry, metrics),
+                Some(entry) => query_response(req, catalog, &entry, metrics),
                 None => unknown_store(id),
             },
             _ => Response::error(404, "not_found", &format!("no route for {path:?}")),
@@ -388,12 +454,14 @@ fn unknown_store(id: &str) -> Response {
 fn metrics_response(catalog: &Catalog, metrics: &ServeMetrics) -> Response {
     let c = catalog.chunk_stats();
     let r = catalog.recipe_stats();
+    let (degraded, quarantined) = catalog.health_counts();
     Response::json(
         200,
         format!(
             "{{\"server\":{},\"chunk_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
              \"coalesced\":{},\"entries\":{},\"bytes\":{},\"max_bytes\":{}}},\
-             \"recipe_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"stores\":{}}}",
+             \"recipe_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"stores\":{},\
+             \"io_retries\":{},\"degraded_stores\":{},\"quarantined_stores\":{}}}",
             metrics.to_json(),
             c.hits,
             c.misses,
@@ -406,6 +474,9 @@ fn metrics_response(catalog: &Catalog, metrics: &ServeMetrics) -> Response {
             r.misses,
             r.entries,
             catalog.len(),
+            catalog.io_retries(),
+            degraded,
+            quarantined,
         ),
     )
 }
@@ -423,16 +494,25 @@ fn catalog_response(req: &Request, catalog: &Catalog) -> Response {
         if !stores.is_empty() {
             stores.push(',');
         }
+        let health = catalog.health(&entry.id);
+        let health_json = match &health.reason {
+            None => format!("\"health\":\"{}\"", health.state.label()),
+            Some(reason) => format!(
+                "\"health\":\"{}\",\"health_reason\":\"{}\"",
+                health.state.label(),
+                json_escape(reason)
+            ),
+        };
         match &entry.store {
             Ok(opened) => stores.push_str(&format!(
-                "{{\"id\":\"{}\",\"path\":\"{}\",\"bytes\":{},\"ok\":true,\"fields\":{}}}",
+                "{{\"id\":\"{}\",\"path\":\"{}\",\"bytes\":{},\"ok\":true,\"fields\":{},{health_json}}}",
                 json_escape(&entry.id),
                 json_escape(&entry.path.display().to_string()),
                 entry.file_bytes,
                 opened.reader.fields().len(),
             )),
             Err(e) => stores.push_str(&format!(
-                "{{\"id\":\"{}\",\"path\":\"{}\",\"bytes\":{},\"ok\":false,\"error\":\"{}\"}}",
+                "{{\"id\":\"{}\",\"path\":\"{}\",\"bytes\":{},\"ok\":false,\"error\":\"{}\",{health_json}}}",
                 json_escape(&entry.id),
                 json_escape(&entry.path.display().to_string()),
                 entry.file_bytes,
@@ -449,6 +529,29 @@ fn catalog_response(req: &Request, catalog: &Catalog) -> Response {
     )
 }
 
+/// How the health state machine reacts to a read-path [`StoreError`].
+enum ErrorClass {
+    /// The request was wrong, not the store: no health transition.
+    Caller,
+    /// Chunk-level damage: salvage may still answer the query.
+    Damage,
+    /// Container-level failure (open, torn, exhausted-retry or
+    /// persistent I/O): the store is quarantined.
+    Fatal,
+}
+
+fn classify_error(e: &StoreError) -> ErrorClass {
+    match e {
+        StoreError::UnknownField(_) | StoreError::BadQuery(_) | StoreError::InvalidOptions(_) => {
+            ErrorClass::Caller
+        }
+        StoreError::ChunkCrc { .. } | StoreError::ParityCrc { .. } | StoreError::Corrupt(_) => {
+            ErrorClass::Damage
+        }
+        _ => ErrorClass::Fatal,
+    }
+}
+
 /// Maps a read-path [`StoreError`] onto a structured HTTP error.
 fn store_error_response(e: &StoreError) -> Response {
     match e {
@@ -456,13 +559,63 @@ fn store_error_response(e: &StoreError) -> Response {
         StoreError::BadQuery(_) | StoreError::InvalidOptions(_) => {
             Response::error(400, "bad_request", &e.to_string())
         }
+        StoreError::IoTransient(_) => Response::error(503, "io_transient", &e.to_string()),
         StoreError::Io(_) => Response::error(500, "io", &e.to_string()),
         StoreError::Torn => Response::error(500, "torn", &e.to_string()),
         _ => Response::error(500, "corrupt", &e.to_string()),
     }
 }
 
-/// The broken-entry 500: the store is listed but did not open.
+/// The quarantined 503: `Retry-After` advertises the store's actual
+/// probe backoff, so well-behaved clients come back when a reinstating
+/// probe could have happened — not on a made-up constant.
+fn quarantined_response(id: &str, health: &HealthReport) -> Response {
+    let mut resp = Response::error(
+        503,
+        "quarantined",
+        &format!(
+            "store {id:?} is quarantined ({}); retry after the next probe",
+            health.reason.as_deref().unwrap_or("container failure"),
+        ),
+    );
+    resp.extra.push((
+        "Retry-After",
+        retry_after_secs(health.retry_after).to_string(),
+    ));
+    resp
+}
+
+/// Renders a non-empty [`DamageReport`] as the tag-5 frame / `"damage"`
+/// JSON payload: per-chunk repair/loss itemization plus totals.
+fn damage_json(d: &DamageReport) -> String {
+    let mut chunks = String::new();
+    for c in &d.chunks {
+        if !chunks.is_empty() {
+            chunks.push(',');
+        }
+        chunks.push_str(&format!(
+            "{{\"field\":\"{}\",\"chunk\":{},\"status\":\"{}\",\"values_lost\":{},\"error\":\"{}\"}}",
+            json_escape(&c.field),
+            c.chunk,
+            match c.status {
+                zmesh_store::DamageStatus::Repaired => "repaired",
+                zmesh_store::DamageStatus::Lost => "lost",
+            },
+            c.values_lost,
+            json_escape(&c.error.to_string()),
+        ));
+    }
+    format!(
+        "{{\"salvaged\":true,\"chunks\":[{chunks}],\"repaired\":{},\"lost\":{},\
+         \"values_lost\":{}}}",
+        d.repaired().count(),
+        d.lost().count(),
+        d.total_values_lost(),
+    )
+}
+
+/// The broken-entry 500 for metadata endpoints: the store is listed but
+/// did not open. (Query endpoints quarantine instead.)
 fn broken_store_response(entry: &CatalogEntry, err: &StoreError) -> Response {
     Response::error(
         500,
@@ -551,20 +704,106 @@ fn build_query(bbox: &str, levels: Option<&str>) -> Result<Query, String> {
     Ok(q)
 }
 
-/// Runs one query and renders the shared metadata JSON — the exact
-/// object both the single and batch endpoints frame, so a batch item's
-/// triple is byte-identical to the single-query response for the same
-/// bbox.
+/// Per-request policy overrides: `?strict=1` pins strict reads (damage
+/// answers the raw error), `?salvage=1` opts into salvage up front.
+#[derive(Clone, Copy, Default)]
+struct QueryMode {
+    strict: bool,
+    salvage: bool,
+}
+
+impl QueryMode {
+    fn from_request(req: &Request) -> Self {
+        let on = |p: Option<&str>| matches!(p, Some("1") | Some("true"));
+        Self {
+            strict: on(req.param("strict")),
+            salvage: on(req.param("salvage")),
+        }
+    }
+}
+
+/// Runs one query under the store's health state machine and renders the
+/// shared metadata JSON — the exact object both the single and batch
+/// endpoints frame, so a batch item's triple is byte-identical to the
+/// single-query response for the same bbox. The third element is the
+/// damage-report JSON, present only when a salvage read actually
+/// repaired or dropped chunks.
+///
+/// State transitions driven here:
+///
+/// * quarantined store → `503` + `Retry-After` (actual probe backoff);
+/// * broken entry (failed open) → quarantine, then the same `503`;
+/// * chunk-level damage under a default (strict) read → re-run under
+///   [`ReadPolicy::Salvage`], answer `200` + damage report, mark the
+///   store `Degraded` — unless `?strict=1`, which answers the raw
+///   error (the store is still marked);
+/// * degraded store → queries run under salvage directly;
+/// * transient I/O that outlasted the retry budget, torn or
+///   container-level errors → quarantine + `503`.
 fn run_query(
+    catalog: &Catalog,
     entry: &CatalogEntry,
-    reader: &zmesh_store::StoreReader<zmesh_store::FileSource>,
     field: &str,
     q: &Query,
     metrics: &ServeMetrics,
-) -> Result<(String, QueryResult), StoreError> {
-    let result = reader.query(field, q)?;
+    mode: QueryMode,
+) -> Result<(String, QueryResult, Option<String>), Response> {
+    let opened = match &entry.store {
+        Ok(o) => o,
+        Err(e) => {
+            catalog.quarantine(&entry.id, &e.to_string());
+            return Err(quarantined_response(&entry.id, &catalog.health(&entry.id)));
+        }
+    };
+    let health = catalog.health(&entry.id);
+    if health.state == HealthState::Quarantined {
+        return Err(quarantined_response(&entry.id, &health));
+    }
+    let reader = &opened.reader;
+    let policy = if mode.strict {
+        ReadPolicy::Strict
+    } else if mode.salvage || health.state == HealthState::Degraded {
+        ReadPolicy::salvage()
+    } else {
+        ReadPolicy::Strict
+    };
+    let result = match reader.query_with_policy(field, q, policy) {
+        Ok(result) => result,
+        Err(e) => match classify_error(&e) {
+            ErrorClass::Caller => return Err(store_error_response(&e)),
+            ErrorClass::Fatal => {
+                catalog.quarantine(&entry.id, &e.to_string());
+                return Err(quarantined_response(&entry.id, &catalog.health(&entry.id)));
+            }
+            ErrorClass::Damage if mode.strict => {
+                // The client asked for exact-or-error; it gets the error,
+                // but the observation still degrades the store.
+                catalog.mark_degraded(&entry.id, &e.to_string());
+                return Err(store_error_response(&e));
+            }
+            ErrorClass::Damage => {
+                // First damage sighting on a healthy store: re-run under
+                // salvage so the client still gets an answer.
+                catalog.mark_degraded(&entry.id, &e.to_string());
+                match reader.query_with_policy(field, q, ReadPolicy::salvage()) {
+                    Ok(result) => result,
+                    Err(e2) => {
+                        catalog.quarantine(&entry.id, &e2.to_string());
+                        return Err(quarantined_response(&entry.id, &catalog.health(&entry.id)));
+                    }
+                }
+            }
+        },
+    };
     ServeMetrics::bump(&metrics.queries);
     ServeMetrics::add(&metrics.query_cells, result.values.len() as u64);
+    let damage = if result.damage.is_empty() {
+        None
+    } else {
+        catalog.mark_degraded(&entry.id, "salvage read observed chunk damage");
+        ServeMetrics::bump(&metrics.salvaged_queries);
+        Some(damage_json(&result.damage))
+    };
     let meta = format!(
         "{{\"id\":\"{}\",\"field\":\"{}\",\"cells\":{},\"chunks_decoded\":{},\
          \"chunks_total\":{},\"bound\":{}}}",
@@ -578,22 +817,28 @@ fn run_query(
             None => "null".to_string(),
         },
     );
-    Ok((meta, result))
+    Ok((meta, result, damage))
 }
 
 /// `GET /stores/{id}/query?field=F&bbox=x0,y0[,z0]:x1,y1[,z1]`
-/// `[&levels=L,L...][&format=frames|csv|json]`.
+/// `[&levels=L,L...][&format=frames|csv|json][&salvage=1][&strict=1]`.
 ///
 /// `frames` (default) answers `application/octet-stream`: three
 /// length-prefixed frames (JSON metadata · u32 indices · f64 values) —
 /// see [`crate::wire`]. `csv` answers the exact bytes `zmesh query -o`
 /// writes, making responses diffable against the CLI. `json` is a debug
 /// view with decimal-formatted values.
-fn query_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -> Response {
-    let opened = match &entry.store {
-        Ok(o) => o,
-        Err(e) => return broken_store_response(entry, e),
-    };
+///
+/// When a salvage read repaired or dropped damaged chunks, `frames`
+/// appends one tag-5 damage frame and `json` gains a `"damage"` member;
+/// clean responses stay byte-identical to a damage-free server. `csv`
+/// carries no damage channel — prefer `frames` on degraded stores.
+fn query_response(
+    req: &Request,
+    catalog: &Catalog,
+    entry: &CatalogEntry,
+    metrics: &ServeMetrics,
+) -> Response {
     let Some(field) = req.param("field") else {
         return Response::error(400, "bad_request", "missing query parameter: field");
     };
@@ -604,17 +849,25 @@ fn query_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -
         Ok(q) => q,
         Err(e) => return Response::error(400, "bad_request", &e),
     };
-    let (meta, result) = match run_query(entry, &opened.reader, field, &q, metrics) {
+    let mode = QueryMode::from_request(req);
+    let (meta, result, damage) = match run_query(catalog, entry, field, &q, metrics, mode) {
         Ok(r) => r,
-        Err(e) => return store_error_response(&e),
+        Err(resp) => return resp,
     };
     match req.param("format").unwrap_or("frames") {
-        "frames" => Response {
-            status: 200,
-            content_type: "application/octet-stream",
-            extra: Vec::new(),
-            body: wire::encode_query_frames(&meta, &result.storage_indices, &result.values),
-        },
+        "frames" => {
+            let mut body =
+                wire::encode_query_frames(&meta, &result.storage_indices, &result.values);
+            if let Some(damage) = &damage {
+                wire::push_frame(&mut body, wire::FRAME_DAMAGE, damage.as_bytes());
+            }
+            Response {
+                status: 200,
+                content_type: "application/octet-stream",
+                extra: Vec::new(),
+                body,
+            }
+        }
         "csv" => {
             // Byte-identical to the CLI's `query -o` output: same format
             // machinery, so responses can be `cmp`'d against it.
@@ -632,10 +885,14 @@ fn query_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -
         "json" => {
             let indices: Vec<String> = result.storage_indices.iter().map(u32::to_string).collect();
             let values: Vec<String> = result.values.iter().map(|v| format!("{v}")).collect();
+            let damage_member = match &damage {
+                Some(d) => format!(",\"damage\":{d}"),
+                None => String::new(),
+            };
             Response::json(
                 200,
                 format!(
-                    "{{\"meta\":{meta},\"storage_indices\":[{}],\"values\":[{}]}}",
+                    "{{\"meta\":{meta},\"storage_indices\":[{}],\"values\":[{}]{damage_member}}}",
                     indices.join(","),
                     values.join(","),
                 ),
@@ -660,15 +917,24 @@ fn query_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -
 /// Response: `application/octet-stream`, the per-query frame groups
 /// concatenated **in request order** — a successful query contributes
 /// the same `1·2·3` triple as the single-query endpoint (byte-identical
-/// meta/indices/values), a failed one contributes a single tag-4 frame
-/// holding the structured JSON error it would have gotten over the
-/// single endpoint. Per-query failures do not fail the batch; a
-/// malformed envelope answers 400.
-fn query_batch_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetrics) -> Response {
-    let opened = match &entry.store {
-        Ok(o) => o,
-        Err(e) => return broken_store_response(entry, e),
-    };
+/// meta/indices/values, plus the same trailing tag-5 damage frame when
+/// its salvage read found damage), a failed one contributes a single
+/// tag-4 frame holding the structured JSON error it would have gotten
+/// over the single endpoint. Per-query failures do not fail the batch;
+/// a malformed envelope answers 400, and a quarantined store answers
+/// the whole batch `503` + `Retry-After` up front.
+fn query_batch_response(
+    req: &Request,
+    catalog: &Catalog,
+    entry: &CatalogEntry,
+    metrics: &ServeMetrics,
+) -> Response {
+    if entry.store.is_err() || catalog.health(&entry.id).state == HealthState::Quarantined {
+        if let Err(e) = &entry.store {
+            catalog.quarantine(&entry.id, &e.to_string());
+        }
+        return quarantined_response(&entry.id, &catalog.health(&entry.id));
+    }
     let doc = match json::parse(&req.body) {
         Ok(doc) => doc,
         Err(e) => return Response::error(400, "bad_request", &format!("body: {e}")),
@@ -690,6 +956,7 @@ fn query_batch_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetr
         );
     }
     ServeMetrics::bump(&metrics.batch_requests);
+    let mode = QueryMode::from_request(req);
     let mut body = Vec::new();
     for item in queries {
         match batch_item_query(item) {
@@ -697,15 +964,19 @@ fn query_batch_response(req: &Request, entry: &CatalogEntry, metrics: &ServeMetr
                 let err = Response::error(400, "bad_request", &msg);
                 wire::push_frame(&mut body, wire::FRAME_ERROR, &err.body);
             }
-            Ok((field, q)) => match run_query(entry, &opened.reader, &field, &q, metrics) {
-                Ok((meta, result)) => body.extend_from_slice(&wire::encode_query_frames(
-                    &meta,
-                    &result.storage_indices,
-                    &result.values,
-                )),
-                Err(e) => {
-                    let err = store_error_response(&e);
-                    wire::push_frame(&mut body, wire::FRAME_ERROR, &err.body);
+            Ok((field, q)) => match run_query(catalog, entry, &field, &q, metrics, mode) {
+                Ok((meta, result, damage)) => {
+                    body.extend_from_slice(&wire::encode_query_frames(
+                        &meta,
+                        &result.storage_indices,
+                        &result.values,
+                    ));
+                    if let Some(damage) = &damage {
+                        wire::push_frame(&mut body, wire::FRAME_DAMAGE, damage.as_bytes());
+                    }
+                }
+                Err(resp) => {
+                    wire::push_frame(&mut body, wire::FRAME_ERROR, &resp.body);
                 }
             },
         }
@@ -775,6 +1046,7 @@ mod tests {
             (StoreError::BadQuery("inverted box"), 400),
             (StoreError::InvalidOptions("geometry"), 400),
             (StoreError::Io("disk".into()), 500),
+            (StoreError::IoTransient("flaky disk".into()), 503),
             (StoreError::Corrupt("crc"), 500),
         ];
         for (err, want) in cases {
@@ -783,5 +1055,56 @@ mod tests {
             let body = String::from_utf8(resp.body).unwrap();
             assert!(body.starts_with("{\"error\":{\"kind\":"), "{body}");
         }
+    }
+
+    #[test]
+    fn error_classes_drive_the_right_transitions() {
+        use ErrorClass::*;
+        let class = |e: &StoreError| classify_error(e);
+        assert!(matches!(
+            class(&StoreError::UnknownField("x".into())),
+            Caller
+        ));
+        assert!(matches!(class(&StoreError::BadQuery("b")), Caller));
+        assert!(matches!(
+            class(&StoreError::ChunkCrc {
+                field: "density".into(),
+                chunk: 3
+            }),
+            Damage
+        ));
+        assert!(matches!(class(&StoreError::Corrupt("meta")), Damage));
+        assert!(matches!(class(&StoreError::Torn), Fatal));
+        assert!(matches!(class(&StoreError::Io("gone".into())), Fatal));
+        assert!(matches!(
+            class(&StoreError::IoTransient("still failing".into())),
+            Fatal
+        ));
+    }
+
+    #[test]
+    fn retry_after_rounds_up_and_never_advertises_zero() {
+        assert_eq!(retry_after_secs(Duration::ZERO), 1);
+        assert_eq!(retry_after_secs(Duration::from_millis(10)), 1);
+        assert_eq!(retry_after_secs(Duration::from_millis(1001)), 2);
+        assert_eq!(retry_after_secs(Duration::from_secs(5)), 5);
+    }
+
+    #[test]
+    fn quarantined_responses_advertise_the_probe_backoff() {
+        let health = HealthReport {
+            state: HealthState::Quarantined,
+            reason: Some("torn".to_string()),
+            retry_after: Duration::from_millis(2300),
+        };
+        let resp = quarantined_response("vol", &health);
+        assert_eq!(resp.status, 503);
+        assert!(resp
+            .extra
+            .iter()
+            .any(|(k, v)| *k == "Retry-After" && v == "3"));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("quarantined"), "{body}");
+        assert!(body.contains("torn"), "{body}");
     }
 }

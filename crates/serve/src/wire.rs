@@ -8,13 +8,19 @@
 //! tag: u8 · len: u64 LE · payload: len bytes
 //! ```
 //!
-//! A query response body is exactly three frames, in order:
+//! A query response body is exactly three frames, in order — plus, when
+//! the read had to salvage around damage, one trailing damage frame:
 //!
 //! | tag | payload |
 //! |-----|---------|
 //! | 1   | UTF-8 JSON metadata object |
 //! | 2   | selected storage indices, `u32` little-endian each |
 //! | 3   | selected values, `f64` little-endian each, parallel to tag 2 |
+//! | 5   | *(optional)* UTF-8 JSON damage report: what the salvage read repaired or lost |
+//!
+//! Healthy responses carry no tag-5 frame at all, so their bodies stay
+//! byte-identical to pre-damage-report servers; clients that ignore
+//! unknown trailing frames keep working either way.
 
 /// Frame tag: UTF-8 JSON metadata.
 pub const FRAME_JSON: u8 = 1;
@@ -25,6 +31,9 @@ pub const FRAME_VALUES: u8 = 3;
 /// Frame tag: UTF-8 JSON error object — stands in for the 1·2·3 triple
 /// of one failed query inside a batch response.
 pub const FRAME_ERROR: u8 = 4;
+/// Frame tag: UTF-8 JSON damage report, trailing a `1·2·3` triple whose
+/// salvage read repaired or dropped chunks. Absent on clean reads.
+pub const FRAME_DAMAGE: u8 = 5;
 
 /// Appends one `tag · len · payload` frame.
 pub fn push_frame(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
@@ -78,10 +87,36 @@ pub fn decode_frames(mut bytes: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, String> {
     Ok(frames)
 }
 
-/// Reassembles a decoded query response from its three frames.
+/// Reassembles a decoded query response from its three frames, dropping
+/// the optional trailing damage frame ([`decode_query_frames_with_damage`]
+/// keeps it).
 pub fn decode_query_frames(bytes: &[u8]) -> Result<(String, Vec<u32>, Vec<f64>), String> {
+    decode_query_frames_with_damage(bytes).map(|(m, i, v, _)| (m, i, v))
+}
+
+/// A decoded query response: JSON metadata, storage indices, values, and
+/// the optional tag-5 damage report.
+pub type DecodedQuery = (String, Vec<u32>, Vec<f64>, Option<String>);
+
+/// Reassembles a decoded query response plus its damage report, when the
+/// server attached one (tag 5, salvage reads only).
+pub fn decode_query_frames_with_damage(bytes: &[u8]) -> Result<DecodedQuery, String> {
     let frames = decode_frames(bytes)?;
-    let [(FRAME_JSON, meta), (FRAME_INDICES, idx), (FRAME_VALUES, vals)] = &frames[..] else {
+    let (triple, damage) = match &frames[..] {
+        [_, _, _] => (&frames[..3], None),
+        [_, _, _, (FRAME_DAMAGE, payload)] => {
+            let damage = String::from_utf8(payload.clone())
+                .map_err(|_| "non-utf8 damage frame".to_string())?;
+            (&frames[..3], Some(damage))
+        }
+        _ => {
+            return Err(format!(
+                "expected frames [1,2,3] (+ optional 5), got tags {:?}",
+                frames.iter().map(|(t, _)| *t).collect::<Vec<_>>()
+            ))
+        }
+    };
+    let [(FRAME_JSON, meta), (FRAME_INDICES, idx), (FRAME_VALUES, vals)] = triple else {
         return Err(format!(
             "expected frames [1,2,3], got tags {:?}",
             frames.iter().map(|(t, _)| *t).collect::<Vec<_>>()
@@ -99,7 +134,7 @@ pub fn decode_query_frames(bytes: &[u8]) -> Result<(String, Vec<u32>, Vec<f64>),
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect();
-    Ok((meta, indices, values))
+    Ok((meta, indices, values, damage))
 }
 
 /// One query's outcome inside a batch response: the decoded
@@ -108,7 +143,9 @@ pub type BatchItem = Result<(String, Vec<u32>, Vec<f64>), String>;
 
 /// Splits a batch response — a concatenation of per-query `1·2·3`
 /// triples and standalone error frames (tag 4) — back into per-query
-/// outcomes, in request order.
+/// outcomes, in request order. A damage frame (tag 5) trailing a triple
+/// is tolerated and dropped; use [`decode_query_frames_with_damage`] on
+/// a single response when the report matters.
 pub fn decode_batch_frames(bytes: &[u8]) -> Result<Vec<BatchItem>, String> {
     let frames = decode_frames(bytes)?;
     let mut items = Vec::new();
@@ -138,6 +175,9 @@ pub fn decode_batch_frames(bytes: &[u8]) -> Result<Vec<BatchItem>, String> {
                 push_frame(&mut triple, FRAME_VALUES, vals);
                 items.push(Ok(decode_query_frames(&triple)?));
                 rest = &rest[3..];
+                if matches!(rest.first(), Some((FRAME_DAMAGE, _))) {
+                    rest = &rest[1..];
+                }
             }
             other => return Err(format!("unexpected frame tag {other} in batch response")),
         }
@@ -198,6 +238,35 @@ mod tests {
         push_frame(&mut torn, FRAME_JSON, b"{}");
         push_frame(&mut torn, FRAME_INDICES, &[]);
         assert!(decode_batch_frames(&torn).is_err());
+    }
+
+    #[test]
+    fn damage_frames_trail_triples_without_changing_clean_bodies() {
+        let clean = encode_query_frames("{\"q\":1}", &[3], &[2.5]);
+        let (m, i, v, d) = decode_query_frames_with_damage(&clean).unwrap();
+        assert_eq!(
+            (m.as_str(), &i[..], &v[..]),
+            ("{\"q\":1}", &[3u32][..], &[2.5][..])
+        );
+        assert!(d.is_none(), "clean responses carry no damage frame");
+
+        let mut damaged = clean.clone();
+        push_frame(&mut damaged, FRAME_DAMAGE, b"{\"lost\":1}");
+        let (_, _, _, d) = decode_query_frames_with_damage(&damaged).unwrap();
+        assert_eq!(d.as_deref(), Some("{\"lost\":1}"));
+        // The damage-agnostic decoder still accepts (and drops) it.
+        assert!(decode_query_frames(&damaged).is_ok());
+        // …and the batch decoder skips it between items.
+        let mut batch = damaged.clone();
+        batch.extend_from_slice(&encode_query_frames("{\"q\":2}", &[], &[]));
+        let items = decode_batch_frames(&batch).unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(items.iter().all(Result::is_ok));
+        // A damage frame in any other position is rejected.
+        let mut misplaced = Vec::new();
+        push_frame(&mut misplaced, FRAME_DAMAGE, b"{}");
+        misplaced.extend_from_slice(&clean);
+        assert!(decode_query_frames_with_damage(&misplaced).is_err());
     }
 
     #[test]

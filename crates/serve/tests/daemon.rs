@@ -71,7 +71,10 @@ fn serves_catalog_info_and_bit_identical_concurrent_queries() {
 
     let (status, body) = http_get(&running.addr, "/healthz").expect("healthz");
     assert_eq!(status, 200);
-    assert_eq!(body, b"{\"ok\":true}");
+    assert_eq!(
+        body,
+        b"{\"ok\":true,\"stores\":2,\"degraded\":0,\"quarantined\":0}"
+    );
 
     let (status, body) = http_get(&running.addr, "/catalog").expect("catalog");
     assert_eq!(status, 200);
@@ -425,6 +428,150 @@ fn clean_close_is_not_a_client_error_and_max_requests_caps_reuse() {
     );
     let (status, _) = client.get("/healthz").expect("third");
     assert_eq!(status, 200);
+
+    running.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `http_get` without header stripping: returns the status line +
+/// headers too, so tests can check `Retry-After`.
+fn raw_get(addr: &str, path: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = String::from_utf8(raw[..split].to_vec()).expect("utf8 headers");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status");
+    (status, head, raw[split + 4..].to_vec())
+}
+
+#[test]
+fn health_cycle_degrades_quarantines_and_reinstates() {
+    let dir = tempdir("healthcycle");
+    let clean = pack_into(&dir, "vol.zms");
+    // A unit cache budget disables decoded-chunk caching, so every query
+    // really re-reads the file and sees the on-disk damage immediately.
+    let running = start(
+        &dir,
+        ServeOptions {
+            cache_bytes: 1,
+            ..ServeOptions::default()
+        },
+    );
+    let query_path = "/stores/vol/query?field=density&bbox=0,0:7,7&format=frames";
+
+    // Healthy baseline.
+    let (status, baseline) = http_get(&running.addr, query_path).expect("baseline");
+    assert_eq!(status, 200);
+    let (_, base_idx, base_vals, damage) =
+        wire::decode_query_frames_with_damage(&baseline).expect("frames");
+    assert!(damage.is_none(), "healthy response carries no damage frame");
+    let (_, body) = http_get(&running.addr, "/healthz").expect("healthz");
+    assert_eq!(
+        body,
+        b"{\"ok\":true,\"stores\":1,\"degraded\":0,\"quarantined\":0}"
+    );
+
+    // Corrupt one data chunk on disk: the next strict read fails its
+    // CRC, the daemon re-runs under salvage (parity repairs the chunk),
+    // answers 200 with a damage report, and degrades the store.
+    let mut damaged = clean.clone();
+    zmesh_store::faultinject::flip_data_chunk(&mut damaged, 0, 0);
+    std::fs::write(dir.join("vol.zms"), &damaged).expect("damage on disk");
+    let (status, body) = http_get(&running.addr, query_path).expect("salvaged query");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let (_, idx, vals, damage) = wire::decode_query_frames_with_damage(&body).expect("frames");
+    let report = damage.expect("salvage read must attach a damage frame");
+    assert!(report.contains("\"repaired\":1"), "{report}");
+    assert_eq!(idx, base_idx, "parity repair restores the exact answer");
+    let got: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u64> = base_vals.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want);
+    let (_, body) = http_get(&running.addr, "/healthz").expect("healthz");
+    assert!(
+        String::from_utf8(body).unwrap().contains("\"degraded\":1"),
+        "store must be degraded after observed damage"
+    );
+
+    // Truncate the file mid-payload: reads run off the end of the store.
+    // The degraded store serves under salvage, which absorbs data-chunk
+    // loss — so drive a `?strict=1` read, where the I/O failure surfaces
+    // as a container-level (Fatal) error and quarantines the store:
+    // 503 with a Retry-After reflecting the probe backoff.
+    // (Cut almost everything — the data chunks sit early in the file, so
+    // a half-length cut could leave a strict query's reads untouched.)
+    std::fs::write(dir.join("vol.zms"), &clean[..128]).expect("truncate");
+    let (status, head, _) = raw_get(&running.addr, &format!("{query_path}&strict=1"));
+    assert_eq!(status, 503, "{head}");
+    let retry_after: u64 = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .expect("Retry-After header")
+        .trim()
+        .parse()
+        .expect("integer Retry-After");
+    assert!(retry_after >= 1, "{head}");
+    // Quarantine blocks every caller, not just strict ones.
+    let (status, body) = http_get(&running.addr, query_path).expect("quarantined query");
+    assert_eq!(status, 503, "{}", String::from_utf8_lossy(&body));
+    let (_, body) = http_get(&running.addr, "/healthz").expect("healthz");
+    assert!(
+        String::from_utf8(body)
+            .unwrap()
+            .contains("\"quarantined\":1"),
+        "store must be quarantined after torn reads"
+    );
+
+    // Heal the file; the background probe reinstates the store with no
+    // operator action, and responses are byte-identical to the baseline.
+    std::fs::write(dir.join("vol.zms"), &clean).expect("repair on disk");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = http_get(&running.addr, "/healthz").expect("healthz");
+        if body == b"{\"ok\":true,\"stores\":1,\"degraded\":0,\"quarantined\":0}" {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "probe never reinstated: {}",
+            String::from_utf8_lossy(&body)
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let (status, body) = http_get(&running.addr, query_path).expect("reinstated query");
+    assert_eq!(status, 200);
+    assert_eq!(body, baseline, "reinstated store answers bit-identically");
+
+    // The whole cycle shows up in /metrics.
+    let (_, body) = http_get(&running.addr, "/metrics").expect("metrics");
+    let metrics = String::from_utf8(body).unwrap();
+    for key in [
+        "\"io_retries\":",
+        "\"degraded_stores\":0",
+        "\"quarantined_stores\":0",
+        "\"probes\":",
+    ] {
+        assert!(metrics.contains(key), "missing {key}: {metrics}");
+    }
+    let salvaged: u64 = metrics
+        .split("\"salvaged_queries\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse salvaged_queries");
+    assert!(salvaged >= 1, "{metrics}");
 
     running.stop();
     let _ = std::fs::remove_dir_all(&dir);

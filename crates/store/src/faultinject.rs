@@ -10,8 +10,12 @@
 //! Compiled only for tests and under the `testing` cargo feature; helpers
 //! panic on invalid targets (they are test tooling, not production code).
 
-use crate::format;
+use crate::format::{self, StoreError};
+use crate::source::ByteSource;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Byte range of data chunk `chunk` of field `field_idx` within `bytes`.
 ///
@@ -143,6 +147,244 @@ impl Lcg {
     }
 }
 
+/// A declarative, seeded fault plan for a [`FaultSource`].
+///
+/// Rates are per-mille of `read_at` calls; injected transient failures
+/// are bounded to at most [`FaultSpec::burst`] *consecutive* failures, so
+/// "transient" keeps its real-world meaning: a retry loop with more
+/// attempts than `burst` always gets through. Corruption is *sticky*:
+/// every read overlapping a `corrupt` range sees the same inverted bytes,
+/// the way a bad sector or bit-rotted page behaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the injection rolls (deterministic campaigns).
+    pub seed: u64,
+    /// Per-mille of reads answered with an injected transient `EIO`.
+    pub transient_per_mille: u32,
+    /// Per-mille of reads answered with an injected short read (also
+    /// surfaced as transient: the all-or-fail `read_at` contract makes a
+    /// short read indistinguishable from an interrupted one).
+    pub short_read_per_mille: u32,
+    /// Most *consecutive* injected transient failures before a read is
+    /// forced through. A retry policy with `attempts > burst` is
+    /// guaranteed to succeed against a transient-only plan.
+    pub burst: u32,
+    /// Added latency per read (media stall simulation).
+    pub latency: Duration,
+    /// Absolute byte ranges whose contents are persistently inverted.
+    pub corrupt: Vec<Range<u64>>,
+    /// Only stores whose id contains this substring are wrapped; `None`
+    /// wraps every store.
+    pub matches: Option<String>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            transient_per_mille: 0,
+            short_read_per_mille: 0,
+            burst: 2,
+            latency: Duration::ZERO,
+            corrupt: Vec::new(),
+            matches: None,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Parses the compact CLI grammar used by `zmesh serve --fault-plan`:
+    /// comma-separated `key=value` pairs, e.g.
+    ///
+    /// ```text
+    /// seed=42,transient=80,short=20,burst=2,latency_us=50,corrupt=100-200+4096-4200,match=blast
+    /// ```
+    ///
+    /// All keys are optional; unknown keys and malformed values are
+    /// errors (a typo'd chaos plan must not silently inject nothing).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = Self::default();
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan entry {pair:?} is not key=value"))?;
+            let num = |what: &str| -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault-plan {what}={value:?} is not a number"))
+            };
+            match key {
+                "seed" => out.seed = num("seed")?,
+                "transient" => out.transient_per_mille = num("transient")? as u32,
+                "short" => out.short_read_per_mille = num("short")? as u32,
+                "burst" => out.burst = num("burst")? as u32,
+                "latency_us" => out.latency = Duration::from_micros(num("latency_us")?),
+                "match" => out.matches = Some(value.to_string()),
+                "corrupt" => {
+                    for range in value.split('+') {
+                        let (lo, hi) = range
+                            .split_once('-')
+                            .ok_or_else(|| format!("corrupt range {range:?} is not lo-hi"))?;
+                        let lo: u64 = lo
+                            .parse()
+                            .map_err(|_| format!("corrupt range start {lo:?} is not a number"))?;
+                        let hi: u64 = hi
+                            .parse()
+                            .map_err(|_| format!("corrupt range end {hi:?} is not a number"))?;
+                        if lo >= hi {
+                            return Err(format!("corrupt range {range:?} is empty or inverted"));
+                        }
+                        out.corrupt.push(lo..hi);
+                    }
+                }
+                other => return Err(format!("unknown fault-plan key {other:?}")),
+            }
+        }
+        if out.transient_per_mille + out.short_read_per_mille > 1000 {
+            return Err("transient + short rates exceed 1000 per mille".into());
+        }
+        Ok(out)
+    }
+
+    /// Whether this plan targets the store named `id`.
+    pub fn applies_to(&self, id: &str) -> bool {
+        self.matches.as_deref().is_none_or(|m| id.contains(m))
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.transient_per_mille > 0
+            || self.short_read_per_mille > 0
+            || !self.latency.is_zero()
+            || !self.corrupt.is_empty()
+    }
+}
+
+/// Injection counters of one [`FaultSource`] — what the plan actually did,
+/// for asserting against `/metrics` after a chaos run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Injected transient `EIO` failures.
+    pub transient: u64,
+    /// Injected short-read failures.
+    pub short_reads: u64,
+    /// Successful reads whose buffers were corrupted on the way out.
+    pub corrupted_reads: u64,
+    /// Reads delayed by the plan's added latency.
+    pub delayed: u64,
+}
+
+/// A [`ByteSource`] wrapper that injects faults per a seeded [`FaultSpec`]
+/// — the runtime complement to the at-rest helpers above, for driving a
+/// *live* reader (or a whole daemon) through I/O failure scenarios.
+///
+/// `as_slice` deliberately stays `None` even when the inner source is
+/// zero-copy, so every access funnels through `read_at` and the plan.
+pub struct FaultSource<S: ByteSource> {
+    inner: S,
+    spec: FaultSpec,
+    rng: Mutex<Lcg>,
+    consecutive: AtomicU32,
+    transient: AtomicU64,
+    short_reads: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl<S: ByteSource> FaultSource<S> {
+    /// Wraps `inner` under `spec`.
+    pub fn new(inner: S, spec: FaultSpec) -> Self {
+        let rng = Mutex::new(Lcg::new(spec.seed));
+        Self {
+            inner,
+            spec,
+            rng,
+            consecutive: AtomicU32::new(0),
+            transient: AtomicU64::new(0),
+            short_reads: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of what the plan has injected so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            transient: self.transient.load(Ordering::Relaxed),
+            short_reads: self.short_reads.load(Ordering::Relaxed),
+            corrupted_reads: self.corrupted.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The plan this source injects.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ByteSource> ByteSource for FaultSource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
+        if !self.spec.latency.is_zero() {
+            std::thread::sleep(self.spec.latency);
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        let roll = (self.rng.lock().expect("fault rng poisoned").next_u64() % 1000) as u32;
+        if self.consecutive.load(Ordering::Relaxed) < self.spec.burst {
+            if roll < self.spec.transient_per_mille {
+                self.consecutive.fetch_add(1, Ordering::Relaxed);
+                self.transient.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::IoTransient(format!(
+                    "injected EIO reading {} bytes at {offset}",
+                    buf.len()
+                )));
+            }
+            if roll < self.spec.transient_per_mille + self.spec.short_read_per_mille {
+                self.consecutive.fetch_add(1, Ordering::Relaxed);
+                self.short_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::IoTransient(format!(
+                    "injected short read: {} of {} bytes at {offset}",
+                    buf.len() / 2,
+                    buf.len()
+                )));
+            }
+        }
+        self.consecutive.store(0, Ordering::Relaxed);
+        self.inner.read_at(offset, buf)?;
+        let (lo, hi) = (offset, offset + buf.len() as u64);
+        let mut hit = false;
+        for range in &self.spec.corrupt {
+            let start = range.start.max(lo);
+            let end = range.end.min(hi);
+            for i in start..end {
+                buf[(i - lo) as usize] ^= 0xff;
+                hit = true;
+            }
+        }
+        if hit {
+            self.corrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read()
+    }
+
+    fn read_calls(&self) -> u64 {
+        self.inner.read_calls()
+    }
+}
+
 /// Flips `count` pseudo-random bits anywhere in `bytes`, deterministically
 /// from `seed`. Returns the flipped (byte, bit) positions.
 pub fn random_flips(bytes: &mut [u8], seed: u64, count: usize) -> Vec<(usize, u8)> {
@@ -221,6 +463,101 @@ mod tests {
         let torn = torn_at(&clean, clean.len() - 5);
         assert_eq!(&torn[..], &clean[..clean.len() - 5]);
         assert_eq!(torn_at(&clean, clean.len()), clean);
+    }
+
+    #[test]
+    fn fault_spec_parses_the_full_grammar() {
+        let spec = FaultSpec::parse(
+            "seed=42,transient=80,short=20,burst=3,latency_us=50,corrupt=100-200+4096-4200,match=blast",
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.transient_per_mille, 80);
+        assert_eq!(spec.short_read_per_mille, 20);
+        assert_eq!(spec.burst, 3);
+        assert_eq!(spec.latency, Duration::from_micros(50));
+        assert_eq!(spec.corrupt, vec![100..200, 4096..4200]);
+        assert_eq!(spec.matches.as_deref(), Some("blast"));
+        assert!(spec.is_active());
+        assert!(spec.applies_to("blast2d"));
+        assert!(!spec.applies_to("sedov"));
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+        assert!(!FaultSpec::default().is_active());
+        assert!(FaultSpec::default().applies_to("anything"));
+
+        assert!(FaultSpec::parse("bogus").is_err());
+        assert!(FaultSpec::parse("volume=11").is_err());
+        assert!(FaultSpec::parse("seed=x").is_err());
+        assert!(FaultSpec::parse("corrupt=9").is_err());
+        assert!(FaultSpec::parse("corrupt=9-9").is_err());
+        assert!(FaultSpec::parse("transient=600,short=600").is_err());
+    }
+
+    #[test]
+    fn fault_source_injects_bounded_transient_bursts() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let spec = FaultSpec {
+            seed: 7,
+            transient_per_mille: 1000, // every eligible read fails...
+            burst: 2,                  // ...but never 3 in a row
+            ..FaultSpec::default()
+        };
+        let src = FaultSource::new(crate::SliceSource::new(&data), spec);
+        assert_eq!(src.len(), 200);
+        assert!(src.as_slice().is_none(), "faults must not be bypassable");
+        let mut buf = [0u8; 4];
+        let mut pattern = Vec::new();
+        for _ in 0..9 {
+            pattern.push(src.read_at(8, &mut buf).is_ok());
+        }
+        assert_eq!(
+            pattern,
+            [false, false, true, false, false, true, false, false, true],
+            "burst=2 must force every third read through"
+        );
+        assert_eq!(buf, [8, 9, 10, 11]);
+        assert_eq!(src.stats().transient, 6);
+        assert_eq!(src.stats().short_reads, 0);
+        let err = {
+            let s = FaultSource::new(
+                crate::SliceSource::new(&data),
+                FaultSpec {
+                    transient_per_mille: 1000,
+                    ..FaultSpec::default()
+                },
+            );
+            s.read_at(0, &mut buf).unwrap_err()
+        };
+        assert!(err.is_transient(), "{err}");
+    }
+
+    #[test]
+    fn fault_source_corruption_is_sticky_and_range_exact() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let spec = FaultSpec {
+            corrupt: vec![10..13, 50..51],
+            ..FaultSpec::default()
+        };
+        let src = FaultSource::new(crate::SliceSource::new(&data), spec);
+        let mut buf = [0u8; 20];
+        src.read_at(5, &mut buf).unwrap();
+        let mut want: Vec<u8> = (5..25u8).collect();
+        for b in &mut want[5..8] {
+            *b ^= 0xff; // bytes 10..13
+        }
+        assert_eq!(buf.to_vec(), want);
+        // Sticky: a second read sees the identical damage.
+        let mut again = [0u8; 20];
+        src.read_at(5, &mut again).unwrap();
+        assert_eq!(again, buf);
+        // Reads not touching a corrupt range pass through clean.
+        let mut clean = [0u8; 4];
+        src.read_at(30, &mut clean).unwrap();
+        assert_eq!(clean, [30, 31, 32, 33]);
+        assert_eq!(src.stats().corrupted_reads, 2);
+        // Traffic counters delegate (slice sources report full residency).
+        assert_eq!(src.bytes_read(), data.len() as u64);
+        assert_eq!(src.spec().corrupt.len(), 2);
     }
 
     #[test]

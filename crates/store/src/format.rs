@@ -117,6 +117,11 @@ pub enum StoreError {
     InvalidOptions(&'static str),
     /// An underlying filesystem operation failed while persisting a store.
     Io(String),
+    /// An underlying read failed in a way that is plausibly transient
+    /// (`EINTR`, `EAGAIN`, `EIO`, timeouts): the same read may succeed if
+    /// retried. [`crate::StoreReader`] retries these under its
+    /// [`crate::RetryPolicy`] before surfacing them.
+    IoTransient(String),
     /// A requested field name is not present.
     UnknownField(String),
     /// A query argument is malformed (inverted box, empty level mask…).
@@ -132,6 +137,15 @@ pub enum StoreError {
     Amr(AmrError),
     /// Failure from the core pipeline layer.
     Zmesh(ZmeshError),
+}
+
+impl StoreError {
+    /// Whether retrying the failed operation may succeed — true only for
+    /// [`StoreError::IoTransient`]. Corruption, truncation, and permanent
+    /// I/O failures are never transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::IoTransient(_))
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -156,6 +170,7 @@ impl fmt::Display for StoreError {
             ),
             StoreError::InvalidOptions(what) => write!(f, "invalid store options: {what}"),
             StoreError::Io(what) => write!(f, "i/o: {what}"),
+            StoreError::IoTransient(what) => write!(f, "transient i/o: {what}"),
             StoreError::UnknownField(name) => write!(f, "no field named {name:?} in store"),
             StoreError::BadQuery(what) => write!(f, "bad query: {what}"),
             StoreError::Internal(what) => {

@@ -58,6 +58,8 @@ pub mod faultinject;
 mod format;
 pub mod gf256;
 mod parity;
+#[cfg(test)]
+mod proptests;
 mod reader;
 mod repair;
 mod source;
@@ -74,11 +76,12 @@ pub use format::{
 pub use parity::{Parity, ParityMeta, DEFAULT_PARITY_GROUP_WIDTH, PARITY_META_BYTES};
 pub use reader::{
     DamageReport, DamageStatus, DamagedChunk, DamagedParity, GroupDamage, Query, QueryResult,
-    ReadPolicy, SalvageFill, StoreReader,
+    ReadPolicy, RetryPolicy, RetryStats, SalvageFill, StoreReader,
 };
 pub use repair::{
-    repair, repair_with, repair_with_sources, scrub, scrub_source, ChunkKind, LostChunk, RawSource,
-    RepairOutcome, RepairSource, RepairedChunk, ScrubChunk, ScrubReport,
+    repair, repair_with, repair_with_sources, salvage_torn, scrub, scrub_source, ChunkKind,
+    LostChunk, RawSource, RepairOutcome, RepairSource, RepairedChunk, ScrubChunk, ScrubReport,
+    TornSalvage,
 };
 #[cfg(unix)]
 pub use source::FileSource;

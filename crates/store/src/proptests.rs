@@ -1,0 +1,101 @@
+//! Property test: a transient-only fault plan is *invisible* behind the
+//! retry loop. Whatever the seed, rates, and burst length, a
+//! [`FaultSource`] that injects only transient errors (`EIO`, short
+//! reads) must answer every query bit-identically to a clean reader —
+//! across store versions (v2 no parity, v3 XOR, v4 Reed–Solomon) and
+//! both read policies — as long as the retry budget outlasts the burst.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use zmesh::CompressionConfig;
+use zmesh_amr::{datasets, StorageMode};
+
+use crate::faultinject::{FaultSource, FaultSpec};
+use crate::source::SliceSource;
+use crate::writer::StoreWriter;
+use crate::{Parity, Query, ReadPolicy, RetryPolicy, StoreReader};
+
+/// One store per container version, packed once: small chunks so every
+/// query spans several reads and the injector gets plenty of rolls.
+fn stores() -> &'static [(u16, Vec<u8>)] {
+    static STORES: OnceLock<Vec<(u16, Vec<u8>)>> = OnceLock::new();
+    STORES.get_or_init(|| {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let fields: Vec<_> = ds.fields.iter().map(|(n, f)| (n.as_str(), f)).collect();
+        [
+            Parity::None,
+            Parity::Xor { width: 4 },
+            Parity::Rs { data: 4, parity: 2 },
+        ]
+        .into_iter()
+        .map(|parity| {
+            let out = StoreWriter::new(CompressionConfig::zmesh_default())
+                .with_chunk_target_bytes(512)
+                .with_parity(parity)
+                .write(&fields)
+                .expect("pack");
+            (parity.store_version(), out.bytes)
+        })
+        .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transient_faults_are_invisible_under_retry(
+        seed in any::<u64>(),
+        transient in 0u32..=600,
+        short in 0u32..=400,
+        burst in 1u32..=2,
+        extra_attempts in 1u32..=2,
+        store_idx in 0usize..3,
+        salvage in any::<bool>(),
+        x0 in 0u32..8, y0 in 0u32..8, x1 in 0u32..8, y1 in 0u32..8,
+    ) {
+        let (version, bytes) = &stores()[store_idx];
+        let q = Query::bbox([x0.min(x1), y0.min(y1), 0], [x0.max(x1), y0.max(y1), 0]);
+        let policy = if salvage { ReadPolicy::salvage() } else { ReadPolicy::Strict };
+
+        let clean = StoreReader::open(bytes).expect("clean open").with_read_policy(policy);
+
+        let spec = FaultSpec {
+            seed,
+            transient_per_mille: transient,
+            short_read_per_mille: short,
+            burst,
+            ..FaultSpec::default()
+        };
+        // Fast backoff (this is a property test, not a soak), but a real
+        // budget: attempts > burst is the contract that guarantees every
+        // read eventually lands.
+        let retry = RetryPolicy {
+            attempts: burst + extra_attempts,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+        };
+        // The open itself also reads through the injector (footer, index)
+        // under the default policy — its 3 attempts outlast burst <= 2.
+        let faulty = StoreReader::open_source(FaultSource::new(SliceSource::new(bytes), spec))
+            .expect("faulty open survives transient-only injection")
+            .with_read_policy(policy)
+            .with_retry_policy(retry);
+
+        for name in clean.field_names() {
+            let name = name.to_string();
+            let want = clean.query(&name, &q).expect("clean query");
+            let got = faulty.query(&name, &q).expect("faulty query under retry");
+            prop_assert_eq!(&got.storage_indices, &want.storage_indices, "v{} indices", version);
+            let got_bits: Vec<u64> = got.values.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u64> = want.values.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, want_bits, "v{} values", version);
+            // Transient-only injection never looks like data damage.
+            prop_assert!(got.damage.is_empty(), "v{version} damage: {:?}", got.damage);
+            prop_assert!(want.damage.is_empty());
+        }
+        prop_assert_eq!(faulty.retry_stats().gave_up, 0);
+    }
+}

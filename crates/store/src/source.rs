@@ -73,6 +73,19 @@ pub trait ByteSource: Send + Sync {
     }
 }
 
+/// Classifies an `io::Error` from a positioned read as plausibly
+/// transient: interruptions, timeouts, and the kernel's "try again later"
+/// family (`EAGAIN`), plus `EIO` — which on networked and failing-media
+/// filesystems is routinely a flaky-path error that a retry clears.
+/// Everything else (permissions, bad fd, unexpected EOF…) is permanent.
+pub(crate) fn io_error_is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => true,
+        _ => matches!(e.raw_os_error(), Some(5 /* EIO */) | Some(11 /* EAGAIN */)),
+    }
+}
+
 /// Bounds-check `offset + buf_len` against `total`, mirroring the slice
 /// reader's `Truncated` semantics.
 fn check_range(offset: u64, buf_len: usize, total: u64) -> Result<(), StoreError> {
@@ -187,9 +200,14 @@ impl ByteSource for FileSource {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
         use std::os::unix::fs::FileExt;
         check_range(offset, buf.len(), self.len)?;
-        self.file
-            .read_exact_at(buf, offset)
-            .map_err(|e| StoreError::Io(format!("read {} bytes at {offset}: {e}", buf.len())))?;
+        self.file.read_exact_at(buf, offset).map_err(|e| {
+            let what = format!("read {} bytes at {offset}: {e}", buf.len());
+            if io_error_is_transient(&e) {
+                StoreError::IoTransient(what)
+            } else {
+                StoreError::Io(what)
+            }
+        })?;
         self.bytes_read
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
         self.read_calls.fetch_add(1, Ordering::Relaxed);
@@ -340,6 +358,25 @@ impl ByteSource for MmapSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn io_error_classification_separates_transient_from_permanent() {
+        use std::io::{Error, ErrorKind};
+        assert!(io_error_is_transient(&Error::from(ErrorKind::Interrupted)));
+        assert!(io_error_is_transient(&Error::from(ErrorKind::WouldBlock)));
+        assert!(io_error_is_transient(&Error::from(ErrorKind::TimedOut)));
+        assert!(io_error_is_transient(&Error::from_raw_os_error(5)));
+        assert!(io_error_is_transient(&Error::from_raw_os_error(11)));
+        assert!(!io_error_is_transient(&Error::from(ErrorKind::NotFound)));
+        assert!(!io_error_is_transient(&Error::from(
+            ErrorKind::PermissionDenied
+        )));
+        assert!(!io_error_is_transient(&Error::from(
+            ErrorKind::UnexpectedEof
+        )));
+        assert!(StoreError::IoTransient("x".into()).is_transient());
+        assert!(!StoreError::Io("x".into()).is_transient());
+    }
 
     #[test]
     fn slice_source_reads_and_bounds_checks() {

@@ -37,6 +37,12 @@ store-read-smoke:
 serve-smoke:
     bash scripts/serve_smoke.sh
 
+# Chaos smoke: daemon under a --fault-plan plus live on-disk damage —
+# retry absorbs transients, damage degrades, torn quarantines, the
+# background probe reinstates after repair.
+chaos-smoke:
+    bash scripts/chaos_smoke.sh
+
 # Ranged vs in-memory store read bench, with machine-readable medians.
 bench-store-read:
     CRITERION_JSON=BENCH_store_read.json cargo bench -p zmesh-bench --bench store_read

@@ -1,0 +1,196 @@
+#!/usr/bin/env bash
+# Chaos smoke test: drive the daemon's full degraded-mode state machine
+# under live fault injection and concurrent traffic.
+#
+#   pack a three-store catalog (alpha, beta, gamma)
+#     → start `zmesh serve --fault-plan "…match=alpha"` (testing build):
+#       alpha's reads suffer deterministic transient EIO bursts
+#     → concurrent queries against alpha and beta: every response is
+#       byte-identical to the offline CLI (the retry loop absorbs the
+#       injected faults), /metrics shows io_retries > 0
+#     → corrupt a data chunk of beta in place (same inode — the daemon
+#       holds the fd): default query answers 200 with a damage report,
+#       /catalog shows beta degraded
+#     → tear gamma's commit record off in place, /catalog?refresh=1
+#       reopens it torn: query → 503 + finite Retry-After (quarantined)
+#     → `zmesh repair` salvages the torn store losslessly; the background
+#       probe reinstates gamma with no restart, answers byte-identical
+#     → /metrics: io_retries > 0, salvaged_queries >= 1, probes > 0,
+#       quarantined back to 0; zero panics in the daemon log
+#     → SIGTERM → daemon drains and exits 0
+#
+# Uses the testing-feature build of `zmesh` (fault injection is compiled
+# out of release-default builds) plus `curl` as the client.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/zmesh_chaos_smoke.XXXXXX")
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> build the testing-feature CLI and the fault injector"
+cargo build -q --release -p zmesh-cli --features testing --bin zmesh
+cargo build -q --release -p zmesh-bench --features faultinject --bin faultinject
+zmesh=target/release/zmesh
+faultinject=target/release/faultinject
+
+echo "==> pack a three-store catalog"
+catalog="$workdir/catalog"
+mkdir -p "$catalog"
+"$zmesh" generate blast2d -o "$workdir/alpha.zmd" --scale tiny
+"$zmesh" generate front2d -o "$workdir/beta.zmd" --scale tiny
+"$zmesh" generate advect2d -o "$workdir/gamma.zmd" --scale tiny
+"$zmesh" pack "$workdir/alpha.zmd" -o "$catalog/alpha.zms" --chunk-kb 2
+"$zmesh" pack "$workdir/beta.zmd" -o "$catalog/beta.zms" --chunk-kb 2
+# gamma gets RS parity: the v4 container carries a trailing commit
+# record, which the tear-the-tail step below rips off to make it torn.
+"$zmesh" pack "$workdir/gamma.zmd" -o "$catalog/gamma.zms" --chunk-kb 2 --parity rs:4,2
+
+echo "==> start the daemon with a fault plan targeting alpha"
+"$zmesh" serve "$catalog" --addr 127.0.0.1:0 --workers 4 \
+    --fault-plan "seed=7,transient=120,burst=2,match=alpha" \
+    >"$workdir/serve.out" 2>"$workdir/serve.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^listening on http://\([0-9.:]*\) .*#\1#p' "$workdir/serve.out")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "chaos_smoke: daemon died before listening" >&2
+        cat "$workdir/serve.out" "$workdir/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "chaos_smoke: no listen line" >&2; exit 1; }
+grep -q "fault injection active" "$workdir/serve.err"
+echo "    daemon is up at $addr, injecting transient faults into alpha"
+
+# Each preset carries different quantities; query one per store.
+field_of() {
+    case "$1" in
+        alpha) echo density ;;
+        beta) echo temperature ;;
+        gamma) echo scalar ;;
+    esac
+}
+
+echo "==> golden answers from the offline CLI"
+for s in alpha beta gamma; do
+    "$zmesh" query "$catalog/$s.zms" --field "$(field_of $s)" --bbox 0,0:7,7 \
+        -o "$workdir/golden_$s.csv" >/dev/null 2>&1
+done
+
+echo "==> concurrent traffic under injected faults: responses byte-identical"
+pids=""
+for i in 1 2 3 4; do
+    for s in alpha beta; do
+        curl -fsS --max-time 30 \
+            "http://$addr/stores/$s/query?field=$(field_of $s)&bbox=0,0:7,7&format=csv" \
+            -o "$workdir/traffic_${s}_$i.csv" &
+        pids="$pids $!"
+    done
+done
+for pid in $pids; do wait "$pid"; done
+for i in 1 2 3 4; do
+    cmp "$workdir/golden_alpha.csv" "$workdir/traffic_alpha_$i.csv"
+    cmp "$workdir/golden_beta.csv" "$workdir/traffic_beta_$i.csv"
+done
+retries=$(curl -fsS "http://$addr/metrics" | sed -n 's/.*"io_retries":\([0-9]*\).*/\1/p')
+if [ -z "$retries" ] || [ "$retries" -lt 1 ]; then
+    echo "chaos_smoke: expected io_retries >= 1, got '${retries:-missing}'" >&2
+    exit 1
+fi
+echo "    8/8 responses byte-identical; $retries transient read(s) retried"
+
+echo "==> corrupt beta on disk: 200 + damage report, store degraded"
+# Overwrite in place (cat keeps the inode) — the daemon's open fd must
+# see the damage, exactly like bit rot under a live server. Damage the
+# *pressure* field (index 1): the traffic above only touched temperature,
+# so pressure's chunks are not sitting in the daemon's chunk cache.
+"$faultinject" "$catalog/beta.zms" -o "$workdir/beta_corrupt.zms" --data 1,0 >/dev/null
+cat "$workdir/beta_corrupt.zms" >"$catalog/beta.zms"
+status=$(curl -s -o "$workdir/beta_salvaged.json" -w '%{http_code}' \
+    "http://$addr/stores/beta/query?field=pressure&bbox=0,0:7,7&format=json")
+[ "$status" = "200" ]
+grep -q '"damage"' "$workdir/beta_salvaged.json"
+grep -q '"salvaged":true' "$workdir/beta_salvaged.json"
+curl -fsS "http://$addr/catalog" >"$workdir/catalog_degraded.json"
+grep -q '"id":"beta"' "$workdir/catalog_degraded.json"
+grep -q '"health":"degraded"' "$workdir/catalog_degraded.json"
+echo "    beta answers through salvage with an itemized damage report"
+
+echo "==> tear gamma's commit record off: 503 + Retry-After (quarantined)"
+size=$(wc -c <"$catalog/gamma.zms")
+head -c "$((size - 16))" "$catalog/gamma.zms" >"$workdir/gamma_torn.zms"
+cat "$workdir/gamma_torn.zms" >"$catalog/gamma.zms"
+curl -fsS "http://$addr/catalog?refresh=1" >/dev/null
+status=$(curl -s -D "$workdir/gamma_503.head" -o "$workdir/gamma_503.json" \
+    -w '%{http_code}' \
+    "http://$addr/stores/gamma/query?field=scalar&bbox=0,0:7,7")
+[ "$status" = "503" ]
+grep -q '"quarantined"' "$workdir/gamma_503.json"
+retry_after=$(sed -n 's/^Retry-After: *\([0-9]*\).*/\1/p' "$workdir/gamma_503.head")
+if [ -z "$retry_after" ] || [ "$retry_after" -lt 1 ]; then
+    echo "chaos_smoke: expected a finite Retry-After, got '${retry_after:-missing}'" >&2
+    cat "$workdir/gamma_503.head" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/healthz" | grep -q '"quarantined":1'
+echo "    gamma quarantined, clients told to retry after ${retry_after}s"
+
+echo "==> zmesh repair salvages the torn store (lossless: only the commit record was lost)"
+"$zmesh" repair "$catalog/gamma.zms" -o "$workdir/gamma_repaired.zms" \
+    >"$workdir/repair.out" 2>"$workdir/repair.err"
+grep -q '"torn":true' "$workdir/repair.err"
+grep -q '"salvaged":true' "$workdir/repair.err"
+cat "$workdir/gamma_repaired.zms" >"$catalog/gamma.zms"
+
+echo "==> the background probe reinstates gamma without a restart"
+reinstated=""
+for _ in $(seq 1 120); do
+    if curl -fsS "http://$addr/healthz" | grep -q '"quarantined":0'; then
+        reinstated=1
+        break
+    fi
+    sleep 0.25
+done
+[ -n "$reinstated" ] || { echo "chaos_smoke: probe never reinstated gamma" >&2; exit 1; }
+curl -fsS --max-time 30 \
+    "http://$addr/stores/gamma/query?field=scalar&bbox=0,0:7,7&format=csv" \
+    -o "$workdir/gamma_after.csv"
+cmp "$workdir/golden_gamma.csv" "$workdir/gamma_after.csv"
+echo "    gamma serves byte-identical answers again"
+
+echo "==> /metrics tells the whole story"
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.json"
+for want in '"io_retries":' '"salvaged_queries":' '"probes":' \
+    '"degraded_stores":' '"quarantined_stores":0'; do
+    grep -q "$want" "$workdir/metrics.json"
+done
+salvaged=$(sed -n 's/.*"salvaged_queries":\([0-9]*\).*/\1/p' "$workdir/metrics.json")
+probes=$(sed -n 's/.*"probes":\([0-9]*\).*/\1/p' "$workdir/metrics.json")
+[ "${salvaged:-0}" -ge 1 ] || { echo "chaos_smoke: no salvaged queries counted" >&2; exit 1; }
+[ "${probes:-0}" -ge 1 ] || { echo "chaos_smoke: no probes counted" >&2; exit 1; }
+if grep -q 'panicked' "$workdir/serve.err"; then
+    echo "chaos_smoke: daemon panicked" >&2
+    cat "$workdir/serve.err" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/healthz" | grep -q '"ok":true'
+
+echo "==> SIGTERM drains and exits 0"
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "chaos_smoke: daemon exited nonzero on SIGTERM" >&2
+    cat "$workdir/serve.err" >&2
+    exit 1
+fi
+serve_pid=""
+
+echo "chaos_smoke: all steps passed"

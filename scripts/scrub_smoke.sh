@@ -9,8 +9,9 @@
 #        → repair --replica → byte-identical again
 #   pack (v4 rs:4,2) → inject two faults in one group → scrub (exit 6)
 #        → repair from Reed–Solomon parity → byte-identical
-#        → truncate mid-commit-record → scrub/repair report torn (exit 7)
-#        → repair --from-raw → completed write, byte-identical
+#        → truncate mid-commit-record → scrub reports torn (exit 7)
+#        → repair salvages the intact prefix byte-identically; --from-raw
+#          completes the interrupted write byte-identically too
 #   pack (v2, --parity-width 0) → scrub clean, unpack → verify round-trip
 #
 # Uses only workspace binaries: the `zmesh` CLI and the gated
@@ -90,8 +91,13 @@ echo "==> a truncated write is reported torn (exit 7), not corrupt"
 rs_len=$(wc -c <"$workdir/rs.zms")
 inject "$workdir/rs.zms" -o "$workdir/rs_torn.zms" --truncate $((rs_len - 7))
 expect_code 7 zmesh scrub "$workdir/rs_torn.zms"
-expect_code 7 zmesh repair "$workdir/rs_torn.zms" -o "$workdir/rs_nope.zms"
-test ! -e "$workdir/rs_nope.zms"
+
+echo "==> repair without --from-raw salvages the intact prefix losslessly"
+# Only the commit record was cut off, so every chunk survives: the
+# salvaged rewrite is byte-identical to the pristine store.
+expect_code 0 zmesh repair "$workdir/rs_torn.zms" -o "$workdir/rs_salvaged.zms"
+cmp "$workdir/rs_salvaged.zms" "$workdir/rs.zms"
+expect_code 0 zmesh scrub "$workdir/rs_salvaged.zms"
 
 echo "==> repair --from-raw completes the interrupted write bit-exactly"
 expect_code 0 zmesh repair "$workdir/rs_torn.zms" -o "$workdir/rs_rebuilt.zms" \

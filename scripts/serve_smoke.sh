@@ -152,13 +152,22 @@ status=$(curl -s -o "$workdir/err400.json" -w '%{http_code}' \
 [ "$status" = "400" ]
 grep -q '"error"' "$workdir/err400.json"
 
-echo "==> a corrupted store surfaces as 500, daemon stays up"
+echo "==> a corrupted store degrades: strict → 500, default → 200 + damage"
 "$faultinject" "$catalog/blast.zms" -o "$catalog/broken.zms" --data 0,0 >/dev/null
 curl -fsS "http://$addr/catalog?refresh=1" | grep -q '"broken"'
+# A strict caller gets the raw chunk-CRC error (and the sighting marks
+# the store degraded)...
 status=$(curl -s -o "$workdir/err500.json" -w '%{http_code}' \
-    "http://$addr/stores/broken/query?field=density&bbox=0,0:7,7")
+    "http://$addr/stores/broken/query?field=density&bbox=0,0:7,7&strict=1")
 [ "$status" = "500" ]
 grep -q '"error"' "$workdir/err500.json"
+# ...while a default caller is answered 200 under salvage, with the
+# damage itemized in the response.
+status=$(curl -s -o "$workdir/salvaged.json" -w '%{http_code}' \
+    "http://$addr/stores/broken/query?field=density&bbox=0,0:7,7&format=json")
+[ "$status" = "200" ]
+grep -q '"damage"' "$workdir/salvaged.json"
+curl -fsS "http://$addr/catalog" | grep -q '"health":"degraded"'
 curl -fsS "http://$addr/healthz" | grep -q '"ok":true'
 
 echo "==> /metrics counted the traffic"

@@ -42,6 +42,11 @@ step bash scripts/store_read_smoke.sh
 # SIGTERM drains to exit 0.
 step bash scripts/serve_smoke.sh
 
+# Chaos smoke: daemon under injected transient faults and live on-disk
+# damage — retries absorb the faults, damage degrades (200 + report),
+# torn quarantines (503 + Retry-After), repair + probe reinstates.
+step bash scripts/chaos_smoke.sh
+
 # Formatting and lints, when the components exist.
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all --check
