@@ -13,7 +13,7 @@ use zmesh::{CompressionConfig, OrderingPolicy};
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::StorageMode;
 use zmesh_codecs::{CodecKind, ErrorControl};
-use zmesh_store::{persist, StoreWriter};
+use zmesh_store::{persist_store, StoreWriter};
 
 fn config() -> CompressionConfig {
     CompressionConfig {
@@ -39,7 +39,7 @@ fn bench_serve(c: &mut Criterion) {
         .with_chunk_target_bytes(2 * 1024)
         .write(&fields)
         .expect("write store");
-    persist(&store.bytes, &dir.join("blast.zms")).expect("persist");
+    persist_store(&store.bytes, &dir.join("blast.zms")).expect("persist");
 
     let server = Server::bind(&dir, ServeOptions::default()).expect("bind");
     let addr = server.local_addr().expect("addr").to_string();

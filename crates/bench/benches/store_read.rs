@@ -15,7 +15,7 @@ use zmesh::{CompressionConfig, OrderingPolicy};
 use zmesh_amr::datasets::{self, Scale};
 use zmesh_amr::StorageMode;
 use zmesh_codecs::{CodecKind, ErrorControl};
-use zmesh_store::{persist, Query, StoreReader, StoreWriter};
+use zmesh_store::{persist_store, Query, StoreReader, StoreWriter};
 
 #[cfg(unix)]
 use zmesh_store::FileSource;
@@ -48,7 +48,7 @@ fn bench_store_read(c: &mut Criterion) {
         .expect("write store");
     let path =
         std::env::temp_dir().join(format!("zmesh_bench_store_read_{}.zms", std::process::id()));
-    persist(&store.bytes, &path).expect("persist store");
+    persist_store(&store.bytes, &path).expect("persist store");
     let file_bytes = store.bytes.len() as u64;
 
     let probe = StoreReader::open(&store.bytes).expect("open store");

@@ -11,7 +11,8 @@ use zmesh_metrics::ErrorStats;
 use zmesh_store::FileSource;
 use zmesh_store::{
     ByteSource, DamageReport, Parity, Query, RawSource, ReadPolicy, RecipeCache, RepairOutcome,
-    RepairSource, SalvageFill, StoreError, StoreReader, StoreWriter, DEFAULT_PARITY_GROUP_WIDTH,
+    RepairSource, SalvageFill, StoreError, StoreReader, StoreWriteStats, StoreWriter,
+    StreamOptions, DEFAULT_PARITY_GROUP_WIDTH,
 };
 
 fn parse_scale(args: &Args) -> Result<Scale, CliError> {
@@ -254,13 +255,22 @@ pub fn extract(argv: &[String]) -> Result<(), CliError> {
 }
 
 /// `zmesh pack <in.zmd> -o <out.zms> [--policy] [--codec] [--rel-eb|--abs-eb]
-/// [--chunk-kb N] [--parity none|xor[:W]|rs:K,M]` — write a chunked,
+/// [--chunk-kb N] [--parity none|xor[:W]|rs:K,M] [--stream]
+/// [--window-bytes N] [--fault-sink SPEC]` — write a chunked,
 /// indexed store (v3 with XOR parity by default; `--parity none` writes a
 /// plain v2, `--parity rs:K,M` a v4 with `M` Reed–Solomon shards per group
 /// of `K` chunks). The output lands via an atomic temp-file + rename, so a
 /// crash mid-pack never leaves a half-written store at the target path.
+///
+/// `--stream` packs through the bounded compress→write window instead of
+/// assembling the container in memory — byte-identical output, O(window)
+/// peak encode memory (`--window-bytes`, default 8 MiB, 0 = unbounded;
+/// either flag implies `--stream`). `--fault-sink` (testing builds only)
+/// injects deterministic write faults into the streaming sink for
+/// crash-consistency drills; a `crash_at=` plan leaves its torn `.tmp`
+/// behind on purpose, the way a real kill would.
 pub fn pack(argv: &[String]) -> Result<(), CliError> {
-    let args = parse(argv)?;
+    let args = Args::parse_with_switches(argv, &["stream"]).map_err(CliError::Usage)?;
     let input = positional(&args, 0, "input dataset (.zmd)")?;
     let out = required(&args, "output")?;
     let ds = load_dataset(input)?;
@@ -275,10 +285,27 @@ pub fn pack(argv: &[String]) -> Result<(), CliError> {
     if let Some(parity) = parse_parity(&args)? {
         writer = writer.with_parity(parity);
     }
-    let written = writer.write_to_path(&field_refs(&ds), std::path::Path::new(out))?;
-    let s = written.stats;
+    let window = args
+        .option("window-bytes")
+        .map(|w| {
+            w.parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("--window-bytes {w:?} is not a byte count")))
+        })
+        .transpose()?;
+    let stream = args.switch("stream") || window.is_some() || args.option("fault-sink").is_some();
+    let s = if stream {
+        let opts = StreamOptions {
+            window_bytes: window.unwrap_or_else(|| StreamOptions::default().window_bytes),
+            ..StreamOptions::default()
+        };
+        pack_streaming(&args, &ds, out, &writer, &opts)?
+    } else {
+        writer
+            .write_to_path(&field_refs(&ds), std::path::Path::new(out))?
+            .stats
+    };
     println!(
-        "wrote {out}: {} -> {} bytes (ratio {:.2}) | {} fields x {} chunks, {} parity bytes ({} groups), {} index bytes",
+        "wrote {out}: {} -> {} bytes (ratio {:.2}) | {} fields x {} chunks, {} parity bytes ({} groups), {} index bytes{}",
         s.raw_bytes,
         s.container_bytes,
         s.ratio(),
@@ -287,8 +314,70 @@ pub fn pack(argv: &[String]) -> Result<(), CliError> {
         s.parity_bytes,
         s.parity_groups,
         s.metadata_bytes,
+        if s.streamed {
+            format!(
+                " | streamed (window {} bytes, peak buffer {} bytes)",
+                s.window_bytes, s.peak_buffer_bytes
+            )
+        } else {
+            String::new()
+        },
     );
     Ok(())
+}
+
+/// The streaming leg of `pack`, honoring `--fault-sink <spec>` in testing
+/// builds: the plan wraps the file sink in a deterministic write-fault
+/// injector (see `zmesh_store::faultinject::FaultSpec::parse` for the
+/// grammar). Release builds reject the flag instead of silently packing
+/// clean.
+#[cfg(unix)]
+fn pack_streaming(
+    args: &Args,
+    ds: &Dataset,
+    out: &str,
+    writer: &StoreWriter,
+    opts: &StreamOptions,
+) -> Result<StoreWriteStats, CliError> {
+    match args.option("fault-sink") {
+        None => {
+            Ok(writer.write_streaming_to_path(&field_refs(ds), std::path::Path::new(out), opts)?)
+        }
+        #[cfg(feature = "testing")]
+        Some(spec) => {
+            let plan = zmesh_store::faultinject::FaultSpec::parse(spec)
+                .map_err(|e| CliError::Usage(format!("--fault-sink: {e}")))?;
+            eprintln!("pack: write fault injection active: {spec}");
+            let sink = zmesh_store::FileSink::create(std::path::Path::new(out))?;
+            let mut sink = zmesh_store::faultinject::FaultSink::new(sink, plan);
+            let stats = writer.write_to_sink(&field_refs(ds), &mut sink, opts);
+            if sink.stats().crashed {
+                // A real kill never runs cleanup: leave the torn tmp for
+                // the atomicity harness to examine.
+                sink.inner_mut().preserve_tmp_on_drop();
+            }
+            Ok(stats?)
+        }
+        #[cfg(not(feature = "testing"))]
+        Some(_) => Err(CliError::Usage(
+            "--fault-sink requires a testing build: \
+             cargo build -p zmesh-cli --features testing"
+                .into(),
+        )),
+    }
+}
+
+#[cfg(not(unix))]
+fn pack_streaming(
+    _args: &Args,
+    _ds: &Dataset,
+    _out: &str,
+    _writer: &StoreWriter,
+    _opts: &StreamOptions,
+) -> Result<StoreWriteStats, CliError> {
+    Err(CliError::Usage(
+        "--stream packing needs the unix file sink".into(),
+    ))
 }
 
 /// Prints a per-field summary of what a salvage read repaired or lost.
@@ -620,8 +709,7 @@ fn rebuild_torn(torn: &[u8], ds: &Dataset, args: &Args, out: &str) -> Result<(),
                 .into(),
         ));
     }
-    zmesh_store::persist(&written.bytes, std::path::Path::new(out))
-        .map_err(|e| CliError::io(out, e))?;
+    zmesh_store::persist_store(&written.bytes, std::path::Path::new(out))?;
     println!(
         "wrote {out}: torn store rebuilt from raw data ({} bytes, verified against the {}-byte torn prefix)",
         written.bytes.len(),
@@ -1111,8 +1199,7 @@ pub fn bench_serve(argv: &[String]) -> Result<(), CliError> {
                 let out = StoreWriter::new(CompressionConfig::zmesh_default())
                     .with_chunk_target_bytes(2048)
                     .write(&fields)?;
-                zmesh_store::persist(&out.bytes, &dir.join(format!("{preset}.zms")))
-                    .map_err(|e| CliError::Io(e.to_string()))?;
+                zmesh_store::persist_store(&out.bytes, &dir.join(format!("{preset}.zms")))?;
             }
             (dir.clone(), Some(TempCatalog(dir)))
         }

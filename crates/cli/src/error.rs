@@ -7,7 +7,7 @@
 //! |------|------------------------------------------------------|
 //! | 0    | success                                              |
 //! | 2    | usage error (bad flags, unknown name/field)          |
-//! | 3    | I/O error (missing file, unwritable output)          |
+//! | 3    | I/O error (missing file, unwritable output, ENOSPC)  |
 //! | 4    | corrupt or truncated container / dataset             |
 //! | 5    | verification failed (data exceeded error bound)      |
 //! | 6    | damage found, but all of it is parity-recoverable    |
@@ -101,7 +101,12 @@ impl From<StoreError> for CliError {
             StoreError::UnknownField(_) | StoreError::BadQuery(_) => CliError::Usage(e.to_string()),
             StoreError::InvalidOptions(_) => CliError::Usage(e.to_string()),
             StoreError::Torn => CliError::Torn(e.to_string()),
-            StoreError::Io(_) => CliError::Io(e.to_string()),
+            // ENOSPC is an I/O failure the operator fixes by freeing
+            // space and rerunning; the abort is clean (no tmp file, old
+            // destination intact), so it shares exit 3 with the rest of
+            // the filesystem failures rather than claiming a corruption
+            // code.
+            StoreError::Io(_) | StoreError::NoSpace(_) => CliError::Io(e.to_string()),
             StoreError::Amr(inner) => inner.into(),
             other => CliError::Corrupt(other.to_string()),
         }
@@ -139,6 +144,10 @@ mod tests {
         );
         assert_eq!(
             CliError::from(StoreError::Io("disk gone".into())).exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::from(StoreError::NoSpace("disk full".into())).exit_code(),
             3
         );
         assert_eq!(

@@ -1050,3 +1050,186 @@ fn help_lists_presets() {
     let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("front2d") && text.contains("cluster3d"));
 }
+
+/// Sorted (name, bytes) snapshot of a directory's direct entries — enough
+/// to assert a failed pack changed nothing.
+fn dir_snapshot(dir: &std::path::Path) -> Vec<(String, Option<Vec<u8>>)> {
+    let mut entries: Vec<(String, Option<Vec<u8>>)> = std::fs::read_dir(dir)
+        .expect("read_dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            let name = e.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(e.path()).ok();
+            (name, bytes)
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn streaming_pack_is_byte_identical_to_buffered() {
+    let zmd = tmp("stream_src.zmd");
+    let buffered = tmp("stream_buffered.zms");
+    let streamed = tmp("stream_streamed.zms");
+
+    let out = zmesh()
+        .args([
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+
+    let out = zmesh()
+        .args([
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            buffered.to_str().unwrap(),
+            "--chunk-kb",
+            "1",
+            "--parity",
+            "rs:4,2",
+        ])
+        .output()
+        .expect("run pack");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = zmesh()
+        .args([
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            streamed.to_str().unwrap(),
+            "--chunk-kb",
+            "1",
+            "--parity",
+            "rs:4,2",
+            "--stream",
+            "--window-bytes",
+            "4096",
+        ])
+        .output()
+        .expect("run streaming pack");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("streamed"),
+        "streaming pack must say so"
+    );
+
+    assert_eq!(
+        std::fs::read(&buffered).expect("buffered bytes"),
+        std::fs::read(&streamed).expect("streamed bytes"),
+        "streaming pack must be byte-identical to buffered"
+    );
+
+    for f in [&zmd, &buffered, &streamed] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn failed_pack_leaves_the_target_directory_untouched() {
+    let zmd = tmp("failpack_src.zmd");
+    let out = zmesh()
+        .args([
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+
+    let work = tmp("failpack_dir");
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("mkdir");
+    std::fs::write(work.join("bystander.zms"), b"do not touch").expect("write");
+    // The destination is an existing directory: the temp file streams
+    // fine, the atomic rename cannot succeed.
+    let dest = work.join("blocked.zms");
+    std::fs::create_dir_all(&dest).expect("mkdir dest");
+    let before = dir_snapshot(&work);
+
+    for extra in [&["--stream"][..], &[][..]] {
+        let mut args = vec![
+            "pack".to_string(),
+            zmd.to_str().unwrap().to_string(),
+            "-o".to_string(),
+            dest.to_str().unwrap().to_string(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = zmesh().args(&args).output().expect("run failing pack");
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "pack onto a directory must exit 3 (I/O): {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            dir_snapshot(&work),
+            before,
+            "failed pack (args {extra:?}) must leave the target directory \
+             byte-identical — no partial output, no stray .tmp"
+        );
+    }
+
+    let _ = std::fs::remove_file(&zmd);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn fault_sink_requires_a_testing_build() {
+    // This test compiles without the testing feature, so the flag must be
+    // rejected as usage error instead of silently packing clean.
+    if cfg!(feature = "testing") {
+        return;
+    }
+    let zmd = tmp("faultsink_src.zmd");
+    let out = zmesh()
+        .args([
+            "generate",
+            "blast2d",
+            "-o",
+            zmd.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let out = zmesh()
+        .args([
+            "pack",
+            zmd.to_str().unwrap(),
+            "-o",
+            tmp("faultsink.zms").to_str().unwrap(),
+            "--fault-sink",
+            "enospc_at=4096",
+        ])
+        .output()
+        .expect("run pack");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("testing build"),
+        "must point at the testing feature"
+    );
+    let _ = std::fs::remove_file(&zmd);
+}

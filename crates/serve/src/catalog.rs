@@ -579,7 +579,7 @@ mod tests {
     use super::*;
     use zmesh::{CompressionConfig, Pipeline};
     use zmesh_amr::{datasets, StorageMode};
-    use zmesh_store::{persist, PipelineStoreExt, Query};
+    use zmesh_store::{persist_store, PipelineStoreExt, Query};
 
     fn pack_into(dir: &Path, name: &str) {
         let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
@@ -588,7 +588,7 @@ mod tests {
         let store = Pipeline::new(CompressionConfig::zmesh_default())
             .pack(&fields)
             .expect("pack");
-        persist(&store.bytes, &dir.join(name)).expect("persist");
+        persist_store(&store.bytes, &dir.join(name)).expect("persist");
     }
 
     fn tempdir(tag: &str) -> PathBuf {

@@ -14,7 +14,7 @@ use zmesh::{CompressionConfig, Pipeline};
 use zmesh_amr::{datasets, StorageMode};
 use zmesh_serve::bench::{batch_body, http_get, HttpClient};
 use zmesh_serve::{wire, ServeOptions, Server};
-use zmesh_store::{persist, PipelineStoreExt, Query, StoreReader};
+use zmesh_store::{persist_store, PipelineStoreExt, Query, StoreReader};
 
 fn tempdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("zmesh_serve_daemon_{tag}_{}", std::process::id()));
@@ -30,7 +30,7 @@ fn pack_into(dir: &Path, name: &str) -> Vec<u8> {
     let store = Pipeline::new(CompressionConfig::zmesh_default())
         .pack(&fields)
         .expect("pack");
-    persist(&store.bytes, &dir.join(name)).expect("persist");
+    persist_store(&store.bytes, &dir.join(name)).expect("persist");
     store.bytes
 }
 

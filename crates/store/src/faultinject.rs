@@ -11,6 +11,7 @@
 //! panic on invalid targets (they are test tooling, not production code).
 
 use crate::format::{self, StoreError};
+use crate::sink::ByteSink;
 use crate::source::ByteSource;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -147,14 +148,17 @@ impl Lcg {
     }
 }
 
-/// A declarative, seeded fault plan for a [`FaultSource`].
+/// A declarative, seeded fault plan for a [`FaultSource`] or [`FaultSink`].
 ///
-/// Rates are per-mille of `read_at` calls; injected transient failures
-/// are bounded to at most [`FaultSpec::burst`] *consecutive* failures, so
-/// "transient" keeps its real-world meaning: a retry loop with more
-/// attempts than `burst` always gets through. Corruption is *sticky*:
-/// every read overlapping a `corrupt` range sees the same inverted bytes,
-/// the way a bad sector or bit-rotted page behaves.
+/// Rates are per-mille of `read_at` / `write_all` calls; injected
+/// transient failures are bounded to at most [`FaultSpec::burst`]
+/// *consecutive* failures, so "transient" keeps its real-world meaning: a
+/// retry loop with more attempts than `burst` always gets through.
+/// Corruption is *sticky*: every read overlapping a `corrupt` range sees
+/// the same inverted bytes, the way a bad sector or bit-rotted page
+/// behaves. The write-side hard faults are *positional*: `enospc_at` and
+/// `crash_at` trip when the running byte count crosses the threshold,
+/// which is what makes kill-point matrices enumerable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
     /// Seed for the injection rolls (deterministic campaigns).
@@ -165,14 +169,35 @@ pub struct FaultSpec {
     /// surfaced as transient: the all-or-fail `read_at` contract makes a
     /// short read indistinguishable from an interrupted one).
     pub short_read_per_mille: u32,
-    /// Most *consecutive* injected transient failures before a read is
-    /// forced through. A retry policy with `attempts > burst` is
+    /// Per-mille of writes answered with an injected transient `EIO`
+    /// (`wtransient=`). No bytes reach the inner sink, so a retry is
+    /// safe — the same discipline real appenders get from
+    /// write-at-tracked-offset.
+    pub write_transient_per_mille: u32,
+    /// Per-mille of writes answered with an injected short write
+    /// (`wshort=`). Surfaced as transient for the same reason short reads
+    /// are: the all-or-fail `write_all` contract makes a short write an
+    /// interrupted one, and the tracked append offset only advances on
+    /// success, so the retry overwrites the torn tail.
+    pub short_write_per_mille: u32,
+    /// Most *consecutive* injected transient failures before an operation
+    /// is forced through. A retry policy with `attempts > burst` is
     /// guaranteed to succeed against a transient-only plan.
     pub burst: u32,
     /// Added latency per read (media stall simulation).
     pub latency: Duration,
     /// Absolute byte ranges whose contents are persistently inverted.
     pub corrupt: Vec<Range<u64>>,
+    /// Fail every write with [`StoreError::NoSpace`] once it would push
+    /// the sink past this many bytes (`enospc_at=`): the full-disk wall.
+    /// Sticky — the filesystem does not grow back mid-write.
+    pub enospc_at: Option<u64>,
+    /// Simulate a hard crash at this byte offset (`crash_at=`): the write
+    /// that crosses the threshold forwards only the prefix up to it, then
+    /// this and every later operation (including `commit`) fails with a
+    /// fatal error — the sink dies with a torn tail exactly `N` bytes
+    /// long, like a process killed mid-`write(2)`.
+    pub crash_at: Option<u64>,
     /// Only stores whose id contains this substring are wrapped; `None`
     /// wraps every store.
     pub matches: Option<String>,
@@ -184,30 +209,47 @@ impl Default for FaultSpec {
             seed: 0,
             transient_per_mille: 0,
             short_read_per_mille: 0,
+            write_transient_per_mille: 0,
+            short_write_per_mille: 0,
             burst: 2,
             latency: Duration::ZERO,
             corrupt: Vec::new(),
+            enospc_at: None,
+            crash_at: None,
             matches: None,
         }
     }
 }
 
 impl FaultSpec {
-    /// Parses the compact CLI grammar used by `zmesh serve --fault-plan`:
-    /// comma-separated `key=value` pairs, e.g.
+    /// Parses the compact CLI grammar used by `zmesh serve --fault-plan`
+    /// and `zmesh pack --fault-sink`: comma-separated `key=value` pairs,
+    /// e.g.
     ///
     /// ```text
     /// seed=42,transient=80,short=20,burst=2,latency_us=50,corrupt=100-200+4096-4200,match=blast
+    /// seed=7,wtransient=300,wshort=100,burst=2          # write-side transients
+    /// enospc_at=65536                                   # full disk after 64 KiB
+    /// crash_at=4096                                     # hard death mid-write
     /// ```
     ///
-    /// All keys are optional; unknown keys and malformed values are
-    /// errors (a typo'd chaos plan must not silently inject nothing).
+    /// All keys are optional; unknown keys, repeated keys, and malformed
+    /// values are errors (a typo'd chaos plan must not silently inject
+    /// nothing).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut out = Self::default();
+        let mut seen: Vec<&str> = Vec::new();
         for pair in spec.split(',').filter(|p| !p.is_empty()) {
             let (key, value) = pair
                 .split_once('=')
                 .ok_or_else(|| format!("fault-plan entry {pair:?} is not key=value"))?;
+            if seen.contains(&key) {
+                return Err(format!(
+                    "fault-plan key {key:?} given twice — the second value would \
+                     silently win"
+                ));
+            }
+            seen.push(key);
             let num = |what: &str| -> Result<u64, String> {
                 value
                     .parse::<u64>()
@@ -217,8 +259,12 @@ impl FaultSpec {
                 "seed" => out.seed = num("seed")?,
                 "transient" => out.transient_per_mille = num("transient")? as u32,
                 "short" => out.short_read_per_mille = num("short")? as u32,
+                "wtransient" => out.write_transient_per_mille = num("wtransient")? as u32,
+                "wshort" => out.short_write_per_mille = num("wshort")? as u32,
                 "burst" => out.burst = num("burst")? as u32,
                 "latency_us" => out.latency = Duration::from_micros(num("latency_us")?),
+                "enospc_at" => out.enospc_at = Some(num("enospc_at")?),
+                "crash_at" => out.crash_at = Some(num("crash_at")?),
                 "match" => out.matches = Some(value.to_string()),
                 "corrupt" => {
                     for range in value.split('+') {
@@ -243,6 +289,9 @@ impl FaultSpec {
         if out.transient_per_mille + out.short_read_per_mille > 1000 {
             return Err("transient + short rates exceed 1000 per mille".into());
         }
+        if out.write_transient_per_mille + out.short_write_per_mille > 1000 {
+            return Err("wtransient + wshort rates exceed 1000 per mille".into());
+        }
         Ok(out)
     }
 
@@ -257,6 +306,15 @@ impl FaultSpec {
             || self.short_read_per_mille > 0
             || !self.latency.is_zero()
             || !self.corrupt.is_empty()
+            || self.is_write_active()
+    }
+
+    /// Whether the plan can inject anything on the write side.
+    pub fn is_write_active(&self) -> bool {
+        self.write_transient_per_mille > 0
+            || self.short_write_per_mille > 0
+            || self.enospc_at.is_some()
+            || self.crash_at.is_some()
     }
 }
 
@@ -385,6 +443,191 @@ impl<S: ByteSource> ByteSource for FaultSource<S> {
     }
 }
 
+/// Injection counters of one [`FaultSink`] — the write-side mirror of
+/// [`FaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkFaultStats {
+    /// Injected transient write failures (`wtransient` + `wshort`).
+    pub transient: u64,
+    /// Of those, injected short writes.
+    pub short_writes: u64,
+    /// Whether the `enospc_at` wall has been hit.
+    pub enospc: bool,
+    /// Whether the `crash_at` kill point has fired.
+    pub crashed: bool,
+}
+
+/// A [`ByteSink`] wrapper that injects write faults per a seeded
+/// [`FaultSpec`] — the write-side complement of [`FaultSource`], for
+/// driving a *live* [`crate::StoreWriter`] streaming pack through disk
+/// failure and kill-point scenarios.
+///
+/// Injected transients never forward bytes to the inner sink, so the
+/// append position only advances on success and a retry of the same
+/// buffer is exact — the invariant [`ByteSink::write_all`] documents. The
+/// `crash_at` fault deliberately *does* forward the prefix below the kill
+/// point and then fails everything forever, reproducing a process killed
+/// mid-`write(2)`: the inner sink is left holding a torn tail for the
+/// atomicity harness to examine.
+pub struct FaultSink<S: ByteSink> {
+    inner: S,
+    spec: FaultSpec,
+    rng: Lcg,
+    consecutive: u32,
+    /// Bytes successfully forwarded — the position `enospc_at` / `crash_at`
+    /// thresholds are judged against.
+    forwarded: u64,
+    transient: u64,
+    short_writes: u64,
+    enospc: bool,
+    crashed: bool,
+}
+
+impl<S: ByteSink> FaultSink<S> {
+    /// Wraps `inner` under `spec`.
+    pub fn new(inner: S, spec: FaultSpec) -> Self {
+        let rng = Lcg::new(spec.seed);
+        Self {
+            inner,
+            spec,
+            rng,
+            consecutive: 0,
+            forwarded: 0,
+            transient: 0,
+            short_writes: 0,
+            enospc: false,
+            crashed: false,
+        }
+    }
+
+    /// Snapshot of what the plan has injected so far.
+    pub fn stats(&self) -> SinkFaultStats {
+        SinkFaultStats {
+            transient: self.transient,
+            short_writes: self.short_writes,
+            enospc: self.enospc,
+            crashed: self.crashed,
+        }
+    }
+
+    /// The plan this sink injects.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped sink, mutably — the kill-point harness uses this to
+    /// reach [`crate::FileSink::preserve_tmp_on_drop`] after a crash fires
+    /// (a killed process never runs its cleanup).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The terminal error every operation returns once the kill point has
+    /// fired.
+    fn crash_error(&self) -> StoreError {
+        StoreError::Io(format!(
+            "injected crash at byte {}",
+            self.spec.crash_at.unwrap_or(self.forwarded)
+        ))
+    }
+}
+
+impl<S: ByteSink> ByteSink for FaultSink<S> {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(self.crash_error());
+        }
+        let end = self.forwarded + buf.len() as u64;
+        if let Some(kill) = self.spec.crash_at {
+            if end > kill {
+                // Forward the prefix below the kill point, then die. Any
+                // failure forwarding it is subsumed by the crash itself.
+                let keep = kill.saturating_sub(self.forwarded) as usize;
+                if keep > 0 {
+                    let _ = self.inner.write_all(&buf[..keep]);
+                }
+                self.crashed = true;
+                return Err(self.crash_error());
+            }
+        }
+        if let Some(wall) = self.spec.enospc_at {
+            if end > wall {
+                self.enospc = true;
+                return Err(StoreError::NoSpace(format!(
+                    "injected ENOSPC: {} bytes would cross the {wall}-byte wall",
+                    buf.len()
+                )));
+            }
+        }
+        let roll = (self.rng.next_u64() % 1000) as u32;
+        if self.consecutive < self.spec.burst {
+            if roll < self.spec.write_transient_per_mille {
+                self.consecutive += 1;
+                self.transient += 1;
+                return Err(StoreError::IoTransient(format!(
+                    "injected EIO writing {} bytes at {}",
+                    buf.len(),
+                    self.forwarded
+                )));
+            }
+            if roll < self.spec.write_transient_per_mille + self.spec.short_write_per_mille {
+                self.consecutive += 1;
+                self.transient += 1;
+                self.short_writes += 1;
+                return Err(StoreError::IoTransient(format!(
+                    "injected short write: {} of {} bytes at {}",
+                    buf.len() / 2,
+                    buf.len(),
+                    self.forwarded
+                )));
+            }
+        }
+        self.consecutive = 0;
+        self.inner.write_all(buf)?;
+        self.forwarded = end;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(self.crash_error());
+        }
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(self.crash_error());
+        }
+        self.inner.sync()
+    }
+
+    fn commit(&mut self) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(self.crash_error());
+        }
+        self.inner.commit()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn write_calls(&self) -> u64 {
+        self.inner.write_calls()
+    }
+}
+
 /// Flips `count` pseudo-random bits anywhere in `bytes`, deterministically
 /// from `seed`. Returns the flipped (byte, bit) positions.
 pub fn random_flips(bytes: &mut [u8], seed: u64, count: usize) -> Vec<(usize, u8)> {
@@ -491,6 +734,118 @@ mod tests {
         assert!(FaultSpec::parse("corrupt=9").is_err());
         assert!(FaultSpec::parse("corrupt=9-9").is_err());
         assert!(FaultSpec::parse("transient=600,short=600").is_err());
+    }
+
+    #[test]
+    fn fault_spec_parses_the_write_side_grammar() {
+        let spec =
+            FaultSpec::parse("seed=9,wtransient=300,wshort=100,enospc_at=65536,crash_at=4096")
+                .unwrap();
+        assert_eq!(spec.write_transient_per_mille, 300);
+        assert_eq!(spec.short_write_per_mille, 100);
+        assert_eq!(spec.enospc_at, Some(65536));
+        assert_eq!(spec.crash_at, Some(4096));
+        assert!(spec.is_active());
+        assert!(spec.is_write_active());
+        assert!(!FaultSpec::default().is_write_active());
+        // A read-only plan is not write-active.
+        assert!(!FaultSpec::parse("transient=100").unwrap().is_write_active());
+
+        assert!(FaultSpec::parse("wtransient=600,wshort=600").is_err());
+        assert!(FaultSpec::parse("enospc_at=x").is_err());
+        assert!(FaultSpec::parse("crash=10").is_err(), "unknown key");
+    }
+
+    #[test]
+    fn fault_spec_rejects_repeated_keys() {
+        assert!(FaultSpec::parse("seed=1,seed=2").is_err());
+        assert!(FaultSpec::parse("crash_at=1,crash_at=2").is_err());
+        // Multiple corrupt ranges go through `+`, not key repetition.
+        assert!(FaultSpec::parse("corrupt=1-2,corrupt=3-4").is_err());
+        assert_eq!(
+            FaultSpec::parse("corrupt=1-2+3-4").unwrap().corrupt,
+            vec![1..2, 3..4]
+        );
+    }
+
+    #[test]
+    fn fault_sink_injects_bounded_transient_bursts() {
+        let spec = FaultSpec {
+            seed: 7,
+            write_transient_per_mille: 1000, // every eligible write fails...
+            burst: 2,                        // ...but never 3 in a row
+            ..FaultSpec::default()
+        };
+        let mut sink = FaultSink::new(crate::VecSink::new(), spec);
+        let mut pattern = Vec::new();
+        for _ in 0..9 {
+            pattern.push(sink.write_all(b"abcd").is_ok());
+        }
+        assert_eq!(
+            pattern,
+            [false, false, true, false, false, true, false, false, true],
+            "burst=2 must force every third write through"
+        );
+        assert_eq!(sink.stats().transient, 6);
+        assert_eq!(sink.stats().short_writes, 0);
+        assert!(!sink.stats().enospc);
+        assert!(!sink.stats().crashed);
+        // Failed writes forwarded nothing: only the successes landed.
+        assert_eq!(sink.bytes_written(), 12);
+        assert_eq!(sink.inner().bytes(), b"abcdabcdabcd");
+        let err = {
+            let mut s = FaultSink::new(
+                crate::VecSink::new(),
+                FaultSpec {
+                    write_transient_per_mille: 1000,
+                    ..FaultSpec::default()
+                },
+            );
+            s.write_all(b"x").unwrap_err()
+        };
+        assert!(err.is_transient(), "{err}");
+    }
+
+    #[test]
+    fn fault_sink_enospc_wall_is_positional_and_sticky() {
+        let spec = FaultSpec {
+            enospc_at: Some(10),
+            ..FaultSpec::default()
+        };
+        let mut sink = FaultSink::new(crate::VecSink::new(), spec);
+        sink.write_all(b"12345678").unwrap(); // 8 ≤ 10
+        let err = sink.write_all(b"abc").unwrap_err(); // 11 > 10
+        assert!(matches!(err, StoreError::NoSpace(_)), "{err}");
+        assert!(!err.is_transient(), "ENOSPC must not be retried");
+        assert!(sink.stats().enospc);
+        // Sticky: the wall does not move.
+        assert!(matches!(
+            sink.write_all(b"abc").unwrap_err(),
+            StoreError::NoSpace(_)
+        ));
+        // A write that fits still goes through (short tail files do).
+        sink.write_all(b"ab").unwrap();
+        assert_eq!(sink.inner().bytes(), b"12345678ab");
+    }
+
+    #[test]
+    fn fault_sink_crash_leaves_exactly_the_prefix_and_fails_forever() {
+        let spec = FaultSpec {
+            crash_at: Some(6),
+            ..FaultSpec::default()
+        };
+        let mut sink = FaultSink::new(crate::VecSink::new(), spec);
+        sink.write_all(b"1234").unwrap();
+        let err = sink.write_all(b"abcd").unwrap_err(); // would end at 8 > 6
+        assert!(!err.is_transient(), "a crash must not be retried");
+        assert!(sink.stats().crashed);
+        // The torn tail is exactly the prefix below the kill point.
+        assert_eq!(sink.inner().bytes(), b"1234ab");
+        // Everything after death fails, including the publish.
+        assert!(sink.write_all(b"x").is_err());
+        assert!(sink.flush().is_err());
+        assert!(sink.sync().is_err());
+        assert!(sink.commit().is_err());
     }
 
     #[test]

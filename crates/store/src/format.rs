@@ -117,6 +117,12 @@ pub enum StoreError {
     InvalidOptions(&'static str),
     /// An underlying filesystem operation failed while persisting a store.
     Io(String),
+    /// The destination filesystem ran out of space (`ENOSPC`) while
+    /// persisting a store. Separated from [`StoreError::Io`] because it is
+    /// the one write failure an operator fixes by freeing space and
+    /// rerunning — the abort is clean: no temp file survives and a
+    /// pre-existing destination is untouched.
+    NoSpace(String),
     /// An underlying read failed in a way that is plausibly transient
     /// (`EINTR`, `EAGAIN`, `EIO`, timeouts): the same read may succeed if
     /// retried. [`crate::StoreReader`] retries these under its
@@ -170,6 +176,7 @@ impl fmt::Display for StoreError {
             ),
             StoreError::InvalidOptions(what) => write!(f, "invalid store options: {what}"),
             StoreError::Io(what) => write!(f, "i/o: {what}"),
+            StoreError::NoSpace(what) => write!(f, "no space left on device: {what}"),
             StoreError::IoTransient(what) => write!(f, "transient i/o: {what}"),
             StoreError::UnknownField(name) => write!(f, "no field named {name:?} in store"),
             StoreError::BadQuery(what) => write!(f, "bad query: {what}"),
@@ -556,16 +563,31 @@ pub(crate) fn read_footer(bytes: &[u8], version: u16) -> Result<Vec<FieldEntry>,
 /// commit record — written last, so its presence proves the store bytes
 /// before it are complete.
 pub(crate) fn assemble(header_bytes: Vec<u8>, payload: &[u8], fields: &[FieldEntry]) -> Vec<u8> {
-    let version = u16::from_le_bytes(header_bytes[4..6].try_into().expect("header present"));
+    let tail = container_tail(&header_bytes, payload.len() as u64, fields);
     let mut out = header_bytes;
     out.extend_from_slice(payload);
-    let footer_offset = out.len() as u64;
+    out.extend_from_slice(&tail);
+    out
+}
+
+/// Everything after the payload span — footer, trailer, and (v4) commit
+/// record — for a store whose header is `header_bytes` and whose payload
+/// (data chunks + parity section) is `payload_len` bytes. [`assemble`] and
+/// the streaming writer both emit `header ∥ payload ∥ container_tail(…)`,
+/// so the two paths are byte-identical by construction.
+pub(crate) fn container_tail(
+    header_bytes: &[u8],
+    payload_len: u64,
+    fields: &[FieldEntry],
+) -> Vec<u8> {
+    let version = u16::from_le_bytes(header_bytes[4..6].try_into().expect("header present"));
+    debug_assert_eq!(fields_header_len(header_bytes), header_bytes.len());
+    let footer_offset = header_bytes.len() as u64 + payload_len;
     let footer = write_footer(fields, version);
-    let crc_input_header = out[..fields_header_len(&out)].to_vec();
-    let mut crc_bytes = crc_input_header;
+    let mut crc_bytes = header_bytes.to_vec();
     crc_bytes.extend_from_slice(&footer);
     let crc = crc32(&crc_bytes);
-    out.extend_from_slice(&footer);
+    let mut out = footer;
     put_u64(&mut out, footer_offset);
     put_u32(&mut out, crc);
     out.extend_from_slice(&INDEX_MAGIC);

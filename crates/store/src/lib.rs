@@ -62,6 +62,7 @@ mod parity;
 mod proptests;
 mod reader;
 mod repair;
+mod sink;
 mod source;
 mod writer;
 
@@ -84,10 +85,16 @@ pub use repair::{
     TornSalvage,
 };
 #[cfg(unix)]
+pub use sink::FileSink;
+pub use sink::{persist_store, ByteSink, VecSink};
+#[cfg(unix)]
 pub use source::FileSource;
 #[cfg(all(unix, feature = "mmap"))]
 pub use source::MmapSource;
 pub use source::{ByteSource, SliceSource};
+#[allow(deprecated)]
+pub use writer::persist;
 pub use writer::{
-    persist, PipelineStoreExt, StoreWriteOptions, StoreWriteStats, StoreWriter, StoreWritten,
+    process_peak_rss, PipelineStoreExt, StoreWriteOptions, StoreWriteStats, StoreWriter,
+    StoreWritten, StreamOptions,
 };

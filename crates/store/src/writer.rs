@@ -1,21 +1,39 @@
 //! The store writer: reorder → chunk → compress → indexed container.
 //!
 //! The encode fans out over **fields × chunks**: every (field, chunk)
-//! pair is one independent compression job on the rayon pool, so a write
-//! scales with cores even for a single field (the in-situ setting the
-//! paper's overhead experiments assume). The payload layout is
-//! deterministic — field-major, chunks in stream order — regardless of
-//! how many threads ran the jobs, so outputs are byte-identical at any
-//! parallelism.
+//! pair is one independent compression job, so a write scales with cores
+//! even for a single field (the in-situ setting the paper's overhead
+//! experiments assume). The payload layout is deterministic — field-major,
+//! chunks in stream order — regardless of how many threads ran the jobs,
+//! so outputs are byte-identical at any parallelism.
+//!
+//! Two paths share that job list:
+//!
+//! - [`StoreWriter::write`] — the buffered path: every compressed chunk is
+//!   collected and the whole container assembled in one `Vec<u8>`;
+//! - [`StoreWriter::write_to_sink`] — the streaming path: chunks flow
+//!   through a fixed-size compress→write **window** into a [`ByteSink`].
+//!   Encoder threads compress ahead (admission bounded by
+//!   [`StreamOptions::window_bytes`] of raw input) while the caller's
+//!   thread writes finished chunks to the sink *in layout order*, so the
+//!   output is byte-identical to the buffered path at any window size or
+//!   thread count — but peak encode-buffer memory is O(window), not
+//!   O(container). Parity accumulates incrementally (XOR folds, GF(2⁸)
+//!   fused multiply-adds) as members stream past, so no data chunk is
+//!   retained after it is written.
 
 use crate::cache::RecipeCache;
 use crate::chunk::{plan_chunks, ChunkPlan, DEFAULT_CHUNK_TARGET_BYTES};
-use crate::format::{assemble, write_header, FieldEntry, StoreError, StoreHeader};
+use crate::format::{assemble, container_tail, write_header, FieldEntry, StoreError, StoreHeader};
 use crate::gf256;
-use crate::parity::{build_group_parity, group_count, group_members, Parity, ParityMeta};
+use crate::parity::{build_group_parity, group_count, group_members, xor_into, Parity, ParityMeta};
+use crate::reader::{RetryPolicy, RetryStats};
+use crate::sink::{persist_store, ByteSink};
 use rayon::prelude::*;
-use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::Instant;
 use zmesh::{codec_for, crc32, CompressionConfig, GroupingMode, Pipeline, ZmeshError};
 use zmesh_amr::AmrField;
@@ -38,7 +56,8 @@ pub struct StoreWriteStats {
     pub reorder_ns: u64,
     /// CPU nanoseconds of the reorder phase, summed over per-field jobs.
     pub reorder_cpu_ns: u64,
-    /// Wall nanoseconds of the encode phase (fields × chunks jobs).
+    /// Wall nanoseconds of the encode phase (fields × chunks jobs; for the
+    /// streaming path this is the overlapped compress+write phase).
     pub encode_ns: u64,
     /// CPU nanoseconds of the encode phase, summed over every
     /// (field, chunk) compression job.
@@ -63,6 +82,26 @@ pub struct StoreWriteStats {
     /// Header + footer + trailer bytes (everything except data and parity
     /// payloads).
     pub metadata_bytes: usize,
+    /// Whether this write streamed through a bounded window
+    /// ([`StoreWriter::write_to_sink`]) instead of assembling the
+    /// container in memory.
+    pub streamed: bool,
+    /// The configured [`StreamOptions::window_bytes`] (0 for the buffered
+    /// path or an unbounded window).
+    pub window_bytes: usize,
+    /// Peak compressed chunk bytes resident in the encode buffer at once:
+    /// the entire payload for the buffered path; bounded by the window for
+    /// the streaming path (admission is gated on raw chunk bytes, so this
+    /// stays ≤ `window_bytes` whenever chunks do not expand under
+    /// compression).
+    pub peak_buffer_bytes: usize,
+    /// Process peak resident set size (`VmHWM`) sampled at the end of the
+    /// write, in bytes; 0 when the platform does not expose it.
+    pub peak_rss_bytes: usize,
+    /// Transient sink-write failures retried (and given up on) by the
+    /// streaming path under its [`RetryPolicy`]; all-zero for the
+    /// buffered path.
+    pub retry: RetryStats,
 }
 
 impl StoreWriteStats {
@@ -93,6 +132,33 @@ impl StoreWriteStats {
     }
 }
 
+/// Process peak resident set size (`VmHWM` from `/proc/self/status`) in
+/// bytes — the observable the streaming write path's O(window) memory
+/// claim is judged by. Returns 0 on platforms without procfs.
+pub fn process_peak_rss() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: usize = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// Tunable knobs of a [`StoreWriter`] beyond the compression config.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreWriteOptions {
@@ -115,6 +181,31 @@ impl Default for StoreWriteOptions {
     }
 }
 
+/// Knobs of the streaming write path ([`StoreWriter::write_to_sink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Ceiling on raw (uncompressed) chunk bytes admitted into the
+    /// compress→write window at once — the encode-buffer memory bound.
+    /// `0` disables the bound (every job may be in flight at once). A
+    /// window smaller than one chunk degrades gracefully to one job at a
+    /// time; it never deadlocks.
+    pub window_bytes: usize,
+    /// Retry policy for transient sink-write failures (`EINTR`, `EAGAIN`,
+    /// `EIO`): same backoff discipline as the read side. Retried writes
+    /// are idempotent — sinks append at a tracked offset that only
+    /// advances on success.
+    pub retry: RetryPolicy,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self {
+            window_bytes: 8 << 20,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
 /// Output of [`StoreWriter::write`].
 #[derive(Debug, Clone)]
 pub struct StoreWritten {
@@ -132,7 +223,22 @@ pub struct StoreWritten {
 pub struct StoreWriter {
     config: CompressionConfig,
     options: StoreWriteOptions,
-    cache: Arc<RecipeCache>,
+    cache: std::sync::Arc<RecipeCache>,
+}
+
+/// Everything both write paths need after the shared preamble: recipe,
+/// chunk plan, reordered streams, and the serialized header.
+struct Prepared {
+    recipe_ns: u64,
+    recipe_cache_hit: bool,
+    reorder_ns: u64,
+    reorder_cpu_ns: u64,
+    /// Per field: reordered stream, resolved absolute bound, reorder CPU ns.
+    reordered: Vec<(Vec<f64>, Option<f64>, u64)>,
+    plan: ChunkPlan,
+    header_bytes: Vec<u8>,
+    params: CodecParams,
+    raw_bytes: usize,
 }
 
 impl StoreWriter {
@@ -149,7 +255,7 @@ impl StoreWriter {
                 chunk_target_bytes: options.chunk_target_bytes.max(8),
                 ..options
             },
-            cache: Arc::new(RecipeCache::new()),
+            cache: std::sync::Arc::new(RecipeCache::new()),
         }
     }
 
@@ -177,13 +283,13 @@ impl StoreWriter {
     }
 
     /// Shares a recipe cache with other writers/readers.
-    pub fn with_cache(mut self, cache: Arc<RecipeCache>) -> Self {
+    pub fn with_cache(mut self, cache: std::sync::Arc<RecipeCache>) -> Self {
         self.cache = cache;
         self
     }
 
     /// The writer's recipe cache.
-    pub fn cache(&self) -> &Arc<RecipeCache> {
+    pub fn cache(&self) -> &std::sync::Arc<RecipeCache> {
         &self.cache
     }
 
@@ -197,10 +303,11 @@ impl StoreWriter {
         self.options
     }
 
-    /// Compresses `fields` (sharing one mesh) into a chunked, indexed
-    /// store. The stream framing (and hence the index size) is identical
-    /// for every ordering policy; only payload bytes differ.
-    pub fn write(&self, fields: &[(&str, &AmrField)]) -> Result<StoreWritten, StoreError> {
+    /// Shared preamble of both write paths: validate inputs, obtain the
+    /// recipe (build or cache hit), plan chunks, reorder every field in
+    /// parallel, and serialize the header. Everything downstream of this
+    /// is pure per-(field, chunk) compression plus layout.
+    fn prepare(&self, fields: &[(&str, &AmrField)]) -> Result<Prepared, StoreError> {
         self.options.parity.validate()?;
         let (_, first) = fields
             .first()
@@ -210,7 +317,7 @@ impl StoreWriter {
         let tree = first.tree();
         let mode = first.mode();
         for (_, f) in fields {
-            if !Arc::ptr_eq(f.tree(), tree) {
+            if !std::sync::Arc::ptr_eq(f.tree(), tree) {
                 return Err(ZmeshError::Mismatch("fields on different trees").into());
             }
             if f.mode() != mode {
@@ -230,17 +337,16 @@ impl StoreWriter {
         let plan: ChunkPlan =
             plan_chunks(tree, &recipe, self.config.policy, grouping, chunk_values);
 
-        let codec = codec_for(self.config.codec);
         let params = CodecParams {
             control: self.config.control,
             dims: [0, 0, 0],
             value_type: ValueType::F64,
         };
 
-        // Phase 1 — reorder, one parallel job per field. Each job also
-        // resolves the error bound against its *whole* stream, so every
-        // chunk of a field honors the same pointwise absolute bound and
-        // the result is distortion-identical to the monolithic path.
+        // Reorder, one parallel job per field. Each job also resolves the
+        // error bound against its *whole* stream, so every chunk of a
+        // field honors the same pointwise absolute bound and the result is
+        // distortion-identical to the monolithic path.
         let t1 = Instant::now();
         let reordered: Vec<(Vec<f64>, Option<f64>, u64)> = fields
             .par_iter()
@@ -254,11 +360,45 @@ impl StoreWriter {
         let reorder_ns = t1.elapsed().as_nanos() as u64;
         let reorder_cpu_ns = reordered.iter().map(|(_, _, ns)| ns).sum();
 
-        // Phase 2 — compress, one parallel job per (field, chunk). A flat
-        // job list (instead of nesting per-chunk parallelism inside a
-        // per-field loop) keeps the pool saturated even when field and
-        // chunk counts are individually smaller than the core count.
-        let n_chunks = plan.metas.len();
+        let header = StoreHeader {
+            version: self.options.parity.store_version(),
+            policy: self.config.policy,
+            mode,
+            codec: self.config.codec,
+            value_type: ValueType::F64,
+            chunk_target_bytes: self.options.chunk_target_bytes,
+            parity_group_width: self.options.parity.width(),
+            parity_shards: self.options.parity.shards(),
+            structure,
+            header_bytes: 0,
+        };
+
+        let raw_bytes: usize = fields.iter().map(|(_, f)| f.nbytes()).sum();
+        Ok(Prepared {
+            recipe_ns,
+            recipe_cache_hit,
+            reorder_ns,
+            reorder_cpu_ns,
+            reordered,
+            plan,
+            header_bytes: write_header(&header),
+            params,
+            raw_bytes,
+        })
+    }
+
+    /// Compresses `fields` (sharing one mesh) into a chunked, indexed
+    /// store. The stream framing (and hence the index size) is identical
+    /// for every ordering policy; only payload bytes differ.
+    pub fn write(&self, fields: &[(&str, &AmrField)]) -> Result<StoreWritten, StoreError> {
+        let prep = self.prepare(fields)?;
+        let codec = codec_for(self.config.codec);
+
+        // Compress, one parallel job per (field, chunk). A flat job list
+        // (instead of nesting per-chunk parallelism inside a per-field
+        // loop) keeps the pool saturated even when field and chunk counts
+        // are individually smaller than the core count.
+        let n_chunks = prep.plan.metas.len();
         let jobs: Vec<(usize, usize)> = (0..fields.len())
             .flat_map(|f| (0..n_chunks).map(move |c| (f, c)))
             .collect();
@@ -267,12 +407,12 @@ impl StoreWriter {
             .par_iter()
             .map(|&(f, c)| {
                 let t = Instant::now();
-                let (stream, bound, _) = &reordered[f];
-                let mut params = params;
+                let (stream, bound, _) = &prep.reordered[f];
+                let mut params = prep.params;
                 if let Some(bound) = bound {
                     params.control = ErrorControl::Absolute(*bound);
                 }
-                let bytes = codec.compress(&stream[plan.stream_range(c)], &params)?;
+                let bytes = codec.compress(&stream[prep.plan.stream_range(c)], &params)?;
                 let crc = crc32(&bytes);
                 Ok((bytes, crc, t.elapsed().as_nanos() as u64))
             })
@@ -289,13 +429,13 @@ impl StoreWriter {
             ));
         }
 
-        // Phase 3 — deterministic layout: field-major, chunks in stream
-        // order, independent of how many threads ran the jobs above.
+        // Deterministic layout: field-major, chunks in stream order,
+        // independent of how many threads ran the jobs above.
         let mut payload: Vec<u8> = Vec::new();
         let mut entries: Vec<FieldEntry> = Vec::with_capacity(fields.len());
         for (f, (name, _)) in fields.iter().enumerate() {
             let mut chunks = Vec::with_capacity(n_chunks);
-            for (c, meta) in plan.metas.iter().enumerate() {
+            for (c, meta) in prep.plan.metas.iter().enumerate() {
                 let (bytes, crc, _) = &compressed[f * n_chunks + c];
                 let mut meta = *meta;
                 meta.offset = payload.len() as u64;
@@ -306,23 +446,23 @@ impl StoreWriter {
             }
             entries.push(FieldEntry {
                 name: (*name).to_string(),
-                resolved_bound: reordered[f].1,
+                resolved_bound: prep.reordered[f].1,
                 // Unbounded controls leave no resolved bound to re-encode
                 // from, so the footer records the control itself — this is
                 // what lets `repair --from-raw` reproduce fixed-rate /
                 // fixed-precision fields bit-exactly.
-                control: reordered[f].1.is_none().then_some(self.config.control),
+                control: prep.reordered[f].1.is_none().then_some(self.config.control),
                 chunks,
                 parity: Vec::new(),
             });
         }
         let payload_bytes = payload.len();
 
-        // Phase 4 — parity section, appended after the data payload in the
-        // same field-major order. One XOR chunk (v3) or `m` Reed–Solomon
-        // shards (v4) per group of `width` data chunks; offsets stay
-        // relative to the payload span like the data chunks', so readers
-        // slice both through one code path.
+        // Parity section, appended after the data payload in the same
+        // field-major order. One XOR chunk (v3) or `m` Reed–Solomon shards
+        // (v4) per group of `width` data chunks; offsets stay relative to
+        // the payload span like the data chunks', so readers slice both
+        // through one code path.
         let width = self.options.parity.width() as usize;
         let mut parity_groups = 0usize;
         if width > 0 {
@@ -358,105 +498,398 @@ impl StoreWriter {
         }
         let parity_bytes = payload.len() - payload_bytes;
 
-        let header = StoreHeader {
-            version: self.options.parity.store_version(),
-            policy: self.config.policy,
-            mode,
-            codec: self.config.codec,
-            value_type: ValueType::F64,
-            chunk_target_bytes: self.options.chunk_target_bytes,
-            parity_group_width: self.options.parity.width(),
-            parity_shards: self.options.parity.shards(),
-            structure,
-            header_bytes: 0,
-        };
-        let bytes = assemble(write_header(&header), &payload, &entries);
+        let bytes = assemble(prep.header_bytes, &payload, &entries);
 
-        let raw_bytes: usize = fields.iter().map(|(_, f)| f.nbytes()).sum();
         Ok(StoreWritten {
             stats: StoreWriteStats {
-                recipe_ns,
-                recipe_cache_hit,
-                reorder_ns,
-                reorder_cpu_ns,
+                recipe_ns: prep.recipe_ns,
+                recipe_cache_hit: prep.recipe_cache_hit,
+                reorder_ns: prep.reorder_ns,
+                reorder_cpu_ns: prep.reorder_cpu_ns,
                 encode_ns,
                 encode_cpu_ns,
                 encode_threads: rayon::current_num_threads(),
                 n_fields: fields.len(),
-                n_chunks: plan.metas.len(),
-                raw_bytes,
+                n_chunks,
+                raw_bytes: prep.raw_bytes,
                 container_bytes: bytes.len(),
                 payload_bytes,
                 parity_bytes,
                 parity_groups,
                 metadata_bytes: bytes.len() - payload_bytes - parity_bytes,
+                streamed: false,
+                window_bytes: 0,
+                // The buffered path holds every compressed chunk at once.
+                peak_buffer_bytes: payload_bytes + parity_bytes,
+                peak_rss_bytes: process_peak_rss(),
+                retry: RetryStats::default(),
             },
             bytes,
         })
     }
 }
 
+/// Admission state of the streaming window: encoder threads take the next
+/// job in layout order only when its raw bytes fit the window (or nothing
+/// is in flight — the progress guarantee for chunks larger than the whole
+/// window).
+struct WindowState {
+    next_job: usize,
+    inflight_jobs: usize,
+    inflight_bytes: usize,
+    abort: bool,
+}
+
+/// Raw (uncompressed) bytes of chunk `c` — the admission cost of its job.
+fn chunk_cost(plan: &ChunkPlan, c: usize) -> usize {
+    plan.stream_range(c).len() * 8
+}
+
+/// One `write_all` under the retry policy: transient sink failures back
+/// off and retry (append offsets only advance on success, so a retry is
+/// idempotent); everything else surfaces immediately.
+fn sink_write<K: ByteSink + ?Sized>(
+    sink: &mut K,
+    buf: &[u8],
+    policy: &RetryPolicy,
+    stats: &mut RetryStats,
+) -> Result<(), StoreError> {
+    let mut attempt = 0u32;
+    loop {
+        match sink.write_all(buf) {
+            Err(e) if e.is_transient() => {
+                attempt += 1;
+                if attempt >= policy.attempts {
+                    stats.gave_up += 1;
+                    return Err(e);
+                }
+                stats.retries += 1;
+                let backoff = policy
+                    .base
+                    .saturating_mul(1u32 << (attempt - 1).min(16))
+                    .min(policy.cap);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Folds one freshly written data chunk into its parity group accumulator
+/// (`cur`, one buffer per shard), pushing finished groups onto `done` in
+/// the field-major order the parity section is laid out in. Incremental
+/// accumulation is exact: XOR is order-free, and a Reed–Solomon shard is
+/// a GF(2⁸)-linear combination of its members, so member-at-a-time fused
+/// multiply-adds reproduce [`gf256::rs_encode`] byte for byte.
+fn accumulate_parity(
+    parity: Parity,
+    n_chunks: usize,
+    f: usize,
+    c: usize,
+    bytes: &[u8],
+    cur: &mut Vec<Vec<u8>>,
+    done: &mut Vec<(usize, Vec<u8>)>,
+) -> Result<(), StoreError> {
+    let width = parity.width() as usize;
+    if width == 0 {
+        return Ok(());
+    }
+    let member = c % width;
+    if member == 0 {
+        debug_assert!(cur.is_empty(), "previous group not drained");
+        cur.resize(parity.shards() as usize, Vec::new());
+    }
+    match parity {
+        Parity::None => {}
+        Parity::Xor { .. } => xor_into(&mut cur[0], bytes),
+        Parity::Rs { parity: m, .. } => {
+            for (j, shard) in cur.iter_mut().enumerate() {
+                // A shard is as long as the group's longest member.
+                if shard.len() < bytes.len() {
+                    shard.resize(bytes.len(), 0);
+                }
+                let coeff = gf256::coefficient(j, member, m as usize).ok_or(
+                    StoreError::Internal("rs coefficient out of range for validated geometry"),
+                )?;
+                gf256::MulTable::new(coeff).fma_into(shard, bytes);
+            }
+        }
+    }
+    if member + 1 == width || c + 1 == n_chunks {
+        for shard in cur.drain(..) {
+            done.push((f, shard));
+        }
+    }
+    Ok(())
+}
+
 impl StoreWriter {
-    /// [`StoreWriter::write`] followed by a crash-consistent [`persist`]
-    /// to `path`: readers see either the previous file or the complete
-    /// new store, never a torn intermediate.
+    /// Streams `fields` into `sink` through a bounded compress→write
+    /// window: encoder threads compress (field, chunk) jobs ahead of the
+    /// writer while this thread appends finished chunks in layout order,
+    /// then the parity section, footer, trailer, and commit record, and
+    /// finally calls [`ByteSink::commit`]. The emitted bytes are
+    /// **byte-identical** to [`StoreWriter::write`] at any window size and
+    /// thread count; peak encode-buffer memory is bounded by
+    /// [`StreamOptions::window_bytes`] (with parity enabled, the
+    /// accumulated parity shards — ≈ payload/width bytes — additionally
+    /// stay resident until the parity section is written).
+    ///
+    /// Transient sink-write failures retry under [`StreamOptions::retry`]
+    /// (accounted in [`StoreWriteStats::retry`]); any other failure aborts
+    /// the write — a [`crate::FileSink`] then removes its temp file on
+    /// drop, leaving a pre-existing destination untouched.
+    pub fn write_to_sink<K: ByteSink + ?Sized>(
+        &self,
+        fields: &[(&str, &AmrField)],
+        sink: &mut K,
+        opts: &StreamOptions,
+    ) -> Result<StoreWriteStats, StoreError> {
+        let prep = self.prepare(fields)?;
+        let codec = codec_for(self.config.codec);
+        let codec = &*codec;
+        let n_chunks = prep.plan.metas.len();
+        let n_fields = fields.len();
+        let total_jobs = n_fields * n_chunks;
+        let window = opts.window_bytes;
+        let policy = opts.retry;
+        let mut rstats = RetryStats::default();
+
+        let mut entries: Vec<FieldEntry> = fields
+            .iter()
+            .enumerate()
+            .map(|(f, (name, _))| FieldEntry {
+                name: (*name).to_string(),
+                resolved_bound: prep.reordered[f].1,
+                control: prep.reordered[f].1.is_none().then_some(self.config.control),
+                chunks: Vec::with_capacity(n_chunks),
+                parity: Vec::new(),
+            })
+            .collect();
+
+        sink_write(sink, &prep.header_bytes, &policy, &mut rstats)?;
+
+        let n_workers = rayon::current_num_threads().clamp(1, total_jobs.max(1));
+        let state = Mutex::new(WindowState {
+            next_job: 0,
+            inflight_jobs: 0,
+            inflight_bytes: 0,
+            abort: false,
+        });
+        let admit = Condvar::new();
+        // Compressed bytes currently resident between encoder and sink —
+        // the observable the O(window) claim is asserted on.
+        let resident = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+
+        let mut encode_cpu_ns = 0u64;
+        let mut payload_pos = 0u64; // relative to the payload span
+        let mut group_acc: Vec<Vec<u8>> = Vec::new();
+        let mut parity_done: Vec<(usize, Vec<u8>)> = Vec::new();
+
+        let t2 = Instant::now();
+        type JobResult = Result<(Vec<u8>, u32, u64), CodecError>;
+        let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
+        let data_phase: Result<(), StoreError> = std::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                let tx = tx.clone();
+                let (state, admit) = (&state, &admit);
+                let (resident, peak) = (&resident, &peak);
+                let prep = &prep;
+                scope.spawn(move || loop {
+                    // Admission: take the next job in layout order once its
+                    // raw bytes fit the window. `inflight_jobs == 0` is the
+                    // progress guarantee for oversized chunks.
+                    let job = {
+                        let mut st = state.lock().expect("window state poisoned");
+                        loop {
+                            if st.abort || st.next_job >= total_jobs {
+                                return;
+                            }
+                            let cost = chunk_cost(&prep.plan, st.next_job % n_chunks);
+                            if st.inflight_jobs == 0
+                                || window == 0
+                                || st.inflight_bytes + cost <= window
+                            {
+                                let j = st.next_job;
+                                st.next_job += 1;
+                                st.inflight_jobs += 1;
+                                st.inflight_bytes += cost;
+                                break j;
+                            }
+                            st = admit.wait(st).expect("window state poisoned");
+                        }
+                    };
+                    let (f, c) = (job / n_chunks, job % n_chunks);
+                    let t = Instant::now();
+                    let (stream, bound, _) = &prep.reordered[f];
+                    let mut params = prep.params;
+                    if let Some(bound) = bound {
+                        params.control = ErrorControl::Absolute(*bound);
+                    }
+                    let result: JobResult = codec
+                        .compress(&stream[prep.plan.stream_range(c)], &params)
+                        .map(|bytes| {
+                            let now =
+                                resident.fetch_add(bytes.len(), Ordering::Relaxed) + bytes.len();
+                            peak.fetch_max(now, Ordering::Relaxed);
+                            let crc = crc32(&bytes);
+                            (bytes, crc, t.elapsed().as_nanos() as u64)
+                        });
+                    let failed = result.is_err();
+                    let _ = tx.send((job, result));
+                    if failed {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Consumer (this thread): reorder out-of-order completions and
+            // write strictly in layout order, releasing window budget as
+            // each chunk lands in the sink.
+            let mut consume = || -> Result<(), StoreError> {
+                let mut pending: BTreeMap<usize, (Vec<u8>, u32, u64)> = BTreeMap::new();
+                let mut next_write = 0usize;
+                while next_write < total_jobs {
+                    let (idx, result) = rx.recv().map_err(|_| {
+                        StoreError::Internal("encode pipeline ended before the last chunk")
+                    })?;
+                    pending.insert(idx, result?);
+                    while let Some((bytes, crc, ns)) = pending.remove(&next_write) {
+                        encode_cpu_ns += ns;
+                        sink_write(sink, &bytes, &policy, &mut rstats)?;
+                        let (f, c) = (next_write / n_chunks, next_write % n_chunks);
+                        let mut meta = prep.plan.metas[c];
+                        meta.offset = payload_pos;
+                        meta.len = bytes.len() as u64;
+                        meta.crc = crc;
+                        entries[f].chunks.push(meta);
+                        payload_pos += bytes.len() as u64;
+                        accumulate_parity(
+                            self.options.parity,
+                            n_chunks,
+                            f,
+                            c,
+                            &bytes,
+                            &mut group_acc,
+                            &mut parity_done,
+                        )?;
+                        resident.fetch_sub(bytes.len(), Ordering::Relaxed);
+                        {
+                            let mut st = state.lock().expect("window state poisoned");
+                            st.inflight_jobs -= 1;
+                            st.inflight_bytes -= chunk_cost(&prep.plan, c);
+                        }
+                        admit.notify_all();
+                        next_write += 1;
+                    }
+                }
+                Ok(())
+            };
+            let out = consume();
+            // Wake any encoder still parked on admission so the scope can
+            // join — harmless when everything already drained.
+            state.lock().expect("window state poisoned").abort = true;
+            admit.notify_all();
+            out
+        });
+        data_phase?;
+        let payload_bytes = payload_pos as usize;
+
+        // Parity section: finished group shards, already in field-major
+        // group order because data chunks complete in layout order.
+        for (f, shard) in &parity_done {
+            entries[*f].parity.push(ParityMeta {
+                offset: payload_pos,
+                len: shard.len() as u64,
+                crc: crc32(shard),
+            });
+            sink_write(sink, shard, &policy, &mut rstats)?;
+            payload_pos += shard.len() as u64;
+        }
+        let parity_bytes = payload_pos as usize - payload_bytes;
+        let width = self.options.parity.width() as usize;
+        let parity_groups = if width > 0 {
+            n_fields * group_count(n_chunks, width)
+        } else {
+            0
+        };
+
+        // Footer, trailer, and (v4) commit record — identical bytes to
+        // `assemble`, then the sink's own durable publish.
+        let tail = container_tail(&prep.header_bytes, payload_pos, &entries);
+        sink_write(sink, &tail, &policy, &mut rstats)?;
+        let encode_ns = t2.elapsed().as_nanos() as u64;
+        sink.flush()?;
+        sink.commit()?;
+
+        let container_bytes = prep.header_bytes.len() + payload_pos as usize + tail.len();
+        Ok(StoreWriteStats {
+            recipe_ns: prep.recipe_ns,
+            recipe_cache_hit: prep.recipe_cache_hit,
+            reorder_ns: prep.reorder_ns,
+            reorder_cpu_ns: prep.reorder_cpu_ns,
+            encode_ns,
+            encode_cpu_ns,
+            encode_threads: n_workers,
+            n_fields,
+            n_chunks,
+            raw_bytes: prep.raw_bytes,
+            container_bytes,
+            payload_bytes,
+            parity_bytes,
+            parity_groups,
+            metadata_bytes: container_bytes - payload_bytes - parity_bytes,
+            streamed: true,
+            window_bytes: window,
+            peak_buffer_bytes: peak.load(Ordering::Relaxed),
+            peak_rss_bytes: process_peak_rss(),
+            retry: rstats,
+        })
+    }
+
+    /// [`StoreWriter::write_to_sink`] into a crash-consistent
+    /// [`crate::FileSink`] at `path`: bytes stream into `<path>.tmp` in
+    /// O(window) memory and the commit publishes them atomically. On any
+    /// error the temp file is removed and a pre-existing `path` is
+    /// untouched; `ENOSPC` surfaces as [`StoreError::NoSpace`].
+    #[cfg(unix)]
+    pub fn write_streaming_to_path(
+        &self,
+        fields: &[(&str, &AmrField)],
+        path: &Path,
+        opts: &StreamOptions,
+    ) -> Result<StoreWriteStats, StoreError> {
+        let mut sink = crate::sink::FileSink::create(path)?;
+        self.write_to_sink(fields, &mut sink, opts)
+    }
+}
+
+impl StoreWriter {
+    /// [`StoreWriter::write`] followed by a crash-consistent
+    /// [`persist_store`] to `path`: readers see either the previous file
+    /// or the complete new store, never a torn intermediate.
     pub fn write_to_path(
         &self,
         fields: &[(&str, &AmrField)],
         path: &Path,
     ) -> Result<StoreWritten, StoreError> {
         let out = self.write(fields)?;
-        persist(&out.bytes, path)
-            .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+        persist_store(&out.bytes, path)?;
         Ok(out)
     }
 }
 
-/// Atomically replaces `path` with `bytes`: write `<path>.tmp`, fsync the
-/// file, rename over the target, then fsync the parent directory so the
-/// rename itself is durable. A crash at any point leaves either the old
-/// file or the new one — the v4 commit record covers the one remaining
-/// hole (a torn `.tmp` copied into place by some other tool).
+/// Atomically replaces `path` with `bytes` — the historical untyped entry
+/// point, kept as a thin wrapper over [`persist_store`].
+#[deprecated(note = "use zmesh_store::persist_store, which types its errors \
+            (NoSpace vs transient vs fatal) instead of flattening them \
+            into io::Error")]
 pub fn persist(bytes: &[u8], path: &Path) -> std::io::Result<()> {
-    use std::io::Write;
-    let tmp = tmp_path(path);
-    let result = (|| {
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(bytes)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)?;
-        sync_parent_dir(path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
-}
-
-/// `<path>.tmp` — appended, not an extension swap, so `store.zst` and
-/// `store` cannot collide with a sibling's temp file.
-fn tmp_path(path: &Path) -> PathBuf {
-    let mut os = path.as_os_str().to_os_string();
-    os.push(".tmp");
-    PathBuf::from(os)
-}
-
-#[cfg(unix)]
-fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => Path::new("."),
-    };
-    std::fs::File::open(parent)?.sync_all()
-}
-
-#[cfg(not(unix))]
-fn sync_parent_dir(_path: &Path) -> std::io::Result<()> {
-    // Directory handles are not fsync-able portably; the rename is still
-    // atomic on the filesystems we target.
-    Ok(())
+    persist_store(bytes, path).map_err(|e| std::io::Error::other(e.to_string()))
 }
 
 /// Chunked-store entry point hung off the core [`Pipeline`]: `pack` is to
@@ -476,6 +909,7 @@ impl PipelineStoreExt for Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::{tmp_path, VecSink};
     use zmesh_amr::{datasets, StorageMode};
 
     fn small_fields(ds: &datasets::Dataset) -> Vec<(&str, &AmrField)> {
@@ -497,6 +931,7 @@ mod tests {
         );
         assert!(out.stats.parity_groups > 0);
         assert!(out.stats.ratio() > 1.0);
+        assert!(!out.stats.streamed);
     }
 
     #[test]
@@ -677,5 +1112,151 @@ mod tests {
             .pack(&small_fields(&ds))
             .unwrap();
         assert!(crate::format::is_store(&out.bytes));
+    }
+
+    #[test]
+    fn streaming_is_byte_identical_to_buffered_for_every_scheme() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        for parity in [
+            Parity::None,
+            Parity::Xor { width: 3 },
+            Parity::Rs { data: 4, parity: 2 },
+        ] {
+            let writer = StoreWriter::new(CompressionConfig::zmesh_default())
+                .with_chunk_target_bytes(1024)
+                .with_parity(parity);
+            let buffered = writer.write(&small_fields(&ds)).unwrap();
+            for window in [0usize, 1024, 3 * 1024, 1 << 30] {
+                let mut sink = VecSink::new();
+                let stats = writer
+                    .write_to_sink(
+                        &small_fields(&ds),
+                        &mut sink,
+                        &StreamOptions {
+                            window_bytes: window,
+                            ..StreamOptions::default()
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(
+                    sink.bytes(),
+                    &buffered.bytes[..],
+                    "{parity:?} window={window}"
+                );
+                assert!(stats.streamed);
+                assert_eq!(stats.window_bytes, window);
+                assert_eq!(stats.container_bytes, buffered.stats.container_bytes);
+                assert_eq!(stats.payload_bytes, buffered.stats.payload_bytes);
+                assert_eq!(stats.parity_bytes, buffered.stats.parity_bytes);
+                assert_eq!(stats.parity_groups, buffered.stats.parity_groups);
+                assert_eq!(stats.retry, RetryStats::default());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_window_bounds_the_encode_buffer() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Small);
+        let writer =
+            StoreWriter::new(CompressionConfig::zmesh_default()).with_chunk_target_bytes(1024);
+        // A window of three chunks, far below the raw dataset size.
+        let window = 3 * 1024;
+        let mut sink = VecSink::new();
+        let stats = writer
+            .write_to_sink(
+                &small_fields(&ds),
+                &mut sink,
+                &StreamOptions {
+                    window_bytes: window,
+                    ..StreamOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            stats.raw_bytes > window,
+            "dataset must exceed the window for the bound to mean anything"
+        );
+        assert!(stats.peak_buffer_bytes > 0);
+        assert!(
+            stats.peak_buffer_bytes <= window,
+            "peak encode buffer {} exceeds window {window}",
+            stats.peak_buffer_bytes
+        );
+        // The unbounded window produces the same bytes. (Its peak buffer
+        // is *usually* larger but depends on scheduling, so only the
+        // bounded invariant above is asserted.)
+        let mut unbounded = VecSink::new();
+        writer
+            .write_to_sink(
+                &small_fields(&ds),
+                &mut unbounded,
+                &StreamOptions {
+                    window_bytes: 0,
+                    ..StreamOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(unbounded.bytes(), sink.bytes());
+    }
+
+    #[test]
+    fn streaming_is_byte_identical_across_thread_counts() {
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer = StoreWriter::new(CompressionConfig::zmesh_default())
+            .with_chunk_target_bytes(1024)
+            .with_parity(Parity::Rs { data: 3, parity: 2 });
+        let opts = StreamOptions {
+            window_bytes: 2048,
+            ..StreamOptions::default()
+        };
+        let mut parallel = VecSink::new();
+        writer
+            .write_to_sink(&small_fields(&ds), &mut parallel, &opts)
+            .unwrap();
+        let mut serial = VecSink::new();
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| {
+                writer
+                    .write_to_sink(&small_fields(&ds), &mut serial, &opts)
+                    .unwrap()
+            });
+        assert_eq!(parallel.bytes(), serial.bytes());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn write_streaming_to_path_round_trips() {
+        let dir = std::env::temp_dir().join(format!("zmesh-stream-path-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.zms");
+        let ds = datasets::blast2d(StorageMode::AllCells, datasets::Scale::Tiny);
+        let writer =
+            StoreWriter::new(CompressionConfig::zmesh_default()).with_chunk_target_bytes(1024);
+        let buffered = writer.write(&small_fields(&ds)).unwrap();
+        let stats = writer
+            .write_streaming_to_path(
+                &small_fields(&ds),
+                &path,
+                &StreamOptions {
+                    window_bytes: 4096,
+                    ..StreamOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), buffered.bytes);
+        assert_eq!(stats.container_bytes, buffered.bytes.len());
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn process_peak_rss_reports_on_linux() {
+        let rss = process_peak_rss();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM must be readable on linux");
+        }
     }
 }

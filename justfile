@@ -43,9 +43,20 @@ serve-smoke:
 chaos-smoke:
     bash scripts/chaos_smoke.sh
 
+# Write-crash smoke: streaming pack under injected crashes/ENOSPC and
+# real SIGKILLs — destination always {absent, old-intact, committed},
+# torn tmps are exact prefixes, reruns heal.
+write-crash-smoke:
+    bash scripts/write_crash_smoke.sh
+
 # Ranged vs in-memory store read bench, with machine-readable medians.
 bench-store-read:
     CRITERION_JSON=BENCH_store_read.json cargo bench -p zmesh-bench --bench store_read
+
+# Buffered vs streaming store write bench (throughput + peak buffer /
+# peak RSS), with machine-readable medians.
+bench-store-write:
+    CRITERION_JSON=BENCH_store_write.json cargo bench -p zmesh-bench --bench store_write
 
 # Multi-client daemon traffic generator: QPS + p50/p95/p99 and cache hit
 # rates, written to BENCH_serve.json.

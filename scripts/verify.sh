@@ -47,6 +47,11 @@ step bash scripts/serve_smoke.sh
 # torn quarantines (503 + Retry-After), repair + probe reinstates.
 step bash scripts/chaos_smoke.sh
 
+# Write-crash smoke: streaming pack under injected crashes, injected
+# ENOSPC, and real SIGKILLs — the destination is always absent,
+# old-intact, or committed + scrub-clean, and reruns heal stranded tmps.
+step bash scripts/write_crash_smoke.sh
+
 # Formatting and lints, when the components exist.
 if cargo fmt --version >/dev/null 2>&1; then
     step cargo fmt --all --check

@@ -37,7 +37,7 @@ pub mod prelude {
     pub use zmesh_metrics::{compression_ratio, max_abs_error, psnr, total_variation};
     pub use zmesh_sfc::{Curve, CurveKind};
     pub use zmesh_store::{
-        persist, repair, repair_with, scrub, Parity, PipelineStoreExt, Query, RawSource,
+        persist_store, repair, repair_with, scrub, Parity, PipelineStoreExt, Query, RawSource,
         ReadPolicy, RecipeCache, RepairOutcome, SalvageFill, ScrubReport, StoreError, StoreReader,
         StoreWriteOptions, StoreWriter,
     };
