@@ -486,7 +486,8 @@ fn unpack_reader<S: ByteSource>(
 
 /// `zmesh scrub <in.zms> [--in-memory]` — verify every data and parity
 /// chunk's CRC without decoding payloads and print a JSON damage summary
-/// (including `bytes_read` vs `store_bytes`) on stdout. Exit 0 when clean,
+/// (including `bytes_read` vs `store_bytes` and the CRC-walk throughput as
+/// `elapsed_secs`/`bytes_per_s`) on stdout. Exit 0 when clean,
 /// 6 when all damage is parity-recoverable, 4 when any chunk is beyond
 /// parity, 7 when the store is a torn (incomplete) write. The store is
 /// streamed span by span unless `--in-memory` loads it whole.

@@ -63,19 +63,22 @@ pub fn decode(
     let mut recon = vec![0.0f64; n];
     let (nx, ny, nz) = (grid[0], grid[1], grid[2]);
     let mut exact_iter = exact.iter();
+    // Bulk-computed (symbol − RADIUS)·2eb terms (SIMD kernel); the stencil
+    // walk below stays sequential through `recon` but each step is one add.
+    let deltas = quant.symbol_deltas(symbols);
     let mut si = 0;
     for z in 0..nz {
         for y in 0..ny {
             for x in 0..nx {
                 let idx = (z * ny + y) * nx + x;
                 let s = symbols[si];
-                si += 1;
                 recon[idx] = if s == ESCAPE {
                     *exact_iter.next()?
                 } else {
                     let pred = predict(&recon, nx, ny, dims, x, y, z);
-                    quant.reconstruct(s, pred)
+                    quant.reconstruct_delta(deltas[si], pred)
                 };
+                si += 1;
             }
         }
     }

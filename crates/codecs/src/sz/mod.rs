@@ -364,19 +364,24 @@ fn decompress_impl(bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
     let mut out = Vec::with_capacity(n);
     let mut history = History::new();
     let mut exact_iter = exact.iter();
-    for (ci, chunk_syms) in symbols.chunks(chunk).enumerate() {
+    // Bulk-computed (symbol − RADIUS)·2eb terms (SIMD kernel): the
+    // sequential reconstruction chain below is left with one add each.
+    let deltas = quant.symbol_deltas(&symbols);
+    for (ci, (chunk_syms, chunk_deltas)) in
+        symbols.chunks(chunk).zip(deltas.chunks(chunk)).enumerate()
+    {
         let pred = preds
             .get(ci)
             .copied()
             .ok_or(CodecError::Corrupt("missing predictor tag"))?;
-        for &s in chunk_syms {
+        for (&s, &d) in chunk_syms.iter().zip(chunk_deltas) {
             let x = if s == ESCAPE {
                 *exact_iter
                     .next()
                     .ok_or(CodecError::Corrupt("missing exact value"))?
             } else {
                 let p = pred.predict(&history);
-                quant.reconstruct(s, p)
+                quant.reconstruct_delta(d, p)
             };
             out.push(x);
             history.push(x);

@@ -102,21 +102,27 @@ impl Predictor {
     /// depends on the choice, only ratio does.
     ///
     /// `eb` is used to short-circuit: residuals below the bound are free.
+    ///
+    /// The three trial passes have no reconstruction feedback (they window
+    /// over the originals), so the residual costs are computed by the
+    /// SIMD-dispatched [`zmesh_kernels::sz::trial_costs`] kernel; its
+    /// per-element operations and accumulation order are bit-identical to
+    /// the historical `History`-walking loop, so the selection — and
+    /// therefore the emitted stream — never depends on the dispatch.
     pub fn select(block: &[f64], seed: &History, eb: f64) -> Predictor {
+        // The kernel sees the seed history (oldest first) inlined ahead of
+        // the block, so element `j` of the extended slice has exactly the
+        // `min(j, 3)` predecessors `History` would report.
+        let hist = seed.len();
+        let mut ext = Vec::with_capacity(hist + block.len());
+        for k in (0..hist).rev() {
+            ext.push(seed.prev(k));
+        }
+        ext.extend_from_slice(block);
+        let costs = zmesh_kernels::sz::trial_costs(&ext, hist, eb);
         let mut best = Predictor::Last;
         let mut best_cost = f64::INFINITY;
-        for p in Predictor::ALL {
-            let mut h = *seed;
-            let mut cost = 0.0;
-            for &x in block {
-                let r = (x - p.predict(&h)).abs();
-                if r.is_finite() {
-                    cost += (r - eb).max(0.0);
-                } else {
-                    cost += 1e30; // escapes are expensive
-                }
-                h.push(x);
-            }
+        for (p, cost) in Predictor::ALL.into_iter().zip(costs) {
             if cost < best_cost {
                 best_cost = cost;
                 best = p;
@@ -202,5 +208,75 @@ mod tests {
         let block = [1.0, f64::INFINITY, 2.0];
         // Must not panic; any predictor is acceptable.
         let _ = Predictor::select(&block, &History::new(), 1e-3);
+    }
+
+    /// The historical selection loop, kept verbatim as the reference the
+    /// kernel-backed [`Predictor::select`] is differentially tested
+    /// against: identical costs (bit for bit) and identical choice.
+    fn select_reference(block: &[f64], seed: &History, eb: f64) -> (Predictor, [f64; 3]) {
+        let mut best = Predictor::Last;
+        let mut best_cost = f64::INFINITY;
+        let mut costs = [0.0f64; 3];
+        for (k, p) in Predictor::ALL.into_iter().enumerate() {
+            let mut h = *seed;
+            let mut cost = 0.0;
+            for &x in block {
+                let r = (x - p.predict(&h)).abs();
+                if r.is_finite() {
+                    cost += (r - eb).max(0.0);
+                } else {
+                    cost += 1e30; // escapes are expensive
+                }
+                h.push(x);
+            }
+            costs[k] = cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best = p;
+            }
+        }
+        (best, costs)
+    }
+
+    #[test]
+    fn kernel_selection_is_bit_identical_to_the_historical_loop() {
+        let mut s = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for len in [0usize, 1, 2, 3, 4, 5, 9, 64, 257] {
+            for seed_vals in [0usize, 1, 2, 3] {
+                let mut seed = History::new();
+                for _ in 0..seed_vals {
+                    seed.push(next() * 10.0 - 5.0);
+                }
+                let mut block: Vec<f64> = (0..len).map(|_| next() * 100.0).collect();
+                if len > 4 {
+                    block[1] = f64::NAN;
+                    block[3] = f64::INFINITY;
+                }
+                for eb in [0.0, 1e-6, 0.5] {
+                    let (want, want_costs) = select_reference(&block, &seed, eb);
+                    let got = Predictor::select(&block, &seed, eb);
+                    assert_eq!(got, want, "len={len} seed={seed_vals} eb={eb}");
+                    // And the kernel costs themselves, bit for bit.
+                    let hist = seed.len();
+                    let mut ext = Vec::new();
+                    for k in (0..hist).rev() {
+                        ext.push(seed.prev(k));
+                    }
+                    ext.extend_from_slice(&block);
+                    let costs = zmesh_kernels::sz::trial_costs(&ext, hist, eb);
+                    let scalar = zmesh_kernels::sz::trial_costs_scalar(&ext, hist, eb);
+                    for k in 0..3 {
+                        assert_eq!(costs[k].to_bits(), want_costs[k].to_bits());
+                        assert_eq!(scalar[k].to_bits(), want_costs[k].to_bits());
+                    }
+                }
+            }
+        }
     }
 }

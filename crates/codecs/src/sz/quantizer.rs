@@ -99,6 +99,28 @@ impl Quantizer {
         let code = i64::from(symbol) - RADIUS;
         self.snap(pred + code as f64 * self.two_eb)
     }
+
+    /// Reconstruction from a precomputed `(symbol − RADIUS) · 2eb` delta
+    /// (see [`Quantizer::symbol_deltas`]): lifting the int→float convert
+    /// and multiply out of the sequential prediction chain leaves a
+    /// single add (+ optional f32 snap) per value. Bit-identical to
+    /// [`Quantizer::reconstruct`] because the delta is the same f64 the
+    /// inline expression would produce.
+    #[inline]
+    pub fn reconstruct_delta(&self, delta: f64, pred: f64) -> f64 {
+        self.snap(pred + delta)
+    }
+
+    /// Bulk-computes each symbol's reconstruction delta
+    /// `(symbol − RADIUS) · 2eb` via the SIMD-dispatched
+    /// [`zmesh_kernels::sz::symbol_deltas`] kernel. Escape positions get
+    /// a (well-defined, unused) delta too, so callers can index the
+    /// result by symbol position unconditionally.
+    pub fn symbol_deltas(&self, symbols: &[u16]) -> Vec<f64> {
+        let mut out = vec![0.0f64; symbols.len()];
+        zmesh_kernels::sz::symbol_deltas(symbols, RADIUS as i32, self.two_eb, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +205,24 @@ mod tests {
         let q = Quantizer::with_snap(1e-12, true);
         let x = 1.0e8 + 0.3;
         assert_eq!(q.quantize(x, 1.0e8), QuantOutcome::Escape);
+    }
+
+    #[test]
+    fn delta_reconstruction_is_bit_identical_to_inline() {
+        for (eb, snap) in [(1e-3, false), (0.5, false), (1e-3, true)] {
+            let q = Quantizer::with_snap(eb, snap);
+            let symbols: Vec<u16> = (1..=2000u16).map(|i| i.wrapping_mul(31).max(1)).collect();
+            let deltas = q.symbol_deltas(&symbols);
+            for (&s, &d) in symbols.iter().zip(&deltas) {
+                for pred in [0.0, 1.5, -1e6, 0.125] {
+                    assert_eq!(
+                        q.reconstruct_delta(d, pred).to_bits(),
+                        q.reconstruct(s, pred).to_bits(),
+                        "symbol={s} pred={pred} eb={eb} snap={snap}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

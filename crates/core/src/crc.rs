@@ -4,36 +4,18 @@
 //! container" from "valid container, surprising content" — important
 //! because damage inside a lossy payload would otherwise decode to
 //! silently-wrong science data.
+//!
+//! The walk itself is [`zmesh_kernels::crc32`]: slicing-by-8 as the
+//! portable scalar path, `PCLMULQDQ` folding (x86-64) or the CRC
+//! extension (aarch64) when the runtime probe finds them, and the
+//! byte-at-a-time table loop retained in the kernels crate as the
+//! reference all tiers are differentially tested against. Every chunk
+//! read, scrub, and repair pays this loop, so the tiering shows up
+//! directly in `zmesh scrub` throughput.
 
 /// Computes the CRC-32 (reflected, polynomial 0xEDB88320) of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let table = table();
-    let mut crc = 0xffff_ffffu32;
-    for &b in data {
-        let idx = ((crc ^ u32::from(b)) & 0xff) as usize;
-        crc = (crc >> 8) ^ table[idx];
-    }
-    !crc
-}
-
-fn table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    (c >> 1) ^ 0xedb8_8320
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
-        }
-        t
-    })
+    !zmesh_kernels::crc32::update(0xffff_ffff, data)
 }
 
 #[cfg(test)]
@@ -59,5 +41,14 @@ mod tests {
                 assert_ne!(crc32(&flipped), base, "undetected flip at {i}.{bit}");
             }
         }
+    }
+
+    #[test]
+    fn long_buffers_match_the_bytewise_reference() {
+        // Long enough to cross the hardware-dispatch threshold; the
+        // kernels crate pins each tier, this pins the public wrapper.
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31 + 7) as u8).collect();
+        let want = !zmesh_kernels::crc32::update_bytewise(0xffff_ffff, &data);
+        assert_eq!(crc32(&data), want);
     }
 }

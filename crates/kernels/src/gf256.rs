@@ -1,0 +1,242 @@
+//! GF(2^8) constant-multiply kernels over split nibble tables.
+//!
+//! The caller owns the field semantics: it supplies the two 16-entry
+//! lookup tables of a fixed coefficient `c` (`lo[n] = c·n`,
+//! `hi[n] = c·(n<<4)`), and these kernels evaluate
+//! `c·b = lo[b & 0xf] ⊕ hi[b >> 4]` across a byte slice. That byte-level
+//! table-lookup form is exactly one `pshufb` (x86) or `vqtbl1q_u8`
+//! (aarch64) per nibble, which is how ISA-L-class Reed–Solomon coders hit
+//! memory bandwidth; the scalar loop below is the same lookup one byte at
+//! a time and is the always-correct fallback (and the historical
+//! behavior — results are bit-identical by construction, and the
+//! differential tests in this module prove it for every table).
+
+use crate::caps;
+
+/// XOR-accumulates `c · src[i]` into `acc[i]` over the common prefix
+/// (`min(acc.len(), src.len())`), dispatching to the widest available
+/// SIMD implementation.
+#[inline]
+pub fn fma_into(lo: &[u8; 16], hi: &[u8; 16], acc: &mut [u8], src: &[u8]) {
+    let n = acc.len().min(src.len());
+    let (acc, src) = (&mut acc[..n], &src[..n]);
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        let c = caps();
+        if c.avx2 {
+            // SAFETY: AVX2 confirmed present by the runtime probe.
+            unsafe { fma_avx2(lo, hi, acc, src) };
+            return;
+        }
+        if c.ssse3 {
+            // SAFETY: SSSE3 confirmed present by the runtime probe.
+            unsafe { fma_ssse3(lo, hi, acc, src) };
+            return;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if caps().neon {
+            // SAFETY: NEON confirmed present by the runtime probe.
+            unsafe { fma_neon(lo, hi, acc, src) };
+            return;
+        }
+    }
+    let _ = caps();
+    fma_scalar(lo, hi, acc, src);
+}
+
+/// Overwrites `dst[i]` with `c · src[i]` over the common prefix. Same
+/// dispatch as [`fma_into`]; used where an accumulator would start at
+/// zero anyway.
+#[inline]
+pub fn mul_into(lo: &[u8; 16], hi: &[u8; 16], dst: &mut [u8], src: &[u8]) {
+    let n = dst.len().min(src.len());
+    dst[..n].fill(0);
+    fma_into(lo, hi, dst, src);
+}
+
+/// Scalar reference: one table lookup per nibble, one byte at a time.
+/// Exported so differential tests and benches can pin SIMD ≡ scalar in a
+/// single process, independent of `ZMESH_FORCE_SCALAR`.
+pub fn fma_scalar(lo: &[u8; 16], hi: &[u8; 16], acc: &mut [u8], src: &[u8]) {
+    for (a, &s) in acc.iter_mut().zip(src) {
+        *a ^= lo[(s & 0x0f) as usize] ^ hi[(s >> 4) as usize];
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "ssse3")]
+unsafe fn fma_ssse3(lo: &[u8; 16], hi: &[u8; 16], acc: &mut [u8], src: &[u8]) {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    let n = acc.len();
+    let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+    let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+    let nib = _mm_set1_epi8(0x0f);
+    let mut i = 0;
+    while i + 16 <= n {
+        let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+        let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+        // The epi64 shift drags bits across byte lanes; the nibble mask
+        // drops them, leaving each byte's high nibble as an index.
+        let lo_idx = _mm_and_si128(s, nib);
+        let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), nib);
+        let prod = _mm_xor_si128(
+            _mm_shuffle_epi8(lo_t, lo_idx),
+            _mm_shuffle_epi8(hi_t, hi_idx),
+        );
+        _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_xor_si128(a, prod));
+        i += 16;
+    }
+    fma_scalar(lo, hi, &mut acc[i..], &src[i..]);
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn fma_avx2(lo: &[u8; 16], hi: &[u8; 16], acc: &mut [u8], src: &[u8]) {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    let n = acc.len();
+    // `vpshufb` shuffles within each 128-bit lane, so the same 16-byte
+    // table is broadcast into both lanes.
+    let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+    let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+    let nib = _mm256_set1_epi8(0x0f);
+    let mut i = 0;
+    while i + 32 <= n {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+        let a = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+        let lo_idx = _mm256_and_si256(s, nib);
+        let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), nib);
+        let prod = _mm256_xor_si256(
+            _mm256_shuffle_epi8(lo_t, lo_idx),
+            _mm256_shuffle_epi8(hi_t, hi_idx),
+        );
+        _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), _mm256_xor_si256(a, prod));
+        i += 32;
+    }
+    if i + 16 <= n {
+        let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+        let a = _mm_loadu_si128(acc.as_ptr().add(i).cast());
+        let nib = _mm_set1_epi8(0x0f);
+        let lo_idx = _mm_and_si128(s, nib);
+        let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(s), nib);
+        let prod = _mm_xor_si128(
+            _mm_shuffle_epi8(_mm256_castsi256_si128(lo_t), lo_idx),
+            _mm_shuffle_epi8(_mm256_castsi256_si128(hi_t), hi_idx),
+        );
+        _mm_storeu_si128(acc.as_mut_ptr().add(i).cast(), _mm_xor_si128(a, prod));
+        i += 16;
+    }
+    fma_scalar(lo, hi, &mut acc[i..], &src[i..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn fma_neon(lo: &[u8; 16], hi: &[u8; 16], acc: &mut [u8], src: &[u8]) {
+    use std::arch::aarch64::*;
+
+    let n = acc.len();
+    let lo_t = vld1q_u8(lo.as_ptr());
+    let hi_t = vld1q_u8(hi.as_ptr());
+    let nib = vdupq_n_u8(0x0f);
+    let mut i = 0;
+    while i + 16 <= n {
+        let s = vld1q_u8(src.as_ptr().add(i));
+        let a = vld1q_u8(acc.as_ptr().add(i));
+        let lo_idx = vandq_u8(s, nib);
+        let hi_idx = vshrq_n_u8::<4>(s);
+        let prod = veorq_u8(vqtbl1q_u8(lo_t, lo_idx), vqtbl1q_u8(hi_t, hi_idx));
+        vst1q_u8(acc.as_mut_ptr().add(i), veorq_u8(a, prod));
+        i += 16;
+    }
+    fma_scalar(lo, hi, &mut acc[i..], &src[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// An arbitrary (not necessarily field-consistent) table pair: kernel
+    /// correctness is pure table lookup, independent of GF structure.
+    fn tables(seed: u8) -> ([u8; 16], [u8; 16]) {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for i in 0..16u8 {
+            lo[i as usize] = seed.wrapping_mul(31).wrapping_add(i.wrapping_mul(17));
+            hi[i as usize] = seed.wrapping_mul(73).wrapping_add(i.wrapping_mul(41)) ^ 0x5a;
+        }
+        (lo, hi)
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_across_all_lane_counts_and_tails() {
+        // 0, 1, lane-1, lane, lane+1 for both 16- and 32-byte lanes, plus
+        // long unaligned-ish lengths.
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 1000] {
+            let (lo, hi) = tables(len as u8);
+            let src: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37)).collect();
+            let mut a_simd: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(9)).collect();
+            let mut a_scalar = a_simd.clone();
+            fma_into(&lo, &hi, &mut a_simd, &src);
+            fma_scalar(&lo, &hi, &mut a_scalar, &src);
+            assert_eq!(a_simd, a_scalar, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_uses_common_prefix() {
+        let (lo, hi) = tables(7);
+        let src = vec![0xabu8; 40];
+        let mut acc = vec![0x11u8; 25];
+        let mut want = acc.clone();
+        fma_scalar(&lo, &hi, &mut want, &src[..25]);
+        fma_into(&lo, &hi, &mut acc, &src);
+        assert_eq!(acc, want);
+
+        let mut acc = vec![0x11u8; 40];
+        let tail = acc[25..].to_vec();
+        fma_into(&lo, &hi, &mut acc, &src[..25]);
+        assert_eq!(&acc[25..], &tail[..], "bytes past src must be untouched");
+    }
+
+    #[test]
+    fn mul_into_is_fma_into_over_zeroes() {
+        let (lo, hi) = tables(3);
+        let src: Vec<u8> = (0..77).map(|i| (i as u8).wrapping_mul(29)).collect();
+        let mut dst = vec![0xffu8; 77];
+        mul_into(&lo, &hi, &mut dst, &src);
+        let mut want = vec![0u8; 77];
+        fma_scalar(&lo, &hi, &mut want, &src);
+        assert_eq!(dst, want);
+    }
+
+    proptest! {
+        #[test]
+        fn simd_equals_scalar_on_random_inputs(
+            seed in any::<u8>(),
+            src in prop::collection::vec(any::<u8>(), 0..300),
+            acc in prop::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let (lo, hi) = tables(seed);
+            let mut a_simd = acc.clone();
+            let mut a_scalar = acc;
+            fma_into(&lo, &hi, &mut a_simd, &src);
+            fma_scalar(
+                &lo,
+                &hi,
+                &mut a_scalar[..],
+                &src[..],
+            );
+            prop_assert_eq!(a_simd, a_scalar);
+        }
+    }
+}

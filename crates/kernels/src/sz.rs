@@ -1,0 +1,307 @@
+//! SIMD kernels for the SZ predict–quantize–reconstruct pipeline.
+//!
+//! The SZ hot loops are chained through *reconstructed* values (each
+//! prediction reads the previous reconstruction), so the chain itself
+//! cannot be vectorized without changing the emitted bytes. Two pieces
+//! are data-parallel **and** bit-exactly reproducible, and they are what
+//! this module lifts:
+//!
+//! * [`trial_costs`] — predictor selection runs three full trial passes
+//!   over every block using *original* values (the standard SZ
+//!   approximation), i.e. three independent sliding-window stencils with
+//!   no feedback. The elementwise residual costs vectorize cleanly; the
+//!   final accumulation is done in the scalar loop's exact element order,
+//!   so the selected predictor (and therefore the stream) never changes.
+//! * [`symbol_deltas`] — the decoder's `(symbol − RADIUS) · 2eb` term
+//!   depends only on the symbol, not on the reconstruction chain.
+//!   Precomputing it in bulk turns the sequential reconstruct step into a
+//!   single add (+ optional f32 snap), and the int→float convert +
+//!   multiply vectorize exactly (all values are exact in f64).
+//!
+//! Every operation in the SIMD paths is the same IEEE-754 operation the
+//! scalar path performs on the same operands, in the same per-element
+//! order (no FMA contraction, no reassociated sums), which is what the
+//! differential tests below pin down.
+
+use crate::caps;
+
+/// Escape cost the scalar selector charges for a non-finite residual.
+const NON_FINITE_COST: f64 = 1e30;
+
+/// Per-element clamped residual costs of the three SZ trial stencils
+/// (last-value / linear / quadratic) at absolute index `j` of `ext`,
+/// degrading exactly like `Predictor::predict` when fewer than `order`
+/// prior values exist.
+#[inline]
+fn cost_at(ext: &[f64], j: usize, eb: f64) -> [f64; 3] {
+    let x = ext[j];
+    let last = if j >= 1 { ext[j - 1] } else { 0.0 };
+    let linear = match j {
+        0 => 0.0,
+        1 => ext[0],
+        _ => 2.0 * ext[j - 1] - ext[j - 2],
+    };
+    let quad = match j {
+        0 => 0.0,
+        1 => ext[0],
+        2 => 2.0 * ext[1] - ext[0],
+        _ => 3.0 * ext[j - 1] - 3.0 * ext[j - 2] + ext[j - 3],
+    };
+    [last, linear, quad].map(|p| {
+        let r = (x - p).abs();
+        if r.is_finite() {
+            (r - eb).max(0.0)
+        } else {
+            NON_FINITE_COST
+        }
+    })
+}
+
+/// Total trial cost of the three SZ stream predictors over
+/// `ext[hist..]`, where `ext[..hist]` is the (up to 3 values, oldest
+/// first) reconstruction history seeding the block. Returns
+/// `[last, linear, quadratic]` costs; the caller picks the argmin.
+/// Dispatches to SIMD when available — results are bit-identical to
+/// [`trial_costs_scalar`] by construction.
+#[inline]
+pub fn trial_costs(ext: &[f64], hist: usize, eb: f64) -> [f64; 3] {
+    debug_assert!(hist <= 3 && hist <= ext.len());
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if caps().avx2 {
+            // SAFETY: AVX2 confirmed present by the runtime probe.
+            return unsafe { trial_costs_avx2(ext, hist, eb) };
+        }
+    }
+    let _ = caps();
+    trial_costs_scalar(ext, hist, eb)
+}
+
+/// Scalar reference for [`trial_costs`]; also the forced-scalar path.
+pub fn trial_costs_scalar(ext: &[f64], hist: usize, eb: f64) -> [f64; 3] {
+    let mut costs = [0.0f64; 3];
+    for j in hist..ext.len() {
+        let c = cost_at(ext, j, eb);
+        for k in 0..3 {
+            costs[k] += c[k];
+        }
+    }
+    costs
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn trial_costs_avx2(ext: &[f64], hist: usize, eb: f64) -> [f64; 3] {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    let n = ext.len();
+    let mut costs = [0.0f64; 3];
+    // Degraded predictions only exist while fewer than 3 values precede
+    // the element; handle those (at most 3) elements scalar.
+    let mut j = hist;
+    while j < n && j < 3 {
+        let c = cost_at(ext, j, eb);
+        for k in 0..3 {
+            costs[k] += c[k];
+        }
+        j += 1;
+    }
+
+    let two = _mm256_set1_pd(2.0);
+    let three = _mm256_set1_pd(3.0);
+    let ebv = _mm256_set1_pd(eb);
+    let zero = _mm256_setzero_pd();
+    let inf = _mm256_set1_pd(f64::INFINITY);
+    let big = _mm256_set1_pd(NON_FINITE_COST);
+    let absmask = _mm256_castsi256_pd(_mm256_set1_epi64x(!(1i64 << 63)));
+
+    // One lane-cost vector per stencil; summed below in element order.
+    let mut buf = [[0.0f64; 4]; 3];
+    while j + 4 <= n {
+        let x = _mm256_loadu_pd(ext.as_ptr().add(j));
+        let a = _mm256_loadu_pd(ext.as_ptr().add(j - 1));
+        let b = _mm256_loadu_pd(ext.as_ptr().add(j - 2));
+        let c = _mm256_loadu_pd(ext.as_ptr().add(j - 3));
+        let preds = [
+            a,
+            _mm256_sub_pd(_mm256_mul_pd(two, a), b),
+            _mm256_add_pd(
+                _mm256_sub_pd(_mm256_mul_pd(three, a), _mm256_mul_pd(three, b)),
+                c,
+            ),
+        ];
+        for (k, p) in preds.iter().enumerate() {
+            let r = _mm256_and_pd(_mm256_sub_pd(x, *p), absmask);
+            // |r| < ∞ is false for both +∞ and NaN lanes — exactly the
+            // lanes the scalar path charges NON_FINITE_COST.
+            let finite = _mm256_cmp_pd::<{ _CMP_LT_OQ }>(r, inf);
+            let clamped = _mm256_max_pd(_mm256_sub_pd(r, ebv), zero);
+            let cost = _mm256_blendv_pd(big, clamped, finite);
+            _mm256_storeu_pd(buf[k].as_mut_ptr(), cost);
+        }
+        for k in 0..3 {
+            for &lane_cost in &buf[k] {
+                costs[k] += lane_cost;
+            }
+        }
+        j += 4;
+    }
+    while j < n {
+        let c = cost_at(ext, j, eb);
+        for k in 0..3 {
+            costs[k] += c[k];
+        }
+        j += 1;
+    }
+    costs
+}
+
+/// Fills `out[i] = (symbols[i] − bias) · scale` for every symbol, the
+/// decoder-side reconstruction delta (`bias` = the quantizer RADIUS,
+/// `scale` = `2eb`). Both the int→f64 conversion and the multiply are
+/// exact elementwise operations, so SIMD and scalar agree bit for bit.
+///
+/// # Panics
+///
+/// When `out.len() != symbols.len()`.
+#[inline]
+pub fn symbol_deltas(symbols: &[u16], bias: i32, scale: f64, out: &mut [f64]) {
+    assert_eq!(symbols.len(), out.len());
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if caps().avx2 {
+            // SAFETY: AVX2 confirmed present by the runtime probe.
+            unsafe { symbol_deltas_avx2(symbols, bias, scale, out) };
+            return;
+        }
+    }
+    let _ = caps();
+    symbol_deltas_scalar(symbols, bias, scale, out);
+}
+
+/// Scalar reference for [`symbol_deltas`]; also the forced-scalar path.
+pub fn symbol_deltas_scalar(symbols: &[u16], bias: i32, scale: f64, out: &mut [f64]) {
+    for (o, &s) in out.iter_mut().zip(symbols) {
+        *o = f64::from(i32::from(s) - bias) * scale;
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn symbol_deltas_avx2(symbols: &[u16], bias: i32, scale: f64, out: &mut [f64]) {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    let n = symbols.len();
+    let biasv = _mm256_set1_epi32(bias);
+    let scalev = _mm256_set1_pd(scale);
+    let mut i = 0;
+    while i + 8 <= n {
+        let raw = _mm_loadu_si128(symbols.as_ptr().add(i).cast());
+        let wide = _mm256_sub_epi32(_mm256_cvtepu16_epi32(raw), biasv);
+        let lo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(wide));
+        let hi = _mm256_cvtepi32_pd(_mm256_extracti128_si256::<1>(wide));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(lo, scalev));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i + 4), _mm256_mul_pd(hi, scalev));
+        i += 8;
+    }
+    symbol_deltas_scalar(&symbols[i..], bias, scale, &mut out[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bits3(c: [f64; 3]) -> [u64; 3] {
+        [c[0].to_bits(), c[1].to_bits(), c[2].to_bits()]
+    }
+
+    #[test]
+    fn trial_costs_simd_equals_scalar_across_lengths_and_hists() {
+        // Lengths straddling the 4-lane width and the 3-element warm-up,
+        // with every history depth.
+        for len in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 31, 32, 33, 100] {
+            for hist in 0..=3usize.min(len) {
+                let ext: Vec<f64> = (0..len)
+                    .map(|i| ((i * 37 + 11) as f64 * 0.37).sin() * 50.0)
+                    .collect();
+                let simd = trial_costs(&ext, hist, 1e-3);
+                let scalar = trial_costs_scalar(&ext, hist, 1e-3);
+                assert_eq!(bits3(simd), bits3(scalar), "len={len} hist={hist}");
+            }
+        }
+    }
+
+    #[test]
+    fn trial_costs_handles_non_finite_lanes_identically() {
+        let mut ext: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
+        ext[7] = f64::NAN;
+        ext[19] = f64::INFINITY;
+        ext[23] = f64::NEG_INFINITY;
+        ext[31] = f64::MAX; // x − pred can overflow to ∞
+        ext[32] = -f64::MAX;
+        let simd = trial_costs(&ext, 3, 0.25);
+        let scalar = trial_costs_scalar(&ext, 3, 0.25);
+        assert_eq!(bits3(simd), bits3(scalar));
+    }
+
+    #[test]
+    fn symbol_deltas_simd_equals_scalar_across_tail_lengths() {
+        let bias = 1 << 15;
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 100] {
+            let symbols: Vec<u16> = (0..len).map(|i| (i * 2654435761) as u16).collect();
+            let mut simd = vec![0.0f64; len];
+            let mut scalar = vec![0.0f64; len];
+            symbol_deltas(&symbols, bias, 2e-4, &mut simd);
+            symbol_deltas_scalar(&symbols, bias, 2e-4, &mut scalar);
+            let (a, b): (Vec<u64>, Vec<u64>) = (
+                simd.iter().map(|v| v.to_bits()).collect(),
+                scalar.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(a, b, "len={len}");
+        }
+    }
+
+    #[test]
+    fn symbol_deltas_are_exact_integers_times_scale() {
+        let bias = 1 << 15;
+        let symbols = [0u16, 1, 32767, 32768, 32769, 65535];
+        let mut out = [0.0f64; 6];
+        symbol_deltas(&symbols, bias, 0.5, &mut out);
+        assert_eq!(out, [-16384.0, -16383.5, -0.5, 0.0, 0.5, 16383.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn trial_costs_equivalence_on_random_streams(
+            vals in prop::collection::vec(-1e9f64..1e9, 0..200),
+            hist in 0usize..=3,
+            eb in 0.0f64..10.0,
+        ) {
+            let hist = hist.min(vals.len());
+            let simd = trial_costs(&vals, hist, eb);
+            let scalar = trial_costs_scalar(&vals, hist, eb);
+            prop_assert_eq!(bits3(simd), bits3(scalar));
+        }
+
+        #[test]
+        fn symbol_deltas_equivalence_on_random_symbols(
+            symbols in prop::collection::vec(any::<u16>(), 0..300),
+            scale in 0.0f64..1.0,
+        ) {
+            let mut simd = vec![0.0f64; symbols.len()];
+            let mut scalar = vec![0.0f64; symbols.len()];
+            symbol_deltas(&symbols, 1 << 15, scale, &mut simd);
+            symbol_deltas_scalar(&symbols, 1 << 15, scale, &mut scalar);
+            for (a, b) in simd.iter().zip(&scalar) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

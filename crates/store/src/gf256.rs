@@ -87,9 +87,13 @@ pub fn inv(a: u8) -> Option<u8> {
 /// Two 16-entry tables replace the historical flat 256-entry table: setup
 /// drops from 256 field multiplications per coefficient to 32, and the 32
 /// working bytes stay resident in one cache line through the whole encode
-/// loop instead of streaming 256 table bytes against the shard data. This
-/// is the scalar form of the SSSE3 `pshufb` kernel every fast RS coder
-/// uses — same tables, byte-at-a-time lookup.
+/// loop instead of streaming 256 table bytes against the shard data. The
+/// two tables are exactly the operand shape of the SSSE3/AVX2 `pshufb`
+/// and NEON `vqtbl1q_u8` kernels every fast RS coder uses, so the bulk
+/// entry points ([`MulTable::fma_into`]) hand them straight to
+/// [`zmesh_kernels::gf256`], which dispatches to real SIMD at runtime
+/// (scalar fallback under `ZMESH_FORCE_SCALAR=1` or on older CPUs) with
+/// bit-identical results.
 pub struct MulTable {
     lo: [u8; 16],
     hi: [u8; 16],
@@ -115,12 +119,12 @@ impl MulTable {
         self.lo[(b & 0x0f) as usize] ^ self.hi[(b >> 4) as usize]
     }
 
-    /// XOR-accumulates `c · src[i]` into `acc[i]` over the overlap.
+    /// XOR-accumulates `c · src[i]` into `acc[i]` over the overlap —
+    /// the Reed–Solomon encode/recover/streaming-parity hot loop,
+    /// SIMD-dispatched.
     #[inline]
     pub fn fma_into(&self, acc: &mut [u8], src: &[u8]) {
-        for (a, &s) in acc.iter_mut().zip(src) {
-            *a ^= self.mul(s);
-        }
+        zmesh_kernels::gf256::fma_into(&self.lo, &self.hi, acc, src);
     }
 }
 

@@ -92,8 +92,6 @@ pub use source::FileSource;
 #[cfg(all(unix, feature = "mmap"))]
 pub use source::MmapSource;
 pub use source::{ByteSource, SliceSource};
-#[allow(deprecated)]
-pub use writer::persist;
 pub use writer::{
     process_peak_rss, PipelineStoreExt, StoreWriteOptions, StoreWriteStats, StoreWriter,
     StoreWritten, StreamOptions,

@@ -101,6 +101,12 @@ pub struct ScrubReport {
     pub bytes_read: u64,
     /// Total size of the store being scrubbed.
     pub store_bytes: u64,
+    /// Wall-clock seconds the CRC walk took.
+    pub elapsed_secs: f64,
+    /// Scrub throughput (`bytes_read` / `elapsed_secs`, rounded down) —
+    /// the walk is CRC-bound, so this surfaces which
+    /// [`zmesh_kernels::crc32`] tier the runtime probe dispatched to.
+    pub bytes_per_s: u64,
 }
 
 impl ScrubReport {
@@ -127,7 +133,8 @@ impl ScrubReport {
              \"parity_available\":{},\
              \"fields\":{},\"data_chunks\":{},\"parity_chunks\":{},\
              \"recoverable\":{},\"unrecoverable\":{},\"clean\":{},\
-             \"bytes_read\":{},\"store_bytes\":{},\"damaged\":[",
+             \"bytes_read\":{},\"store_bytes\":{},\
+             \"elapsed_secs\":{:.6},\"bytes_per_s\":{},\"damaged\":[",
             self.version,
             self.parity_group_width,
             self.parity_shards,
@@ -140,6 +147,8 @@ impl ScrubReport {
             self.is_clean(),
             self.bytes_read,
             self.store_bytes,
+            self.elapsed_secs,
+            self.bytes_per_s,
         ));
         for (i, d) in self.damaged.iter().enumerate() {
             if i > 0 {
@@ -257,6 +266,7 @@ pub fn scrub(bytes: &[u8]) -> Result<ScrubReport, StoreError> {
 /// [`crate::FileSource`]) the scrub streams chunk spans instead of loading
 /// the file; [`ScrubReport::bytes_read`] records the actual traffic.
 pub fn scrub_source<S: ByteSource + ?Sized>(src: &S) -> Result<ScrubReport, StoreError> {
+    let started = std::time::Instant::now();
     let (header, fields, payload) = format::open_source(src)?;
     let width = header.parity_group_width as usize;
     let scheme = header.scheme();
@@ -273,6 +283,8 @@ pub fn scrub_source<S: ByteSource + ?Sized>(src: &S) -> Result<ScrubReport, Stor
         damaged: Vec::new(),
         bytes_read: 0,
         store_bytes: src.len(),
+        elapsed_secs: 0.0,
+        bytes_per_s: 0,
     };
     for entry in &fields {
         let data_ok: Vec<bool> = (0..entry.chunks.len())
@@ -330,6 +342,10 @@ pub fn scrub_source<S: ByteSource + ?Sized>(src: &S) -> Result<ScrubReport, Stor
         }
     }
     report.bytes_read = src.bytes_read();
+    report.elapsed_secs = started.elapsed().as_secs_f64();
+    if report.elapsed_secs > 0.0 {
+        report.bytes_per_s = (report.bytes_read as f64 / report.elapsed_secs) as u64;
+    }
     Ok(report)
 }
 
@@ -1053,6 +1069,11 @@ mod tests {
         assert!(json.contains("\"clean\":true"));
         assert!(json.contains("\"parity_shards\":1"));
         assert!(json.contains("\"damaged\":[]"));
+        // The CRC walk reports its own throughput.
+        assert!(json.contains("\"elapsed_secs\":"));
+        assert!(json.contains("\"bytes_per_s\":"));
+        assert!(report.elapsed_secs > 0.0);
+        assert!(report.bytes_per_s > 0);
     }
 
     #[test]

@@ -883,15 +883,6 @@ impl StoreWriter {
     }
 }
 
-/// Atomically replaces `path` with `bytes` — the historical untyped entry
-/// point, kept as a thin wrapper over [`persist_store`].
-#[deprecated(note = "use zmesh_store::persist_store, which types its errors \
-            (NoSpace vs transient vs fatal) instead of flattening them \
-            into io::Error")]
-pub fn persist(bytes: &[u8], path: &Path) -> std::io::Result<()> {
-    persist_store(bytes, path).map_err(|e| std::io::Error::other(e.to_string()))
-}
-
 /// Chunked-store entry point hung off the core [`Pipeline`]: `pack` is to
 /// the v2 store what [`Pipeline::compress`] is to the v1 container.
 pub trait PipelineStoreExt {

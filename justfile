@@ -58,6 +58,11 @@ bench-store-read:
 bench-store-write:
     CRITERION_JSON=BENCH_store_write.json cargo bench -p zmesh-bench --bench store_write
 
+# SIMD kernel tiers vs their scalar references (GF(2⁸) fma, CRC-32 walk,
+# SZ selection/delta loops), with machine-readable medians.
+bench-kernels:
+    CRITERION_JSON=BENCH_kernels.json cargo bench -p zmesh-bench --bench kernels
+
 # Multi-client daemon traffic generator: QPS + p50/p95/p99 and cache hit
 # rates, written to BENCH_serve.json.
 bench-serve:

@@ -30,6 +30,13 @@ step cargo test -q --release
 step cargo test -q --workspace
 step cargo test -q --release --workspace
 
+# Forced-scalar dispatch leg: the same suites with every SIMD kernel
+# pinned to its portable fallback (ZMESH_FORCE_SCALAR=1), in both
+# profiles — proves no behavior anywhere depends on which tier the
+# runtime probe picked.
+step env ZMESH_FORCE_SCALAR=1 cargo test -q -p zmesh-kernels -p zmesh -p zmesh-codecs -p zmesh-store
+step env ZMESH_FORCE_SCALAR=1 cargo test -q --release -p zmesh-kernels -p zmesh -p zmesh-codecs -p zmesh-store
+
 # Self-healing smoke: pack → inject fault → scrub → repair → bit-exact.
 step bash scripts/scrub_smoke.sh
 
